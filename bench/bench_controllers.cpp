@@ -1,0 +1,95 @@
+// bench_controllers — sweeps the controller macromodels (EQ 9, EQ 10 and
+// the PLA analogue) over the two parameters the paper says "can often be
+// accurately estimated at an early stage": N_I and N_O.  Reports the
+// random-logic / ROM / PLA comparison and where the ROM's 2^N_I decode
+// cost overtakes the two-level network — the platform-selection question
+// the Controllers section poses.
+#include <cmath>
+#include <cstdio>
+
+#include "model/param.hpp"
+#include "models/berkeley_library.hpp"
+
+int main() {
+  using namespace powerplay;
+  const auto lib = models::berkeley_library();
+
+  auto power = [&](const char* model, double ni, double no, double nm) {
+    model::MapParamReader p;
+    p.set("n_inputs", ni);
+    p.set("n_outputs", no);
+    p.set("n_minterms", nm);
+    p.set("vdd", 1.5);
+    p.set("f", 1e6);
+    return lib.at(model).evaluate(p).total_power().si();
+  };
+
+  std::printf("Controller platform comparison at vdd = 1.5 V, f = 1 MHz\n");
+  std::printf("(N_M fixed at 64 minterms; power per platform)\n\n");
+  std::printf("%-5s %-5s %-14s %-14s %-14s %-10s\n", "N_I", "N_O",
+              "random logic", "ROM", "PLA", "cheapest");
+  int crossover_ni = -1;
+  for (int ni = 4; ni <= 14; ++ni) {
+    const double no = 12;
+    const double rl = power("random_logic_controller", ni, no, 64);
+    const double rom = power("rom_controller", ni, no, 64);
+    const double pla = power("pla_controller", ni, no, 64);
+    const char* best = rl <= rom && rl <= pla ? "random"
+                       : rom <= pla           ? "ROM"
+                                              : "PLA";
+    if (crossover_ni < 0 && rom > rl) crossover_ni = ni;
+    std::printf("%-5d %-5.0f %-14s %-14s %-14s %-10s\n", ni, no,
+                units::format_si(rl, "W").c_str(),
+                units::format_si(rom, "W").c_str(),
+                units::format_si(pla, "W").c_str(), best);
+  }
+  if (crossover_ni > 0) {
+    std::printf("\nROM overtakes random logic at N_I = %d (2^N_I decode "
+                "blow-up).\n",
+                crossover_ni);
+  }
+
+  std::printf("\nOutput-count sweep at N_I = 8:\n");
+  std::printf("%-5s %-14s %-14s %-14s\n", "N_O", "random logic", "ROM",
+              "PLA");
+  for (int no = 4; no <= 64; no *= 2) {
+    std::printf("%-5d %-14s %-14s %-14s\n", no,
+                units::format_si(
+                    power("random_logic_controller", 8, no, 64), "W")
+                    .c_str(),
+                units::format_si(power("rom_controller", 8, no, 64), "W")
+                    .c_str(),
+                units::format_si(power("pla_controller", 8, no, 64), "W")
+                    .c_str());
+  }
+
+  std::printf("\nComplexity (minterm) sweep at N_I = 8, N_O = 12 "
+              "(ROM is insensitive: the array is already full):\n");
+  std::printf("%-6s %-14s %-14s\n", "N_M", "random logic", "PLA");
+  for (int nm = 16; nm <= 256; nm *= 2) {
+    std::printf("%-6d %-14s %-14s\n", nm,
+                units::format_si(
+                    power("random_logic_controller", 8, 12, nm), "W")
+                    .c_str(),
+                units::format_si(power("pla_controller", 8, 12, nm), "W")
+                    .c_str());
+  }
+
+  std::printf("\nROM precharge-probability (P_O) sweep at N_I = 8, "
+              "N_O = 12 (EQ 10's bit-line term):\n");
+  std::printf("%-6s %-14s\n", "P_O", "ROM power");
+  for (double p_low : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    model::MapParamReader p;
+    p.set("n_inputs", 8.0);
+    p.set("n_outputs", 12.0);
+    p.set("p_low", p_low);
+    p.set("vdd", 1.5);
+    p.set("f", 1e6);
+    std::printf("%-6.2f %-14s\n", p_low,
+                units::format_si(
+                    lib.at("rom_controller").evaluate(p).total_power().si(),
+                    "W")
+                    .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,134 @@
+// bench_engine_perf — google-benchmark timings backing the paper's
+// interactivity claims: "The feedback is virtually instantaneous" for a
+// model form, and the whole luminance exploration "was executed ... in
+// less than three minutes".  Measures expression parse/eval, model
+// evaluation, Play recompute (flat, hierarchical, intermodel fixed
+// point), serialization, and a live HTTP round trip.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "expr/eval.hpp"
+#include "expr/parser.hpp"
+#include "library/serialize.hpp"
+#include "library/store.hpp"
+#include "models/berkeley_library.hpp"
+#include "sheet/design.hpp"
+#include "studies/infopad.hpp"
+#include "studies/vq.hpp"
+#include "web/app.hpp"
+#include "web/client.hpp"
+#include "web/server.hpp"
+
+namespace {
+
+using namespace powerplay;
+
+const model::ModelRegistry& lib() {
+  static const model::ModelRegistry registry = models::berkeley_library();
+  return registry;
+}
+
+void BM_ExprParse(benchmark::State& state) {
+  const std::string src =
+      "pixel_rate / 16 + max(words * 20e-15, bits * 500e-15) * vdd^2";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr::parse(src));
+  }
+}
+BENCHMARK(BM_ExprParse);
+
+void BM_ExprEvaluate(benchmark::State& state) {
+  const auto e = expr::parse(
+      "pixel_rate / 16 + max(words * 20e-15, bits * 500e-15) * vdd^2");
+  expr::Scope scope;
+  scope.set("pixel_rate", 2e6);
+  scope.set("words", 2048.0);
+  scope.set("bits", 8.0);
+  scope.set("vdd", 1.5);
+  const auto fns = expr::FunctionTable::with_builtins();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr::evaluate(*e, scope, fns));
+  }
+}
+BENCHMARK(BM_ExprEvaluate);
+
+void BM_ModelEvaluateSram(benchmark::State& state) {
+  model::MapParamReader p;
+  p.set("words", 4096.0);
+  p.set("bits", 16.0);
+  p.set("vdd", 1.5);
+  p.set("f", 2e6);
+  const model::Model& sram = lib().at("sram");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sram.evaluate(p));
+  }
+}
+BENCHMARK(BM_ModelEvaluateSram);
+
+void BM_PlayLuminance(benchmark::State& state) {
+  const sheet::Design d = studies::make_luminance_impl1(lib());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.play());
+  }
+}
+BENCHMARK(BM_PlayLuminance);
+
+void BM_PlayInfoPadHierarchy(benchmark::State& state) {
+  // Hierarchical + self-referential converter: the worst-case Play.
+  const sheet::Design d = studies::make_infopad(lib());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.play());
+  }
+}
+BENCHMARK(BM_PlayInfoPadHierarchy);
+
+void BM_PlayWideFlatSheet(benchmark::State& state) {
+  // Scaling with row count.
+  sheet::Design d("wide");
+  d.globals().set("vdd", 1.5);
+  d.globals().set("f", 1e6);
+  for (int i = 0; i < state.range(0); ++i) {
+    auto& row =
+        d.add_row("r" + std::to_string(i), lib().find_shared("register"));
+    row.params.set("bits", 8.0 + i % 8);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.play());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PlayWideFlatSheet)->Range(8, 512)->Complexity();
+
+void BM_DesignSerializeRoundTrip(benchmark::State& state) {
+  const sheet::Design d = studies::make_luminance_impl2(lib());
+  for (auto _ : state) {
+    const std::string text = library::to_text(d);
+    benchmark::DoNotOptimize(library::parse_design(text, lib(), nullptr));
+  }
+}
+BENCHMARK(BM_DesignSerializeRoundTrip);
+
+void BM_HttpModelFormRoundTrip(benchmark::State& state) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("pp_perf_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  web::PowerPlayApp app{library::LibraryStore(dir)};
+  web::HttpServer server(0, [&](const web::Request& r) {
+    return app.handle(r);
+  });
+  server.start();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(web::http_get(
+        server.port(),
+        "/model?user=perf&name=array_multiplier&p_bitwidthA=16"
+        "&p_bitwidthB=16&p_correlated=0&p_alpha=1&p_vdd=1.5&p_f=2000000"));
+  }
+  server.stop();
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_HttpModelFormRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

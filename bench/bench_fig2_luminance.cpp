@@ -1,0 +1,48 @@
+// bench_fig2_luminance — regenerates Figure 2: "PowerPlay's spreadsheet
+// power analysis" of the luminance decompression chip, implementation 1.
+//
+// The paper's figure shows, per module: the organization parameters, the
+// access-rate ratio to the pixel clock, switched capacitance, energy per
+// access, and power, plus the design totals at the supply voltage and
+// operating frequency shown at the bottom of the sheet.  Absolute module
+// values in the printed scan are partly illegible; the anchors we check
+// against are the stated system parameters (2 MHz pixel rate, f/16 and
+// f/32 buffer rates) and the impl-1 total implied by "impl-2 ~150 uW,
+// 1/5 of the original" (i.e. ~750 uW).  See EXPERIMENTS.md.
+#include <cstdio>
+
+#include "models/berkeley_library.hpp"
+#include "sheet/report.hpp"
+#include "studies/vq.hpp"
+
+int main() {
+  using namespace powerplay;
+  const auto lib = models::berkeley_library();
+  const sheet::Design design = studies::make_luminance_impl1(lib);
+  const sheet::PlayResult result = design.play();
+
+  std::printf("Figure 2 — Luminance_1 spreadsheet summary\n");
+  std::printf("(vdd = %.2f V, pixel rate = %.0f Hz)\n\n",
+              studies::kSupplyVolts, studies::kPixelRateHz);
+
+  sheet::ReportOptions opt;
+  opt.show_area = true;
+  std::printf("%s\n", sheet::to_table(result, opt).c_str());
+
+  std::printf("Per-module EQ 1 breakdown:\n");
+  for (const auto& row : result.rows) {
+    std::printf("%s", sheet::to_breakdown(row).c_str());
+  }
+
+  std::printf("\n%s", sheet::timing_table(sheet::timing_summary(result))
+                          .c_str());
+
+  std::printf("\nCSV form:\n%s", sheet::to_csv(result).c_str());
+
+  const double total = result.total.total_power().si();
+  std::printf("\nTotal: %s   (paper-implied impl-1 total: ~750 uW; "
+              "reproduced within %.0f%%)\n",
+              units::format_si(total, "W").c_str(),
+              100.0 * std::abs(total - 750e-6) / 750e-6);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// bench_fig3_comparison — regenerates the Figure 1 vs Figure 3
+// architectural comparison, the paper's headline result:
+//
+//   "PowerPlay estimated the power dissipation of the second
+//    implementation (Figure 3) to be ~150 uW, or 1/5 that of the
+//    original design (Figure 1).  The final implementation of the chip
+//    used this second architecture and had a measured average power
+//    dissipation of 100 uW."
+//
+// Also sweeps supply voltage to show the conclusion is robust across the
+// operating range (the spreadsheet's "parameters can be varied
+// dynamically" claim).
+#include <cstdio>
+
+#include "models/berkeley_library.hpp"
+#include "sheet/report.hpp"
+#include "sheet/sweep.hpp"
+#include "studies/vq.hpp"
+
+int main() {
+  using namespace powerplay;
+  const auto lib = models::berkeley_library();
+  const sheet::Design d1 = studies::make_luminance_impl1(lib);
+  const sheet::Design d2 = studies::make_luminance_impl2(lib);
+
+  const auto r1 = d1.play();
+  const auto r2 = d2.play();
+  const double p1 = r1.total.total_power().si();
+  const double p2 = r2.total.total_power().si();
+
+  std::printf("Figure 1 architecture (per-pixel LUT):\n%s\n",
+              sheet::to_table(r1).c_str());
+  std::printf("Figure 3 architecture (grouped LUT + word mux):\n%s\n",
+              sheet::to_table(r2).c_str());
+
+  std::printf("impl-1 total: %s\n", units::format_si(p1, "W").c_str());
+  std::printf("impl-2 total: %s   (paper: ~150 uW)\n",
+              units::format_si(p2, "W").c_str());
+  std::printf("ratio impl-1/impl-2: %.2f   (paper: ~5)\n", p1 / p2);
+  std::printf("measured chip (impl-2 arch): %s\n",
+              units::format_si(studies::kPaperMeasuredWatts, "W").c_str());
+  std::printf("estimate/measured: %.2fx   (paper promises within an "
+              "octave, i.e. <= 2x)\n\n",
+              p2 / studies::kPaperMeasuredWatts);
+
+  std::printf("Supply-voltage what-if (total power, both architectures):\n");
+  std::printf("%-8s %-14s %-14s %-8s\n", "vdd [V]", "impl-1", "impl-2",
+              "ratio");
+  for (double vdd : {1.1, 1.3, 1.5, 2.0, 2.5, 3.3}) {
+    const auto s1 = sheet::sweep_global(d1, "vdd", {vdd});
+    const auto s2 = sheet::sweep_global(d2, "vdd", {vdd});
+    const double a = s1[0].result.total.total_power().si();
+    const double b = s2[0].result.total.total_power().si();
+    std::printf("%-8.2f %-14s %-14s %-8.2f\n", vdd,
+                units::format_si(a, "W").c_str(),
+                units::format_si(b, "W").c_str(), a / b);
+  }
+
+  std::printf("\nPixel-rate what-if (impl-2 total):\n");
+  std::printf("%-14s %-14s\n", "pixel rate", "impl-2 power");
+  for (double f : {0.5e6, 1e6, 2e6, 4e6, 8e6}) {
+    const auto s = sheet::sweep_global(d2, "pixel_rate", {f});
+    std::printf("%-14s %-14s\n", units::format_si(f, "Hz").c_str(),
+                units::format_si(
+                    s[0].result.total.total_power().si(), "W")
+                    .c_str());
+  }
+  return 0;
+}

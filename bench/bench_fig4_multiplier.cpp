@@ -1,0 +1,71 @@
+// bench_fig4_multiplier — regenerates Figure 4: the multiplier input
+// form and result excerpt.
+//
+//   "C_T = bitwidthA * bitwidthB * 253 fF  (EQ 20)
+//    The capacitive coefficient, 253 fF, is for non-correlated inputs.
+//    PowerPlay also contains models for correlated inputs ...  The user
+//    has the option on the input form of setting bit-widths and
+//    multiplier type.  The feedback is virtually instantaneous, so the
+//    user may cycle through many options."
+//
+// Sweeps bit-widths and the correlation flag, then supply voltage, as a
+// user cycling through the form would.
+#include <cstdio>
+
+#include "model/param.hpp"
+#include "models/berkeley_library.hpp"
+
+int main() {
+  using namespace powerplay;
+  const auto lib = models::berkeley_library();
+  const model::Model& mult = lib.at("array_multiplier");
+
+  auto evaluate = [&](double bwa, double bwb, bool correlated, double vdd,
+                      double f) {
+    model::MapParamReader p;
+    p.set("bitwidthA", bwa);
+    p.set("bitwidthB", bwb);
+    p.set("correlated", correlated ? 1.0 : 0.0);
+    p.set("alpha", 1.0);
+    p.set("vdd", vdd);
+    p.set("f", f);
+    return mult.evaluate(p);
+  };
+
+  std::printf("Figure 4 — multiplier model (EQ 20) at vdd = 1.5 V, "
+              "f = 1 MHz\n\n");
+  std::printf("%-5s %-5s %-12s %-12s %-12s %-12s\n", "bwA", "bwB",
+              "C_T (uncorr)", "E/op", "P", "C_T (corr)");
+  for (int bw : {4, 8, 12, 16, 24, 32}) {
+    const auto u = evaluate(bw, bw, false, 1.5, 1e6);
+    const auto c = evaluate(bw, bw, true, 1.5, 1e6);
+    std::printf("%-5d %-5d %-12s %-12s %-12s %-12s\n", bw, bw,
+                units::format_si(u.switched_capacitance.si(), "F").c_str(),
+                units::format_si(u.energy_per_op.si(), "J").c_str(),
+                units::format_si(u.total_power().si(), "W").c_str(),
+                units::format_si(c.switched_capacitance.si(), "F").c_str());
+  }
+
+  std::printf("\nAsymmetric operands (uncorrelated):\n");
+  std::printf("%-5s %-5s %-12s\n", "bwA", "bwB", "C_T");
+  for (auto [a, b] : {std::pair{8, 16}, {8, 24}, {16, 24}, {16, 32}}) {
+    const auto e = evaluate(a, b, false, 1.5, 0);
+    std::printf("%-5d %-5d %-12s\n", a, b,
+                units::format_si(e.switched_capacitance.si(), "F").c_str());
+  }
+
+  std::printf("\nSupply what-if at 16x16 (energy scales as vdd^2):\n");
+  std::printf("%-8s %-12s %-12s\n", "vdd [V]", "E/op", "P @ 1 MHz");
+  for (double vdd : {1.1, 1.5, 2.0, 2.5, 3.3, 5.0}) {
+    const auto e = evaluate(16, 16, false, vdd, 1e6);
+    std::printf("%-8.2f %-12s %-12s\n", vdd,
+                units::format_si(e.energy_per_op.si(), "J").c_str(),
+                units::format_si(e.total_power().si(), "W").c_str());
+  }
+
+  const auto check = evaluate(16, 16, false, 1.5, 0);
+  std::printf("\nEQ 20 check: 16*16*253fF = %s (model reports %s)\n",
+              units::format_si(16.0 * 16.0 * 253e-15, "F").c_str(),
+              units::format_si(check.switched_capacitance.si(), "F").c_str());
+  return 0;
+}

@@ -1,0 +1,103 @@
+// bench_fig6_network — regenerates Figure 6: "PowerPlay's network
+// architecture": a user at one site transparently uses models hosted by
+// multiple remote sites (the paper's MIT / Motorola / Berkeley picture).
+//
+// Three PowerPlay servers run on loopback; the "MIT user" imports a
+// model from each remote library, composes a design, and Plays it.  The
+// bench reports the models fetched, the round trips each import cost,
+// per-fetch latency, and the resulting design table.
+#include <cstdio>
+
+#include "library/store.hpp"
+#include "models/berkeley_library.hpp"
+#include "sheet/report.hpp"
+#include "web/app.hpp"
+#include "web/remote.hpp"
+#include "web/server.hpp"
+
+namespace {
+
+using namespace powerplay;
+
+struct Site {
+  std::string name;
+  std::filesystem::path dir;
+  std::unique_ptr<web::PowerPlayApp> app;
+  std::unique_ptr<web::HttpServer> server;
+
+  explicit Site(std::string site_name) : name(std::move(site_name)) {
+    dir = std::filesystem::temp_directory_path() /
+          ("pp_fig6_" + name + "_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir);
+    app = std::make_unique<web::PowerPlayApp>(library::LibraryStore(dir));
+    server = std::make_unique<web::HttpServer>(
+        0, [this](const web::Request& r) { return app->handle(r); });
+    server->start();
+  }
+  ~Site() {
+    server->stop();
+    std::filesystem::remove_all(dir);
+  }
+
+  void publish(const std::string& model_name, const std::string& doc,
+               const std::string& equation) {
+    model::UserModelDefinition def;
+    def.name = model_name;
+    def.category = model::Category::kComputation;
+    def.documentation = doc;
+    def.params = {{"bitwidth", "datapath width", 16, "bits", 1, 64, true}};
+    def.c_fullswing = equation;
+    app->store().save_model(def);
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 6 — model access across the network\n\n");
+
+  Site berkeley("berkeley");
+  Site motorola("motorola");
+  berkeley.publish("ucb_dct8", "UCB characterized 8-point DCT datapath",
+                   "bitwidth * 1.8e-12");
+  motorola.publish("moto_mac", "Motorola MAC unit, data-book derived",
+                   "bitwidth * 0.9e-12");
+
+  std::printf("site %-10s serving on 127.0.0.1:%u\n", berkeley.name.c_str(),
+              berkeley.server->port());
+  std::printf("site %-10s serving on 127.0.0.1:%u\n\n", motorola.name.c_str(),
+              motorola.server->port());
+
+  // The "MIT" user: local built-in library plus two remote imports.
+  model::ModelRegistry local = models::berkeley_library();
+  web::RemoteLibrary ucb(berkeley.server->port());
+  web::RemoteLibrary moto(motorola.server->port());
+
+  for (auto* remote : {&ucb, &moto}) {
+    for (const std::string& name : remote->list_models()) {
+      const auto t0 = remote->round_trips();
+      const web::HttpFetchResult fetch = web::timed_fetch(
+          remote == &ucb ? berkeley.server->port() : motorola.server->port(),
+          "/api/model?name=" + web::url_encode(name));
+      remote->import_model(name, local);
+      std::printf("imported %-10s  %5zu bytes  %8.3f ms  (%d fetch round "
+                  "trips)\n",
+                  name.c_str(), fetch.bytes, fetch.latency.si() * 1e3,
+                  remote->round_trips() - t0);
+    }
+  }
+
+  sheet::Design d("mit_multichip",
+                  "Design assembled at MIT from Berkeley and Motorola "
+                  "models plus the local built-in library.");
+  d.globals().set("vdd", 1.5);
+  d.globals().set("f", 10e6);
+  d.add_row("DCT", local.find_shared("ucb_dct8")).params.set("bitwidth", 16.0);
+  d.add_row("MAC", local.find_shared("moto_mac")).params.set("bitwidth", 24.0);
+  d.add_row("Coeff ROM", local.find_shared("rom_controller"))
+      .params.set("n_inputs", 6.0);
+  const auto r = d.play();
+  std::printf("\n%s\n", sheet::to_table(r).c_str());
+  std::printf("%s\n", sheet::summary_line(r).c_str());
+  return 0;
+}

@@ -1,0 +1,103 @@
+// bench_interconnect — the Interconnect section's Rent's-rule estimation
+// (Donath/Feuer): average wire length versus block count and Rent
+// exponent, and interconnect power driven by the active area already on
+// the spreadsheet (the totalarea() intermodel interaction).
+#include <cstdio>
+
+#include "model/param.hpp"
+#include "models/berkeley_library.hpp"
+#include "models/interconnect.hpp"
+#include "sheet/design.hpp"
+
+int main() {
+  using namespace powerplay;
+  const auto lib = models::berkeley_library();
+
+  std::printf("Donath average wire length [gate pitches]\n");
+  std::printf("%-10s", "N \\ p");
+  for (double p : {0.3, 0.5, 0.6, 0.7, 0.8}) std::printf(" %-9.1f", p);
+  std::printf("\n");
+  for (double n : {1e3, 1e4, 1e5, 1e6, 1e7}) {
+    std::printf("%-10.0e", n);
+    for (double p : {0.3, 0.5, 0.6, 0.7, 0.8}) {
+      std::printf(" %-9.2f", models::donath_average_length(n, p));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nRent terminal counts T = t*N^p (t = 3):\n");
+  std::printf("%-10s %-10s %-10s\n", "blocks", "p=0.5", "p=0.7");
+  for (double n : {64.0, 1024.0, 16384.0}) {
+    std::printf("%-10.0f %-10.1f %-10.1f\n", n,
+                models::rent_terminals(n, 3, 0.5),
+                models::rent_terminals(n, 3, 0.7));
+  }
+
+  std::printf("\nInterconnect power vs active area (10k blocks, p = 0.6, "
+              "vdd = 1.5 V, f = 10 MHz, alpha = 0.15):\n");
+  std::printf("%-12s %-14s\n", "area [mm^2]", "power");
+  for (double mm2 : {0.25, 1.0, 4.0, 16.0, 64.0}) {
+    model::MapParamReader p;
+    p.set("n_blocks", 1e4);
+    p.set("rent_exponent", 0.6);
+    p.set("active_area", mm2 * 1e-6);
+    p.set("vdd", 1.5);
+    p.set("f", 10e6);
+    std::printf("%-12.2f %-14s\n", mm2,
+                units::format_si(
+                    lib.at("interconnect").evaluate(p).total_power().si(),
+                    "W")
+                    .c_str());
+  }
+
+  std::printf("\nRent-exponent sensitivity (1 mm^2, 10k blocks):\n");
+  std::printf("%-6s %-14s\n", "p", "power");
+  for (double rent : {0.4, 0.5, 0.6, 0.7, 0.8}) {
+    model::MapParamReader p;
+    p.set("n_blocks", 1e4);
+    p.set("rent_exponent", rent);
+    p.set("active_area", 1e-6);
+    p.set("vdd", 1.5);
+    p.set("f", 10e6);
+    std::printf("%-6.1f %-14s\n", rent,
+                units::format_si(
+                    lib.at("interconnect").evaluate(p).total_power().si(),
+                    "W")
+                    .c_str());
+  }
+
+  // The intermodel flow: interconnect and clock sized from the area of
+  // the actual datapath rows, as a sheet user would do.
+  std::printf("\nSheet with area-driven wiring + clock rows "
+              "(totalarea() interaction):\n");
+  sheet::Design d("datapath_with_wires");
+  d.globals().set("vdd", 1.5);
+  d.globals().set("f", 10e6);
+  auto& mul = d.add_row("Multiplier", lib.find_shared("array_multiplier"));
+  mul.params.set("bitwidthA", 16.0);
+  mul.params.set("bitwidthB", 16.0);
+  auto& add = d.add_row("Adder", lib.find_shared("ripple_adder"));
+  add.params.set("bitwidth", 32.0);
+  auto& rf = d.add_row("RegFile", lib.find_shared("register_file"));
+  rf.params.set("words", 32.0);
+  rf.params.set("bits", 32.0);
+  auto& wires = d.add_row("Wiring", lib.find_shared("interconnect"));
+  wires.params.set("n_blocks", 3000.0);
+  wires.params.set_formula("active_area",
+                           "totalarea() - rowarea(\"Wiring\")");
+  auto& clk = d.add_row("Clock", lib.find_shared("clock_tree"));
+  clk.params.set("n_sinks", 96.0);
+  clk.params.set_formula("active_area",
+                         "totalarea() - rowarea(\"Wiring\")");
+  const auto r = d.play();
+  for (const auto& row : r.rows) {
+    std::printf("  %-12s %10s  (area %s)\n", row.name.c_str(),
+                units::format_si(row.estimate.total_power().si(), "W")
+                    .c_str(),
+                units::format_area(row.estimate.area.si()).c_str());
+  }
+  std::printf("  %-12s %10s   (%d fixed-point sweeps)\n", "TOTAL",
+              units::format_si(r.total.total_power().si(), "W").c_str(),
+              r.iterations);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// bench_memory_swing — the EQ 7 vs EQ 8 experiment: why memories must be
+// "characterized at more than one voltage level".
+//
+// A reduced-swing SRAM's true power is
+//   P = alpha * (C_full*VDD^2 + C_partial*Vswing*VDD) * f        (EQ 8)
+// while a single effective capacitance fitted at a characterization
+// voltage and scaled by VDD^2 (the plain Landman treatment) mispredicts
+// it as soon as VDD moves.  This bench sweeps VDD and reports both
+// predictions and the naive model's error — small at the
+// characterization point, growing as VDD departs from it.
+#include <cmath>
+#include <cstdio>
+
+#include "model/param.hpp"
+#include "models/berkeley_library.hpp"
+
+int main() {
+  using namespace powerplay;
+  const auto lib = models::berkeley_library();
+  const model::Model& sram = lib.at("sram");
+
+  constexpr double kWords = 4096, kBits = 16;
+  constexpr double kVswing = 0.3;       // bit-line swing [V]
+  constexpr double kFreq = 1e6;
+  constexpr double kVchar = 1.5;        // characterization voltage
+
+  auto true_power = [&](double vdd) {
+    model::MapParamReader p;
+    p.set("words", kWords);
+    p.set("bits", kBits);
+    p.set("vswing", kVswing);
+    p.set("bitline_fraction", 0.6);
+    p.set("vdd", vdd);
+    p.set("f", kFreq);
+    return sram.evaluate(p).total_power().si();
+  };
+
+  // Naive model: one effective coefficient extracted at kVchar, then
+  // P = C_eff * VDD^2 * f.
+  const double c_eff = true_power(kVchar) / (kVchar * kVchar * kFreq);
+
+  std::printf("Reduced-swing SRAM (%g x %g, Vswing = %.2f V), "
+              "characterized at %.2f V\n\n",
+              kWords, kBits, kVswing, kVchar);
+  std::printf("%-8s %-14s %-18s %-10s\n", "VDD [V]", "EQ 8 (true)",
+              "C_eff*VDD^2 (naive)", "error");
+  for (double vdd : {1.1, 1.3, 1.5, 2.0, 2.5, 3.0, 3.3}) {
+    const double truth = true_power(vdd);
+    const double naive = c_eff * vdd * vdd * kFreq;
+    std::printf("%-8.2f %-14s %-18s %+9.1f%%\n", vdd,
+                units::format_si(truth, "W").c_str(),
+                units::format_si(naive, "W").c_str(),
+                100.0 * (naive - truth) / truth);
+  }
+
+  std::printf("\nSwing sweep at VDD = 1.5 V (deeper swing reduction, "
+              "bigger savings):\n");
+  std::printf("%-10s %-14s %-10s\n", "Vswing", "power", "vs full swing");
+  model::MapParamReader base;
+  base.set("words", kWords);
+  base.set("bits", kBits);
+  base.set("vswing", 0.0);
+  base.set("vdd", 1.5);
+  base.set("f", kFreq);
+  const double full = sram.evaluate(base).total_power().si();
+  for (double vs : {0.0, 0.15, 0.3, 0.5, 0.75, 1.0, 1.5}) {
+    model::MapParamReader p;
+    p.set("words", kWords);
+    p.set("bits", kBits);
+    p.set("vswing", vs);
+    p.set("vdd", 1.5);
+    p.set("f", kFreq);
+    const double watts = sram.evaluate(p).total_power().si();
+    std::printf("%-10s %-14s %9.2fx\n",
+                vs == 0 ? "full rail"
+                        : units::format_si(vs, "V").c_str(),
+                units::format_si(watts, "W").c_str(), watts / full);
+  }
+
+  std::printf("\nOrganization sweep (EQ 7 terms) at VDD = 1.5 V, "
+              "full swing:\n");
+  std::printf("%-8s %-6s %-14s %-14s\n", "words", "bits", "C_T", "E/access");
+  for (auto [w, b] : {std::pair{256.0, 8.0}, {1024.0, 8.0}, {2048.0, 8.0},
+                      {4096.0, 6.0}, {4096.0, 16.0}, {16384.0, 32.0}}) {
+    model::MapParamReader p;
+    p.set("words", w);
+    p.set("bits", b);
+    p.set("vdd", 1.5);
+    p.set("f", 0.0);
+    const auto e = sram.evaluate(p);
+    std::printf("%-8.0f %-6.0f %-14s %-14s\n", w, b,
+                units::format_si(e.switched_capacitance.si(), "F").c_str(),
+                units::format_si(e.energy_per_op.si(), "J").c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// bench_parameter_plane — enabler #3 from the paper's introduction: "a
+// spread-sheet-like work sheet, which presents the design-under-
+// exploration and allows the study of the impact of parameter
+// variations (such as supply voltage and clock frequency)".
+//
+// Regenerates the supply-voltage x pixel-rate power plane of the VQ
+// luminance chip (Figure 3 architecture) and runs the power-budget
+// sign-off the paper says this enables: does each operating point fit a
+// 200 uW decompression budget?
+#include <cstdio>
+
+#include "models/berkeley_library.hpp"
+#include "sheet/budget.hpp"
+#include "sheet/sweep.hpp"
+#include "studies/vq.hpp"
+
+int main() {
+  using namespace powerplay;
+  const auto lib = models::berkeley_library();
+  const sheet::Design d = studies::make_luminance_impl2(lib);
+
+  const std::vector<double> vdds = {1.1, 1.3, 1.5, 2.0, 2.5, 3.3};
+  const std::vector<double> rates = {1e6, 2e6, 4e6, 8e6};
+
+  const auto grid = sheet::sweep_grid(d, "vdd", vdds, "pixel_rate", rates);
+  std::printf("Luminance_2 total power: supply voltage x pixel rate\n\n");
+  std::printf("%-8s", "vdd\\rate");
+  for (double r : rates) {
+    std::printf(" %-12s", units::format_si(r, "Hz").c_str());
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < vdds.size(); ++i) {
+    std::printf("%-8.2f", vdds[i]);
+    for (std::size_t j = 0; j < rates.size(); ++j) {
+      std::printf(" %-12s",
+                  units::format_si(
+                      grid.results[i][j].total.total_power().si(), "W")
+                      .c_str());
+    }
+    std::printf("\n");
+  }
+
+  // Power budgeting: which operating points fit a 200 uW allowance for
+  // the decompression subsystem?
+  std::printf("\nBudget sign-off at 200 uW (the early budgeting the "
+              "paper enables):\n");
+  std::printf("%-8s", "vdd\\rate");
+  for (double r : rates) {
+    std::printf(" %-12s", units::format_si(r, "Hz").c_str());
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < vdds.size(); ++i) {
+    std::printf("%-8.2f", vdds[i]);
+    for (std::size_t j = 0; j < rates.size(); ++j) {
+      const auto report = sheet::check_budget(grid.results[i][j], {},
+                                              units::Power{200e-6});
+      std::printf(" %-12s", report.pass() ? "fits" : "OVER");
+    }
+    std::printf("\n");
+  }
+
+  // Per-module budget at the paper's operating point.
+  std::printf("\nPer-module sign-off at vdd = 1.5 V, 2 MHz (LUT gets the "
+              "lion's share):\n");
+  const auto r = d.play();
+  const auto report = sheet::check_budget(
+      r, {{"Look Up Table", units::Power{130e-6}},
+          {"Read Bank", units::Power{30e-6}},
+          {"Write Bank", units::Power{15e-6}},
+          {"Word Mux", units::Power{5e-6}}},
+      units::Power{200e-6});
+  std::printf("%s", sheet::budget_table(report).c_str());
+  return 0;
+}

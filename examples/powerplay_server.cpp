@@ -1,0 +1,71 @@
+// powerplay_server — run the PowerPlay WWW application.
+//
+//   $ ./powerplay_server [port] [data-dir]
+//
+// Then point any browser (or curl) at it:
+//
+//   curl 'http://127.0.0.1:8080/'                      # identify yourself
+//   curl 'http://127.0.0.1:8080/menu?user=you'
+//   curl 'http://127.0.0.1:8080/library?user=you'
+//   curl 'http://127.0.0.1:8080/model?user=you&name=array_multiplier&p_bitwidthA=16&p_bitwidthB=16&p_vdd=1.5&p_f=2000000&p_correlated=0&p_alpha=1'
+//   curl 'http://127.0.0.1:8080/api/models'            # remote-access API
+//
+// The data directory persists users, designs and user-defined models
+// between runs, and the two reference designs (Luminance_2, the full
+// InfoPad terminal) are pre-loaded so their spreadsheets are one click
+// away, hyperlinked drill-down included.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+
+#include "library/store.hpp"
+#include "models/berkeley_library.hpp"
+#include "studies/infopad.hpp"
+#include "studies/vq.hpp"
+#include "web/app.hpp"
+#include "web/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace powerplay;
+  const std::uint16_t port =
+      argc > 1 ? static_cast<std::uint16_t>(std::atoi(argv[1])) : 8080;
+  const std::string data_dir = argc > 2 ? argv[2] : "powerplay_data";
+
+  web::PowerPlayApp app{library::LibraryStore(data_dir)};
+
+  // Pre-load the paper's reference designs for browsing.
+  const auto& lib = app.registry();
+  if (!app.store().has_design("Luminance_1")) {
+    app.store().save_design(studies::make_luminance_impl1(lib));
+  }
+  if (!app.store().has_design("InfoPad_System")) {
+    app.store().save_design(studies::make_infopad(lib));
+  }
+
+  web::HttpServer server(port, [&](const web::Request& r) {
+    return app.handle(r);
+  });
+  server.start();
+  std::printf("PowerPlay serving on http://127.0.0.1:%u/ (data in %s)\n",
+              server.port(), data_dir.c_str());
+  std::printf("Pre-loaded designs: Luminance_1, Luminance_2, "
+              "Custom_Chipset, InfoPad_System\n");
+  std::printf("Ctrl-C to stop.\n");
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (!g_stop) {
+    ::pause();
+  }
+  server.stop();
+  std::printf("\n%llu requests served.\n",
+              static_cast<unsigned long long>(server.requests_served()));
+  return 0;
+}

@@ -1,0 +1,25 @@
+// ppcli — interactive PowerPlay shell over a shared on-disk library.
+//
+//   $ ./ppcli [data-dir]
+//   powerplay> new my_chip
+//   powerplay> global vdd 1.5
+//   powerplay> global f 2e6
+//   powerplay> add LUT sram
+//   powerplay> set LUT words 4096
+//   powerplay> play
+//   powerplay> save
+//
+// Uses the same store layout as powerplay_server, so sheets edited here
+// appear in the web UI and vice versa.
+#include <iostream>
+
+#include "cli/repl.hpp"
+
+int main(int argc, char** argv) {
+  using namespace powerplay;
+  const std::string data_dir = argc > 1 ? argv[1] : "powerplay_data";
+  return cli::run_repl(std::cin, std::cout,
+                       library::LibraryStore(data_dir)) == 0
+             ? 0
+             : 1;
+}

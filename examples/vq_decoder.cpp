@@ -1,0 +1,88 @@
+// vq_decoder — the paper's design-example walkthrough: compare the two
+// architectures of the VQ luminance decompression chip (Figures 1 and
+// 3), drill into the winning design, and explore the design space the
+// way the paper's user would.
+//
+//   $ ./vq_decoder
+#include <cstdio>
+
+#include "models/berkeley_library.hpp"
+#include "sheet/report.hpp"
+#include "sheet/sweep.hpp"
+#include "studies/vq.hpp"
+
+int main() {
+  using namespace powerplay;
+  const auto lib = models::berkeley_library();
+
+  const sheet::Design impl1 = studies::make_luminance_impl1(lib);
+  const sheet::Design impl2 = studies::make_luminance_impl2(lib);
+  const auto r1 = impl1.play();
+  const auto r2 = impl2.play();
+
+  std::printf("VQ luminance decompression — architectural comparison\n\n");
+  std::printf("%s\n", sheet::to_table(r1).c_str());
+  std::printf("%s\n", sheet::to_table(r2).c_str());
+
+  const double p1 = r1.total.total_power().si();
+  const double p2 = r2.total.total_power().si();
+  std::printf("Grouped-LUT architecture wins by %.1fx (%s vs %s).\n\n",
+              p1 / p2, units::format_si(p2, "W").c_str(),
+              units::format_si(p1, "W").c_str());
+
+  // Where did the savings come from?  Per-module EQ 1 breakdown.
+  std::printf("Winning design, term by term:\n");
+  for (const auto& row : r2.rows) {
+    std::printf("%s", sheet::to_breakdown(row).c_str());
+  }
+
+  // Design-space exploration: group size is the architectural knob —
+  // each doubling fetches twice the bits per access at half the rate
+  // and widens the mux.  (Group 1 degenerates to the Figure 1 design.)
+  std::printf("\nGroup-size exploration (words fetched per LUT access):\n");
+  std::printf("%-7s %-10s %-10s %-12s\n", "group", "LUT org", "mux",
+              "total power");
+  for (int group : {1, 2, 4, 8, 16}) {
+    sheet::Design d("group_sweep");
+    d.globals().set("vdd", studies::kSupplyVolts);
+    d.globals().set("pixel_rate", studies::kPixelRateHz);
+
+    auto& read = d.add_row("Read Bank", lib.find_shared("sram"));
+    read.params.set("words", 2048.0);
+    read.params.set("bits", 8.0);
+    read.params.set_formula("f", "pixel_rate/16");
+    auto& write = d.add_row("Write Bank", lib.find_shared("sram"));
+    write.params.set("words", 2048.0);
+    write.params.set("bits", 8.0);
+    write.params.set_formula("f", "pixel_rate/32");
+
+    auto& lut = d.add_row("LUT", lib.find_shared("sram"));
+    lut.params.set("words", 4096.0 / group);
+    lut.params.set("bits", 6.0 * group);
+    lut.params.set_formula("f",
+                           "pixel_rate/" + std::to_string(group));
+    if (group > 1) {
+      auto& hold = d.add_row("Hold Register", lib.find_shared("register"));
+      hold.params.set("bits", 6.0 * group);
+      hold.params.set_formula("f", "pixel_rate/" + std::to_string(group));
+      auto& mux = d.add_row("Word Mux", lib.find_shared("multiplexer"));
+      mux.params.set("bits", 6.0);
+      mux.params.set("inputs", static_cast<double>(group));
+      mux.params.set_formula("f", "pixel_rate");
+    }
+    auto& reg = d.add_row("Output Register", lib.find_shared("register"));
+    reg.params.set("bits", 6.0);
+    reg.params.set_formula("f", "pixel_rate");
+
+    const auto r = d.play();
+    char org[32];
+    std::snprintf(org, sizeof org, "%dx%d", 4096 / group, 6 * group);
+    std::printf("%-7d %-10s %-10s %-12s\n", group, org,
+                group > 1 ? (std::to_string(group) + ":1").c_str() : "-",
+                units::format_si(r.total.total_power().si(), "W").c_str());
+  }
+  std::printf("\n(The paper's chip used group = 4; the sweep shows the "
+              "knee, where mux + wide-register overhead starts paying "
+              "back less.)\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+#include "cachesim/cache.hpp"
+
+#include <sstream>
+
+namespace powerplay::cachesim {
+
+namespace {
+
+bool is_pow2(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+void CacheConfig::validate() const {
+  if (!is_pow2(size_bytes)) {
+    throw std::invalid_argument("cache size must be a power of two");
+  }
+  if (!is_pow2(block_bytes)) {
+    throw std::invalid_argument("block size must be a power of two");
+  }
+  if (block_bytes > size_bytes) {
+    throw std::invalid_argument("block larger than cache");
+  }
+  const std::uint32_t w = ways();
+  if (w == 0 || size_bytes % (block_bytes * w) != 0) {
+    throw std::invalid_argument("size not divisible by block*ways");
+  }
+  if (!is_pow2(num_sets())) {
+    throw std::invalid_argument("set count must be a power of two");
+  }
+}
+
+std::uint32_t CacheConfig::ways() const {
+  if (associativity == 0) return size_bytes / block_bytes;  // fully assoc.
+  return associativity;
+}
+
+std::uint32_t CacheConfig::num_sets() const {
+  return size_bytes / (block_bytes * ways());
+}
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  config_.validate();
+  sets_ = config_.num_sets();
+  ways_ = config_.ways();
+  lines_.assign(static_cast<std::size_t>(sets_) * ways_, Line{});
+}
+
+bool Cache::access(std::uint64_t byte_address, bool is_write) {
+  if (is_write) {
+    ++stats_.writes;
+  } else {
+    ++stats_.reads;
+  }
+  const std::uint64_t block = byte_address / config_.block_bytes;
+  const std::uint32_t set = static_cast<std::uint32_t>(block % sets_);
+  const std::uint64_t tag = block / sets_;
+  Line* base = &lines_[static_cast<std::size_t>(set) * ways_];
+  ++tick_;
+
+  // Hit?
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = tick_;
+      if (is_write) {
+        if (config_.write_back) {
+          line.dirty = true;
+        } else {
+          ++stats_.memory_writes;  // write-through
+        }
+      }
+      return true;
+    }
+  }
+
+  // Miss.
+  if (is_write) {
+    ++stats_.write_misses;
+    if (!config_.write_allocate) {
+      ++stats_.memory_writes;  // write around
+      return false;
+    }
+  } else {
+    ++stats_.read_misses;
+  }
+
+  // Choose victim: first invalid way, else LRU.
+  Line* victim = &base[0];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Line& line = base[w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (line.lru < victim->lru) victim = &line;
+  }
+  if (victim->valid && victim->dirty) {
+    ++stats_.writebacks;
+    ++stats_.memory_writes;
+  }
+  ++stats_.memory_reads;  // block fill
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  victim->dirty = false;
+  if (is_write) {
+    if (config_.write_back) {
+      victim->dirty = true;
+    } else {
+      ++stats_.memory_writes;
+    }
+  }
+  return false;
+}
+
+void Cache::flush() {
+  for (Line& line : lines_) {
+    if (line.valid && line.dirty) {
+      ++stats_.writebacks;
+      ++stats_.memory_writes;
+    }
+    line = Line{};
+  }
+}
+
+std::string to_string(const CacheStats& stats) {
+  std::ostringstream os;
+  os << "accesses      " << stats.accesses() << '\n'
+     << "reads         " << stats.reads << '\n'
+     << "writes        " << stats.writes << '\n'
+     << "read misses   " << stats.read_misses << '\n'
+     << "write misses  " << stats.write_misses << '\n'
+     << "miss rate     " << stats.miss_rate() << '\n'
+     << "writebacks    " << stats.writebacks << '\n'
+     << "memory reads  " << stats.memory_reads << '\n'
+     << "memory writes " << stats.memory_writes << '\n';
+  return os.str();
+}
+
+}  // namespace powerplay::cachesim

@@ -1,0 +1,86 @@
+// cache.hpp — Dinero-style trace-driven cache simulator.
+//
+// The paper: "More detailed information can be obtained by using a coded
+// algorithm and profilers (e.g. SPIX, Pixie) and cache simulators
+// (e.g. Dinero)."  This is that cache simulator: a set-associative,
+// LRU, write-back/write-through cache driven by the memory trace the
+// ISA machine emits.  Its miss counts feed the `n_misses` parameter of
+// the EQ 12 processor model, and its per-access/per-miss energies can be
+// derived from the SRAM/DRAM models, closing the loop between substrates.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace powerplay::cachesim {
+
+struct CacheConfig {
+  std::uint32_t size_bytes = 1024;
+  std::uint32_t block_bytes = 16;
+  std::uint32_t associativity = 2;   ///< ways; 0 = fully associative
+  bool write_back = true;            ///< false = write-through
+  bool write_allocate = true;
+
+  /// Throws std::invalid_argument unless sizes are powers of two and
+  /// consistent (size divisible by block*ways, at least one set).
+  void validate() const;
+
+  [[nodiscard]] std::uint32_t ways() const;
+  [[nodiscard]] std::uint32_t num_sets() const;
+};
+
+struct CacheStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t write_misses = 0;
+  std::uint64_t writebacks = 0;        ///< dirty evictions to memory
+  std::uint64_t memory_reads = 0;      ///< block fills from memory
+  std::uint64_t memory_writes = 0;     ///< write-throughs + writebacks
+
+  [[nodiscard]] std::uint64_t accesses() const { return reads + writes; }
+  [[nodiscard]] std::uint64_t misses() const {
+    return read_misses + write_misses;
+  }
+  [[nodiscard]] double miss_rate() const {
+    return accesses() == 0 ? 0.0
+                           : static_cast<double>(misses()) / accesses();
+  }
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  /// Simulate one access at a *byte* address.  Returns true on hit.
+  bool access(std::uint64_t byte_address, bool is_write);
+
+  /// Flush all dirty lines (counts writebacks).  Valid bits cleared.
+  void flush();
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;   ///< last-use stamp; smaller = older
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  CacheConfig config_;
+  std::uint32_t sets_;
+  std::uint32_t ways_;
+  std::vector<Line> lines_;  ///< sets_ x ways_, row-major
+  std::uint64_t tick_ = 0;
+  CacheStats stats_;
+};
+
+/// Render stats in Dinero's spirit: one metric per line.
+std::string to_string(const CacheStats& stats);
+
+}  // namespace powerplay::cachesim

@@ -1,0 +1,45 @@
+#include "cachesim/energy.hpp"
+
+#include "model/param.hpp"
+
+namespace powerplay::cachesim {
+
+using namespace units;
+
+MemoryEnergyModel derive_memory_energy(const model::ModelRegistry& lib,
+                                       const CacheConfig& config,
+                                       double vdd) {
+  MemoryEnergyModel out;
+  {
+    model::MapParamReader p;
+    p.set("words", config.size_bytes / 4.0);
+    p.set("bits", 32.0);
+    p.set("vdd", vdd);
+    p.set("f", 0.0);
+    out.cache_access = lib.at("sram").evaluate(p).energy_per_op;
+  }
+  {
+    model::MapParamReader p;
+    p.set("words", 262144.0);  // 1 MB main memory
+    p.set("bits", 32.0);
+    p.set("vdd", vdd);
+    p.set("f", 0.0);
+    // One event per transferred word of the block.
+    const Energy per_word = lib.at("dram").evaluate(p).energy_per_op;
+    out.memory_access = per_word * (config.block_bytes / 4.0);
+  }
+  return out;
+}
+
+Energy memory_energy(const CacheStats& stats,
+                     const MemoryEnergyModel& energy) {
+  return energy.cache_access * static_cast<double>(stats.accesses()) +
+         energy.memory_access *
+             static_cast<double>(stats.memory_reads + stats.memory_writes);
+}
+
+Energy per_miss_energy(const MemoryEnergyModel& energy) {
+  return energy.memory_access;
+}
+
+}  // namespace powerplay::cachesim

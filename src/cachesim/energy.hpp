@@ -1,0 +1,34 @@
+// energy.hpp — deriving memory-system energy from the model library.
+//
+// The refinement the paper sketches: the cache simulator supplies event
+// counts, and the *same* characterized SRAM/DRAM models that power the
+// spreadsheet supply the energy per event.  E_mem = accesses * E_cache +
+// (fills + memory writes) * E_dram.
+#pragma once
+
+#include "cachesim/cache.hpp"
+#include "model/registry.hpp"
+#include "units/units.hpp"
+
+namespace powerplay::cachesim {
+
+struct MemoryEnergyModel {
+  units::Energy cache_access;   ///< per L1 access (hit or miss probe)
+  units::Energy memory_access;  ///< per main-memory block transfer
+};
+
+/// Derive per-event energies from the library's "sram" (sized to the
+/// cache organization: size_bytes/4 words of 32 bits) and "dram" models
+/// at the given supply voltage.
+MemoryEnergyModel derive_memory_energy(const model::ModelRegistry& lib,
+                                       const CacheConfig& config,
+                                       double vdd);
+
+/// Total memory-system energy for a trace's stats.
+units::Energy memory_energy(const CacheStats& stats,
+                            const MemoryEnergyModel& energy);
+
+/// Energy per miss as consumed by the EQ 12 model's e_miss parameter.
+units::Energy per_miss_energy(const MemoryEnergyModel& energy);
+
+}  // namespace powerplay::cachesim

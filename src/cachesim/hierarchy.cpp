@@ -1,0 +1,100 @@
+#include "cachesim/hierarchy.hpp"
+
+#include <stdexcept>
+
+namespace powerplay::cachesim {
+
+CacheHierarchy::CacheHierarchy(std::vector<CacheConfig> levels) {
+  if (levels.empty()) {
+    throw std::invalid_argument("hierarchy needs at least one level");
+  }
+  caches_.reserve(levels.size());
+  for (const CacheConfig& c : levels) caches_.emplace_back(c);
+}
+
+const CacheStats& CacheHierarchy::stats(std::size_t level) const {
+  if (level >= caches_.size()) {
+    throw std::out_of_range("cache level out of range");
+  }
+  return caches_[level].stats();
+}
+
+const CacheConfig& CacheHierarchy::config(std::size_t level) const {
+  if (level >= caches_.size()) {
+    throw std::out_of_range("cache level out of range");
+  }
+  return caches_[level].config();
+}
+
+int CacheHierarchy::access(std::uint64_t byte_address, bool is_write) {
+  struct Event {
+    std::uint64_t addr;
+    bool write;
+    bool demand;  ///< the original CPU access (determines the hit level)
+  };
+  std::vector<Event> pending = {{byte_address, is_write, true}};
+  int hit_level = static_cast<int>(caches_.size());
+
+  for (std::size_t i = 0; i < caches_.size(); ++i) {
+    std::vector<Event> next;
+    for (const Event& ev : pending) {
+      const CacheStats before = caches_[i].stats();
+      const bool hit = caches_[i].access(ev.addr, ev.write);
+      if (ev.demand && hit &&
+          hit_level == static_cast<int>(caches_.size())) {
+        hit_level = static_cast<int>(i);
+      }
+      const CacheStats& after = caches_[i].stats();
+      // Each new memory-side event of this level becomes an access to
+      // the next.  Block fills keep the faulting address; writebacks
+      // approximate the victim with the same address (its set history
+      // is unknowable from here — Dinero's -skipcount-style shortcut).
+      for (std::uint64_t n = before.memory_reads; n < after.memory_reads;
+           ++n) {
+        next.push_back({ev.addr, false, ev.demand && !hit});
+      }
+      for (std::uint64_t n = before.memory_writes; n < after.memory_writes;
+           ++n) {
+        next.push_back({ev.addr, true, false});
+      }
+    }
+    pending = std::move(next);
+    if (pending.empty()) break;
+  }
+  memory_accesses_ += pending.size();
+  return hit_level;
+}
+
+void CacheHierarchy::flush() {
+  // Victim addresses are not visible at flush time, so cascaded flush
+  // traffic is accounted, not re-simulated: every level flushes its own
+  // dirty lines and the final level's writebacks count as memory
+  // accesses.
+  for (std::size_t i = 0; i < caches_.size(); ++i) {
+    const CacheStats before = caches_[i].stats();
+    caches_[i].flush();
+    if (i + 1 == caches_.size()) {
+      memory_accesses_ +=
+          caches_[i].stats().memory_writes - before.memory_writes;
+    }
+  }
+}
+
+units::Energy hierarchy_energy(const CacheHierarchy& hierarchy,
+                               const model::ModelRegistry& lib, double vdd) {
+  units::Energy total{0};
+  for (std::size_t i = 0; i < hierarchy.levels(); ++i) {
+    const MemoryEnergyModel level_energy =
+        derive_memory_energy(lib, hierarchy.config(i), vdd);
+    total += level_energy.cache_access *
+             static_cast<double>(hierarchy.stats(i).accesses());
+  }
+  // Main-memory traffic priced as block transfers of the last level.
+  const MemoryEnergyModel last = derive_memory_energy(
+      lib, hierarchy.config(hierarchy.levels() - 1), vdd);
+  total += last.memory_access *
+           static_cast<double>(hierarchy.memory_accesses());
+  return total;
+}
+
+}  // namespace powerplay::cachesim

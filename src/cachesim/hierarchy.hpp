@@ -1,0 +1,51 @@
+// hierarchy.hpp — multi-level cache hierarchy, Dinero style.
+//
+// Dinero simulates L1/L2 chains; so do we: an access probes L1, and
+// only L1's memory-side traffic (fills, writebacks, write-throughs)
+// reaches L2, whose own memory-side traffic reaches main memory.  The
+// energy bridge prices each level with the library's SRAM model and the
+// final memory with the DRAM model, extending the single-level flow in
+// cachesim/energy.hpp.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cachesim/cache.hpp"
+#include "cachesim/energy.hpp"
+
+namespace powerplay::cachesim {
+
+class CacheHierarchy {
+ public:
+  /// Levels ordered L1 first.  At least one level required.
+  explicit CacheHierarchy(std::vector<CacheConfig> levels);
+
+  /// Simulate one access at a byte address; returns the level that hit
+  /// (0 = L1, 1 = L2, ...) or the level count for main memory.
+  int access(std::uint64_t byte_address, bool is_write);
+
+  /// Write back all dirty lines, cascading down the hierarchy.
+  void flush();
+
+  [[nodiscard]] std::size_t levels() const { return caches_.size(); }
+  [[nodiscard]] const CacheStats& stats(std::size_t level) const;
+  [[nodiscard]] const CacheConfig& config(std::size_t level) const;
+
+  /// Accesses that fell through every level to main memory.
+  [[nodiscard]] std::uint64_t memory_accesses() const {
+    return memory_accesses_;
+  }
+
+ private:
+  std::vector<Cache> caches_;
+  std::uint64_t memory_accesses_ = 0;
+};
+
+/// Per-level + main-memory energy for a hierarchy's recorded stats:
+/// each level priced by the library "sram" sized to that level, final
+/// traffic priced by the "dram" model.
+units::Energy hierarchy_energy(const CacheHierarchy& hierarchy,
+                               const model::ModelRegistry& lib, double vdd);
+
+}  // namespace powerplay::cachesim

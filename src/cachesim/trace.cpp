@@ -1,0 +1,55 @@
+#include "cachesim/trace.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace powerplay::cachesim {
+
+void write_din(std::ostream& out, const TraceRecord& record) {
+  out << static_cast<int>(record.kind) << ' ' << std::hex
+      << record.byte_address << std::dec << '\n';
+}
+
+std::vector<TraceRecord> read_din(std::istream& in) {
+  std::vector<TraceRecord> out;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and whitespace-only lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream is(line);
+    int label;
+    if (!(is >> label)) continue;  // blank
+    std::string addr_text;
+    if (!(is >> addr_text) || label < 0 || label > 2) {
+      throw std::invalid_argument("din trace line " +
+                                  std::to_string(line_no) + ": malformed");
+    }
+    TraceRecord rec;
+    try {
+      std::size_t pos = 0;
+      rec.byte_address = std::stoull(addr_text, &pos, 16);
+      if (pos != addr_text.size()) throw std::invalid_argument(addr_text);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("din trace line " +
+                                  std::to_string(line_no) +
+                                  ": bad address '" + addr_text + "'");
+    }
+    rec.kind = static_cast<TraceRecord::Kind>(label);
+    out.push_back(rec);
+  }
+  return out;
+}
+
+std::size_t replay(const std::vector<TraceRecord>& trace, Cache& cache) {
+  for (const TraceRecord& rec : trace) {
+    cache.access(rec.byte_address, rec.kind == TraceRecord::Kind::kWrite);
+  }
+  return trace.size();
+}
+
+}  // namespace powerplay::cachesim

@@ -1,0 +1,39 @@
+// trace.hpp — Dinero-style trace files.
+//
+// Dinero III's "din" input format is one access per line:
+//
+//   <label> <hex address>
+//
+// with label 0 = data read, 1 = data write, 2 = instruction fetch.
+// Reading and writing this format lets traces captured from the ISA
+// machine be archived, inspected, or replayed through differently
+// configured caches — the batch workflow the original tool had.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "cachesim/cache.hpp"
+
+namespace powerplay::cachesim {
+
+struct TraceRecord {
+  std::uint64_t byte_address = 0;
+  enum class Kind : std::uint8_t { kRead = 0, kWrite = 1, kFetch = 2 } kind =
+      Kind::kRead;
+};
+
+/// Append one record in din format ("1 3fc0\n").
+void write_din(std::ostream& out, const TraceRecord& record);
+
+/// Parse a whole din stream.  Blank lines and '#' comments are skipped;
+/// malformed lines throw std::invalid_argument with the line number.
+std::vector<TraceRecord> read_din(std::istream& in);
+
+/// Replay a trace through a cache (fetches count as reads).
+/// Returns the number of records applied.
+std::size_t replay(const std::vector<TraceRecord>& trace, Cache& cache);
+
+}  // namespace powerplay::cachesim

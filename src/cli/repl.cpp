@@ -1,0 +1,217 @@
+#include "cli/repl.hpp"
+
+#include <optional>
+#include <sstream>
+
+#include "models/berkeley_library.hpp"
+#include "sheet/report.hpp"
+#include "sheet/sweep.hpp"
+
+namespace powerplay::cli {
+
+namespace {
+
+constexpr const char* kHelp = R"(commands:
+  library [category]             list models
+  doc <model>                    model documentation + parameters
+  new <design>                   start a fresh design sheet
+  open <design>                  load a stored design
+  save                           persist the current design
+  global <name> <value|expr>     set a design global
+  add <row> <model>              append a model instance row
+  addmacro <row> <design>        append a stored design as a macro
+  set <row> <param> <value|expr> set a row parameter
+  enable <row> / disable <row>   include/exclude a row from Play
+  play                           recompute and print the spreadsheet
+  csv                            print the spreadsheet as CSV
+  sweep <global> <from> <to> <n> linear what-if sweep
+  designs                        list stored designs
+  quit                           exit
+)";
+
+/// Bind `text` as a literal when it parses as a number, else a formula.
+void bind_value(expr::Scope& scope, const std::string& name,
+          const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos == text.size()) {
+      scope.set(name, v);
+      return;
+    }
+  } catch (const std::exception&) {
+    // fall through to formula binding
+  }
+  scope.set_formula(name, text);
+}
+
+class Session {
+ public:
+  Session(std::ostream& out, library::LibraryStore store)
+      : out_(out), store_(std::move(store)) {
+    models::add_berkeley_models(registry_);
+    store_.load_all_models(registry_);
+  }
+
+  /// Returns false when the session should end.
+  bool dispatch(const std::string& line, int& failures) {
+    std::istringstream is(line);
+    std::string cmd;
+    is >> cmd;
+    if (cmd.empty() || cmd[0] == '#') return true;
+    try {
+      if (cmd == "quit" || cmd == "exit") return false;
+      if (cmd == "help") {
+        out_ << kHelp;
+      } else if (cmd == "library") {
+        cmd_library(is);
+      } else if (cmd == "doc") {
+        cmd_doc(is);
+      } else if (cmd == "new") {
+        design_.emplace(take(is, "design name"));
+      } else if (cmd == "open") {
+        design_.emplace(
+            *store_.load_design(take(is, "design name"), registry_));
+      } else if (cmd == "save") {
+        store_.save_design(current());
+        out_ << "saved '" << current().name() << "'\n";
+      } else if (cmd == "global") {
+        const std::string name = take(is, "global name");
+        bind_value(current().globals(), name, rest(is, "value"));
+      } else if (cmd == "add") {
+        const std::string row = take(is, "row name");
+        const std::string model = take(is, "model name");
+        current().add_row(row, registry_.find_shared(model) != nullptr
+                                   ? registry_.find_shared(model)
+                                   : throw expr::ExprError(
+                                         "unknown model '" + model + "'"));
+      } else if (cmd == "addmacro") {
+        const std::string row = take(is, "row name");
+        const std::string name = take(is, "design name");
+        current().add_macro(row, store_.load_design(name, registry_));
+      } else if (cmd == "set") {
+        const std::string row_name = take(is, "row name");
+        const std::string param = take(is, "parameter");
+        sheet::Row* row = current().find_row(row_name);
+        if (row == nullptr) {
+          throw expr::ExprError("no row named '" + row_name + "'");
+        }
+        bind_value(row->params, param, rest(is, "value"));
+      } else if (cmd == "enable" || cmd == "disable") {
+        const std::string row_name = take(is, "row name");
+        sheet::Row* row = current().find_row(row_name);
+        if (row == nullptr) {
+          throw expr::ExprError("no row named '" + row_name + "'");
+        }
+        row->enabled = (cmd == "enable");
+      } else if (cmd == "play") {
+        out_ << sheet::to_table(current().play());
+      } else if (cmd == "csv") {
+        out_ << sheet::to_csv(current().play());
+      } else if (cmd == "sweep") {
+        const std::string name = take(is, "global name");
+        const double from = number(is, "from");
+        const double to = number(is, "to");
+        const int points = static_cast<int>(number(is, "points"));
+        out_ << sheet::sweep_table(
+            name, sheet::sweep_global(current(), name,
+                                      sheet::linspace(from, to, points)));
+      } else if (cmd == "designs") {
+        for (const std::string& d : store_.list_designs()) {
+          out_ << d << '\n';
+        }
+      } else {
+        throw expr::ExprError("unknown command '" + cmd +
+                              "' (try 'help')");
+      }
+    } catch (const std::exception& e) {
+      out_ << "error: " << e.what() << '\n';
+      ++failures;
+    }
+    return true;
+  }
+
+ private:
+  sheet::Design& current() {
+    if (!design_) {
+      throw expr::ExprError("no open design (use 'new' or 'open')");
+    }
+    return *design_;
+  }
+
+  static std::string take(std::istringstream& is, const char* what) {
+    std::string out;
+    if (!(is >> out)) {
+      throw expr::ExprError(std::string("missing ") + what);
+    }
+    return out;
+  }
+
+  static double number(std::istringstream& is, const char* what) {
+    const std::string text = take(is, what);
+    try {
+      return std::stod(text);
+    } catch (const std::exception&) {
+      throw expr::ExprError(std::string("bad number for ") + what + ": '" +
+                            text + "'");
+    }
+  }
+
+  /// Remainder of the line (trimmed) — lets formulas contain spaces.
+  static std::string rest(std::istringstream& is, const char* what) {
+    std::string out;
+    std::getline(is, out);
+    const auto begin = out.find_first_not_of(" \t");
+    if (begin == std::string::npos) {
+      throw expr::ExprError(std::string("missing ") + what);
+    }
+    return out.substr(begin);
+  }
+
+  void cmd_library(std::istringstream& is) {
+    std::string category;
+    is >> category;
+    for (const std::string& name : registry_.names()) {
+      const model::Model& m = registry_.at(name);
+      if (!category.empty() &&
+          model::to_string(m.category()) != category) {
+        continue;
+      }
+      out_ << name << "  [" << model::to_string(m.category()) << "]\n";
+    }
+  }
+
+  void cmd_doc(std::istringstream& is) {
+    const model::Model& m = registry_.at(take(is, "model name"));
+    out_ << m.name() << " [" << model::to_string(m.category()) << "]\n"
+         << m.documentation() << "\nparameters:\n";
+    for (const model::ParamSpec& s : m.params()) {
+      out_ << "  " << s.name << " = " << s.default_value;
+      if (!s.unit.empty()) out_ << " [" << s.unit << "]";
+      if (!s.description.empty()) out_ << "  -- " << s.description;
+      out_ << '\n';
+    }
+  }
+
+  std::ostream& out_;
+  library::LibraryStore store_;
+  model::ModelRegistry registry_;
+  std::optional<sheet::Design> design_;
+};
+
+}  // namespace
+
+int run_repl(std::istream& in, std::ostream& out, library::LibraryStore store,
+             const ReplOptions& options) {
+  Session session(out, std::move(store));
+  int failures = 0;
+  std::string line;
+  if (options.echo_prompt) out << "powerplay> " << std::flush;
+  while (std::getline(in, line)) {
+    if (!session.dispatch(line, failures)) break;
+    if (options.echo_prompt) out << "powerplay> " << std::flush;
+  }
+  return failures;
+}
+
+}  // namespace powerplay::cli

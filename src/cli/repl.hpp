@@ -1,0 +1,41 @@
+// repl.hpp — a line-oriented command interpreter over the PowerPlay
+// library: the "no browser at hand" front end.  Same store and model
+// registry as the web application, so designs edited here show up there
+// and vice versa.
+//
+// Commands (one per line, '#' comments):
+//   help                          — list commands
+//   library [category]            — list models (optionally one category)
+//   doc <model>                   — model documentation + parameters
+//   new <design>                  — start a fresh design sheet
+//   open <design>                 — load a stored design
+//   save                          — persist the current design
+//   global <name> <value|expr>    — set a design global
+//   add <row> <model>             — append a model instance row
+//   addmacro <row> <design>       — append a stored design as a macro
+//   set <row> <param> <value|expr>— set a row parameter
+//   play                          — recompute and print the spreadsheet
+//   csv                           — print the spreadsheet as CSV
+//   sweep <global> <from> <to> <n>— linear what-if sweep
+//   designs                       — list stored designs
+//   quit                          — exit
+#pragma once
+
+#include <istream>
+#include <ostream>
+
+#include "library/store.hpp"
+
+namespace powerplay::cli {
+
+struct ReplOptions {
+  bool echo_prompt = true;  ///< print "powerplay> " prompts (off in tests)
+};
+
+/// Run the interpreter until EOF or `quit`.  Returns the number of
+/// commands that failed (0 = clean session); command errors are printed
+/// to `out` and do not abort the session.
+int run_repl(std::istream& in, std::ostream& out, library::LibraryStore store,
+             const ReplOptions& options = {});
+
+}  // namespace powerplay::cli

@@ -1,0 +1,181 @@
+#include "expr/ast.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+
+namespace powerplay::expr {
+
+namespace {
+
+void walk(const Expr& e, const std::function<void(const Expr&)>& visit) {
+  visit(e);
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, UnaryNode>) {
+          walk(*node.operand, visit);
+        } else if constexpr (std::is_same_v<T, BinaryNode>) {
+          walk(*node.lhs, visit);
+          walk(*node.rhs, visit);
+        } else if constexpr (std::is_same_v<T, ConditionalNode>) {
+          walk(*node.condition, visit);
+          walk(*node.then_branch, visit);
+          walk(*node.else_branch, visit);
+        } else if constexpr (std::is_same_v<T, CallNode>) {
+          for (const ExprPtr& arg : node.args) walk(*arg, visit);
+        }
+      },
+      e.node);
+}
+
+void push_unique(std::vector<std::string>& out, const std::string& name) {
+  if (std::find(out.begin(), out.end(), name) == out.end()) {
+    out.push_back(name);
+  }
+}
+
+int precedence(BinOp op) {
+  switch (op) {
+    case BinOp::kOr: return 1;
+    case BinOp::kAnd: return 2;
+    case BinOp::kLess:
+    case BinOp::kLessEq:
+    case BinOp::kGreater:
+    case BinOp::kGreaterEq:
+    case BinOp::kEqual:
+    case BinOp::kNotEqual: return 3;
+    case BinOp::kAdd:
+    case BinOp::kSub: return 4;
+    case BinOp::kMul:
+    case BinOp::kDiv:
+    case BinOp::kMod: return 5;
+    case BinOp::kPow: return 7;
+  }
+  return 0;
+}
+
+const char* op_text(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return " + ";
+    case BinOp::kSub: return " - ";
+    case BinOp::kMul: return " * ";
+    case BinOp::kDiv: return " / ";
+    case BinOp::kMod: return " % ";
+    case BinOp::kPow: return "^";
+    case BinOp::kLess: return " < ";
+    case BinOp::kLessEq: return " <= ";
+    case BinOp::kGreater: return " > ";
+    case BinOp::kGreaterEq: return " >= ";
+    case BinOp::kEqual: return " == ";
+    case BinOp::kNotEqual: return " != ";
+    case BinOp::kAnd: return " && ";
+    case BinOp::kOr: return " || ";
+  }
+  return "?";
+}
+
+std::string format_number(double v) {
+  // Shortest round-trippable-ish representation for display.
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  std::string full = buf;
+  for (int prec = 1; prec <= 16; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) return buf;
+  }
+  return full;
+}
+
+std::string render(const Expr& e, int parent_prec);
+
+std::string render_child(const ExprPtr& e, int parent_prec) {
+  return render(*e, parent_prec);
+}
+
+std::string render(const Expr& e, int parent_prec) {
+  struct Visitor {
+    int parent_prec;
+
+    std::string operator()(const NumberNode& n) const {
+      return format_number(n.value);
+    }
+    std::string operator()(const VariableNode& v) const { return v.name; }
+    std::string operator()(const StringNode& s) const {
+      std::string out = "\"";
+      for (char c : s.value) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+      }
+      out.push_back('"');
+      return out;
+    }
+    std::string operator()(const UnaryNode& u) const {
+      const char* op = u.op == UnOp::kNeg ? "-" : "!";
+      std::string inner = render_child(u.operand, 6);
+      std::string out = std::string(op) + inner;
+      return parent_prec > 6 ? "(" + out + ")" : out;
+    }
+    std::string operator()(const BinaryNode& b) const {
+      const int prec = precedence(b.op);
+      // Render children at a precedence that forces parentheses where
+      // the grammar would otherwise change meaning: '^' is right
+      // associative, comparisons are non-associative (the parser accepts
+      // at most one per level, so a comparison child always needs
+      // parentheses), everything else is left associative.
+      const bool right_assoc = b.op == BinOp::kPow;
+      const bool non_assoc =
+          b.op == BinOp::kLess || b.op == BinOp::kLessEq ||
+          b.op == BinOp::kGreater || b.op == BinOp::kGreaterEq ||
+          b.op == BinOp::kEqual || b.op == BinOp::kNotEqual;
+      const int lhs_prec = (right_assoc || non_assoc) ? prec + 1 : prec;
+      std::string out = render_child(b.lhs, lhs_prec) + op_text(b.op) +
+                        render_child(b.rhs, prec + 1);
+      return parent_prec > prec ? "(" + out + ")" : out;
+    }
+    std::string operator()(const ConditionalNode& c) const {
+      std::string out = render_child(c.condition, 1) + " ? " +
+                        render_child(c.then_branch, 0) + " : " +
+                        render_child(c.else_branch, 0);
+      return parent_prec > 0 ? "(" + out + ")" : out;
+    }
+    std::string operator()(const CallNode& c) const {
+      std::string out = c.name + "(";
+      for (std::size_t i = 0; i < c.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += render_child(c.args[i], 0);
+      }
+      out += ")";
+      return out;
+    }
+  };
+  return std::visit(Visitor{parent_prec}, e.node);
+}
+
+}  // namespace
+
+std::vector<std::string> referenced_variables(const Expr& e) {
+  std::vector<std::string> out;
+  walk(e, [&](const Expr& node) {
+    if (const auto* v = std::get_if<VariableNode>(&node.node)) {
+      push_unique(out, v->name);
+    }
+  });
+  return out;
+}
+
+std::vector<std::string> referenced_functions(const Expr& e) {
+  std::vector<std::string> out;
+  walk(e, [&](const Expr& node) {
+    if (const auto* c = std::get_if<CallNode>(&node.node)) {
+      push_unique(out, c->name);
+    }
+  });
+  return out;
+}
+
+std::string to_source(const Expr& e) { return render(e, 0); }
+
+}  // namespace powerplay::expr

@@ -1,0 +1,106 @@
+// ast.hpp — abstract syntax tree for PowerPlay's spreadsheet expressions.
+//
+// The paper's design sheet allows "any parameter [to] be expressed as a
+// function of these parameters".  Expressions over parameter names are the
+// substrate of that capability: model parameters, user-defined equation
+// models (the "interactive HTML page" model editor), and intermodel
+// interaction terms (DC-DC converter load, interconnect area) are all
+// parsed to this AST and evaluated against a hierarchical scope.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace powerplay::expr {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Binary operators in precedence groups (see Parser).
+enum class BinOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kPow,
+  kLess,
+  kLessEq,
+  kGreater,
+  kGreaterEq,
+  kEqual,
+  kNotEqual,
+  kAnd,
+  kOr,
+};
+
+/// Unary operators.
+enum class UnOp { kNeg, kNot };
+
+struct NumberNode {
+  double value;
+};
+
+/// A reference to a parameter, resolved against the evaluation scope chain.
+struct VariableNode {
+  std::string name;
+};
+
+/// String literal; only meaningful as a function argument
+/// (e.g. rowpower("Read Bank")).
+struct StringNode {
+  std::string value;
+};
+
+struct UnaryNode {
+  UnOp op;
+  ExprPtr operand;
+};
+
+struct BinaryNode {
+  BinOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+/// cond ? a : b, and the if(cond, a, b) builtin lowers to this too.
+struct ConditionalNode {
+  ExprPtr condition;
+  ExprPtr then_branch;
+  ExprPtr else_branch;
+};
+
+struct CallNode {
+  std::string name;
+  std::vector<ExprPtr> args;
+};
+
+struct Expr {
+  std::variant<NumberNode, VariableNode, StringNode, UnaryNode, BinaryNode,
+               ConditionalNode, CallNode>
+      node;
+};
+
+/// Error raised by the lexer, parser or evaluator; carries a
+/// human-readable message including source position where available.
+class ExprError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Collect every variable name referenced anywhere in `e` (depth first,
+/// in order of first appearance, deduplicated).  Used for spreadsheet
+/// dependency display and for validating user-defined models.
+std::vector<std::string> referenced_variables(const Expr& e);
+
+/// Collect every function name called anywhere in `e` (deduplicated).
+std::vector<std::string> referenced_functions(const Expr& e);
+
+/// Render the AST back to a canonical source string (fully parenthesized
+/// only where required).  parse(to_source(e)) is semantically `e`.
+std::string to_source(const Expr& e);
+
+}  // namespace powerplay::expr

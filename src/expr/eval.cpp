@@ -1,0 +1,302 @@
+#include "expr/eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "expr/parser.hpp"
+
+namespace powerplay::expr {
+
+// ---------------------------------------------------------------------------
+// Scope
+// ---------------------------------------------------------------------------
+
+void Scope::set(const std::string& name, double value) {
+  bindings_[name] = value;
+}
+
+void Scope::set(const std::string& name, ExprPtr formula) {
+  bindings_[name] = std::move(formula);
+}
+
+void Scope::set_formula(const std::string& name,
+                        const std::string& formula_source) {
+  bindings_[name] = parse(formula_source);
+}
+
+void Scope::erase(const std::string& name) { bindings_.erase(name); }
+
+bool Scope::has_local(const std::string& name) const {
+  return bindings_.contains(name);
+}
+
+std::vector<std::string> Scope::local_names() const {
+  std::vector<std::string> names;
+  names.reserve(bindings_.size());
+  for (const auto& [name, binding] : bindings_) names.push_back(name);
+  return names;
+}
+
+std::optional<Scope::Found> Scope::lookup(const std::string& name) const {
+  for (const Scope* s = this; s != nullptr; s = s->parent_) {
+    auto it = s->bindings_.find(name);
+    if (it != s->bindings_.end()) return Found{&it->second, s};
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// FunctionTable
+// ---------------------------------------------------------------------------
+
+namespace {
+
+double need_number(const Value& v, const char* fn) {
+  if (const double* d = std::get_if<double>(&v)) return *d;
+  throw ExprError(std::string(fn) + ": expected a numeric argument");
+}
+
+void need_arity(const std::vector<Value>& args, std::size_t n,
+                const char* fn) {
+  if (args.size() != n) {
+    throw ExprError(std::string(fn) + ": expected " + std::to_string(n) +
+                    " argument(s), got " + std::to_string(args.size()));
+  }
+}
+
+}  // namespace
+
+FunctionTable FunctionTable::with_builtins() {
+  FunctionTable t;
+  t.register_function("abs", [](const std::vector<Value>& a) {
+    need_arity(a, 1, "abs");
+    return std::fabs(need_number(a[0], "abs"));
+  });
+  t.register_function("sqrt", [](const std::vector<Value>& a) {
+    need_arity(a, 1, "sqrt");
+    const double x = need_number(a[0], "sqrt");
+    if (x < 0) throw ExprError("sqrt: negative argument");
+    return std::sqrt(x);
+  });
+  t.register_function("exp", [](const std::vector<Value>& a) {
+    need_arity(a, 1, "exp");
+    return std::exp(need_number(a[0], "exp"));
+  });
+  t.register_function("ln", [](const std::vector<Value>& a) {
+    need_arity(a, 1, "ln");
+    const double x = need_number(a[0], "ln");
+    if (x <= 0) throw ExprError("ln: non-positive argument");
+    return std::log(x);
+  });
+  t.register_function("log2", [](const std::vector<Value>& a) {
+    need_arity(a, 1, "log2");
+    const double x = need_number(a[0], "log2");
+    if (x <= 0) throw ExprError("log2: non-positive argument");
+    return std::log2(x);
+  });
+  t.register_function("log10", [](const std::vector<Value>& a) {
+    need_arity(a, 1, "log10");
+    const double x = need_number(a[0], "log10");
+    if (x <= 0) throw ExprError("log10: non-positive argument");
+    return std::log10(x);
+  });
+  t.register_function("ceil", [](const std::vector<Value>& a) {
+    need_arity(a, 1, "ceil");
+    return std::ceil(need_number(a[0], "ceil"));
+  });
+  t.register_function("floor", [](const std::vector<Value>& a) {
+    need_arity(a, 1, "floor");
+    return std::floor(need_number(a[0], "floor"));
+  });
+  t.register_function("round", [](const std::vector<Value>& a) {
+    need_arity(a, 1, "round");
+    return std::round(need_number(a[0], "round"));
+  });
+  t.register_function("pow", [](const std::vector<Value>& a) {
+    need_arity(a, 2, "pow");
+    return std::pow(need_number(a[0], "pow"), need_number(a[1], "pow"));
+  });
+  t.register_function("min", [](const std::vector<Value>& a) {
+    if (a.empty()) throw ExprError("min: needs at least one argument");
+    double m = need_number(a[0], "min");
+    for (std::size_t i = 1; i < a.size(); ++i)
+      m = std::min(m, need_number(a[i], "min"));
+    return m;
+  });
+  t.register_function("max", [](const std::vector<Value>& a) {
+    if (a.empty()) throw ExprError("max: needs at least one argument");
+    double m = need_number(a[0], "max");
+    for (std::size_t i = 1; i < a.size(); ++i)
+      m = std::max(m, need_number(a[i], "max"));
+    return m;
+  });
+  t.register_function("if", [](const std::vector<Value>& a) {
+    need_arity(a, 3, "if");
+    return need_number(a[0], "if") != 0.0 ? need_number(a[1], "if")
+                                          : need_number(a[2], "if");
+  });
+  return t;
+}
+
+void FunctionTable::register_function(const std::string& name, Function fn) {
+  functions_[name] = std::move(fn);
+}
+
+bool FunctionTable::contains(const std::string& name) const {
+  return functions_.contains(name);
+}
+
+const Function* FunctionTable::find(const std::string& name) const {
+  auto it = functions_.find(name);
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> FunctionTable::names() const {
+  std::vector<std::string> names;
+  names.reserve(functions_.size());
+  for (const auto& [name, fn] : functions_) names.push_back(name);
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator
+// ---------------------------------------------------------------------------
+
+double Evaluator::evaluate(const Expr& e) { return eval_in(e, *scope_); }
+
+double Evaluator::variable(const std::string& name) {
+  return resolve(name, *scope_);
+}
+
+double Evaluator::resolve(const std::string& name, const Scope& start) {
+  auto found = start.lookup(name);
+  if (!found) {
+    throw ExprError("unbound parameter '" + name + "'");
+  }
+  if (const double* literal = std::get_if<double>(found->binding)) {
+    return *literal;
+  }
+  const auto key = std::make_pair(found->owner, name);
+  if (std::find(in_flight_.begin(), in_flight_.end(), key) !=
+      in_flight_.end()) {
+    std::string cycle;
+    for (const auto& [scope, nm] : in_flight_) {
+      cycle += nm;
+      cycle += " -> ";
+    }
+    cycle += name;
+    throw ExprError("circular parameter definition: " + cycle);
+  }
+  in_flight_.push_back(key);
+  const ExprPtr& formula = std::get<ExprPtr>(*found->binding);
+  // Evaluate in the owning scope so a macro's formula sees the macro's
+  // own overrides first, falling back to ancestors.
+  const double result = eval_in(*formula, *found->owner);
+  in_flight_.pop_back();
+  return result;
+}
+
+Value Evaluator::eval_value(const Expr& e, const Scope& scope) {
+  if (const auto* s = std::get_if<StringNode>(&e.node)) return s->value;
+  return eval_in(e, scope);
+}
+
+double Evaluator::eval_in(const Expr& e, const Scope& scope) {
+  struct Visitor {
+    Evaluator& ev;
+    const Scope& scope;
+
+    double operator()(const NumberNode& n) const { return n.value; }
+
+    double operator()(const VariableNode& v) const {
+      return ev.resolve(v.name, scope);
+    }
+
+    double operator()(const StringNode&) const {
+      throw ExprError(
+          "string literal used as a number (strings are only valid as "
+          "function arguments)");
+    }
+
+    double operator()(const UnaryNode& u) const {
+      const double x = ev.eval_in(*u.operand, scope);
+      switch (u.op) {
+        case UnOp::kNeg: return -x;
+        case UnOp::kNot: return x == 0.0 ? 1.0 : 0.0;
+      }
+      throw ExprError("bad unary operator");
+    }
+
+    double operator()(const BinaryNode& b) const {
+      // Short-circuit logical operators before evaluating the rhs.
+      if (b.op == BinOp::kAnd) {
+        return ev.eval_in(*b.lhs, scope) != 0.0 &&
+                       ev.eval_in(*b.rhs, scope) != 0.0
+                   ? 1.0
+                   : 0.0;
+      }
+      if (b.op == BinOp::kOr) {
+        return ev.eval_in(*b.lhs, scope) != 0.0 ||
+                       ev.eval_in(*b.rhs, scope) != 0.0
+                   ? 1.0
+                   : 0.0;
+      }
+      const double l = ev.eval_in(*b.lhs, scope);
+      const double r = ev.eval_in(*b.rhs, scope);
+      switch (b.op) {
+        case BinOp::kAdd: return l + r;
+        case BinOp::kSub: return l - r;
+        case BinOp::kMul: return l * r;
+        case BinOp::kDiv:
+          if (r == 0.0) throw ExprError("division by zero");
+          return l / r;
+        case BinOp::kMod:
+          if (r == 0.0) throw ExprError("modulo by zero");
+          return std::fmod(l, r);
+        case BinOp::kPow: return std::pow(l, r);
+        case BinOp::kLess: return l < r ? 1.0 : 0.0;
+        case BinOp::kLessEq: return l <= r ? 1.0 : 0.0;
+        case BinOp::kGreater: return l > r ? 1.0 : 0.0;
+        case BinOp::kGreaterEq: return l >= r ? 1.0 : 0.0;
+        case BinOp::kEqual: return l == r ? 1.0 : 0.0;
+        case BinOp::kNotEqual: return l != r ? 1.0 : 0.0;
+        case BinOp::kAnd:
+        case BinOp::kOr: break;  // handled above
+      }
+      throw ExprError("bad binary operator");
+    }
+
+    double operator()(const ConditionalNode& c) const {
+      return ev.eval_in(*c.condition, scope) != 0.0
+                 ? ev.eval_in(*c.then_branch, scope)
+                 : ev.eval_in(*c.else_branch, scope);
+    }
+
+    double operator()(const CallNode& c) const {
+      const Function* fn = ev.functions_->find(c.name);
+      if (fn == nullptr) {
+        throw ExprError("unknown function '" + c.name + "'");
+      }
+      std::vector<Value> args;
+      args.reserve(c.args.size());
+      for (const ExprPtr& arg : c.args) {
+        args.push_back(ev.eval_value(*arg, scope));
+      }
+      return (*fn)(args);
+    }
+  };
+  return std::visit(Visitor{*this, scope}, e.node);
+}
+
+double evaluate(const Expr& e, const Scope& scope,
+                const FunctionTable& functions) {
+  Evaluator ev(scope, functions);
+  return ev.evaluate(e);
+}
+
+double evaluate_source(const std::string& source, const Scope& scope,
+                       const FunctionTable& functions) {
+  return evaluate(*parse(source), scope, functions);
+}
+
+}  // namespace powerplay::expr

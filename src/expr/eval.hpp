@@ -1,0 +1,122 @@
+// eval.hpp — hierarchical scopes and expression evaluation.
+//
+// Scopes mirror the paper's design hierarchy: the top-level design sheet
+// holds global parameters (supply voltage, clock frequency, technology
+// constants); each subcircuit row has its own scope whose parent is the
+// design scope, so "subcircuits may be defined to inherit global
+// parameters" falls out of plain chained lookup.  A binding may be a
+// literal number or another expression; expressions are evaluated in the
+// scope where the binding was found, so a macro's internal formulas see
+// the instantiation's parameter overrides.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "expr/ast.hpp"
+
+namespace powerplay::expr {
+
+/// A function argument value: spreadsheet cells are numbers, but sheet
+/// extension functions (rowpower("Read Bank")) take string arguments.
+using Value = std::variant<double, std::string>;
+
+/// Extension function: receives evaluated arguments, returns a number.
+using Function = std::function<double(const std::vector<Value>&)>;
+
+/// One level of the parameter hierarchy.
+class Scope {
+ public:
+  Scope() = default;
+  explicit Scope(const Scope* parent) : parent_(parent) {}
+
+  /// Bind `name` to a literal value, replacing any previous local binding.
+  void set(const std::string& name, double value);
+
+  /// Bind `name` to an expression (parsed lazily elsewhere); the
+  /// expression is evaluated in *this* scope when the name is read.
+  void set(const std::string& name, ExprPtr formula);
+
+  /// Parse `formula_source` and bind it.  Throws ExprError on bad syntax.
+  void set_formula(const std::string& name, const std::string& formula_source);
+
+  /// Remove a local binding if present.
+  void erase(const std::string& name);
+
+  [[nodiscard]] bool has_local(const std::string& name) const;
+
+  /// Names bound locally (sorted).
+  [[nodiscard]] std::vector<std::string> local_names() const;
+
+  [[nodiscard]] const Scope* parent() const { return parent_; }
+  void set_parent(const Scope* parent) { parent_ = parent; }
+
+  using Binding = std::variant<double, ExprPtr>;
+
+  /// Find the binding and the scope that owns it, walking up the chain.
+  struct Found {
+    const Binding* binding;
+    const Scope* owner;
+  };
+  [[nodiscard]] std::optional<Found> lookup(const std::string& name) const;
+
+ private:
+  const Scope* parent_ = nullptr;
+  std::map<std::string, Binding> bindings_;
+};
+
+/// Registry of callable functions.  A fresh table starts with the math
+/// builtins (abs, min, max, pow, sqrt, exp, ln, log2, log10, ceil, floor,
+/// round, if); the sheet engine registers its intermodel functions
+/// (rowpower, rowarea, totalpower, totalarea) on top.
+class FunctionTable {
+ public:
+  /// Table preloaded with the math builtins.
+  static FunctionTable with_builtins();
+
+  void register_function(const std::string& name, Function fn);
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] const Function* find(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, Function> functions_;
+};
+
+/// Evaluation context: scope + functions + cycle detection state.
+/// Create one per evaluation "session" (e.g. one Play press); it is cheap.
+class Evaluator {
+ public:
+  Evaluator(const Scope& scope, const FunctionTable& functions)
+      : scope_(&scope), functions_(&functions) {}
+
+  /// Evaluate an AST against the context's scope.  Throws ExprError on
+  /// unbound variables, unknown functions, arity errors, and circular
+  /// parameter definitions (with the cycle spelled out in the message).
+  double evaluate(const Expr& e);
+
+  /// Convenience: resolve a variable exactly as a VariableNode would.
+  double variable(const std::string& name);
+
+ private:
+  double eval_in(const Expr& e, const Scope& scope);
+  double resolve(const std::string& name, const Scope& start);
+  Value eval_value(const Expr& e, const Scope& scope);
+
+  const Scope* scope_;
+  const FunctionTable* functions_;
+  // (owner scope, name) pairs currently being resolved — a repeat is a cycle.
+  std::vector<std::pair<const Scope*, std::string>> in_flight_;
+};
+
+/// One-shot helpers.
+double evaluate(const Expr& e, const Scope& scope,
+                const FunctionTable& functions);
+double evaluate_source(const std::string& source, const Scope& scope,
+                       const FunctionTable& functions);
+
+}  // namespace powerplay::expr

@@ -1,0 +1,203 @@
+#include "expr/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "expr/ast.hpp"
+
+namespace powerplay::expr {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+[[noreturn]] void fail(const std::string& message, std::size_t pos) {
+  throw ExprError(message + " at position " + std::to_string(pos));
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  auto push = [&](TokenKind kind, std::size_t pos, std::string text = {}) {
+    tokens.push_back(Token{kind, std::move(text), 0.0, pos});
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      // Number: digits [. digits] [eE [+-] digits].  We scan the extent
+      // manually so that "1e-3" is one token but "2e" is an error.
+      std::size_t j = i;
+      while (j < n && std::isdigit(static_cast<unsigned char>(source[j]))) ++j;
+      if (j < n && source[j] == '.') {
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(source[j])))
+          ++j;
+      }
+      if (j < n && (source[j] == 'e' || source[j] == 'E')) {
+        std::size_t k = j + 1;
+        if (k < n && (source[k] == '+' || source[k] == '-')) ++k;
+        if (k >= n || !std::isdigit(static_cast<unsigned char>(source[k]))) {
+          fail("malformed exponent in number", start);
+        }
+        while (k < n && std::isdigit(static_cast<unsigned char>(source[k])))
+          ++k;
+        j = k;
+      }
+      Token t{TokenKind::kNumber, source.substr(i, j - i), 0.0, start};
+      t.number = std::strtod(t.text.c_str(), nullptr);
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+
+    if (is_ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && is_ident_char(source[j])) ++j;
+      Token t{TokenKind::kIdent, source.substr(i, j - i), 0.0, start};
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+
+    if (c == '"') {
+      std::string value;
+      std::size_t j = i + 1;
+      while (j < n && source[j] != '"') {
+        if (source[j] == '\\') {
+          ++j;
+          if (j >= n) fail("unterminated escape in string", start);
+          if (source[j] != '"' && source[j] != '\\') {
+            fail("unsupported escape in string", j);
+          }
+        }
+        value.push_back(source[j]);
+        ++j;
+      }
+      if (j >= n) fail("unterminated string literal", start);
+      tokens.push_back(Token{TokenKind::kString, std::move(value), 0.0, start});
+      i = j + 1;
+      continue;
+    }
+
+    switch (c) {
+      case '+': push(TokenKind::kPlus, start); ++i; break;
+      case '-': push(TokenKind::kMinus, start); ++i; break;
+      case '*': push(TokenKind::kStar, start); ++i; break;
+      case '/': push(TokenKind::kSlash, start); ++i; break;
+      case '%': push(TokenKind::kPercent, start); ++i; break;
+      case '^': push(TokenKind::kCaret, start); ++i; break;
+      case '(': push(TokenKind::kLParen, start); ++i; break;
+      case ')': push(TokenKind::kRParen, start); ++i; break;
+      case ',': push(TokenKind::kComma, start); ++i; break;
+      case '?': push(TokenKind::kQuestion, start); ++i; break;
+      case ':': push(TokenKind::kColon, start); ++i; break;
+      case '<':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenKind::kLessEq, start);
+          i += 2;
+        } else {
+          push(TokenKind::kLess, start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenKind::kGreaterEq, start);
+          i += 2;
+        } else {
+          push(TokenKind::kGreater, start);
+          ++i;
+        }
+        break;
+      case '=':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenKind::kEqualEqual, start);
+          i += 2;
+        } else {
+          fail("single '=' is not an operator (use '==')", start);
+        }
+        break;
+      case '!':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenKind::kBangEqual, start);
+          i += 2;
+        } else {
+          push(TokenKind::kBang, start);
+          ++i;
+        }
+        break;
+      case '&':
+        if (i + 1 < n && source[i + 1] == '&') {
+          push(TokenKind::kAndAnd, start);
+          i += 2;
+        } else {
+          fail("single '&' is not an operator (use '&&')", start);
+        }
+        break;
+      case '|':
+        if (i + 1 < n && source[i + 1] == '|') {
+          push(TokenKind::kOrOr, start);
+          i += 2;
+        } else {
+          fail("single '|' is not an operator (use '||')", start);
+        }
+        break;
+      default:
+        fail(std::string("unexpected character '") + c + "'", start);
+    }
+  }
+
+  tokens.push_back(Token{TokenKind::kEnd, "", 0.0, n});
+  return tokens;
+}
+
+std::string token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kString: return "string";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kCaret: return "'^'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kLess: return "'<'";
+    case TokenKind::kLessEq: return "'<='";
+    case TokenKind::kGreater: return "'>'";
+    case TokenKind::kGreaterEq: return "'>='";
+    case TokenKind::kEqualEqual: return "'=='";
+    case TokenKind::kBangEqual: return "'!='";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kAndAnd: return "'&&'";
+    case TokenKind::kOrOr: return "'||'";
+    case TokenKind::kQuestion: return "'?'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace powerplay::expr

@@ -1,0 +1,55 @@
+// lexer.hpp — tokenizer for spreadsheet expressions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace powerplay::expr {
+
+enum class TokenKind {
+  kNumber,
+  kIdent,
+  kString,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kCaret,
+  kLParen,
+  kRParen,
+  kComma,
+  kLess,
+  kLessEq,
+  kGreater,
+  kGreaterEq,
+  kEqualEqual,
+  kBangEqual,
+  kBang,
+  kAndAnd,
+  kOrOr,
+  kQuestion,
+  kColon,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;    ///< identifier name or string literal contents
+  double number = 0;   ///< valid when kind == kNumber
+  std::size_t pos = 0; ///< byte offset in the source, for error messages
+};
+
+/// Tokenize `source`.  Numbers accept decimal and scientific notation
+/// ("253e-15", "2.5", ".5", "1e6").  Identifiers are
+/// [A-Za-z_][A-Za-z0-9_.]* — dots are allowed so hierarchical parameter
+/// names like "lut.bitwidth" lex as one identifier.  Strings are
+/// double-quoted with \" and \\ escapes.  Throws ExprError on malformed
+/// input.  The returned vector always ends with a kEnd token.
+std::vector<Token> tokenize(const std::string& source);
+
+/// Human-readable token kind name, used in parser diagnostics.
+std::string token_kind_name(TokenKind kind);
+
+}  // namespace powerplay::expr

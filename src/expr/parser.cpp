@@ -1,0 +1,180 @@
+#include "expr/parser.hpp"
+
+#include <utility>
+
+#include "expr/lexer.hpp"
+
+namespace powerplay::expr {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  ExprPtr parse_all() {
+    ExprPtr e = conditional();
+    expect(TokenKind::kEnd);
+    return e;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+
+  Token advance() { return tokens_[pos_++]; }
+
+  bool match(TokenKind kind) {
+    if (peek().kind != kind) return false;
+    ++pos_;
+    return true;
+  }
+
+  void expect(TokenKind kind) {
+    if (peek().kind != kind) {
+      throw ExprError("expected " + token_kind_name(kind) + " but found " +
+                      token_kind_name(peek().kind) + " at position " +
+                      std::to_string(peek().pos));
+    }
+    ++pos_;
+  }
+
+  static ExprPtr make(Expr e) { return std::make_shared<const Expr>(std::move(e)); }
+
+  ExprPtr conditional() {
+    ExprPtr cond = or_expr();
+    if (!match(TokenKind::kQuestion)) return cond;
+    ExprPtr then_branch = conditional();
+    expect(TokenKind::kColon);
+    ExprPtr else_branch = conditional();
+    return make(Expr{ConditionalNode{std::move(cond), std::move(then_branch),
+                                     std::move(else_branch)}});
+  }
+
+  ExprPtr or_expr() {
+    ExprPtr lhs = and_expr();
+    while (match(TokenKind::kOrOr)) {
+      lhs = make(Expr{BinaryNode{BinOp::kOr, std::move(lhs), and_expr()}});
+    }
+    return lhs;
+  }
+
+  ExprPtr and_expr() {
+    ExprPtr lhs = cmp_expr();
+    while (match(TokenKind::kAndAnd)) {
+      lhs = make(Expr{BinaryNode{BinOp::kAnd, std::move(lhs), cmp_expr()}});
+    }
+    return lhs;
+  }
+
+  ExprPtr cmp_expr() {
+    ExprPtr lhs = add_expr();
+    BinOp op;
+    switch (peek().kind) {
+      case TokenKind::kLess: op = BinOp::kLess; break;
+      case TokenKind::kLessEq: op = BinOp::kLessEq; break;
+      case TokenKind::kGreater: op = BinOp::kGreater; break;
+      case TokenKind::kGreaterEq: op = BinOp::kGreaterEq; break;
+      case TokenKind::kEqualEqual: op = BinOp::kEqual; break;
+      case TokenKind::kBangEqual: op = BinOp::kNotEqual; break;
+      default: return lhs;
+    }
+    ++pos_;
+    return make(Expr{BinaryNode{op, std::move(lhs), add_expr()}});
+  }
+
+  ExprPtr add_expr() {
+    ExprPtr lhs = mul_expr();
+    for (;;) {
+      if (match(TokenKind::kPlus)) {
+        lhs = make(Expr{BinaryNode{BinOp::kAdd, std::move(lhs), mul_expr()}});
+      } else if (match(TokenKind::kMinus)) {
+        lhs = make(Expr{BinaryNode{BinOp::kSub, std::move(lhs), mul_expr()}});
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr mul_expr() {
+    ExprPtr lhs = unary();
+    for (;;) {
+      if (match(TokenKind::kStar)) {
+        lhs = make(Expr{BinaryNode{BinOp::kMul, std::move(lhs), unary()}});
+      } else if (match(TokenKind::kSlash)) {
+        lhs = make(Expr{BinaryNode{BinOp::kDiv, std::move(lhs), unary()}});
+      } else if (match(TokenKind::kPercent)) {
+        lhs = make(Expr{BinaryNode{BinOp::kMod, std::move(lhs), unary()}});
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr unary() {
+    if (match(TokenKind::kMinus)) {
+      return make(Expr{UnaryNode{UnOp::kNeg, unary()}});
+    }
+    if (match(TokenKind::kBang)) {
+      return make(Expr{UnaryNode{UnOp::kNot, unary()}});
+    }
+    return pow_expr();
+  }
+
+  ExprPtr pow_expr() {
+    ExprPtr base = primary();
+    if (match(TokenKind::kCaret)) {
+      // Right associative: 2^3^2 == 2^(3^2).  The exponent may itself be
+      // a unary expression so that 2^-3 parses.
+      return make(Expr{BinaryNode{BinOp::kPow, std::move(base), unary()}});
+    }
+    return base;
+  }
+
+  ExprPtr primary() {
+    const Token& t = peek();
+    switch (t.kind) {
+      case TokenKind::kNumber: {
+        Token tok = advance();
+        return make(Expr{NumberNode{tok.number}});
+      }
+      case TokenKind::kString: {
+        Token tok = advance();
+        return make(Expr{StringNode{std::move(tok.text)}});
+      }
+      case TokenKind::kIdent: {
+        Token tok = advance();
+        if (match(TokenKind::kLParen)) {
+          std::vector<ExprPtr> args;
+          if (peek().kind != TokenKind::kRParen) {
+            args.push_back(conditional());
+            while (match(TokenKind::kComma)) args.push_back(conditional());
+          }
+          expect(TokenKind::kRParen);
+          return make(Expr{CallNode{std::move(tok.text), std::move(args)}});
+        }
+        return make(Expr{VariableNode{std::move(tok.text)}});
+      }
+      case TokenKind::kLParen: {
+        ++pos_;
+        ExprPtr inner = conditional();
+        expect(TokenKind::kRParen);
+        return inner;
+      }
+      default:
+        throw ExprError("expected expression but found " +
+                        token_kind_name(t.kind) + " at position " +
+                        std::to_string(t.pos));
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ExprPtr parse(const std::string& source) {
+  return Parser(tokenize(source)).parse_all();
+}
+
+}  // namespace powerplay::expr

@@ -1,0 +1,25 @@
+// parser.hpp — recursive-descent parser for spreadsheet expressions.
+//
+// Grammar (lowest to highest precedence):
+//   expr        := or_expr ('?' expr ':' expr)?
+//   or_expr     := and_expr ('||' and_expr)*
+//   and_expr    := cmp_expr ('&&' cmp_expr)*
+//   cmp_expr    := add_expr (('<'|'<='|'>'|'>='|'=='|'!=') add_expr)?
+//   add_expr    := mul_expr (('+'|'-') mul_expr)*
+//   mul_expr    := unary (('*'|'/'|'%') unary)*
+//   unary       := ('-'|'!') unary | pow_expr
+//   pow_expr    := primary ('^' unary)?          // right associative
+//   primary     := number | string | ident | ident '(' args ')' | '(' expr ')'
+#pragma once
+
+#include <string>
+
+#include "expr/ast.hpp"
+
+namespace powerplay::expr {
+
+/// Parse `source` to an AST.  Throws ExprError with position info on
+/// syntax errors, including trailing garbage after a complete expression.
+ExprPtr parse(const std::string& source);
+
+}  // namespace powerplay::expr

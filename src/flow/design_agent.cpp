@@ -1,0 +1,137 @@
+#include "flow/design_agent.hpp"
+
+#include <algorithm>
+
+#include "expr/ast.hpp"
+
+namespace powerplay::flow {
+
+void DesignAgent::add_tool(Tool tool) {
+  if (tool.name.empty()) {
+    throw expr::ExprError("design agent: tool name must not be empty");
+  }
+  if (tools_.contains(tool.name)) {
+    throw expr::ExprError("design agent: tool '" + tool.name +
+                          "' already registered");
+  }
+  if (!tool.run) {
+    throw expr::ExprError("design agent: tool '" + tool.name +
+                          "' has no implementation");
+  }
+  tools_.emplace(tool.name, std::move(tool));
+}
+
+void DesignAgent::add_rule(FlowRule rule) {
+  const auto key = std::make_pair(rule.request, rule.context);
+  if (rules_.contains(key)) {
+    throw expr::ExprError("design agent: rule for ('" + rule.request +
+                          "', '" + rule.context + "') already registered");
+  }
+  if (rule.tools.empty()) {
+    throw expr::ExprError("design agent: rule for '" + rule.request +
+                          "' lists no tools");
+  }
+  for (const std::string& t : rule.tools) {
+    if (!tools_.contains(t)) {
+      throw expr::ExprError("design agent: rule references unknown tool '" +
+                            t + "'");
+    }
+  }
+  rules_.emplace(key, std::move(rule.tools));
+}
+
+bool DesignAgent::has_tool(const std::string& name) const {
+  return tools_.contains(name);
+}
+
+std::vector<std::string> DesignAgent::tool_names() const {
+  std::vector<std::string> out;
+  out.reserve(tools_.size());
+  for (const auto& [name, tool] : tools_) out.push_back(name);
+  return out;
+}
+
+const std::vector<std::string>& DesignAgent::resolve(
+    const std::string& request, const std::string& context) const {
+  auto it = rules_.find({request, context});
+  if (it == rules_.end()) {
+    it = rules_.find({request, ""});  // default flow
+  }
+  if (it == rules_.end()) {
+    throw expr::ExprError("design agent: no flow for request '" + request +
+                          "' in context '" + context + "'");
+  }
+  return it->second;
+}
+
+FlowResult DesignAgent::run(const std::string& request,
+                            const std::string& context,
+                            const model::ParamReader& params) const {
+  FlowResult out;
+  for (const std::string& name : resolve(request, context)) {
+    const Tool& tool = tools_.at(name);
+    out.estimate = tool.run(params, out.estimate);
+    out.invoked.push_back(name);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ToolFlowModel
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<model::ParamSpec> with_context_param(
+    std::vector<model::ParamSpec> params, std::size_t levels) {
+  params.push_back({"context",
+                    "design-context level selecting the estimation flow "
+                    "(0 = roughest)",
+                    0, "", 0, static_cast<double>(levels - 1), true});
+  return params;
+}
+
+}  // namespace
+
+ToolFlowModel::ToolFlowModel(std::string name, std::string documentation,
+                             std::vector<model::ParamSpec> params,
+                             const DesignAgent& agent, std::string request,
+                             std::vector<std::string> context_levels)
+    : Model(std::move(name), model::Category::kSystem,
+            std::move(documentation) +
+                "  Tool-backed entry: evaluation is delegated to the "
+                "Design Agent, which picks the tool sequence from the "
+                "design context.",
+            with_context_param(std::move(params), context_levels.size())),
+      agent_(&agent),
+      request_(std::move(request)),
+      context_levels_(std::move(context_levels)) {
+  if (context_levels_.empty()) {
+    throw expr::ExprError("ToolFlowModel '" + this->name() +
+                          "': needs at least one context level");
+  }
+  // Fail at construction if any level has no resolvable flow.
+  for (const std::string& ctx : context_levels_) {
+    (void)agent_->resolve(request_, ctx);
+  }
+}
+
+const std::vector<std::string>& ToolFlowModel::flow_for_level(
+    int level) const {
+  if (level < 0 || level >= static_cast<int>(context_levels_.size())) {
+    throw expr::ExprError("ToolFlowModel '" + name() +
+                          "': context level out of range");
+  }
+  return agent_->resolve(request_, context_levels_[level]);
+}
+
+model::Estimate ToolFlowModel::evaluate(const model::ParamReader& p) const {
+  const int level = static_cast<int>(param(p, "context"));
+  if (level < 0 || level >= static_cast<int>(context_levels_.size())) {
+    throw expr::ExprError("ToolFlowModel '" + name() +
+                          "': context level out of range");
+  }
+  return agent_->run(request_, context_levels_[level], p).estimate;
+}
+
+}  // namespace powerplay::flow

@@ -1,0 +1,113 @@
+// design_agent.hpp — the dynamic design-flow manager behind tool-backed
+// models.
+//
+// The paper: "PowerPlay will accept any model and in fact will support
+// paths to estimation tools in lieu of an equation", and "Models which
+// require tool invocations are implemented through a dynamic design-flow
+// manager called the Design Agent [Bentz et al.], which translates the
+// hyperlink request for data into a sequence of appropriate tool
+// invocations determined by the chosen design context."
+//
+// The pieces:
+//  * Tool        — a named estimation step that refines an Estimate
+//                  (e.g. quick coefficient lookup, analytical
+//                  refinement, simulator run).
+//  * FlowRule    — (request, context) -> ordered tool names; the
+//                  "chosen design context" selects how much machinery a
+//                  request spins up ("sketch" runs one cheap tool,
+//                  "layout" chains refinements).
+//  * DesignAgent — registry + resolver + runner, with an invocation log
+//                  so callers can display what actually ran.
+//  * ToolFlowModel — a library Model whose evaluate() delegates to the
+//                  agent, so tool-backed entries sit on the spreadsheet
+//                  exactly like equation models.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/model.hpp"
+
+namespace powerplay::flow {
+
+/// One estimation step.  Receives the parameters and the estimate
+/// produced by earlier steps in the flow (a default Estimate for the
+/// first step) and returns the refined estimate.
+struct Tool {
+  std::string name;
+  std::string description;
+  std::function<model::Estimate(const model::ParamReader&,
+                                const model::Estimate& previous)>
+      run;
+};
+
+/// Context-dependent flow selection.
+struct FlowRule {
+  std::string request;              ///< e.g. "power", "area"
+  std::string context;              ///< e.g. "sketch", "layout"
+  std::vector<std::string> tools;   ///< invocation order
+};
+
+/// Result of running a flow, with the audit trail the hyperlink pages
+/// display.
+struct FlowResult {
+  model::Estimate estimate;
+  std::vector<std::string> invoked;  ///< tool names, in execution order
+};
+
+class DesignAgent {
+ public:
+  /// Register a tool; duplicate names throw.
+  void add_tool(Tool tool);
+
+  /// Register a flow rule; duplicate (request, context) pairs throw, and
+  /// every referenced tool must already be registered.
+  void add_rule(FlowRule rule);
+
+  [[nodiscard]] bool has_tool(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> tool_names() const;
+
+  /// Translate a request in a context to its tool sequence.
+  /// Falls back to the rule with context "" (the default flow) when the
+  /// specific context has no rule; throws ExprError if neither exists.
+  [[nodiscard]] const std::vector<std::string>& resolve(
+      const std::string& request, const std::string& context) const;
+
+  /// Resolve and execute.
+  [[nodiscard]] FlowResult run(const std::string& request,
+                               const std::string& context,
+                               const model::ParamReader& params) const;
+
+ private:
+  std::map<std::string, Tool> tools_;
+  std::map<std::pair<std::string, std::string>, std::vector<std::string>>
+      rules_;
+};
+
+/// A library model backed by an agent flow.  The design context is
+/// itself a parameter-driven choice: the `context_levels` vector maps
+/// the integer `context` parameter (0, 1, 2, ...) to context names, so a
+/// sheet user refines a row from sketch to layout by editing one cell.
+class ToolFlowModel final : public model::Model {
+ public:
+  ToolFlowModel(std::string name, std::string documentation,
+                std::vector<model::ParamSpec> params,
+                const DesignAgent& agent, std::string request,
+                std::vector<std::string> context_levels);
+
+  [[nodiscard]] model::Estimate evaluate(
+      const model::ParamReader& p) const override;
+
+  /// The tool sequence the current context level would run.
+  [[nodiscard]] const std::vector<std::string>& flow_for_level(
+      int level) const;
+
+ private:
+  const DesignAgent* agent_;
+  std::string request_;
+  std::vector<std::string> context_levels_;
+};
+
+}  // namespace powerplay::flow

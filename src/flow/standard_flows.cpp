@@ -1,0 +1,89 @@
+#include "flow/standard_flows.hpp"
+
+#include "expr/ast.hpp"
+#include "model/param.hpp"
+
+namespace powerplay::flow {
+
+namespace {
+
+using model::Estimate;
+using model::MapParamReader;
+using model::ParamReader;
+
+/// Copy the SRAM-relevant parameters from the incoming reader, with the
+/// stage deciding which refinements are visible to the model.
+MapParamReader sram_params(const ParamReader& p, bool with_swing,
+                           bool with_static) {
+  MapParamReader out;
+  out.set("words", p.get_or("words", 1024));
+  out.set("bits", p.get_or("bits", 8));
+  out.set("alpha", p.get_or("alpha", 1.0));
+  out.set("vdd", p.get_or("vdd", 1.5));
+  out.set("f", p.get_or("f", 0.0));
+  out.set("vswing", with_swing ? p.get_or("vswing", 0.0) : 0.0);
+  out.set("bitline_fraction", p.get_or("bitline_fraction", 0.6));
+  out.set("i_static", with_static ? p.get_or("i_static", 0.0) : 0.0);
+  return out;
+}
+
+}  // namespace
+
+DesignAgent make_standard_agent(const model::ModelRegistry& lib) {
+  DesignAgent agent;
+  // Capture the shared pointer: the tools stay valid even if the library
+  // entry is later replaced.
+  const model::ModelPtr sram = lib.find_shared("sram");
+  if (sram == nullptr) {
+    throw expr::ExprError("make_standard_agent: library has no 'sram'");
+  }
+
+  agent.add_tool(Tool{
+      "sram_quick",
+      "EQ 7 organization estimate, rail-to-rail (sketch accuracy)",
+      [sram](const ParamReader& p, const Estimate&) {
+        return sram->evaluate(sram_params(p, false, false));
+      }});
+  agent.add_tool(Tool{
+      "swing_refine",
+      "EQ 8 reduced-swing refinement (requires the bit-line circuit "
+      "style: vswing, bitline_fraction)",
+      [sram](const ParamReader& p, const Estimate&) {
+        return sram->evaluate(sram_params(p, true, false));
+      }});
+  agent.add_tool(Tool{
+      "static_refine",
+      "adds the extracted sense-amp bias current (layout data)",
+      [sram](const ParamReader& p, const Estimate&) {
+        return sram->evaluate(sram_params(p, true, true));
+      }});
+
+  agent.add_rule(FlowRule{"power", "sketch", {"sram_quick"}});
+  agent.add_rule(FlowRule{"power", "circuit", {"sram_quick", "swing_refine"}});
+  agent.add_rule(FlowRule{
+      "power", "layout", {"sram_quick", "swing_refine", "static_refine"}});
+  agent.add_rule(FlowRule{"power", "", {"sram_quick"}});
+  return agent;
+}
+
+model::ModelPtr make_sram_toolflow_model(const DesignAgent& agent) {
+  std::vector<model::ParamSpec> params = {
+      {"words", "number of words", 1024, "", 1, 1 << 24, true},
+      {"bits", "word width", 8, "bits", 1, 512, true},
+      {"vswing", "bit-line swing (circuit+ contexts)", 0.0, "V", 0, 40},
+      {"bitline_fraction", "fraction of C_T on bit-lines", 0.6, "", 0, 1},
+      {"i_static", "sense-amp bias (layout context)", 0.0, "A", 0, 1},
+      {"alpha", "activity scale", 1.0, "", 0, 1},
+      {model::kParamVdd, "supply voltage", 1.5, "V", 0, 40},
+      {model::kParamFreq, "access rate", 0.0, "Hz", 0, 1e12},
+  };
+  return std::make_shared<ToolFlowModel>(
+      "sram_toolflow",
+      "SRAM entry estimated through the Design Agent's memory-power "
+      "flow: context 0 (sketch) runs the EQ 7 quick estimate, context 1 "
+      "(circuit) adds the EQ 8 reduced-swing refinement, context 2 "
+      "(layout) adds the extracted static current.",
+      std::move(params), agent, "power", kStandardContexts);
+}
+
+}  // namespace powerplay::flow

@@ -1,0 +1,38 @@
+// standard_flows.hpp — a ready-made Design Agent configuration.
+//
+// The refinement story the paper tells for memories: a quick EQ 7
+// organization estimate at sketch time, the EQ 8 reduced-swing
+// refinement once the circuit style is chosen, and the static sense-amp
+// term once layout-level data exists.  Each step is a Tool; the design
+// context picks how far down the chain a request runs.
+#pragma once
+
+#include <memory>
+
+#include "flow/design_agent.hpp"
+#include "model/registry.hpp"
+
+namespace powerplay::flow {
+
+/// Context levels of the standard flows, in refinement order.
+inline const std::vector<std::string> kStandardContexts = {
+    "sketch", "circuit", "layout"};
+
+/// Build an agent with the standard memory-power flow:
+///   tools:  sram_quick  -> swing_refine -> static_refine
+///   rules:  ("power", "sketch")  = [sram_quick]
+///           ("power", "circuit") = [sram_quick, swing_refine]
+///           ("power", "layout")  = [sram_quick, swing_refine,
+///                                   static_refine]
+///           ("power", "")        = [sram_quick]          (default)
+/// The tools evaluate through `lib`'s "sram" model, so agent results stay
+/// consistent with direct spreadsheet estimates.  `lib` must outlive the
+/// returned agent.
+DesignAgent make_standard_agent(const model::ModelRegistry& lib);
+
+/// A tool-backed SRAM library entry running on `agent` (which must
+/// outlive the model): parameters of the plain "sram" model plus the
+/// agent's `context` level.
+model::ModelPtr make_sram_toolflow_model(const DesignAgent& agent);
+
+}  // namespace powerplay::flow

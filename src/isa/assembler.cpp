@@ -1,0 +1,246 @@
+#include "isa/assembler.hpp"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+
+namespace powerplay::isa {
+
+namespace {
+
+struct SourceLine {
+  int number;                       ///< 1-based line in the original text
+  std::optional<std::string> label; ///< label defined on this line
+  std::string mnemonic;             ///< empty for label-only/blank lines
+  std::vector<std::string> operands;
+};
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw AssemblyError("line " + std::to_string(line) + ": " + message);
+}
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+SourceLine parse_line(const std::string& raw, int number) {
+  SourceLine out;
+  out.number = number;
+  std::string text = raw;
+  // Strip comments.
+  for (char marker : {';', '#'}) {
+    const auto pos = text.find(marker);
+    if (pos != std::string::npos) text = text.substr(0, pos);
+  }
+  text = strip(text);
+  if (text.empty()) return out;
+
+  // Label?
+  const auto colon = text.find(':');
+  if (colon != std::string::npos) {
+    const std::string label = strip(text.substr(0, colon));
+    if (label.empty()) fail(number, "empty label");
+    for (char c : label) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+        fail(number, "bad label character in '" + label + "'");
+      }
+    }
+    out.label = label;
+    text = strip(text.substr(colon + 1));
+    if (text.empty()) return out;
+  }
+
+  // Mnemonic + comma-separated operands.
+  std::istringstream is(text);
+  is >> out.mnemonic;
+  out.mnemonic = lower(out.mnemonic);
+  std::string rest;
+  std::getline(is, rest);
+  rest = strip(rest);
+  if (!rest.empty()) {
+    std::string current;
+    for (char c : rest) {
+      if (c == ',') {
+        out.operands.push_back(strip(current));
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    out.operands.push_back(strip(current));
+  }
+  return out;
+}
+
+std::uint8_t parse_register(const std::string& text, int line) {
+  const std::string t = lower(strip(text));
+  if (t.size() < 2 || t[0] != 'r') fail(line, "expected register, got '" + text + "'");
+  int idx = 0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(t[i]))) {
+      fail(line, "expected register, got '" + text + "'");
+    }
+    idx = idx * 10 + (t[i] - '0');
+  }
+  if (idx >= kNumRegisters) {
+    fail(line, "register out of range: '" + text + "'");
+  }
+  return static_cast<std::uint8_t>(idx);
+}
+
+std::int32_t parse_immediate(const std::string& text, int line) {
+  const std::string t = strip(text);
+  if (t.empty()) fail(line, "expected immediate");
+  std::size_t pos = 0;
+  long long v = 0;
+  try {
+    v = std::stoll(t, &pos, 0);
+  } catch (const std::exception&) {
+    fail(line, "bad immediate '" + text + "'");
+  }
+  if (pos != t.size()) fail(line, "bad immediate '" + text + "'");
+  if (v < INT32_MIN || v > INT32_MAX) fail(line, "immediate overflow");
+  return static_cast<std::int32_t>(v);
+}
+
+struct OpSpec {
+  Opcode op;
+  enum class Form { kRRR, kRRI, kRI, kRR, kBranch, kJmp, kNone } form;
+};
+
+const std::map<std::string, OpSpec>& mnemonics() {
+  using F = OpSpec::Form;
+  static const std::map<std::string, OpSpec> table = {
+      {"add", {Opcode::kAdd, F::kRRR}},   {"sub", {Opcode::kSub, F::kRRR}},
+      {"and", {Opcode::kAnd, F::kRRR}},   {"or", {Opcode::kOr, F::kRRR}},
+      {"xor", {Opcode::kXor, F::kRRR}},   {"shl", {Opcode::kShl, F::kRRR}},
+      {"shr", {Opcode::kShr, F::kRRR}},   {"mul", {Opcode::kMul, F::kRRR}},
+      {"addi", {Opcode::kAddi, F::kRRI}}, {"li", {Opcode::kLi, F::kRI}},
+      {"mov", {Opcode::kMov, F::kRR}},    {"ld", {Opcode::kLd, F::kRRI}},
+      {"st", {Opcode::kSt, F::kRRI}},     {"beq", {Opcode::kBeq, F::kBranch}},
+      {"bne", {Opcode::kBne, F::kBranch}},{"blt", {Opcode::kBlt, F::kBranch}},
+      {"bge", {Opcode::kBge, F::kBranch}},{"jmp", {Opcode::kJmp, F::kJmp}},
+      {"nop", {Opcode::kNop, F::kNone}},  {"halt", {Opcode::kHalt, F::kNone}},
+  };
+  return table;
+}
+
+}  // namespace
+
+std::vector<Instruction> assemble(const std::string& source) {
+  // Pass 1: parse lines, assign instruction indices, collect labels.
+  std::vector<SourceLine> lines;
+  std::map<std::string, int> labels;
+  {
+    std::istringstream is(source);
+    std::string raw;
+    int number = 0;
+    int index = 0;
+    while (std::getline(is, raw)) {
+      ++number;
+      SourceLine line = parse_line(raw, number);
+      if (line.label) {
+        if (labels.contains(*line.label)) {
+          fail(number, "duplicate label '" + *line.label + "'");
+        }
+        labels[*line.label] = index;
+      }
+      if (!line.mnemonic.empty()) {
+        ++index;
+        lines.push_back(std::move(line));
+      }
+    }
+  }
+
+  // Pass 2: encode.
+  std::vector<Instruction> program;
+  program.reserve(lines.size());
+  for (const SourceLine& line : lines) {
+    auto it = mnemonics().find(line.mnemonic);
+    if (it == mnemonics().end()) {
+      fail(line.number, "unknown mnemonic '" + line.mnemonic + "'");
+    }
+    const OpSpec& spec = it->second;
+    Instruction inst;
+    inst.op = spec.op;
+    auto need = [&](std::size_t n) {
+      if (line.operands.size() != n) {
+        fail(line.number, "'" + line.mnemonic + "' expects " +
+                              std::to_string(n) + " operand(s), got " +
+                              std::to_string(line.operands.size()));
+      }
+    };
+    auto target = [&](const std::string& name) -> std::int32_t {
+      auto lt = labels.find(strip(name));
+      if (lt == labels.end()) {
+        fail(line.number, "undefined label '" + name + "'");
+      }
+      return lt->second;
+    };
+    using F = OpSpec::Form;
+    switch (spec.form) {
+      case F::kRRR:
+        need(3);
+        inst.rd = parse_register(line.operands[0], line.number);
+        inst.rs1 = parse_register(line.operands[1], line.number);
+        inst.rs2 = parse_register(line.operands[2], line.number);
+        break;
+      case F::kRRI:
+        need(3);
+        if (spec.op == Opcode::kSt) {
+          // st rs2, rs1, imm — value register first, like the others.
+          inst.rs2 = parse_register(line.operands[0], line.number);
+        } else {
+          inst.rd = parse_register(line.operands[0], line.number);
+        }
+        inst.rs1 = parse_register(line.operands[1], line.number);
+        inst.imm = parse_immediate(line.operands[2], line.number);
+        break;
+      case F::kRI:
+        need(2);
+        inst.rd = parse_register(line.operands[0], line.number);
+        inst.imm = parse_immediate(line.operands[1], line.number);
+        break;
+      case F::kRR:
+        need(2);
+        inst.rd = parse_register(line.operands[0], line.number);
+        inst.rs1 = parse_register(line.operands[1], line.number);
+        break;
+      case F::kBranch:
+        need(3);
+        inst.rs1 = parse_register(line.operands[0], line.number);
+        inst.rs2 = parse_register(line.operands[1], line.number);
+        inst.imm = target(line.operands[2]);
+        break;
+      case F::kJmp:
+        need(1);
+        inst.imm = target(line.operands[0]);
+        break;
+      case F::kNone:
+        need(0);
+        break;
+    }
+    program.push_back(inst);
+  }
+  return program;
+}
+
+std::string disassemble(const std::vector<Instruction>& program) {
+  std::string out;
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    out += std::to_string(i) + ":\t" + to_string(program[i]) + "\n";
+  }
+  return out;
+}
+
+}  // namespace powerplay::isa

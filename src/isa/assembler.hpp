@@ -1,0 +1,37 @@
+// assembler.hpp — two-pass assembler for the fictitious processor.
+//
+// Syntax, one instruction per line:
+//
+//   ; comment (also '#')
+//   start:  li   r1, 0          ; labels end with ':'
+//           ld   r2, r1, 100    ; r2 = mem[r1 + 100]
+//           blt  r1, r3, start
+//           halt
+//
+// Registers are r0..r15; immediates are signed decimal; branch/jump
+// targets are label names resolved on the second pass.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace powerplay::isa {
+
+class AssemblyError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Assemble source text to an instruction vector.
+/// Throws AssemblyError with a line number on any problem (unknown
+/// mnemonic, bad register, undefined or duplicate label, wrong operand
+/// count).
+std::vector<Instruction> assemble(const std::string& source);
+
+/// Disassemble back to text (labels lost; targets shown as @index).
+std::string disassemble(const std::vector<Instruction>& program);
+
+}  // namespace powerplay::isa

@@ -1,0 +1,26 @@
+#include "isa/energy.hpp"
+
+namespace powerplay::isa {
+
+model::MapParamReader instruction_model_params(const Profile& profile,
+                                               const ModelParams& params) {
+  model::MapParamReader out;
+  out.set("n_alu", static_cast<double>(profile.count(InstClass::kAlu)));
+  out.set("n_mul", static_cast<double>(profile.count(InstClass::kMul)));
+  out.set("n_load", static_cast<double>(profile.count(InstClass::kLoad)));
+  out.set("n_store", static_cast<double>(profile.count(InstClass::kStore)));
+  out.set("n_branch",
+          static_cast<double>(profile.count(InstClass::kBranch)));
+  out.set("n_other", static_cast<double>(profile.count(InstClass::kOther)));
+  out.set("cpi", params.cpi);
+  out.set("f", params.f_hz);
+  out.set("vdd", params.vdd);
+  out.set("n_misses", static_cast<double>(params.cache_misses));
+  out.set("miss_cycles", params.miss_cycles);
+  out.set("e_miss", 0.0);
+  out.set("n_switches", static_cast<double>(profile.class_switches));
+  out.set("e_switch", 0.0);
+  return out;
+}
+
+}  // namespace powerplay::isa

@@ -1,0 +1,27 @@
+// energy.hpp — bridge from profiler output to the EQ 12 power model.
+//
+// The paper's refinement ladder: run the coded algorithm under a
+// profiler (SPIX/Pixie → our Machine profile), optionally a cache
+// simulator (Dinero → src/cachesim), and feed the counts to the
+// instruction-level energy model.  This header produces the parameter
+// set models::InstructionProcessorModel expects.
+#pragma once
+
+#include "isa/machine.hpp"
+#include "model/param.hpp"
+
+namespace powerplay::isa {
+
+struct ModelParams {
+  double cpi = 1.0;
+  double f_hz = 25e6;
+  double vdd = 3.3;
+  std::uint64_t cache_misses = 0;
+  double miss_cycles = 10;
+};
+
+/// Build the EQ 12 parameter map from a profile.
+model::MapParamReader instruction_model_params(const Profile& profile,
+                                               const ModelParams& params);
+
+}  // namespace powerplay::isa

@@ -1,0 +1,116 @@
+#include "isa/isa.hpp"
+
+namespace powerplay::isa {
+
+InstClass class_of(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kAddi:
+    case Opcode::kLi:
+    case Opcode::kMov:
+      return InstClass::kAlu;
+    case Opcode::kMul:
+      return InstClass::kMul;
+    case Opcode::kLd:
+      return InstClass::kLoad;
+    case Opcode::kSt:
+      return InstClass::kStore;
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kJmp:
+      return InstClass::kBranch;
+    case Opcode::kNop:
+    case Opcode::kHalt:
+      return InstClass::kOther;
+  }
+  return InstClass::kOther;
+}
+
+std::string to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kAddi: return "addi";
+    case Opcode::kLi: return "li";
+    case Opcode::kMov: return "mov";
+    case Opcode::kMul: return "mul";
+    case Opcode::kLd: return "ld";
+    case Opcode::kSt: return "st";
+    case Opcode::kBeq: return "beq";
+    case Opcode::kBne: return "bne";
+    case Opcode::kBlt: return "blt";
+    case Opcode::kBge: return "bge";
+    case Opcode::kJmp: return "jmp";
+    case Opcode::kNop: return "nop";
+    case Opcode::kHalt: return "halt";
+  }
+  return "?";
+}
+
+std::string to_string(InstClass c) {
+  switch (c) {
+    case InstClass::kAlu: return "alu";
+    case InstClass::kMul: return "mul";
+    case InstClass::kLoad: return "load";
+    case InstClass::kStore: return "store";
+    case InstClass::kBranch: return "branch";
+    case InstClass::kOther: return "other";
+  }
+  return "?";
+}
+
+std::string to_string(const Instruction& inst) {
+  std::string out = to_string(inst.op);
+  auto reg = [](int r) { return " r" + std::to_string(r); };
+  switch (inst.op) {
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kMul:
+      return out + reg(inst.rd) + "," + reg(inst.rs1) + "," + reg(inst.rs2);
+    case Opcode::kAddi:
+      return out + reg(inst.rd) + "," + reg(inst.rs1) + ", " +
+             std::to_string(inst.imm);
+    case Opcode::kLi:
+      return out + reg(inst.rd) + ", " + std::to_string(inst.imm);
+    case Opcode::kMov:
+      return out + reg(inst.rd) + "," + reg(inst.rs1);
+    case Opcode::kLd:
+      return out + reg(inst.rd) + "," + reg(inst.rs1) + ", " +
+             std::to_string(inst.imm);
+    case Opcode::kSt:
+      return out + reg(inst.rs2) + "," + reg(inst.rs1) + ", " +
+             std::to_string(inst.imm);
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+      return out + reg(inst.rs1) + "," + reg(inst.rs2) + ", @" +
+             std::to_string(inst.imm);
+    case Opcode::kJmp:
+      return out + " @" + std::to_string(inst.imm);
+    case Opcode::kNop:
+    case Opcode::kHalt:
+      return out;
+  }
+  return out;
+}
+
+}  // namespace powerplay::isa

@@ -1,0 +1,78 @@
+// isa.hpp — the "fictitious processor" used for instruction-level power
+// analysis (paper §Models, Programmable Processors).
+//
+// Ong and Yan demonstrated orders-of-magnitude energy variance across
+// sorting algorithms on a fictitious processor; the paper's EQ 12 model
+// consumes exactly the per-instruction counts such a machine produces.
+// This is a small 16-register, word-addressed load/store machine with an
+// assembler (src/isa/assembler.hpp), an interpreting simulator with
+// profiling and memory tracing (src/isa/machine.hpp), and canned sorting
+// workloads (src/isa/programs.hpp).  The profiler's class counts map 1:1
+// onto models::InstructionProcessorModel's parameters, and its memory
+// trace feeds the Dinero-style cache simulator in src/cachesim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace powerplay::isa {
+
+inline constexpr int kNumRegisters = 16;
+
+enum class Opcode : std::uint8_t {
+  // ALU class
+  kAdd,   ///< add  rd, rs1, rs2
+  kSub,   ///< sub  rd, rs1, rs2
+  kAnd,   ///< and  rd, rs1, rs2
+  kOr,    ///< or   rd, rs1, rs2
+  kXor,   ///< xor  rd, rs1, rs2
+  kShl,   ///< shl  rd, rs1, rs2
+  kShr,   ///< shr  rd, rs1, rs2   (arithmetic shift right)
+  kAddi,  ///< addi rd, rs1, imm
+  kLi,    ///< li   rd, imm
+  kMov,   ///< mov  rd, rs1
+  // Multiply class
+  kMul,   ///< mul  rd, rs1, rs2
+  // Memory classes
+  kLd,    ///< ld   rd, rs1, imm   (rd = mem[rs1 + imm])
+  kSt,    ///< st   rs2, rs1, imm  (mem[rs1 + imm] = rs2)
+  // Branch class
+  kBeq,   ///< beq  rs1, rs2, label
+  kBne,   ///< bne  rs1, rs2, label
+  kBlt,   ///< blt  rs1, rs2, label
+  kBge,   ///< bge  rs1, rs2, label
+  kJmp,   ///< jmp  label
+  // Other
+  kNop,
+  kHalt,
+};
+
+/// Instruction classes matching models::InstClass ordering:
+/// alu, mul, load, store, branch, other.
+enum class InstClass : std::uint8_t {
+  kAlu = 0,
+  kMul,
+  kLoad,
+  kStore,
+  kBranch,
+  kOther,
+};
+inline constexpr std::size_t kNumInstClasses = 6;
+
+InstClass class_of(Opcode op);
+
+/// Decoded instruction.  Field meaning depends on the opcode; branch and
+/// jump targets are absolute instruction indices after assembly.
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int32_t imm = 0;  ///< immediate or branch target
+};
+
+std::string to_string(Opcode op);
+std::string to_string(InstClass c);
+std::string to_string(const Instruction& inst);
+
+}  // namespace powerplay::isa

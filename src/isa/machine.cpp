@@ -1,0 +1,129 @@
+#include "isa/machine.hpp"
+
+namespace powerplay::isa {
+
+Machine::Machine(std::vector<Instruction> program, std::size_t memory_words)
+    : program_(std::move(program)), memory_(memory_words, 0) {}
+
+std::int32_t Machine::reg(int index) const {
+  if (index < 0 || index >= kNumRegisters) {
+    throw ExecutionError("register index out of range");
+  }
+  return regs_[index];
+}
+
+void Machine::set_reg(int index, std::int32_t value) {
+  if (index < 0 || index >= kNumRegisters) {
+    throw ExecutionError("register index out of range");
+  }
+  regs_[index] = value;
+}
+
+std::int32_t Machine::mem(std::uint32_t word_address) const {
+  if (word_address >= memory_.size()) {
+    throw ExecutionError("memory read out of bounds");
+  }
+  return memory_[word_address];
+}
+
+void Machine::set_mem(std::uint32_t word_address, std::int32_t value) {
+  if (word_address >= memory_.size()) {
+    throw ExecutionError("memory write out of bounds");
+  }
+  memory_[word_address] = value;
+}
+
+void Machine::reset() {
+  regs_.fill(0);
+  pc_ = 0;
+  halted_ = false;
+  profile_ = Profile{};
+  last_class_ = InstClass::kOther;
+}
+
+std::uint32_t Machine::checked_address(std::int64_t addr) const {
+  if (addr < 0 || static_cast<std::uint64_t>(addr) >= memory_.size()) {
+    throw ExecutionError("data address out of bounds: " +
+                         std::to_string(addr));
+  }
+  return static_cast<std::uint32_t>(addr);
+}
+
+bool Machine::step() {
+  if (halted_) return false;
+  if (pc_ >= program_.size()) {
+    throw ExecutionError("program counter walked off the program at " +
+                         std::to_string(pc_));
+  }
+  const Instruction& inst = program_[pc_];
+  const InstClass cls = class_of(inst.op);
+  if (profile_.total > 0 && cls != last_class_) ++profile_.class_switches;
+  last_class_ = cls;
+  ++profile_.by_class[static_cast<std::size_t>(cls)];
+  ++profile_.total;
+
+  std::uint32_t next = pc_ + 1;
+  auto& r = regs_;
+  switch (inst.op) {
+    case Opcode::kAdd: r[inst.rd] = r[inst.rs1] + r[inst.rs2]; break;
+    case Opcode::kSub: r[inst.rd] = r[inst.rs1] - r[inst.rs2]; break;
+    case Opcode::kAnd: r[inst.rd] = r[inst.rs1] & r[inst.rs2]; break;
+    case Opcode::kOr: r[inst.rd] = r[inst.rs1] | r[inst.rs2]; break;
+    case Opcode::kXor: r[inst.rd] = r[inst.rs1] ^ r[inst.rs2]; break;
+    case Opcode::kShl:
+      r[inst.rd] = static_cast<std::int32_t>(
+          static_cast<std::uint32_t>(r[inst.rs1]) << (r[inst.rs2] & 31));
+      break;
+    case Opcode::kShr: r[inst.rd] = r[inst.rs1] >> (r[inst.rs2] & 31); break;
+    case Opcode::kAddi: r[inst.rd] = r[inst.rs1] + inst.imm; break;
+    case Opcode::kLi: r[inst.rd] = inst.imm; break;
+    case Opcode::kMov: r[inst.rd] = r[inst.rs1]; break;
+    case Opcode::kMul: r[inst.rd] = r[inst.rs1] * r[inst.rs2]; break;
+    case Opcode::kLd: {
+      const std::uint32_t addr =
+          checked_address(static_cast<std::int64_t>(r[inst.rs1]) + inst.imm);
+      r[inst.rd] = memory_[addr];
+      if (observer_) observer_(MemAccess{addr, /*is_write=*/false});
+      break;
+    }
+    case Opcode::kSt: {
+      const std::uint32_t addr =
+          checked_address(static_cast<std::int64_t>(r[inst.rs1]) + inst.imm);
+      memory_[addr] = r[inst.rs2];
+      if (observer_) observer_(MemAccess{addr, /*is_write=*/true});
+      break;
+    }
+    case Opcode::kBeq:
+      if (r[inst.rs1] == r[inst.rs2]) next = inst.imm;
+      break;
+    case Opcode::kBne:
+      if (r[inst.rs1] != r[inst.rs2]) next = inst.imm;
+      break;
+    case Opcode::kBlt:
+      if (r[inst.rs1] < r[inst.rs2]) next = inst.imm;
+      break;
+    case Opcode::kBge:
+      if (r[inst.rs1] >= r[inst.rs2]) next = inst.imm;
+      break;
+    case Opcode::kJmp: next = inst.imm; break;
+    case Opcode::kNop: break;
+    case Opcode::kHalt:
+      halted_ = true;
+      return false;
+  }
+  pc_ = next;
+  return true;
+}
+
+void Machine::run(std::uint64_t max_steps) {
+  std::uint64_t budget = max_steps;
+  while (!halted_) {
+    if (budget-- == 0) {
+      throw ExecutionError("step budget exhausted after " +
+                           std::to_string(max_steps) + " instructions");
+    }
+    step();
+  }
+}
+
+}  // namespace powerplay::isa

@@ -1,0 +1,96 @@
+// machine.hpp — interpreting simulator with profiling and memory tracing.
+//
+// The machine executes an assembled program, counting executions per
+// instruction class (the SPIX/Pixie role the paper assigns to profilers)
+// and optionally streaming data-memory accesses to an observer (the
+// Dinero role — src/cachesim consumes this trace).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace powerplay::isa {
+
+class ExecutionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One data-memory access, in *word* addresses.
+struct MemAccess {
+  std::uint32_t word_address;
+  bool is_write;
+};
+
+using MemObserver = std::function<void(const MemAccess&)>;
+
+/// Per-class execution counts — the profiler output.
+struct Profile {
+  std::array<std::uint64_t, kNumInstClasses> by_class{};
+  std::uint64_t total = 0;
+  /// Consecutive instructions of *different* classes (Tiwari's
+  /// inter-instruction circuit-state overhead counts one per switch).
+  std::uint64_t class_switches = 0;
+
+  [[nodiscard]] std::uint64_t count(InstClass c) const {
+    return by_class[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] std::uint64_t loads() const { return count(InstClass::kLoad); }
+  [[nodiscard]] std::uint64_t stores() const {
+    return count(InstClass::kStore);
+  }
+};
+
+class Machine {
+ public:
+  /// `memory_words` is the data-memory size in 32-bit words.
+  explicit Machine(std::vector<Instruction> program,
+                   std::size_t memory_words = 1 << 16);
+
+  /// Run until HALT.  Throws ExecutionError if the step budget is
+  /// exhausted (runaway loop), the PC walks off the program, or a memory
+  /// access is out of bounds.
+  void run(std::uint64_t max_steps = 100'000'000);
+
+  /// Single step; returns false once halted.
+  bool step();
+
+  [[nodiscard]] bool halted() const { return halted_; }
+  [[nodiscard]] const Profile& profile() const { return profile_; }
+  [[nodiscard]] std::uint64_t steps() const { return profile_.total; }
+
+  [[nodiscard]] std::int32_t reg(int index) const;
+  void set_reg(int index, std::int32_t value);
+
+  [[nodiscard]] std::int32_t mem(std::uint32_t word_address) const;
+  void set_mem(std::uint32_t word_address, std::int32_t value);
+  [[nodiscard]] std::size_t memory_words() const { return memory_.size(); }
+
+  /// Observer invoked on every data-memory access while running.
+  void set_mem_observer(MemObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Reset PC, registers, profile and halt flag (memory is preserved so
+  /// a workload can be re-run on its own output).
+  void reset();
+
+ private:
+  std::uint32_t checked_address(std::int64_t addr) const;
+
+  std::vector<Instruction> program_;
+  std::vector<std::int32_t> memory_;
+  std::array<std::int32_t, kNumRegisters> regs_{};
+  std::uint32_t pc_ = 0;
+  bool halted_ = false;
+  Profile profile_;
+  InstClass last_class_ = InstClass::kOther;
+  MemObserver observer_;
+};
+
+}  // namespace powerplay::isa

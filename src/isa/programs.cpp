@@ -1,0 +1,305 @@
+#include "isa/programs.hpp"
+
+namespace powerplay::isa {
+
+namespace {
+
+std::string with_n(const char* text, int n) {
+  // Substitute every "{n}" in the template with the literal length.
+  std::string out = text;
+  const std::string needle = "{n}";
+  const std::string value = std::to_string(n);
+  std::size_t pos = 0;
+  while ((pos = out.find(needle, pos)) != std::string::npos) {
+    out.replace(pos, needle.size(), value);
+    pos += value.size();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string bubble_sort_source(int n) {
+  // Classic n^2 compare-and-swap sweeps; worst case for both branch and
+  // store traffic, which is what makes it the energy outlier.
+  return with_n(R"(
+; bubble sort, array at words [0, {n})
+        li   r1, {n}        ; n
+        addi r4, r1, -1     ; n-1
+        li   r3, 0          ; i
+outer:  bge  r3, r4, done
+        li   r5, 0          ; j
+        sub  r6, r4, r3     ; sweep limit n-1-i
+inner:  bge  r5, r6, iend
+        ld   r7, r5, 0      ; a[j]
+        ld   r8, r5, 1      ; a[j+1]
+        bge  r8, r7, noswap
+        st   r8, r5, 0
+        st   r7, r5, 1
+noswap: addi r5, r5, 1
+        jmp  inner
+iend:   addi r3, r3, 1
+        jmp  outer
+done:   halt
+)",
+                n);
+}
+
+std::string selection_sort_source(int n) {
+  // Also n^2 compares, but only n-1 swaps: far fewer stores than bubble.
+  return with_n(R"(
+; selection sort, array at words [0, {n})
+        li   r1, {n}
+        addi r4, r1, -1     ; n-1
+        li   r3, 0          ; i
+outer:  bge  r3, r4, done
+        mov  r5, r3         ; min index
+        ld   r6, r3, 0      ; min value
+        addi r7, r3, 1      ; j
+inner:  bge  r7, r1, iend
+        ld   r8, r7, 0
+        bge  r8, r6, keep
+        mov  r5, r7
+        mov  r6, r8
+keep:   addi r7, r7, 1
+        jmp  inner
+iend:   ld   r9, r3, 0
+        st   r6, r3, 0
+        st   r9, r5, 0
+        addi r3, r3, 1
+        jmp  outer
+done:   halt
+)",
+                n);
+}
+
+std::string insertion_sort_source(int n) {
+  // Adaptive: nearly free on presorted input, n^2 shifts on reversed.
+  return with_n(R"(
+; insertion sort, array at words [0, {n})
+        li   r1, {n}
+        li   r0, 0
+        li   r3, 1          ; i
+outer:  bge  r3, r1, done
+        ld   r5, r3, 0      ; key
+        addi r6, r3, -1     ; j
+inner:  blt  r6, r0, place
+        ld   r7, r6, 0
+        bge  r5, r7, place  ; stop once key >= a[j]
+        st   r7, r6, 1      ; shift a[j] right
+        addi r6, r6, -1
+        jmp  inner
+place:  st   r5, r6, 1      ; a[j+1] = key
+        addi r3, r3, 1
+        jmp  outer
+done:   halt
+)",
+                n);
+}
+
+std::string merge_sort_source(int n) {
+  // Bottom-up merge sort; scratch buffer at words [{n}, 2*{n}).
+  return with_n(R"(
+; bottom-up merge sort, array at [0, {n}), scratch at [{n}, 2*{n})
+        li   r1, {n}
+        li   r2, 1          ; width
+        li   r0, 0
+wloop:  bge  r2, r1, wdone
+        li   r3, 0          ; run start i
+iloop:  bge  r3, r1, icopy
+        add  r4, r3, r2     ; mid = min(i+width, n)
+        blt  r4, r1, midok
+        mov  r4, r1
+midok:  add  r5, r2, r2     ; right = min(i+2*width, n)
+        add  r5, r5, r3
+        blt  r5, r1, rgtok
+        mov  r5, r1
+rgtok:  mov  r6, r3         ; l
+        mov  r7, r4         ; r
+        mov  r8, r3         ; k
+merge:  bge  r8, r5, mdone
+        bge  r6, r4, right  ; left run exhausted
+        bge  r7, r5, left   ; right run exhausted
+        ld   r9, r6, 0
+        ld   r10, r7, 0
+        blt  r10, r9, right ; a[r] < a[l]: take right (stable otherwise)
+left:   ld   r9, r6, 0
+        st   r9, r8, {n}
+        addi r6, r6, 1
+        jmp  madv
+right:  ld   r10, r7, 0
+        st   r10, r8, {n}
+        addi r7, r7, 1
+madv:   addi r8, r8, 1
+        jmp  merge
+mdone:  add  r11, r2, r2    ; i += 2*width
+        add  r3, r3, r11
+        jmp  iloop
+icopy:  li   r12, 0         ; copy scratch back
+cloop:  bge  r12, r1, cdone
+        ld   r9, r12, {n}
+        st   r9, r12, 0
+        addi r12, r12, 1
+        jmp  cloop
+cdone:  add  r2, r2, r2     ; width *= 2
+        jmp  wloop
+wdone:  halt
+)",
+                n);
+}
+
+std::string fir_filter_source(int n_samples, int taps) {
+  std::string src = R"(
+; FIR filter: x at [0, {n}), h at [{n}, {n}+{t}), y at [{n}+{t}, ...)
+        li   r1, {n}
+        li   r2, {t}
+        li   r0, 0
+        sub  r3, r1, r2     ; output count
+        li   r4, 0          ; i
+outer:  bge  r4, r3, done
+        li   r5, 0          ; acc
+        li   r6, 0          ; j
+inner:  bge  r6, r2, iend
+        add  r7, r4, r6
+        ld   r8, r7, 0      ; x[i+j]
+        ld   r9, r6, {n}    ; h[j]
+        mul  r10, r8, r9
+        add  r5, r5, r10
+        addi r6, r6, 1
+        jmp  inner
+iend:   st   r5, r4, {nt}   ; y[i]
+        addi r4, r4, 1
+        jmp  outer
+done:   halt
+)";
+  auto replace_all = [&](const std::string& needle, const std::string& v) {
+    std::size_t pos = 0;
+    while ((pos = src.find(needle, pos)) != std::string::npos) {
+      src.replace(pos, needle.size(), v);
+      pos += v.size();
+    }
+  };
+  replace_all("{nt}", std::to_string(n_samples + taps));
+  replace_all("{n}", std::to_string(n_samples));
+  replace_all("{t}", std::to_string(taps));
+  return src;
+}
+
+std::vector<std::int32_t> fir_reference(std::span<const std::int32_t> x,
+                                        std::span<const std::int32_t> h) {
+  std::vector<std::int32_t> y;
+  if (x.size() < h.size()) return y;
+  y.reserve(x.size() - h.size());
+  for (std::size_t i = 0; i + h.size() <= x.size() - 0 &&
+                          i < x.size() - h.size();
+       ++i) {
+    std::int32_t acc = 0;
+    for (std::size_t j = 0; j < h.size(); ++j) acc += h[j] * x[i + j];
+    y.push_back(acc);
+  }
+  return y;
+}
+
+std::string vq_decode_source(int n_pixels) {
+  // codes at [0, n/16); lut at base_lut = n/16; y at base_lut + 4096.
+  const int base_lut = n_pixels / 16;
+  const int base_out = base_lut + 4096;
+  std::string src = R"(
+; VQ decode: y[i] = lut[codes[i/16]*16 + i%16]
+        li   r1, {n}
+        li   r2, 15
+        li   r3, 4
+        li   r4, 0          ; i
+loop:   bge  r4, r1, done
+        shr  r5, r4, r3     ; i / 16
+        ld   r6, r5, 0      ; code
+        shl  r7, r6, r3     ; code * 16
+        and  r8, r4, r2     ; i % 16
+        add  r7, r7, r8
+        ld   r9, r7, {lut}  ; lut[...]
+        st   r9, r4, {out}  ; y[i]
+        addi r4, r4, 1
+        jmp  loop
+done:   halt
+)";
+  auto replace_all = [&](const std::string& needle, const std::string& v) {
+    std::size_t pos = 0;
+    while ((pos = src.find(needle, pos)) != std::string::npos) {
+      src.replace(pos, needle.size(), v);
+      pos += v.size();
+    }
+  };
+  replace_all("{lut}", std::to_string(base_lut));
+  replace_all("{out}", std::to_string(base_out));
+  replace_all("{n}", std::to_string(n_pixels));
+  return src;
+}
+
+std::vector<std::int32_t> vq_reference(std::span<const std::int32_t> codes,
+                                       std::span<const std::int32_t> lut,
+                                       int n_pixels) {
+  std::vector<std::int32_t> y;
+  y.reserve(n_pixels);
+  for (int i = 0; i < n_pixels; ++i) {
+    const std::int32_t code = codes[i / 16];
+    y.push_back(lut[code * 16 + (i % 16)]);
+  }
+  return y;
+}
+
+std::vector<SortProgram> sorting_suite(int n) {
+  return {
+      {"bubble", bubble_sort_source(n), static_cast<std::size_t>(n) + 16},
+      {"selection", selection_sort_source(n),
+       static_cast<std::size_t>(n) + 16},
+      {"insertion", insertion_sort_source(n),
+       static_cast<std::size_t>(n) + 16},
+      {"merge", merge_sort_source(n), 2 * static_cast<std::size_t>(n) + 16},
+  };
+}
+
+void load_array(Machine& m, std::span<const std::int32_t> data,
+                std::uint32_t base) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    m.set_mem(base + static_cast<std::uint32_t>(i), data[i]);
+  }
+}
+
+std::vector<std::int32_t> read_array(const Machine& m, std::size_t n,
+                                     std::uint32_t base) {
+  std::vector<std::int32_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(m.mem(base + static_cast<std::uint32_t>(i)));
+  }
+  return out;
+}
+
+std::vector<std::int32_t> random_data(int n, std::uint32_t seed) {
+  std::vector<std::int32_t> out;
+  out.reserve(n);
+  std::uint32_t x = seed == 0 ? 0x9e3779b9u : seed;
+  for (int i = 0; i < n; ++i) {
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    out.push_back(static_cast<std::int32_t>(x % 100000));
+  }
+  return out;
+}
+
+std::vector<std::int32_t> ascending_data(int n) {
+  std::vector<std::int32_t> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) out.push_back(i);
+  return out;
+}
+
+std::vector<std::int32_t> descending_data(int n) {
+  std::vector<std::int32_t> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) out.push_back(n - i);
+  return out;
+}
+
+}  // namespace powerplay::isa

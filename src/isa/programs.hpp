@@ -1,0 +1,71 @@
+// programs.hpp — canned workloads for the fictitious processor.
+//
+// The sorting suite reproduces the Ong & Yan experiment the paper cites:
+// "there can be orders of magnitude variance in power consumption for
+// different sorting algorithms".  Each generator emits assembly sorting
+// n words ascending, with the array at data-memory word 0.  Merge sort
+// additionally uses words [n, 2n) as scratch, so size the machine
+// accordingly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "isa/machine.hpp"
+
+namespace powerplay::isa {
+
+std::string bubble_sort_source(int n);
+std::string selection_sort_source(int n);
+std::string insertion_sort_source(int n);
+std::string merge_sort_source(int n);
+
+struct SortProgram {
+  std::string name;
+  std::string source;
+  std::size_t memory_words;  ///< minimum data memory required
+};
+
+/// All four sorts for a given n, in canonical order
+/// (bubble, selection, insertion, merge).
+std::vector<SortProgram> sorting_suite(int n);
+
+/// FIR filter workload (the DSP kernel of the paper's application
+/// domain): y[i] = sum_j h[j] * x[i+j] for i in [0, n_samples - taps).
+/// Memory layout: x at [0, n), h at [n, n+taps), y at [n+taps, ...).
+/// A multiply-heavy instruction mix, complementing the sorts'
+/// branch/memory mixes in the EQ 12 experiments.
+std::string fir_filter_source(int n_samples, int taps);
+
+/// Reference FIR for verifying machine output.
+std::vector<std::int32_t> fir_reference(std::span<const std::int32_t> x,
+                                        std::span<const std::int32_t> h);
+
+/// The paper's own workload, in software: VQ luminance decompression.
+/// For each of n_pixels output pixels i:
+///   code = codes[i / 16];  y[i] = lut[code * 16 + (i % 16)]
+/// Memory layout: codes at [0, n/16), LUT (4096 words) at n/16,
+/// output at n/16 + 4096.  Used by bench_hw_vs_sw to contrast the EQ 12
+/// software estimate with the Figure 2/3 dedicated-hardware spreadsheet.
+std::string vq_decode_source(int n_pixels);
+
+/// Reference decode for verifying machine output.
+std::vector<std::int32_t> vq_reference(std::span<const std::int32_t> codes,
+                                       std::span<const std::int32_t> lut,
+                                       int n_pixels);
+
+// --- host-side data helpers -------------------------------------------------
+
+void load_array(Machine& m, std::span<const std::int32_t> data,
+                std::uint32_t base = 0);
+std::vector<std::int32_t> read_array(const Machine& m, std::size_t n,
+                                     std::uint32_t base = 0);
+
+/// Deterministic pseudo-random data (xorshift; same seed → same data).
+std::vector<std::int32_t> random_data(int n, std::uint32_t seed);
+std::vector<std::int32_t> ascending_data(int n);
+std::vector<std::int32_t> descending_data(int n);
+
+}  // namespace powerplay::isa

@@ -1,0 +1,241 @@
+#include "library/serialize.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "expr/parser.hpp"
+#include "library/textio.hpp"
+
+namespace powerplay::library {
+
+namespace {
+
+void write_equation_field(std::string& out, const char* key,
+                          const std::string& value) {
+  if (!value.empty()) {
+    out += "  ";
+    out += key;
+    out += ' ';
+    out += quoted(value);
+    out += '\n';
+  }
+}
+
+/// Parse the bindings shared by row bodies and user profiles:
+///   set "name" <number> | formula "name" "<expr>" | note "<text>"
+/// Returns false when the cursor is not at one of those keywords.
+bool parse_binding(TokCursor& cur, expr::Scope& scope, std::string* note) {
+  if (cur.accept_ident("set")) {
+    const std::string name = cur.take_string();
+    scope.set(name, cur.take_number());
+    return true;
+  }
+  if (cur.accept_ident("formula")) {
+    const std::string name = cur.take_string();
+    scope.set_formula(name, cur.take_string());
+    return true;
+  }
+  if (note != nullptr && cur.accept_ident("note")) {
+    *note = cur.take_string();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void write_scope_bindings(const expr::Scope& scope, const std::string& indent,
+                          std::string& out) {
+  for (const std::string& name : scope.local_names()) {
+    auto found = scope.lookup(name);
+    if (const double* literal = std::get_if<double>(found->binding)) {
+      out += indent + "set " + quoted(name) + " " + number_text(*literal) +
+             "\n";
+    } else {
+      const auto& formula = std::get<expr::ExprPtr>(*found->binding);
+      out += indent + "formula " + quoted(name) + " " +
+             quoted(expr::to_source(*formula)) + "\n";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// User models
+// ---------------------------------------------------------------------------
+
+std::string to_text(const model::UserModelDefinition& def) {
+  std::string out = "model " + quoted(def.name) + " {\n";
+  out += "  category " + quoted(model::to_string(def.category)) + "\n";
+  if (!def.documentation.empty()) {
+    out += "  doc " + quoted(def.documentation) + "\n";
+  }
+  for (const model::ParamSpec& s : def.params) {
+    out += "  param " + quoted(s.name) + " {";
+    if (!s.description.empty()) out += " desc " + quoted(s.description);
+    out += " default " + number_text(s.default_value);
+    if (!s.unit.empty()) out += " unit " + quoted(s.unit);
+    if (std::isfinite(s.min)) out += " min " + number_text(s.min);
+    if (std::isfinite(s.max)) out += " max " + number_text(s.max);
+    if (s.integer) out += " integer 1";
+    out += " }\n";
+  }
+  write_equation_field(out, "c_fullswing", def.c_fullswing);
+  write_equation_field(out, "c_partialswing", def.c_partialswing);
+  write_equation_field(out, "v_swing", def.v_swing);
+  write_equation_field(out, "static_current", def.static_current);
+  write_equation_field(out, "power_direct", def.power_direct);
+  write_equation_field(out, "area", def.area);
+  write_equation_field(out, "delay", def.delay);
+  out += "}\n";
+  return out;
+}
+
+model::UserModelDefinition parse_user_model(const std::string& text) {
+  TokCursor cur(tokenize_document(text));
+  model::UserModelDefinition def;
+  cur.expect_ident("model");
+  def.name = cur.take_string();
+  cur.expect(TokKind::kLBrace);
+  while (cur.peek().kind != TokKind::kRBrace) {
+    if (cur.accept_ident("category")) {
+      def.category = category_from_string(cur.take_string());
+    } else if (cur.accept_ident("doc")) {
+      def.documentation = cur.take_string();
+    } else if (cur.accept_ident("param")) {
+      model::ParamSpec s;
+      s.name = cur.take_string();
+      cur.expect(TokKind::kLBrace);
+      while (cur.peek().kind != TokKind::kRBrace) {
+        if (cur.accept_ident("desc")) {
+          s.description = cur.take_string();
+        } else if (cur.accept_ident("default")) {
+          s.default_value = cur.take_number();
+        } else if (cur.accept_ident("unit")) {
+          s.unit = cur.take_string();
+        } else if (cur.accept_ident("min")) {
+          s.min = cur.take_number();
+        } else if (cur.accept_ident("max")) {
+          s.max = cur.take_number();
+        } else if (cur.accept_ident("integer")) {
+          s.integer = cur.take_number() != 0.0;
+        } else {
+          cur.fail("unknown param attribute");
+        }
+      }
+      cur.expect(TokKind::kRBrace);
+      def.params.push_back(std::move(s));
+    } else if (cur.accept_ident("c_fullswing")) {
+      def.c_fullswing = cur.take_string();
+    } else if (cur.accept_ident("c_partialswing")) {
+      def.c_partialswing = cur.take_string();
+    } else if (cur.accept_ident("v_swing")) {
+      def.v_swing = cur.take_string();
+    } else if (cur.accept_ident("static_current")) {
+      def.static_current = cur.take_string();
+    } else if (cur.accept_ident("power_direct")) {
+      def.power_direct = cur.take_string();
+    } else if (cur.accept_ident("area")) {
+      def.area = cur.take_string();
+    } else if (cur.accept_ident("delay")) {
+      def.delay = cur.take_string();
+    } else {
+      cur.fail("unknown model attribute");
+    }
+  }
+  cur.expect(TokKind::kRBrace);
+  return def;
+}
+
+// ---------------------------------------------------------------------------
+// Designs
+// ---------------------------------------------------------------------------
+
+std::string to_text(const sheet::Design& design) {
+  std::string out = "design " + quoted(design.name()) + " {\n";
+  if (!design.description().empty()) {
+    out += "  description " + quoted(design.description()) + "\n";
+  }
+  write_scope_bindings(design.globals(), "  ", out);
+  for (const sheet::Row& row : design.rows()) {
+    out += "  row " + quoted(row.name) + " {\n";
+    if (row.is_macro()) {
+      out += "    macro " + quoted(row.macro->name()) + "\n";
+    } else {
+      out += "    model " + quoted(row.model->name()) + "\n";
+    }
+    write_scope_bindings(row.params, "    ", out);
+    if (!row.note.empty()) out += "    note " + quoted(row.note) + "\n";
+    if (!row.enabled) out += "    disabled 1\n";
+    out += "  }\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+sheet::Design parse_design(const std::string& text,
+                           const model::ModelRegistry& lib,
+                           const DesignResolver& resolve) {
+  TokCursor cur(tokenize_document(text));
+  cur.expect_ident("design");
+  const std::string name = cur.take_string();
+  sheet::Design design(name);
+  cur.expect(TokKind::kLBrace);
+  while (cur.peek().kind != TokKind::kRBrace) {
+    if (cur.accept_ident("description")) {
+      design.set_description(cur.take_string());
+    } else if (parse_binding(cur, design.globals(), nullptr)) {
+      // global binding handled
+    } else if (cur.accept_ident("row")) {
+      const std::string row_name = cur.take_string();
+      cur.expect(TokKind::kLBrace);
+      // The first attribute must identify the row's model or macro.
+      sheet::Row* row = nullptr;
+      if (cur.accept_ident("model")) {
+        const std::string model_name = cur.take_string();
+        model::ModelPtr m = lib.find_shared(model_name);
+        if (m == nullptr) {
+          throw FormatError("design '" + name + "', row '" + row_name +
+                            "': unknown model '" + model_name + "'");
+        }
+        row = &design.add_row(row_name, std::move(m));
+      } else if (cur.accept_ident("macro")) {
+        const std::string macro_name = cur.take_string();
+        std::shared_ptr<const sheet::Design> sub =
+            resolve ? resolve(macro_name) : nullptr;
+        if (sub == nullptr) {
+          throw FormatError("design '" + name + "', row '" + row_name +
+                            "': cannot resolve macro design '" + macro_name +
+                            "'");
+        }
+        row = &design.add_macro(row_name, std::move(sub));
+      } else {
+        cur.fail("row must start with 'model' or 'macro'");
+      }
+      while (cur.peek().kind != TokKind::kRBrace) {
+        if (cur.accept_ident("disabled")) {
+          row->enabled = cur.take_number() == 0.0;
+        } else if (!parse_binding(cur, row->params, &row->note)) {
+          cur.fail("unknown row attribute");
+        }
+      }
+      cur.expect(TokKind::kRBrace);
+    } else {
+      cur.fail("unknown design attribute");
+    }
+  }
+  cur.expect(TokKind::kRBrace);
+  return design;
+}
+
+model::Category category_from_string(const std::string& name) {
+  using model::Category;
+  for (Category c :
+       {Category::kComputation, Category::kStorage, Category::kController,
+        Category::kInterconnect, Category::kProcessor, Category::kAnalog,
+        Category::kConverter, Category::kSystem, Category::kMacro}) {
+    if (model::to_string(c) == name) return c;
+  }
+  throw FormatError("unknown model category '" + name + "'");
+}
+
+}  // namespace powerplay::library

@@ -1,0 +1,55 @@
+// serialize.hpp — text round-tripping of user models and designs.
+//
+// "Libraries of primitives ... as well as macro cells ... may be shared
+// and reused.  If a library is characterized and put on the web in
+// Massachusetts, it can be used for estimates in California."  The
+// serialized forms here are that wire/storage representation: the same
+// text is written to the store's local files and shipped over the
+// HTTP model-access protocol (src/web/remote.hpp).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "model/registry.hpp"
+#include "model/user_model.hpp"
+#include "sheet/design.hpp"
+
+namespace powerplay::library {
+
+// --- User-defined models ---------------------------------------------------
+
+std::string to_text(const model::UserModelDefinition& def);
+
+/// Parse one `model "..." { ... }` document.  Throws FormatError on
+/// malformed syntax; UserModel construction afterwards validates the
+/// equations themselves.
+model::UserModelDefinition parse_user_model(const std::string& text);
+
+// --- Designs -----------------------------------------------------------------
+
+/// Resolve a macro reference by design name during parsing (typically a
+/// LibraryStore lookup; the remote protocol plugs in an HTTP fetch).
+using DesignResolver =
+    std::function<std::shared_ptr<const sheet::Design>(const std::string&)>;
+
+std::string to_text(const sheet::Design& design);
+
+/// Parse one `design "..." { ... }` document.  Primitive rows resolve
+/// their model names against `lib`; macro rows resolve via `resolve`.
+sheet::Design parse_design(const std::string& text,
+                           const model::ModelRegistry& lib,
+                           const DesignResolver& resolve);
+
+// --- Category names ----------------------------------------------------------
+
+model::Category category_from_string(const std::string& name);
+
+// --- Scope helpers (shared with the user-profile store) ----------------------
+
+/// Emit `set "name" <number>` / `formula "name" "<expr>"` lines.
+void write_scope_bindings(const expr::Scope& scope, const std::string& indent,
+                          std::string& out);
+
+}  // namespace powerplay::library

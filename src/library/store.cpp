@@ -1,0 +1,257 @@
+#include "library/store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "library/textio.hpp"
+
+namespace powerplay::library {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw FormatError("cannot read file: " + path.string());
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const fs::path& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw FormatError("cannot write file: " + path.string());
+  }
+  out << contents;
+  if (!out.good()) {
+    throw FormatError("write failed: " + path.string());
+  }
+}
+
+std::vector<std::string> list_stems(const fs::path& dir,
+                                    const std::string& extension) {
+  std::vector<std::string> out;
+  if (!fs::exists(dir)) return out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == extension) {
+      out.push_back(entry.path().stem().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+void validate_store_name(const std::string& name) {
+  if (name.empty()) throw FormatError("empty name");
+  if (name.front() == '.') {
+    throw FormatError("name must not start with '.': '" + name + "'");
+  }
+  for (char c : name) {
+    if (c == '/' || c == '\\' || c == '\0') {
+      throw FormatError("name contains a path separator: '" + name + "'");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// UserProfile
+// ---------------------------------------------------------------------------
+
+std::string password_digest(const std::string& password) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : password) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+bool UserProfile::check_password(const std::string& password) const {
+  if (!has_password()) return true;
+  return password_digest(password) == password_hash;
+}
+
+void UserProfile::set_password(const std::string& password) {
+  password_hash = password.empty() ? "" : password_digest(password);
+}
+
+std::string to_text(const UserProfile& profile) {
+  std::string out = "user " + quoted(profile.username) + " {\n";
+  for (const auto& [name, value] : profile.defaults) {
+    out += "  default " + quoted(name) + " " + number_text(value) + "\n";
+  }
+  for (const std::string& d : profile.designs) {
+    out += "  design " + quoted(d) + "\n";
+  }
+  if (profile.has_password()) {
+    out += "  password " + quoted(profile.password_hash) + "\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+UserProfile parse_user_profile(const std::string& text) {
+  TokCursor cur(tokenize_document(text));
+  UserProfile profile;
+  cur.expect_ident("user");
+  profile.username = cur.take_string();
+  cur.expect(TokKind::kLBrace);
+  while (cur.peek().kind != TokKind::kRBrace) {
+    if (cur.accept_ident("default")) {
+      const std::string name = cur.take_string();
+      profile.defaults[name] = cur.take_number();
+    } else if (cur.accept_ident("design")) {
+      profile.designs.push_back(cur.take_string());
+    } else if (cur.accept_ident("password")) {
+      profile.password_hash = cur.take_string();
+    } else {
+      cur.fail("unknown user attribute");
+    }
+  }
+  cur.expect(TokKind::kRBrace);
+  return profile;
+}
+
+// ---------------------------------------------------------------------------
+// LibraryStore
+// ---------------------------------------------------------------------------
+
+LibraryStore::LibraryStore(fs::path root) : root_(std::move(root)) {
+  fs::create_directories(root_ / "models");
+  fs::create_directories(root_ / "designs");
+  fs::create_directories(root_ / "users");
+}
+
+fs::path LibraryStore::model_path(const std::string& n) const {
+  return root_ / "models" / (n + ".ppmodel");
+}
+fs::path LibraryStore::design_path(const std::string& n) const {
+  return root_ / "designs" / (n + ".ppdesign");
+}
+fs::path LibraryStore::user_path(const std::string& n) const {
+  return root_ / "users" / (n + ".ppuser");
+}
+
+void LibraryStore::save_model(const model::UserModelDefinition& def,
+                              bool proprietary) {
+  validate_store_name(def.name);
+  std::string text;
+  if (proprietary) text += "# proprietary\n";
+  text += to_text(def);
+  write_file(model_path(def.name), text);
+}
+
+std::optional<model::UserModelDefinition> LibraryStore::load_model(
+    const std::string& name) const {
+  validate_store_name(name);
+  const fs::path path = model_path(name);
+  if (!fs::exists(path)) return std::nullopt;
+  return parse_user_model(read_file(path));
+}
+
+std::vector<std::string> LibraryStore::list_models() const {
+  return list_stems(root_ / "models", ".ppmodel");
+}
+
+bool LibraryStore::is_proprietary(const std::string& name) const {
+  validate_store_name(name);
+  const fs::path path = model_path(name);
+  if (!fs::exists(path)) return false;
+  const std::string text = read_file(path);
+  return text.rfind("# proprietary\n", 0) == 0;
+}
+
+void LibraryStore::load_all_models(model::ModelRegistry& registry) const {
+  for (const std::string& name : list_models()) {
+    auto def = load_model(name);
+    registry.add_or_replace(std::make_shared<model::UserModel>(*def));
+  }
+}
+
+void LibraryStore::save_design(const sheet::Design& design) {
+  validate_store_name(design.name());
+  // Save macros the design references first so a later load resolves;
+  // shared sub-designs are written once per save (idempotent contents).
+  for (const sheet::Row& row : design.rows()) {
+    if (row.is_macro()) save_design(*row.macro);
+  }
+  write_file(design_path(design.name()), to_text(design));
+}
+
+bool LibraryStore::has_design(const std::string& name) const {
+  validate_store_name(name);
+  return fs::exists(design_path(name));
+}
+
+std::shared_ptr<const sheet::Design> LibraryStore::load_design(
+    const std::string& name, const model::ModelRegistry& lib) const {
+  std::vector<std::string> in_flight;
+  return load_design_rec(name, lib, in_flight);
+}
+
+std::shared_ptr<const sheet::Design> LibraryStore::load_design_rec(
+    const std::string& name, const model::ModelRegistry& lib,
+    std::vector<std::string>& in_flight) const {
+  validate_store_name(name);
+  if (std::find(in_flight.begin(), in_flight.end(), name) !=
+      in_flight.end()) {
+    std::string cycle;
+    for (const std::string& n : in_flight) cycle += n + " -> ";
+    throw FormatError("design reference cycle: " + cycle + name);
+  }
+  const fs::path path = design_path(name);
+  if (!fs::exists(path)) {
+    throw FormatError("no stored design named '" + name + "'");
+  }
+  in_flight.push_back(name);
+  sheet::Design d = parse_design(
+      read_file(path), lib,
+      [&](const std::string& ref) {
+        return load_design_rec(ref, lib, in_flight);
+      });
+  in_flight.pop_back();
+  return std::make_shared<const sheet::Design>(std::move(d));
+}
+
+std::vector<std::string> LibraryStore::list_designs() const {
+  return list_stems(root_ / "designs", ".ppdesign");
+}
+
+void LibraryStore::save_user(const UserProfile& profile) {
+  validate_store_name(profile.username);
+  write_file(user_path(profile.username), to_text(profile));
+}
+
+std::optional<UserProfile> LibraryStore::load_user(
+    const std::string& username) const {
+  validate_store_name(username);
+  const fs::path path = user_path(username);
+  if (!fs::exists(path)) return std::nullopt;
+  return parse_user_profile(read_file(path));
+}
+
+UserProfile LibraryStore::ensure_user(const std::string& username) {
+  if (auto existing = load_user(username)) return *existing;
+  UserProfile fresh;
+  fresh.username = username;
+  fresh.defaults = {{"vdd", 1.5}, {"f", 1.0e6}};
+  save_user(fresh);
+  return fresh;
+}
+
+std::vector<std::string> LibraryStore::list_users() const {
+  return list_stems(root_ / "users", ".ppuser");
+}
+
+}  // namespace powerplay::library

@@ -1,0 +1,105 @@
+// store.hpp — one site's persistent PowerPlay library.
+//
+// "The username is passed to a Perl script which retrieves the individual
+// user's defaults from the PowerPlay server's local file system.  These
+// user defaults include the relevant hardware libraries and any
+// previously generated designs."  A LibraryStore is that local file
+// system: shared user-defined models, saved designs (re-usable as macros
+// unless marked proprietary), and per-user profiles.
+//
+// Layout under the root directory:
+//   models/<name>.ppmodel     — serialized UserModelDefinition
+//   designs/<name>.ppdesign   — serialized Design
+//   users/<name>.ppuser       — serialized UserProfile
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "library/serialize.hpp"
+#include "model/registry.hpp"
+#include "sheet/design.hpp"
+
+namespace powerplay::library {
+
+/// Per-user state: defaults applied to new design sheets plus the names
+/// of the user's saved designs.
+struct UserProfile {
+  std::string username;
+  std::map<std::string, double> defaults;   ///< e.g. {"vdd": 1.5}
+  std::vector<std::string> designs;         ///< saved design names
+  /// FNV-1a hash of the access password ("PowerPlay can provide
+  /// password-restricted access"); empty = open access.
+  std::string password_hash;
+
+  [[nodiscard]] bool has_password() const { return !password_hash.empty(); }
+  [[nodiscard]] bool check_password(const std::string& password) const;
+  void set_password(const std::string& password);
+};
+
+/// FNV-1a 64-bit, hex-encoded — era-appropriate integrity, not modern
+/// crypto; run a private instance behind the firewall for real secrecy,
+/// as the paper itself advises.
+std::string password_digest(const std::string& password);
+
+std::string to_text(const UserProfile& profile);
+UserProfile parse_user_profile(const std::string& text);
+
+class LibraryStore {
+ public:
+  /// Opens (creating directories as needed) the store at `root`.
+  explicit LibraryStore(std::filesystem::path root);
+
+  [[nodiscard]] const std::filesystem::path& root() const { return root_; }
+
+  // --- shared models ---------------------------------------------------
+  void save_model(const model::UserModelDefinition& def,
+                  bool proprietary = false);
+  [[nodiscard]] std::optional<model::UserModelDefinition> load_model(
+      const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> list_models() const;
+  /// True if the model was saved with the proprietary flag — such entries
+  /// are withheld from the remote model-access protocol.
+  [[nodiscard]] bool is_proprietary(const std::string& name) const;
+
+  /// Load every stored model into `registry` (on top of the built-ins).
+  void load_all_models(model::ModelRegistry& registry) const;
+
+  // --- designs -----------------------------------------------------------
+  void save_design(const sheet::Design& design);
+  /// Load by name, resolving macro references recursively from this
+  /// store.  Throws FormatError on missing designs or reference cycles.
+  [[nodiscard]] std::shared_ptr<const sheet::Design> load_design(
+      const std::string& name, const model::ModelRegistry& lib) const;
+  [[nodiscard]] std::vector<std::string> list_designs() const;
+  [[nodiscard]] bool has_design(const std::string& name) const;
+
+  // --- users ---------------------------------------------------------------
+  void save_user(const UserProfile& profile);
+  [[nodiscard]] std::optional<UserProfile> load_user(
+      const std::string& username) const;
+  /// Load if present, otherwise create a fresh profile (the first-visit
+  /// identification flow).
+  UserProfile ensure_user(const std::string& username);
+  [[nodiscard]] std::vector<std::string> list_users() const;
+
+ private:
+  [[nodiscard]] std::filesystem::path model_path(const std::string& n) const;
+  [[nodiscard]] std::filesystem::path design_path(const std::string& n) const;
+  [[nodiscard]] std::filesystem::path user_path(const std::string& n) const;
+
+  std::shared_ptr<const sheet::Design> load_design_rec(
+      const std::string& name, const model::ModelRegistry& lib,
+      std::vector<std::string>& in_flight) const;
+
+  std::filesystem::path root_;
+};
+
+/// Validate a name destined for a filename: nonempty, no path
+/// separators, no leading dot.  Throws FormatError otherwise.
+void validate_store_name(const std::string& name);
+
+}  // namespace powerplay::library

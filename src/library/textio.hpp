@@ -1,0 +1,75 @@
+// textio.hpp — tokenizer and writer for PowerPlay's library file format.
+//
+// The on-disk format is a small block-structured text language:
+//
+//   model "vq_lut" {
+//     category "storage"
+//     doc "grouped-access codebook"
+//     param "words" { desc "entries" default 1024 min 1 max 65536 integer 1 }
+//     c_fullswing "5e-12 + words*20e-15"
+//   }
+//
+// Tokens are identifiers, double-quoted strings (with \" and \\ escapes),
+// numbers (incl. scientific notation and a leading '-'), and braces.
+// This mirrors how the Perl-scripted PowerPlay kept per-user defaults and
+// shared models as plain files on the server's local file system.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace powerplay::library {
+
+class FormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class TokKind { kIdent, kString, kNumber, kLBrace, kRBrace, kEnd };
+
+struct Tok {
+  TokKind kind;
+  std::string text;   ///< ident name or string contents
+  double number = 0;  ///< valid when kind == kNumber
+  int line = 1;       ///< 1-based source line, for error messages
+};
+
+/// Tokenize a whole document.  '#' starts a comment to end of line.
+/// Throws FormatError on malformed input.
+std::vector<Tok> tokenize_document(const std::string& text);
+
+/// Cursor over a token stream with typed accessors that throw
+/// FormatError with line info on mismatch.
+class TokCursor {
+ public:
+  explicit TokCursor(std::vector<Tok> toks) : toks_(std::move(toks)) {}
+
+  [[nodiscard]] const Tok& peek() const { return toks_[pos_]; }
+  [[nodiscard]] bool at_end() const { return peek().kind == TokKind::kEnd; }
+
+  /// Consume an identifier with exactly this spelling.
+  void expect_ident(const std::string& name);
+  /// Consume any identifier and return its spelling.
+  std::string take_ident();
+  /// True (and consume) if the next token is the identifier `name`.
+  bool accept_ident(const std::string& name);
+  std::string take_string();
+  double take_number();
+  void expect(TokKind kind);
+
+  [[noreturn]] void fail(const std::string& message) const;
+
+ private:
+  std::vector<Tok> toks_;
+  std::size_t pos_ = 0;
+};
+
+/// Quote a string for the writer ("..." with \" and \\ escapes).
+std::string quoted(const std::string& s);
+
+/// Format a double so it round-trips (shortest %.Ng that parses back).
+std::string number_text(double v);
+
+}  // namespace powerplay::library

@@ -1,0 +1,64 @@
+#include "model/estimate.hpp"
+
+#include <algorithm>
+
+#include "expr/ast.hpp"
+
+namespace powerplay::model {
+
+using namespace units;
+
+Estimate make_estimate(std::vector<CapTerm> cap_terms,
+                       std::vector<StaticTerm> static_terms,
+                       const OperatingPoint& op, Area area, Time delay) {
+  if (op.vdd.si() < 0) {
+    throw expr::ExprError("operating point: negative supply voltage");
+  }
+  if (op.f.si() < 0) {
+    throw expr::ExprError("operating point: negative frequency");
+  }
+
+  Estimate e;
+  Energy energy{0};
+  Capacitance ceff{0};
+  for (const CapTerm& t : cap_terms) {
+    const Voltage swing = t.full_swing ? op.vdd : t.v_swing;
+    energy += t.c_sw * swing * op.vdd;
+    if (op.vdd.si() > 0) {
+      ceff += t.c_sw * (swing.si() / op.vdd.si());
+    } else {
+      ceff += t.c_sw;
+    }
+  }
+  Current istatic{0};
+  for (const StaticTerm& t : static_terms) istatic += t.current;
+
+  e.switched_capacitance = ceff;
+  e.energy_per_op = energy;
+  e.dynamic_power = energy * op.f;
+  e.static_power = istatic * op.vdd;
+  e.area = area;
+  e.delay = delay;
+  e.cap_terms = std::move(cap_terms);
+  e.static_terms = std::move(static_terms);
+  return e;
+}
+
+Estimate combine(const std::vector<Estimate>& parts) {
+  Estimate out;
+  for (const Estimate& p : parts) {
+    out.switched_capacitance += p.switched_capacitance;
+    out.energy_per_op += p.energy_per_op;
+    out.dynamic_power += p.dynamic_power;
+    out.static_power += p.static_power;
+    out.area += p.area;
+    out.delay = std::max(out.delay, p.delay);
+    out.cap_terms.insert(out.cap_terms.end(), p.cap_terms.begin(),
+                         p.cap_terms.end());
+    out.static_terms.insert(out.static_terms.end(), p.static_terms.begin(),
+                            p.static_terms.end());
+  }
+  return out;
+}
+
+}  // namespace powerplay::model

@@ -1,0 +1,86 @@
+// estimate.hpp — the output side of PowerPlay's model template (EQ 1).
+//
+// Every model, regardless of component class, reduces to:
+//
+//   P = sum_i C_sw,i * V_swing,i * V_DD * f  +  I * V_DD        (EQ 1)
+//
+// where each i is a "capacitance term" (a group of nodes switching an
+// average capacitance C_sw,i over a swing V_swing,i once per operation at
+// rate f) and I lumps the static currents (leakage, bias).  An Estimate
+// carries both the EQ 1 breakdown and the derived spreadsheet columns
+// (energy per operation, dynamic/static power, area, delay).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "units/units.hpp"
+
+namespace powerplay::model {
+
+/// One dynamic term of EQ 1.  In rail-to-rail CMOS `full_swing` is true
+/// and the swing is taken to be V_DD at evaluation time; reduced-swing
+/// nodes (memory bit-lines, EQ 8) carry an explicit V_swing.
+struct CapTerm {
+  std::string label;                ///< e.g. "bit-lines", "array core"
+  units::Capacitance c_sw;          ///< average capacitance switched per op
+  units::Voltage v_swing;           ///< swing; ignored when full_swing
+  bool full_swing = true;
+};
+
+/// One static term of EQ 1: a constant current drawn from V_DD.
+struct StaticTerm {
+  std::string label;                ///< e.g. "sense-amp bias", "leakage"
+  units::Current current;
+};
+
+/// The global knobs every model scales with: supply voltage and the rate
+/// at which this block performs operations (its *access* frequency, which
+/// the sheet derives from activity expressions such as `f/16`).
+struct OperatingPoint {
+  units::Voltage vdd;
+  units::Frequency f;
+};
+
+/// Row results as shown in the Figure 2 spreadsheet.
+struct Estimate {
+  /// Effective full-swing-equivalent switched capacitance per operation:
+  /// sum of C_i * (V_swing,i / V_DD); equals plain sum(C_i) for
+  /// rail-to-rail logic.  This is the "Csw" column of Figure 2.
+  units::Capacitance switched_capacitance;
+
+  /// Dynamic energy per operation: sum C_i * V_swing,i * V_DD.
+  units::Energy energy_per_op;
+
+  /// energy_per_op * f.
+  units::Power dynamic_power;
+
+  /// sum(I_j) * V_DD.
+  units::Power static_power;
+
+  units::Area area;      ///< optional; zero when the model has no area data
+  units::Time delay;     ///< optional; zero when the model has no delay data
+
+  std::vector<CapTerm> cap_terms;       ///< EQ 1 breakdown, for doc pages
+  std::vector<StaticTerm> static_terms;
+
+  [[nodiscard]] units::Power total_power() const {
+    return dynamic_power + static_power;
+  }
+};
+
+/// Assemble an Estimate from EQ 1 terms at an operating point.
+/// Full-swing terms contribute C*VDD*VDD per op; partial-swing terms
+/// C*Vswing*VDD (EQ 8); static terms I*VDD.
+Estimate make_estimate(std::vector<CapTerm> cap_terms,
+                       std::vector<StaticTerm> static_terms,
+                       const OperatingPoint& op,
+                       units::Area area = units::Area{0},
+                       units::Time delay = units::Time{0});
+
+/// Merge component estimates into a composite (used by hierarchical
+/// macros): powers and areas add; delay takes the max (a first-order
+/// serial/parallel-agnostic bound, as in the paper's area/timing aside).
+Estimate combine(const std::vector<Estimate>& parts);
+
+}  // namespace powerplay::model

@@ -1,0 +1,99 @@
+#include "model/param.hpp"
+
+#include <cmath>
+
+namespace powerplay::model {
+
+void ParamSpec::validate(double value) const {
+  if (std::isnan(value)) {
+    throw expr::ExprError("parameter '" + name + "' evaluated to NaN");
+  }
+  if (value < min || value > max) {
+    throw expr::ExprError("parameter '" + name + "' = " +
+                          std::to_string(value) + " outside allowed range [" +
+                          std::to_string(min) + ", " + std::to_string(max) +
+                          "]");
+  }
+  if (integer && value != std::floor(value)) {
+    throw expr::ExprError("parameter '" + name + "' = " +
+                          std::to_string(value) + " must be an integer");
+  }
+}
+
+const ParamSpec* ScopeParamReader::find_spec(const std::string& name) const {
+  if (specs_ == nullptr) return nullptr;
+  for (const ParamSpec& s : *specs_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+double ScopeParamReader::get(const std::string& name) const {
+  const ParamSpec* spec = find_spec(name);
+  double value;
+  if (scope_->lookup(name)) {
+    expr::Evaluator ev(*scope_, *functions_);
+    value = ev.variable(name);
+  } else if (spec != nullptr) {
+    value = spec->default_value;
+  } else {
+    throw expr::ExprError("unbound parameter '" + name + "'");
+  }
+  if (spec != nullptr) spec->validate(value);
+  return value;
+}
+
+double ScopeParamReader::get_or(const std::string& name,
+                                double fallback) const {
+  const ParamSpec* spec = find_spec(name);
+  double value;
+  if (scope_->lookup(name)) {
+    expr::Evaluator ev(*scope_, *functions_);
+    value = ev.variable(name);
+  } else if (spec != nullptr && !std::isnan(spec->default_value)) {
+    // A NaN default marks "no default" (macro parameters): fall back.
+    value = spec->default_value;
+  } else {
+    return fallback;
+  }
+  if (spec != nullptr) spec->validate(value);
+  return value;
+}
+
+MapParamReader::MapParamReader(
+    std::vector<std::pair<std::string, double>> values)
+    : values_(std::move(values)) {}
+
+void MapParamReader::set(const std::string& name, double value) {
+  for (auto& [n, v] : values_) {
+    if (n == name) {
+      v = value;
+      return;
+    }
+  }
+  values_.emplace_back(name, value);
+}
+
+double MapParamReader::get(const std::string& name) const {
+  for (const auto& [n, v] : values_) {
+    if (n == name) return v;
+  }
+  throw expr::ExprError("unbound parameter '" + name + "'");
+}
+
+double MapParamReader::get_or(const std::string& name, double fallback) const {
+  for (const auto& [n, v] : values_) {
+    if (n == name) return v;
+  }
+  return fallback;
+}
+
+units::Voltage read_vdd(const ParamReader& params) {
+  return units::Voltage{params.get(kParamVdd)};
+}
+
+units::Frequency read_frequency(const ParamReader& params) {
+  return units::Frequency{params.get_or(kParamFreq, 0.0)};
+}
+
+}  // namespace powerplay::model

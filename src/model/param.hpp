@@ -1,0 +1,96 @@
+// param.hpp — parameter schemas and the reader interface models consume.
+//
+// A model declares what it can be "customized by defining the model
+// parameters, such as bit-width, memory block organization, and
+// signal-correlation characteristics".  The sheet binds those names to
+// literals or expressions; at evaluation time the model sees only a
+// ParamReader and never touches the expression machinery directly.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/eval.hpp"
+#include "units/units.hpp"
+
+namespace powerplay::model {
+
+/// Declaration of one model parameter.
+struct ParamSpec {
+  std::string name;          ///< e.g. "bitwidth", "words", "vdd"
+  std::string description;   ///< shown on the model's input form (Figure 4)
+  double default_value = 0;
+  std::string unit;          ///< informational: "bits", "V", "Hz", ...
+  double min = -std::numeric_limits<double>::infinity();
+  double max = std::numeric_limits<double>::infinity();
+  bool integer = false;      ///< parameter must be a whole number
+
+  /// Throw ExprError if `value` violates this spec.
+  void validate(double value) const;
+};
+
+/// Names every model understands: the two global knobs of EQ 1.
+inline constexpr const char* kParamVdd = "vdd";  ///< supply voltage [V]
+inline constexpr const char* kParamFreq = "f";   ///< access rate [Hz]
+
+/// Read-only view of resolved parameter values.
+class ParamReader {
+ public:
+  virtual ~ParamReader() = default;
+
+  /// Resolve `name`; throws ExprError when unbound.
+  [[nodiscard]] virtual double get(const std::string& name) const = 0;
+
+  /// Resolve `name`, falling back to `fallback` when unbound.
+  [[nodiscard]] virtual double get_or(const std::string& name,
+                                      double fallback) const = 0;
+};
+
+/// ParamReader backed by an expression scope: reads walk the scope chain
+/// (row -> macro -> design globals) and evaluate any bound formulas.
+/// Specs' defaults are consulted after the scope, and values are
+/// validated against the matching spec on every read.
+class ScopeParamReader final : public ParamReader {
+ public:
+  ScopeParamReader(const expr::Scope& scope,
+                   const expr::FunctionTable& functions,
+                   const std::vector<ParamSpec>* specs = nullptr)
+      : scope_(&scope), functions_(&functions), specs_(specs) {}
+
+  [[nodiscard]] double get(const std::string& name) const override;
+  [[nodiscard]] double get_or(const std::string& name,
+                              double fallback) const override;
+
+ private:
+  [[nodiscard]] const ParamSpec* find_spec(const std::string& name) const;
+
+  const expr::Scope* scope_;
+  const expr::FunctionTable* functions_;
+  const std::vector<ParamSpec>* specs_;
+};
+
+/// Trivial reader over an explicit map; handy in tests and in the web
+/// form handlers, where values arrive as decoded form fields.
+class MapParamReader final : public ParamReader {
+ public:
+  MapParamReader() = default;
+  explicit MapParamReader(std::vector<std::pair<std::string, double>> values);
+
+  void set(const std::string& name, double value);
+
+  [[nodiscard]] double get(const std::string& name) const override;
+  [[nodiscard]] double get_or(const std::string& name,
+                              double fallback) const override;
+
+ private:
+  std::vector<std::pair<std::string, double>> values_;
+};
+
+/// Read the EQ 1 operating point (vdd, f) from a reader.
+/// `f` defaults to 0 Hz (pure energy/op query) when unbound.
+units::Voltage read_vdd(const ParamReader& params);
+units::Frequency read_frequency(const ParamReader& params);
+
+}  // namespace powerplay::model

@@ -1,0 +1,153 @@
+#include "model/user_model.hpp"
+
+#include <algorithm>
+
+#include "expr/parser.hpp"
+
+namespace powerplay::model {
+
+namespace {
+
+const expr::FunctionTable& builtin_functions() {
+  static const expr::FunctionTable table = expr::FunctionTable::with_builtins();
+  return table;
+}
+
+/// The implicit globals every equation model understands, appended to the
+/// declared parameters so input forms and readers see them uniformly.
+std::vector<ParamSpec> with_implicit_globals(std::vector<ParamSpec> params) {
+  const bool has_vdd =
+      std::any_of(params.begin(), params.end(),
+                  [](const ParamSpec& s) { return s.name == kParamVdd; });
+  const bool has_f =
+      std::any_of(params.begin(), params.end(),
+                  [](const ParamSpec& s) { return s.name == kParamFreq; });
+  if (!has_vdd) {
+    params.push_back({kParamVdd, "supply voltage", 1.5, "V", 0, 100, false});
+  }
+  if (!has_f) {
+    params.push_back({kParamFreq, "operation rate", 0.0, "Hz", 0, 1e12,
+                      false});
+  }
+  return params;
+}
+
+/// Parse one equation field and check that every referenced variable is a
+/// declared parameter (or vdd/f) and every function is a builtin.
+expr::ExprPtr parse_field(const std::string& model_name,
+                          const std::string& field,
+                          const std::string& source,
+                          const std::vector<ParamSpec>& params) {
+  if (source.empty()) return nullptr;
+  expr::ExprPtr e;
+  try {
+    e = expr::parse(source);
+  } catch (const expr::ExprError& err) {
+    throw expr::ExprError("model '" + model_name + "', field '" + field +
+                          "': " + err.what());
+  }
+  for (const std::string& var : expr::referenced_variables(*e)) {
+    if (var == kParamVdd || var == kParamFreq) continue;
+    const bool declared =
+        std::any_of(params.begin(), params.end(),
+                    [&](const ParamSpec& s) { return s.name == var; });
+    if (!declared) {
+      throw expr::ExprError("model '" + model_name + "', field '" + field +
+                            "': references undeclared parameter '" + var +
+                            "'");
+    }
+  }
+  for (const std::string& fn : expr::referenced_functions(*e)) {
+    if (!builtin_functions().contains(fn)) {
+      throw expr::ExprError("model '" + model_name + "', field '" + field +
+                            "': unknown function '" + fn + "'");
+    }
+  }
+  return e;
+}
+
+}  // namespace
+
+UserModel::UserModel(UserModelDefinition def)
+    : Model(def.name, def.category, def.documentation,
+            with_implicit_globals(def.params)),
+      def_(std::move(def)) {
+  if (def_.name.empty()) {
+    throw expr::ExprError("user model: name must not be empty");
+  }
+  c_fullswing_ =
+      parse_field(def_.name, "c_fullswing", def_.c_fullswing, def_.params);
+  c_partialswing_ = parse_field(def_.name, "c_partialswing",
+                                def_.c_partialswing, def_.params);
+  v_swing_ = parse_field(def_.name, "v_swing", def_.v_swing, def_.params);
+  static_current_ = parse_field(def_.name, "static_current",
+                                def_.static_current, def_.params);
+  power_direct_ =
+      parse_field(def_.name, "power_direct", def_.power_direct, def_.params);
+  area_ = parse_field(def_.name, "area", def_.area, def_.params);
+  delay_ = parse_field(def_.name, "delay", def_.delay, def_.params);
+
+  if (c_partialswing_ != nullptr && v_swing_ == nullptr) {
+    throw expr::ExprError("model '" + def_.name +
+                          "': c_partialswing given without v_swing");
+  }
+  if (c_fullswing_ == nullptr && c_partialswing_ == nullptr &&
+      static_current_ == nullptr && power_direct_ == nullptr) {
+    throw expr::ExprError("model '" + def_.name +
+                          "': no power terms defined (need at least one of "
+                          "c_fullswing, c_partialswing, static_current, "
+                          "power_direct)");
+  }
+}
+
+Estimate UserModel::evaluate(const ParamReader& p) const {
+  using namespace units;
+
+  // Materialize the declared parameters (with validated defaults) plus
+  // the implicit operating point into a flat scope the equations can see.
+  // params() already includes vdd and f via with_implicit_globals.
+  expr::Scope scope;
+  for (const ParamSpec& spec : params()) {
+    const double value = param(p, spec.name);
+    scope.set(spec.name, value);
+  }
+  const Voltage vdd{param(p, kParamVdd)};
+  const Frequency f{param(p, kParamFreq)};
+
+  expr::Evaluator ev(scope, builtin_functions());
+  auto value_of = [&](const expr::ExprPtr& e) {
+    return e == nullptr ? 0.0 : ev.evaluate(*e);
+  };
+
+  std::vector<CapTerm> caps;
+  if (c_fullswing_ != nullptr) {
+    caps.push_back(CapTerm{"full-swing", Capacitance{value_of(c_fullswing_)},
+                           Voltage{0}, /*full_swing=*/true});
+  }
+  if (c_partialswing_ != nullptr) {
+    caps.push_back(CapTerm{"partial-swing",
+                           Capacitance{value_of(c_partialswing_)},
+                           Voltage{value_of(v_swing_)},
+                           /*full_swing=*/false});
+  }
+  std::vector<StaticTerm> statics;
+  if (static_current_ != nullptr) {
+    statics.push_back(StaticTerm{"static", Current{value_of(static_current_)}});
+  }
+  if (power_direct_ != nullptr) {
+    // Data-sheet power folds into EQ 1's static term: I = P / VDD.
+    const double watts = value_of(power_direct_);
+    if (vdd.si() <= 0.0) {
+      throw expr::ExprError("model '" + def_.name +
+                            "': power_direct requires vdd > 0");
+    }
+    statics.push_back(
+        StaticTerm{"direct power", Current{watts / vdd.si()}});
+  }
+
+  return make_estimate(std::move(caps), std::move(statics),
+                       OperatingPoint{vdd, f}, Area{value_of(area_)},
+                       Time{value_of(delay_)});
+}
+
+}  // namespace powerplay::model

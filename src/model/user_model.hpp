@@ -1,0 +1,61 @@
+// user_model.hpp — run-time equation-defined models.
+//
+// "PowerPlay also provides a simple method for users to define models for
+// their own primitives using an interactive HTML page.  The user is
+// prompted for names, equations, and documentation information."  A
+// UserModelDefinition is exactly that form's contents: parameter specs
+// plus expression strings for each EQ 1 ingredient.  Definitions are
+// validated eagerly (syntax, undeclared parameters, unknown functions) so
+// a bad form submission fails at creation, not at Play time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/model.hpp"
+
+namespace powerplay::model {
+
+struct UserModelDefinition {
+  std::string name;
+  Category category = Category::kSystem;
+  std::string documentation;
+  std::vector<ParamSpec> params;
+
+  // EQ 1 ingredients as expressions over the declared parameters plus the
+  // implicit globals `vdd` [V] and `f` [Hz].  Empty string = term absent.
+  std::string c_fullswing;     ///< rail-to-rail switched capacitance [F]
+  std::string c_partialswing;  ///< reduced-swing capacitance [F] (EQ 8)
+  std::string v_swing;         ///< swing for the partial term [V]
+  std::string static_current;  ///< static/bias current [A]
+  std::string power_direct;    ///< direct power [W] (data-sheet entries);
+                               ///< folded in as I = P/vdd per EQ 1's I term
+  std::string area;            ///< [m^2]
+  std::string delay;           ///< [s]
+};
+
+/// Model driven by a UserModelDefinition.
+class UserModel final : public Model {
+ public:
+  /// Validates the definition; throws ExprError describing the first
+  /// problem (bad expression syntax, reference to an undeclared
+  /// parameter, unknown function, partial-swing capacitance without a
+  /// v_swing expression, no terms at all).
+  explicit UserModel(UserModelDefinition def);
+
+  [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+
+  [[nodiscard]] const UserModelDefinition& definition() const { return def_; }
+
+ private:
+  UserModelDefinition def_;
+  expr::ExprPtr c_fullswing_;
+  expr::ExprPtr c_partialswing_;
+  expr::ExprPtr v_swing_;
+  expr::ExprPtr static_current_;
+  expr::ExprPtr power_direct_;
+  expr::ExprPtr area_;
+  expr::ExprPtr delay_;
+};
+
+}  // namespace powerplay::model

@@ -1,0 +1,95 @@
+#include "models/activity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "expr/ast.hpp"
+#include "sheet/design.hpp"
+
+namespace powerplay::models {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+double need_number(const std::vector<expr::Value>& args, std::size_t i,
+                   const char* fn) {
+  if (i >= args.size() || !std::holds_alternative<double>(args[i])) {
+    throw expr::ExprError(std::string(fn) + ": expected numeric argument " +
+                          std::to_string(i + 1));
+  }
+  return std::get<double>(args[i]);
+}
+
+}  // namespace
+
+double dbt_lsb_activity() { return 0.5; }
+
+double dbt_sign_activity(double rho) {
+  if (rho <= -1.0 || rho >= 1.0) {
+    throw expr::ExprError("dbt_sign_activity: rho must be in (-1, 1), got " +
+                          std::to_string(rho));
+  }
+  return std::acos(rho) / kPi;
+}
+
+double dbt_breakpoint_low(double sigma) {
+  if (sigma <= 0.0) {
+    throw expr::ExprError("dbt_breakpoint_low: sigma must be positive");
+  }
+  return std::log2(sigma);
+}
+
+double dbt_breakpoint_high(double sigma, double rho) {
+  if (rho <= -1.0 || rho >= 1.0) {
+    throw expr::ExprError("dbt_breakpoint_high: rho must be in (-1, 1)");
+  }
+  // Landman: BP1 = log2(sigma) + log2(sqrt(2*(1-rho)) + 2); the offset
+  // widens as samples decorrelate (big steps reach high bits).
+  return dbt_breakpoint_low(sigma) +
+         std::log2(std::sqrt(2.0 * (1.0 - rho)) + 2.0);
+}
+
+double dbt_word_activity(double bitwidth, double sigma, double rho) {
+  if (bitwidth < 1.0) {
+    throw expr::ExprError("dbt_word_activity: bitwidth must be >= 1");
+  }
+  const double bp0 = std::clamp(dbt_breakpoint_low(sigma), 0.0, bitwidth);
+  const double bp1 =
+      std::clamp(dbt_breakpoint_high(sigma, rho), bp0, bitwidth);
+  const double a_lsb = dbt_lsb_activity();
+  const double a_sign = dbt_sign_activity(rho);
+
+  // Integrate the per-bit activity profile over the word: flat a_lsb up
+  // to BP0, linear ramp to a_sign at BP1, flat a_sign above.
+  const double lsb_part = bp0 * a_lsb;
+  const double ramp_part = (bp1 - bp0) * 0.5 * (a_lsb + a_sign);
+  const double sign_part = (bitwidth - bp1) * a_sign;
+  return (lsb_part + ramp_part + sign_part) / bitwidth;
+}
+
+double dbt_alpha(double bitwidth, double sigma, double rho) {
+  return dbt_word_activity(bitwidth, sigma, rho) / dbt_lsb_activity();
+}
+
+void dbt_register(sheet::Design& design) {
+  design.add_function(
+      "dbt_alpha", [](const std::vector<expr::Value>& args) {
+        if (args.size() != 3) {
+          throw expr::ExprError(
+              "dbt_alpha: expects (bitwidth, sigma, rho)");
+        }
+        return dbt_alpha(need_number(args, 0, "dbt_alpha"),
+                         need_number(args, 1, "dbt_alpha"),
+                         need_number(args, 2, "dbt_alpha"));
+      });
+  design.add_function(
+      "dbt_sign_activity", [](const std::vector<expr::Value>& args) {
+        if (args.size() != 1) {
+          throw expr::ExprError("dbt_sign_activity: expects (rho)");
+        }
+        return dbt_sign_activity(need_number(args, 0, "dbt_sign_activity"));
+      });
+}
+
+}  // namespace powerplay::models

@@ -1,0 +1,71 @@
+// activity.hpp — word-level switching-activity estimation from signal
+// statistics (Landman's dual-bit-type model).
+//
+// The paper's models are "customized by defining the model parameters,
+// such as bit-width, memory block organization, and signal-correlation
+// characteristics", and the Figure 2 example notes that "signal
+// correlations are neglected, yielding a conservatively high power
+// estimate".  This module supplies the refinement: for a two's-complement
+// data stream modeled as a Gaussian AR(1) process with standard
+// deviation sigma and lag-1 correlation rho, the DBT model splits the
+// word into
+//
+//  * an LSB "uniform white noise" region, bits below BP0, where each bit
+//    toggles with probability 1/2 per sample, and
+//  * an MSB "sign" region, bits above BP1, which toggle exactly when the
+//    sign flips; for a Gaussian AR(1) process P(sign flip) =
+//    arccos(rho) / pi (the classic arcsine/arc-cos law),
+//
+// with a linear interpolation across the breakpoint region in between.
+// The resulting average per-bit activity feeds the `alpha` parameter of
+// the capacitance models — typically through a design-local sheet
+// function registered with Design::add_function (see dbt_register).
+#pragma once
+
+#include <string>
+
+namespace powerplay::sheet {
+class Design;
+}
+
+namespace powerplay::models {
+
+/// Signal statistics of one two's-complement data stream.
+struct SignalStats {
+  double sigma = 256.0;  ///< standard deviation (in LSBs)
+  double rho = 0.0;      ///< lag-1 temporal correlation, in (-1, 1)
+};
+
+/// Transition probability of a bit in the uniform LSB region (= 1/2).
+double dbt_lsb_activity();
+
+/// Transition probability of a sign bit: arccos(rho)/pi.
+/// rho = 0 gives 1/2 (uncorrelated); rho -> 1 gives 0 (slowly varying);
+/// rho -> -1 gives 1 (alternating).  Throws on |rho| >= 1.
+double dbt_sign_activity(double rho);
+
+/// Lower breakpoint BP0 = log2(sigma): bits below behave uniformly.
+double dbt_breakpoint_low(double sigma);
+
+/// Upper breakpoint BP1 = log2(sigma) + log2(sqrt(2*(1-rho)) + 2):
+/// bits above behave as sign bits (Landman's empirical offset).
+double dbt_breakpoint_high(double sigma, double rho);
+
+/// Average per-bit transition probability over a `bitwidth`-bit word:
+/// LSB region at 1/2, sign region at arccos(rho)/pi, linear ramp
+/// between BP0 and BP1.  This is the number to feed a model's `alpha`
+/// (relative to the library's uncorrelated characterization, divide by
+/// 1/2: alpha = dbt_word_activity / 0.5).
+double dbt_word_activity(double bitwidth, double sigma, double rho);
+
+/// Activity *scale* relative to the uncorrelated-input characterization
+/// (alpha parameter of the library models): word activity / 0.5.
+double dbt_alpha(double bitwidth, double sigma, double rho);
+
+/// Register the DBT helpers as sheet functions on a design:
+///   dbt_alpha(bitwidth, sigma, rho)
+///   dbt_sign_activity(rho)
+/// so row formulas like  alpha = dbt_alpha(16, 256, 0.9)  work.
+void dbt_register(sheet::Design& design);
+
+}  // namespace powerplay::models

@@ -1,0 +1,116 @@
+#include "models/analog.hpp"
+
+#include "expr/ast.hpp"
+
+namespace powerplay::models {
+
+using namespace units;
+using model::Category;
+using model::OperatingPoint;
+using model::ParamSpec;
+using model::StaticTerm;
+
+namespace {
+
+ParamSpec spec_vdd(double dflt = 3.0) {
+  return {model::kParamVdd, "analog supply voltage", dflt, "V", 0, 40};
+}
+
+}  // namespace
+
+Conductance amp_transconductance(Current i_bias) {
+  // EQ 14: g_m = (q/kT) * I_bias = I_bias / V_T.
+  return Conductance{i_bias.si() / kThermalVoltage300K.si()};
+}
+
+Resistance amp_input_impedance(double beta0, Current i_bias) {
+  if (i_bias.si() <= 0.0) {
+    throw expr::ExprError("amp_input_impedance: bias current must be > 0");
+  }
+  // EQ 15: R_id = 2*beta0/g_m = (4kT*beta0/q) / I_bias... note the paper
+  // writes R_id = 2 r_pi = 2 beta0/g_m; with g_m = I/V_T this is
+  // 2*beta0*V_T / I.  (The printed 4kT/q folds the differential pair's
+  // half-bias per transistor.)
+  return Resistance{2.0 * beta0 * 2.0 * kThermalVoltage300K.si() /
+                    i_bias.si()};
+}
+
+Resistance amp_output_impedance(Voltage early_voltage, Current i_bias) {
+  if (i_bias.si() <= 0.0) {
+    throw expr::ExprError("amp_output_impedance: bias current must be > 0");
+  }
+  // EQ 16: R_o ~= r_o / 2 = V_A / I_bias.
+  return Resistance{early_voltage.si() / i_bias.si()};
+}
+
+Current bias_for_transconductance(Conductance gm) {
+  return Current{gm.si() * kThermalVoltage300K.si()};
+}
+
+// ---------------------------------------------------------------------------
+// BiasCurrentModel — EQ 13
+// ---------------------------------------------------------------------------
+
+BiasCurrentModel::BiasCurrentModel()
+    : Model("analog_bias", Category::kAnalog,
+            "Generic analog block (EQ 13): power is the sum of bias "
+            "currents times the supply voltage, *linear* in V_supply "
+            "(contrast the quadratic digital scaling).",
+            {{"i_bias", "total bias current", 1e-3, "A", 0, 10},
+             spec_vdd(),
+             {model::kParamFreq, "unused for static analog blocks", 0.0,
+              "Hz", 0, 1e12}}) {}
+
+Estimate BiasCurrentModel::evaluate(const ParamReader& p) const {
+  return make_estimate({}, {StaticTerm{"bias", Current{param(p, "i_bias")}}},
+                       operating_point(p));
+}
+
+// ---------------------------------------------------------------------------
+// TransconductanceAmpModel — EQ 14-17
+// ---------------------------------------------------------------------------
+
+TransconductanceAmpModel::TransconductanceAmpModel()
+    : Model("gm_amplifier", Category::kAnalog,
+            "Bipolar emitter-coupled transconductance amplifier "
+            "(EQ 14-17).  Specify either gm (siemens; the bias current "
+            "follows from EQ 14: I = gm*kT/q, and P = 2*Vsupply*(kT/q)*gm "
+            "per EQ 17) or i_bias directly with gm = 0.  The factor 2 is "
+            "the tail current split across the differential pair.",
+            {{"gm", "target transconductance (0 = use i_bias)", 0.0, "S", 0,
+              100},
+             {"i_bias", "explicit bias current (used when gm = 0)", 1e-3,
+              "A", 0, 10},
+             spec_vdd(),
+             {model::kParamFreq, "unused", 0.0, "Hz", 0, 1e12}}) {}
+
+Estimate TransconductanceAmpModel::evaluate(const ParamReader& p) const {
+  const double gm = param(p, "gm");
+  const Current i_bias = gm > 0.0 ? bias_for_transconductance(Conductance{gm})
+                                  : Current{param(p, "i_bias")};
+  // EQ 17: P = 2 * V_supply * (kT/q) * G_m = 2 * V_supply * I_bias.
+  return make_estimate({}, {StaticTerm{"tail current", i_bias * 2.0}},
+                       operating_point(p));
+}
+
+// ---------------------------------------------------------------------------
+// OpAmpModel
+// ---------------------------------------------------------------------------
+
+OpAmpModel::OpAmpModel()
+    : Model("op_amp", Category::kAnalog,
+            "Multi-stage operational amplifier (EQ 13 applied per stage): "
+            "P = V_supply * n_stages * I_bias_per_stage.",
+            {{"n_stages", "gain stages", 2, "", 1, 8, true},
+             {"i_bias_per_stage", "bias current per stage", 0.5e-3, "A", 0,
+              1},
+             spec_vdd(),
+             {model::kParamFreq, "unused", 0.0, "Hz", 0, 1e12}}) {}
+
+Estimate OpAmpModel::evaluate(const ParamReader& p) const {
+  const Current total =
+      Current{param(p, "n_stages") * param(p, "i_bias_per_stage")};
+  return make_estimate({}, {StaticTerm{"stage bias", total}}, operating_point(p));
+}
+
+}  // namespace powerplay::models

@@ -1,0 +1,57 @@
+// analog.hpp — analog power models (paper §Models, Analog ICs).
+//
+// "The power dissipation of most analog circuits is dominated by static
+// bias currents rather than the dynamic charging of capacitance":
+//   P_ANALOG = V_supply * sum_i I_bias,i                        (EQ 13)
+// For the bipolar emitter-coupled transconductance amplifier, small-
+// signal specs are bijective with the bias current (EQ 14-16), so the
+// model may be parameterized by G_m, R_id or R_o "much like a digital
+// adder is parameterized by bit-width", giving (EQ 17):
+//   P = 2 * V_supply * (kT/q) * G_m.
+#pragma once
+
+#include "model/model.hpp"
+
+namespace powerplay::models {
+
+using model::Estimate;
+using model::Model;
+using model::ParamReader;
+
+/// EQ 14: G_m = (q/kT) * I_bias.
+units::Conductance amp_transconductance(units::Current i_bias);
+
+/// EQ 15: R_id = (4kT*beta0/q) / I_bias.
+units::Resistance amp_input_impedance(double beta0, units::Current i_bias);
+
+/// EQ 16: R_o ~= V_A / I_bias.
+units::Resistance amp_output_impedance(units::Voltage early_voltage,
+                                       units::Current i_bias);
+
+/// Inverse of EQ 14: the bias current needed for a target G_m.
+units::Current bias_for_transconductance(units::Conductance gm);
+
+/// Generic bias-current block (EQ 13): P = V_supply * I_bias_total.
+class BiasCurrentModel final : public Model {
+ public:
+  BiasCurrentModel();
+  [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+};
+
+/// Bipolar emitter-coupled pair parameterized by transconductance
+/// (EQ 17).  Set gm > 0 to specify the amplifier by G_m, or gm = 0 and
+/// i_bias directly.
+class TransconductanceAmpModel final : public Model {
+ public:
+  TransconductanceAmpModel();
+  [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+};
+
+/// Multi-stage op-amp: P = V_supply * n_stages * I_bias_per_stage.
+class OpAmpModel final : public Model {
+ public:
+  OpAmpModel();
+  [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+};
+
+}  // namespace powerplay::models

@@ -1,0 +1,98 @@
+#include "models/berkeley_library.hpp"
+
+#include "models/analog.hpp"
+#include "models/computation.hpp"
+#include "models/controller.hpp"
+#include "models/converter.hpp"
+#include "models/interconnect.hpp"
+#include "models/processor.hpp"
+#include "models/storage.hpp"
+#include "models/system.hpp"
+
+namespace powerplay::models {
+
+using namespace units;
+using namespace units::literals;
+
+void add_berkeley_models(model::ModelRegistry& r) {
+  // --- Computation -------------------------------------------------------
+  r.add(std::make_shared<RippleAdderModel>(coeff::kAdderPerBit));
+  r.add(std::make_shared<ArrayMultiplierModel>(coeff::kMultiplierUncorrelated,
+                                               coeff::kMultiplierCorrelated));
+  r.add(std::make_shared<LogShifterModel>(coeff::kShifterStagePerBit,
+                                          coeff::kShifterFixedPerBit));
+  r.add(std::make_shared<MultiplexerModel>(coeff::kMuxPerLeg));
+  r.add(std::make_shared<ComparatorModel>(coeff::kComparatorPerBit));
+  r.add(std::make_shared<SvenssonBlockModel>(
+      "sv_buffer_chain",
+      "Two-stage buffer characterized analytically from layout "
+      "capacitances (no simulation required).",
+      std::vector<SvenssonStage>{
+          {"inverter-1", 8_fF, 14_fF, 0.5, 0.5},
+          {"inverter-2", 14_fF, 34_fF, 0.5, 0.5},
+      }));
+  r.add(std::make_shared<SvenssonBlockModel>(
+      "sv_mux_latch",
+      "Mux-feedback latch bit-slice: pass stage, keeper and output "
+      "buffer stages from layout extraction.",
+      std::vector<SvenssonStage>{
+          {"pass-mux", 6_fF, 9_fF, 0.5, 0.25},
+          {"keeper", 5_fF, 5_fF, 0.25, 0.25},
+          {"output-buffer", 9_fF, 18_fF, 0.25, 0.25},
+      }));
+
+  // --- Storage -----------------------------------------------------------
+  r.add(std::make_shared<RegisterModel>(coeff::kRegisterPerBit));
+  r.add(std::make_shared<RegisterFileModel>(RegisterFileModel::Coefficients{
+      0.2_pF, 8_fF, 25_fF, 1.2_fF}));
+  r.add(std::make_shared<SramModel>(
+      "sram",
+      "UC Berkeley low-power library SRAM (per access).",
+      SramModel::Coefficients{coeff::kSramC0, coeff::kSramPerWord,
+                              coeff::kSramPerBit, coeff::kSramPerCell}));
+  r.add(std::make_shared<DramModel>(
+      SramModel::Coefficients{12.0_pF, 180_fF, 900_fF, 0.08_fF},
+      0.4_mA));
+
+  // --- Controllers ---------------------------------------------------------
+  r.add(std::make_shared<RandomLogicControllerModel>(
+      RandomLogicControllerModel::Coefficients{40_fF, 12_fF}));
+  r.add(std::make_shared<RomControllerModel>(RomControllerModel::Coefficients{
+      1.0_pF, 2.0_fF, 1.5_fF, 30_fF, 50_fF}));
+  r.add(std::make_shared<PlaControllerModel>(
+      PlaControllerModel::Coefficients{3.0_fF, 3.0_fF, 50_fF}));
+
+  // --- Interconnect / clock / pads ----------------------------------------
+  r.add(std::make_shared<InterconnectModel>(coeff::kWirePerMetre));
+  r.add(std::make_shared<ClockTreeModel>(coeff::kWirePerMetre));
+  r.add(std::make_shared<BusModel>(coeff::kWirePerMetre, 40_fF));
+  r.add(std::make_shared<IoPadModel>(2_pF, 10_pF));
+
+  // --- Processors ----------------------------------------------------------
+  // ARM6-class embedded core: data-book figure at 3.3 V (the InfoPad
+  // terminal's processor subsystem scale).
+  r.add(std::make_shared<AverageProcessorModel>(Power{0.5}, Voltage{3.3}));
+  r.add(std::make_shared<InstructionProcessorModel>(
+      InstructionEnergyTable{
+          Voltage{3.3},
+          {2.0_nJ, 5.0_nJ, 3.2_nJ, 3.0_nJ, 2.2_nJ, 1.8_nJ}},
+      12.0_nJ, 0.3_nJ));
+
+  // --- Analog / converters / system ----------------------------------------
+  r.add(std::make_shared<BiasCurrentModel>());
+  r.add(std::make_shared<TransconductanceAmpModel>());
+  r.add(std::make_shared<OpAmpModel>());
+  r.add(std::make_shared<DcDcConverterModel>());
+  r.add(std::make_shared<DataSheetComponentModel>());
+  r.add(std::make_shared<FpgaModel>(18_fF, 90_fF));
+  r.add(std::make_shared<ServoMotorModel>());
+  r.add(std::make_shared<BacklitDisplayModel>(Capacitance{3.0e-4}));
+}
+
+model::ModelRegistry berkeley_library() {
+  model::ModelRegistry r;
+  add_berkeley_models(r);
+  return r;
+}
+
+}  // namespace powerplay::models

@@ -1,0 +1,50 @@
+// berkeley_library.hpp — the pre-characterized shared library.
+//
+// "Models for each element in the University of California's low-power
+// cell library are provided."  This function builds the in-process
+// equivalent: one instance of every built-in model with its
+// characterization coefficients.  The multiplier's 253 fF/bit^2 is the
+// paper's published number (EQ 20); the remaining coefficients are
+// calibrated so the VQ luminance designs reproduce the paper's reported
+// results (impl-2 ~150 uW, ~1/5 of impl-1) — see EXPERIMENTS.md for the
+// calibration protocol.
+#pragma once
+
+#include "model/registry.hpp"
+
+namespace powerplay::models {
+
+/// Characterization constants, exposed for tests and documentation.
+namespace coeff {
+using namespace units::literals;
+
+// EQ 20 (published).
+inline constexpr auto kMultiplierUncorrelated = 253_fF;
+// "models for correlated inputs ... same format ... different
+// coefficients" — value not published; assumed 60% of uncorrelated.
+inline constexpr auto kMultiplierCorrelated = 152_fF;
+
+inline constexpr auto kAdderPerBit = 33_fF;
+inline constexpr auto kShifterStagePerBit = 21_fF;
+inline constexpr auto kShifterFixedPerBit = 18_fF;
+inline constexpr auto kMuxPerLeg = 30_fF;
+inline constexpr auto kComparatorPerBit = 24_fF;
+inline constexpr auto kRegisterPerBit = 15_fF;
+
+// SRAM EQ 7 coefficients (calibrated; see EXPERIMENTS.md §Calibration).
+inline constexpr auto kSramC0 = 5.0_pF;
+inline constexpr auto kSramPerWord = 20_fF;
+inline constexpr auto kSramPerBit = 500_fF;
+inline constexpr auto kSramPerCell = 2.6_fF;
+
+inline constexpr auto kWirePerMetre = units::Capacitance{2.0e-10};  // 0.2 pF/mm
+}  // namespace coeff
+
+/// Build the full built-in library.
+model::ModelRegistry berkeley_library();
+
+/// Add every built-in model to an existing registry (used by the web app
+/// when layering user models on top of the shared library).
+void add_berkeley_models(model::ModelRegistry& registry);
+
+}  // namespace powerplay::models

@@ -1,0 +1,215 @@
+#include "models/computation.hpp"
+
+#include <cmath>
+
+namespace powerplay::models {
+
+using namespace units;
+using namespace units::literals;
+using model::CapTerm;
+using model::Category;
+using model::OperatingPoint;
+using model::StaticTerm;
+
+namespace {
+
+/// Shared spec fragments.  Every computational model scales with supply
+/// voltage and access frequency and carries a global activity knob.
+ParamSpec spec_bitwidth(double dflt = 16) {
+  return {"bitwidth", "data path width", dflt, "bits", 1, 256, true};
+}
+ParamSpec spec_alpha(double dflt = 1.0) {
+  return {"alpha", "switching activity scale (1 = uncorrelated inputs)", dflt,
+          "", 0, 1};
+}
+ParamSpec spec_vdd() {
+  return {model::kParamVdd, "supply voltage", 1.5, "V", 0, 40};
+}
+ParamSpec spec_f() {
+  return {model::kParamFreq, "operation rate", 0.0, "Hz", 0, 1e12};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RippleAdderModel — EQ 3
+// ---------------------------------------------------------------------------
+
+RippleAdderModel::RippleAdderModel(Capacitance c_per_bit)
+    : Model("ripple_adder", Category::kComputation,
+            "Landman empirical ripple-carry adder model (EQ 2-3): assuming "
+            "constant activity per bit, C_T = bitwidth * C0 where C0 is the "
+            "average capacitance switched per bit-slice (UCB low-power "
+            "library characterization).  Scales rail-to-rail with vdd.",
+            {spec_bitwidth(), spec_alpha(), spec_vdd(), spec_f()}),
+      c_per_bit_(c_per_bit) {}
+
+Estimate RippleAdderModel::evaluate(const ParamReader& p) const {
+  const double bw = param(p, "bitwidth");
+  const double alpha = param(p, "alpha");
+  const Capacitance c_t = c_per_bit_ * bw * alpha;
+  return make_estimate({CapTerm{"adder bit-slices", c_t}}, {}, operating_point(p),
+                       Area{bw * 2.8e-9},      // ~2800 um^2 / bit-slice
+                       Time{bw * 0.9e-9});     // ripple carry: ~0.9 ns/bit
+}
+
+// ---------------------------------------------------------------------------
+// ArrayMultiplierModel — EQ 20
+// ---------------------------------------------------------------------------
+
+ArrayMultiplierModel::ArrayMultiplierModel(Capacitance uncorrelated_coeff,
+                                           Capacitance correlated_coeff)
+    : Model("array_multiplier", Category::kComputation,
+            "UCB low-power library array multiplier (EQ 20): "
+            "C_T = bitwidthA * bitwidthB * 253 fF for non-correlated "
+            "inputs; a reduced coefficient models correlated input "
+            "streams (select with correlated=1).",
+            {{"bitwidthA", "first operand width", 16, "bits", 1, 128, true},
+             {"bitwidthB", "second operand width", 16, "bits", 1, 128, true},
+             {"correlated",
+              "1 = use the correlated-input coefficient, 0 = uncorrelated",
+              0, "", 0, 1, true},
+             spec_alpha(),
+             spec_vdd(),
+             spec_f()}),
+      uncorrelated_coeff_(uncorrelated_coeff),
+      correlated_coeff_(correlated_coeff) {}
+
+Estimate ArrayMultiplierModel::evaluate(const ParamReader& p) const {
+  const double bwa = param(p, "bitwidthA");
+  const double bwb = param(p, "bitwidthB");
+  const bool correlated = param(p, "correlated") != 0.0;
+  const double alpha = param(p, "alpha");
+  const Capacitance coeff =
+      correlated ? correlated_coeff_ : uncorrelated_coeff_;
+  const Capacitance c_t = coeff * (bwa * bwb) * alpha;
+  return make_estimate({CapTerm{"multiplier array", c_t}}, {}, operating_point(p),
+                       Area{bwa * bwb * 1.1e-9},           // ~1100 um^2/cell
+                       Time{(bwa + bwb) * 1.2e-9});
+}
+
+// ---------------------------------------------------------------------------
+// LogShifterModel
+// ---------------------------------------------------------------------------
+
+LogShifterModel::LogShifterModel(Capacitance c_stage_per_bit,
+                                 Capacitance c_fixed_per_bit)
+    : Model("log_shifter", Category::kComputation,
+            "Logarithmic shifter: one mux stage per power-of-two shift "
+            "amount.  C_T = bitwidth*(log2(max_shift)*C_stage + C_fixed); "
+            "the two capacitive coefficients follow the paper's note that "
+            "complex modules need additional coefficients.",
+            {spec_bitwidth(),
+             {"max_shift", "largest shift distance", 8, "bits", 1, 256, true},
+             spec_alpha(),
+             spec_vdd(),
+             spec_f()}),
+      c_stage_per_bit_(c_stage_per_bit),
+      c_fixed_per_bit_(c_fixed_per_bit) {}
+
+Estimate LogShifterModel::evaluate(const ParamReader& p) const {
+  const double bw = param(p, "bitwidth");
+  const double stages = std::ceil(std::log2(std::max(2.0, param(p, "max_shift"))));
+  const double alpha = param(p, "alpha");
+  const Capacitance c_t =
+      (c_stage_per_bit_ * stages + c_fixed_per_bit_) * bw * alpha;
+  return make_estimate({CapTerm{"shifter stages", c_t}}, {}, operating_point(p),
+                       Area{bw * stages * 0.9e-9},
+                       Time{stages * 0.7e-9});
+}
+
+// ---------------------------------------------------------------------------
+// MultiplexerModel
+// ---------------------------------------------------------------------------
+
+MultiplexerModel::MultiplexerModel(Capacitance c_per_leg)
+    : Model("multiplexer", Category::kComputation,
+            "N:1 multiplexer decomposed into (inputs-1) two-way stages per "
+            "bit: C_T = bits * (inputs-1) * C0.  Used for the word-select "
+            "mux in the grouped-LUT decompression architecture (Figure 3).",
+            {{"bits", "selected word width", 8, "bits", 1, 256, true},
+             {"inputs", "number of mux inputs", 2, "", 2, 64, true},
+             spec_alpha(),
+             spec_vdd(),
+             spec_f()}),
+      c_per_leg_(c_per_leg) {}
+
+Estimate MultiplexerModel::evaluate(const ParamReader& p) const {
+  const double bits = param(p, "bits");
+  const double inputs = param(p, "inputs");
+  const double alpha = param(p, "alpha");
+  const Capacitance c_t = c_per_leg_ * (bits * (inputs - 1)) * alpha;
+  return make_estimate({CapTerm{"mux tree", c_t}}, {}, operating_point(p),
+                       Area{bits * (inputs - 1) * 0.35e-9},
+                       Time{std::ceil(std::log2(inputs)) * 0.5e-9});
+}
+
+// ---------------------------------------------------------------------------
+// ComparatorModel
+// ---------------------------------------------------------------------------
+
+ComparatorModel::ComparatorModel(Capacitance c_per_bit)
+    : Model("comparator", Category::kComputation,
+            "Magnitude comparator, Landman style: C_T = bitwidth * C0.",
+            {spec_bitwidth(), spec_alpha(), spec_vdd(), spec_f()}),
+      c_per_bit_(c_per_bit) {}
+
+Estimate ComparatorModel::evaluate(const ParamReader& p) const {
+  const double bw = param(p, "bitwidth");
+  const double alpha = param(p, "alpha");
+  return make_estimate({CapTerm{"comparator slices", c_per_bit_ * bw * alpha}},
+                       {}, operating_point(p), Area{bw * 1.2e-9}, Time{bw * 0.4e-9});
+}
+
+// ---------------------------------------------------------------------------
+// SvenssonBlockModel — EQ 4-6
+// ---------------------------------------------------------------------------
+
+SvenssonBlockModel::SvenssonBlockModel(std::string name,
+                                       std::string documentation,
+                                       std::vector<SvenssonStage> stages)
+    : Model(std::move(name), Category::kComputation,
+            std::move(documentation) +
+                "  Analytical Svensson stage model (EQ 4-6): each "
+                "pull-up/pull-down stage contributes "
+                "alpha_in*C_in + alpha_out*C_out; the bit-slice total is "
+                "multiplied by bitwidth.",
+            {spec_bitwidth(),
+             {"activity_scale",
+              "multiplies every stage's transition probabilities", 1.0, "",
+              0, 4},
+             spec_vdd(),
+             spec_f()}),
+      stages_(std::move(stages)) {
+  if (stages_.empty()) {
+    throw expr::ExprError("Svensson block '" + this->name() +
+                          "' needs at least one stage");
+  }
+}
+
+Capacitance SvenssonBlockModel::per_slice_capacitance(
+    double activity_scale) const {
+  Capacitance c_st{0};
+  for (const SvenssonStage& s : stages_) {
+    c_st += s.c_in * (s.alpha_in * activity_scale) +
+            s.c_out * (s.alpha_out * activity_scale);
+  }
+  return c_st;
+}
+
+Estimate SvenssonBlockModel::evaluate(const ParamReader& p) const {
+  const double bw = param(p, "bitwidth");
+  const double scale = param(p, "activity_scale");
+  std::vector<CapTerm> terms;
+  terms.reserve(stages_.size());
+  for (const SvenssonStage& s : stages_) {
+    const Capacitance per_slice =
+        s.c_in * (s.alpha_in * scale) + s.c_out * (s.alpha_out * scale);
+    terms.push_back(CapTerm{"stage " + s.label, per_slice * bw});
+  }
+  return make_estimate(std::move(terms), {}, operating_point(p),
+                       Area{bw * stages_.size() * 0.5e-9},
+                       Time{stages_.size() * 0.4e-9});
+}
+
+}  // namespace powerplay::models

@@ -1,0 +1,117 @@
+// computation.hpp — models for computational blocks (paper §Models).
+//
+// Two characterization styles are implemented, exactly as surveyed in the
+// paper:
+//  * Landman's empirical "black box" capacitance coefficients (EQ 2-3):
+//    a library element's switched capacitance is a fitted function of its
+//    complexity parameters (bit-width, etc.).  The UCB multiplier's
+//    published coefficient C_T = bwA * bwB * 253 fF (EQ 20) is kept exact.
+//  * Svensson's analytical per-stage model (EQ 4-6): each pull-up/pull-down
+//    stage contributes alpha_in*C_in + alpha_out*C_out, summed over the
+//    stages of a bit-slice and multiplied by bit-width.
+#pragma once
+
+#include "model/model.hpp"
+
+namespace powerplay::models {
+
+using model::Estimate;
+using model::Model;
+using model::ParamReader;
+using model::ParamSpec;
+
+/// Landman ripple-carry adder (EQ 3): C_T = bitwidth * C0.
+/// Parameters: bitwidth, alpha (activity per bit, default 1 — the paper's
+/// conservative uncorrelated assumption), vdd, f.
+class RippleAdderModel final : public Model {
+ public:
+  explicit RippleAdderModel(units::Capacitance c_per_bit);
+  [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+
+ private:
+  units::Capacitance c_per_bit_;
+};
+
+/// UCB array multiplier (EQ 20): C_T = bwA * bwB * coeff, where coeff is
+/// 253 fF for uncorrelated inputs and a smaller coefficient for
+/// correlated input streams (selected by the `correlated` parameter).
+class ArrayMultiplierModel final : public Model {
+ public:
+  ArrayMultiplierModel(units::Capacitance uncorrelated_coeff,
+                       units::Capacitance correlated_coeff);
+  [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+
+ private:
+  units::Capacitance uncorrelated_coeff_;
+  units::Capacitance correlated_coeff_;
+};
+
+/// Logarithmic shifter: C_T = bitwidth * log2(max_shift) * C_stage + bitwidth * C_fixed.
+/// "More complex modules (e.g. multipliers or logarithmic shifters)
+/// require additional capacitive coefficients."
+class LogShifterModel final : public Model {
+ public:
+  LogShifterModel(units::Capacitance c_stage_per_bit,
+                  units::Capacitance c_fixed_per_bit);
+  [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+
+ private:
+  units::Capacitance c_stage_per_bit_;
+  units::Capacitance c_fixed_per_bit_;
+};
+
+/// N-way multiplexer: C_T = bits * (inputs - 1) * C0 (one 2:1 stage per
+/// eliminated input, the usual tree decomposition).
+class MultiplexerModel final : public Model {
+ public:
+  explicit MultiplexerModel(units::Capacitance c_per_leg);
+  [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+
+ private:
+  units::Capacitance c_per_leg_;
+};
+
+/// Magnitude comparator: C_T = bitwidth * C0.
+class ComparatorModel final : public Model {
+ public:
+  explicit ComparatorModel(units::Capacitance c_per_bit);
+  [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+
+ private:
+  units::Capacitance c_per_bit_;
+};
+
+/// One pull-up/pull-down stage of a bit-slice for the Svensson model.
+struct SvenssonStage {
+  std::string label;           ///< e.g. "nand2", "inverter"
+  units::Capacitance c_in;     ///< physical input capacitance
+  units::Capacitance c_out;    ///< physical output capacitance
+  double alpha_in = 0.5;       ///< input transition probability
+  double alpha_out = 0.5;      ///< output transition probability
+};
+
+/// Svensson analytical block model (EQ 4-6):
+///   C_S  = alpha_in*C_in + alpha_out*C_out           (per stage)
+///   C_ST = sum over stages                            (per bit-slice)
+///   C_T  = bitwidth * C_ST                            (whole block)
+/// The `activity_scale` parameter scales every stage's transition
+/// probabilities together (1 = the characterized random-activity numbers).
+class SvenssonBlockModel final : public Model {
+ public:
+  SvenssonBlockModel(std::string name, std::string documentation,
+                     std::vector<SvenssonStage> stages);
+  [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+
+  [[nodiscard]] const std::vector<SvenssonStage>& stages() const {
+    return stages_;
+  }
+
+  /// Per-bit-slice capacitance C_ST at a given activity scale (EQ 5).
+  [[nodiscard]] units::Capacitance per_slice_capacitance(
+      double activity_scale) const;
+
+ private:
+  std::vector<SvenssonStage> stages_;
+};
+
+}  // namespace powerplay::models

@@ -1,0 +1,133 @@
+#include "models/controller.hpp"
+
+#include <cmath>
+
+namespace powerplay::models {
+
+using namespace units;
+using model::CapTerm;
+using model::Category;
+using model::OperatingPoint;
+
+namespace {
+
+ParamSpec spec_vdd() {
+  return {model::kParamVdd, "supply voltage", 1.5, "V", 0, 40};
+}
+ParamSpec spec_f() {
+  return {model::kParamFreq, "controller clock rate", 0.0, "Hz", 0, 1e12};
+}
+ParamSpec spec_ni() {
+  return {"n_inputs", "inputs incl. state and status bits", 8, "", 1, 24,
+          true};
+}
+ParamSpec spec_no() {
+  return {"n_outputs", "outputs incl. state bits and status signals", 8, "",
+          1, 512, true};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RandomLogicControllerModel — EQ 9
+// ---------------------------------------------------------------------------
+
+RandomLogicControllerModel::RandomLogicControllerModel(Coefficients k)
+    : Model("random_logic_controller", Category::kController,
+            "Random-logic controller (EQ 9): "
+            "C_T = C0*a0*N_I*N_O + C1*a1*N_M*N_O; a0 = a1 = 0.25 for "
+            "randomly distributed input vectors.  N_M (minterms) tracks "
+            "controller complexity; when unknown a 2^(N_I-1) worst-half "
+            "default is conventional at sketch time.",
+            {spec_ni(), spec_no(),
+             {"n_minterms",
+              "number of minterms (defaults to 2^(n_inputs-1) when 0)", 0,
+              "", 0, 1e7},
+             {"alpha0", "input-plane switching probability", 0.25, "", 0, 1},
+             {"alpha1", "output-plane switching probability", 0.25, "", 0, 1},
+             spec_vdd(), spec_f()}),
+      k_(k) {}
+
+Estimate RandomLogicControllerModel::evaluate(const ParamReader& p) const {
+  const double ni = param(p, "n_inputs");
+  const double no = param(p, "n_outputs");
+  double nm = param(p, "n_minterms");
+  if (nm == 0.0) nm = std::pow(2.0, ni - 1.0);
+  const double a0 = param(p, "alpha0");
+  const double a1 = param(p, "alpha1");
+  const Capacitance c_in = k_.c0 * (a0 * ni * no);
+  const Capacitance c_out = k_.c1 * (a1 * nm * no);
+  return make_estimate(
+      {CapTerm{"input plane", c_in}, CapTerm{"output plane", c_out}}, {},
+      operating_point(p), Area{(ni * no * 0.4 + nm * no * 0.12) * 1e-9},
+      Time{(1.5 + 0.1 * ni) * 1e-9});
+}
+
+// ---------------------------------------------------------------------------
+// RomControllerModel — EQ 10
+// ---------------------------------------------------------------------------
+
+RomControllerModel::RomControllerModel(Coefficients k)
+    : Model("rom_controller", Category::kController,
+            "ROM-based controller (EQ 10): N_I address bits decode one of "
+            "2^N_I word lines; N_O sense amps restore the bit-lines.  "
+            "Precharged-high bit-lines only re-charge where the previous "
+            "output evaluated low, hence the P_O (average fraction of low "
+            "output bits) factor: C_T = C0 + C1*N_I*2^N_I + "
+            "C2*P_O*N_O*2^N_I + C3*P_O*N_O + C4*N_O.",
+            {spec_ni(), spec_no(),
+             {"p_low", "average fraction of low output bits (P_O)", 0.5, "",
+              0, 1},
+             spec_vdd(), spec_f()}),
+      k_(k) {}
+
+Estimate RomControllerModel::evaluate(const ParamReader& p) const {
+  const double ni = param(p, "n_inputs");
+  const double no = param(p, "n_outputs");
+  const double p_low = param(p, "p_low");
+  const double rows = std::pow(2.0, ni);
+  const Capacitance c_decode = k_.c1 * (ni * rows);
+  const Capacitance c_bitlines = k_.c2 * (p_low * no * rows);
+  const Capacitance c_sense = k_.c3 * (p_low * no);
+  const Capacitance c_drivers = k_.c4 * no;
+  return make_estimate({CapTerm{"fixed", k_.c0},
+                        CapTerm{"address decode", c_decode},
+                        CapTerm{"bit-line precharge", c_bitlines},
+                        CapTerm{"sense", c_sense},
+                        CapTerm{"output drivers", c_drivers}},
+                       {}, operating_point(p), Area{rows * no * 0.05e-9},
+                       Time{(3.0 + 0.4 * ni) * 1e-9});
+}
+
+// ---------------------------------------------------------------------------
+// PlaControllerModel
+// ---------------------------------------------------------------------------
+
+PlaControllerModel::PlaControllerModel(Coefficients k)
+    : Model("pla_controller", Category::kController,
+            "PLA controller, modeled analogously to EQ 9/EQ 10 (the paper: "
+            "'other implementation platforms may be modeled in a similar "
+            "way'): C_T = Ca*a*N_I*N_M + Co*a*N_M*N_O + Cd*N_O.",
+            {spec_ni(), spec_no(),
+             {"n_minterms",
+              "product terms in the AND plane (defaults to 2^(n_inputs-1) "
+              "when 0)",
+              0, "", 0, 1e7},
+             {"alpha", "plane switching probability", 0.25, "", 0, 1},
+             spec_vdd(), spec_f()}),
+      k_(k) {}
+
+Estimate PlaControllerModel::evaluate(const ParamReader& p) const {
+  const double ni = param(p, "n_inputs");
+  const double no = param(p, "n_outputs");
+  double nm = param(p, "n_minterms");
+  if (nm == 0.0) nm = std::pow(2.0, ni - 1.0);
+  const double a = param(p, "alpha");
+  return make_estimate({CapTerm{"AND plane", k_.c_and * (a * ni * nm)},
+                        CapTerm{"OR plane", k_.c_or * (a * nm * no)},
+                        CapTerm{"output drivers", k_.c_out * no}},
+                       {}, operating_point(p), Area{(ni + no) * nm * 0.08e-9},
+                       Time{(2.0 + 0.2 * ni) * 1e-9});
+}
+
+}  // namespace powerplay::models

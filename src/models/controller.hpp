@@ -1,0 +1,73 @@
+// controller.hpp — controller power models (paper §Models, Controllers).
+//
+// At the architecture-sketch stage the implementation platform of a
+// controller (random logic, ROM, PLA) is often undecided; the paper gives
+// macromodels parameterized by N_I (inputs incl. state/status bits) and
+// N_O (outputs incl. state bits):
+//
+//   random logic (EQ 9):  C_T = C0*a0*N_I*N_O + C1*a1*N_M*N_O
+//   ROM          (EQ 10): C_T = C0 + C1*N_I*2^N_I + C2*P_O*N_O*2^N_I
+//                              + C3*P_O*N_O + C4*N_O
+//
+// with default switching probabilities a0 = a1 = 0.25 (random vectors)
+// and P_O = average fraction of low output bits (precharged-high ROM only
+// recharges bit-lines that evaluated low).
+#pragma once
+
+#include "model/model.hpp"
+
+namespace powerplay::models {
+
+using model::Estimate;
+using model::Model;
+using model::ParamReader;
+using model::ParamSpec;
+
+/// Random-logic (two-level boolean network) controller, EQ 9.
+class RandomLogicControllerModel final : public Model {
+ public:
+  struct Coefficients {
+    units::Capacitance c0;  ///< input-plane coefficient
+    units::Capacitance c1;  ///< output-plane coefficient
+  };
+  explicit RandomLogicControllerModel(Coefficients k);
+  [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+
+ private:
+  Coefficients k_;
+};
+
+/// ROM-based controller, EQ 10.
+class RomControllerModel final : public Model {
+ public:
+  struct Coefficients {
+    units::Capacitance c0;  ///< fixed overhead
+    units::Capacitance c1;  ///< address decode: * N_I * 2^N_I
+    units::Capacitance c2;  ///< bit-line precharge: * P_O * N_O * 2^N_I
+    units::Capacitance c3;  ///< sense: * P_O * N_O
+    units::Capacitance c4;  ///< output drivers: * N_O
+  };
+  explicit RomControllerModel(Coefficients k);
+  [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+
+ private:
+  Coefficients k_;
+};
+
+/// PLA controller, modeled "in a similar way" (paper): AND plane scales
+/// with N_I*N_M, OR plane with N_M*N_O, output drivers with N_O.
+class PlaControllerModel final : public Model {
+ public:
+  struct Coefficients {
+    units::Capacitance c_and;   ///< * a * N_I * N_M
+    units::Capacitance c_or;    ///< * a * N_M * N_O
+    units::Capacitance c_out;   ///< * N_O
+  };
+  explicit PlaControllerModel(Coefficients k);
+  [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+
+ private:
+  Coefficients k_;
+};
+
+}  // namespace powerplay::models

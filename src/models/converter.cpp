@@ -1,0 +1,53 @@
+#include "models/converter.hpp"
+
+#include "expr/ast.hpp"
+
+namespace powerplay::models {
+
+using namespace units;
+using model::Category;
+using model::OperatingPoint;
+using model::StaticTerm;
+
+Power converter_input_power(Power p_load, double efficiency) {
+  if (efficiency <= 0.0 || efficiency > 1.0) {
+    throw expr::ExprError(
+        "converter efficiency must be in (0, 1], got " +
+        std::to_string(efficiency));
+  }
+  return Power{p_load.si() / efficiency};
+}
+
+Power converter_dissipation(Power p_load, double efficiency) {
+  return converter_input_power(p_load, efficiency) - p_load;
+}
+
+DcDcConverterModel::DcDcConverterModel()
+    : Model("dcdc_converter", Category::kConverter,
+            "DC-DC converter (EQ 18-19): specified by delivered load power "
+            "and conversion efficiency eta, assumed constant to first "
+            "order; P_diss = P_load * (1 - eta)/eta.  Bind p_load to "
+            "rowpower(...) expressions for the paper's intermodel "
+            "interaction (the converter is then evaluated in the Play "
+            "engine's second phase, after its loads).",
+            {{"p_load", "power delivered to the loads", 1.0, "W", 0, 1e6},
+             {"efficiency", "conversion efficiency eta", 0.8, "", 0.01, 1.0},
+             {model::kParamVdd, "converter input voltage", 6.0, "V", 0, 100},
+             {model::kParamFreq, "unused (loss folded into efficiency)", 0.0,
+              "Hz", 0, 1e12}}) {}
+
+Estimate DcDcConverterModel::evaluate(const ParamReader& p) const {
+  const Power p_load{param(p, "p_load")};
+  const double eta = param(p, "efficiency");
+  const Power p_diss = converter_dissipation(p_load, eta);
+  const Voltage vin{param(p, model::kParamVdd)};
+  if (vin.si() <= 0.0) {
+    throw expr::ExprError("dcdc_converter: input voltage must be > 0");
+  }
+  // EQ 1 form: dissipated power as a static draw from the input rail.
+  return make_estimate(
+      {}, {StaticTerm{"conversion loss", Current{p_diss.si() / vin.si()}}},
+      OperatingPoint{vin, Frequency{0}});
+}
+
+}  // namespace powerplay::models

@@ -1,0 +1,37 @@
+// converter.hpp — DC-DC converter model (paper §Models, DC-DC Converters).
+//
+// A converter is specified by the power it delivers, P_Load, and its
+// conversion efficiency eta = P_Load / (P_Load + P_diss) (EQ 18), assumed
+// constant to first order, giving (EQ 19):
+//
+//   P_diss = P_Load * (1 - eta) / eta
+//
+// "This is an example of intermodel interaction; the output from other
+// models is used to calculate the dissipation in the converter."  On the
+// sheet, bind p_load to an expression like
+//   rowpower("Radio") + rowpower("Display")
+// and the Play engine's second phase resolves it automatically.
+#pragma once
+
+#include "model/model.hpp"
+
+namespace powerplay::models {
+
+using model::Estimate;
+using model::Model;
+using model::ParamReader;
+
+class DcDcConverterModel final : public Model {
+ public:
+  DcDcConverterModel();
+  [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+};
+
+/// Battery/source bookkeeping helper: input power a converter draws for
+/// a given load (EQ 18 rearranged): P_in = P_load / eta.
+units::Power converter_input_power(units::Power p_load, double efficiency);
+
+/// EQ 19 directly.
+units::Power converter_dissipation(units::Power p_load, double efficiency);
+
+}  // namespace powerplay::models

@@ -1,0 +1,196 @@
+#include "models/interconnect.hpp"
+
+#include <cmath>
+
+#include "expr/ast.hpp"
+
+namespace powerplay::models {
+
+using namespace units;
+using model::CapTerm;
+using model::Category;
+using model::OperatingPoint;
+using model::ParamSpec;
+
+namespace {
+
+ParamSpec spec_vdd() {
+  return {model::kParamVdd, "supply voltage", 1.5, "V", 0, 40};
+}
+ParamSpec spec_f() {
+  return {model::kParamFreq, "switching rate", 0.0, "Hz", 0, 1e12};
+}
+
+}  // namespace
+
+double donath_average_length(double n_blocks, double rent_exponent) {
+  if (n_blocks < 2.0) {
+    throw expr::ExprError("donath_average_length: need at least 2 blocks");
+  }
+  if (rent_exponent <= 0.0 || rent_exponent >= 1.0) {
+    throw expr::ExprError(
+        "donath_average_length: Rent exponent must be in (0, 1)");
+  }
+  // The closed form has removable singularities at p = 0.5 (and the
+  // (1-4^(p-1))/(1-N^(p-1)) factor is fine for p<1).  Nudge p off the
+  // singular point; the limit is approached smoothly.
+  double p = rent_exponent;
+  if (std::fabs(p - 0.5) < 1e-9) p = 0.5 + 1e-9;
+  const double n = n_blocks;
+
+  const double term1 = 7.0 * (std::pow(n, p - 0.5) - 1.0) /
+                       (std::pow(4.0, p - 0.5) - 1.0);
+  const double term2 =
+      (1.0 - std::pow(n, p - 1.5)) / (1.0 - std::pow(4.0, p - 1.5));
+  const double norm =
+      (1.0 - std::pow(4.0, p - 1.0)) / (1.0 - std::pow(n, p - 1.0));
+  return (2.0 / 9.0) * (term1 - term2) * norm;
+}
+
+double rent_terminals(double blocks, double t_avg, double rent_exponent) {
+  if (blocks < 1.0) {
+    throw expr::ExprError("rent_terminals: need at least 1 block");
+  }
+  return t_avg * std::pow(blocks, rent_exponent);
+}
+
+// ---------------------------------------------------------------------------
+// InterconnectModel
+// ---------------------------------------------------------------------------
+
+InterconnectModel::InterconnectModel(Capacitance default_c_per_m)
+    : Model(
+          "interconnect", Category::kInterconnect,
+          "Rent's-rule interconnect estimate (Donath/Feuer): average wire "
+          "length in gate pitches from the Rent exponent and block count; "
+          "gate pitch from the active area (bind active_area to "
+          "totalarea() for automatic intermodel interaction); line "
+          "capacitance parameterized per unit length.  C_T = alpha * "
+          "fanout * N * L_avg * pitch * c_per_length.",
+          {{"n_blocks", "number of placed blocks/gates", 1000, "", 2, 1e9},
+           {"rent_exponent", "Rent exponent p of the netlist", 0.6, "", 0.05,
+            0.95},
+           {"fanout", "average wires per block", 3, "", 0.1, 64},
+           {"active_area", "total active area", 1e-6, "m^2", 0, 1},
+           {"c_per_length", "wire capacitance per metre (0 = library default)",
+            0.0, "F/m", 0, 1},
+           {"alpha", "fraction of wires switching per cycle", 0.15, "", 0, 1},
+           spec_vdd(), spec_f()}),
+      default_c_per_m_(default_c_per_m) {}
+
+Estimate InterconnectModel::evaluate(const ParamReader& p) const {
+  const double n = param(p, "n_blocks");
+  const double rent = param(p, "rent_exponent");
+  const double fanout = param(p, "fanout");
+  const double area = param(p, "active_area");
+  const double alpha = param(p, "alpha");
+  const double c_per_m_in = param(p, "c_per_length");
+  const Capacitance c_per_m =
+      c_per_m_in > 0.0 ? Capacitance{c_per_m_in} : default_c_per_m_;
+
+  const double l_avg_pitches = donath_average_length(n, rent);
+  const double pitch_m = std::sqrt(area / n);
+  const double total_wire_m = fanout * n * l_avg_pitches * pitch_m;
+  const Capacitance c_total = c_per_m * total_wire_m;
+  const Capacitance c_t = c_total * alpha;
+  return make_estimate({CapTerm{"switched wiring", c_t}}, {}, operating_point(p),
+                       // First-order: routing adds ~30% to active area.
+                       Area{area * 0.3},
+                       Time{l_avg_pitches * pitch_m * 2e-9 / 1e-3});
+}
+
+// ---------------------------------------------------------------------------
+// ClockTreeModel
+// ---------------------------------------------------------------------------
+
+ClockTreeModel::ClockTreeModel(Capacitance default_c_per_m)
+    : Model("clock_tree", Category::kInterconnect,
+            "Clock distribution: an H-tree spanning the active area plus "
+            "per-sink load; switches rail-to-rail every cycle, so alpha is "
+            "pinned at 1 and only the sheet-supplied clock rate f matters.",
+            {{"active_area", "clocked area", 1e-6, "m^2", 0, 1},
+             {"n_sinks", "number of clocked elements", 1000, "", 1, 1e9},
+             {"c_per_sink", "load per sink", 15e-15, "F", 0, 1e-9},
+             {"c_per_length",
+              "wire capacitance per metre (0 = library default)", 0.0, "F/m",
+              0, 1},
+             spec_vdd(), spec_f()}),
+      default_c_per_m_(default_c_per_m) {}
+
+Estimate ClockTreeModel::evaluate(const ParamReader& p) const {
+  const double area = param(p, "active_area");
+  const double sinks = param(p, "n_sinks");
+  const Capacitance c_sink{param(p, "c_per_sink")};
+  const double c_per_m_in = param(p, "c_per_length");
+  const Capacitance c_per_m =
+      c_per_m_in > 0.0 ? Capacitance{c_per_m_in} : default_c_per_m_;
+
+  // H-tree total length ~ 1.5 * sqrt(area) * sqrt(n_sinks).
+  const double wire_m = 1.5 * std::sqrt(area) * std::sqrt(sinks);
+  const Capacitance c_t = c_per_m * wire_m + c_sink * sinks;
+  return make_estimate({CapTerm{"clock network", c_t}}, {}, operating_point(p),
+                       Area{area * 0.02}, Time{0});
+}
+
+// ---------------------------------------------------------------------------
+// BusModel
+// ---------------------------------------------------------------------------
+
+BusModel::BusModel(Capacitance default_c_per_m, Capacitance c_per_tap)
+    : Model("bus", Category::kInterconnect,
+            "Shared on-chip bus: every transfer switches the full wire "
+            "capacitance of each toggling line plus the parasitic load "
+            "of every attached block.  C_T = alpha * bits * "
+            "(length * c_per_length + taps * c_per_tap).  The long-line, "
+            "many-client topology is why shared buses lose to "
+            "point-to-point links at low power budgets.",
+            {{"bits", "bus width", 16, "bits", 1, 512, true},
+             {"length", "bus length", 5e-3, "m", 0, 1},
+             {"taps", "attached drivers/receivers", 4, "", 1, 256, true},
+             {"c_per_length",
+              "wire capacitance per metre (0 = library default)", 0.0,
+              "F/m", 0, 1},
+             {"alpha", "average line toggle probability", 0.25, "", 0, 1},
+             spec_vdd(), spec_f()}),
+      default_c_per_m_(default_c_per_m),
+      c_per_tap_(c_per_tap) {}
+
+Estimate BusModel::evaluate(const ParamReader& p) const {
+  const double bits = param(p, "bits");
+  const double length_m = param(p, "length");
+  const double taps = param(p, "taps");
+  const double alpha = param(p, "alpha");
+  const double c_per_m_in = param(p, "c_per_length");
+  const Capacitance c_per_m =
+      c_per_m_in > 0.0 ? Capacitance{c_per_m_in} : default_c_per_m_;
+  const Capacitance per_line = c_per_m * length_m + c_per_tap_ * taps;
+  return make_estimate({CapTerm{"bus lines", per_line * (bits * alpha)}},
+                       {}, operating_point(p),
+                       Area{length_m * bits * 2e-6},  // ~2 um line pitch
+                       Time{length_m * 6e-6});        // ~6 ns/m lumped RC
+}
+
+// ---------------------------------------------------------------------------
+// IoPadModel
+// ---------------------------------------------------------------------------
+
+IoPadModel::IoPadModel(Capacitance c_pad, Capacitance c_external)
+    : Model("io_pads", Category::kInterconnect,
+            "Chip I/O: each switching pad drives its own capacitance plus "
+            "the external (board) load.  C_T = n_pads * alpha * "
+            "(C_pad + C_external).",
+            {{"n_pads", "number of signal pads", 16, "", 1, 4096, true},
+             {"alpha", "average pad switching activity", 0.25, "", 0, 1},
+             spec_vdd(), spec_f()}),
+      c_pad_(c_pad),
+      c_external_(c_external) {}
+
+Estimate IoPadModel::evaluate(const ParamReader& p) const {
+  const double pads = param(p, "n_pads");
+  const double alpha = param(p, "alpha");
+  const Capacitance c_t = (c_pad_ + c_external_) * (pads * alpha);
+  return make_estimate({CapTerm{"pads + external load", c_t}}, {}, operating_point(p),
+                       Area{pads * 1e-8}, Time{4e-9});
+}
+
+}  // namespace powerplay::models

@@ -1,0 +1,90 @@
+// interconnect.hpp — early interconnect estimation (paper §Models,
+// Interconnect).
+//
+// "Donath and Feuer propose methods of estimating total interconnect
+// [length] from the amount of active area using Rent's rule, which
+// relates block count in a region to the number of external connections
+// to the region.  Once the physical interconnect [length] is determined,
+// capacitance on the line can be parameterized by feature size and
+// capacitance per unit [length]."
+//
+// We implement Donath's hierarchical-placement average-length estimate:
+// for N blocks placed on a square grid with Rent exponent p (< 1),
+//
+//   L_avg [gate pitches] =
+//     (2/9) * ( 7*(N^(p-0.5) - 1) / (4^(p-0.5) - 1)
+//             - (1 - N^(p-1.5)) / (1 - 4^(p-1.5)) )
+//           * (1 - 4^(p-1)) / (1 - N^(p-1))
+//
+// (form as tabulated by Bakoglu from Donath 1979; the p = 0.5 / p = 1
+// singularities are removable and handled by limit evaluation).  The
+// gate pitch comes from the active area the spreadsheet already knows:
+// pitch = sqrt(area / N).
+#pragma once
+
+#include "model/model.hpp"
+
+namespace powerplay::models {
+
+using model::Estimate;
+using model::Model;
+using model::ParamReader;
+
+/// Donath average wire length in units of gate pitches.
+/// Requires n_blocks >= 2 and 0 < rent_exponent < 1.
+double donath_average_length(double n_blocks, double rent_exponent);
+
+/// Rent's rule itself: terminals T = t_avg * N^p for a region of N blocks.
+double rent_terminals(double blocks, double t_avg, double rent_exponent);
+
+/// Interconnect capacitance model driven by active area.
+///
+/// Parameters: n_blocks, rent_exponent, fanout (wires per block),
+/// active_area [m^2] (typically bound to `totalarea()` on the sheet —
+/// an intermodel interaction), c_per_length [F/m], alpha.
+class InterconnectModel final : public Model {
+ public:
+  explicit InterconnectModel(units::Capacitance default_c_per_m);
+  [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+
+ private:
+  units::Capacitance default_c_per_m_;
+};
+
+/// Clock distribution network: total wire capacitance over the active
+/// area plus one driver per sink; switches every cycle (alpha = 1) by
+/// definition, at rate f (bind f to the clock frequency on the sheet).
+class ClockTreeModel final : public Model {
+ public:
+  explicit ClockTreeModel(units::Capacitance default_c_per_m);
+  [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+
+ private:
+  units::Capacitance default_c_per_m_;
+};
+
+/// Shared on-chip bus: wire capacitance over the bus length plus one
+/// attached driver/receiver load per connected block, per line.
+/// C_T = alpha * bits * (length * c_per_length + taps * c_per_tap).
+class BusModel final : public Model {
+ public:
+  BusModel(units::Capacitance default_c_per_m, units::Capacitance c_per_tap);
+  [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+
+ private:
+  units::Capacitance default_c_per_m_;
+  units::Capacitance c_per_tap_;
+};
+
+/// Chip I/O pads: C_T = pads_switching * (c_pad + c_load_external).
+class IoPadModel final : public Model {
+ public:
+  IoPadModel(units::Capacitance c_pad, units::Capacitance c_external);
+  [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+
+ private:
+  units::Capacitance c_pad_;
+  units::Capacitance c_external_;
+};
+
+}  // namespace powerplay::models

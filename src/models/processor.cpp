@@ -1,0 +1,144 @@
+#include "models/processor.hpp"
+
+#include <cmath>
+
+#include "expr/ast.hpp"
+
+namespace powerplay::models {
+
+using namespace units;
+using model::CapTerm;
+using model::Category;
+using model::OperatingPoint;
+using model::ParamSpec;
+using model::StaticTerm;
+
+namespace {
+
+ParamSpec spec_vdd(double dflt) {
+  return {model::kParamVdd, "supply voltage", dflt, "V", 0, 40};
+}
+
+double voltage_scale(Voltage vdd, Voltage vref) {
+  // Dynamic energy scales ~ V^2 to first order (EQ 1 with C fixed).
+  const double r = vdd.si() / vref.si();
+  return r * r;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AverageProcessorModel — EQ 11
+// ---------------------------------------------------------------------------
+
+AverageProcessorModel::AverageProcessorModel(Power p_avg, Voltage v_reference)
+    : Model("processor_average", Category::kProcessor,
+            "First-order processor model (EQ 11): P = alpha * P_AVG, where "
+            "P_AVG comes from the data book or measurement and alpha <= 1 "
+            "is the activity (shutdown duty) factor.  A processor without "
+            "power-down capability has alpha = 1.  The model neglects "
+            "instruction mix, caches and branches — it brackets, not "
+            "predicts.  Scales quadratically from the data-book supply.",
+            {{"alpha", "activity factor (fraction of time not shut down)",
+              1.0, "", 0, 1},
+             spec_vdd(v_reference.si()),
+             {model::kParamFreq, "unused (P_AVG already includes the clock)",
+              0.0, "Hz", 0, 1e12}}),
+      p_avg_(p_avg),
+      v_ref_(v_reference) {}
+
+Estimate AverageProcessorModel::evaluate(const ParamReader& p) const {
+  const double alpha = param(p, "alpha");
+  const Voltage vdd{param(p, model::kParamVdd)};
+  const Power power = p_avg_ * (alpha * voltage_scale(vdd, v_ref_));
+  // EQ 11 hands us power directly; fold through EQ 1's static term.
+  if (vdd.si() <= 0.0) {
+    throw expr::ExprError("processor_average: vdd must be > 0");
+  }
+  return make_estimate(
+      {}, {StaticTerm{"alpha * P_AVG", Current{power.si() / vdd.si()}}},
+      OperatingPoint{vdd, Frequency{0}});
+}
+
+// ---------------------------------------------------------------------------
+// InstructionProcessorModel — EQ 12 (+ cache refinement)
+// ---------------------------------------------------------------------------
+
+InstructionProcessorModel::InstructionProcessorModel(
+    InstructionEnergyTable table, Energy default_miss_energy,
+    Energy default_switch_energy)
+    : Model("processor_instruction", Category::kProcessor,
+            "Instruction-level processor model (EQ 12, Tiwari): "
+            "E_T = sum_i N_i * E_inst,i over the profiled instruction "
+            "counts; P = E_T / run time with run time = total cycles / f.  "
+            "These models tend to underestimate power because cache and "
+            "branch misses are neglected — supply n_misses from a cache "
+            "simulator (src/cachesim) to add the per-miss energy the "
+            "paper's Dinero refinement provides.",
+            {{"n_alu", "ALU/logic instructions executed", 0, "", 0, 1e15},
+             {"n_mul", "multiply instructions executed", 0, "", 0, 1e15},
+             {"n_load", "load instructions executed", 0, "", 0, 1e15},
+             {"n_store", "store instructions executed", 0, "", 0, 1e15},
+             {"n_branch", "branch instructions executed", 0, "", 0, 1e15},
+             {"n_other", "all other instructions executed", 0, "", 0, 1e15},
+             {"cpi", "average cycles per instruction", 1.0, "", 0.1, 64},
+             {"n_misses", "cache misses (0 = ideal memory)", 0, "", 0, 1e15},
+             {"miss_cycles", "stall cycles per miss", 10, "", 0, 1e4},
+             {"e_miss",
+              "energy per miss at the reference voltage (0 = table default)",
+              0.0, "J", 0, 1},
+             {"n_switches",
+              "inter-instruction class transitions (Tiwari circuit-state "
+              "overhead)",
+              0, "", 0, 1e15},
+             {"e_switch",
+              "energy per class switch at the reference voltage (0 = "
+              "table default)",
+              0.0, "J", 0, 1},
+             spec_vdd(3.3),
+             {model::kParamFreq, "clock frequency", 25e6, "Hz", 0, 1e12}}),
+      table_(table),
+      default_miss_energy_(default_miss_energy),
+      default_switch_energy_(default_switch_energy) {}
+
+Estimate InstructionProcessorModel::evaluate(const ParamReader& p) const {
+  const Voltage vdd{param(p, model::kParamVdd)};
+  const Frequency f{param(p, model::kParamFreq)};
+  const double scale = voltage_scale(vdd, table_.v_reference);
+
+  const double counts[kNumInstClasses] = {
+      param(p, "n_alu"),  param(p, "n_mul"),    param(p, "n_load"),
+      param(p, "n_store"), param(p, "n_branch"), param(p, "n_other")};
+  double instructions = 0;
+  Energy e_total{0};
+  for (std::size_t i = 0; i < kNumInstClasses; ++i) {
+    instructions += counts[i];
+    e_total += table_.energy[i] * (counts[i] * scale);
+  }
+
+  const double misses = param(p, "n_misses");
+  const double e_miss_in = param(p, "e_miss");
+  const Energy e_miss =
+      e_miss_in > 0.0 ? Energy{e_miss_in} : default_miss_energy_;
+  e_total += e_miss * (misses * scale);
+
+  const double switches = param(p, "n_switches");
+  const double e_switch_in = param(p, "e_switch");
+  const Energy e_switch =
+      e_switch_in > 0.0 ? Energy{e_switch_in} : default_switch_energy_;
+  e_total += e_switch * (switches * scale);
+
+  const double cycles =
+      instructions * param(p, "cpi") + misses * param(p, "miss_cycles");
+
+  Estimate est;
+  est.energy_per_op = e_total;
+  if (cycles > 0.0 && f.si() > 0.0) {
+    const Time runtime = Time{cycles / f.si()};
+    est.dynamic_power = Power{e_total.si() / runtime.si()};
+    est.delay = runtime;
+  }
+  return est;
+}
+
+}  // namespace powerplay::models

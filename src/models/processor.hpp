@@ -1,0 +1,77 @@
+// processor.hpp — programmable processor models (paper §Models,
+// Programmable Processors).
+//
+// Three fidelity levels, exactly the paper's refinement ladder:
+//  1. EQ 11: P = alpha * P_AVG — data-book average power gated by an
+//     activity (shutdown duty) factor.
+//  2. EQ 12: E_T = sum_i N_i * E_inst,i — instruction-level energy
+//     (Tiwari); power is E_T over the run time.
+//  3. Cache-aware: EQ 12 plus per-miss energy/stall from a cache
+//     simulator (the paper points at Dinero; ours lives in src/cachesim
+//     and its miss counts feed the `n_misses` parameter here).
+#pragma once
+
+#include <array>
+
+#include "model/model.hpp"
+
+namespace powerplay::models {
+
+using model::Estimate;
+using model::Model;
+using model::ParamReader;
+
+/// EQ 11: P = alpha * P_AVG, with first-order quadratic voltage scaling
+/// from the data-book's reference supply.
+class AverageProcessorModel final : public Model {
+ public:
+  AverageProcessorModel(units::Power p_avg, units::Voltage v_reference);
+  [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+
+ private:
+  units::Power p_avg_;
+  units::Voltage v_ref_;
+};
+
+/// Instruction classes for the EQ 12 model.  Mirrors src/isa's grouping
+/// so profiler output maps 1:1 onto model parameters.
+enum class InstClass { kAlu, kMul, kLoad, kStore, kBranch, kOther };
+inline constexpr std::size_t kNumInstClasses = 6;
+
+/// Per-class energy table at a reference voltage.
+struct InstructionEnergyTable {
+  units::Voltage v_reference;
+  std::array<units::Energy, kNumInstClasses> energy;
+
+  [[nodiscard]] units::Energy at(InstClass c) const {
+    return energy[static_cast<std::size_t>(c)];
+  }
+};
+
+/// EQ 12: E_T = sum N_i * E_inst,i; optional cache-miss energy term and
+/// Tiwari's inter-instruction circuit-state overhead (a per-class-switch
+/// energy on top of the base costs — Tiwari's key observation beyond the
+/// plain base-cost sum).
+///
+/// Parameters: n_alu, n_mul, n_load, n_store, n_branch, n_other
+/// (instruction counts from a profiler), cpi, n_misses,
+/// e_miss (energy per miss at v_reference; 0 = table default),
+/// n_switches (class transitions), e_switch (0 = table default), f, vdd.
+/// Power = E_T(vdd) / (cycles / f).
+class InstructionProcessorModel final : public Model {
+ public:
+  InstructionProcessorModel(InstructionEnergyTable table,
+                            units::Energy default_miss_energy,
+                            units::Energy default_switch_energy =
+                                units::Energy{0});
+  [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+
+  [[nodiscard]] const InstructionEnergyTable& table() const { return table_; }
+
+ private:
+  InstructionEnergyTable table_;
+  units::Energy default_miss_energy_;
+  units::Energy default_switch_energy_;
+};
+
+}  // namespace powerplay::models

@@ -1,0 +1,173 @@
+#include "models/storage.hpp"
+
+#include <cmath>
+
+namespace powerplay::models {
+
+using namespace units;
+using model::CapTerm;
+using model::Category;
+using model::OperatingPoint;
+using model::StaticTerm;
+
+namespace {
+
+ParamSpec spec_vdd() {
+  return {model::kParamVdd, "supply voltage", 1.5, "V", 0, 40};
+}
+ParamSpec spec_f() {
+  return {model::kParamFreq, "access rate", 0.0, "Hz", 0, 1e12};
+}
+ParamSpec spec_alpha() {
+  return {"alpha", "switching activity scale", 1.0, "", 0, 1};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RegisterModel
+// ---------------------------------------------------------------------------
+
+RegisterModel::RegisterModel(Capacitance c_per_bit)
+    : Model("register", Category::kStorage,
+            "Edge-triggered register bank: C_T = bits * C0, clock "
+            "capacitance included in the per-bit coefficient as the paper "
+            "prescribes.",
+            {{"bits", "register width", 8, "bits", 1, 1024, true},
+             spec_alpha(),
+             spec_vdd(),
+             spec_f()}),
+      c_per_bit_(c_per_bit) {}
+
+Estimate RegisterModel::evaluate(const ParamReader& p) const {
+  const double bits = param(p, "bits");
+  const double alpha = param(p, "alpha");
+  // Clock toggles every cycle regardless of data activity: model half the
+  // per-bit capacitance as clock (alpha-independent), half as data.
+  const Capacitance c_clock = c_per_bit_ * (0.5 * bits);
+  const Capacitance c_data = c_per_bit_ * (0.5 * bits * alpha);
+  return make_estimate(
+      {CapTerm{"clock", c_clock}, CapTerm{"data", c_data}}, {}, operating_point(p),
+      Area{bits * 1.5e-9}, Time{1.2e-9});
+}
+
+// ---------------------------------------------------------------------------
+// RegisterFileModel
+// ---------------------------------------------------------------------------
+
+RegisterFileModel::RegisterFileModel(Coefficients k)
+    : Model("register_file", Category::kStorage,
+            "Small multi-port storage: organization model "
+            "C_T = C0 + Cw*words + Cb*bits + Ccell*words*bits (EQ 7 at "
+            "register-file scale, rail-to-rail).",
+            {{"words", "number of entries", 16, "", 1, 1024, true},
+             {"bits", "entry width", 16, "bits", 1, 256, true},
+             spec_alpha(),
+             spec_vdd(),
+             spec_f()}),
+      k_(k) {}
+
+Estimate RegisterFileModel::evaluate(const ParamReader& p) const {
+  const double words = param(p, "words");
+  const double bits = param(p, "bits");
+  const double alpha = param(p, "alpha");
+  const Capacitance c_t = (k_.c0 + k_.c_word * words + k_.c_bit * bits +
+                           k_.c_cell * (words * bits)) *
+                          alpha;
+  return make_estimate({CapTerm{"register file", c_t}}, {}, operating_point(p),
+                       Area{words * bits * 0.6e-9},
+                       Time{(2.0 + std::log2(words) * 0.4) * 1e-9});
+}
+
+// ---------------------------------------------------------------------------
+// SramModel — EQ 7 / EQ 8
+// ---------------------------------------------------------------------------
+
+SramModel::SramModel(std::string name, std::string documentation,
+                     Coefficients k)
+    : Model(std::move(name), Category::kStorage,
+            std::move(documentation) +
+                "  Organization model (EQ 7): C_T = C0 + Cw*words + "
+                "Cb*bits + Ccell*words*bits.  With vswing > 0 the "
+                "bitline_fraction of C_T swings only vswing (EQ 8), so "
+                "power scales as Cfull*VDD^2 + Cpartial*Vswing*VDD rather "
+                "than C_T*VDD^2.",
+            {{"words", "number of words", 1024, "", 1, 1 << 24, true},
+             {"bits", "word width", 8, "bits", 1, 512, true},
+             {"vswing",
+              "bit-line swing [V]; 0 selects full rail-to-rail swing", 0.0,
+              "V", 0, 40},
+             {"bitline_fraction",
+              "fraction of C_T on the reduced-swing bit-lines", 0.6, "", 0,
+              1},
+             {"i_static", "standby + sense-amp bias current", 0.0, "A", 0, 1},
+             spec_alpha(),
+             spec_vdd(),
+             spec_f()}),
+      k_(k) {}
+
+Capacitance SramModel::organization_capacitance(double words,
+                                                double bits) const {
+  return k_.c0 + k_.c_word * words + k_.c_bit * bits +
+         k_.c_cell * (words * bits);
+}
+
+Estimate SramModel::evaluate(const ParamReader& p) const {
+  const double words = param(p, "words");
+  const double bits = param(p, "bits");
+  const double vswing = param(p, "vswing");
+  const double bitline_fraction = param(p, "bitline_fraction");
+  const double alpha = param(p, "alpha");
+  const Capacitance c_t = organization_capacitance(words, bits) * alpha;
+
+  std::vector<CapTerm> terms;
+  if (vswing > 0.0) {
+    const Capacitance c_partial = c_t * bitline_fraction;
+    const Capacitance c_full = c_t * (1.0 - bitline_fraction);
+    terms.push_back(CapTerm{"periphery (full swing)", c_full});
+    terms.push_back(CapTerm{"bit-lines (reduced swing)", c_partial,
+                            Voltage{vswing}, /*full_swing=*/false});
+  } else {
+    terms.push_back(CapTerm{"array + periphery", c_t});
+  }
+
+  std::vector<StaticTerm> statics;
+  const double i_static = param(p, "i_static");
+  if (i_static > 0.0) {
+    statics.push_back(StaticTerm{"sense-amp bias", Current{i_static}});
+  }
+  return make_estimate(std::move(terms), std::move(statics), operating_point(p),
+                       Area{words * bits * 0.15e-9},
+                       Time{(4.0 + std::log2(words) * 0.6) * 1e-9});
+}
+
+// ---------------------------------------------------------------------------
+// DramModel
+// ---------------------------------------------------------------------------
+
+DramModel::DramModel(SramModel::Coefficients k, Current refresh_current)
+    : Model("dram", Category::kStorage,
+            "DRAM page access: organization capacitance per EQ 7 plus a "
+            "refresh charge stream modeled as the static current of EQ 1.",
+            {{"words", "number of words", 1 << 16, "", 1, 1 << 28, true},
+             {"bits", "word width", 16, "bits", 1, 512, true},
+             spec_alpha(),
+             spec_vdd(),
+             spec_f()}),
+      k_(k),
+      refresh_current_(refresh_current) {}
+
+Estimate DramModel::evaluate(const ParamReader& p) const {
+  const double words = param(p, "words");
+  const double bits = param(p, "bits");
+  const double alpha = param(p, "alpha");
+  const Capacitance c_t = (k_.c0 + k_.c_word * std::sqrt(words) +
+                           k_.c_bit * bits + k_.c_cell * (words * bits)) *
+                          alpha;
+  return make_estimate({CapTerm{"page access", c_t}},
+                       {StaticTerm{"refresh", refresh_current_}}, operating_point(p),
+                       Area{words * bits * 0.04e-9},
+                       Time{(20.0 + std::log2(words)) * 1e-9});
+}
+
+}  // namespace powerplay::models

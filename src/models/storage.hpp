@@ -1,0 +1,94 @@
+// storage.hpp — memory models (paper §Models, Storage).
+//
+// Small memories (pipeline registers, register files) use the Landman
+// computational-style coefficients.  Large memories use the organization
+// model of EQ 7,
+//   C_T = C0 + C1w*(words) + C1b*(bits) + C2*(words)(bits)
+// and, when bit-lines swing less than rail-to-rail, the two-component
+// dynamic power of EQ 8,
+//   P = alpha * { C_fullswing*VDD^2 + C_partialswing*Vswing*VDD } * f
+// which is why memories must be "characterized at more than one voltage
+// level" — a single effective coefficient times VDD^2 mispredicts the
+// voltage dependence.  Both behaviours are exposed here and contrasted in
+// bench_memory_swing.
+#pragma once
+
+#include "model/model.hpp"
+
+namespace powerplay::models {
+
+using model::Estimate;
+using model::Model;
+using model::ParamReader;
+using model::ParamSpec;
+
+/// Pipeline/edge register: C_T = bits * C0, clock capacitance included
+/// (the paper notes clock cap is folded into each block's model).
+class RegisterModel final : public Model {
+ public:
+  explicit RegisterModel(units::Capacitance c_per_bit);
+  [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+
+ private:
+  units::Capacitance c_per_bit_;
+};
+
+/// Small register file, Landman style with organization terms:
+/// C_T = C0 + Cw*words + Cb*bits + Cwb*words*bits, read or write port.
+class RegisterFileModel final : public Model {
+ public:
+  struct Coefficients {
+    units::Capacitance c0;
+    units::Capacitance c_word;
+    units::Capacitance c_bit;
+    units::Capacitance c_cell;
+  };
+  explicit RegisterFileModel(Coefficients k);
+  [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+
+ private:
+  Coefficients k_;
+};
+
+/// SRAM per-access model (EQ 7 + EQ 8).
+///
+/// Parameters:
+///  * words, bits          — organization
+///  * vswing               — bit-line swing in volts; 0 selects full rail
+///  * bitline_fraction     — fraction of C_T attributed to bit-lines
+///                           (the part that swings `vswing`)
+///  * i_static             — standby/sense-amp static current [A]
+///  * alpha                — activity scale
+class SramModel final : public Model {
+ public:
+  struct Coefficients {
+    units::Capacitance c0;      ///< fixed periphery (decoder, control)
+    units::Capacitance c_word;  ///< per word (word-line / decode fan)
+    units::Capacitance c_bit;   ///< per output bit (sense amp, output driver)
+    units::Capacitance c_cell;  ///< per words*bits (array core + bit-lines)
+  };
+  SramModel(std::string name, std::string documentation, Coefficients k);
+  [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+
+  /// EQ 7 organization capacitance (rail-to-rail equivalent, before the
+  /// swing split).  Exposed for tests and the memory-model bench.
+  [[nodiscard]] units::Capacitance organization_capacitance(double words,
+                                                            double bits) const;
+
+ private:
+  Coefficients k_;
+};
+
+/// DRAM page-access model: EQ 7-style organization capacitance plus a
+/// refresh term modeled as a static current (charge per refresh / period).
+class DramModel final : public Model {
+ public:
+  DramModel(SramModel::Coefficients k, units::Current refresh_current);
+  [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+
+ private:
+  SramModel::Coefficients k_;
+  units::Current refresh_current_;
+};
+
+}  // namespace powerplay::models

@@ -1,0 +1,120 @@
+#include "models/system.hpp"
+
+#include "expr/ast.hpp"
+
+namespace powerplay::models {
+
+using namespace units;
+using model::CapTerm;
+using model::Category;
+using model::OperatingPoint;
+using model::StaticTerm;
+
+DataSheetComponentModel::DataSheetComponentModel()
+    : Model("datasheet_component", Category::kSystem,
+            "Commodity component whose power comes straight from a "
+            "data-sheet or measurement: P = p_typical * duty.  No voltage "
+            "scaling is applied; the figure is an end-to-end measurement.",
+            {{"p_typical", "typical/measured power", 0.1, "W", 0, 1e6},
+             {"duty", "fraction of time active", 1.0, "", 0, 1},
+             {model::kParamVdd, "nominal rail (bookkeeping only)", 5.0, "V",
+              0, 100},
+             {model::kParamFreq, "unused", 0.0, "Hz", 0, 1e12}}) {}
+
+Estimate DataSheetComponentModel::evaluate(const ParamReader& p) const {
+  const double watts = param(p, "p_typical") * param(p, "duty");
+  const Voltage vdd{param(p, model::kParamVdd)};
+  if (vdd.si() <= 0.0) {
+    throw expr::ExprError("datasheet_component: vdd must be > 0");
+  }
+  return make_estimate(
+      {}, {StaticTerm{"data-sheet power", Current{watts / vdd.si()}}},
+      OperatingPoint{vdd, Frequency{0}});
+}
+
+FpgaModel::FpgaModel(Capacitance c_per_cell, Capacitance c_fabric_per_cell)
+    : Model("fpga", Category::kSystem,
+            "FPGA macro-model (paper: future work; first cut consistent "
+            "with EQ 1): C_T = cells_used * alpha * (C_cell + C_fabric), "
+            "where C_fabric lumps the programmable-interconnect load per "
+            "active cell, plus a static configuration/leakage current.",
+            {{"cells_used", "occupied logic cells", 1000, "", 1, 1e7, true},
+             {"alpha", "average cell output activity", 0.15, "", 0, 1},
+             {"i_static", "configuration + leakage current", 5e-3, "A", 0, 10},
+             {model::kParamVdd, "core supply", 5.0, "V", 0, 40},
+             {model::kParamFreq, "system clock", 0.0, "Hz", 0, 1e12}}),
+      c_per_cell_(c_per_cell),
+      c_fabric_per_cell_(c_fabric_per_cell) {}
+
+Estimate FpgaModel::evaluate(const ParamReader& p) const {
+  const double cells = param(p, "cells_used");
+  const double alpha = param(p, "alpha");
+  const Capacitance c_t = (c_per_cell_ + c_fabric_per_cell_) * (cells * alpha);
+  return make_estimate(
+      {CapTerm{"logic cells + fabric", c_t}},
+      {StaticTerm{"configuration/leakage", Current{param(p, "i_static")}}},
+      operating_point(p),
+      Area{cells * 4e-9}, Time{0});
+}
+
+ServoMotorModel::ServoMotorModel()
+    : Model("servo_motor", Category::kSystem,
+            "Electro-mechanical actuator: mechanical power tau*omega "
+            "drawn through the motor efficiency, plus idle bias current; "
+            "duty-gated.  Systems are mixed-mode (digital, analog, "
+            "electro-mechanical) and this is the third kind.",
+            {{"torque", "load torque", 0.01, "N*m", 0, 100},
+             {"speed", "shaft speed", 50.0, "rad/s", 0, 1e5},
+             {"eta", "motor efficiency", 0.6, "", 0.01, 1.0},
+             {"duty", "fraction of time actuating", 0.1, "", 0, 1},
+             {"i_idle", "idle/holding current", 5e-3, "A", 0, 100},
+             {model::kParamVdd, "motor supply", 6.0, "V", 0, 100},
+             {model::kParamFreq, "unused", 0.0, "Hz", 0, 1e12}}) {}
+
+Estimate ServoMotorModel::evaluate(const ParamReader& p) const {
+  const double mech_watts =
+      param(p, "torque") * param(p, "speed") / param(p, "eta");
+  const double watts = param(p, "duty") * mech_watts;
+  const Voltage vdd{param(p, model::kParamVdd)};
+  if (vdd.si() <= 0.0) {
+    throw expr::ExprError("servo_motor: vdd must be > 0");
+  }
+  return make_estimate(
+      {},
+      {StaticTerm{"actuation", Current{watts / vdd.si()}},
+       StaticTerm{"idle bias", Current{param(p, "i_idle")}}},
+      OperatingPoint{vdd, Frequency{0}});
+}
+
+BacklitDisplayModel::BacklitDisplayModel(Capacitance c_per_m2_per_hz)
+    : Model("backlit_display", Category::kSystem,
+            "Backlit LCD: panel drive capacitance scales with area and "
+            "refresh rate; the backlight (the dominating term in a "
+            "portable terminal) is a duty-gated constant power.",
+            {{"area", "panel area", 0.01, "m^2", 0, 10},
+             {"refresh", "refresh rate", 60.0, "Hz", 0, 1e4},
+             {"p_backlight", "backlight power when lit", 1.0, "W", 0, 1e3},
+             {"backlight_duty", "fraction of time lit", 1.0, "", 0, 1},
+             {model::kParamVdd, "panel drive voltage", 12.0, "V", 0, 100},
+             {model::kParamFreq, "unused (refresh drives the panel)", 0.0,
+              "Hz", 0, 1e12}}),
+      c_per_m2_per_hz_(c_per_m2_per_hz) {}
+
+Estimate BacklitDisplayModel::evaluate(const ParamReader& p) const {
+  const Voltage vdd{param(p, model::kParamVdd)};
+  if (vdd.si() <= 0.0) {
+    throw expr::ExprError("backlit_display: vdd must be > 0");
+  }
+  // Panel drive: treat as EQ 1 capacitance switching at the refresh
+  // rate, scaled by area.
+  const Capacitance c_panel =
+      c_per_m2_per_hz_ * (param(p, "area") * param(p, "refresh"));
+  const double backlight_watts =
+      param(p, "p_backlight") * param(p, "backlight_duty");
+  return make_estimate(
+      {CapTerm{"panel drive", c_panel}},
+      {StaticTerm{"backlight", Current{backlight_watts / vdd.si()}}},
+      OperatingPoint{vdd, Frequency{1.0}});  // refresh folded into c_panel
+}
+
+}  // namespace powerplay::models

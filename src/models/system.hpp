@@ -1,0 +1,62 @@
+// system.hpp — system-level commodity components (paper §System Design).
+//
+// "The power information for commodity components is, for instance,
+// readily available from data-sheets."  A data-sheet component is a
+// measured/typical power figure gated by a duty factor; no voltage or
+// frequency scaling is applied because the figure is an end-to-end
+// measurement (LCD panels, radio modems, speakers, ...).
+#pragma once
+
+#include "model/model.hpp"
+
+namespace powerplay::models {
+
+using model::Estimate;
+using model::Model;
+using model::ParamReader;
+
+/// Generic data-sheet entry: P = p_typical * duty.
+/// `vdd` exists only to satisfy the EQ 1 static-current bookkeeping
+/// (I = P / vdd); it defaults to the component's nominal rail.
+class DataSheetComponentModel final : public Model {
+ public:
+  DataSheetComponentModel();
+  [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+};
+
+/// FPGA macro-model.  The paper flags FPGA macro-modeling as "non-trivial
+/// and the subject of further research"; this implements the natural
+/// first cut consistent with the EQ 1 template: utilization * (logic-cell
+/// energy + interconnect-fabric energy) per cycle, plus static current.
+class FpgaModel final : public Model {
+ public:
+  FpgaModel(units::Capacitance c_per_cell, units::Capacitance c_fabric_per_cell);
+  [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+
+ private:
+  units::Capacitance c_per_cell_;
+  units::Capacitance c_fabric_per_cell_;
+};
+
+/// Electro-mechanical actuator (the System Design section's "servos"):
+/// mechanical output power tau*omega through the motor efficiency, plus
+/// idle bias, gated by a duty factor.  P = duty * (tau*omega/eta) +
+/// i_idle * vdd.
+class ServoMotorModel final : public Model {
+ public:
+  ServoMotorModel();
+  [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+};
+
+/// Backlit LCD: panel drive scales with area and refresh; the backlight
+/// (the real consumer) is a duty-gated constant.
+class BacklitDisplayModel final : public Model {
+ public:
+  explicit BacklitDisplayModel(units::Capacitance c_per_m2_per_hz);
+  [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+
+ private:
+  units::Capacitance c_per_m2_per_hz_;
+};
+
+}  // namespace powerplay::models

@@ -1,0 +1,59 @@
+#include "sheet/budget.hpp"
+
+#include <sstream>
+
+namespace powerplay::sheet {
+
+using units::Power;
+
+BudgetReport check_budget(const PlayResult& result,
+                          const std::vector<BudgetLine>& lines,
+                          std::optional<Power> design_total) {
+  BudgetReport report;
+  report.total_actual = result.total.total_power();
+
+  for (const BudgetLine& line : lines) {
+    const RowResult* row = result.find_row(line.row);
+    if (row == nullptr) {
+      throw expr::ExprError("budget references unknown row '" + line.row +
+                            "' in design '" + result.design_name + "'");
+    }
+    BudgetReport::Line out;
+    out.row = line.row;
+    out.allowance = line.allowance;
+    out.actual = row->estimate.total_power();
+    out.slack = out.allowance - out.actual;
+    out.over = out.slack.si() < 0.0;
+    report.any_over = report.any_over || out.over;
+    report.total_allowance += line.allowance;
+    report.lines.push_back(std::move(out));
+  }
+
+  if (design_total.has_value()) {
+    BudgetReport::Line total;
+    total.row = "(design total)";
+    total.allowance = *design_total;
+    total.actual = report.total_actual;
+    total.slack = total.allowance - total.actual;
+    total.over = total.slack.si() < 0.0;
+    report.any_over = report.any_over || total.over;
+    report.lines.push_back(std::move(total));
+  }
+  return report;
+}
+
+std::string budget_table(const BudgetReport& report) {
+  std::ostringstream os;
+  os << "power budget sign-off\n";
+  for (const auto& line : report.lines) {
+    os << "  " << line.row << ": " << units::to_string(line.actual)
+       << " of " << units::to_string(line.allowance) << " ("
+       << (line.over ? "OVER by " : "slack ")
+       << units::format_si(std::fabs(line.slack.si()), "W") << ")\n";
+  }
+  os << (report.pass() ? "PASS" : "FAIL") << ": design total "
+     << units::to_string(report.total_actual) << "\n";
+  return os.str();
+}
+
+}  // namespace powerplay::sheet

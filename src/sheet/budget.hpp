@@ -1,0 +1,50 @@
+// budget.hpp — early power budgeting over a Play result.
+//
+// "This enables power budgeting at an early stage and gives a good basis
+// for making architectural and algorithmic decisions."  A budget assigns
+// an allowance to each row (and optionally to the whole design); the
+// report shows actuals, slack, and who blew it — the spreadsheet-era
+// version of a power sign-off.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sheet/design.hpp"
+
+namespace powerplay::sheet {
+
+/// One row's allowance.
+struct BudgetLine {
+  std::string row;
+  units::Power allowance;
+};
+
+struct BudgetReport {
+  struct Line {
+    std::string row;
+    units::Power allowance;
+    units::Power actual;
+    units::Power slack;   ///< allowance - actual (negative = over)
+    bool over = false;
+  };
+  std::vector<Line> lines;
+  units::Power total_allowance;
+  units::Power total_actual;   ///< whole-design total (all rows)
+  bool any_over = false;
+
+  /// True when every budgeted row and the design total (if set) fit.
+  [[nodiscard]] bool pass() const { return !any_over; }
+};
+
+/// Evaluate `lines` (plus an optional whole-design allowance) against a
+/// Play result.  Throws ExprError when a budgeted row does not exist.
+BudgetReport check_budget(const PlayResult& result,
+                          const std::vector<BudgetLine>& lines,
+                          std::optional<units::Power> design_total = {});
+
+/// ASCII sign-off table.
+std::string budget_table(const BudgetReport& report);
+
+}  // namespace powerplay::sheet

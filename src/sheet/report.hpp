@@ -1,0 +1,59 @@
+// report.hpp — rendering PlayResults as the paper's spreadsheet tables.
+//
+// The ASCII renderer mirrors Figure 2's columns (row name, model,
+// parameters, access rate, switched capacitance, energy/op, power); the
+// CSV form feeds external tooling; the breakdown renderer is the
+// per-module drill-down page behind each row's hyperlink.
+#pragma once
+
+#include <string>
+
+#include "sheet/design.hpp"
+
+namespace powerplay::sheet {
+
+struct ReportOptions {
+  bool show_params = true;
+  bool show_capacitance = true;
+  bool show_energy = true;
+  bool show_area = false;
+  bool show_delay = false;
+  int indent = 0;                ///< nesting level for macro drill-down
+  bool recurse_macros = false;   ///< inline macro sub-tables
+};
+
+/// Figure 2 / Figure 5 style ASCII table.
+std::string to_table(const PlayResult& result, const ReportOptions& opt = {});
+
+/// Machine-readable CSV: name, model, power_w, energy_per_op_j,
+/// csw_f, area_m2, params...
+std::string to_csv(const PlayResult& result);
+
+/// EQ 1 term-by-term breakdown of one row (the documentation page).
+std::string to_breakdown(const RowResult& row);
+
+/// One-line summary: "<design>: <total> (N rows, M sweeps)".
+std::string summary_line(const PlayResult& result);
+
+/// First-cut compositional timing over a Play result (the paper notes
+/// delay composition was "currently being examined"; this is the
+/// natural pipeline interpretation).  Rows that bound a local `stage`
+/// parameter are grouped by its integer value (rows without one share
+/// stage 0); the critical path of each stage is its slowest row, and
+/// the maximum clock rate is 1 / max-stage-delay.
+struct TimingSummary {
+  struct Stage {
+    int stage = 0;
+    std::string critical_row;
+    units::Time delay{0};
+  };
+  std::vector<Stage> stages;       ///< ordered by stage number
+  units::Time critical_path{0};    ///< slowest stage
+  std::string critical_row;
+  /// 1 / critical_path; zero when no row reports a delay.
+  units::Frequency max_clock{0};
+};
+TimingSummary timing_summary(const PlayResult& result);
+std::string timing_table(const TimingSummary& summary);
+
+}  // namespace powerplay::sheet

@@ -1,0 +1,122 @@
+#include "sheet/sweep.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "units/units.hpp"
+
+namespace powerplay::sheet {
+
+std::vector<SweepPoint> sweep_global(const Design& design,
+                                     const std::string& param,
+                                     const std::vector<double>& values) {
+  Design work = design;
+  std::vector<SweepPoint> out;
+  out.reserve(values.size());
+  for (double v : values) {
+    work.globals().set(param, v);
+    out.push_back(SweepPoint{v, work.play()});
+  }
+  return out;
+}
+
+std::vector<SweepPoint> sweep_row_param(const Design& design,
+                                        const std::string& row,
+                                        const std::string& param,
+                                        const std::vector<double>& values) {
+  Design work = design;
+  Row* r = work.find_row(row);
+  if (r == nullptr) {
+    throw expr::ExprError("sweep_row_param: no row named '" + row +
+                          "' in design '" + design.name() + "'");
+  }
+  std::vector<SweepPoint> out;
+  out.reserve(values.size());
+  for (double v : values) {
+    r->params.set(param, v);
+    out.push_back(SweepPoint{v, work.play()});
+  }
+  return out;
+}
+
+GridSweep sweep_grid(const Design& design, const std::string& x_param,
+                     const std::vector<double>& xs,
+                     const std::string& y_param,
+                     const std::vector<double>& ys) {
+  if (x_param == y_param) {
+    throw expr::ExprError("sweep_grid: the two parameters must differ");
+  }
+  GridSweep out;
+  out.x_param = x_param;
+  out.y_param = y_param;
+  out.xs = xs;
+  out.ys = ys;
+  Design work = design;
+  out.results.reserve(xs.size());
+  for (double x : xs) {
+    work.globals().set(x_param, x);
+    std::vector<PlayResult> row;
+    row.reserve(ys.size());
+    for (double y : ys) {
+      work.globals().set(y_param, y);
+      row.push_back(work.play());
+    }
+    out.results.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::string grid_table(const GridSweep& grid) {
+  std::ostringstream os;
+  os << grid.x_param << " \\ " << grid.y_param;
+  for (double y : grid.ys) os << '\t' << y;
+  os << '\n';
+  for (std::size_t i = 0; i < grid.xs.size(); ++i) {
+    os << grid.xs[i];
+    for (std::size_t j = 0; j < grid.ys.size(); ++j) {
+      os << '\t'
+         << units::format_si(
+                grid.results[i][j].total.total_power().si(), "W");
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::vector<double> linspace(double from, double to, int points) {
+  if (points < 2) return {from};
+  std::vector<double> out;
+  out.reserve(points);
+  const double step = (to - from) / (points - 1);
+  for (int i = 0; i < points; ++i) out.push_back(from + step * i);
+  return out;
+}
+
+std::vector<double> geomspace(double from, double to, int points) {
+  if (from <= 0 || to <= 0) {
+    throw expr::ExprError("geomspace: endpoints must be positive");
+  }
+  if (points < 2) return {from};
+  std::vector<double> out;
+  out.reserve(points);
+  const double ratio = std::pow(to / from, 1.0 / (points - 1));
+  double v = from;
+  for (int i = 0; i < points; ++i) {
+    out.push_back(v);
+    v *= ratio;
+  }
+  return out;
+}
+
+std::string sweep_table(const std::string& param,
+                        const std::vector<SweepPoint>& points) {
+  std::ostringstream os;
+  os << param << "\ttotal power\n";
+  for (const SweepPoint& p : points) {
+    os << p.value << '\t'
+       << units::format_si(p.result.total.total_power().si(), "W") << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace powerplay::sheet

@@ -1,0 +1,61 @@
+// sweep.hpp — what-if exploration over a design.
+//
+// "The table is parameterized; that is, parameters such as bit-widths and
+// supply voltages can be varied dynamically."  A sweep re-Plays the
+// design across a set of values for one global parameter and collects the
+// results — the engine behind voltage/frequency trade-off curves and the
+// instant what-if loop of the Figure 4 form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sheet/design.hpp"
+
+namespace powerplay::sheet {
+
+struct SweepPoint {
+  double value;
+  PlayResult result;
+};
+
+/// Re-Play `design` once per value of global parameter `param`.
+/// The design itself is not modified.
+std::vector<SweepPoint> sweep_global(const Design& design,
+                                     const std::string& param,
+                                     const std::vector<double>& values);
+
+/// Same, over a row-local parameter (rows addressed by name).
+std::vector<SweepPoint> sweep_row_param(const Design& design,
+                                        const std::string& row,
+                                        const std::string& param,
+                                        const std::vector<double>& values);
+
+/// Two-parameter grid sweep (e.g. the classic voltage x frequency
+/// exploration plane).  result[i][j] is the Play at xs[i], ys[j].
+struct GridSweep {
+  std::string x_param;
+  std::string y_param;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::vector<std::vector<PlayResult>> results;  ///< [x][y]
+};
+GridSweep sweep_grid(const Design& design, const std::string& x_param,
+                     const std::vector<double>& xs,
+                     const std::string& y_param,
+                     const std::vector<double>& ys);
+
+/// Render a grid as a total-power matrix table.
+std::string grid_table(const GridSweep& grid);
+
+/// Inclusive linear range helper: {from, from+step, ..., to}.
+std::vector<double> linspace(double from, double to, int points);
+
+/// Geometric range helper: {from, from*ratio, ...} up to and incl. `to`.
+std::vector<double> geomspace(double from, double to, int points);
+
+/// Render a sweep as a two-column table (value, total power).
+std::string sweep_table(const std::string& param,
+                        const std::vector<SweepPoint>& points);
+
+}  // namespace powerplay::sheet

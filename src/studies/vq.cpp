@@ -1,0 +1,84 @@
+#include "studies/vq.hpp"
+
+namespace powerplay::studies {
+
+namespace {
+
+/// Ping-pong input buffers are identical in both architectures: each
+/// bank holds one frame of 8-bit codewords (256*128/16 = 2048 words).
+/// The displayed buffer is read twice per arriving frame (60 Hz refresh
+/// vs 30 Hz arrival), so reads run at f/16 and writes at f/32.
+void add_pingpong_banks(sheet::Design& d, const model::ModelRegistry& lib) {
+  auto& read = d.add_row("Read Bank", lib.find_shared("sram"));
+  read.params.set("words", 2048.0);
+  read.params.set("bits", 8.0);
+  read.params.set_formula("f", "pixel_rate/16");
+  read.note = "ping-pong buffer, display side (read twice per frame)";
+
+  auto& write = d.add_row("Write Bank", lib.find_shared("sram"));
+  write.params.set("words", 2048.0);
+  write.params.set("bits", 8.0);
+  write.params.set_formula("f", "pixel_rate/32");
+  write.note = "ping-pong buffer, network side";
+}
+
+}  // namespace
+
+sheet::Design make_luminance_impl1(const model::ModelRegistry& lib) {
+  sheet::Design d("Luminance_1",
+                  "VQ luminance decompression, Figure 1 architecture: "
+                  "per-pixel LUT access at the full pixel rate.");
+  d.globals().set(model::kParamVdd, kSupplyVolts);
+  d.globals().set("pixel_rate", kPixelRateHz);
+
+  add_pingpong_banks(d, lib);
+
+  auto& lut = d.add_row("Look Up Table", lib.find_shared("sram"));
+  lut.params.set("words", 4096.0);  // 256 codes * 16 pixel words
+  lut.params.set("bits", 6.0);
+  lut.params.set_formula("f", "pixel_rate");
+  lut.note = "codebook: one 6-bit access per displayed pixel";
+
+  auto& reg = d.add_row("Output Register", lib.find_shared("register"));
+  reg.params.set("bits", 6.0);
+  reg.params.set_formula("f", "pixel_rate");
+  reg.note = "pipeline register to the display interface";
+  return d;
+}
+
+sheet::Design make_luminance_impl2(const model::ModelRegistry& lib) {
+  sheet::Design d("Luminance_2",
+                  "VQ luminance decompression, Figure 3 architecture: "
+                  "locality-of-reference exploited by fetching four pixel "
+                  "words per LUT access; only the word mux and output "
+                  "register switch at the full pixel rate.");
+  d.globals().set(model::kParamVdd, kSupplyVolts);
+  d.globals().set("pixel_rate", kPixelRateHz);
+
+  add_pingpong_banks(d, lib);
+
+  auto& lut = d.add_row("Look Up Table", lib.find_shared("sram"));
+  lut.params.set("words", 1024.0);  // 256 codes * 4 groups
+  lut.params.set("bits", 24.0);     // four 6-bit pixels per access
+  lut.params.set_formula("f", "pixel_rate/4");
+  lut.note = "grouped codebook: one 24-bit access per four pixels";
+
+  auto& hold = d.add_row("Hold Register", lib.find_shared("register"));
+  hold.params.set("bits", 24.0);
+  hold.params.set_formula("f", "pixel_rate/4");
+  hold.note = "captures the four-pixel group";
+
+  auto& mux = d.add_row("Word Mux", lib.find_shared("multiplexer"));
+  mux.params.set("bits", 6.0);
+  mux.params.set("inputs", 4.0);
+  mux.params.set_formula("f", "pixel_rate");
+  mux.note = "selects the current pixel from the held group";
+
+  auto& reg = d.add_row("Output Register", lib.find_shared("register"));
+  reg.params.set("bits", 6.0);
+  reg.params.set_formula("f", "pixel_rate");
+  reg.note = "pipeline register to the display interface";
+  return d;
+}
+
+}  // namespace powerplay::studies

@@ -1,0 +1,44 @@
+// vq.hpp — the paper's design example: vector-quantization video
+// decompression (Figures 1-3).
+//
+// The luminance sub-component of the InfoPad real-time video
+// decompression chip decodes an 8-bit code into 16 six-bit pixel
+// luminance values through a LUT, with ping-pong input buffering:
+//
+//  * 256 x 128 screen @ 60 frames/s refresh, 30 frames/s arrival
+//    => pixel rate f = 2 MHz; read-buffer rate f/16; write rate f/32.
+//  * Implementation 1 (Figure 1): LUT of 4096 x 6 accessed at f.
+//  * Implementation 2 (Figure 3): LUT addressed in groups of four words
+//    (1024 x 24 at f/4) plus a 4:1 word mux and hold register at f —
+//    trading bigger accesses for far fewer of them.
+//
+// The paper reports implementation 2 at ~150 uW, ~1/5 of implementation
+// 1; the fabricated chip (second architecture) measured 100 uW.
+#pragma once
+
+#include "model/registry.hpp"
+#include "sheet/design.hpp"
+
+namespace powerplay::studies {
+
+/// Pixel rate of the target system: 256*128 pixels * 60 frames/s ~ 2 MHz.
+inline constexpr double kPixelRateHz = 2.0e6;
+
+/// Supply voltage used for the Figure 2 spreadsheet.
+inline constexpr double kSupplyVolts = 1.5;
+
+/// Paper-reported anchors (see EXPERIMENTS.md).
+inline constexpr double kPaperImpl2Watts = 150e-6;   ///< "~150 uW"
+inline constexpr double kPaperRatio = 5.0;           ///< "1/5 that of the original"
+inline constexpr double kPaperMeasuredWatts = 100e-6;///< fabricated chip
+
+/// Figure 1 architecture: direct per-pixel LUT.
+/// Rows: Read Bank, Write Bank, Look Up Table, Output Register.
+sheet::Design make_luminance_impl1(const model::ModelRegistry& lib);
+
+/// Figure 3 architecture: four-word grouped LUT + word mux.
+/// Rows: Read Bank, Write Bank, Look Up Table, Word Mux, Hold Register,
+/// Output Register.
+sheet::Design make_luminance_impl2(const model::ModelRegistry& lib);
+
+}  // namespace powerplay::studies

@@ -1,0 +1,106 @@
+#include "units/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace powerplay::units {
+
+namespace {
+
+struct Prefix {
+  double scale;
+  const char* symbol;
+};
+
+// Ordered largest-to-smallest; chosen so mantissa lands in [1, 1000).
+constexpr std::array<Prefix, 11> kPrefixes{{
+    {1e12, "T"},
+    {1e9, "G"},
+    {1e6, "M"},
+    {1e3, "k"},
+    {1e0, ""},
+    {1e-3, "m"},
+    {1e-6, "u"},
+    {1e-9, "n"},
+    {1e-12, "p"},
+    {1e-15, "f"},
+    {1e-18, "a"},
+}};
+
+}  // namespace
+
+std::string format_si(double raw_si, const std::string& unit,
+                      int significant_digits) {
+  if (raw_si == 0.0) return "0 " + unit;
+  if (!std::isfinite(raw_si)) return std::to_string(raw_si) + " " + unit;
+
+  const double magnitude = std::fabs(raw_si);
+  const Prefix* chosen = &kPrefixes.back();
+  for (const Prefix& p : kPrefixes) {
+    if (magnitude >= p.scale) {
+      chosen = &p;
+      break;
+    }
+  }
+  const double mantissa = raw_si / chosen->scale;
+  // Digits after the decimal point so the total significant digits match.
+  int integer_digits = 1;
+  double m = std::fabs(mantissa);
+  if (m < 1.0) {
+    integer_digits = 0;  // a leading "0." is not a significant digit
+  }
+  while (m >= 10.0) {
+    m /= 10.0;
+    ++integer_digits;
+  }
+  const int frac = std::max(0, significant_digits - integer_digits);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f %s%s", frac, mantissa, chosen->symbol,
+                unit.c_str());
+  return buf;
+}
+
+std::string format_area(double si_m2, int significant_digits) {
+  // Prefixes on squared units scale by the square of the length prefix:
+  // 1 mm^2 = 1e-6 m^2, 1 um^2 = 1e-12 m^2, 1 nm^2 = 1e-18 m^2.
+  if (si_m2 == 0.0) return "0 m^2";
+  struct AreaUnit {
+    double scale;
+    const char* symbol;
+  };
+  constexpr std::array<AreaUnit, 4> kUnits{{{1.0, "m^2"},
+                                            {1e-6, "mm^2"},
+                                            {1e-12, "um^2"},
+                                            {1e-18, "nm^2"}}};
+  const double magnitude = std::fabs(si_m2);
+  const AreaUnit* chosen = &kUnits.back();
+  for (const AreaUnit& u : kUnits) {
+    if (magnitude >= u.scale) {
+      chosen = &u;
+      break;
+    }
+  }
+  const double mantissa = si_m2 / chosen->scale;
+  int integer_digits = 1;
+  double m = std::fabs(mantissa);
+  if (m < 1.0) integer_digits = 0;
+  while (m >= 10.0) {
+    m /= 10.0;
+    ++integer_digits;
+  }
+  const int frac = std::max(0, significant_digits - integer_digits);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f %s", frac, mantissa, chosen->symbol);
+  return buf;
+}
+
+std::string to_string(Voltage v) { return format_si(v.si(), "V"); }
+std::string to_string(Capacitance c) { return format_si(c.si(), "F"); }
+std::string to_string(Power p) { return format_si(p.si(), "W"); }
+std::string to_string(Energy e) { return format_si(e.si(), "J"); }
+std::string to_string(Frequency f) { return format_si(f.si(), "Hz"); }
+std::string to_string(Current i) { return format_si(i.si(), "A"); }
+std::string to_string(Time t) { return format_si(t.si(), "s"); }
+std::string to_string(Area a) { return format_area(a.si()); }
+
+}  // namespace powerplay::units

@@ -1,0 +1,664 @@
+#include "web/app.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "flow/standard_flows.hpp"
+#include "library/textio.hpp"
+#include "models/berkeley_library.hpp"
+#include "sheet/report.hpp"
+#include "web/html.hpp"
+
+namespace powerplay::web {
+
+using library::UserProfile;
+using model::Category;
+using units::format_area;
+using units::format_si;
+
+namespace {
+
+std::string need(const Params& q, const std::string& key) {
+  const std::string v = get_or(q, key);
+  if (v.empty()) throw HttpError("missing parameter '" + key + "'");
+  return v;
+}
+
+double parse_double(const std::string& text, const std::string& what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw HttpError("bad numeric value for " + what + ": '" + text + "'");
+  }
+}
+
+/// Render one PlayResult as the Figure 2/5 HTML spreadsheet, with row
+/// names hyperlinked to documentation and macros drilled down inline.
+void append_spreadsheet(const sheet::PlayResult& result,
+                        const std::string& user, std::string& out,
+                        int depth = 0) {
+  HtmlTable t;
+  t.header({"Row", "Model", "Parameters", "Energy/op", "Power"});
+  for (const sheet::RowResult& row : result.rows) {
+    std::string params;
+    for (const auto& [name, value] : row.shown_params) {
+      if (!params.empty()) params += ", ";
+      params += name + "=" + library::number_text(value);
+    }
+    std::string model_cell = row.model_name;
+    if (row.sub_result == nullptr) {
+      model_cell = HtmlTable::raw_cell(
+          link("/doc", {{"name", row.model_name}, {"user", user}},
+               row.model_name));
+    }
+    t.row({row.name, model_cell, params,
+           row.estimate.energy_per_op.si() > 0
+               ? format_si(row.estimate.energy_per_op.si(), "J")
+               : "-",
+           format_si(row.estimate.total_power().si(), "W")});
+  }
+  t.row({"TOTAL", "", "",
+         result.total.energy_per_op.si() > 0
+             ? format_si(result.total.energy_per_op.si(), "J")
+             : "-",
+         format_si(result.total.total_power().si(), "W")});
+  out += t.str();
+  for (const sheet::RowResult& row : result.rows) {
+    if (row.sub_result != nullptr && depth < 8) {
+      out += "<h3>" + html_escape(row.name) + " (macro drill-down)</h3>\n";
+      append_spreadsheet(*row.sub_result, user, out, depth + 1);
+    }
+  }
+}
+
+}  // namespace
+
+// "User identification is necessary to ensure privacy": load (or
+// create) the profile and, when the user set a password, require the
+// matching `pw` field.
+library::UserProfile PowerPlayApp::authorized_user(const Params& q) {
+  const std::string user = need(q, "user");
+  library::validate_store_name(user);
+  library::UserProfile profile = store_.ensure_user(user);
+  if (profile.has_password() &&
+      !profile.check_password(get_or(q, "pw"))) {
+    throw AccessDenied("wrong or missing password for user '" + user + "'");
+  }
+  return profile;
+}
+
+PowerPlayApp::PowerPlayApp(library::LibraryStore store)
+    : store_(std::move(store)) {
+  models::add_berkeley_models(registry_);
+  store_.load_all_models(registry_);
+  // The Design Agent and its tool-backed library entry.  agent_ lives in
+  // this object, so the ToolFlowModel's pointer stays valid for the
+  // app's lifetime.
+  agent_ = flow::make_standard_agent(registry_);
+  registry_.add_or_replace(flow::make_sram_toolflow_model(agent_));
+}
+
+Response PowerPlayApp::handle(const Request& request) {
+  std::lock_guard lock(mutex_);
+  const Target target = request.parsed_target();
+  const Params q = request.all_params();
+  try {
+    if (target.path == "/") return page_root();
+    if (target.path == "/menu") return page_menu(q);
+    if (target.path == "/library") return page_library(q);
+    if (target.path == "/model") return page_model(q);
+    if (target.path == "/design/add") return do_design_add(q);
+    if (target.path == "/design") return page_design(q);
+    if (target.path == "/design/play") return do_design_play(q);
+    if (target.path == "/design/setrow") return do_design_setrow(q);
+    if (target.path == "/design/csv") return design_csv(q);
+    if (target.path == "/newmodel") {
+      return request.method == "POST" ? do_new_model(q) : page_new_model(q);
+    }
+    if (target.path == "/doc") return page_doc(q);
+    if (target.path == "/agent") return page_agent(q);
+    if (target.path == "/setpw") return do_set_password(q);
+    if (target.path == "/help") return page_help(q);
+    if (target.path == "/api/models") return api_models();
+    if (target.path == "/api/model") return api_model(q);
+    if (target.path == "/api/designs") return api_designs();
+    if (target.path == "/api/design") return api_design(q);
+    return Response::not_found(target.path);
+  } catch (const AccessDenied& e) {
+    Response r;
+    r.status = 403;
+    r.content_type = "text/plain";
+    r.body = std::string("forbidden: ") + e.what() + "\n";
+    return r;
+  } catch (const HttpError& e) {
+    return Response::bad_request(e.what());
+  } catch (const expr::ExprError& e) {
+    // User-facing input problems (unknown model, bad parameter value,
+    // unparsable formula) rather than server faults.
+    return Response::bad_request(e.what());
+  } catch (const std::exception& e) {
+    return Response::server_error(e.what());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pages
+// ---------------------------------------------------------------------------
+
+Response PowerPlayApp::page_root() const {
+  HtmlPage page("PowerPlay");
+  page.paragraph(
+      "Early power exploration.  WWW browsers do not supply user names, "
+      "so please identify yourself:");
+  HtmlForm form("/menu", "GET");
+  form.text_field("Username", "user", "");
+  form.submit("Enter");
+  page.raw(form.str());
+  return Response::ok_html(page.str());
+}
+
+Response PowerPlayApp::page_menu(const Params& q) {
+  const UserProfile profile = authorized_user(q);
+  const std::string& user = profile.username;
+
+  HtmlPage page("PowerPlay Main Menu");
+  page.paragraph("User: " + user);
+  std::string defaults = "Defaults: ";
+  for (const auto& [name, value] : profile.defaults) {
+    defaults += name + "=" + library::number_text(value) + "  ";
+  }
+  page.paragraph(defaults);
+  page.raw("<ul>");
+  page.raw("<li>" + link("/library", {{"user", user}}, "Model library") +
+           "</li>");
+  page.raw("<li>" + link("/newmodel", {{"user", user}}, "Define a new model") +
+           "</li>");
+  page.raw("<li>" + link("/help", {{"user", user}}, "Tutorial and help") +
+           "</li>");
+  page.raw("</ul>");
+  page.heading("Your designs", 3);
+  page.raw("<ul>");
+  for (const std::string& d : profile.designs) {
+    page.raw("<li>" +
+             link("/design", {{"user", user}, {"name", d}}, d) + "</li>");
+  }
+  page.raw("</ul>");
+  page.paragraph(
+      "Open any stored design by name (designs are shared for re-use):");
+  HtmlForm open("/design", "GET");
+  open.hidden("user", user);
+  open.text_field("Design name", "name", "");
+  open.submit("Open / create");
+  page.raw(open.str());
+  return Response::ok_html(page.str());
+}
+
+Response PowerPlayApp::page_library(const Params& q) const {
+  const std::string user = need(q, "user");
+  HtmlPage page("PowerPlay Model Library");
+  for (Category c :
+       {Category::kComputation, Category::kStorage, Category::kController,
+        Category::kInterconnect, Category::kProcessor, Category::kAnalog,
+        Category::kConverter, Category::kSystem, Category::kMacro}) {
+    const auto models = registry_.by_category(c);
+    if (models.empty()) continue;
+    page.heading(model::to_string(c), 3);
+    page.raw("<ul>");
+    for (const model::Model* m : models) {
+      page.raw("<li>" +
+               link("/model", {{"user", user}, {"name", m->name()}},
+                    m->name()) +
+               " (" + link("/doc", {{"user", user}, {"name", m->name()}},
+                           "doc") +
+               ")</li>");
+    }
+    page.raw("</ul>");
+  }
+  page.raw(link("/menu", {{"user", user}}, "Back to menu"));
+  return Response::ok_html(page.str());
+}
+
+Response PowerPlayApp::page_model(const Params& q) const {
+  const std::string user = need(q, "user");
+  const std::string name = need(q, "name");
+  const model::Model& m = registry_.at(name);
+
+  HtmlPage page("Model: " + name);
+  page.paragraph(m.documentation());
+
+  // Input form pre-filled with defaults or the submitted values.
+  HtmlForm form("/model", "GET");
+  form.hidden("user", user);
+  form.hidden("name", name);
+  bool have_values = false;
+  model::MapParamReader reader;
+  for (const model::ParamSpec& spec : m.params()) {
+    const std::string field = "p_" + spec.name;
+    std::string value = get_or(q, field);
+    if (!value.empty()) {
+      have_values = true;
+      reader.set(spec.name, parse_double(value, spec.name));
+    } else {
+      value = library::number_text(spec.default_value);
+      reader.set(spec.name, spec.default_value);
+    }
+    form.text_field(spec.name + " [" + spec.unit + "] — " + spec.description,
+                    field, value);
+  }
+  form.submit("Compute");
+  page.raw(form.str());
+
+  if (have_values) {
+    const model::Estimate e = m.evaluate(reader);
+    page.heading("Result", 3);
+    HtmlTable t;
+    t.header({"Csw/op", "Energy/op", "Dynamic", "Static", "Total", "Area",
+              "Delay"});
+    t.row({format_si(e.switched_capacitance.si(), "F"),
+           format_si(e.energy_per_op.si(), "J"),
+           format_si(e.dynamic_power.si(), "W"),
+           format_si(e.static_power.si(), "W"),
+           format_si(e.total_power().si(), "W"),
+           format_area(e.area.si()), format_si(e.delay.si(), "s")});
+    page.raw(t.str());
+
+    // Save into a design spreadsheet.
+    page.heading("Add to design", 3);
+    HtmlForm add("/design/add", "POST");
+    add.hidden("user", user);
+    add.hidden("model", name);
+    for (const model::ParamSpec& spec : m.params()) {
+      add.hidden("p_" + spec.name,
+                 get_or(q, "p_" + spec.name,
+                        library::number_text(spec.default_value)));
+    }
+    add.text_field("Design name", "design", "");
+    add.text_field("Row name", "row", name);
+    add.submit("Add to design");
+    page.raw(add.str());
+  }
+  page.raw(link("/library", {{"user", user}}, "Back to library"));
+  return Response::ok_html(page.str());
+}
+
+Response PowerPlayApp::do_design_add(const Params& q) {
+  const std::string user = authorized_user(q).username;
+  const std::string model_name = need(q, "model");
+  const std::string design_name = need(q, "design");
+  const std::string row_name = need(q, "row");
+  library::validate_store_name(design_name);
+
+  const model::Model& m = registry_.at(model_name);
+  sheet::Design design =
+      store_.has_design(design_name)
+          ? sheet::Design(*store_.load_design(design_name, registry_))
+          : sheet::Design(design_name);
+  if (!store_.has_design(design_name)) {
+    // New sheets start from the user's defaults as globals.
+    const UserProfile profile = store_.ensure_user(user);
+    for (const auto& [nm, value] : profile.defaults) {
+      design.globals().set(nm, value);
+    }
+  }
+
+  sheet::Row& row = design.add_row(row_name, registry_.find_shared(model_name));
+  for (const model::ParamSpec& spec : m.params()) {
+    const std::string field = "p_" + spec.name;
+    const std::string value = get_or(q, field);
+    // Only record explicit overrides that differ from the defaults so
+    // globals (vdd, f) keep flowing through inheritance.
+    if (!value.empty() &&
+        parse_double(value, spec.name) != spec.default_value) {
+      row.params.set(spec.name, parse_double(value, spec.name));
+    }
+  }
+  store_.save_design(design);
+
+  UserProfile profile = store_.ensure_user(user);
+  if (std::find(profile.designs.begin(), profile.designs.end(),
+                design_name) == profile.designs.end()) {
+    profile.designs.push_back(design_name);
+    store_.save_user(profile);
+  }
+  return render_design(user, design_name, "added row '" + row_name + "'");
+}
+
+Response PowerPlayApp::page_design(const Params& q) const {
+  const std::string user = need(q, "user");
+  const std::string name = need(q, "name");
+  return render_design(user, name);
+}
+
+Response PowerPlayApp::render_design(const std::string& user,
+                                     const std::string& design_name,
+                                     const std::string& message) const {
+  library::validate_store_name(design_name);
+  if (!store_.has_design(design_name)) {
+    HtmlPage page("Design: " + design_name);
+    page.paragraph("No rows yet — add instances from the model library.");
+    page.raw(link("/library", {{"user", user}}, "Model library"));
+    return Response::ok_html(page.str());
+  }
+  const auto design = store_.load_design(design_name, registry_);
+  const sheet::PlayResult result = design->play();
+
+  HtmlPage page(design_name + " summary");
+  if (!message.empty()) page.paragraph("[" + message + "]");
+  if (!design->description().empty()) {
+    page.paragraph(design->description());
+  }
+
+  // Editable globals + Play button (the paper's "user can change any
+  // parameter from the top page ... When the Play button is pressed
+  // power is calculated for the entire design").
+  HtmlForm play("/design/play", "POST");
+  play.hidden("user", user);
+  play.hidden("name", design_name);
+  for (const std::string& nm : design->globals().local_names()) {
+    auto found = design->globals().lookup(nm);
+    if (const double* literal = std::get_if<double>(found->binding)) {
+      play.text_field(nm, "g_" + nm, library::number_text(*literal));
+    } else {
+      const auto& f = std::get<expr::ExprPtr>(*found->binding);
+      play.text_field(nm + " (formula)", "g_" + nm, expr::to_source(*f));
+    }
+  }
+  play.submit("PLAY");
+  page.raw(play.str());
+
+  std::string sheet_html;
+  append_spreadsheet(result, user, sheet_html);
+  page.raw(sheet_html);
+  page.paragraph("Computed in " + std::to_string(result.iterations) +
+                 " sweep(s).");
+  page.raw(link("/menu", {{"user", user}}, "Back to menu"));
+  return Response::ok_html(page.str());
+}
+
+Response PowerPlayApp::do_design_play(const Params& q) {
+  const std::string user = authorized_user(q).username;
+  const std::string name = need(q, "name");
+  library::validate_store_name(name);
+  if (!store_.has_design(name)) {
+    return Response::not_found("design '" + name + "'");
+  }
+  sheet::Design design(*store_.load_design(name, registry_));
+  for (const auto& [key, value] : q) {
+    if (key.rfind("g_", 0) != 0 || value.empty()) continue;
+    const std::string param = key.substr(2);
+    // Accept either a number or a formula.
+    try {
+      design.globals().set(param, parse_double(value, param));
+    } catch (const HttpError&) {
+      design.globals().set_formula(param, value);
+    }
+  }
+  store_.save_design(design);
+  return render_design(user, name, "recomputed");
+}
+
+Response PowerPlayApp::do_design_setrow(const Params& q) {
+  const std::string user = authorized_user(q).username;
+  const std::string name = need(q, "name");
+  const std::string row_name = need(q, "row");
+  const std::string param = need(q, "param");
+  const std::string value = need(q, "value");
+  library::validate_store_name(name);
+  sheet::Design design(*store_.load_design(name, registry_));
+  sheet::Row* row = design.find_row(row_name);
+  if (row == nullptr) {
+    return Response::not_found("row '" + row_name + "'");
+  }
+  try {
+    row->params.set(param, parse_double(value, param));
+  } catch (const HttpError&) {
+    row->params.set_formula(param, value);
+  }
+  store_.save_design(design);
+  return render_design(user, name,
+                       "set " + row_name + "." + param + " = " + value);
+}
+
+Response PowerPlayApp::page_new_model(const Params& q) const {
+  const std::string user = need(q, "user");
+  HtmlPage page("Define a new model");
+  page.paragraph(
+      "Equations may use your declared parameters plus the implicit "
+      "globals vdd [V] and f [Hz].  Declare parameters as "
+      "name=default pairs separated by spaces, e.g. 'bitwidth=16 "
+      "alpha=0.5'.  Leave equation fields blank if unused.");
+  HtmlForm form("/newmodel", "POST");
+  form.hidden("user", user);
+  form.text_field("Model name", "name", "");
+  form.text_field("Category", "category", "computation");
+  form.text_field("Documentation", "doc", "");
+  form.text_field("Parameters (name=default ...)", "params", "");
+  form.text_field("C full-swing [F]", "c_fullswing", "");
+  form.text_field("C partial-swing [F]", "c_partialswing", "");
+  form.text_field("V swing [V]", "v_swing", "");
+  form.text_field("Static current [A]", "static_current", "");
+  form.text_field("Direct power [W]", "power_direct", "");
+  form.text_field("Area [m^2]", "area", "");
+  form.text_field("Delay [s]", "delay", "");
+  form.text_field("Proprietary (1 = do not share)", "proprietary", "0");
+  form.submit("Create model");
+  page.raw(form.str());
+  return Response::ok_html(page.str());
+}
+
+Response PowerPlayApp::do_new_model(const Params& q) {
+  const std::string user = authorized_user(q).username;
+  model::UserModelDefinition def;
+  def.name = need(q, "name");
+  library::validate_store_name(def.name);
+  def.category = library::category_from_string(
+      get_or(q, "category", "computation"));
+  def.documentation = get_or(q, "doc");
+
+  // "name=default" pairs.
+  std::istringstream is(get_or(q, "params"));
+  std::string pair;
+  while (is >> pair) {
+    const std::size_t eq = pair.find('=');
+    model::ParamSpec spec;
+    if (eq == std::string::npos) {
+      spec.name = pair;
+      spec.default_value = 0;
+    } else {
+      spec.name = pair.substr(0, eq);
+      spec.default_value =
+          parse_double(pair.substr(eq + 1), "default of " + spec.name);
+    }
+    def.params.push_back(std::move(spec));
+  }
+  def.c_fullswing = get_or(q, "c_fullswing");
+  def.c_partialswing = get_or(q, "c_partialswing");
+  def.v_swing = get_or(q, "v_swing");
+  def.static_current = get_or(q, "static_current");
+  def.power_direct = get_or(q, "power_direct");
+  def.area = get_or(q, "area");
+  def.delay = get_or(q, "delay");
+
+  // Validate by construction; surfaces equation errors to the form user.
+  auto user_model = std::make_shared<model::UserModel>(def);
+  const bool proprietary = get_or(q, "proprietary", "0") == "1";
+  store_.save_model(def, proprietary);
+  registry_.add_or_replace(std::move(user_model));
+
+  HtmlPage page("Model created");
+  page.paragraph("Model '" + def.name + "' is now in the shared library" +
+                 std::string(proprietary ? " (proprietary: not exported)."
+                                         : "."));
+  page.raw(link("/model", {{"user", user}, {"name", def.name}},
+                "Open its input form"));
+  return Response::ok_html(page.str());
+}
+
+Response PowerPlayApp::page_doc(const Params& q) const {
+  const std::string user = need(q, "user");
+  const std::string name = need(q, "name");
+  const model::Model& m = registry_.at(name);
+  HtmlPage page("Documentation: " + name);
+  page.paragraph("Category: " + model::to_string(m.category()));
+  page.paragraph(m.documentation());
+  page.heading("Parameters", 3);
+  HtmlTable t;
+  t.header({"Name", "Description", "Default", "Unit"});
+  for (const model::ParamSpec& s : m.params()) {
+    t.row({s.name, s.description, library::number_text(s.default_value),
+           s.unit});
+  }
+  page.raw(t.str());
+  page.raw(link("/model", {{"user", user}, {"name", name}},
+                "Open input form"));
+  return Response::ok_html(page.str());
+}
+
+Response PowerPlayApp::page_agent(const Params& q) const {
+  const std::string user = need(q, "user");
+  const std::string request = get_or(q, "request", "power");
+  HtmlPage page("Design Agent");
+  page.paragraph(
+      "The Design Agent translates a hyperlink request for data into a "
+      "sequence of tool invocations determined by the chosen design "
+      "context.");
+  page.heading("Flows for request '" + request + "'", 3);
+  HtmlTable t;
+  t.header({"Context", "Tool sequence"});
+  for (const std::string& ctx : flow::kStandardContexts) {
+    std::string seq;
+    for (const std::string& tool : agent_.resolve(request, ctx)) {
+      if (!seq.empty()) seq += " -> ";
+      seq += tool;
+    }
+    t.row({ctx, seq});
+  }
+  page.raw(t.str());
+  page.heading("Registered tools", 3);
+  page.raw("<ul>");
+  for (const std::string& name : agent_.tool_names()) {
+    page.raw("<li>" + html_escape(name) + "</li>");
+  }
+  page.raw("</ul>");
+  page.raw(link("/model", {{"user", user}, {"name", "sram_toolflow"}},
+                "Try the tool-backed SRAM entry"));
+  return Response::ok_html(page.str());
+}
+
+Response PowerPlayApp::design_csv(const Params& q) const {
+  const std::string name = need(q, "name");
+  library::validate_store_name(name);
+  if (!store_.has_design(name)) {
+    return Response::not_found("design '" + name + "'");
+  }
+  const auto design = store_.load_design(name, registry_);
+  Response r;
+  r.content_type = "text/csv";
+  r.body = sheet::to_csv(design->play());
+  return r;
+}
+
+Response PowerPlayApp::page_help(const Params& q) const {
+  const std::string user = get_or(q, "user", "guest");
+  HtmlPage page("PowerPlay Help & Tutorial");
+  page.heading("Quick tutorial", 3);
+  page.raw("<ol>");
+  page.raw("<li>Identify yourself on the front page; your defaults and "
+           "designs are kept on this server.</li>");
+  page.raw("<li>Browse the " +
+           link("/library", {{"user", user}}, "model library") +
+           " and open any model's input form; set parameters and press "
+           "Compute — feedback is immediate, so cycle through options "
+           "freely.</li>");
+  page.raw("<li>When satisfied, add the instance to a design spreadsheet "
+           "with a row name.</li>");
+  page.raw("<li>On the design page, edit globals (supply voltage, clock) "
+           "and press PLAY to recompute every row; totals and per-module "
+           "power update together.</li>");
+  page.raw("<li>Row parameters accept formulas over the globals "
+           "(<code>pixel_rate/16</code>) and over other rows "
+           "(<code>rowpower(&quot;Read Bank&quot;)</code>, "
+           "<code>totalpower()</code>) — that is how a DC-DC converter "
+           "row sizes itself from its loads.</li>");
+  page.raw("<li>Define your own models from the " +
+           link("/newmodel", {{"user", user}}, "new-model form") +
+           "; they join the shared library immediately (mark them "
+           "proprietary to keep them off the network API).</li>");
+  page.raw("</ol>");
+  page.heading("Formula reference", 3);
+  page.paragraph(
+      "Operators: + - * / % ^, comparisons, && || !, ?:.  Functions: "
+      "abs, sqrt, exp, ln, log2, log10, ceil, floor, round, pow, min, "
+      "max, if.  Intermodel: rowpower/rowarea/rowenergy/rowdelay"
+      "(\"Row\"), totalpower(), totalarea().");
+  page.heading("More", 3);
+  page.raw("<ul><li>" + link("/agent", {{"user", user}}, "Design Agent") +
+           " — tool flows per design context</li><li>" +
+           link("/api/models", {}, "Network model-access API") +
+           " — share this library with other sites</li></ul>");
+  return Response::ok_html(page.str());
+}
+
+Response PowerPlayApp::do_set_password(const Params& q) {
+  // Changing a password requires the current one (authorized_user).
+  UserProfile profile = authorized_user(q);
+  profile.set_password(get_or(q, "newpw"));
+  store_.save_user(profile);
+  HtmlPage page("Password updated");
+  page.paragraph(profile.has_password()
+                     ? "Access to user '" + profile.username +
+                           "' now requires the password."
+                     : "Password removed; access is open again.");
+  page.raw(link("/menu", {{"user", profile.username},
+                          {"pw", get_or(q, "newpw")}},
+                "Back to menu"));
+  return Response::ok_html(page.str());
+}
+
+// ---------------------------------------------------------------------------
+// Remote model-access protocol
+// ---------------------------------------------------------------------------
+
+Response PowerPlayApp::api_models() const {
+  std::string out;
+  for (const std::string& name : store_.list_models()) {
+    if (!store_.is_proprietary(name)) out += name + "\n";
+  }
+  return Response::ok_text(out);
+}
+
+Response PowerPlayApp::api_model(const Params& q) const {
+  const std::string name = need(q, "name");
+  library::validate_store_name(name);
+  auto def = store_.load_model(name);
+  if (!def) return Response::not_found("model '" + name + "'");
+  if (store_.is_proprietary(name)) {
+    Response r;
+    r.status = 403;
+    r.content_type = "text/plain";
+    r.body = "model '" + name + "' is proprietary\n";
+    return r;
+  }
+  return Response::ok_text(library::to_text(*def));
+}
+
+Response PowerPlayApp::api_designs() const {
+  std::string out;
+  for (const std::string& name : store_.list_designs()) out += name + "\n";
+  return Response::ok_text(out);
+}
+
+Response PowerPlayApp::api_design(const Params& q) const {
+  const std::string name = need(q, "name");
+  library::validate_store_name(name);
+  if (!store_.has_design(name)) {
+    return Response::not_found("design '" + name + "'");
+  }
+  const auto design = store_.load_design(name, registry_);
+  return Response::ok_text(library::to_text(*design));
+}
+
+}  // namespace powerplay::web

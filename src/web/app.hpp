@@ -1,0 +1,102 @@
+// app.hpp — the PowerPlay web application: routes and pages.
+//
+// Implements the interaction flow of the paper's "PowerPlay
+// Implementation" section with C++ handlers in place of Perl scripts:
+//
+//   GET  /                    — identification (username) form
+//   GET  /menu                — the user's main menu (defaults loaded
+//                               from the store, designs listed)
+//   GET  /library             — shared model library, by category
+//   GET  /model               — a model's input form (Figure 4); with
+//                               parameter values present it also shows
+//                               the computed result excerpt
+//   POST /design/add          — append the configured instance to a
+//                               design spreadsheet (creating it if new)
+//   GET  /design              — the design spreadsheet (Figure 2/5) with
+//                               editable globals and a Play button
+//   POST /design/play         — apply global edits, recompute, re-render
+//   POST /design/setrow       — edit one row parameter and recompute
+//   GET  /newmodel            — the user-defined-model form
+//   POST /newmodel            — validate + save the new model
+//   GET  /doc                 — a model's documentation page
+//
+// Remote model-access protocol (Figures 6/7), plain-text bodies in the
+// library serialization format:
+//
+//   GET /api/models           — list of shareable model names
+//   GET /api/model?name=N     — one model definition (403 if proprietary)
+//   GET /api/designs          — list of stored design names
+//   GET /api/design?name=N    — one design
+//   GET /design/csv?user=U&name=N — Play result as CSV (spreadsheet
+//                               interchange for external tooling)
+//
+// The Design Agent page shows how a hyperlink request for data maps to
+// tool invocations in each design context:
+//
+//   GET /agent?user=U&request=power
+#pragma once
+
+#include <mutex>
+
+#include "flow/design_agent.hpp"
+#include "library/store.hpp"
+#include "model/registry.hpp"
+#include "web/http.hpp"
+
+namespace powerplay::web {
+
+class PowerPlayApp {
+ public:
+  /// `store` is this site's library; the registry starts from the
+  /// built-in characterized library plus every stored user model.
+  explicit PowerPlayApp(library::LibraryStore store);
+
+  /// Dispatch one request (thread-safe; the app serializes handlers).
+  Response handle(const Request& request);
+
+  [[nodiscard]] model::ModelRegistry& registry() { return registry_; }
+  [[nodiscard]] library::LibraryStore& store() { return store_; }
+
+ private:
+  Response page_root() const;
+  Response page_menu(const Params& q);
+  Response page_library(const Params& q) const;
+  Response page_model(const Params& q) const;
+  Response do_design_add(const Params& q);
+  Response page_design(const Params& q) const;
+  Response do_design_play(const Params& q);
+  Response do_design_setrow(const Params& q);
+  Response page_new_model(const Params& q) const;
+  Response do_new_model(const Params& q);
+  Response page_doc(const Params& q) const;
+  Response page_agent(const Params& q) const;
+  Response do_set_password(const Params& q);
+  Response page_help(const Params& q) const;
+  Response design_csv(const Params& q) const;
+
+  Response api_models() const;
+  Response api_model(const Params& q) const;
+  Response api_designs() const;
+  Response api_design(const Params& q) const;
+
+  /// Authentication failure (403, vs HttpError's 400).
+  class AccessDenied : public std::runtime_error {
+   public:
+    using std::runtime_error::runtime_error;
+  };
+
+  /// Load-or-create the profile for q["user"], enforcing its password.
+  library::UserProfile authorized_user(const Params& q);
+
+  /// Render a design's spreadsheet page (shared by several handlers).
+  Response render_design(const std::string& user,
+                         const std::string& design_name,
+                         const std::string& message = {}) const;
+
+  mutable std::mutex mutex_;
+  library::LibraryStore store_;
+  model::ModelRegistry registry_;
+  flow::DesignAgent agent_;
+};
+
+}  // namespace powerplay::web

@@ -1,0 +1,59 @@
+#include "web/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "web/server.hpp"
+
+namespace powerplay::web {
+
+Response http_request(std::uint16_t port, const Request& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw HttpError(std::string("socket: ") + std::strerror(errno));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw HttpError(std::string("connect: ") + std::strerror(err));
+  }
+  std::string wire;
+  try {
+    write_all(fd, to_wire(request));
+    ::shutdown(fd, SHUT_WR);
+    wire = read_http_message(fd);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  if (wire.empty()) throw HttpError("empty response");
+  return parse_response(wire);
+}
+
+Response http_get(std::uint16_t port, const std::string& target) {
+  Request req;
+  req.method = "GET";
+  req.target = target;
+  return http_request(port, req);
+}
+
+Response http_post_form(std::uint16_t port, const std::string& path,
+                        const Params& form) {
+  Request req;
+  req.method = "POST";
+  req.target = path;
+  req.headers["content-type"] = "application/x-www-form-urlencoded";
+  req.body = to_query(form);
+  return http_request(port, req);
+}
+
+}  // namespace powerplay::web

@@ -1,0 +1,23 @@
+// client.hpp — minimal HTTP client (the "any browser" role in tests and
+// the fetch half of the remote model-access protocol).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "web/http.hpp"
+
+namespace powerplay::web {
+
+/// One-shot request to 127.0.0.1:`port` (HTTP/1.0: connection per
+/// request).  Throws HttpError on connect/IO/parse failure.
+Response http_request(std::uint16_t port, const Request& request);
+
+/// GET convenience.
+Response http_get(std::uint16_t port, const std::string& target);
+
+/// POST convenience with a urlencoded form body.
+Response http_post_form(std::uint16_t port, const std::string& path,
+                        const Params& form);
+
+}  // namespace powerplay::web

@@ -1,0 +1,124 @@
+#include "web/html.hpp"
+
+namespace powerplay::web {
+
+namespace {
+
+constexpr const char* kRawMarker = "\x01raw\x01";
+
+}  // namespace
+
+std::string html_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string link(const std::string& path, const Params& query,
+                 const std::string& text) {
+  std::string href = path;
+  if (!query.empty()) href += "?" + to_query(query);
+  return "<a href=\"" + html_escape(href) + "\">" + html_escape(text) +
+         "</a>";
+}
+
+HtmlPage::HtmlPage(std::string title) : title_(std::move(title)) {}
+
+HtmlPage& HtmlPage::heading(const std::string& text, int level) {
+  const std::string tag = "h" + std::to_string(level);
+  body_ += "<" + tag + ">" + html_escape(text) + "</" + tag + ">\n";
+  return *this;
+}
+
+HtmlPage& HtmlPage::paragraph(const std::string& text) {
+  body_ += "<p>" + html_escape(text) + "</p>\n";
+  return *this;
+}
+
+HtmlPage& HtmlPage::raw(const std::string& fragment) {
+  body_ += fragment;
+  return *this;
+}
+
+HtmlPage& HtmlPage::rule() {
+  body_ += "<hr>\n";
+  return *this;
+}
+
+std::string HtmlPage::str() const {
+  return "<html><head><title>" + html_escape(title_) +
+         "</title></head>\n<body>\n<h1>" + html_escape(title_) + "</h1>\n" +
+         body_ + "</body></html>\n";
+}
+
+std::string HtmlTable::raw_cell(const std::string& markup) {
+  return kRawMarker + markup;
+}
+
+std::string HtmlTable::render_cell(const std::string& cell, const char* tag) {
+  const std::string marker = kRawMarker;
+  std::string content;
+  if (cell.rfind(marker, 0) == 0) {
+    content = cell.substr(marker.size());
+  } else {
+    content = html_escape(cell);
+  }
+  return std::string("<") + tag + ">" + content + "</" + tag + ">";
+}
+
+HtmlTable& HtmlTable::header(const std::vector<std::string>& cells) {
+  rows_ += "<tr>";
+  for (const std::string& c : cells) rows_ += render_cell(c, "th");
+  rows_ += "</tr>\n";
+  return *this;
+}
+
+HtmlTable& HtmlTable::row(const std::vector<std::string>& cells) {
+  rows_ += "<tr>";
+  for (const std::string& c : cells) rows_ += render_cell(c, "td");
+  rows_ += "</tr>\n";
+  return *this;
+}
+
+std::string HtmlTable::str() const {
+  return "<table border=\"1\">\n" + rows_ + "</table>\n";
+}
+
+HtmlForm::HtmlForm(std::string action, std::string method)
+    : action_(std::move(action)), method_(std::move(method)) {}
+
+HtmlForm& HtmlForm::hidden(const std::string& name, const std::string& value) {
+  fields_ += "<input type=\"hidden\" name=\"" + html_escape(name) +
+             "\" value=\"" + html_escape(value) + "\">\n";
+  return *this;
+}
+
+HtmlForm& HtmlForm::text_field(const std::string& label,
+                               const std::string& name,
+                               const std::string& value) {
+  fields_ += html_escape(label) + ": <input type=\"text\" name=\"" +
+             html_escape(name) + "\" value=\"" + html_escape(value) +
+             "\"><br>\n";
+  return *this;
+}
+
+HtmlForm& HtmlForm::submit(const std::string& label) {
+  fields_ += "<input type=\"submit\" value=\"" + html_escape(label) + "\">\n";
+  return *this;
+}
+
+std::string HtmlForm::str() const {
+  return "<form action=\"" + html_escape(action_) + "\" method=\"" +
+         html_escape(method_) + "\">\n" + fields_ + "</form>\n";
+}
+
+}  // namespace powerplay::web

@@ -1,0 +1,73 @@
+// html.hpp — HTML generation helpers for the PowerPlay pages.
+//
+// "A WWW page is written in HyperText Markup Language (HTML).  HTML
+// pages enable hyperlinks to other pages and calls to programs located
+// on the WWW."  These helpers generate the mid-90s-plain pages the Perl
+// scripts printed: headings, tables (Figure 2/5 spreadsheets), forms
+// (Figure 4 model input), and hyperlinks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "web/url.hpp"
+
+namespace powerplay::web {
+
+/// Escape &, <, >, and " for element/attribute context.
+std::string html_escape(const std::string& text);
+
+/// Hyperlink with an encoded query.
+std::string link(const std::string& path, const Params& query,
+                 const std::string& text);
+
+class HtmlPage {
+ public:
+  explicit HtmlPage(std::string title);
+
+  HtmlPage& heading(const std::string& text, int level = 2);
+  HtmlPage& paragraph(const std::string& text);
+  /// Raw pre-escaped fragment (tables/forms built below).
+  HtmlPage& raw(const std::string& fragment);
+  HtmlPage& rule();
+
+  /// Final document.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::string title_;
+  std::string body_;
+};
+
+/// Table builder (rows of already-escaped cells are a footgun, so cells
+/// are escaped here; pass raw_cell() output for markup like links).
+class HtmlTable {
+ public:
+  HtmlTable& header(const std::vector<std::string>& cells);
+  HtmlTable& row(const std::vector<std::string>& cells);
+  /// Mark a cell's content as pre-rendered markup.
+  static std::string raw_cell(const std::string& markup);
+  [[nodiscard]] std::string str() const;
+
+ private:
+  static std::string render_cell(const std::string& cell, const char* tag);
+  std::string rows_;
+};
+
+/// Form builder: GET or POST with text inputs and a submit button.
+class HtmlForm {
+ public:
+  HtmlForm(std::string action, std::string method = "POST");
+  HtmlForm& hidden(const std::string& name, const std::string& value);
+  HtmlForm& text_field(const std::string& label, const std::string& name,
+                       const std::string& value);
+  HtmlForm& submit(const std::string& label);
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::string action_;
+  std::string method_;
+  std::string fields_;
+};
+
+}  // namespace powerplay::web

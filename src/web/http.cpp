@@ -1,0 +1,204 @@
+#include "web/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace powerplay::web {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Parse "Header: value" lines between `begin` and the blank line.
+Headers parse_headers(const std::string& wire, std::size_t begin,
+                      std::size_t end) {
+  Headers out;
+  std::size_t pos = begin;
+  while (pos < end) {
+    std::size_t eol = wire.find("\r\n", pos);
+    if (eol == std::string::npos || eol > end) eol = end;
+    const std::string line = wire.substr(pos, eol - pos);
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      throw HttpError("malformed header line: '" + line + "'");
+    }
+    out[lower(trim(line.substr(0, colon)))] = trim(line.substr(colon + 1));
+    pos = eol + 2;
+  }
+  return out;
+}
+
+std::size_t content_length(const Headers& headers) {
+  auto it = headers.find("content-length");
+  if (it == headers.end()) return 0;
+  try {
+    return static_cast<std::size_t>(std::stoull(it->second));
+  } catch (const std::exception&) {
+    throw HttpError("bad content-length: '" + it->second + "'");
+  }
+}
+
+}  // namespace
+
+Params Request::all_params() const {
+  Params params = parsed_target().query;
+  auto it = headers.find("content-type");
+  const bool urlencoded =
+      it != headers.end() &&
+      it->second.find("application/x-www-form-urlencoded") !=
+          std::string::npos;
+  if (method == "POST" && (urlencoded || it == headers.end())) {
+    for (auto& [k, v] : parse_query(body)) params[k] = v;
+  }
+  return params;
+}
+
+Response Response::ok_html(std::string html) {
+  Response r;
+  r.body = std::move(html);
+  return r;
+}
+
+Response Response::ok_text(std::string text) {
+  Response r;
+  r.content_type = "text/plain";
+  r.body = std::move(text);
+  return r;
+}
+
+Response Response::not_found(const std::string& what) {
+  Response r;
+  r.status = 404;
+  r.content_type = "text/plain";
+  r.body = "not found: " + what + "\n";
+  return r;
+}
+
+Response Response::bad_request(const std::string& why) {
+  Response r;
+  r.status = 400;
+  r.content_type = "text/plain";
+  r.body = "bad request: " + why + "\n";
+  return r;
+}
+
+Response Response::server_error(const std::string& why) {
+  Response r;
+  r.status = 500;
+  r.content_type = "text/plain";
+  r.body = "error: " + why + "\n";
+  return r;
+}
+
+Response Response::redirect(const std::string& location) {
+  Response r;
+  r.status = 302;
+  r.content_type = "text/plain";
+  r.headers["location"] = location;
+  r.body = "see " + location + "\n";
+  return r;
+}
+
+std::string status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 302: return "Found";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 500: return "Internal Server Error";
+    default: return "Status";
+  }
+}
+
+std::string to_wire(const Request& request) {
+  std::ostringstream os;
+  os << request.method << ' ' << request.target << " HTTP/1.0\r\n";
+  for (const auto& [k, v] : request.headers) os << k << ": " << v << "\r\n";
+  if (!request.body.empty() && !request.headers.contains("content-length")) {
+    os << "content-length: " << request.body.size() << "\r\n";
+  }
+  os << "\r\n" << request.body;
+  return os.str();
+}
+
+std::string to_wire(const Response& response) {
+  std::ostringstream os;
+  os << "HTTP/1.0 " << response.status << ' ' << status_text(response.status)
+     << "\r\n";
+  os << "content-type: " << response.content_type << "\r\n";
+  os << "content-length: " << response.body.size() << "\r\n";
+  for (const auto& [k, v] : response.headers) os << k << ": " << v << "\r\n";
+  os << "\r\n" << response.body;
+  return os.str();
+}
+
+Request parse_request(const std::string& wire) {
+  const std::size_t head_end = wire.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    throw HttpError("truncated request (no header terminator)");
+  }
+  const std::size_t line_end = wire.find("\r\n");
+  std::istringstream line(wire.substr(0, line_end));
+  Request req;
+  req.method.clear();  // drop the struct defaults so a bare request line
+  req.target.clear();  // is detected as malformed below
+  std::string version;
+  line >> req.method >> req.target >> version;
+  if (req.method.empty() || req.target.empty()) {
+    throw HttpError("malformed request line");
+  }
+  req.headers = parse_headers(wire, line_end + 2, head_end);
+  const std::size_t want = content_length(req.headers);
+  const std::size_t have = wire.size() - (head_end + 4);
+  if (have < want) throw HttpError("truncated request body");
+  req.body = wire.substr(head_end + 4, want);
+  return req;
+}
+
+Response parse_response(const std::string& wire) {
+  const std::size_t head_end = wire.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    throw HttpError("truncated response (no header terminator)");
+  }
+  const std::size_t line_end = wire.find("\r\n");
+  std::istringstream line(wire.substr(0, line_end));
+  std::string version;
+  Response resp;
+  line >> version >> resp.status;
+  if (resp.status == 0) throw HttpError("malformed status line");
+  resp.headers = parse_headers(wire, line_end + 2, head_end);
+  auto ct = resp.headers.find("content-type");
+  if (ct != resp.headers.end()) resp.content_type = ct->second;
+  const std::size_t want = content_length(resp.headers);
+  const std::size_t have = wire.size() - (head_end + 4);
+  if (have < want) throw HttpError("truncated response body");
+  resp.body = wire.substr(head_end + 4, want);
+  return resp;
+}
+
+std::optional<std::size_t> message_size(const std::string& partial) {
+  const std::size_t head_end = partial.find("\r\n\r\n");
+  if (head_end == std::string::npos) return std::nullopt;
+  const std::size_t line_end = partial.find("\r\n");
+  Headers headers = parse_headers(partial, line_end + 2, head_end);
+  const std::size_t total = head_end + 4 + content_length(headers);
+  if (partial.size() < total) return std::nullopt;
+  return total;
+}
+
+}  // namespace powerplay::web

@@ -1,0 +1,70 @@
+// http.hpp — minimal HTTP/1.0 message types and codecs.
+//
+// Figure 7 (bottom): "This method is modified for WWW using the HyperText
+// Transfer Protocol ... using secure scripts at Universal Resource
+// Locators to handle information transfer on demand."  The server and
+// client in this directory speak this subset: request line + headers +
+// optional Content-Length body, one request per connection.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "web/url.hpp"
+
+namespace powerplay::web {
+
+class HttpError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Header names are case-insensitive; stored lower-cased.
+using Headers = std::map<std::string, std::string>;
+
+struct Request {
+  std::string method = "GET";   ///< GET or POST
+  std::string target = "/";     ///< raw path?query
+  Headers headers;
+  std::string body;
+
+  /// Parsed path + query; form bodies merge into `form()`.
+  [[nodiscard]] Target parsed_target() const { return parse_target(target); }
+
+  /// Query parameters plus (for POST with a urlencoded body) form fields;
+  /// form fields win on collision.
+  [[nodiscard]] Params all_params() const;
+};
+
+struct Response {
+  int status = 200;
+  std::string content_type = "text/html";
+  Headers headers;
+  std::string body;
+
+  static Response ok_html(std::string html);
+  static Response ok_text(std::string text);
+  static Response not_found(const std::string& what);
+  static Response bad_request(const std::string& why);
+  static Response server_error(const std::string& why);
+  static Response redirect(const std::string& location);
+};
+
+std::string status_text(int status);
+
+/// Serialize a request/response to wire form.
+std::string to_wire(const Request& request);
+std::string to_wire(const Response& response);
+
+/// Parse a complete request/response from wire text.
+/// Throws HttpError on malformed input or truncated bodies.
+Request parse_request(const std::string& wire);
+Response parse_response(const std::string& wire);
+
+/// How many bytes of `partial` constitute a complete message, or nullopt
+/// if more data is needed.  Used by the socket readers.
+std::optional<std::size_t> message_size(const std::string& partial);
+
+}  // namespace powerplay::web

@@ -1,0 +1,134 @@
+#include "web/remote.hpp"
+
+#include <chrono>
+#include <deque>
+
+#include "library/serialize.hpp"
+#include "web/client.hpp"
+
+namespace powerplay::web {
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) out.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RemoteLibrary::fetch_text(const std::string& target) const {
+  ++round_trips_;
+  const Response resp = http_get(port_, target);
+  if (resp.status != 200) {
+    throw HttpError("remote fetch of '" + target + "' failed: " +
+                    std::to_string(resp.status) + " " + resp.body);
+  }
+  return resp.body;
+}
+
+std::vector<std::string> RemoteLibrary::list_models() const {
+  return split_lines(fetch_text("/api/models"));
+}
+
+model::UserModelDefinition RemoteLibrary::fetch_model(
+    const std::string& name) const {
+  return library::parse_user_model(
+      fetch_text("/api/model?name=" + url_encode(name)));
+}
+
+std::vector<std::string> RemoteLibrary::list_designs() const {
+  return split_lines(fetch_text("/api/designs"));
+}
+
+std::string RemoteLibrary::fetch_design_text(const std::string& name) const {
+  return fetch_text("/api/design?name=" + url_encode(name));
+}
+
+std::string RemoteLibrary::import_model(const std::string& name,
+                                        model::ModelRegistry& into) const {
+  auto def = fetch_model(name);
+  into.add_or_replace(std::make_shared<model::UserModel>(def));
+  return def.name;
+}
+
+// ---------------------------------------------------------------------------
+// HubChain
+// ---------------------------------------------------------------------------
+
+HubChain::HubChain(int hubs, units::Time per_hop_latency,
+                   units::Time poll_interval)
+    : hubs_(hubs),
+      per_hop_latency_(per_hop_latency),
+      poll_interval_(poll_interval) {}
+
+HubTransferResult HubChain::transfer(const std::string& payload) const {
+  HubTransferResult result;
+  // Event-by-event store-and-forward: the message visits every hub in
+  // both directions.  Each leg is one transmission; each *hub* handling
+  // adds the hop latency plus the expected half poll interval (the
+  // requester and provider endpoints handle immediately).
+  struct Node {
+    bool is_hub;
+    std::deque<std::string> inbox;
+  };
+  std::vector<Node> path;
+  path.push_back({false, {}});                       // requester
+  for (int i = 0; i < hubs_; ++i) path.push_back({true, {}});
+  path.push_back({false, {}});                       // provider
+
+  auto relay = [&](bool forward) {
+    const int n = static_cast<int>(path.size());
+    const int from = forward ? 0 : n - 1;
+    const int to = forward ? n - 1 : 0;
+    const int step = forward ? 1 : -1;
+    path[from].inbox.push_back(payload);
+    for (int i = from; i != to; i += step) {
+      std::string msg = path[i].inbox.front();
+      path[i].inbox.pop_front();
+      if (path[i].is_hub) {
+        result.latency += per_hop_latency_ + poll_interval_ / 2.0;
+      }
+      path[i + step].inbox.push_back(std::move(msg));
+      ++result.messages;
+    }
+    if (path[to].is_hub) {
+      result.latency += per_hop_latency_ + poll_interval_ / 2.0;
+    }
+    std::string delivered = path[to].inbox.front();
+    path[to].inbox.pop_front();
+    return delivered;
+  };
+
+  relay(/*forward=*/true);           // request reaches the provider
+  result.payload = relay(false);     // response retraces the path
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// timed_fetch
+// ---------------------------------------------------------------------------
+
+HttpFetchResult timed_fetch(std::uint16_t port, const std::string& target) {
+  const auto begin = std::chrono::steady_clock::now();
+  const Response resp = http_get(port, target);
+  const auto end = std::chrono::steady_clock::now();
+  if (resp.status != 200) {
+    throw HttpError("timed_fetch: status " + std::to_string(resp.status));
+  }
+  HttpFetchResult out;
+  out.latency = units::Time{
+      std::chrono::duration<double>(end - begin).count()};
+  out.bytes = resp.body.size();
+  out.messages = 2;
+  return out;
+}
+
+}  // namespace powerplay::web

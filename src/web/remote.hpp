@@ -1,0 +1,88 @@
+// remote.hpp — model access across the network (Figures 6 and 7).
+//
+// Bottom of Figure 7 — the PowerPlay scheme: "using secure scripts at
+// Universal Resource Locators to handle information transfer on demand".
+// RemoteLibrary is that client: it fetches shareable models and designs
+// from another site's /api/* endpoints and imports them into the local
+// registry, so "if a library is characterized and put on the web in
+// Massachusetts, it can be used for estimates in California".
+//
+// Top of Figure 7 — the baseline it replaced: Silva's SMTP scheme, where
+// requests are relayed through store-and-forward mail hubs on each
+// machine.  HubChain simulates that path event-by-event (each hub
+// receives, queues, dequeues and forwards the whole message, paying a
+// per-hop handling latency plus the expected half poll interval), so the
+// protocol bench can contrast message counts and latency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/registry.hpp"
+#include "model/user_model.hpp"
+#include "units/units.hpp"
+#include "web/http.hpp"
+
+namespace powerplay::web {
+
+/// Client for another PowerPlay site's model-access endpoints.
+class RemoteLibrary {
+ public:
+  explicit RemoteLibrary(std::uint16_t port) : port_(port) {}
+
+  [[nodiscard]] std::vector<std::string> list_models() const;
+  [[nodiscard]] model::UserModelDefinition fetch_model(
+      const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> list_designs() const;
+  [[nodiscard]] std::string fetch_design_text(const std::string& name) const;
+
+  /// Fetch + register into a local registry; returns the model name.
+  std::string import_model(const std::string& name,
+                           model::ModelRegistry& into) const;
+
+  /// HTTP round trips performed so far by this client.
+  [[nodiscard]] int round_trips() const { return round_trips_; }
+
+ private:
+  [[nodiscard]] std::string fetch_text(const std::string& target) const;
+
+  std::uint16_t port_;
+  mutable int round_trips_ = 0;
+};
+
+/// One simulated SMTP-style relay transfer.
+struct HubTransferResult {
+  int messages = 0;        ///< store-and-forward transmissions
+  units::Time latency{0};  ///< modeled end-to-end latency
+  std::string payload;     ///< delivered payload (round-tripped)
+};
+
+/// Store-and-forward hub chain between requester and provider.
+class HubChain {
+ public:
+  /// `hubs` intermediate relays; each handling costs `per_hop_latency`
+  /// plus an expected `poll_interval`/2 queue wait (mail hubs poll).
+  HubChain(int hubs, units::Time per_hop_latency, units::Time poll_interval);
+
+  /// Simulate request + response for a payload; both directions traverse
+  /// every hub.
+  [[nodiscard]] HubTransferResult transfer(const std::string& payload) const;
+
+  [[nodiscard]] int hubs() const { return hubs_; }
+
+ private:
+  int hubs_;
+  units::Time per_hop_latency_;
+  units::Time poll_interval_;
+};
+
+/// Wall-clock measured HTTP fetch, for the protocol comparison bench.
+struct HttpFetchResult {
+  units::Time latency{0};
+  std::size_t bytes = 0;
+  int messages = 0;  ///< request + response = 2
+};
+HttpFetchResult timed_fetch(std::uint16_t port, const std::string& target);
+
+}  // namespace powerplay::web

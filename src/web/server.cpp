@@ -1,0 +1,159 @@
+#include "web/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+namespace powerplay::web {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw HttpError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::string read_http_message(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    // Framing first: stop as soon as we hold one complete message.
+    try {
+      if (auto size = message_size(buffer)) return buffer.substr(0, *size);
+    } catch (const HttpError&) {
+      // Malformed headers; let the caller's parse produce the error.
+      return buffer;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("recv");
+    }
+    if (n == 0) return buffer;  // peer closed
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > (16u << 20)) {
+      throw HttpError("message exceeds 16 MiB limit");
+    }
+  }
+}
+
+void write_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+HttpServer::HttpServer(std::uint16_t port, Handler handler)
+    : handler_(std::move(handler)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) fail_errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = err;
+    fail_errno("bind");
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = err;
+    fail_errno("listen");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    fail_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void HttpServer::stop() {
+  if (running_.exchange(false)) {
+    // Closing the listener unblocks accept().
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    listen_fd_ = -1;
+  } else if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(workers_mutex_);
+    workers.swap(workers_);
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void HttpServer::accept_loop() {
+  while (running_.load()) {
+    sockaddr_in peer{};
+    socklen_t len = sizeof peer;
+    const int fd =
+        ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by stop()
+    }
+    std::lock_guard lock(workers_mutex_);
+    workers_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  try {
+    const std::string wire = read_http_message(fd);
+    if (!wire.empty()) {
+      Response response;
+      try {
+        const Request request = parse_request(wire);
+        response = handler_(request);
+      } catch (const std::exception& e) {
+        response = Response::server_error(e.what());
+      }
+      // Count before writing: a client that has the full response in hand
+      // must observe the counter already bumped.
+      requests_served_.fetch_add(1);
+      write_all(fd, to_wire(response));
+    }
+  } catch (const std::exception&) {
+    // Connection-level failure: drop the connection.
+  }
+  ::close(fd);
+}
+
+}  // namespace powerplay::web

@@ -1,0 +1,65 @@
+// server.hpp — the PowerPlay HTTP daemon.
+//
+// "since PowerPlay is local to one server, it can be accessed by any
+// machine on the web.  There is no need to port, recompile and install
+// the tool."  This is a small threaded HTTP/1.0 server over POSIX
+// sockets: one listener thread accepts connections and handles each on a
+// worker thread (one request per connection, as HTTP/1.0 browsers did).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "web/http.hpp"
+
+namespace powerplay::web {
+
+using Handler = std::function<Response(const Request&)>;
+
+class HttpServer {
+ public:
+  /// Bind and listen on 127.0.0.1:`port`; port 0 picks a free port
+  /// (query with port()).  Throws HttpError on bind failure.
+  HttpServer(std::uint16_t port, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Start the accept loop (idempotent).
+  void start();
+
+  /// Stop accepting, close the listener, join all threads.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_served_.load();
+  }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex workers_mutex_;
+};
+
+/// Read one complete HTTP message from a connected socket (uses
+/// message_size() framing).  Returns empty string on EOF before any data.
+std::string read_http_message(int fd);
+
+/// Write all bytes; throws HttpError on failure.
+void write_all(int fd, const std::string& data);
+
+}  // namespace powerplay::web

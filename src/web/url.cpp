@@ -1,0 +1,109 @@
+#include "web/url.hpp"
+
+#include <cctype>
+
+namespace powerplay::web {
+
+namespace {
+
+bool unreserved(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+         c == '_' || c == '.' || c == '~';
+}
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string url_encode(const std::string& text) {
+  static const char* hex = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (unreserved(c)) {
+      out.push_back(c);
+    } else if (c == ' ') {
+      out.push_back('+');
+    } else {
+      const auto byte = static_cast<unsigned char>(c);
+      out.push_back('%');
+      out.push_back(hex[byte >> 4]);
+      out.push_back(hex[byte & 0xF]);
+    }
+  }
+  return out;
+}
+
+std::string url_decode(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '+') {
+      out.push_back(' ');
+    } else if (c == '%' && i + 2 < text.size() &&
+               hex_value(text[i + 1]) >= 0 && hex_value(text[i + 2]) >= 0) {
+      out.push_back(static_cast<char>(hex_value(text[i + 1]) * 16 +
+                                      hex_value(text[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Params parse_query(const std::string& query) {
+  Params out;
+  std::size_t start = 0;
+  while (start <= query.size()) {
+    std::size_t end = query.find('&', start);
+    if (end == std::string::npos) end = query.size();
+    const std::string pair = query.substr(start, end - start);
+    if (!pair.empty()) {
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        out[url_decode(pair)] = "";
+      } else {
+        out[url_decode(pair.substr(0, eq))] = url_decode(pair.substr(eq + 1));
+      }
+    }
+    if (end == query.size()) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+Target parse_target(const std::string& target) {
+  Target out;
+  const std::size_t q = target.find('?');
+  if (q == std::string::npos) {
+    out.path = url_decode(target);
+  } else {
+    out.path = url_decode(target.substr(0, q));
+    out.query = parse_query(target.substr(q + 1));
+  }
+  return out;
+}
+
+std::string to_query(const Params& params) {
+  std::string out;
+  for (const auto& [key, value] : params) {
+    if (!out.empty()) out.push_back('&');
+    out += url_encode(key) + "=" + url_encode(value);
+  }
+  return out;
+}
+
+std::string get_or(const Params& params, const std::string& key,
+                   const std::string& fallback) {
+  auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+}  // namespace powerplay::web

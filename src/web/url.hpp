@@ -1,0 +1,44 @@
+// url.hpp — URL and form codecs (percent-encoding, query strings).
+//
+// PowerPlay's entire UI state travels in URLs and
+// application/x-www-form-urlencoded bodies, exactly as the Perl-CGI
+// original: usernames, model names, and parameter overrides are all
+// query parameters.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace powerplay::web {
+
+/// Percent-encode for a query component (RFC 3986 unreserved kept as-is;
+/// space becomes '+', the form-encoding convention).
+std::string url_encode(const std::string& text);
+
+/// Inverse of url_encode; tolerates raw unreserved characters.
+/// Malformed %-sequences are passed through literally.
+std::string url_decode(const std::string& text);
+
+/// Ordered key-value pairs of a query string or form body.
+/// Later duplicates overwrite earlier ones.
+using Params = std::map<std::string, std::string>;
+
+/// Parse "a=1&b=two%20words" (no leading '?').
+Params parse_query(const std::string& query);
+
+/// Split a request target "/path?query" into path and parsed query.
+struct Target {
+  std::string path;
+  Params query;
+};
+Target parse_target(const std::string& target);
+
+/// Serialize params back to "a=1&b=..." with encoding.
+std::string to_query(const Params& params);
+
+/// Fetch a parameter or a default.
+std::string get_or(const Params& params, const std::string& key,
+                   const std::string& fallback = {});
+
+}  // namespace powerplay::web

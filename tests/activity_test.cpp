@@ -1,0 +1,122 @@
+// Tests for the dual-bit-type activity model (signal-correlation
+// refinement of the library's conservative uncorrelated default).
+#include "models/activity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/berkeley_library.hpp"
+#include "sheet/design.hpp"
+
+namespace powerplay::models {
+namespace {
+
+TEST(Dbt, LsbRegionIsHalf) { EXPECT_DOUBLE_EQ(dbt_lsb_activity(), 0.5); }
+
+TEST(Dbt, SignActivityArcCosLaw) {
+  // rho = 0: signs independent -> flips half the time.
+  EXPECT_NEAR(dbt_sign_activity(0.0), 0.5, 1e-12);
+  // Strong positive correlation: rarely flips.
+  EXPECT_LT(dbt_sign_activity(0.99), 0.05);
+  // Strong negative correlation: flips nearly every sample.
+  EXPECT_GT(dbt_sign_activity(-0.99), 0.95);
+  // Monotone decreasing in rho.
+  double prev = 1.1;
+  for (double rho : {-0.9, -0.5, 0.0, 0.5, 0.9}) {
+    const double a = dbt_sign_activity(rho);
+    EXPECT_LT(a, prev);
+    prev = a;
+  }
+  EXPECT_THROW(dbt_sign_activity(1.0), expr::ExprError);
+  EXPECT_THROW(dbt_sign_activity(-1.0), expr::ExprError);
+}
+
+TEST(Dbt, Breakpoints) {
+  EXPECT_NEAR(dbt_breakpoint_low(256.0), 8.0, 1e-12);
+  EXPECT_THROW(dbt_breakpoint_low(0.0), expr::ExprError);
+  // BP1 above BP0, gap shrinks with correlation.
+  const double gap_uncorr =
+      dbt_breakpoint_high(256, 0.0) - dbt_breakpoint_low(256);
+  const double gap_corr =
+      dbt_breakpoint_high(256, 0.95) - dbt_breakpoint_low(256);
+  EXPECT_GT(gap_uncorr, 0.0);
+  EXPECT_GT(gap_uncorr, gap_corr);
+}
+
+TEST(Dbt, UncorrelatedWideSignalApproachesHalf) {
+  // When sigma fills the word, every bit is in the uniform region.
+  EXPECT_NEAR(dbt_word_activity(16, 65536.0, 0.0), 0.5, 1e-12);
+}
+
+TEST(Dbt, CorrelatedNarrowSignalWellBelowHalf) {
+  // Narrow, slowly varying signal in a wide word: sign bits dominate and
+  // barely toggle.
+  const double a = dbt_word_activity(16, 16.0, 0.95);
+  EXPECT_LT(a, 0.25);
+  EXPECT_GT(a, 0.0);
+}
+
+TEST(Dbt, ActivityMonotoneInCorrelation) {
+  double prev = 1.0;
+  for (double rho : {0.0, 0.3, 0.6, 0.9, 0.99}) {
+    const double a = dbt_word_activity(16, 64.0, rho);
+    EXPECT_LE(a, prev) << rho;
+    prev = a;
+  }
+}
+
+TEST(Dbt, AlphaIsActivityRelativeToUncorrelated) {
+  EXPECT_NEAR(dbt_alpha(16, 65536.0, 0.0), 1.0, 1e-12);
+  EXPECT_LT(dbt_alpha(16, 16.0, 0.9), 1.0);
+  EXPECT_THROW(dbt_word_activity(0, 16, 0.5), expr::ExprError);
+}
+
+TEST(Dbt, RegisteredSheetFunctionDrivesAlpha) {
+  // The paper's Figure 2 note: neglecting correlations is conservative.
+  // Feeding dbt_alpha into the adder's alpha must reduce the estimate.
+  const auto lib = berkeley_library();
+  sheet::Design d("correlated");
+  dbt_register(d);
+  d.globals().set("vdd", 1.5);
+  d.globals().set("f", 1e6);
+  auto& row = d.add_row("Adder", lib.find_shared("ripple_adder"));
+  row.params.set("bitwidth", 16.0);
+  row.params.set_formula("alpha", "dbt_alpha(16, 64, 0.9)");
+  const auto r = d.play();
+
+  sheet::Design base("uncorrelated");
+  base.globals().set("vdd", 1.5);
+  base.globals().set("f", 1e6);
+  base.add_row("Adder", lib.find_shared("ripple_adder"))
+      .params.set("bitwidth", 16.0);
+  const auto rb = base.play();
+
+  EXPECT_LT(r.total.total_power().si(), rb.total.total_power().si());
+  EXPECT_GT(r.total.total_power().si(), 0.0);
+}
+
+TEST(Dbt, SheetFunctionArgumentErrors) {
+  sheet::Design d("bad");
+  dbt_register(d);
+  d.globals().set("vdd", 1.5);
+  const auto lib = berkeley_library();
+  auto& row = d.add_row("A", lib.find_shared("ripple_adder"));
+  row.params.set_formula("alpha", "dbt_alpha(16, 64)");  // missing rho
+  EXPECT_THROW(d.play(), expr::ExprError);
+}
+
+TEST(Dbt, CannotShadowBuiltins) {
+  sheet::Design d("clash");
+  EXPECT_THROW(
+      d.add_function("max", [](const std::vector<expr::Value>&) {
+        return 0.0;
+      }),
+      expr::ExprError);
+  EXPECT_THROW(
+      d.add_function("rowpower", [](const std::vector<expr::Value>&) {
+        return 0.0;
+      }),
+      expr::ExprError);
+}
+
+}  // namespace
+}  // namespace powerplay::models

@@ -1,0 +1,342 @@
+// Tests for the Dinero-style cache simulator and its energy bridge.
+#include "cachesim/cache.hpp"
+#include "cachesim/energy.hpp"
+#include "cachesim/hierarchy.hpp"
+#include "cachesim/trace.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/programs.hpp"
+#include "models/berkeley_library.hpp"
+
+namespace powerplay::cachesim {
+namespace {
+
+CacheConfig small_config() {
+  CacheConfig c;
+  c.size_bytes = 256;
+  c.block_bytes = 16;
+  c.associativity = 2;
+  return c;
+}
+
+TEST(Config, Validation) {
+  EXPECT_NO_THROW(small_config().validate());
+  CacheConfig bad = small_config();
+  bad.size_bytes = 300;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = small_config();
+  bad.block_bytes = 24;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = small_config();
+  bad.block_bytes = 512;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = small_config();
+  bad.associativity = 3;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(Config, Geometry) {
+  const CacheConfig c = small_config();
+  EXPECT_EQ(c.ways(), 2u);
+  EXPECT_EQ(c.num_sets(), 8u);
+  CacheConfig fa = small_config();
+  fa.associativity = 0;  // fully associative
+  EXPECT_EQ(fa.ways(), 16u);
+  EXPECT_EQ(fa.num_sets(), 1u);
+}
+
+TEST(Cache, ColdMissesThenHits) {
+  Cache cache(small_config());
+  EXPECT_FALSE(cache.access(0, false));   // cold miss
+  EXPECT_TRUE(cache.access(4, false));    // same 16-byte block
+  EXPECT_TRUE(cache.access(12, false));
+  EXPECT_FALSE(cache.access(16, false));  // next block
+  EXPECT_EQ(cache.stats().read_misses, 2u);
+  EXPECT_EQ(cache.stats().reads, 4u);
+  EXPECT_DOUBLE_EQ(cache.stats().miss_rate(), 0.5);
+}
+
+TEST(Cache, DirectMappedConflict) {
+  CacheConfig c = small_config();
+  c.associativity = 1;  // 16 sets
+  Cache cache(c);
+  // Two blocks 256 bytes apart map to the same set.
+  EXPECT_FALSE(cache.access(0, false));
+  EXPECT_FALSE(cache.access(256, false));
+  EXPECT_FALSE(cache.access(0, false));  // evicted: conflict miss
+  EXPECT_EQ(cache.stats().read_misses, 3u);
+}
+
+TEST(Cache, TwoWayAbsorbsThatConflict) {
+  Cache cache(small_config());  // 2-way
+  EXPECT_FALSE(cache.access(0, false));
+  EXPECT_FALSE(cache.access(128, false));  // same set (8 sets * 16 B)
+  EXPECT_TRUE(cache.access(0, false));     // both fit
+  EXPECT_TRUE(cache.access(128, false));
+}
+
+TEST(Cache, LruEviction) {
+  Cache cache(small_config());  // 2-way, set stride 128
+  cache.access(0, false);       // A
+  cache.access(128, false);     // B
+  cache.access(0, false);       // touch A: B is now LRU
+  cache.access(256, false);     // C evicts B
+  EXPECT_TRUE(cache.access(0, false));     // A still resident
+  EXPECT_FALSE(cache.access(128, false));  // B was evicted
+}
+
+TEST(Cache, WriteBackDefersMemoryWrites) {
+  Cache cache(small_config());
+  cache.access(0, true);  // write miss, allocate, dirty
+  EXPECT_EQ(cache.stats().memory_writes, 0u);
+  // Evict the dirty block via two conflicting fills.
+  cache.access(128, false);
+  cache.access(256, false);
+  cache.access(384, false);
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+  EXPECT_EQ(cache.stats().memory_writes, 1u);
+}
+
+TEST(Cache, WriteThroughWritesEveryTime) {
+  CacheConfig c = small_config();
+  c.write_back = false;
+  Cache cache(c);
+  cache.access(0, true);   // miss: allocate + through
+  cache.access(0, true);   // hit: through again
+  cache.access(4, true);
+  EXPECT_EQ(cache.stats().memory_writes, 3u);
+  EXPECT_EQ(cache.stats().writebacks, 0u);
+}
+
+TEST(Cache, WriteNoAllocateBypasses) {
+  CacheConfig c = small_config();
+  c.write_allocate = false;
+  Cache cache(c);
+  EXPECT_FALSE(cache.access(0, true));
+  // Block was not allocated: a read still misses.
+  EXPECT_FALSE(cache.access(0, false));
+  EXPECT_EQ(cache.stats().write_misses, 1u);
+  EXPECT_EQ(cache.stats().memory_writes, 1u);
+}
+
+TEST(Cache, FlushWritesDirtyLines) {
+  Cache cache(small_config());
+  cache.access(0, true);
+  cache.access(16, true);
+  cache.access(32, false);
+  cache.flush();
+  EXPECT_EQ(cache.stats().writebacks, 2u);
+  // After flush everything misses again.
+  EXPECT_FALSE(cache.access(0, false));
+}
+
+TEST(Cache, SequentialStreamExploitsSpatialLocality) {
+  Cache cache(small_config());
+  for (std::uint64_t b = 0; b < 1024; b += 4) cache.access(b, false);
+  // One miss per 16-byte block: 64 misses out of 256 accesses.
+  EXPECT_DOUBLE_EQ(cache.stats().miss_rate(), 0.25);
+}
+
+TEST(Cache, LargeStrideDefeatsTheCache) {
+  Cache cache(small_config());
+  for (int i = 0; i < 64; ++i) {
+    cache.access(static_cast<std::uint64_t>(i) * 4096, false);
+  }
+  EXPECT_DOUBLE_EQ(cache.stats().miss_rate(), 1.0);
+}
+
+TEST(Cache, BiggerCacheNeverMissesMoreOnSameTrace) {
+  // Run the merge-sort memory trace through two cache sizes.
+  const int n = 256;
+  const auto suite = isa::sorting_suite(n);
+  const auto run_with = [&](std::uint32_t size_bytes) {
+    CacheConfig c;
+    c.size_bytes = size_bytes;
+    c.block_bytes = 16;
+    c.associativity = 2;
+    Cache cache(c);
+    isa::Machine m(isa::assemble(suite[3].source), suite[3].memory_words + 4);
+    isa::load_array(m, isa::random_data(n, 11));
+    m.set_mem_observer([&](const isa::MemAccess& a) {
+      cache.access(static_cast<std::uint64_t>(a.word_address) * 4,
+                   a.is_write);
+    });
+    m.run(500'000'000);
+    return cache.stats();
+  };
+  const CacheStats small = run_with(256);
+  const CacheStats big = run_with(4096);
+  EXPECT_EQ(small.accesses(), big.accesses());
+  EXPECT_LE(big.misses(), small.misses());
+  EXPECT_LT(big.miss_rate(), 0.3);
+}
+
+TEST(Hierarchy, RequiresOneLevel) {
+  EXPECT_THROW(CacheHierarchy({}), std::invalid_argument);
+}
+
+TEST(Hierarchy, SingleLevelMatchesPlainCache) {
+  CacheHierarchy h({small_config()});
+  Cache plain(small_config());
+  for (std::uint64_t a = 0; a < 2048; a += 8) {
+    h.access(a, (a / 8) % 3 == 0);
+    plain.access(a, (a / 8) % 3 == 0);
+  }
+  EXPECT_EQ(h.stats(0).misses(), plain.stats().misses());
+  EXPECT_EQ(h.memory_accesses(),
+            plain.stats().memory_reads + plain.stats().memory_writes);
+}
+
+TEST(Hierarchy, L2AbsorbsL1ConflictMisses) {
+  CacheConfig l1 = small_config();      // 256 B
+  CacheConfig l2 = small_config();
+  l2.size_bytes = 8192;                 // 8 KiB
+  CacheHierarchy h({l1, l2});
+
+  // Touch a 4 KiB working set twice: first pass fills L2, second pass
+  // misses L1 (too small) but hits L2.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t a = 0; a < 4096; a += 64) h.access(a, false);
+  }
+  EXPECT_GT(h.stats(0).misses(), 0u);
+  EXPECT_GT(h.stats(1).accesses(), 0u);
+  // Second pass should have produced zero main-memory traffic.
+  EXPECT_EQ(h.memory_accesses(), h.stats(1).memory_reads +
+                                     h.stats(1).memory_writes);
+  EXPECT_LT(h.stats(1).misses(), h.stats(1).accesses());
+}
+
+TEST(Hierarchy, HitLevelReporting) {
+  CacheConfig l1 = small_config();
+  CacheConfig l2 = small_config();
+  l2.size_bytes = 4096;
+  CacheHierarchy h({l1, l2});
+  EXPECT_EQ(h.access(0, false), 2);  // cold: memory
+  EXPECT_EQ(h.access(0, false), 0);  // L1 hit
+  // Evict block 0 from L1 with conflicting fills (stride = set span).
+  h.access(128, false);
+  h.access(256, false);
+  h.access(384, false);
+  EXPECT_EQ(h.access(0, false), 1);  // back from L2
+}
+
+TEST(Hierarchy, FlushCountsFinalWritebacks) {
+  CacheHierarchy h({small_config()});
+  h.access(0, true);
+  h.access(16, true);
+  const auto before = h.memory_accesses();
+  h.flush();
+  EXPECT_EQ(h.memory_accesses(), before + 2);
+}
+
+TEST(Hierarchy, EnergyAccountsEveryLevel) {
+  const auto lib = models::berkeley_library();
+  CacheConfig l1 = small_config();
+  CacheConfig l2 = small_config();
+  l2.size_bytes = 8192;
+  CacheHierarchy two({l1, l2});
+  CacheHierarchy one({l1});
+  for (std::uint64_t a = 0; a < 4096; a += 16) {
+    two.access(a, false);
+    one.access(a, false);
+  }
+  const double e_two = hierarchy_energy(two, lib, 3.3).si();
+  const double e_one = hierarchy_energy(one, lib, 3.3).si();
+  EXPECT_GT(e_two, 0.0);
+  EXPECT_GT(e_one, 0.0);
+  // A streaming (no-reuse) scan gains nothing from L2 but pays for it.
+  EXPECT_GT(e_two, e_one);
+}
+
+TEST(Trace, DinRoundTrip) {
+  std::ostringstream out;
+  write_din(out, {0x3fc0, TraceRecord::Kind::kRead});
+  write_din(out, {0x1000, TraceRecord::Kind::kWrite});
+  write_din(out, {0x200, TraceRecord::Kind::kFetch});
+  std::istringstream in(out.str());
+  const auto trace = read_din(in);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].byte_address, 0x3fc0u);
+  EXPECT_EQ(trace[0].kind, TraceRecord::Kind::kRead);
+  EXPECT_EQ(trace[1].kind, TraceRecord::Kind::kWrite);
+  EXPECT_EQ(trace[2].kind, TraceRecord::Kind::kFetch);
+}
+
+TEST(Trace, CommentsAndBlanksSkippedErrorsReported) {
+  std::istringstream ok("# header\n\n0 10\n1 20 # inline\n");
+  EXPECT_EQ(read_din(ok).size(), 2u);
+  std::istringstream bad_label("7 10\n");
+  EXPECT_THROW(read_din(bad_label), std::invalid_argument);
+  std::istringstream bad_addr("0 zz\n");
+  EXPECT_THROW(read_din(bad_addr), std::invalid_argument);
+}
+
+TEST(Trace, ReplayMatchesLiveSimulation) {
+  // Capture a machine run to a din trace, replay through a fresh cache,
+  // and compare against the live-attached cache: identical stats.
+  const int n = 128;
+  const auto suite = isa::sorting_suite(n);
+  Cache live(small_config());
+  std::ostringstream din;
+  isa::Machine m(isa::assemble(suite[2].source), suite[2].memory_words + 4);
+  isa::load_array(m, isa::random_data(n, 3));
+  m.set_mem_observer([&](const isa::MemAccess& a) {
+    const std::uint64_t byte = std::uint64_t{a.word_address} * 4;
+    live.access(byte, a.is_write);
+    write_din(din, {byte, a.is_write ? TraceRecord::Kind::kWrite
+                                     : TraceRecord::Kind::kRead});
+  });
+  m.run(500'000'000);
+
+  std::istringstream in(din.str());
+  Cache replayed(small_config());
+  const auto trace = read_din(in);
+  EXPECT_EQ(replay(trace, replayed), trace.size());
+  EXPECT_EQ(replayed.stats().reads, live.stats().reads);
+  EXPECT_EQ(replayed.stats().writes, live.stats().writes);
+  EXPECT_EQ(replayed.stats().misses(), live.stats().misses());
+  EXPECT_EQ(replayed.stats().writebacks, live.stats().writebacks);
+}
+
+TEST(Stats, Rendering) {
+  Cache cache(small_config());
+  cache.access(0, false);
+  const std::string text = to_string(cache.stats());
+  EXPECT_NE(text.find("accesses"), std::string::npos);
+  EXPECT_NE(text.find("miss rate"), std::string::npos);
+}
+
+TEST(Energy, DerivedFromLibraryModels) {
+  const auto lib = models::berkeley_library();
+  const auto e = derive_memory_energy(lib, small_config(), 3.3);
+  EXPECT_GT(e.cache_access.si(), 0.0);
+  // A main-memory block transfer costs more than one cache probe.
+  EXPECT_GT(e.memory_access.si(), e.cache_access.si());
+
+  CacheStats stats;
+  stats.reads = 100;
+  stats.writes = 50;
+  stats.memory_reads = 10;
+  stats.memory_writes = 5;
+  const double total = memory_energy(stats, e).si();
+  EXPECT_NEAR(total,
+              150 * e.cache_access.si() + 15 * e.memory_access.si(),
+              total * 1e-12);
+  EXPECT_DOUBLE_EQ(per_miss_energy(e).si(), e.memory_access.si());
+}
+
+TEST(Energy, BiggerCacheCostsMorePerAccess) {
+  const auto lib = models::berkeley_library();
+  CacheConfig big = small_config();
+  big.size_bytes = 8192;
+  const auto small_e = derive_memory_energy(lib, small_config(), 3.3);
+  const auto big_e = derive_memory_energy(lib, big, 3.3);
+  EXPECT_GT(big_e.cache_access.si(), small_e.cache_access.si());
+}
+
+}  // namespace
+}  // namespace powerplay::cachesim

@@ -1,0 +1,200 @@
+#include "expr/eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expr/parser.hpp"
+
+namespace powerplay::expr {
+namespace {
+
+const FunctionTable& fns() {
+  static const FunctionTable table = FunctionTable::with_builtins();
+  return table;
+}
+
+TEST(Scope, LiteralLookup) {
+  Scope s;
+  s.set("x", 42.0);
+  EXPECT_DOUBLE_EQ(evaluate_source("x", s, fns()), 42.0);
+}
+
+TEST(Scope, UnboundVariableThrowsWithName) {
+  Scope s;
+  try {
+    evaluate_source("nope + 1", s, fns());
+    FAIL();
+  } catch (const ExprError& e) {
+    EXPECT_NE(std::string(e.what()).find("nope"), std::string::npos);
+  }
+}
+
+TEST(Scope, ChildShadowsParent) {
+  Scope parent;
+  parent.set("vdd", 1.5);
+  Scope child(&parent);
+  EXPECT_DOUBLE_EQ(evaluate_source("vdd", child, fns()), 1.5);
+  child.set("vdd", 1.1);
+  EXPECT_DOUBLE_EQ(evaluate_source("vdd", child, fns()), 1.1);
+  EXPECT_DOUBLE_EQ(evaluate_source("vdd", parent, fns()), 1.5);
+}
+
+TEST(Scope, InheritanceAcrossThreeLevels) {
+  Scope design;
+  design.set("pixel_rate", 2e6);
+  Scope macro(&design);
+  Scope row(&macro);
+  EXPECT_DOUBLE_EQ(evaluate_source("pixel_rate / 16", row, fns()), 125e3);
+}
+
+TEST(Scope, FormulaEvaluatesInOwnerScope) {
+  Scope design;
+  design.set("pixel_rate", 2e6);
+  design.set_formula("read_rate", "pixel_rate / 16");
+  Scope row(&design);
+  // Lookup from the row finds the design's formula; the formula resolves
+  // pixel_rate through the design chain.
+  EXPECT_DOUBLE_EQ(evaluate_source("read_rate", row, fns()), 125e3);
+}
+
+TEST(Scope, FormulaSeesOverridesBelowOwner) {
+  // A formula bound at the macro level must see the macro's own
+  // parameters, not climb past them.
+  Scope design;
+  design.set("n", 100.0);
+  Scope macro(&design);
+  macro.set("n", 4.0);
+  macro.set_formula("double_n", "n * 2");
+  EXPECT_DOUBLE_EQ(evaluate_source("double_n", macro, fns()), 8.0);
+}
+
+TEST(Scope, FormulaChains) {
+  Scope s;
+  s.set("f", 2e6);
+  s.set_formula("half", "f / 2");
+  s.set_formula("quarter", "half / 2");
+  EXPECT_DOUBLE_EQ(evaluate_source("quarter", s, fns()), 5e5);
+}
+
+TEST(Scope, DirectCycleDetected) {
+  Scope s;
+  s.set_formula("a", "a + 1");
+  EXPECT_THROW(evaluate_source("a", s, fns()), ExprError);
+}
+
+TEST(Scope, IndirectCycleDetectedWithPath) {
+  Scope s;
+  s.set_formula("a", "b * 2");
+  s.set_formula("b", "c + 1");
+  s.set_formula("c", "a - 1");
+  try {
+    evaluate_source("a", s, fns());
+    FAIL();
+  } catch (const ExprError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("circular"), std::string::npos);
+    EXPECT_NE(msg.find("a"), std::string::npos);
+  }
+}
+
+TEST(Scope, SameNameDifferentScopesIsNotACycle) {
+  // Child "n" defined in terms of... a distinct global also named "n"
+  // would be a cycle by name only; the detector keys on (scope, name).
+  Scope design;
+  design.set("rate", 2e6);
+  Scope row(&design);
+  row.set_formula("rate2", "rate / 4");
+  EXPECT_DOUBLE_EQ(evaluate_source("rate2", row, fns()), 5e5);
+}
+
+TEST(Scope, EraseAndLocalNames) {
+  Scope s;
+  s.set("b", 1.0);
+  s.set("a", 2.0);
+  EXPECT_EQ(s.local_names(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(s.has_local("a"));
+  s.erase("a");
+  EXPECT_FALSE(s.has_local("a"));
+  EXPECT_THROW(evaluate_source("a", s, fns()), ExprError);
+}
+
+TEST(Scope, RebindReplacesValue) {
+  Scope s;
+  s.set("x", 1.0);
+  s.set("x", 2.0);
+  EXPECT_DOUBLE_EQ(evaluate_source("x", s, fns()), 2.0);
+  s.set_formula("x", "21 * 2");
+  EXPECT_DOUBLE_EQ(evaluate_source("x", s, fns()), 42.0);
+}
+
+TEST(Eval, DivisionByZeroThrows) {
+  Scope s;
+  EXPECT_THROW(evaluate_source("1 / 0", s, fns()), ExprError);
+  EXPECT_THROW(evaluate_source("1 % 0", s, fns()), ExprError);
+}
+
+TEST(Eval, ShortCircuitPreventsEvaluation) {
+  Scope s;
+  // The right operand divides by zero; short-circuit must skip it.
+  EXPECT_DOUBLE_EQ(evaluate_source("0 && (1 / 0)", s, fns()), 0.0);
+  EXPECT_DOUBLE_EQ(evaluate_source("1 || (1 / 0)", s, fns()), 1.0);
+}
+
+TEST(Eval, ConditionalOnlyEvaluatesTakenBranch) {
+  Scope s;
+  EXPECT_DOUBLE_EQ(evaluate_source("1 ? 5 : (1/0)", s, fns()), 5.0);
+  EXPECT_DOUBLE_EQ(evaluate_source("0 ? (1/0) : 6", s, fns()), 6.0);
+}
+
+TEST(Eval, StringOutsideFunctionArgThrows) {
+  Scope s;
+  EXPECT_THROW(evaluate_source("\"abc\" + 1", s, fns()), ExprError);
+}
+
+TEST(Eval, UnknownFunctionThrows) {
+  Scope s;
+  EXPECT_THROW(evaluate_source("mystery(1)", s, fns()), ExprError);
+}
+
+TEST(Eval, BuiltinDomainErrors) {
+  Scope s;
+  EXPECT_THROW(evaluate_source("sqrt(-1)", s, fns()), ExprError);
+  EXPECT_THROW(evaluate_source("ln(0)", s, fns()), ExprError);
+  EXPECT_THROW(evaluate_source("log2(-2)", s, fns()), ExprError);
+  EXPECT_THROW(evaluate_source("max()", s, fns()), ExprError);
+  EXPECT_THROW(evaluate_source("abs(1, 2)", s, fns()), ExprError);
+}
+
+TEST(Eval, CustomFunctionReceivesStringArgs) {
+  FunctionTable table = FunctionTable::with_builtins();
+  std::string seen;
+  table.register_function("probe", [&](const std::vector<Value>& args) {
+    seen = std::get<std::string>(args.at(0));
+    return std::get<double>(args.at(1)) * 2;
+  });
+  Scope s;
+  EXPECT_DOUBLE_EQ(evaluate_source("probe(\"Read Bank\", 21)", s, table),
+                   42.0);
+  EXPECT_EQ(seen, "Read Bank");
+}
+
+TEST(Eval, FunctionTableNamesAndContains) {
+  const FunctionTable& table = fns();
+  EXPECT_TRUE(table.contains("max"));
+  EXPECT_FALSE(table.contains("rowpower"));
+  EXPECT_NE(table.find("if"), nullptr);
+  EXPECT_EQ(table.find("nope"), nullptr);
+  EXPECT_GE(table.names().size(), 13u);
+}
+
+TEST(Eval, DeepFormulaChainsResolve) {
+  Scope s;
+  s.set("x0", 1.0);
+  for (int i = 1; i <= 40; ++i) {
+    s.set_formula("x" + std::to_string(i),
+                  "x" + std::to_string(i - 1) + " + 1");
+  }
+  EXPECT_DOUBLE_EQ(evaluate_source("x40", s, fns()), 41.0);
+}
+
+}  // namespace
+}  // namespace powerplay::expr

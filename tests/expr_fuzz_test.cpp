@@ -1,0 +1,171 @@
+// Property-based fuzzing of the expression pipeline: generate random
+// ASTs from a deterministic PRNG, render them to source, re-parse, and
+// check that evaluation agrees exactly — plus robustness sweeps feeding
+// mutated source strings to the parser (must throw ExprError, never
+// crash or accept-and-misparse).
+#include <cstdint>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "expr/ast.hpp"
+#include "expr/eval.hpp"
+#include "expr/parser.hpp"
+
+namespace powerplay::expr {
+namespace {
+
+/// xorshift64 — deterministic across platforms (std::mt19937 would be
+/// fine too, but this keeps failures reproducible from the seed alone).
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) : state(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+  std::uint64_t next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+  int below(int n) { return static_cast<int>(next() % n); }
+  double number() {
+    // Mix of small integers, decimals and scientific-notation values.
+    switch (below(4)) {
+      case 0: return static_cast<double>(below(100));
+      case 1: return below(1000) / 8.0;
+      case 2: return below(1000) * 1e-15;
+      default: return below(1000) * 1e6;
+    }
+  }
+};
+
+const char* kVariables[] = {"vdd", "f", "alpha", "words", "bits"};
+const char* kUnaryFns[] = {"abs", "sqrt", "exp", "ceil", "floor", "round"};
+
+ExprPtr gen(Rng& rng, int depth) {
+  auto make = [](Expr e) { return std::make_shared<const Expr>(std::move(e)); };
+  if (depth <= 0 || rng.below(4) == 0) {
+    if (rng.below(3) == 0) {
+      return make(Expr{VariableNode{kVariables[rng.below(5)]}});
+    }
+    return make(Expr{NumberNode{rng.number()}});
+  }
+  switch (rng.below(8)) {
+    case 0:
+      return make(Expr{UnaryNode{UnOp::kNeg, gen(rng, depth - 1)}});
+    case 1:
+      return make(Expr{UnaryNode{UnOp::kNot, gen(rng, depth - 1)}});
+    case 2:
+      return make(Expr{ConditionalNode{gen(rng, depth - 1),
+                                       gen(rng, depth - 1),
+                                       gen(rng, depth - 1)}});
+    case 3: {
+      // abs() keeps sqrt's domain safe under re-association.
+      return make(Expr{CallNode{
+          kUnaryFns[rng.below(6)],
+          {make(Expr{CallNode{"abs", {gen(rng, depth - 1)}}})}}});
+    }
+    case 4:
+      return make(Expr{CallNode{
+          rng.below(2) ? "max" : "min",
+          {gen(rng, depth - 1), gen(rng, depth - 1)}}});
+    default: {
+      // Arithmetic and comparisons; division/modulo excluded because a
+      // random zero denominator is legitimate ExprError territory.
+      static const BinOp ops[] = {BinOp::kAdd, BinOp::kSub, BinOp::kMul,
+                                  BinOp::kLess, BinOp::kLessEq,
+                                  BinOp::kGreater, BinOp::kGreaterEq,
+                                  BinOp::kAnd, BinOp::kOr};
+      return make(Expr{BinaryNode{ops[rng.below(9)], gen(rng, depth - 1),
+                                  gen(rng, depth - 1)}});
+    }
+  }
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeeds, RenderReparseEvaluateIdentity) {
+  Rng rng(GetParam());
+  Scope scope;
+  scope.set("vdd", 1.5);
+  scope.set("f", 2e6);
+  scope.set("alpha", 0.5);
+  scope.set("words", 2048.0);
+  scope.set("bits", 8.0);
+  const FunctionTable fns = FunctionTable::with_builtins();
+
+  for (int i = 0; i < 200; ++i) {
+    const ExprPtr original = gen(rng, 4);
+    const std::string source = to_source(*original);
+    ExprPtr reparsed;
+    ASSERT_NO_THROW(reparsed = parse(source)) << source;
+
+    double expect = 0, got = 0;
+    bool expect_threw = false, got_threw = false;
+    try {
+      expect = evaluate(*original, scope, fns);
+    } catch (const ExprError&) {
+      expect_threw = true;
+    }
+    try {
+      got = evaluate(*reparsed, scope, fns);
+    } catch (const ExprError&) {
+      got_threw = true;
+    }
+    ASSERT_EQ(expect_threw, got_threw) << source;
+    if (!expect_threw) {
+      if (std::isnan(expect)) {
+        EXPECT_TRUE(std::isnan(got)) << source;
+      } else {
+        EXPECT_DOUBLE_EQ(expect, got) << source;
+      }
+      // Second render must be a fixed point.
+      EXPECT_EQ(to_source(*reparsed), source);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u, 55u, 89u));
+
+class MutationSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MutationSeeds, MutatedSourceNeverCrashes) {
+  Rng rng(GetParam() * 7919);
+  Scope scope;
+  scope.set("vdd", 1.5);
+  const FunctionTable fns = FunctionTable::with_builtins();
+  const std::string base = "max(vdd * 2, (3 + 4) ^ 2) - 1.5e-3";
+
+  for (int i = 0; i < 500; ++i) {
+    std::string mutated = base;
+    const int edits = 1 + rng.below(4);
+    for (int e = 0; e < edits; ++e) {
+      const int pos = rng.below(static_cast<int>(mutated.size()));
+      switch (rng.below(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(32 + rng.below(95));
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        default:
+          mutated.insert(pos, 1, static_cast<char>(32 + rng.below(95)));
+      }
+      if (mutated.empty()) mutated = "1";
+    }
+    // Any outcome is fine except a crash or a non-ExprError exception.
+    try {
+      const auto e = parse(mutated);
+      (void)evaluate(*e, scope, fns);
+    } catch (const ExprError&) {
+      // expected for most mutations
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationSeeds,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace powerplay::expr

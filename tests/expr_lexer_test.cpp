@@ -1,0 +1,103 @@
+#include "expr/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expr/ast.hpp"
+
+namespace powerplay::expr {
+namespace {
+
+std::vector<TokenKind> kinds(const std::string& src) {
+  std::vector<TokenKind> out;
+  for (const Token& t : tokenize(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEnd) {
+  const auto toks = tokenize("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, Numbers) {
+  const auto toks = tokenize("1 2.5 .5 253e-15 1E6 0.5e+2");
+  ASSERT_EQ(toks.size(), 7u);
+  EXPECT_DOUBLE_EQ(toks[0].number, 1.0);
+  EXPECT_DOUBLE_EQ(toks[1].number, 2.5);
+  EXPECT_DOUBLE_EQ(toks[2].number, 0.5);
+  EXPECT_DOUBLE_EQ(toks[3].number, 253e-15);
+  EXPECT_DOUBLE_EQ(toks[4].number, 1e6);
+  EXPECT_DOUBLE_EQ(toks[5].number, 50.0);
+}
+
+TEST(Lexer, MalformedExponentThrows) {
+  EXPECT_THROW(tokenize("2e"), ExprError);
+  EXPECT_THROW(tokenize("2e+"), ExprError);
+}
+
+TEST(Lexer, IdentifiersIncludeDotsAndUnderscores) {
+  const auto toks = tokenize("vdd pixel_rate lut.bitwidth _x");
+  EXPECT_EQ(toks[0].text, "vdd");
+  EXPECT_EQ(toks[1].text, "pixel_rate");
+  EXPECT_EQ(toks[2].text, "lut.bitwidth");
+  EXPECT_EQ(toks[3].text, "_x");
+}
+
+TEST(Lexer, Strings) {
+  const auto toks = tokenize(R"("Read Bank" "a\"b" "back\\slash")");
+  EXPECT_EQ(toks[0].text, "Read Bank");
+  EXPECT_EQ(toks[1].text, "a\"b");
+  EXPECT_EQ(toks[2].text, "back\\slash");
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(tokenize("\"abc"), ExprError);
+}
+
+TEST(Lexer, UnsupportedEscapeThrows) {
+  EXPECT_THROW(tokenize(R"("a\n")"), ExprError);
+}
+
+TEST(Lexer, OperatorsSingleAndDouble) {
+  const auto k = kinds("+ - * / % ^ ( ) , ? : < <= > >= == != ! && ||");
+  const std::vector<TokenKind> expect = {
+      TokenKind::kPlus,    TokenKind::kMinus,     TokenKind::kStar,
+      TokenKind::kSlash,   TokenKind::kPercent,   TokenKind::kCaret,
+      TokenKind::kLParen,  TokenKind::kRParen,    TokenKind::kComma,
+      TokenKind::kQuestion, TokenKind::kColon,    TokenKind::kLess,
+      TokenKind::kLessEq,  TokenKind::kGreater,   TokenKind::kGreaterEq,
+      TokenKind::kEqualEqual, TokenKind::kBangEqual, TokenKind::kBang,
+      TokenKind::kAndAnd,  TokenKind::kOrOr,      TokenKind::kEnd};
+  EXPECT_EQ(k, expect);
+}
+
+TEST(Lexer, SingleEqualsAmpPipeRejected) {
+  EXPECT_THROW(tokenize("a = b"), ExprError);
+  EXPECT_THROW(tokenize("a & b"), ExprError);
+  EXPECT_THROW(tokenize("a | b"), ExprError);
+}
+
+TEST(Lexer, UnexpectedCharacterReportsPosition) {
+  try {
+    tokenize("a @ b");
+    FAIL() << "expected throw";
+  } catch (const ExprError& e) {
+    EXPECT_NE(std::string(e.what()).find("position 2"), std::string::npos);
+  }
+}
+
+TEST(Lexer, PositionsRecorded) {
+  const auto toks = tokenize("ab + 12");
+  EXPECT_EQ(toks[0].pos, 0u);
+  EXPECT_EQ(toks[1].pos, 3u);
+  EXPECT_EQ(toks[2].pos, 5u);
+}
+
+TEST(Lexer, TokenKindNamesAreHuman) {
+  EXPECT_EQ(token_kind_name(TokenKind::kNumber), "number");
+  EXPECT_EQ(token_kind_name(TokenKind::kAndAnd), "'&&'");
+  EXPECT_EQ(token_kind_name(TokenKind::kEnd), "end of input");
+}
+
+}  // namespace
+}  // namespace powerplay::expr

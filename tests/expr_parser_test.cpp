@@ -1,0 +1,125 @@
+#include "expr/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expr/eval.hpp"
+
+namespace powerplay::expr {
+namespace {
+
+double eval_const(const std::string& src) {
+  Scope scope;
+  static const FunctionTable fns = FunctionTable::with_builtins();
+  return evaluate(*parse(src), scope, fns);
+}
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  EXPECT_DOUBLE_EQ(eval_const("2 + 3 * 4"), 14.0);
+  EXPECT_DOUBLE_EQ(eval_const("(2 + 3) * 4"), 20.0);
+}
+
+TEST(Parser, LeftAssociativity) {
+  EXPECT_DOUBLE_EQ(eval_const("10 - 4 - 3"), 3.0);
+  EXPECT_DOUBLE_EQ(eval_const("100 / 10 / 5"), 2.0);
+  EXPECT_DOUBLE_EQ(eval_const("10 % 7 % 2"), 1.0);
+}
+
+TEST(Parser, PowerIsRightAssociativeAndTight) {
+  EXPECT_DOUBLE_EQ(eval_const("2^3^2"), 512.0);
+  EXPECT_DOUBLE_EQ(eval_const("2*3^2"), 18.0);
+  EXPECT_DOUBLE_EQ(eval_const("2^-2"), 0.25);
+  EXPECT_DOUBLE_EQ(eval_const("-2^2"), -4.0);  // unary minus binds looser
+}
+
+TEST(Parser, Comparisons) {
+  EXPECT_DOUBLE_EQ(eval_const("1 < 2"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_const("2 <= 1"), 0.0);
+  EXPECT_DOUBLE_EQ(eval_const("3 == 3"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_const("3 != 3"), 0.0);
+  EXPECT_DOUBLE_EQ(eval_const("1 + 1 >= 2"), 1.0);
+}
+
+TEST(Parser, LogicalOperatorsAndNot) {
+  EXPECT_DOUBLE_EQ(eval_const("1 && 0"), 0.0);
+  EXPECT_DOUBLE_EQ(eval_const("1 || 0"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_const("!0"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_const("!3"), 0.0);
+  EXPECT_DOUBLE_EQ(eval_const("0 && 1 || 1"), 1.0);  // && binds tighter
+}
+
+TEST(Parser, Conditional) {
+  EXPECT_DOUBLE_EQ(eval_const("1 ? 10 : 20"), 10.0);
+  EXPECT_DOUBLE_EQ(eval_const("0 ? 10 : 20"), 20.0);
+  // Nested/right-associative.
+  EXPECT_DOUBLE_EQ(eval_const("0 ? 1 : 0 ? 2 : 3"), 3.0);
+  EXPECT_DOUBLE_EQ(eval_const("2 > 1 ? 2 + 3 : 9"), 5.0);
+}
+
+TEST(Parser, FunctionCalls) {
+  EXPECT_DOUBLE_EQ(eval_const("max(1, 5, 3)"), 5.0);
+  EXPECT_DOUBLE_EQ(eval_const("min(4, 2)"), 2.0);
+  EXPECT_DOUBLE_EQ(eval_const("pow(2, 10)"), 1024.0);
+  EXPECT_DOUBLE_EQ(eval_const("if(2 > 1, 7, 8)"), 7.0);
+  EXPECT_DOUBLE_EQ(eval_const("log2(4096)"), 12.0);
+  EXPECT_DOUBLE_EQ(eval_const("ceil(2.1) + floor(2.9) + round(2.5)"), 8.0);
+}
+
+TEST(Parser, ScientificNotationExpression) {
+  EXPECT_DOUBLE_EQ(eval_const("253e-15 * 16 * 16"), 253e-15 * 256);
+}
+
+TEST(Parser, SyntaxErrors) {
+  EXPECT_THROW(parse(""), ExprError);
+  EXPECT_THROW(parse("1 +"), ExprError);
+  EXPECT_THROW(parse("(1 + 2"), ExprError);
+  EXPECT_THROW(parse("f(1,"), ExprError);
+  EXPECT_THROW(parse("1 2"), ExprError);       // trailing garbage
+  EXPECT_THROW(parse("a ? 1"), ExprError);     // missing ':'
+  EXPECT_THROW(parse("* 3"), ExprError);
+}
+
+TEST(Parser, ReferencedVariablesInOrderDeduplicated) {
+  const auto e = parse("a + b*a + max(c, b)");
+  EXPECT_EQ(referenced_variables(*e),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Parser, ReferencedFunctions) {
+  const auto e = parse("max(1, min(2, 3)) + max(4, 5)");
+  EXPECT_EQ(referenced_functions(*e),
+            (std::vector<std::string>{"max", "min"}));
+}
+
+// Property: to_source() of a parsed expression re-parses to the same
+// value (round-trip semantic identity) over a corpus of expressions.
+class RoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTrip, ParseRenderParseIsStable) {
+  const auto e1 = parse(GetParam());
+  const std::string rendered = to_source(*e1);
+  const auto e2 = parse(rendered);
+  Scope scope;
+  scope.set("a", 3.0);
+  scope.set("b", 5.0);
+  scope.set("c", 7.0);
+  scope.set("vdd", 1.5);
+  const FunctionTable fns = FunctionTable::with_builtins();
+  EXPECT_DOUBLE_EQ(evaluate(*e1, scope, fns), evaluate(*e2, scope, fns))
+      << "rendered as: " << rendered;
+  // Rendering must also be a fixed point.
+  EXPECT_EQ(to_source(*e2), rendered);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, RoundTrip,
+    ::testing::Values(
+        "1 + 2 * 3", "(1 + 2) * 3", "a - b - c", "a - (b - c)",
+        "2^3^2", "(2^3)^2", "-a + b", "-(a + b)", "a / b / c",
+        "a / (b * c)", "a < b ? a : b", "(a < b) + 1",
+        "!a && b || c", "!(a && b)", "max(a, b, c) * min(a, 2)",
+        "if(a > b, a - b, b - a)", "a % b % 2", "2.5e-3 * a",
+        "pow(a, 2) + sqrt(b)", "a ? b : c ? a : b",
+        "vdd * vdd * 253e-15 * a * b"));
+
+}  // namespace
+}  // namespace powerplay::expr

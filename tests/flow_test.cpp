@@ -1,0 +1,171 @@
+// Tests for the Design Agent: tool registration, context-dependent flow
+// resolution, execution audit trail, and the tool-backed library model.
+#include "flow/design_agent.hpp"
+#include "flow/standard_flows.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/berkeley_library.hpp"
+#include "sheet/design.hpp"
+
+namespace powerplay::flow {
+namespace {
+
+using model::Estimate;
+using model::MapParamReader;
+
+Tool constant_tool(const std::string& name, double watts) {
+  return Tool{name, "adds " + std::to_string(watts) + " W",
+              [watts](const model::ParamReader&, const Estimate& prev) {
+                Estimate e = prev;
+                e.static_power += units::Power{watts};
+                return e;
+              }};
+}
+
+TEST(Agent, ToolRegistration) {
+  DesignAgent agent;
+  agent.add_tool(constant_tool("t1", 1.0));
+  EXPECT_TRUE(agent.has_tool("t1"));
+  EXPECT_FALSE(agent.has_tool("t2"));
+  EXPECT_THROW(agent.add_tool(constant_tool("t1", 2.0)), expr::ExprError);
+  EXPECT_THROW(agent.add_tool(Tool{"", "x", nullptr}), expr::ExprError);
+  EXPECT_THROW(agent.add_tool(Tool{"t3", "no impl", nullptr}),
+               expr::ExprError);
+  EXPECT_EQ(agent.tool_names(), (std::vector<std::string>{"t1"}));
+}
+
+TEST(Agent, RuleValidation) {
+  DesignAgent agent;
+  agent.add_tool(constant_tool("t1", 1.0));
+  EXPECT_THROW(agent.add_rule(FlowRule{"power", "x", {"ghost"}}),
+               expr::ExprError);
+  EXPECT_THROW(agent.add_rule(FlowRule{"power", "x", {}}), expr::ExprError);
+  agent.add_rule(FlowRule{"power", "x", {"t1"}});
+  EXPECT_THROW(agent.add_rule(FlowRule{"power", "x", {"t1"}}),
+               expr::ExprError);
+}
+
+TEST(Agent, ContextSelectsFlowWithDefaultFallback) {
+  DesignAgent agent;
+  agent.add_tool(constant_tool("quick", 1.0));
+  agent.add_tool(constant_tool("refine", 0.5));
+  agent.add_rule(FlowRule{"power", "", {"quick"}});
+  agent.add_rule(FlowRule{"power", "layout", {"quick", "refine"}});
+
+  EXPECT_EQ(agent.resolve("power", "layout"),
+            (std::vector<std::string>{"quick", "refine"}));
+  // Unknown context falls back to the default rule.
+  EXPECT_EQ(agent.resolve("power", "napkin"),
+            (std::vector<std::string>{"quick"}));
+  EXPECT_THROW((void)agent.resolve("area", "layout"), expr::ExprError);
+}
+
+TEST(Agent, RunChainsToolsAndLogsInvocations) {
+  DesignAgent agent;
+  agent.add_tool(constant_tool("a", 1.0));
+  agent.add_tool(constant_tool("b", 0.25));
+  agent.add_rule(FlowRule{"power", "deep", {"a", "b", "a"}});
+  MapParamReader p;
+  const FlowResult r = agent.run("power", "deep", p);
+  EXPECT_EQ(r.invoked, (std::vector<std::string>{"a", "b", "a"}));
+  EXPECT_NEAR(r.estimate.static_power.si(), 2.25, 1e-12);
+}
+
+TEST(Agent, ToolsSeePreviousEstimate) {
+  DesignAgent agent;
+  agent.add_tool(constant_tool("base", 2.0));
+  agent.add_tool(Tool{"halve", "halves the running estimate",
+                      [](const model::ParamReader&, const Estimate& prev) {
+                        Estimate e = prev;
+                        e.static_power = prev.static_power / 2.0;
+                        return e;
+                      }});
+  agent.add_rule(FlowRule{"power", "", {"base", "halve"}});
+  MapParamReader p;
+  EXPECT_NEAR(agent.run("power", "", p).estimate.static_power.si(), 1.0,
+              1e-12);
+}
+
+// --- standard flows -------------------------------------------------------
+
+struct StandardFixture : ::testing::Test {
+  model::ModelRegistry lib = models::berkeley_library();
+  DesignAgent agent = make_standard_agent(lib);
+};
+
+TEST_F(StandardFixture, FlowsResolvePerContext) {
+  EXPECT_EQ(agent.resolve("power", "sketch").size(), 1u);
+  EXPECT_EQ(agent.resolve("power", "circuit").size(), 2u);
+  EXPECT_EQ(agent.resolve("power", "layout").size(), 3u);
+}
+
+TEST_F(StandardFixture, SketchMatchesPlainSramModel) {
+  MapParamReader p;
+  p.set("words", 2048.0);
+  p.set("bits", 8.0);
+  p.set("vdd", 1.5);
+  p.set("f", 125e3);
+  const FlowResult r = agent.run("power", "sketch", p);
+  MapParamReader direct = p;
+  direct.set("vswing", 0.0);
+  direct.set("bitline_fraction", 0.6);
+  direct.set("i_static", 0.0);
+  direct.set("alpha", 1.0);
+  EXPECT_NEAR(r.estimate.total_power().si(),
+              lib.at("sram").evaluate(direct).total_power().si(), 1e-15);
+}
+
+TEST_F(StandardFixture, RefinementsOnlyApplyAtTheirContext) {
+  MapParamReader p;
+  p.set("words", 4096.0);
+  p.set("bits", 16.0);
+  p.set("vswing", 0.3);
+  p.set("i_static", 1e-4);
+  p.set("vdd", 1.5);
+  p.set("f", 1e6);
+  const double sketch = agent.run("power", "sketch", p)
+                            .estimate.total_power().si();
+  const double circuit = agent.run("power", "circuit", p)
+                             .estimate.total_power().si();
+  const double layout = agent.run("power", "layout", p)
+                            .estimate.total_power().si();
+  // Sketch ignores the swing data (conservative, higher).
+  EXPECT_GT(sketch, circuit);
+  // Layout adds the static term on top of the circuit estimate.
+  EXPECT_NEAR(layout, circuit + 1.5e-4, 1e-9);
+}
+
+TEST_F(StandardFixture, ToolFlowModelOnASheet) {
+  auto tool_model = make_sram_toolflow_model(agent);
+  sheet::Design d("toolflow_demo");
+  d.globals().set("vdd", 1.5);
+  d.globals().set("f", 1e6);
+  auto& row = d.add_row("Mem", tool_model);
+  row.params.set("words", 4096.0);
+  row.params.set("bits", 16.0);
+  row.params.set("vswing", 0.3);
+  row.params.set("context", 0.0);  // sketch
+  const double sketch = d.play().total.total_power().si();
+  row.params.set("context", 1.0);  // circuit: one cell edit refines
+  const double circuit = d.play().total.total_power().si();
+  EXPECT_GT(sketch, circuit);
+}
+
+TEST_F(StandardFixture, ToolFlowModelValidation) {
+  auto tool_model = make_sram_toolflow_model(agent);
+  MapParamReader p;
+  p.set("words", 1024.0);
+  p.set("bits", 8.0);
+  p.set("vdd", 1.5);
+  p.set("f", 0.0);
+  p.set("context", 7.0);  // out of range
+  EXPECT_THROW(tool_model->evaluate(p), expr::ExprError);
+  const auto& adapter =
+      dynamic_cast<const ToolFlowModel&>(*tool_model);
+  EXPECT_EQ(adapter.flow_for_level(2).size(), 3u);
+  EXPECT_THROW((void)adapter.flow_for_level(9), expr::ExprError);
+}
+
+}  // namespace
+}  // namespace powerplay::flow

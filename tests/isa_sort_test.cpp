@@ -1,0 +1,162 @@
+// Property tests for the sorting workloads (the Ong & Yan experiment's
+// substrate): every algorithm must actually sort, across data patterns
+// and sizes, and their cost profiles must show the expected shape.
+#include "isa/assembler.hpp"
+#include "isa/energy.hpp"
+#include "isa/programs.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "models/berkeley_library.hpp"
+
+namespace powerplay::isa {
+namespace {
+
+enum class Pattern { kRandom, kAscending, kDescending, kConstant };
+
+std::vector<std::int32_t> make_data(Pattern p, int n) {
+  switch (p) {
+    case Pattern::kRandom: return random_data(n, 1234);
+    case Pattern::kAscending: return ascending_data(n);
+    case Pattern::kDescending: return descending_data(n);
+    case Pattern::kConstant: return std::vector<std::int32_t>(n, 7);
+  }
+  return {};
+}
+
+Machine run_sort(const SortProgram& prog,
+                 const std::vector<std::int32_t>& data) {
+  Machine m(assemble(prog.source), prog.memory_words + 4);
+  load_array(m, data);
+  m.run(500'000'000);
+  return m;
+}
+
+struct Case {
+  int sort_index;
+  Pattern pattern;
+  int n;
+};
+
+class SortCorrectness : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SortCorrectness, SortsExactly) {
+  const auto [index, pattern, n] = GetParam();
+  const auto suite = sorting_suite(n);
+  const SortProgram& prog = suite[index];
+  const auto data = make_data(pattern, n);
+  auto expect = data;
+  std::sort(expect.begin(), expect.end());
+  const Machine m = run_sort(prog, data);
+  EXPECT_EQ(read_array(m, n), expect)
+      << prog.name << " n=" << n << " pattern=" << static_cast<int>(pattern);
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (int sort_index : {0, 1, 2, 3}) {
+    for (Pattern p : {Pattern::kRandom, Pattern::kAscending,
+                      Pattern::kDescending, Pattern::kConstant}) {
+      for (int n : {0, 1, 2, 3, 17, 100}) {
+        cases.push_back({sort_index, p, n});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSortsPatternsSizes, SortCorrectness,
+                         ::testing::ValuesIn(all_cases()));
+
+TEST(SortCosts, MergeBeatsBubbleAsymptotically) {
+  const int n = 300;
+  const auto data = random_data(n, 7);
+  const auto suite = sorting_suite(n);
+  const auto bubble = run_sort(suite[0], data).profile().total;
+  const auto merge = run_sort(suite[3], data).profile().total;
+  EXPECT_GT(bubble, 4 * merge);
+}
+
+TEST(SortCosts, BubbleQuadraticMergeLinearithmic) {
+  const auto count = [](int index, int n) {
+    const auto suite = sorting_suite(n);
+    return static_cast<double>(
+        run_sort(suite[index], random_data(n, 3)).profile().total);
+  };
+  // Quadruple n: bubble grows ~16x, merge ~4.6x.
+  const double bubble_ratio = count(0, 400) / count(0, 100);
+  const double merge_ratio = count(3, 400) / count(3, 100);
+  EXPECT_GT(bubble_ratio, 10.0);
+  EXPECT_LT(merge_ratio, 6.5);
+}
+
+TEST(SortCosts, InsertionAdaptiveOnSortedInput) {
+  const int n = 200;
+  const auto suite = sorting_suite(n);
+  const auto sorted_cost =
+      run_sort(suite[2], ascending_data(n)).profile().total;
+  const auto reversed_cost =
+      run_sort(suite[2], descending_data(n)).profile().total;
+  EXPECT_GT(reversed_cost, 20 * sorted_cost);
+}
+
+TEST(SortCosts, SelectionStoresFarFewerThanBubble) {
+  const int n = 200;
+  const auto data = descending_data(n);  // worst case for bubble swaps
+  const auto suite = sorting_suite(n);
+  const auto bubble = run_sort(suite[0], data).profile();
+  const auto selection = run_sort(suite[1], data).profile();
+  EXPECT_GT(bubble.stores(), 10 * selection.stores());
+}
+
+TEST(SortEnergy, OrdersOfMagnitudeVariance) {
+  // The Ong & Yan headline: across algorithms and inputs the energy for
+  // the same task spans orders of magnitude.  Compare the EQ 12 energy
+  // of bubble-on-reversed against insertion-on-sorted at equal n.
+  const int n = 300;
+  const auto lib = models::berkeley_library();
+  const auto energy_of = [&](int index,
+                             const std::vector<std::int32_t>& data) {
+    const auto suite = sorting_suite(n);
+    const Machine m = run_sort(suite[index], data);
+    auto params = instruction_model_params(m.profile(), ModelParams{});
+    return lib.at("processor_instruction")
+        .evaluate(params)
+        .energy_per_op.si();
+  };
+  const double worst = energy_of(0, descending_data(n));
+  const double best = energy_of(2, ascending_data(n));
+  EXPECT_GT(worst / best, 100.0);  // two orders of magnitude
+}
+
+TEST(SortEnergy, MergePaysMoreMemoryTrafficPerInstruction) {
+  const int n = 256;
+  const auto suite = sorting_suite(n);
+  const Machine merge = run_sort(suite[3], random_data(n, 5));
+  const Profile& p = merge.profile();
+  const double mem_fraction =
+      static_cast<double>(p.loads() + p.stores()) / p.total;
+  EXPECT_GT(mem_fraction, 0.2);
+  EXPECT_LT(mem_fraction, 0.6);
+}
+
+TEST(SortPrograms, SuiteShape) {
+  const auto suite = sorting_suite(64);
+  ASSERT_EQ(suite.size(), 4u);
+  EXPECT_EQ(suite[0].name, "bubble");
+  EXPECT_EQ(suite[3].name, "merge");
+  EXPECT_GE(suite[3].memory_words, 128u);  // scratch buffer
+}
+
+TEST(SortPrograms, DataGenerators) {
+  EXPECT_EQ(ascending_data(3), (std::vector<std::int32_t>{0, 1, 2}));
+  EXPECT_EQ(descending_data(3), (std::vector<std::int32_t>{3, 2, 1}));
+  // Deterministic: same seed, same data; different seed, different data.
+  EXPECT_EQ(random_data(16, 9), random_data(16, 9));
+  EXPECT_NE(random_data(16, 9), random_data(16, 10));
+}
+
+}  // namespace
+}  // namespace powerplay::isa

@@ -1,0 +1,337 @@
+// Tests for the fictitious processor: assembler, machine semantics,
+// profiler and the EQ 12 bridge.
+#include "isa/assembler.hpp"
+#include "isa/energy.hpp"
+#include "isa/machine.hpp"
+#include "isa/programs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/berkeley_library.hpp"
+
+namespace powerplay::isa {
+namespace {
+
+Machine run_program(const std::string& source, std::size_t mem = 1024) {
+  Machine m(assemble(source), mem);
+  m.run();
+  return m;
+}
+
+TEST(Assembler, EncodesBasicForms) {
+  const auto prog = assemble(R"(
+    li   r1, 5
+    addi r2, r1, -3
+    add  r3, r1, r2
+    mov  r4, r3
+    halt
+  )");
+  ASSERT_EQ(prog.size(), 5u);
+  EXPECT_EQ(prog[0].op, Opcode::kLi);
+  EXPECT_EQ(prog[0].rd, 1);
+  EXPECT_EQ(prog[0].imm, 5);
+  EXPECT_EQ(prog[1].imm, -3);
+  EXPECT_EQ(prog[2].rs2, 2);
+}
+
+TEST(Assembler, LabelsResolveForwardAndBackward) {
+  const auto prog = assemble(R"(
+    start: li  r1, 0
+           jmp end
+           nop
+    end:   beq r1, r1, start
+           halt
+  )");
+  EXPECT_EQ(prog[1].imm, 3);  // end
+  EXPECT_EQ(prog[3].imm, 0);  // start
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const auto prog = assemble("; nothing\n\n  # also nothing\n halt ; stop\n");
+  ASSERT_EQ(prog.size(), 1u);
+  EXPECT_EQ(prog[0].op, Opcode::kHalt);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  auto expect_error = [](const std::string& src, const std::string& what) {
+    try {
+      assemble(src);
+      FAIL() << "expected error for: " << src;
+    } catch (const AssemblyError& e) {
+      EXPECT_NE(std::string(e.what()).find(what), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("frobnicate r1, r2", "unknown mnemonic");
+  expect_error("li r99, 1", "register out of range");
+  expect_error("li x1, 1", "expected register");
+  expect_error("add r1, r2", "expects 3 operand");
+  expect_error("jmp nowhere", "undefined label");
+  expect_error("a: nop\na: halt", "duplicate label");
+  expect_error("li r1, 12junk", "bad immediate");
+  expect_error("\n\nli r1,", "line 3");
+}
+
+TEST(Assembler, DisassembleRoundTripReassembles) {
+  const std::string src = R"(
+    li   r1, 10
+    loop: addi r1, r1, -1
+    bne  r1, r0, loop
+    halt
+  )";
+  const auto prog = assemble(src);
+  const std::string dis = disassemble(prog);
+  EXPECT_NE(dis.find("addi r1, r1, -1"), std::string::npos);
+  EXPECT_NE(dis.find("bne r1, r0, @1"), std::string::npos);
+}
+
+TEST(Machine, AluSemantics) {
+  const Machine m = run_program(R"(
+    li  r1, 12
+    li  r2, 5
+    add r3, r1, r2
+    sub r4, r1, r2
+    mul r5, r1, r2
+    and r6, r1, r2
+    or  r7, r1, r2
+    xor r8, r1, r2
+    li  r9, 2
+    shl r10, r1, r9
+    shr r11, r1, r9
+    halt
+  )");
+  EXPECT_EQ(m.reg(3), 17);
+  EXPECT_EQ(m.reg(4), 7);
+  EXPECT_EQ(m.reg(5), 60);
+  EXPECT_EQ(m.reg(6), 4);
+  EXPECT_EQ(m.reg(7), 13);
+  EXPECT_EQ(m.reg(8), 9);
+  EXPECT_EQ(m.reg(10), 48);
+  EXPECT_EQ(m.reg(11), 3);
+}
+
+TEST(Machine, ShiftRightIsArithmetic) {
+  const Machine m = run_program(R"(
+    li  r1, -8
+    li  r2, 1
+    shr r3, r1, r2
+    halt
+  )");
+  EXPECT_EQ(m.reg(3), -4);
+}
+
+TEST(Machine, LoadStoreWithOffsets) {
+  Machine m(assemble(R"(
+    li r1, 10
+    li r2, 77
+    st r2, r1, 5    ; mem[15] = 77
+    ld r3, r1, 5
+    halt
+  )"), 64);
+  m.run();
+  EXPECT_EQ(m.mem(15), 77);
+  EXPECT_EQ(m.reg(3), 77);
+}
+
+TEST(Machine, BranchSemantics) {
+  const Machine m = run_program(R"(
+        li  r1, 0
+        li  r2, 5
+  loop: addi r1, r1, 1
+        blt r1, r2, loop
+        halt
+  )");
+  EXPECT_EQ(m.reg(1), 5);
+}
+
+TEST(Machine, ConditionalBranchesAllForms) {
+  const Machine m = run_program(R"(
+        li  r1, 3
+        li  r2, 3
+        li  r10, 0
+        beq r1, r2, t1
+        li  r10, 99
+  t1:   bne r1, r2, bad
+        li  r11, 1
+        bge r1, r2, t2
+  bad:  li  r11, 99
+  t2:   halt
+  )");
+  EXPECT_EQ(m.reg(10), 0);
+  EXPECT_EQ(m.reg(11), 1);
+}
+
+TEST(Machine, OutOfBoundsMemoryThrows) {
+  Machine m(assemble("li r1, 5000\nld r2, r1, 0\nhalt"), 64);
+  EXPECT_THROW(m.run(), ExecutionError);
+  Machine m2(assemble("li r1, -1\nst r1, r1, 0\nhalt"), 64);
+  EXPECT_THROW(m2.run(), ExecutionError);
+}
+
+TEST(Machine, StepBudgetGuardsRunaways) {
+  Machine m(assemble("loop: jmp loop"), 16);
+  EXPECT_THROW(m.run(1000), ExecutionError);
+}
+
+TEST(Machine, PcWalkOffDetected) {
+  Machine m(assemble("nop"), 16);  // no halt
+  EXPECT_THROW(m.run(), ExecutionError);
+}
+
+TEST(Machine, ResetPreservesMemoryClearsState) {
+  Machine m(assemble("li r1, 1\nst r1, r0, 3\nhalt"), 16);
+  m.run();
+  EXPECT_EQ(m.mem(3), 1);
+  m.reset();
+  EXPECT_FALSE(m.halted());
+  EXPECT_EQ(m.reg(1), 0);
+  EXPECT_EQ(m.mem(3), 1);
+  EXPECT_EQ(m.profile().total, 0u);
+  m.run();  // idempotent second run
+  EXPECT_EQ(m.mem(3), 1);
+}
+
+TEST(Profiler, CountsByClass) {
+  const Machine m = run_program(R"(
+    li  r1, 2      ; alu
+    li  r2, 3      ; alu
+    mul r3, r1, r2 ; mul
+    st  r3, r0, 0  ; store
+    ld  r4, r0, 0  ; load
+    beq r4, r3, go ; branch (taken)
+    nop
+  go: halt         ; other
+  )");
+  const Profile& p = m.profile();
+  EXPECT_EQ(p.count(InstClass::kAlu), 2u);
+  EXPECT_EQ(p.count(InstClass::kMul), 1u);
+  EXPECT_EQ(p.count(InstClass::kLoad), 1u);
+  EXPECT_EQ(p.count(InstClass::kStore), 1u);
+  EXPECT_EQ(p.count(InstClass::kBranch), 1u);
+  EXPECT_EQ(p.count(InstClass::kOther), 1u);
+  EXPECT_EQ(p.total, 7u);
+}
+
+TEST(Profiler, MemObserverSeesTrace) {
+  Machine m(assemble(R"(
+    li r1, 1
+    st r1, r0, 4
+    ld r2, r0, 4
+    halt
+  )"), 16);
+  std::vector<MemAccess> trace;
+  m.set_mem_observer([&](const MemAccess& a) { trace.push_back(a); });
+  m.run();
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_TRUE(trace[0].is_write);
+  EXPECT_EQ(trace[0].word_address, 4u);
+  EXPECT_FALSE(trace[1].is_write);
+}
+
+TEST(Profiler, ClassSwitchesCounted) {
+  // alu, alu, mul, st, ld, branch(taken), halt:
+  // switches at alu->mul, mul->st, st->ld, ld->branch, branch->halt = 5.
+  const Machine m = run_program(R"(
+    li  r1, 2
+    li  r2, 3
+    mul r3, r1, r2
+    st  r3, r0, 0
+    ld  r4, r0, 0
+    beq r4, r3, go
+    nop
+  go: halt
+  )");
+  EXPECT_EQ(m.profile().class_switches, 5u);
+}
+
+TEST(Profiler, HomogeneousStreamHasNoSwitches) {
+  const Machine m = run_program(R"(
+    li r1, 1
+    li r2, 2
+    li r3, 3
+    halt
+  )");
+  // alu,alu,alu,other: one switch.
+  EXPECT_EQ(m.profile().class_switches, 1u);
+}
+
+TEST(ClassOf, CoversEveryOpcode) {
+  EXPECT_EQ(class_of(Opcode::kAddi), InstClass::kAlu);
+  EXPECT_EQ(class_of(Opcode::kMul), InstClass::kMul);
+  EXPECT_EQ(class_of(Opcode::kLd), InstClass::kLoad);
+  EXPECT_EQ(class_of(Opcode::kSt), InstClass::kStore);
+  EXPECT_EQ(class_of(Opcode::kJmp), InstClass::kBranch);
+  EXPECT_EQ(class_of(Opcode::kHalt), InstClass::kOther);
+}
+
+TEST(Fir, MatchesReference) {
+  const int n = 64, taps = 8;
+  const auto x = random_data(n, 5);
+  std::vector<std::int32_t> h;
+  for (int j = 0; j < taps; ++j) h.push_back((j % 3) - 1);
+  Machine m(assemble(fir_filter_source(n, taps)), n + taps + n + 8);
+  load_array(m, x, 0);
+  load_array(m, h, n);
+  m.run();
+  const auto expect = fir_reference(x, h);
+  EXPECT_EQ(read_array(m, expect.size(), n + taps), expect);
+}
+
+TEST(Fir, MultiplyHeavyMix) {
+  const int n = 128, taps = 16;
+  Machine m(assemble(fir_filter_source(n, taps)), 3 * n);
+  load_array(m, random_data(n, 6), 0);
+  m.run();
+  const Profile& p = m.profile();
+  // One multiply per tap per output.
+  EXPECT_EQ(p.count(InstClass::kMul),
+            static_cast<std::uint64_t>((n - taps) * taps));
+  // Far more multiplies per instruction than any sort.
+  EXPECT_GT(static_cast<double>(p.count(InstClass::kMul)) / p.total, 0.1);
+}
+
+TEST(Fir, DegenerateSizes) {
+  // taps == n: no outputs, still halts cleanly.
+  Machine m(assemble(fir_filter_source(8, 8)), 64);
+  EXPECT_NO_THROW(m.run());
+  EXPECT_EQ(m.profile().count(InstClass::kMul), 0u);
+}
+
+TEST(VqDecode, MatchesReference) {
+  const int n = 256;
+  const int codes_n = n / 16;
+  isa::Machine m(assemble(vq_decode_source(n)), codes_n + 4096 + n + 8);
+  std::vector<std::int32_t> codes, lut;
+  for (int i = 0; i < codes_n; ++i) codes.push_back((i * 37) % 256);
+  for (int i = 0; i < 4096; ++i) lut.push_back((i * 13) % 64);
+  load_array(m, codes, 0);
+  load_array(m, lut, codes_n);
+  m.run();
+  EXPECT_EQ(read_array(m, n, codes_n + 4096),
+            vq_reference(codes, lut, n));
+}
+
+TEST(EnergyBridge, ParamsMatchProfileAndEq12) {
+  const Machine m = run_program(R"(
+    li  r1, 10
+    li  r2, 0
+  loop: addi r2, r2, 1
+    blt r2, r1, loop
+    halt
+  )");
+  ModelParams mp;
+  mp.f_hz = 25e6;
+  mp.vdd = 3.3;
+  auto params = instruction_model_params(m.profile(), mp);
+  EXPECT_DOUBLE_EQ(params.get("n_alu"),
+                   static_cast<double>(m.profile().count(InstClass::kAlu)));
+  EXPECT_DOUBLE_EQ(params.get("n_branch"), 10.0);
+
+  const auto lib = models::berkeley_library();
+  const auto est = lib.at("processor_instruction").evaluate(params);
+  EXPECT_GT(est.energy_per_op.si(), 0.0);
+  EXPECT_GT(est.dynamic_power.si(), 0.0);
+}
+
+}  // namespace
+}  // namespace powerplay::isa

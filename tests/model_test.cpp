@@ -1,0 +1,279 @@
+// Tests for the EQ 1 model template, parameter plumbing, registry and
+// user-defined equation models.
+#include "model/estimate.hpp"
+#include "model/param.hpp"
+#include "model/registry.hpp"
+#include "model/user_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace powerplay::model {
+namespace {
+
+using namespace units;
+using namespace units::literals;
+
+TEST(Estimate, FullSwingTermIsCV2) {
+  // EQ 1 with one rail-to-rail term: P = C * VDD^2 * f.
+  const OperatingPoint op{Voltage{2.0}, Frequency{1e6}};
+  const Estimate e = make_estimate({CapTerm{"x", 100.0_pF}}, {}, op);
+  EXPECT_DOUBLE_EQ(e.energy_per_op.si(), 100e-12 * 4.0);
+  EXPECT_DOUBLE_EQ(e.dynamic_power.si(), 100e-12 * 4.0 * 1e6);
+  EXPECT_DOUBLE_EQ(e.static_power.si(), 0.0);
+  EXPECT_DOUBLE_EQ(e.switched_capacitance.si(), 100e-12);
+}
+
+TEST(Estimate, PartialSwingTermIsCVswingVdd) {
+  // EQ 8: reduced-swing nodes dissipate C * Vswing * VDD per op.
+  const OperatingPoint op{Voltage{2.0}, Frequency{1e6}};
+  const Estimate e = make_estimate(
+      {CapTerm{"bitlines", 100.0_pF, Voltage{0.5}, /*full_swing=*/false}},
+      {}, op);
+  EXPECT_DOUBLE_EQ(e.energy_per_op.si(), 100e-12 * 0.5 * 2.0);
+  // Effective full-swing-equivalent capacitance is scaled by Vswing/VDD.
+  EXPECT_DOUBLE_EQ(e.switched_capacitance.si(), 100e-12 * 0.25);
+}
+
+TEST(Estimate, StaticTermIsIV) {
+  const OperatingPoint op{Voltage{3.0}, Frequency{0}};
+  const Estimate e = make_estimate({}, {StaticTerm{"bias", 2.0_mA}}, op);
+  EXPECT_DOUBLE_EQ(e.static_power.si(), 6e-3);
+  EXPECT_DOUBLE_EQ(e.dynamic_power.si(), 0.0);
+  EXPECT_DOUBLE_EQ(e.total_power().si(), 6e-3);
+}
+
+TEST(Estimate, MixedTermsSum) {
+  const OperatingPoint op{Voltage{1.5}, Frequency{2e6}};
+  const Estimate e = make_estimate(
+      {CapTerm{"logic", 10.0_pF},
+       CapTerm{"bl", 20.0_pF, Voltage{0.3}, false}},
+      {StaticTerm{"leak", 1e-6_A}}, op);
+  const double dyn = (10e-12 * 1.5 * 1.5 + 20e-12 * 0.3 * 1.5) * 2e6;
+  EXPECT_NEAR(e.dynamic_power.si(), dyn, 1e-18);
+  EXPECT_DOUBLE_EQ(e.static_power.si(), 1.5e-6);
+  EXPECT_EQ(e.cap_terms.size(), 2u);
+  EXPECT_EQ(e.static_terms.size(), 1u);
+}
+
+TEST(Estimate, ZeroFrequencyMeansEnergyOnlyQuery) {
+  const OperatingPoint op{Voltage{1.5}, Frequency{0}};
+  const Estimate e = make_estimate({CapTerm{"x", 1.0_pF}}, {}, op);
+  EXPECT_GT(e.energy_per_op.si(), 0.0);
+  EXPECT_DOUBLE_EQ(e.dynamic_power.si(), 0.0);
+}
+
+TEST(Estimate, NegativeOperatingPointRejected) {
+  EXPECT_THROW(
+      make_estimate({}, {}, OperatingPoint{Voltage{-1}, Frequency{0}}),
+      expr::ExprError);
+  EXPECT_THROW(
+      make_estimate({}, {}, OperatingPoint{Voltage{1}, Frequency{-5}}),
+      expr::ExprError);
+}
+
+TEST(Estimate, CombineSumsPowersAndAreasMaxesDelay) {
+  const OperatingPoint op{Voltage{1.0}, Frequency{1e6}};
+  Estimate a = make_estimate({CapTerm{"a", 1.0_pF}}, {}, op,
+                             Area{1e-6}, Time{5e-9});
+  Estimate b = make_estimate({CapTerm{"b", 2.0_pF}}, {}, op,
+                             Area{2e-6}, Time{9e-9});
+  const Estimate c = combine({a, b});
+  EXPECT_DOUBLE_EQ(c.dynamic_power.si(),
+                   a.dynamic_power.si() + b.dynamic_power.si());
+  EXPECT_DOUBLE_EQ(c.area.si(), 3e-6);
+  EXPECT_DOUBLE_EQ(c.delay.si(), 9e-9);
+  EXPECT_EQ(c.cap_terms.size(), 2u);
+}
+
+// --- ParamSpec / readers -----------------------------------------------------
+
+TEST(ParamSpec, ValidateRange) {
+  ParamSpec s{"bitwidth", "", 16, "bits", 1, 64, true};
+  EXPECT_NO_THROW(s.validate(16));
+  EXPECT_THROW(s.validate(0), expr::ExprError);
+  EXPECT_THROW(s.validate(65), expr::ExprError);
+  EXPECT_THROW(s.validate(2.5), expr::ExprError);  // integer constraint
+  EXPECT_THROW(s.validate(std::nan("")), expr::ExprError);
+}
+
+TEST(MapParamReader, GetAndFallback) {
+  MapParamReader r({{"a", 1.0}});
+  EXPECT_DOUBLE_EQ(r.get("a"), 1.0);
+  EXPECT_THROW((void)r.get("b"), expr::ExprError);
+  EXPECT_DOUBLE_EQ(r.get_or("b", 7.0), 7.0);
+  r.set("a", 2.0);
+  r.set("b", 3.0);
+  EXPECT_DOUBLE_EQ(r.get("a"), 2.0);
+  EXPECT_DOUBLE_EQ(r.get("b"), 3.0);
+}
+
+TEST(ScopeParamReader, ScopeBeatsDefaultBeatsFallback) {
+  const std::vector<ParamSpec> specs = {
+      {"bitwidth", "", 16, "bits", 1, 64, true}};
+  const expr::FunctionTable fns = expr::FunctionTable::with_builtins();
+  expr::Scope scope;
+  ScopeParamReader r(scope, fns, &specs);
+  EXPECT_DOUBLE_EQ(r.get("bitwidth"), 16.0);       // spec default
+  scope.set("bitwidth", 8.0);
+  EXPECT_DOUBLE_EQ(r.get("bitwidth"), 8.0);        // scope wins
+  EXPECT_DOUBLE_EQ(r.get_or("other", 3.0), 3.0);   // fallback
+  EXPECT_THROW((void)r.get("other"), expr::ExprError);
+}
+
+TEST(ScopeParamReader, FormulasEvaluateOnRead) {
+  const expr::FunctionTable fns = expr::FunctionTable::with_builtins();
+  expr::Scope parent;
+  parent.set("pixel_rate", 2e6);
+  expr::Scope scope(&parent);
+  scope.set_formula("f", "pixel_rate / 16");
+  ScopeParamReader r(scope, fns, nullptr);
+  EXPECT_DOUBLE_EQ(r.get("f"), 125e3);
+}
+
+TEST(ScopeParamReader, ValidationAppliesToScopeValues) {
+  const std::vector<ParamSpec> specs = {
+      {"bitwidth", "", 16, "bits", 1, 64, true}};
+  const expr::FunctionTable fns = expr::FunctionTable::with_builtins();
+  expr::Scope scope;
+  scope.set("bitwidth", 1000.0);
+  ScopeParamReader r(scope, fns, &specs);
+  EXPECT_THROW((void)r.get("bitwidth"), expr::ExprError);
+}
+
+// --- Registry ----------------------------------------------------------------
+
+UserModelDefinition tiny_model(const std::string& name) {
+  UserModelDefinition def;
+  def.name = name;
+  def.category = Category::kComputation;
+  def.params = {{"k", "scale", 1.0, "", 0, 100, false}};
+  def.c_fullswing = "k * 1e-12";
+  return def;
+}
+
+TEST(Registry, AddFindAtNames) {
+  ModelRegistry r;
+  r.add(std::make_shared<UserModel>(tiny_model("m1")));
+  r.add(std::make_shared<UserModel>(tiny_model("m2")));
+  EXPECT_TRUE(r.contains("m1"));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_NE(r.find("m2"), nullptr);
+  EXPECT_EQ(r.find("zzz"), nullptr);
+  EXPECT_THROW((void)r.at("zzz"), expr::ExprError);
+  EXPECT_EQ(r.names(), (std::vector<std::string>{"m1", "m2"}));
+  EXPECT_EQ(r.by_category(Category::kComputation).size(), 2u);
+  EXPECT_TRUE(r.by_category(Category::kAnalog).empty());
+}
+
+TEST(Registry, DuplicateAddThrowsButReplaceWorks) {
+  ModelRegistry r;
+  r.add(std::make_shared<UserModel>(tiny_model("m")));
+  EXPECT_THROW(r.add(std::make_shared<UserModel>(tiny_model("m"))),
+               expr::ExprError);
+  EXPECT_NO_THROW(
+      r.add_or_replace(std::make_shared<UserModel>(tiny_model("m"))));
+}
+
+// --- UserModel ----------------------------------------------------------------
+
+TEST(UserModel, EvaluatesFullSwingEquation) {
+  UserModelDefinition def;
+  def.name = "quad";
+  def.params = {{"bitwidth", "", 8, "bits", 1, 64, true}};
+  def.c_fullswing = "bitwidth * 33e-15";
+  UserModel m(std::move(def));
+  MapParamReader p({{"bitwidth", 16.0}, {"vdd", 1.5}, {"f", 1e6}});
+  const Estimate e = m.evaluate(p);
+  EXPECT_NEAR(e.energy_per_op.si(), 16 * 33e-15 * 2.25, 1e-20);
+  EXPECT_NEAR(e.dynamic_power.si(), 16 * 33e-15 * 2.25 * 1e6, 1e-15);
+}
+
+TEST(UserModel, DefaultsApplyWhenUnbound) {
+  UserModelDefinition def;
+  def.name = "dflt";
+  def.params = {{"k", "", 4.0, "", 0, 100, false}};
+  def.c_fullswing = "k * 1e-12";
+  UserModel m(std::move(def));
+  MapParamReader p({{"vdd", 1.0}, {"f", 1.0}});
+  EXPECT_DOUBLE_EQ(m.evaluate(p).energy_per_op.si(), 4e-12);
+}
+
+TEST(UserModel, PartialSwingAndStaticAndDirectPower) {
+  UserModelDefinition def;
+  def.name = "mixed";
+  def.c_partialswing = "10e-12";
+  def.v_swing = "0.4";
+  def.static_current = "1e-3";
+  def.power_direct = "0.5";
+  UserModel m(std::move(def));
+  MapParamReader p({{"vdd", 2.0}, {"f", 1e6}});
+  const Estimate e = m.evaluate(p);
+  EXPECT_NEAR(e.dynamic_power.si(), 10e-12 * 0.4 * 2.0 * 1e6, 1e-15);
+  // Static: I*V + direct power.
+  EXPECT_NEAR(e.static_power.si(), 1e-3 * 2.0 + 0.5, 1e-12);
+}
+
+TEST(UserModel, ValidationErrors) {
+  UserModelDefinition bad = tiny_model("bad");
+  bad.c_fullswing = "k * * 2";
+  EXPECT_THROW(UserModel{bad}, expr::ExprError);  // syntax
+
+  bad = tiny_model("bad2");
+  bad.c_fullswing = "undeclared * 2";
+  EXPECT_THROW(UserModel{bad}, expr::ExprError);  // undeclared parameter
+
+  bad = tiny_model("bad3");
+  bad.c_fullswing = "rowpower(\"x\")";
+  EXPECT_THROW(UserModel{bad}, expr::ExprError);  // unknown function
+
+  bad = tiny_model("bad4");
+  bad.c_fullswing = "";
+  EXPECT_THROW(UserModel{bad}, expr::ExprError);  // no terms at all
+
+  bad = tiny_model("bad5");
+  bad.c_fullswing = "";
+  bad.c_partialswing = "1e-12";                    // missing v_swing
+  EXPECT_THROW(UserModel{bad}, expr::ExprError);
+
+  bad = tiny_model("");
+  EXPECT_THROW(UserModel{bad}, expr::ExprError);   // empty name
+}
+
+TEST(UserModel, VddAndFAreImplicitlyAvailable) {
+  UserModelDefinition def;
+  def.name = "vdd_aware";
+  def.c_fullswing = "vdd * 1e-12";  // capacitance growing with vdd (silly
+                                    // but legal: any combination allowed)
+  UserModel m(std::move(def));
+  MapParamReader p({{"vdd", 2.0}, {"f", 1.0}});
+  EXPECT_DOUBLE_EQ(m.evaluate(p).energy_per_op.si(), 2e-12 * 4.0);
+}
+
+TEST(UserModel, AreaAndDelayExpressions) {
+  UserModelDefinition def;
+  def.name = "geom";
+  def.params = {{"n", "", 10, "", 0, 1e6, false}};
+  def.c_fullswing = "1e-15";
+  def.area = "n * 1e-9";
+  def.delay = "n * 1e-9 / 10";
+  UserModel m(std::move(def));
+  MapParamReader p({{"vdd", 1.0}, {"f", 0.0}, {"n", 50.0}});
+  const Estimate e = m.evaluate(p);
+  EXPECT_DOUBLE_EQ(e.area.si(), 50e-9);
+  EXPECT_DOUBLE_EQ(e.delay.si(), 5e-9);
+}
+
+TEST(ModelMetadata, CategoryNamesRoundTrip) {
+  EXPECT_EQ(to_string(Category::kComputation), "computation");
+  EXPECT_EQ(to_string(Category::kConverter), "converter");
+  EXPECT_EQ(to_string(Category::kMacro), "macro");
+}
+
+TEST(ModelMetadata, FindParam) {
+  UserModel m(tiny_model("meta"));
+  EXPECT_NE(m.find_param("k"), nullptr);
+  EXPECT_EQ(m.find_param("zz"), nullptr);
+}
+
+}  // namespace
+}  // namespace powerplay::model

@@ -1,0 +1,205 @@
+// Tests for the computational-block models (EQ 2-6, EQ 20).
+#include "models/berkeley_library.hpp"
+#include "models/computation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace powerplay::models {
+namespace {
+
+using namespace units;
+using namespace units::literals;
+using model::Estimate;
+using model::MapParamReader;
+
+const model::ModelRegistry& lib() {
+  static const model::ModelRegistry registry = berkeley_library();
+  return registry;
+}
+
+MapParamReader params(std::initializer_list<std::pair<std::string, double>> kv) {
+  MapParamReader p;
+  for (const auto& [k, v] : kv) p.set(k, v);
+  return p;
+}
+
+TEST(Multiplier, Eq20ExactCoefficient) {
+  // EQ 20: C_T = bitwidthA * bitwidthB * 253 fF, uncorrelated inputs.
+  auto p = params({{"bitwidthA", 16}, {"bitwidthB", 16}, {"correlated", 0},
+                   {"alpha", 1}, {"vdd", 1.5}, {"f", 0}});
+  const Estimate e = lib().at("array_multiplier").evaluate(p);
+  EXPECT_NEAR(e.switched_capacitance.si(), 16.0 * 16.0 * 253e-15, 1e-20);
+}
+
+TEST(Multiplier, CorrelatedCoefficientIsSmaller) {
+  auto pu = params({{"bitwidthA", 12}, {"bitwidthB", 12}, {"correlated", 0},
+                    {"alpha", 1}, {"vdd", 1.5}, {"f", 1e6}});
+  auto pc = params({{"bitwidthA", 12}, {"bitwidthB", 12}, {"correlated", 1},
+                    {"alpha", 1}, {"vdd", 1.5}, {"f", 1e6}});
+  const double uncorrelated =
+      lib().at("array_multiplier").evaluate(pu).total_power().si();
+  const double correlated =
+      lib().at("array_multiplier").evaluate(pc).total_power().si();
+  EXPECT_LT(correlated, uncorrelated);
+  EXPECT_NEAR(correlated / uncorrelated,
+              coeff::kMultiplierCorrelated.si() /
+                  coeff::kMultiplierUncorrelated.si(),
+              1e-12);
+}
+
+TEST(Multiplier, BilinearInBothWidths) {
+  auto base = params({{"bitwidthA", 8}, {"bitwidthB", 8}, {"correlated", 0},
+                      {"alpha", 1}, {"vdd", 1.0}, {"f", 1.0}});
+  auto wide = params({{"bitwidthA", 16}, {"bitwidthB", 24}, {"correlated", 0},
+                      {"alpha", 1}, {"vdd", 1.0}, {"f", 1.0}});
+  const double e8 = lib().at("array_multiplier").evaluate(base)
+                        .energy_per_op.si();
+  const double e_wide = lib().at("array_multiplier").evaluate(wide)
+                            .energy_per_op.si();
+  EXPECT_NEAR(e_wide / e8, (16.0 * 24.0) / 64.0, 1e-9);
+}
+
+TEST(Adder, Eq3LinearInBitwidth) {
+  auto p16 = params({{"bitwidth", 16}, {"alpha", 1}, {"vdd", 1.5}, {"f", 1e6}});
+  auto p32 = params({{"bitwidth", 32}, {"alpha", 1}, {"vdd", 1.5}, {"f", 1e6}});
+  const double e16 = lib().at("ripple_adder").evaluate(p16).energy_per_op.si();
+  const double e32 = lib().at("ripple_adder").evaluate(p32).energy_per_op.si();
+  EXPECT_NEAR(e32 / e16, 2.0, 1e-12);
+}
+
+TEST(Adder, ActivityScalesLinearly) {
+  auto full = params({{"bitwidth", 16}, {"alpha", 1.0}, {"vdd", 1.5}, {"f", 1e6}});
+  auto half = params({{"bitwidth", 16}, {"alpha", 0.5}, {"vdd", 1.5}, {"f", 1e6}});
+  EXPECT_NEAR(lib().at("ripple_adder").evaluate(half).total_power().si() /
+                  lib().at("ripple_adder").evaluate(full).total_power().si(),
+              0.5, 1e-12);
+}
+
+TEST(Adder, QuadraticVoltageScaling) {
+  // EQ 1 with full-swing terms: P ∝ VDD^2 at fixed C and f.
+  auto lo = params({{"bitwidth", 16}, {"alpha", 1}, {"vdd", 1.0}, {"f", 1e6}});
+  auto hi = params({{"bitwidth", 16}, {"alpha", 1}, {"vdd", 3.0}, {"f", 1e6}});
+  EXPECT_NEAR(lib().at("ripple_adder").evaluate(hi).total_power().si() /
+                  lib().at("ripple_adder").evaluate(lo).total_power().si(),
+              9.0, 1e-12);
+}
+
+TEST(Adder, RippleDelayGrowsWithWidth) {
+  auto p8 = params({{"bitwidth", 8}, {"alpha", 1}, {"vdd", 1.5}, {"f", 0}});
+  auto p32 = params({{"bitwidth", 32}, {"alpha", 1}, {"vdd", 1.5}, {"f", 0}});
+  EXPECT_LT(lib().at("ripple_adder").evaluate(p8).delay,
+            lib().at("ripple_adder").evaluate(p32).delay);
+}
+
+TEST(Adder, RejectsOutOfRangeBitwidth) {
+  auto p = params({{"bitwidth", 0}, {"alpha", 1}, {"vdd", 1.5}, {"f", 0}});
+  EXPECT_THROW(lib().at("ripple_adder").evaluate(p), expr::ExprError);
+}
+
+TEST(Shifter, GrowsWithLogOfShiftDistance) {
+  auto s4 = params({{"bitwidth", 16}, {"max_shift", 4}, {"alpha", 1},
+                    {"vdd", 1.5}, {"f", 1e6}});
+  auto s16 = params({{"bitwidth", 16}, {"max_shift", 16}, {"alpha", 1},
+                     {"vdd", 1.5}, {"f", 1e6}});
+  const double p4 = lib().at("log_shifter").evaluate(s4).total_power().si();
+  const double p16 = lib().at("log_shifter").evaluate(s16).total_power().si();
+  EXPECT_GT(p16, p4);
+  EXPECT_LT(p16 / p4, 2.01);  // log2(16)/log2(4) = 2 on the stage term only
+}
+
+TEST(Multiplexer, ScalesWithLegs) {
+  auto m2 = params({{"bits", 8}, {"inputs", 2}, {"alpha", 1}, {"vdd", 1.5},
+                    {"f", 1e6}});
+  auto m8 = params({{"bits", 8}, {"inputs", 8}, {"alpha", 1}, {"vdd", 1.5},
+                    {"f", 1e6}});
+  const double p2 = lib().at("multiplexer").evaluate(m2).total_power().si();
+  const double p8 = lib().at("multiplexer").evaluate(m8).total_power().si();
+  EXPECT_NEAR(p8 / p2, 7.0, 1e-9);  // (inputs-1) legs
+}
+
+TEST(Comparator, LinearInWidth) {
+  auto a = params({{"bitwidth", 8}, {"alpha", 1}, {"vdd", 1.0}, {"f", 1.0}});
+  auto b = params({{"bitwidth", 24}, {"alpha", 1}, {"vdd", 1.0}, {"f", 1.0}});
+  EXPECT_NEAR(lib().at("comparator").evaluate(b).energy_per_op.si() /
+                  lib().at("comparator").evaluate(a).energy_per_op.si(),
+              3.0, 1e-12);
+}
+
+// --- Svensson analytical model (EQ 4-6) --------------------------------------
+
+TEST(Svensson, PerSliceCapacitanceMatchesEq5) {
+  const SvenssonBlockModel m(
+      "sv_test", "test block",
+      {{"s1", 10.0_fF, 20.0_fF, 0.5, 0.25},
+       {"s2", 5.0_fF, 15.0_fF, 0.4, 0.2}});
+  // EQ 5: sum of alpha_in*C_in + alpha_out*C_out over stages.
+  const double expect =
+      0.5 * 10e-15 + 0.25 * 20e-15 + 0.4 * 5e-15 + 0.2 * 15e-15;
+  EXPECT_NEAR(m.per_slice_capacitance(1.0).si(), expect, 1e-22);
+  EXPECT_NEAR(m.per_slice_capacitance(2.0).si(), 2 * expect, 1e-22);
+}
+
+TEST(Svensson, BlockCapacitanceIsBitwidthTimesSlice) {
+  const SvenssonBlockModel m("sv_test2", "test",
+                             {{"inv", 8.0_fF, 12.0_fF, 0.5, 0.5}});
+  auto p = params({{"bitwidth", 16}, {"activity_scale", 1.0}, {"vdd", 1.0},
+                   {"f", 0}});
+  const Estimate e = m.evaluate(p);
+  // EQ 6: C_T = bitwidth * C_ST.
+  EXPECT_NEAR(e.switched_capacitance.si(),
+              16.0 * m.per_slice_capacitance(1.0).si(), 1e-22);
+  EXPECT_EQ(e.cap_terms.size(), 1u);
+}
+
+TEST(Svensson, EmptyStageListRejected) {
+  EXPECT_THROW(SvenssonBlockModel("sv_bad", "doc", {}), expr::ExprError);
+}
+
+TEST(Svensson, LibraryBlocksPresent) {
+  EXPECT_TRUE(lib().contains("sv_buffer_chain"));
+  EXPECT_TRUE(lib().contains("sv_mux_latch"));
+  auto p = params({{"bitwidth", 8}, {"activity_scale", 1.0}, {"vdd", 1.5},
+                   {"f", 2e6}});
+  EXPECT_GT(lib().at("sv_mux_latch").evaluate(p).total_power().si(), 0.0);
+}
+
+// Property sweep: every computation model's dynamic power is monotone
+// non-decreasing in frequency and quadratic-in-vdd exactly.
+class ComputationModelNames : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ComputationModelNames, PowerLinearInFrequency) {
+  const model::Model& m = lib().at(GetParam());
+  MapParamReader p1, p2;
+  for (const model::ParamSpec& s : m.params()) {
+    p1.set(s.name, s.default_value);
+    p2.set(s.name, s.default_value);
+  }
+  p1.set("f", 1e6);
+  p2.set("f", 3e6);
+  const double a = m.evaluate(p1).dynamic_power.si();
+  const double b = m.evaluate(p2).dynamic_power.si();
+  EXPECT_NEAR(b / a, 3.0, 1e-9) << GetParam();
+}
+
+TEST_P(ComputationModelNames, EnergyQuadraticInVdd) {
+  const model::Model& m = lib().at(GetParam());
+  MapParamReader p1, p2;
+  for (const model::ParamSpec& s : m.params()) {
+    p1.set(s.name, s.default_value);
+    p2.set(s.name, s.default_value);
+  }
+  p1.set("vdd", 1.0);
+  p2.set("vdd", 2.0);
+  const double a = m.evaluate(p1).energy_per_op.si();
+  const double b = m.evaluate(p2).energy_per_op.si();
+  EXPECT_NEAR(b / a, 4.0, 1e-9) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllComputation, ComputationModelNames,
+                         ::testing::Values("ripple_adder", "array_multiplier",
+                                           "log_shifter", "multiplexer",
+                                           "comparator", "sv_buffer_chain",
+                                           "sv_mux_latch"));
+
+}  // namespace
+}  // namespace powerplay::models

@@ -1,0 +1,160 @@
+// Tests for the controller macromodels (EQ 9, EQ 10, PLA analogue).
+#include "models/berkeley_library.hpp"
+#include "models/controller.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace powerplay::models {
+namespace {
+
+using model::Estimate;
+using model::MapParamReader;
+
+const model::ModelRegistry& lib() {
+  static const model::ModelRegistry registry = berkeley_library();
+  return registry;
+}
+
+MapParamReader ctrl_params(double ni, double no, double nm = 0,
+                           double vdd = 1.5, double f = 1e6) {
+  MapParamReader p;
+  p.set("n_inputs", ni);
+  p.set("n_outputs", no);
+  p.set("n_minterms", nm);
+  p.set("alpha0", 0.25);
+  p.set("alpha1", 0.25);
+  p.set("alpha", 0.25);
+  p.set("p_low", 0.5);
+  p.set("vdd", vdd);
+  p.set("f", f);
+  return p;
+}
+
+TEST(RandomLogic, Eq9TermByTerm) {
+  // EQ 9: C_T = C0*a0*N_I*N_O + C1*a1*N_M*N_O.
+  const RandomLogicControllerModel m(
+      {units::Capacitance{40e-15}, units::Capacitance{12e-15}});
+  auto p = ctrl_params(8, 10, 100);
+  const Estimate e = m.evaluate(p);
+  const double expect =
+      40e-15 * 0.25 * 8 * 10 + 12e-15 * 0.25 * 100 * 10;
+  EXPECT_NEAR(e.switched_capacitance.si(), expect, 1e-20);
+  ASSERT_EQ(e.cap_terms.size(), 2u);
+  EXPECT_EQ(e.cap_terms[0].label, "input plane");
+  EXPECT_EQ(e.cap_terms[1].label, "output plane");
+}
+
+TEST(RandomLogic, MintermDefaultIsHalfTruthTable) {
+  auto with_default = ctrl_params(8, 8, 0);
+  auto explicit_nm = ctrl_params(8, 8, 128);  // 2^(8-1)
+  const double a =
+      lib().at("random_logic_controller").evaluate(with_default)
+          .total_power().si();
+  const double b =
+      lib().at("random_logic_controller").evaluate(explicit_nm)
+          .total_power().si();
+  EXPECT_NEAR(a, b, a * 1e-12);
+}
+
+TEST(RandomLogic, SwitchingProbabilitiesScale) {
+  auto quarter = ctrl_params(8, 8, 64);
+  auto tenth = ctrl_params(8, 8, 64);
+  tenth.set("alpha0", 0.025);
+  tenth.set("alpha1", 0.025);
+  const double a = lib().at("random_logic_controller").evaluate(quarter)
+                       .total_power().si();
+  const double b = lib().at("random_logic_controller").evaluate(tenth)
+                       .total_power().si();
+  EXPECT_NEAR(b / a, 0.1, 1e-9);
+}
+
+TEST(Rom, Eq10TermByTerm) {
+  const RomControllerModel m({units::Capacitance{1e-12},
+                              units::Capacitance{2e-15},
+                              units::Capacitance{1.5e-15},
+                              units::Capacitance{30e-15},
+                              units::Capacitance{50e-15}});
+  auto p = ctrl_params(6, 12);
+  const Estimate e = m.evaluate(p);
+  const double rows = 64.0;
+  const double expect = 1e-12 + 2e-15 * 6 * rows +
+                        1.5e-15 * 0.5 * 12 * rows + 30e-15 * 0.5 * 12 +
+                        50e-15 * 12;
+  EXPECT_NEAR(e.switched_capacitance.si(), expect, 1e-19);
+  EXPECT_EQ(e.cap_terms.size(), 5u);
+}
+
+TEST(Rom, ExponentialInInputs) {
+  // The 2^N_I decode term must dominate growth.
+  auto p6 = ctrl_params(6, 8);
+  auto p10 = ctrl_params(10, 8);
+  const double a = lib().at("rom_controller").evaluate(p6).total_power().si();
+  const double b = lib().at("rom_controller").evaluate(p10).total_power().si();
+  EXPECT_GT(b / a, 8.0);  // 2^10/2^6 = 16 on the dominant terms
+}
+
+TEST(Rom, PrechargeProbabilityScalesBitlineTerm) {
+  // P_O = 0: no bit-line ever recharges (all outputs stayed high).
+  auto p_none = ctrl_params(8, 16);
+  p_none.set("p_low", 0.0);
+  auto p_all = ctrl_params(8, 16);
+  p_all.set("p_low", 1.0);
+  const double none =
+      lib().at("rom_controller").evaluate(p_none).total_power().si();
+  const double all =
+      lib().at("rom_controller").evaluate(p_all).total_power().si();
+  EXPECT_LT(none, all);
+}
+
+TEST(Pla, PlanesScaleWithDimensions) {
+  auto p = ctrl_params(8, 8, 64);
+  const Estimate e = lib().at("pla_controller").evaluate(p);
+  ASSERT_EQ(e.cap_terms.size(), 3u);
+  // AND plane ~ N_I*N_M, OR plane ~ N_M*N_O; equal coefficients and
+  // N_I == N_O makes them equal here.
+  EXPECT_NEAR(e.cap_terms[0].c_sw.si(), e.cap_terms[1].c_sw.si(), 1e-20);
+}
+
+TEST(Controllers, RomCostsMoreThanRandomLogicForWideDecoders) {
+  // With many inputs the ROM's 2^N_I array dwarfs a two-level network
+  // of modest minterm count — the crossover the bench sweeps.
+  auto p = ctrl_params(12, 16, 64);
+  const double rom =
+      lib().at("rom_controller").evaluate(p).total_power().si();
+  const double rl =
+      lib().at("random_logic_controller").evaluate(p).total_power().si();
+  EXPECT_GT(rom, rl);
+}
+
+TEST(Controllers, InputCountValidated) {
+  auto p = ctrl_params(30, 8);  // > 24 inputs rejected (2^N_I blow-up)
+  EXPECT_THROW(lib().at("rom_controller").evaluate(p), expr::ExprError);
+}
+
+// Property: every controller model is monotone in N_O.
+class ControllerNames : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ControllerNames, MonotoneInOutputs) {
+  auto narrow = ctrl_params(8, 4, 32);
+  auto wide = ctrl_params(8, 32, 32);
+  EXPECT_LT(lib().at(GetParam()).evaluate(narrow).total_power().si(),
+            lib().at(GetParam()).evaluate(wide).total_power().si());
+}
+
+TEST_P(ControllerNames, PowerLinearInFrequency) {
+  auto a = ctrl_params(8, 8, 32, 1.5, 1e6);
+  auto b = ctrl_params(8, 8, 32, 1.5, 5e6);
+  EXPECT_NEAR(lib().at(GetParam()).evaluate(b).dynamic_power.si() /
+                  lib().at(GetParam()).evaluate(a).dynamic_power.si(),
+              5.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllControllers, ControllerNames,
+                         ::testing::Values("random_logic_controller",
+                                           "rom_controller",
+                                           "pla_controller"));
+
+}  // namespace
+}  // namespace powerplay::models

@@ -1,0 +1,432 @@
+// Tests for interconnect (Rent/Donath), processors (EQ 11/12), analog
+// (EQ 13-17), DC-DC converters (EQ 18-19), and system components.
+#include "models/analog.hpp"
+#include "models/berkeley_library.hpp"
+#include "models/converter.hpp"
+#include "models/interconnect.hpp"
+#include "models/processor.hpp"
+#include "models/system.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace powerplay::models {
+namespace {
+
+using namespace units;
+using namespace units::literals;
+using model::Estimate;
+using model::MapParamReader;
+
+const model::ModelRegistry& lib() {
+  static const model::ModelRegistry registry = berkeley_library();
+  return registry;
+}
+
+// --- Donath / Rent -----------------------------------------------------------
+
+TEST(Donath, AverageLengthGrowsWithRentExponent) {
+  const double l_low = donath_average_length(10000, 0.3);
+  const double l_mid = donath_average_length(10000, 0.6);
+  const double l_high = donath_average_length(10000, 0.8);
+  EXPECT_LT(l_low, l_mid);
+  EXPECT_LT(l_mid, l_high);
+}
+
+TEST(Donath, AverageLengthGrowsWithBlockCountForHighP) {
+  // For p > 0.5 the average length grows with N (Donath's classic
+  // result); for p < 0.5 it saturates.
+  EXPECT_LT(donath_average_length(1e3, 0.7), donath_average_length(1e6, 0.7));
+  const double small = donath_average_length(1e4, 0.3);
+  const double large = donath_average_length(1e6, 0.3);
+  EXPECT_NEAR(small, large, small * 0.35);
+}
+
+TEST(Donath, ContinuousThroughHalf) {
+  // p = 0.5 is a removable singularity: values just around it agree.
+  const double below = donath_average_length(1e5, 0.4999);
+  const double at = donath_average_length(1e5, 0.5);
+  const double above = donath_average_length(1e5, 0.5001);
+  EXPECT_NEAR(below, at, std::fabs(at) * 1e-2);
+  EXPECT_NEAR(above, at, std::fabs(at) * 1e-2);
+}
+
+TEST(Donath, DomainErrors) {
+  EXPECT_THROW(donath_average_length(1, 0.6), expr::ExprError);
+  EXPECT_THROW(donath_average_length(100, 0.0), expr::ExprError);
+  EXPECT_THROW(donath_average_length(100, 1.0), expr::ExprError);
+}
+
+TEST(Rent, TerminalCount) {
+  // T = t * N^p.
+  EXPECT_NEAR(rent_terminals(1024, 3.0, 0.5), 3.0 * 32.0, 1e-9);
+  EXPECT_THROW(rent_terminals(0, 3.0, 0.5), expr::ExprError);
+}
+
+TEST(Interconnect, CapacitanceScalesWithArea) {
+  auto make = [&](double area) {
+    MapParamReader p;
+    p.set("n_blocks", 10000.0);
+    p.set("rent_exponent", 0.6);
+    p.set("fanout", 3.0);
+    p.set("active_area", area);
+    p.set("c_per_length", 0.0);
+    p.set("alpha", 0.15);
+    p.set("vdd", 1.5);
+    p.set("f", 1e6);
+    return lib().at("interconnect").evaluate(p).total_power().si();
+  };
+  // Wire length ~ pitch ~ sqrt(area): doubling area gives sqrt(2)x power.
+  EXPECT_NEAR(make(2e-6) / make(1e-6), std::sqrt(2.0), 1e-6);
+}
+
+TEST(ClockTree, EveryCycleCost) {
+  MapParamReader p;
+  p.set("active_area", 1e-6);
+  p.set("n_sinks", 1000.0);
+  p.set("c_per_sink", 15e-15);
+  p.set("c_per_length", 0.0);
+  p.set("vdd", 1.5);
+  p.set("f", 2e6);
+  const Estimate e = lib().at("clock_tree").evaluate(p);
+  EXPECT_GT(e.total_power().si(), 0.0);
+  // Sink load alone: 1000 * 15 fF * V^2 * f is a strict lower bound.
+  EXPECT_GT(e.total_power().si(), 1000 * 15e-15 * 2.25 * 2e6 * 0.99);
+}
+
+TEST(Bus, ScalesWithWidthLengthAndTaps) {
+  auto power = [&](double bits, double length, double taps) {
+    MapParamReader p;
+    p.set("bits", bits);
+    p.set("length", length);
+    p.set("taps", taps);
+    p.set("c_per_length", 0.0);
+    p.set("alpha", 0.25);
+    p.set("vdd", 1.5);
+    p.set("f", 10e6);
+    return lib().at("bus").evaluate(p).total_power().si();
+  };
+  EXPECT_NEAR(power(32, 5e-3, 4) / power(16, 5e-3, 4), 2.0, 1e-9);
+  EXPECT_GT(power(16, 10e-3, 4), power(16, 5e-3, 4));
+  EXPECT_GT(power(16, 5e-3, 8), power(16, 5e-3, 4));
+}
+
+TEST(Bus, TapLoadMatchesFormula) {
+  // C per line = length*c/m + taps*c_tap; check the tap term in
+  // isolation by zeroing the length.
+  MapParamReader p;
+  p.set("bits", 8.0);
+  p.set("length", 0.0);
+  p.set("taps", 4.0);
+  p.set("c_per_length", 0.0);
+  p.set("alpha", 1.0);
+  p.set("vdd", 1.0);
+  p.set("f", 0.0);
+  const auto e = lib().at("bus").evaluate(p);
+  EXPECT_NEAR(e.switched_capacitance.si(), 8 * 4 * 40e-15, 1e-20);
+}
+
+TEST(IoPads, CountsAndActivity) {
+  MapParamReader p;
+  p.set("n_pads", 16.0);
+  p.set("alpha", 0.25);
+  p.set("vdd", 3.3);
+  p.set("f", 1e6);
+  const Estimate e = lib().at("io_pads").evaluate(p);
+  EXPECT_NEAR(e.switched_capacitance.si(), 16 * 0.25 * 12e-12, 1e-18);
+}
+
+// --- Processors ----------------------------------------------------------------
+
+TEST(ProcessorAvg, Eq11ActivityFactor) {
+  MapParamReader p;
+  p.set("alpha", 1.0);
+  p.set("vdd", 3.3);
+  p.set("f", 0.0);
+  const double full =
+      lib().at("processor_average").evaluate(p).total_power().si();
+  EXPECT_NEAR(full, 0.5, 1e-9);  // library data-book figure at 3.3 V
+  p.set("alpha", 0.25);
+  EXPECT_NEAR(lib().at("processor_average").evaluate(p).total_power().si(),
+              0.125, 1e-9);
+}
+
+TEST(ProcessorAvg, QuadraticVoltageScalingFromDataBook) {
+  MapParamReader p;
+  p.set("alpha", 1.0);
+  p.set("vdd", 1.65);  // half the reference
+  p.set("f", 0.0);
+  EXPECT_NEAR(lib().at("processor_average").evaluate(p).total_power().si(),
+              0.125, 1e-9);
+}
+
+TEST(ProcessorInstr, Eq12SumsPerClassEnergies) {
+  const auto& m = dynamic_cast<const InstructionProcessorModel&>(
+      lib().at("processor_instruction"));
+  MapParamReader p;
+  p.set("n_alu", 1000.0);
+  p.set("n_mul", 10.0);
+  p.set("n_load", 200.0);
+  p.set("n_store", 100.0);
+  p.set("n_branch", 300.0);
+  p.set("n_other", 1.0);
+  p.set("cpi", 1.0);
+  p.set("n_misses", 0.0);
+  p.set("miss_cycles", 10.0);
+  p.set("e_miss", 0.0);
+  p.set("vdd", 3.3);
+  p.set("f", 25e6);
+  const Estimate e = m.evaluate(p);
+  const auto& t = m.table();
+  const double expect =
+      1000 * t.at(InstClass::kAlu).si() + 10 * t.at(InstClass::kMul).si() +
+      200 * t.at(InstClass::kLoad).si() +
+      100 * t.at(InstClass::kStore).si() +
+      300 * t.at(InstClass::kBranch).si() +
+      1 * t.at(InstClass::kOther).si();
+  EXPECT_NEAR(e.energy_per_op.si(), expect, expect * 1e-12);
+  // Power = E / (cycles/f).
+  const double runtime = 1611.0 / 25e6;
+  EXPECT_NEAR(e.dynamic_power.si(), expect / runtime, expect / runtime * 1e-9);
+}
+
+TEST(ProcessorInstr, CacheMissesAddEnergyAndTime) {
+  MapParamReader p;
+  p.set("n_alu", 1000.0);
+  p.set("n_load", 500.0);
+  p.set("cpi", 1.0);
+  p.set("vdd", 3.3);
+  p.set("f", 25e6);
+  p.set("n_misses", 0.0);
+  const Estimate ideal = lib().at("processor_instruction").evaluate(p);
+  p.set("n_misses", 100.0);
+  const Estimate real = lib().at("processor_instruction").evaluate(p);
+  EXPECT_GT(real.energy_per_op.si(), ideal.energy_per_op.si());
+  EXPECT_GT(real.delay.si(), ideal.delay.si());
+}
+
+TEST(ProcessorInstr, TiwariSwitchOverheadAddsEnergy) {
+  MapParamReader p;
+  p.set("n_alu", 1000.0);
+  p.set("vdd", 3.3);
+  p.set("f", 25e6);
+  p.set("n_switches", 0.0);
+  const double base =
+      lib().at("processor_instruction").evaluate(p).energy_per_op.si();
+  p.set("n_switches", 500.0);
+  const double with_overhead =
+      lib().at("processor_instruction").evaluate(p).energy_per_op.si();
+  // Library default: 0.3 nJ per class switch.
+  EXPECT_NEAR(with_overhead - base, 500 * 0.3e-9, 1e-12);
+  // Explicit override wins.
+  p.set("e_switch", 1e-9);
+  EXPECT_NEAR(
+      lib().at("processor_instruction").evaluate(p).energy_per_op.si() -
+          base,
+      500 * 1e-9, 1e-12);
+}
+
+TEST(ProcessorInstr, UnderestimationWithoutMisses) {
+  // The paper: "These models tend to underestimate power because factors
+  // such as cache and branch misses are neglected."  Energy-wise the
+  // miss-free estimate must be a strict lower bound.
+  MapParamReader p;
+  p.set("n_load", 1e6);
+  p.set("vdd", 3.3);
+  p.set("f", 25e6);
+  const double base =
+      lib().at("processor_instruction").evaluate(p).energy_per_op.si();
+  p.set("n_misses", 1e5);
+  EXPECT_GT(lib().at("processor_instruction").evaluate(p).energy_per_op.si(),
+            base);
+}
+
+// --- Analog -------------------------------------------------------------------
+
+TEST(Analog, Eq13LinearInSupply) {
+  MapParamReader p;
+  p.set("i_bias", 2e-3);
+  p.set("vdd", 3.0);
+  p.set("f", 0.0);
+  EXPECT_NEAR(lib().at("analog_bias").evaluate(p).total_power().si(), 6e-3,
+              1e-12);
+  p.set("vdd", 6.0);
+  // *Linear* in V_supply — the paper's contrast with quadratic digital.
+  EXPECT_NEAR(lib().at("analog_bias").evaluate(p).total_power().si(), 12e-3,
+              1e-12);
+}
+
+TEST(Analog, Eq14TransconductanceBijection) {
+  const Current i = bias_for_transconductance(Conductance{0.001});
+  EXPECT_NEAR(amp_transconductance(i).si(), 0.001, 1e-12);
+  EXPECT_NEAR(i.si(), 0.001 * kThermalVoltage300K.si(), 1e-12);
+}
+
+TEST(Analog, Eq15InputImpedanceInverseInBias) {
+  const Resistance r1 = amp_input_impedance(100, Current{1e-3});
+  const Resistance r2 = amp_input_impedance(100, Current{2e-3});
+  EXPECT_NEAR(r1.si() / r2.si(), 2.0, 1e-9);
+  EXPECT_THROW(amp_input_impedance(100, Current{0}), expr::ExprError);
+}
+
+TEST(Analog, Eq16OutputImpedance) {
+  EXPECT_NEAR(amp_output_impedance(Voltage{50}, Current{1e-3}).si(), 50000,
+              1e-6);
+}
+
+TEST(Analog, Eq17PowerFromGm) {
+  MapParamReader p;
+  p.set("gm", 0.001);
+  p.set("i_bias", 0.0);
+  p.set("vdd", 3.0);
+  p.set("f", 0.0);
+  // P = 2 * V * (kT/q) * Gm.
+  const double expect = 2.0 * 3.0 * kThermalVoltage300K.si() * 0.001;
+  EXPECT_NEAR(lib().at("gm_amplifier").evaluate(p).total_power().si(),
+              expect, 1e-12);
+}
+
+TEST(Analog, GmZeroFallsBackToExplicitBias) {
+  MapParamReader p;
+  p.set("gm", 0.0);
+  p.set("i_bias", 1e-3);
+  p.set("vdd", 3.0);
+  p.set("f", 0.0);
+  EXPECT_NEAR(lib().at("gm_amplifier").evaluate(p).total_power().si(),
+              2.0 * 3.0 * 1e-3, 1e-12);
+}
+
+TEST(Analog, OpAmpStagesAdd) {
+  MapParamReader p;
+  p.set("n_stages", 3.0);
+  p.set("i_bias_per_stage", 0.5e-3);
+  p.set("vdd", 3.0);
+  p.set("f", 0.0);
+  EXPECT_NEAR(lib().at("op_amp").evaluate(p).total_power().si(),
+              3 * 0.5e-3 * 3.0, 1e-12);
+}
+
+// --- DC-DC ----------------------------------------------------------------------
+
+TEST(Converter, Eq19Dissipation) {
+  EXPECT_NEAR(converter_dissipation(Power{1.0}, 0.8).si(), 0.25, 1e-12);
+  EXPECT_NEAR(converter_dissipation(Power{2.0}, 0.5).si(), 2.0, 1e-12);
+  EXPECT_NEAR(converter_input_power(Power{1.0}, 0.8).si(), 1.25, 1e-12);
+  EXPECT_THROW(converter_dissipation(Power{1.0}, 0.0), expr::ExprError);
+  EXPECT_THROW(converter_dissipation(Power{1.0}, 1.5), expr::ExprError);
+}
+
+TEST(Converter, ModelMatchesFormula) {
+  MapParamReader p;
+  p.set("p_load", 3.0);
+  p.set("efficiency", 0.8);
+  p.set("vdd", 6.0);
+  p.set("f", 0.0);
+  EXPECT_NEAR(lib().at("dcdc_converter").evaluate(p).total_power().si(),
+              0.75, 1e-9);
+}
+
+TEST(Converter, PerfectEfficiencyDissipatesNothing) {
+  MapParamReader p;
+  p.set("p_load", 3.0);
+  p.set("efficiency", 1.0);
+  p.set("vdd", 6.0);
+  p.set("f", 0.0);
+  EXPECT_NEAR(lib().at("dcdc_converter").evaluate(p).total_power().si(), 0.0,
+              1e-15);
+}
+
+// --- System ---------------------------------------------------------------------
+
+TEST(DataSheet, DutyGatesTypicalPower) {
+  MapParamReader p;
+  p.set("p_typical", 0.39);
+  p.set("duty", 0.5);
+  p.set("vdd", 5.0);
+  p.set("f", 0.0);
+  EXPECT_NEAR(
+      lib().at("datasheet_component").evaluate(p).total_power().si(), 0.195,
+      1e-9);
+}
+
+TEST(Fpga, UtilizationAndStatic) {
+  MapParamReader p;
+  p.set("cells_used", 1000.0);
+  p.set("alpha", 0.15);
+  p.set("i_static", 5e-3);
+  p.set("vdd", 5.0);
+  p.set("f", 10e6);
+  const Estimate e = lib().at("fpga").evaluate(p);
+  EXPECT_GT(e.dynamic_power.si(), 0.0);
+  EXPECT_NEAR(e.static_power.si(), 25e-3, 1e-9);
+}
+
+TEST(Servo, MechanicalPowerThroughEfficiency) {
+  MapParamReader p;
+  p.set("torque", 0.02);
+  p.set("speed", 100.0);
+  p.set("eta", 0.5);
+  p.set("duty", 0.25);
+  p.set("i_idle", 0.0);
+  p.set("vdd", 6.0);
+  p.set("f", 0.0);
+  // 0.25 * (0.02*100/0.5) = 1 W.
+  EXPECT_NEAR(lib().at("servo_motor").evaluate(p).total_power().si(), 1.0,
+              1e-9);
+  p.set("i_idle", 10e-3);
+  EXPECT_NEAR(lib().at("servo_motor").evaluate(p).total_power().si(),
+              1.0 + 0.06, 1e-9);
+}
+
+TEST(Display, BacklightDominates) {
+  MapParamReader p;
+  p.set("area", 0.01);
+  p.set("refresh", 60.0);
+  p.set("p_backlight", 1.0);
+  p.set("backlight_duty", 0.5);
+  p.set("vdd", 12.0);
+  p.set("f", 0.0);
+  const Estimate e = lib().at("backlit_display").evaluate(p);
+  EXPECT_NEAR(e.static_power.si(), 0.5, 1e-9);
+  EXPECT_GT(e.dynamic_power.si(), 0.0);
+  EXPECT_LT(e.dynamic_power.si(), 0.1 * e.static_power.si());
+}
+
+TEST(Library, AllExpectedModelsPresent) {
+  for (const char* name :
+       {"ripple_adder", "array_multiplier", "log_shifter", "multiplexer",
+        "comparator", "sv_buffer_chain", "sv_mux_latch", "register",
+        "register_file", "sram", "dram", "random_logic_controller",
+        "rom_controller", "pla_controller", "interconnect", "clock_tree",
+        "io_pads", "processor_average", "processor_instruction",
+        "analog_bias", "gm_amplifier", "op_amp", "dcdc_converter",
+        "datasheet_component", "fpga", "bus", "servo_motor",
+        "backlit_display"}) {
+    EXPECT_TRUE(lib().contains(name)) << name;
+  }
+  EXPECT_GE(lib().size(), 25u);
+}
+
+TEST(Library, EveryModelEvaluatesOnDefaults) {
+  // Property: the declared defaults of every built-in model form a
+  // valid operating point — an empty reader must evaluate cleanly.
+  for (const std::string& name : lib().names()) {
+    const model::Model& m = lib().at(name);
+    MapParamReader empty;
+    Estimate e;
+    ASSERT_NO_THROW(e = m.evaluate(empty)) << name;
+    EXPECT_GE(e.total_power().si(), 0.0) << name;
+  }
+}
+
+TEST(Library, EveryModelHasDocumentationAndParams) {
+  for (const std::string& name : lib().names()) {
+    const model::Model& m = lib().at(name);
+    EXPECT_FALSE(m.documentation().empty()) << name;
+    EXPECT_FALSE(m.params().empty()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace powerplay::models

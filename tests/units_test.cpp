@@ -1,0 +1,115 @@
+// Tests for the dimensional-analysis layer: every power computation in
+// the library rides on these operators, so their algebra must be exact.
+#include "units/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace powerplay::units {
+namespace {
+
+using namespace units::literals;
+
+TEST(Units, LiteralsProduceSiValues) {
+  EXPECT_DOUBLE_EQ((1.5_V).si(), 1.5);
+  EXPECT_DOUBLE_EQ((250.0_mV).si(), 0.25);
+  EXPECT_DOUBLE_EQ((253.0_fF).si(), 253e-15);
+  EXPECT_DOUBLE_EQ((2.0_pF).si(), 2e-12);
+  EXPECT_DOUBLE_EQ((100.0_uW).si(), 1e-4);
+  EXPECT_DOUBLE_EQ((2_MHz).si(), 2e6);
+  EXPECT_DOUBLE_EQ((3.0_nJ).si(), 3e-9);
+  EXPECT_DOUBLE_EQ((10_ns).si(), 1e-8);
+  EXPECT_DOUBLE_EQ((1.0_mm2).si(), 1e-6);
+}
+
+TEST(Units, CapacitanceTimesVoltageSquaredIsEnergy) {
+  const Capacitance c = 100.0_fF;
+  const Voltage v = 2.0_V;
+  const Energy e = c * v * v;
+  EXPECT_DOUBLE_EQ(e.si(), 100e-15 * 4.0);
+}
+
+TEST(Units, EnergyTimesFrequencyIsPower) {
+  const Energy e = 1.0_pJ;
+  const Frequency f = 2_MHz;
+  const Power p = e * f;
+  EXPECT_DOUBLE_EQ(p.si(), 2e-6);
+}
+
+TEST(Units, CurrentTimesVoltageIsPower) {
+  const Power p = 2_mA * 3.0_V;
+  EXPECT_DOUBLE_EQ(p.si(), 6e-3);
+}
+
+TEST(Units, PowerDividedByVoltageIsCurrent) {
+  const Current i = Power{6.0} / Voltage{3.0};
+  EXPECT_DOUBLE_EQ(i.si(), 2.0);
+}
+
+TEST(Units, OhmsLawRoundTrip) {
+  const Resistance r = Voltage{5.0} / Current{0.01};
+  EXPECT_DOUBLE_EQ(r.si(), 500.0);
+  const Conductance g = 1.0 / r;
+  EXPECT_DOUBLE_EQ(g.si(), 0.002);
+}
+
+TEST(Units, AdditiveOperators) {
+  Power p = 1.0_mW;
+  p += 2.0_mW;
+  EXPECT_DOUBLE_EQ(p.si(), 3e-3);
+  p -= 1.0_mW;
+  EXPECT_DOUBLE_EQ(p.si(), 2e-3);
+  EXPECT_DOUBLE_EQ((-p).si(), -2e-3);
+  EXPECT_DOUBLE_EQ((p * 2.0).si(), 4e-3);
+  EXPECT_DOUBLE_EQ((2.0 * p).si(), 4e-3);
+  EXPECT_DOUBLE_EQ((p / 2.0).si(), 1e-3);
+}
+
+TEST(Units, ComparisonOperators) {
+  EXPECT_LT(1.0_uW, 1.0_mW);
+  EXPECT_GT(2.0_V, 250.0_mV);
+  EXPECT_EQ(Power{0.001}, 1.0_mW);
+}
+
+TEST(Units, DimensionlessRatio) {
+  const Scalar ratio = Voltage{3.0} / Voltage{1.5};
+  EXPECT_DOUBLE_EQ(ratio.si(), 2.0);
+}
+
+TEST(UnitsFormat, PicksEngineeringPrefix) {
+  EXPECT_EQ(format_si(6.438e-5, "W"), "64.38 uW");
+  EXPECT_EQ(format_si(1.5, "V"), "1.500 V");
+  EXPECT_EQ(format_si(2e6, "Hz"), "2.000 MHz");
+  EXPECT_EQ(format_si(253e-15, "F"), "253.0 fF");
+  EXPECT_EQ(format_si(0.0, "W"), "0 W");
+}
+
+TEST(UnitsFormat, NegativeValues) {
+  EXPECT_EQ(format_si(-1.5e-3, "A"), "-1.500 mA");
+}
+
+TEST(UnitsFormat, VerySmallFallsToSmallestPrefix) {
+  EXPECT_EQ(format_si(2e-19, "F"), "0.2000 aF");
+}
+
+TEST(UnitsFormat, ToStringOverloads) {
+  EXPECT_EQ(to_string(Power{1e-4}), "100.0 uW");
+  EXPECT_EQ(to_string(Capacitance{1e-12}), "1.000 pF");
+  EXPECT_EQ(to_string(Frequency{125e3}), "125.0 kHz");
+  EXPECT_EQ(to_string(Voltage{1.5}), "1.500 V");
+}
+
+TEST(UnitsFormat, AreaUsesSquaredPrefixes) {
+  EXPECT_EQ(format_area(2.458e-6), "2.458 mm^2");
+  EXPECT_EQ(format_area(1.5e-10), "150.0 um^2");
+  EXPECT_EQ(format_area(9e-18), "9.000 nm^2");
+  EXPECT_EQ(format_area(2.0), "2.000 m^2");
+  EXPECT_EQ(format_area(0.0), "0 m^2");
+  EXPECT_EQ(to_string(Area{1e-6}), "1.000 mm^2");
+}
+
+TEST(Units, ThermalVoltageConstant) {
+  EXPECT_NEAR(kThermalVoltage300K.si(), 0.02585, 1e-6);
+}
+
+}  // namespace
+}  // namespace powerplay::units

@@ -1,0 +1,369 @@
+// End-to-end tests of the PowerPlay web application: the paper's
+// login -> menu -> library -> model form -> spreadsheet -> Play loop,
+// plus the model-creation form and the export API.
+#include "web/app.hpp"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "web/client.hpp"
+#include "web/server.hpp"
+
+namespace powerplay::web {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct AppFixture : ::testing::Test {
+  fs::path dir;
+  std::unique_ptr<PowerPlayApp> app;
+  std::unique_ptr<HttpServer> server;
+
+  void SetUp() override {
+    static int counter = 0;
+    dir = fs::temp_directory_path() /
+          ("pp_app_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter++));
+    fs::create_directories(dir);
+    app = std::make_unique<PowerPlayApp>(library::LibraryStore(dir));
+    server = std::make_unique<HttpServer>(
+        0, [this](const Request& r) { return app->handle(r); });
+    server->start();
+  }
+
+  void TearDown() override {
+    server->stop();
+    fs::remove_all(dir);
+  }
+
+  [[nodiscard]] Response get(const std::string& target) const {
+    return http_get(server->port(), target);
+  }
+  [[nodiscard]] Response post(const std::string& path,
+                              const Params& form) const {
+    return http_post_form(server->port(), path, form);
+  }
+};
+
+TEST_F(AppFixture, RootShowsIdentificationForm) {
+  const Response r = get("/");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("identify"), std::string::npos);
+  EXPECT_NE(r.body.find("name=\"user\""), std::string::npos);
+}
+
+TEST_F(AppFixture, MenuCreatesProfileAndShowsDefaults) {
+  const Response r = get("/menu?user=dlidsky");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("dlidsky"), std::string::npos);
+  EXPECT_NE(r.body.find("vdd"), std::string::npos);
+  // Profile persisted.
+  EXPECT_TRUE(app->store().load_user("dlidsky").has_value());
+}
+
+TEST_F(AppFixture, MenuWithoutUserIsBadRequest) {
+  EXPECT_EQ(get("/menu").status, 400);
+}
+
+TEST_F(AppFixture, LibraryListsModelsByCategory) {
+  const Response r = get("/library?user=dl");
+  EXPECT_EQ(r.status, 200);
+  for (const char* expect :
+       {"computation", "storage", "controller", "array_multiplier", "sram",
+        "dcdc_converter"}) {
+    EXPECT_NE(r.body.find(expect), std::string::npos) << expect;
+  }
+}
+
+TEST_F(AppFixture, ModelFormShowsParameters) {
+  const Response r = get("/model?user=dl&name=array_multiplier");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("bitwidthA"), std::string::npos);
+  EXPECT_NE(r.body.find("253"), std::string::npos);  // EQ 20 doc text
+}
+
+TEST_F(AppFixture, ModelFormComputesOnSubmit) {
+  // Figure 4's loop: set bit-widths, get the result excerpt instantly.
+  const Response r = get(
+      "/model?user=dl&name=array_multiplier&p_bitwidthA=16&p_bitwidthB=16"
+      "&p_correlated=0&p_alpha=1&p_vdd=1.5&p_f=1000000");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("Result"), std::string::npos);
+  // C_T = 256 * 253 fF = 64.77 nF? no: 64.77 pF... check printed value.
+  EXPECT_NE(r.body.find("64.77 pF"), std::string::npos);
+  EXPECT_NE(r.body.find("Add to design"), std::string::npos);
+}
+
+TEST_F(AppFixture, UnknownModelIs400WithMessage) {
+  const Response r = get("/model?user=dl&name=warp_core");
+  EXPECT_EQ(r.status, 400);
+  EXPECT_NE(r.body.find("warp_core"), std::string::npos);
+}
+
+TEST_F(AppFixture, AddToDesignThenPlayFlow) {
+  // Add an SRAM row.
+  Response r = post("/design/add",
+                    {{"user", "dl"},
+                     {"model", "sram"},
+                     {"design", "MyChip"},
+                     {"row", "Buffer"},
+                     {"p_words", "2048"},
+                     {"p_bits", "8"},
+                     {"p_f", "125000"}});
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("Buffer"), std::string::npos);
+  EXPECT_NE(r.body.find("TOTAL"), std::string::npos);
+
+  // It persisted and is listed for the user.
+  EXPECT_TRUE(app->store().has_design("MyChip"));
+  const Response menu = get("/menu?user=dl");
+  EXPECT_NE(menu.body.find("MyChip"), std::string::npos);
+
+  // Add a second row and re-Play with a new supply voltage.
+  post("/design/add", {{"user", "dl"},
+                       {"model", "register"},
+                       {"design", "MyChip"},
+                       {"row", "OutReg"},
+                       {"p_bits", "6"},
+                       {"p_f", "2000000"}});
+  r = post("/design/play",
+           {{"user", "dl"}, {"name", "MyChip"}, {"g_vdd", "3.0"}});
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("recomputed"), std::string::npos);
+  EXPECT_NE(r.body.find("OutReg"), std::string::npos);
+
+  // The voltage change persisted into the stored design.
+  const auto design = app->store().load_design("MyChip", app->registry());
+  auto found = design->globals().lookup("vdd");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_DOUBLE_EQ(std::get<double>(*found->binding), 3.0);
+}
+
+TEST_F(AppFixture, PlayAcceptsFormulasForGlobals) {
+  post("/design/add", {{"user", "dl"},
+                       {"model", "register"},
+                       {"design", "F"},
+                       {"row", "R"},
+                       {"p_f", "1000000"}});
+  const Response r = post(
+      "/design/play",
+      {{"user", "dl"}, {"name", "F"}, {"g_derived", "vdd * 2"}});
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("derived"), std::string::npos);
+}
+
+TEST_F(AppFixture, SetRowParameterRecomputes) {
+  post("/design/add", {{"user", "dl"},
+                       {"model", "sram"},
+                       {"design", "S"},
+                       {"row", "Mem"},
+                       {"p_words", "1024"},
+                       {"p_bits", "8"},
+                       {"p_f", "1000000"}});
+  const Response r = post("/design/setrow", {{"user", "dl"},
+                                             {"name", "S"},
+                                             {"row", "Mem"},
+                                             {"param", "words"},
+                                             {"value", "4096"}});
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("words=4096"), std::string::npos);
+}
+
+TEST_F(AppFixture, EmptyDesignPageInvitesAdding) {
+  const Response r = get("/design?user=dl&name=Fresh");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("No rows yet"), std::string::npos);
+}
+
+TEST_F(AppFixture, NewModelFormCreatesWorkingModel) {
+  const Response created = post("/newmodel",
+                                {{"user", "dl"},
+                                 {"name", "my_dsp"},
+                                 {"category", "computation"},
+                                 {"doc", "homebrew DSP slice"},
+                                 {"params", "bitwidth=16 taps=8"},
+                                 {"c_fullswing", "bitwidth*taps*40e-15"},
+                                 {"proprietary", "0"}});
+  EXPECT_EQ(created.status, 200);
+  EXPECT_NE(created.body.find("my_dsp"), std::string::npos);
+
+  // The model is immediately usable through its form.
+  const Response r = get(
+      "/model?user=dl&name=my_dsp&p_bitwidth=16&p_taps=8");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("Result"), std::string::npos);
+  // And persisted for the next session.
+  EXPECT_TRUE(app->store().load_model("my_dsp").has_value());
+}
+
+TEST_F(AppFixture, NewModelValidationErrorsSurface) {
+  const Response r = post("/newmodel", {{"user", "dl"},
+                                        {"name", "bad"},
+                                        {"params", "k=1"},
+                                        {"c_fullswing", "undeclared * 2"}});
+  EXPECT_EQ(r.status, 400);
+  EXPECT_NE(r.body.find("undeclared"), std::string::npos);
+}
+
+TEST_F(AppFixture, DocPageShowsEquationProvenance) {
+  const Response r = get("/doc?user=dl&name=rom_controller");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("EQ 10"), std::string::npos);
+  EXPECT_NE(r.body.find("n_inputs"), std::string::npos);
+}
+
+TEST_F(AppFixture, MacroDrillDownRenderedInline) {
+  // Store a design with a macro through the store API, then view it.
+  auto& reg = app->registry();
+  sheet::Design sub("SubBlock");
+  sub.globals().set("f", 1e6);
+  sub.add_row("reg", reg.find_shared("register"));
+  sheet::Design top("TopChip");
+  top.globals().set("vdd", 1.5);
+  top.add_macro("Block", std::make_shared<const sheet::Design>(sub));
+  app->store().save_design(top);
+
+  const Response r = get("/design?user=dl&name=TopChip");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("macro drill-down"), std::string::npos);
+  EXPECT_NE(r.body.find("reg"), std::string::npos);
+}
+
+TEST_F(AppFixture, NotFoundRoute) {
+  EXPECT_EQ(get("/nonsense").status, 404);
+}
+
+TEST_F(AppFixture, ApiListsAndExportsModels) {
+  post("/newmodel", {{"user", "dl"},
+                     {"name", "shared_amp"},
+                     {"category", "analog"},
+                     {"params", "i=0.001"},
+                     {"static_current", "i"}});
+  post("/newmodel", {{"user", "dl"},
+                     {"name", "secret_amp"},
+                     {"category", "analog"},
+                     {"params", "i=0.001"},
+                     {"static_current", "i"},
+                     {"proprietary", "1"}});
+  const Response list = get("/api/models");
+  EXPECT_NE(list.body.find("shared_amp"), std::string::npos);
+  EXPECT_EQ(list.body.find("secret_amp"), std::string::npos);
+
+  const Response exported = get("/api/model?name=shared_amp");
+  EXPECT_EQ(exported.status, 200);
+  EXPECT_NE(exported.body.find("model \"shared_amp\""), std::string::npos);
+
+  // Proprietary models are withheld from the network.
+  EXPECT_EQ(get("/api/model?name=secret_amp").status, 403);
+  EXPECT_EQ(get("/api/model?name=ghost").status, 404);
+}
+
+TEST_F(AppFixture, ApiExportsDesigns) {
+  post("/design/add", {{"user", "dl"},
+                       {"model", "register"},
+                       {"design", "Exportable"},
+                       {"row", "R"}});
+  const Response list = get("/api/designs");
+  EXPECT_NE(list.body.find("Exportable"), std::string::npos);
+  const Response d = get("/api/design?name=Exportable");
+  EXPECT_EQ(d.status, 200);
+  EXPECT_NE(d.body.find("design \"Exportable\""), std::string::npos);
+  EXPECT_EQ(get("/api/design?name=ghost").status, 404);
+}
+
+TEST_F(AppFixture, AgentPageShowsContextFlows) {
+  const Response r = get("/agent?user=dl");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("sketch"), std::string::npos);
+  EXPECT_NE(r.body.find("layout"), std::string::npos);
+  EXPECT_NE(r.body.find("sram_quick -&gt; swing_refine -&gt; static_refine"),
+            std::string::npos);
+}
+
+TEST_F(AppFixture, ToolBackedModelUsableThroughForm) {
+  // The "paths to estimation tools in lieu of an equation" claim: the
+  // agent-backed SRAM entry answers the same form as an equation model,
+  // and raising the context refines the estimate downward.
+  const Response sketch = get(
+      "/model?user=dl&name=sram_toolflow&p_words=4096&p_bits=16"
+      "&p_vswing=0.3&p_bitline_fraction=0.6&p_i_static=0&p_alpha=1"
+      "&p_vdd=1.5&p_f=1000000&p_context=0");
+  EXPECT_EQ(sketch.status, 200);
+  EXPECT_NE(sketch.body.find("Result"), std::string::npos);
+  const Response circuit = get(
+      "/model?user=dl&name=sram_toolflow&p_words=4096&p_bits=16"
+      "&p_vswing=0.3&p_bitline_fraction=0.6&p_i_static=0&p_alpha=1"
+      "&p_vdd=1.5&p_f=1000000&p_context=1");
+  EXPECT_EQ(circuit.status, 200);
+  // Sketch (full swing) reports 597.0 uW, circuit (EQ 8) 310.4 uW.
+  EXPECT_NE(sketch.body.find("597.0 uW"), std::string::npos);
+  EXPECT_NE(circuit.body.find("310.4 uW"), std::string::npos);
+}
+
+TEST_F(AppFixture, HelpPageLinkedFromMenu) {
+  const Response menu = get("/menu?user=dl");
+  EXPECT_NE(menu.body.find("/help?user=dl"), std::string::npos);
+  const Response help = get("/help?user=dl");
+  EXPECT_EQ(help.status, 200);
+  EXPECT_NE(help.body.find("PLAY"), std::string::npos);
+  EXPECT_NE(help.body.find("rowpower"), std::string::npos);
+  EXPECT_NE(help.body.find("/agent"), std::string::npos);
+}
+
+TEST_F(AppFixture, DesignCsvExport) {
+  post("/design/add", {{"user", "dl"},
+                       {"model", "register"},
+                       {"design", "CsvChip"},
+                       {"row", "R"},
+                       {"p_f", "1000000"}});
+  const Response r = get("/design/csv?user=dl&name=CsvChip");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.content_type, "text/csv");
+  EXPECT_NE(r.body.find("row,model,power_w"), std::string::npos);
+  EXPECT_NE(r.body.find("\"R\",\"register\""), std::string::npos);
+  EXPECT_EQ(get("/design/csv?user=dl&name=Ghost").status, 404);
+}
+
+TEST_F(AppFixture, PasswordRestrictedAccess) {
+  // "PowerPlay can provide password-restricted access."
+  // Open access initially...
+  EXPECT_EQ(get("/menu?user=secure").status, 200);
+  // ...set a password (requires the current, absent one)...
+  EXPECT_EQ(post("/setpw", {{"user", "secure"}, {"newpw", "s3cret"}}).status,
+            200);
+  // ...now the menu and mutating routes demand it.
+  EXPECT_EQ(get("/menu?user=secure").status, 403);
+  EXPECT_EQ(get("/menu?user=secure&pw=wrong").status, 403);
+  EXPECT_EQ(get("/menu?user=secure&pw=s3cret").status, 200);
+  EXPECT_EQ(post("/design/add", {{"user", "secure"},
+                                 {"model", "register"},
+                                 {"design", "Priv"},
+                                 {"row", "R"}})
+                .status,
+            403);
+  EXPECT_EQ(post("/design/add", {{"user", "secure"},
+                                 {"pw", "s3cret"},
+                                 {"model", "register"},
+                                 {"design", "Priv"},
+                                 {"row", "R"}})
+                .status,
+            200);
+  // Other users are unaffected.
+  EXPECT_EQ(get("/menu?user=open_user").status, 200);
+  // Changing the password requires the old one; removing it reopens.
+  EXPECT_EQ(post("/setpw", {{"user", "secure"}, {"newpw", "x"}}).status, 403);
+  EXPECT_EQ(
+      post("/setpw", {{"user", "secure"}, {"pw", "s3cret"}, {"newpw", ""}})
+          .status,
+      200);
+  EXPECT_EQ(get("/menu?user=secure").status, 200);
+}
+
+TEST_F(AppFixture, PathTraversalRejected) {
+  EXPECT_NE(get("/api/model?name=..%2F..%2Fetc%2Fpasswd").status, 200);
+  EXPECT_NE(get("/design?user=dl&name=..%2Fx").status, 200);
+}
+
+}  // namespace
+}  // namespace powerplay::web

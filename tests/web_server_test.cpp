@@ -1,0 +1,131 @@
+// Loopback tests for the HTTP server and client.
+#include "web/client.hpp"
+#include "web/server.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace powerplay::web {
+namespace {
+
+TEST(Server, PicksAFreePortAndServes) {
+  HttpServer server(0, [](const Request& req) {
+    return Response::ok_text("echo:" + req.target);
+  });
+  server.start();
+  ASSERT_GT(server.port(), 0);
+  const Response r = http_get(server.port(), "/hello?x=1");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "echo:/hello?x=1");
+  EXPECT_EQ(server.requests_served(), 1u);
+  server.stop();
+}
+
+TEST(Server, PostBodyRoundTrips) {
+  HttpServer server(0, [](const Request& req) {
+    return Response::ok_text(req.method + ":" + req.body);
+  });
+  server.start();
+  const Response r =
+      http_post_form(server.port(), "/submit", {{"a", "1"}, {"b", "x y"}});
+  EXPECT_EQ(r.body, "POST:a=1&b=x+y");
+  server.stop();
+}
+
+TEST(Server, HandlerExceptionBecomes500) {
+  HttpServer server(0, [](const Request&) -> Response {
+    throw std::runtime_error("boom");
+  });
+  server.start();
+  const Response r = http_get(server.port(), "/");
+  EXPECT_EQ(r.status, 500);
+  EXPECT_NE(r.body.find("boom"), std::string::npos);
+  server.stop();
+}
+
+TEST(Server, ManySequentialRequests) {
+  std::atomic<int> count{0};
+  HttpServer server(0, [&](const Request&) {
+    return Response::ok_text(std::to_string(++count));
+  });
+  server.start();
+  for (int i = 1; i <= 50; ++i) {
+    const Response r = http_get(server.port(), "/");
+    EXPECT_EQ(r.status, 200);
+  }
+  EXPECT_EQ(count.load(), 50);
+  server.stop();
+}
+
+TEST(Server, ConcurrentClients) {
+  HttpServer server(0, [](const Request& req) {
+    return Response::ok_text("ok:" + req.target);
+  });
+  server.start();
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int i = 0; i < 8; ++i) {
+    clients.emplace_back([&, i] {
+      for (int j = 0; j < 10; ++j) {
+        try {
+          const Response r = http_get(
+              server.port(), "/t" + std::to_string(i) + std::to_string(j));
+          if (r.status != 200) ++failures;
+        } catch (const std::exception&) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.requests_served(), 80u);
+  server.stop();
+}
+
+TEST(Server, StopIsIdempotentAndRestartable) {
+  auto handler = [](const Request&) { return Response::ok_text("x"); };
+  HttpServer server(0, handler);
+  server.start();
+  server.stop();
+  server.stop();  // no-op
+  // A fresh server on a new socket still works.
+  HttpServer second(0, handler);
+  second.start();
+  EXPECT_EQ(http_get(second.port(), "/").status, 200);
+  second.stop();
+}
+
+TEST(Server, TwoServersCoexist) {
+  HttpServer a(0, [](const Request&) { return Response::ok_text("A"); });
+  HttpServer b(0, [](const Request&) { return Response::ok_text("B"); });
+  a.start();
+  b.start();
+  EXPECT_NE(a.port(), b.port());
+  EXPECT_EQ(http_get(a.port(), "/").body, "A");
+  EXPECT_EQ(http_get(b.port(), "/").body, "B");
+  a.stop();
+  b.stop();
+}
+
+TEST(Client, ConnectionRefusedThrows) {
+  // Port 1 on loopback is essentially guaranteed closed for tests.
+  EXPECT_THROW(http_get(1, "/"), HttpError);
+}
+
+TEST(Client, LargeResponseBody) {
+  const std::string big(1 << 20, 'z');  // 1 MiB
+  HttpServer server(0, [&](const Request&) {
+    return Response::ok_text(big);
+  });
+  server.start();
+  const Response r = http_get(server.port(), "/big");
+  EXPECT_EQ(r.body.size(), big.size());
+  EXPECT_EQ(r.body, big);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace powerplay::web
