@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_luminance.dir/bench_fig2_luminance.cpp.o"
+  "CMakeFiles/bench_fig2_luminance.dir/bench_fig2_luminance.cpp.o.d"
+  "bench_fig2_luminance"
+  "bench_fig2_luminance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_luminance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_multiplier.dir/bench_fig4_multiplier.cpp.o"
+  "CMakeFiles/bench_fig4_multiplier.dir/bench_fig4_multiplier.cpp.o.d"
+  "bench_fig4_multiplier"
+  "bench_fig4_multiplier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_multiplier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

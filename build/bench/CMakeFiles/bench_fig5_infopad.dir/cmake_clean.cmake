@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_infopad.dir/bench_fig5_infopad.cpp.o"
+  "CMakeFiles/bench_fig5_infopad.dir/bench_fig5_infopad.cpp.o.d"
+  "bench_fig5_infopad"
+  "bench_fig5_infopad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_infopad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

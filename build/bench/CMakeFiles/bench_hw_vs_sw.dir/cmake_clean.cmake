@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hw_vs_sw.dir/bench_hw_vs_sw.cpp.o"
+  "CMakeFiles/bench_hw_vs_sw.dir/bench_hw_vs_sw.cpp.o.d"
+  "bench_hw_vs_sw"
+  "bench_hw_vs_sw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hw_vs_sw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

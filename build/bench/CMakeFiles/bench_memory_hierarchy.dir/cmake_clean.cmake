@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_hierarchy.dir/bench_memory_hierarchy.cpp.o"
+  "CMakeFiles/bench_memory_hierarchy.dir/bench_memory_hierarchy.cpp.o.d"
+  "bench_memory_hierarchy"
+  "bench_memory_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

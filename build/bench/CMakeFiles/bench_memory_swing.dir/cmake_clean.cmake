@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_swing.dir/bench_memory_swing.cpp.o"
+  "CMakeFiles/bench_memory_swing.dir/bench_memory_swing.cpp.o.d"
+  "bench_memory_swing"
+  "bench_memory_swing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_swing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parameter_plane.dir/bench_parameter_plane.cpp.o"
+  "CMakeFiles/bench_parameter_plane.dir/bench_parameter_plane.cpp.o.d"
+  "bench_parameter_plane"
+  "bench_parameter_plane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parameter_plane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_parameter_plane.
+# This may be replaced when dependencies are built.

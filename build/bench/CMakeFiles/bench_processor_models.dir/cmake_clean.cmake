@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_processor_models.dir/bench_processor_models.cpp.o"
+  "CMakeFiles/bench_processor_models.dir/bench_processor_models.cpp.o.d"
+  "bench_processor_models"
+  "bench_processor_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_processor_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sorting_energy.dir/bench_sorting_energy.cpp.o"
+  "CMakeFiles/bench_sorting_energy.dir/bench_sorting_energy.cpp.o.d"
+  "bench_sorting_energy"
+  "bench_sorting_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sorting_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infopad_system.dir/infopad_system.cpp.o"
+  "CMakeFiles/infopad_system.dir/infopad_system.cpp.o.d"
+  "infopad_system"
+  "infopad_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infopad_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/low_power_walkthrough.dir/low_power_walkthrough.cpp.o"
+  "CMakeFiles/low_power_walkthrough.dir/low_power_walkthrough.cpp.o.d"
+  "low_power_walkthrough"
+  "low_power_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/low_power_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerplay_server.dir/powerplay_server.cpp.o"
+  "CMakeFiles/powerplay_server.dir/powerplay_server.cpp.o.d"
+  "powerplay_server"
+  "powerplay_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerplay_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppcli.dir/ppcli.cpp.o"
+  "CMakeFiles/ppcli.dir/ppcli.cpp.o.d"
+  "ppcli"
+  "ppcli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppcli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

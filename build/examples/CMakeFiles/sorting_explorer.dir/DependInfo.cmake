@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/sorting_explorer.cpp" "examples/CMakeFiles/sorting_explorer.dir/sorting_explorer.cpp.o" "gcc" "examples/CMakeFiles/sorting_explorer.dir/sorting_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/web/CMakeFiles/pp_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/studies/CMakeFiles/pp_studies.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/pp_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/pp_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/pp_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sheet/CMakeFiles/pp_sheet.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/pp_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/pp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/pp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/units/CMakeFiles/pp_units.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sorting_explorer.dir/sorting_explorer.cpp.o"
+  "CMakeFiles/sorting_explorer.dir/sorting_explorer.cpp.o.d"
+  "sorting_explorer"
+  "sorting_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sorting_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

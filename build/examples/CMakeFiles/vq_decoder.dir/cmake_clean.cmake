@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vq_decoder.dir/vq_decoder.cpp.o"
+  "CMakeFiles/vq_decoder.dir/vq_decoder.cpp.o.d"
+  "vq_decoder"
+  "vq_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vq_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

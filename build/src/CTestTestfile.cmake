@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("units")
+subdirs("expr")
+subdirs("model")
+subdirs("models")
+subdirs("sheet")
+subdirs("flow")
+subdirs("studies")
+subdirs("library")
+subdirs("isa")
+subdirs("cachesim")
+subdirs("web")
+subdirs("cli")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_cachesim.dir/cache.cpp.o"
+  "CMakeFiles/pp_cachesim.dir/cache.cpp.o.d"
+  "CMakeFiles/pp_cachesim.dir/energy.cpp.o"
+  "CMakeFiles/pp_cachesim.dir/energy.cpp.o.d"
+  "CMakeFiles/pp_cachesim.dir/hierarchy.cpp.o"
+  "CMakeFiles/pp_cachesim.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/pp_cachesim.dir/trace.cpp.o"
+  "CMakeFiles/pp_cachesim.dir/trace.cpp.o.d"
+  "libpp_cachesim.a"
+  "libpp_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_cli.dir/repl.cpp.o"
+  "CMakeFiles/pp_cli.dir/repl.cpp.o.d"
+  "libpp_cli.a"
+  "libpp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_expr.dir/ast.cpp.o"
+  "CMakeFiles/pp_expr.dir/ast.cpp.o.d"
+  "CMakeFiles/pp_expr.dir/eval.cpp.o"
+  "CMakeFiles/pp_expr.dir/eval.cpp.o.d"
+  "CMakeFiles/pp_expr.dir/lexer.cpp.o"
+  "CMakeFiles/pp_expr.dir/lexer.cpp.o.d"
+  "CMakeFiles/pp_expr.dir/parser.cpp.o"
+  "CMakeFiles/pp_expr.dir/parser.cpp.o.d"
+  "libpp_expr.a"
+  "libpp_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

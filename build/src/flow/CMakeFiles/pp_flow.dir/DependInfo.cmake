@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/design_agent.cpp" "src/flow/CMakeFiles/pp_flow.dir/design_agent.cpp.o" "gcc" "src/flow/CMakeFiles/pp_flow.dir/design_agent.cpp.o.d"
+  "/root/repo/src/flow/standard_flows.cpp" "src/flow/CMakeFiles/pp_flow.dir/standard_flows.cpp.o" "gcc" "src/flow/CMakeFiles/pp_flow.dir/standard_flows.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/pp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/pp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/units/CMakeFiles/pp_units.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

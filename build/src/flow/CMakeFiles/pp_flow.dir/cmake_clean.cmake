@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_flow.dir/design_agent.cpp.o"
+  "CMakeFiles/pp_flow.dir/design_agent.cpp.o.d"
+  "CMakeFiles/pp_flow.dir/standard_flows.cpp.o"
+  "CMakeFiles/pp_flow.dir/standard_flows.cpp.o.d"
+  "libpp_flow.a"
+  "libpp_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_isa.dir/assembler.cpp.o"
+  "CMakeFiles/pp_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/pp_isa.dir/energy.cpp.o"
+  "CMakeFiles/pp_isa.dir/energy.cpp.o.d"
+  "CMakeFiles/pp_isa.dir/isa.cpp.o"
+  "CMakeFiles/pp_isa.dir/isa.cpp.o.d"
+  "CMakeFiles/pp_isa.dir/machine.cpp.o"
+  "CMakeFiles/pp_isa.dir/machine.cpp.o.d"
+  "CMakeFiles/pp_isa.dir/programs.cpp.o"
+  "CMakeFiles/pp_isa.dir/programs.cpp.o.d"
+  "libpp_isa.a"
+  "libpp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

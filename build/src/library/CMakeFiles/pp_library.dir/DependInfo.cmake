@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/library/serialize.cpp" "src/library/CMakeFiles/pp_library.dir/serialize.cpp.o" "gcc" "src/library/CMakeFiles/pp_library.dir/serialize.cpp.o.d"
+  "/root/repo/src/library/store.cpp" "src/library/CMakeFiles/pp_library.dir/store.cpp.o" "gcc" "src/library/CMakeFiles/pp_library.dir/store.cpp.o.d"
+  "/root/repo/src/library/textio.cpp" "src/library/CMakeFiles/pp_library.dir/textio.cpp.o" "gcc" "src/library/CMakeFiles/pp_library.dir/textio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sheet/CMakeFiles/pp_sheet.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/pp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/pp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/units/CMakeFiles/pp_units.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_library.dir/serialize.cpp.o"
+  "CMakeFiles/pp_library.dir/serialize.cpp.o.d"
+  "CMakeFiles/pp_library.dir/store.cpp.o"
+  "CMakeFiles/pp_library.dir/store.cpp.o.d"
+  "CMakeFiles/pp_library.dir/textio.cpp.o"
+  "CMakeFiles/pp_library.dir/textio.cpp.o.d"
+  "libpp_library.a"
+  "libpp_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/estimate.cpp" "src/model/CMakeFiles/pp_model.dir/estimate.cpp.o" "gcc" "src/model/CMakeFiles/pp_model.dir/estimate.cpp.o.d"
+  "/root/repo/src/model/model.cpp" "src/model/CMakeFiles/pp_model.dir/model.cpp.o" "gcc" "src/model/CMakeFiles/pp_model.dir/model.cpp.o.d"
+  "/root/repo/src/model/param.cpp" "src/model/CMakeFiles/pp_model.dir/param.cpp.o" "gcc" "src/model/CMakeFiles/pp_model.dir/param.cpp.o.d"
+  "/root/repo/src/model/registry.cpp" "src/model/CMakeFiles/pp_model.dir/registry.cpp.o" "gcc" "src/model/CMakeFiles/pp_model.dir/registry.cpp.o.d"
+  "/root/repo/src/model/user_model.cpp" "src/model/CMakeFiles/pp_model.dir/user_model.cpp.o" "gcc" "src/model/CMakeFiles/pp_model.dir/user_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/pp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/units/CMakeFiles/pp_units.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_model.dir/estimate.cpp.o"
+  "CMakeFiles/pp_model.dir/estimate.cpp.o.d"
+  "CMakeFiles/pp_model.dir/model.cpp.o"
+  "CMakeFiles/pp_model.dir/model.cpp.o.d"
+  "CMakeFiles/pp_model.dir/param.cpp.o"
+  "CMakeFiles/pp_model.dir/param.cpp.o.d"
+  "CMakeFiles/pp_model.dir/registry.cpp.o"
+  "CMakeFiles/pp_model.dir/registry.cpp.o.d"
+  "CMakeFiles/pp_model.dir/user_model.cpp.o"
+  "CMakeFiles/pp_model.dir/user_model.cpp.o.d"
+  "libpp_model.a"
+  "libpp_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/activity.cpp" "src/models/CMakeFiles/pp_models.dir/activity.cpp.o" "gcc" "src/models/CMakeFiles/pp_models.dir/activity.cpp.o.d"
+  "/root/repo/src/models/analog.cpp" "src/models/CMakeFiles/pp_models.dir/analog.cpp.o" "gcc" "src/models/CMakeFiles/pp_models.dir/analog.cpp.o.d"
+  "/root/repo/src/models/berkeley_library.cpp" "src/models/CMakeFiles/pp_models.dir/berkeley_library.cpp.o" "gcc" "src/models/CMakeFiles/pp_models.dir/berkeley_library.cpp.o.d"
+  "/root/repo/src/models/computation.cpp" "src/models/CMakeFiles/pp_models.dir/computation.cpp.o" "gcc" "src/models/CMakeFiles/pp_models.dir/computation.cpp.o.d"
+  "/root/repo/src/models/controller.cpp" "src/models/CMakeFiles/pp_models.dir/controller.cpp.o" "gcc" "src/models/CMakeFiles/pp_models.dir/controller.cpp.o.d"
+  "/root/repo/src/models/converter.cpp" "src/models/CMakeFiles/pp_models.dir/converter.cpp.o" "gcc" "src/models/CMakeFiles/pp_models.dir/converter.cpp.o.d"
+  "/root/repo/src/models/interconnect.cpp" "src/models/CMakeFiles/pp_models.dir/interconnect.cpp.o" "gcc" "src/models/CMakeFiles/pp_models.dir/interconnect.cpp.o.d"
+  "/root/repo/src/models/processor.cpp" "src/models/CMakeFiles/pp_models.dir/processor.cpp.o" "gcc" "src/models/CMakeFiles/pp_models.dir/processor.cpp.o.d"
+  "/root/repo/src/models/storage.cpp" "src/models/CMakeFiles/pp_models.dir/storage.cpp.o" "gcc" "src/models/CMakeFiles/pp_models.dir/storage.cpp.o.d"
+  "/root/repo/src/models/system.cpp" "src/models/CMakeFiles/pp_models.dir/system.cpp.o" "gcc" "src/models/CMakeFiles/pp_models.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/pp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sheet/CMakeFiles/pp_sheet.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/pp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/units/CMakeFiles/pp_units.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_models.dir/activity.cpp.o"
+  "CMakeFiles/pp_models.dir/activity.cpp.o.d"
+  "CMakeFiles/pp_models.dir/analog.cpp.o"
+  "CMakeFiles/pp_models.dir/analog.cpp.o.d"
+  "CMakeFiles/pp_models.dir/berkeley_library.cpp.o"
+  "CMakeFiles/pp_models.dir/berkeley_library.cpp.o.d"
+  "CMakeFiles/pp_models.dir/computation.cpp.o"
+  "CMakeFiles/pp_models.dir/computation.cpp.o.d"
+  "CMakeFiles/pp_models.dir/controller.cpp.o"
+  "CMakeFiles/pp_models.dir/controller.cpp.o.d"
+  "CMakeFiles/pp_models.dir/converter.cpp.o"
+  "CMakeFiles/pp_models.dir/converter.cpp.o.d"
+  "CMakeFiles/pp_models.dir/interconnect.cpp.o"
+  "CMakeFiles/pp_models.dir/interconnect.cpp.o.d"
+  "CMakeFiles/pp_models.dir/processor.cpp.o"
+  "CMakeFiles/pp_models.dir/processor.cpp.o.d"
+  "CMakeFiles/pp_models.dir/storage.cpp.o"
+  "CMakeFiles/pp_models.dir/storage.cpp.o.d"
+  "CMakeFiles/pp_models.dir/system.cpp.o"
+  "CMakeFiles/pp_models.dir/system.cpp.o.d"
+  "libpp_models.a"
+  "libpp_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_sheet.dir/budget.cpp.o"
+  "CMakeFiles/pp_sheet.dir/budget.cpp.o.d"
+  "CMakeFiles/pp_sheet.dir/design.cpp.o"
+  "CMakeFiles/pp_sheet.dir/design.cpp.o.d"
+  "CMakeFiles/pp_sheet.dir/report.cpp.o"
+  "CMakeFiles/pp_sheet.dir/report.cpp.o.d"
+  "CMakeFiles/pp_sheet.dir/sweep.cpp.o"
+  "CMakeFiles/pp_sheet.dir/sweep.cpp.o.d"
+  "libpp_sheet.a"
+  "libpp_sheet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_sheet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

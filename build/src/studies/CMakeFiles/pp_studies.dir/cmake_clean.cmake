@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_studies.dir/infopad.cpp.o"
+  "CMakeFiles/pp_studies.dir/infopad.cpp.o.d"
+  "CMakeFiles/pp_studies.dir/vq.cpp.o"
+  "CMakeFiles/pp_studies.dir/vq.cpp.o.d"
+  "libpp_studies.a"
+  "libpp_studies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_studies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

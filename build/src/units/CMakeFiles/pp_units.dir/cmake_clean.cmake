@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_units.dir/units.cpp.o"
+  "CMakeFiles/pp_units.dir/units.cpp.o.d"
+  "libpp_units.a"
+  "libpp_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/web/app.cpp" "src/web/CMakeFiles/pp_web.dir/app.cpp.o" "gcc" "src/web/CMakeFiles/pp_web.dir/app.cpp.o.d"
+  "/root/repo/src/web/client.cpp" "src/web/CMakeFiles/pp_web.dir/client.cpp.o" "gcc" "src/web/CMakeFiles/pp_web.dir/client.cpp.o.d"
+  "/root/repo/src/web/html.cpp" "src/web/CMakeFiles/pp_web.dir/html.cpp.o" "gcc" "src/web/CMakeFiles/pp_web.dir/html.cpp.o.d"
+  "/root/repo/src/web/http.cpp" "src/web/CMakeFiles/pp_web.dir/http.cpp.o" "gcc" "src/web/CMakeFiles/pp_web.dir/http.cpp.o.d"
+  "/root/repo/src/web/remote.cpp" "src/web/CMakeFiles/pp_web.dir/remote.cpp.o" "gcc" "src/web/CMakeFiles/pp_web.dir/remote.cpp.o.d"
+  "/root/repo/src/web/server.cpp" "src/web/CMakeFiles/pp_web.dir/server.cpp.o" "gcc" "src/web/CMakeFiles/pp_web.dir/server.cpp.o.d"
+  "/root/repo/src/web/url.cpp" "src/web/CMakeFiles/pp_web.dir/url.cpp.o" "gcc" "src/web/CMakeFiles/pp_web.dir/url.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/pp_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/pp_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/pp_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/sheet/CMakeFiles/pp_sheet.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/pp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/pp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/units/CMakeFiles/pp_units.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_web.dir/app.cpp.o"
+  "CMakeFiles/pp_web.dir/app.cpp.o.d"
+  "CMakeFiles/pp_web.dir/client.cpp.o"
+  "CMakeFiles/pp_web.dir/client.cpp.o.d"
+  "CMakeFiles/pp_web.dir/html.cpp.o"
+  "CMakeFiles/pp_web.dir/html.cpp.o.d"
+  "CMakeFiles/pp_web.dir/http.cpp.o"
+  "CMakeFiles/pp_web.dir/http.cpp.o.d"
+  "CMakeFiles/pp_web.dir/remote.cpp.o"
+  "CMakeFiles/pp_web.dir/remote.cpp.o.d"
+  "CMakeFiles/pp_web.dir/server.cpp.o"
+  "CMakeFiles/pp_web.dir/server.cpp.o.d"
+  "CMakeFiles/pp_web.dir/url.cpp.o"
+  "CMakeFiles/pp_web.dir/url.cpp.o.d"
+  "libpp_web.a"
+  "libpp_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

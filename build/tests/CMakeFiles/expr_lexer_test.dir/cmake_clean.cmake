@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expr_lexer_test.dir/expr_lexer_test.cpp.o"
+  "CMakeFiles/expr_lexer_test.dir/expr_lexer_test.cpp.o.d"
+  "expr_lexer_test"
+  "expr_lexer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expr_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_sort_test.dir/isa_sort_test.cpp.o"
+  "CMakeFiles/isa_sort_test.dir/isa_sort_test.cpp.o.d"
+  "isa_sort_test"
+  "isa_sort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_computation_test.dir/models_computation_test.cpp.o"
+  "CMakeFiles/models_computation_test.dir/models_computation_test.cpp.o.d"
+  "models_computation_test"
+  "models_computation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_computation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

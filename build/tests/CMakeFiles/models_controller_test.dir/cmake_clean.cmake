@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_controller_test.dir/models_controller_test.cpp.o"
+  "CMakeFiles/models_controller_test.dir/models_controller_test.cpp.o.d"
+  "models_controller_test"
+  "models_controller_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_misc_test.dir/models_misc_test.cpp.o"
+  "CMakeFiles/models_misc_test.dir/models_misc_test.cpp.o.d"
+  "models_misc_test"
+  "models_misc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

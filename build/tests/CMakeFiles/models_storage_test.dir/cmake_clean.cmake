@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_storage_test.dir/models_storage_test.cpp.o"
+  "CMakeFiles/models_storage_test.dir/models_storage_test.cpp.o.d"
+  "models_storage_test"
+  "models_storage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_remote_test.dir/web_remote_test.cpp.o"
+  "CMakeFiles/web_remote_test.dir/web_remote_test.cpp.o.d"
+  "web_remote_test"
+  "web_remote_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_remote_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
