@@ -1,0 +1,100 @@
+// bench_resilience — google-benchmark timings for the resilience layer:
+// what the deadline plumbing, bounded pool, chaos wrapper and retry
+// loop cost on the hot path.  The north star is a service that stays up
+// under hostile traffic, so the overhead of staying up has to be
+// measured like any other hot path.
+#include <benchmark/benchmark.h>
+
+#include "web/client.hpp"
+#include "web/fault.hpp"
+#include "web/remote.hpp"
+#include "web/server.hpp"
+
+namespace {
+
+using namespace powerplay;
+using namespace std::chrono_literals;
+
+web::Response echo_handler(const web::Request& req) {
+  return web::Response::ok_text("echo:" + req.target);
+}
+
+/// Live HTTP round trip through the pooled server (connect + request +
+/// response per iteration, HTTP/1.0 style).
+void BM_PooledServerRoundTrip(benchmark::State& state) {
+  web::ServerOptions options;
+  options.worker_count = 4;
+  web::HttpServer server(0, echo_handler, options);
+  server.start();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(web::http_get(server.port(), "/bench"));
+  }
+  state.counters["served"] = static_cast<double>(server.requests_served());
+  server.stop();
+}
+BENCHMARK(BM_PooledServerRoundTrip);
+
+/// The same round trip through a zero-rate FaultTransport: the cost of
+/// having the chaos seam in place but quiet.
+void BM_FaultTransportPassthrough(benchmark::State& state) {
+  web::HttpServer server(0, echo_handler);
+  server.start();
+  web::FaultSpec spec;  // all rates zero
+  web::FaultTransport chaos(
+      std::make_shared<web::TcpTransport>(server.port()), spec);
+  web::Request req;
+  req.target = "/bench";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chaos.roundtrip(req));
+  }
+  server.stop();
+}
+BENCHMARK(BM_FaultTransportPassthrough);
+
+/// In-process fetch through 30% drops with retries and virtual sleeps:
+/// what a flaky wide-area peer costs per successful fetch.
+void BM_RetryThroughChaos(benchmark::State& state) {
+  auto inner = std::make_shared<web::FunctionTransport>(
+      [](const web::Request&) { return web::Response::ok_text("m1\nm2\n"); });
+  web::FaultSpec spec;
+  spec.drop_rate = 0.3;
+  spec.error_rate = 0.1;
+  spec.seed = 7;
+  auto chaos = std::make_shared<web::FaultTransport>(inner, spec);
+  web::RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.base_backoff = 1ms;
+  web::BreakerOptions breaker;
+  breaker.failure_threshold = 1 << 30;
+  web::RemoteLibrary remote(chaos, policy, breaker);
+  remote.set_sleeper([](std::chrono::milliseconds) {});  // virtual time
+  // With a ~37% fault rate, ~1e-4 of fetches exhaust all 10 attempts;
+  // count those instead of letting the exception end the bench.
+  int exhausted = 0;
+  for (auto _ : state) {
+    try {
+      benchmark::DoNotOptimize(remote.list_models());
+    } catch (const web::HttpError&) {
+      ++exhausted;
+    }
+  }
+  state.counters["round_trips"] = static_cast<double>(remote.round_trips());
+  state.counters["retries"] = static_cast<double>(remote.retries());
+  state.counters["exhausted"] = exhausted;
+}
+BENCHMARK(BM_RetryThroughChaos);
+
+/// Pure arithmetic: one backoff schedule computation.
+void BM_BackoffSchedule(benchmark::State& state) {
+  web::RetryPolicy policy;
+  int retry = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.backoff(retry));
+    retry = (retry + 1) % 16;
+  }
+}
+BENCHMARK(BM_BackoffSchedule);
+
+}  // namespace
+
+BENCHMARK_MAIN();

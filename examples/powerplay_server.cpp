@@ -9,6 +9,7 @@
 //   curl 'http://127.0.0.1:8080/library?user=you'
 //   curl 'http://127.0.0.1:8080/model?user=you&name=array_multiplier&p_bitwidthA=16&p_bitwidthB=16&p_vdd=1.5&p_f=2000000&p_correlated=0&p_alpha=1'
 //   curl 'http://127.0.0.1:8080/api/models'            # remote-access API
+//   curl 'http://127.0.0.1:8080/healthz'               # liveness + counters
 //
 // The data directory persists users, designs and user-defined models
 // between runs, and the two reference designs (Luminance_2, the full
@@ -52,6 +53,7 @@ int main(int argc, char** argv) {
   web::HttpServer server(port, [&](const web::Request& r) {
     return app.handle(r);
   });
+  app.set_stats_source([&server] { return server.stats(); });
   server.start();
   std::printf("PowerPlay serving on http://127.0.0.1:%u/ (data in %s)\n",
               server.port(), data_dir.c_str());
@@ -65,7 +67,9 @@ int main(int argc, char** argv) {
     ::pause();
   }
   server.stop();
-  std::printf("\n%llu requests served.\n",
-              static_cast<unsigned long long>(server.requests_served()));
+  std::printf("\n%llu requests served, %llu shed, %llu timed out.\n",
+              static_cast<unsigned long long>(server.requests_served()),
+              static_cast<unsigned long long>(server.requests_shed()),
+              static_cast<unsigned long long>(server.timeouts()));
   return 0;
 }

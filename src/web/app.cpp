@@ -106,6 +106,7 @@ Response PowerPlayApp::handle(const Request& request) {
   const Target target = request.parsed_target();
   const Params q = request.all_params();
   try {
+    if (target.path == "/healthz") return page_healthz();
     if (target.path == "/") return page_root();
     if (target.path == "/menu") return page_menu(q);
     if (target.path == "/library") return page_library(q);
@@ -147,6 +148,23 @@ Response PowerPlayApp::handle(const Request& request) {
 // ---------------------------------------------------------------------------
 // Pages
 // ---------------------------------------------------------------------------
+
+// Liveness/ops endpoint: plain text so load balancers and shell one-
+// liners can read it; includes the server's resilience counters when a
+// stats source has been wired.
+Response PowerPlayApp::page_healthz() const {
+  std::ostringstream os;
+  os << "ok\n";
+  os << "models: " << registry_.size() << "\n";
+  os << "designs: " << store_.list_designs().size() << "\n";
+  if (stats_source_) {
+    const ServerStats s = stats_source_();
+    os << "requests_served: " << s.requests_served << "\n";
+    os << "requests_shed: " << s.requests_shed << "\n";
+    os << "timeouts: " << s.timeouts << "\n";
+  }
+  return Response::ok_text(os.str());
+}
 
 Response PowerPlayApp::page_root() const {
   HtmlPage page("PowerPlay");

@@ -36,12 +36,14 @@
 //   GET /agent?user=U&request=power
 #pragma once
 
+#include <functional>
 #include <mutex>
 
 #include "flow/design_agent.hpp"
 #include "library/store.hpp"
 #include "model/registry.hpp"
 #include "web/http.hpp"
+#include "web/server.hpp"
 
 namespace powerplay::web {
 
@@ -57,7 +59,16 @@ class PowerPlayApp {
   [[nodiscard]] model::ModelRegistry& registry() { return registry_; }
   [[nodiscard]] library::LibraryStore& store() { return store_; }
 
+  /// Let /healthz report the serving HttpServer's counters (wired by
+  /// whoever owns both the app and the server; optional).
+  using StatsSource = std::function<ServerStats()>;
+  void set_stats_source(StatsSource source) {
+    std::lock_guard lock(mutex_);
+    stats_source_ = std::move(source);
+  }
+
  private:
+  Response page_healthz() const;
   Response page_root() const;
   Response page_menu(const Params& q);
   Response page_library(const Params& q) const;
@@ -94,6 +105,7 @@ class PowerPlayApp {
                          const std::string& message = {}) const;
 
   mutable std::mutex mutex_;
+  StatsSource stats_source_;
   library::LibraryStore store_;
   model::ModelRegistry registry_;
   flow::DesignAgent agent_;

@@ -1,7 +1,9 @@
 #include "web/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -12,24 +14,71 @@
 
 namespace powerplay::web {
 
-Response http_request(std::uint16_t port, const Request& request) {
+namespace {
+
+/// Non-blocking connect with a poll-based timeout.  Returns a socket
+/// left in non-blocking mode (the poll-guarded read/write helpers in
+/// server.cpp handle EAGAIN), owned by the caller.
+int connect_with_timeout(std::uint16_t port,
+                         std::chrono::milliseconds timeout) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw HttpError(std::string("socket: ") + std::strerror(errno));
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
+    return fd;  // loopback can complete immediately
+  }
+  if (errno != EINPROGRESS) {
     const int err = errno;
     ::close(fd);
     throw HttpError(std::string("connect: ") + std::strerror(err));
   }
+
+  const Deadline deadline = Deadline::after(timeout);
+  for (;;) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLOUT;
+    const int rc = ::poll(&p, 1, deadline.poll_timeout_ms());
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      throw HttpError(std::string("poll: ") + std::strerror(err));
+    }
+    if (rc == 0) {
+      ::close(fd);
+      throw HttpTimeout("connect: deadline exceeded");
+    }
+    break;
+  }
+  int soerr = 0;
+  socklen_t len = sizeof soerr;
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) < 0 ||
+      soerr != 0) {
+    const int err = soerr != 0 ? soerr : errno;
+    ::close(fd);
+    throw HttpError(std::string("connect: ") + std::strerror(err));
+  }
+  return fd;
+}
+
+}  // namespace
+
+Response http_request(std::uint16_t port, const Request& request,
+                      const SocketOptions& options) {
+  const int fd = connect_with_timeout(port, options.connect_timeout);
+  const Deadline deadline = Deadline::after(options.io_timeout);
   std::string wire;
   try {
-    write_all(fd, to_wire(request));
+    write_all(fd, to_wire(request), deadline);
     ::shutdown(fd, SHUT_WR);
-    wire = read_http_message(fd);
+    wire = read_http_message(fd, deadline);
   } catch (...) {
     ::close(fd);
     throw;
@@ -39,21 +88,22 @@ Response http_request(std::uint16_t port, const Request& request) {
   return parse_response(wire);
 }
 
-Response http_get(std::uint16_t port, const std::string& target) {
+Response http_get(std::uint16_t port, const std::string& target,
+                  const SocketOptions& options) {
   Request req;
   req.method = "GET";
   req.target = target;
-  return http_request(port, req);
+  return http_request(port, req, options);
 }
 
 Response http_post_form(std::uint16_t port, const std::string& path,
-                        const Params& form) {
+                        const Params& form, const SocketOptions& options) {
   Request req;
   req.method = "POST";
   req.target = path;
   req.headers["content-type"] = "application/x-www-form-urlencoded";
   req.body = to_query(form);
-  return http_request(port, req);
+  return http_request(port, req, options);
 }
 
 }  // namespace powerplay::web

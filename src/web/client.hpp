@@ -1,8 +1,16 @@
 // client.hpp — minimal HTTP client (the "any browser" role in tests and
 // the fetch half of the remote model-access protocol).
+//
+// All entry points take SocketOptions: a connect timeout (non-blocking
+// connect + poll) and one I/O deadline spanning the whole exchange, so
+// a hung or trickling peer costs a bounded amount of wall clock.  The
+// Transport interface is the seam the resilience layer plugs into:
+// RemoteLibrary retries through any Transport, and the fault-injection
+// harness (fault.hpp) wraps one to simulate flaky networks.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "web/http.hpp"
@@ -10,14 +18,54 @@
 namespace powerplay::web {
 
 /// One-shot request to 127.0.0.1:`port` (HTTP/1.0: connection per
-/// request).  Throws HttpError on connect/IO/parse failure.
-Response http_request(std::uint16_t port, const Request& request);
+/// request).  Throws HttpError on connect/IO/parse failure and
+/// HttpTimeout when a SocketOptions deadline expires.
+Response http_request(std::uint16_t port, const Request& request,
+                      const SocketOptions& options = {});
 
 /// GET convenience.
-Response http_get(std::uint16_t port, const std::string& target);
+Response http_get(std::uint16_t port, const std::string& target,
+                  const SocketOptions& options = {});
 
 /// POST convenience with a urlencoded form body.
 Response http_post_form(std::uint16_t port, const std::string& path,
-                        const Params& form);
+                        const Params& form,
+                        const SocketOptions& options = {});
+
+/// One request/response exchange with a peer, however realized.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  /// Throws HttpError (HttpTimeout for deadlines) on transport failure.
+  virtual Response roundtrip(const Request& request) = 0;
+};
+
+/// The real thing: TCP to a loopback port.
+class TcpTransport : public Transport {
+ public:
+  explicit TcpTransport(std::uint16_t port, SocketOptions options = {})
+      : port_(port), options_(options) {}
+  Response roundtrip(const Request& request) override {
+    return http_request(port_, request, options_);
+  }
+
+ private:
+  std::uint16_t port_;
+  SocketOptions options_;
+};
+
+/// In-process transport backed by a handler function — hermetic tests
+/// and benches without sockets.
+class FunctionTransport : public Transport {
+ public:
+  explicit FunctionTransport(std::function<Response(const Request&)> fn)
+      : fn_(std::move(fn)) {}
+  Response roundtrip(const Request& request) override {
+    return fn_(request);
+  }
+
+ private:
+  std::function<Response(const Request&)> fn_;
+};
 
 }  // namespace powerplay::web

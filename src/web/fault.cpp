@@ -1,0 +1,64 @@
+#include "web/fault.hpp"
+
+namespace powerplay::web {
+
+FaultTransport::FaultTransport(std::shared_ptr<Transport> inner,
+                               FaultSpec spec)
+    : inner_(std::move(inner)), spec_(spec), rng_(spec.seed) {}
+
+double FaultTransport::draw() {
+  // 53-bit mantissa division instead of uniform_real_distribution: the
+  // latter's output is not specified bit-for-bit across standard
+  // libraries, and determinism is the whole point here.
+  return static_cast<double>(rng_() >> 11) * 0x1.0p-53;
+}
+
+Response FaultTransport::roundtrip(const Request& request) {
+  ++counters_.calls;
+
+  if (draw() < spec_.drop_rate) {
+    ++counters_.drops;
+    throw HttpError("fault injection: connection dropped");
+  }
+
+  if (draw() < spec_.delay_rate) {
+    ++counters_.delays;
+    virtual_delay_ += spec_.delay;
+    if (delay_hook_) delay_hook_(spec_.delay);
+    if (spec_.delay >= spec_.deadline) {
+      ++counters_.timeouts;
+      throw HttpTimeout("fault injection: response delayed past deadline");
+    }
+  }
+
+  Response resp = inner_->roundtrip(request);
+
+  if (draw() < spec_.error_rate) {
+    ++counters_.errors;
+    Response r;
+    r.status = 500;
+    r.content_type = "text/plain";
+    r.body = "fault injection: internal error\n";
+    return r;
+  }
+  if (draw() < spec_.unavailable_rate) {
+    ++counters_.unavailable;
+    Response r;
+    r.status = 503;
+    r.content_type = "text/plain";
+    r.headers["retry-after"] = "0";
+    r.body = "fault injection: service unavailable\n";
+    return r;
+  }
+  if (draw() < spec_.truncate_rate) {
+    ++counters_.truncations;
+    // On the wire this is a body shorter than Content-Length promises;
+    // parse_response turns that into exactly this transport error.
+    throw HttpError("fault injection: truncated response body");
+  }
+
+  ++counters_.passthrough;
+  return resp;
+}
+
+}  // namespace powerplay::web

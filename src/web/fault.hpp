@@ -1,0 +1,83 @@
+// fault.hpp — deterministic fault injection for the web stack.
+//
+// FaultTransport wraps any Transport (usually the real TcpTransport to
+// a loopback site, or a FunctionTransport in hermetic tests) and
+// injects the failure modes a wide-area deployment actually sees:
+// dropped connections, responses delayed past the client's deadline,
+// truncated bodies, and 5xx/503 server errors.  Everything is driven
+// by one seeded PRNG, so a given (seed, call sequence) replays the
+// exact same fault schedule — chaos tests are reproducible, never
+// wall-clock flaky.  Injected delays advance a *virtual* clock hook
+// instead of sleeping: a "delay past the deadline" is modeled as the
+// HttpTimeout the real deadline would have raised, with zero real time
+// spent.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <random>
+
+#include "web/client.hpp"
+
+namespace powerplay::web {
+
+/// Fault rates in [0, 1], drawn independently per roundtrip in the
+/// order: drop, delay, (real roundtrip), error, unavailable, truncate.
+struct FaultSpec {
+  double drop_rate = 0.0;         ///< connection drops before the peer
+  double delay_rate = 0.0;        ///< response delayed by `delay`
+  double error_rate = 0.0;        ///< response replaced with a 500
+  double unavailable_rate = 0.0;  ///< replaced with 503 + Retry-After: 0
+  double truncate_rate = 0.0;     ///< body cut short in flight
+  std::chrono::milliseconds delay{200};  ///< injected virtual latency
+  /// What the simulated client would tolerate; a delay fault of
+  /// `delay >= deadline` becomes an HttpTimeout.  The default never
+  /// times out, so delays are merely recorded.
+  std::chrono::milliseconds deadline{std::chrono::milliseconds::max()};
+  std::uint64_t seed = 1;
+};
+
+/// What the chaos layer did so far (drops + timeouts + errors +
+/// unavailable + truncations faults; passthrough = untouched calls).
+struct FaultCounters {
+  int calls = 0;
+  int drops = 0;
+  int delays = 0;   ///< delay faults injected (timed out or not)
+  int timeouts = 0; ///< delay faults that exceeded the deadline
+  int errors = 0;
+  int unavailable = 0;
+  int truncations = 0;
+  int passthrough = 0;
+};
+
+class FaultTransport : public Transport {
+ public:
+  FaultTransport(std::shared_ptr<Transport> inner, FaultSpec spec);
+
+  Response roundtrip(const Request& request) override;
+
+  [[nodiscard]] const FaultCounters& counters() const { return counters_; }
+  /// Virtual time spent in injected delays (never real wall clock).
+  [[nodiscard]] std::chrono::milliseconds virtual_delay() const {
+    return virtual_delay_;
+  }
+  /// Observe every injected delay (e.g. to advance a shared virtual
+  /// clock that also drives a CircuitBreaker).
+  void set_delay_hook(std::function<void(std::chrono::milliseconds)> hook) {
+    delay_hook_ = std::move(hook);
+  }
+
+ private:
+  [[nodiscard]] double draw();
+
+  std::shared_ptr<Transport> inner_;
+  FaultSpec spec_;
+  std::mt19937_64 rng_;
+  FaultCounters counters_;
+  std::chrono::milliseconds virtual_delay_{0};
+  std::function<void(std::chrono::milliseconds)> delay_hook_;
+};
+
+}  // namespace powerplay::web

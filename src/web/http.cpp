@@ -45,11 +45,21 @@ Headers parse_headers(const std::string& wire, std::size_t begin,
 std::size_t content_length(const Headers& headers) {
   auto it = headers.find("content-length");
   if (it == headers.end()) return 0;
+  std::size_t value = 0;
   try {
-    return static_cast<std::size_t>(std::stoull(it->second));
+    std::size_t pos = 0;
+    value = static_cast<std::size_t>(std::stoull(it->second, &pos));
+    if (pos != it->second.size()) throw std::invalid_argument(it->second);
   } catch (const std::exception&) {
     throw HttpError("bad content-length: '" + it->second + "'");
   }
+  // Reject absurd lengths here, before anyone tries to reserve or read
+  // that many bytes.  Note stoull happily wraps "-1" to 2^64-1.
+  if (value > kMaxMessageBytes) {
+    throw HttpError("content-length " + it->second + " exceeds " +
+                    std::to_string(kMaxMessageBytes) + " byte limit");
+  }
+  return value;
 }
 
 }  // namespace
@@ -120,7 +130,10 @@ std::string status_text(int status) {
     case 400: return "Bad Request";
     case 403: return "Forbidden";
     case 404: return "Not Found";
+    case 408: return "Request Timeout";
+    case 429: return "Too Many Requests";
     case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
     default: return "Status";
   }
 }

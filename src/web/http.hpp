@@ -7,6 +7,7 @@
 // optional Content-Length body, one request per connection.
 #pragma once
 
+#include <chrono>
 #include <map>
 #include <optional>
 #include <stdexcept>
@@ -19,6 +20,63 @@ namespace powerplay::web {
 class HttpError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// An I/O deadline expired (connect, read or write).  Subclass of
+/// HttpError so existing catch sites keep working; callers that care
+/// (retry policies, the server's timeout counter) can catch it
+/// specifically.
+class HttpTimeout : public HttpError {
+ public:
+  using HttpError::HttpError;
+};
+
+/// Hard cap on one HTTP message (headers + body), enforced both while
+/// reading from a socket and when parsing a Content-Length header, so a
+/// hostile peer can neither stream unbounded data nor make us reserve
+/// an absurd allocation up front.
+inline constexpr std::size_t kMaxMessageBytes = 16u << 20;  // 16 MiB
+
+/// Absolute point in time after which socket I/O gives up with
+/// HttpTimeout.  Deadline::never() never expires (the pre-resilience
+/// behavior); Deadline::after(budget) expires `budget` from now.  One
+/// Deadline spans a whole request/response exchange, so a peer cannot
+/// reset the clock by trickling one byte per poll interval.
+class Deadline {
+ public:
+  static Deadline never() { return Deadline(); }
+  static Deadline after(std::chrono::milliseconds budget) {
+    Deadline d;
+    d.bounded_ = true;
+    d.at_ = std::chrono::steady_clock::now() + budget;
+    return d;
+  }
+
+  [[nodiscard]] bool bounded() const { return bounded_; }
+  [[nodiscard]] bool expired() const {
+    return bounded_ && std::chrono::steady_clock::now() >= at_;
+  }
+  /// Timeout argument for poll(): -1 when unbounded, else remaining
+  /// milliseconds clamped to >= 0.
+  [[nodiscard]] int poll_timeout_ms() const {
+    if (!bounded_) return -1;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        at_ - std::chrono::steady_clock::now());
+    if (left.count() <= 0) return 0;
+    if (left.count() > 60'000) return 60'000;
+    return static_cast<int>(left.count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point at_{};
+  bool bounded_ = false;
+};
+
+/// Client-side socket budgets; a default-constructed value gives
+/// generous production limits, tests dial them down to milliseconds.
+struct SocketOptions {
+  std::chrono::milliseconds connect_timeout{5000};
+  std::chrono::milliseconds io_timeout{30000};  ///< whole exchange
 };
 
 /// Header names are case-insensitive; stored lower-cased.

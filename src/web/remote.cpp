@@ -1,7 +1,9 @@
 #include "web/remote.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
+#include <thread>
 
 #include "library/serialize.hpp"
 #include "web/client.hpp"
@@ -22,11 +24,146 @@ std::vector<std::string> split_lines(const std::string& text) {
   return out;
 }
 
+/// SplitMix64: a tiny, stable hash so jitter is identical across
+/// standard libraries and runs.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Parse a Retry-After header (delta-seconds form only); nullopt when
+/// absent or unparsable.
+std::optional<std::chrono::milliseconds> retry_after(const Response& resp) {
+  const auto it = resp.headers.find("retry-after");
+  if (it == resp.headers.end()) return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    const unsigned long long secs = std::stoull(it->second, &pos);
+    if (pos != it->second.size()) return std::nullopt;
+    return std::chrono::milliseconds(
+        std::min<unsigned long long>(secs, 3600) * 1000);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// RetryPolicy / CircuitBreaker
+// ---------------------------------------------------------------------------
+
+std::chrono::milliseconds RetryPolicy::backoff(int retry) const {
+  if (retry < 0) retry = 0;
+  // Exponential growth, saturating well before overflow.
+  auto delay = base_backoff;
+  for (int i = 0; i < retry && delay < max_backoff; ++i) delay *= 2;
+  delay = std::min(delay, max_backoff);
+  // Up to +50% deterministic jitter from (seed, retry).
+  const std::uint64_t h = splitmix64(jitter_seed ^ static_cast<std::uint64_t>(
+                                                       retry + 1));
+  const auto half = delay.count() / 2;
+  const auto jitter =
+      half > 0 ? static_cast<std::chrono::milliseconds::rep>(h % (half + 1))
+               : 0;
+  return std::min(delay + std::chrono::milliseconds(jitter), max_backoff);
+}
+
+CircuitBreaker::CircuitBreaker(Options options, Clock clock)
+    : options_(options), clock_(std::move(clock)) {
+  if (!clock_) {
+    clock_ = [] { return std::chrono::steady_clock::now(); };
+  }
+}
+
+bool CircuitBreaker::allow() {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (clock_() - opened_at_ >= options_.cooldown) {
+        state_ = State::kHalfOpen;  // the caller owns the probe
+        return true;
+      }
+      return false;
+    case State::kHalfOpen:
+      return false;  // one probe at a time
+  }
+  return false;
+}
+
+void CircuitBreaker::record_success() {
+  state_ = State::kClosed;
+  failures_ = 0;
+}
+
+void CircuitBreaker::record_failure() {
+  ++failures_;
+  if (state_ == State::kHalfOpen || failures_ >= options_.failure_threshold) {
+    state_ = State::kOpen;
+    opened_at_ = clock_();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RemoteLibrary
+// ---------------------------------------------------------------------------
+
+RemoteLibrary::RemoteLibrary(std::shared_ptr<Transport> transport,
+                             RetryPolicy policy,
+                             CircuitBreaker::Options breaker,
+                             CircuitBreaker::Clock clock)
+    : transport_(std::move(transport)),
+      policy_(policy),
+      breaker_(breaker, std::move(clock)),
+      sleeper_([](std::chrono::milliseconds d) {
+        std::this_thread::sleep_for(d);
+      }) {}
+
+Response RemoteLibrary::fetch_with_retry(const std::string& target) const {
+  Request req;
+  req.method = "GET";
+  req.target = target;
+
+  std::string last_error = "no attempt made";
+  const int attempts = std::max(policy_.max_attempts, 1);
+  std::optional<std::chrono::milliseconds> server_hint;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++retries_;
+      // A 503 Retry-After hint from the server overrides our schedule.
+      sleeper_(server_hint.value_or(policy_.backoff(attempt - 1)));
+      server_hint.reset();
+    }
+    if (!breaker_.allow()) {
+      throw CircuitOpenError("circuit open for remote site; failing fast (" +
+                             std::to_string(breaker_.consecutive_failures()) +
+                             " consecutive failures)");
+    }
+    try {
+      ++round_trips_;
+      Response resp = transport_->roundtrip(req);
+      if (resp.status >= 500) {
+        breaker_.record_failure();
+        if (resp.status == 503) server_hint = retry_after(resp);
+        last_error = "status " + std::to_string(resp.status);
+        continue;  // retryable: the server, not the request, failed
+      }
+      breaker_.record_success();
+      return resp;  // 2xx–4xx are final answers
+    } catch (const HttpError& e) {
+      breaker_.record_failure();
+      last_error = e.what();
+    }
+  }
+  throw HttpError("remote fetch of '" + target + "' failed after " +
+                  std::to_string(attempts) + " attempt(s): " + last_error);
+}
+
 std::string RemoteLibrary::fetch_text(const std::string& target) const {
-  ++round_trips_;
-  const Response resp = http_get(port_, target);
+  const Response resp = fetch_with_retry(target);
   if (resp.status != 200) {
     throw HttpError("remote fetch of '" + target + "' failed: " +
                     std::to_string(resp.status) + " " + resp.body);
@@ -57,6 +194,15 @@ std::string RemoteLibrary::import_model(const std::string& name,
   auto def = fetch_model(name);
   into.add_or_replace(std::make_shared<model::UserModel>(def));
   return def.name;
+}
+
+std::vector<std::string> RemoteLibrary::import_all(
+    model::ModelRegistry& into) const {
+  std::vector<std::string> imported;
+  for (const std::string& name : list_models()) {
+    imported.push_back(import_model(name, into));
+  }
+  return imported;
 }
 
 // ---------------------------------------------------------------------------

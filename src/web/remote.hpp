@@ -15,21 +15,106 @@
 // protocol bench can contrast message counts and latency.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "model/registry.hpp"
 #include "model/user_model.hpp"
 #include "units/units.hpp"
+#include "web/client.hpp"
 #include "web/http.hpp"
 
 namespace powerplay::web {
 
-/// Client for another PowerPlay site's model-access endpoints.
+/// Raised when the circuit breaker is open: the remote site has failed
+/// repeatedly and we fail fast instead of burning a round trip.
+class CircuitOpenError : public HttpError {
+ public:
+  using HttpError::HttpError;
+};
+
+/// When and how often to retry a failed fetch.  Retries fire only for
+/// transport errors (connection refused/dropped, deadlines, truncated
+/// bodies) and 5xx responses; 4xx is the remote telling us the request
+/// itself is wrong, so retrying cannot help.  Backoff grows
+/// exponentially with a deterministic jitter derived from jitter_seed,
+/// so tests replay exact schedules while real fleets still desynchronize.
+struct RetryPolicy {
+  int max_attempts = 4;  ///< total tries, including the first
+  std::chrono::milliseconds base_backoff{10};
+  std::chrono::milliseconds max_backoff{2000};
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+
+  /// Single-shot policy: the pre-resilience behavior.
+  static RetryPolicy none() {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    return p;
+  }
+
+  /// Delay before retry number `retry` (0-based): min(base * 2^retry,
+  /// max) plus up to 50% deterministic jitter, capped at max_backoff.
+  [[nodiscard]] std::chrono::milliseconds backoff(int retry) const;
+};
+
+/// Circuit breaker thresholds (top-level so it can be a default
+/// argument; nested-class member initializers cannot).
+struct BreakerOptions {
+  int failure_threshold = 5;
+  std::chrono::milliseconds cooldown{1000};
+};
+
+/// Per-host circuit breaker: after `failure_threshold` consecutive
+/// failures the circuit opens and calls fail fast (CircuitOpenError)
+/// until `cooldown` has passed; then one half-open probe is let
+/// through, and its outcome closes or re-opens the circuit.  The clock
+/// is injectable so tests drive state transitions virtually.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+  using Clock = std::function<std::chrono::steady_clock::time_point()>;
+  using Options = BreakerOptions;
+
+  explicit CircuitBreaker(Options options = {}, Clock clock = nullptr);
+
+  /// May this call proceed?  Transitions open -> half-open after the
+  /// cooldown (the caller getting `true` owns the probe).
+  [[nodiscard]] bool allow();
+  void record_success();
+  void record_failure();
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] int consecutive_failures() const { return failures_; }
+
+ private:
+  Options options_;
+  Clock clock_;
+  State state_ = State::kClosed;
+  int failures_ = 0;
+  std::chrono::steady_clock::time_point opened_at_{};
+};
+
+/// Client for another PowerPlay site's model-access endpoints, hardened
+/// for the paper's cross-site scenario: every fetch runs under the
+/// retry policy and circuit breaker, so a flaky wide-area path degrades
+/// into extra round trips instead of a failed import.
 class RemoteLibrary {
  public:
-  explicit RemoteLibrary(std::uint16_t port) : port_(port) {}
+  /// Plain TCP to a loopback port with default policy and breaker.
+  explicit RemoteLibrary(std::uint16_t port)
+      : RemoteLibrary(std::make_shared<TcpTransport>(port)) {}
+
+  /// Full control: any Transport (e.g. a FaultTransport for chaos
+  /// testing), retry policy, breaker options and an optional virtual
+  /// clock shared with the breaker.
+  explicit RemoteLibrary(std::shared_ptr<Transport> transport,
+                         RetryPolicy policy = {},
+                         CircuitBreaker::Options breaker = {},
+                         CircuitBreaker::Clock clock = nullptr);
 
   [[nodiscard]] std::vector<std::string> list_models() const;
   [[nodiscard]] model::UserModelDefinition fetch_model(
@@ -41,14 +126,32 @@ class RemoteLibrary {
   std::string import_model(const std::string& name,
                            model::ModelRegistry& into) const;
 
-  /// HTTP round trips performed so far by this client.
+  /// Fetch + register every shareable model the site lists; returns
+  /// the imported names.  One flaky fetch no longer aborts the whole
+  /// mirror operation — each model gets the full retry budget.
+  std::vector<std::string> import_all(model::ModelRegistry& into) const;
+
+  /// HTTP round trips performed so far by this client (retries count).
   [[nodiscard]] int round_trips() const { return round_trips_; }
+  /// Retries performed beyond first attempts.
+  [[nodiscard]] int retries() const { return retries_; }
+  [[nodiscard]] const CircuitBreaker& breaker() const { return breaker_; }
+
+  /// Replace the between-retries sleep (default: real sleep_for).
+  /// Tests install a recorder so no wall clock is ever spent.
+  using Sleeper = std::function<void(std::chrono::milliseconds)>;
+  void set_sleeper(Sleeper sleeper) { sleeper_ = std::move(sleeper); }
 
  private:
+  [[nodiscard]] Response fetch_with_retry(const std::string& target) const;
   [[nodiscard]] std::string fetch_text(const std::string& target) const;
 
-  std::uint16_t port_;
+  std::shared_ptr<Transport> transport_;
+  RetryPolicy policy_;
+  mutable CircuitBreaker breaker_;
+  Sleeper sleeper_;
   mutable int round_trips_ = 0;
+  mutable int retries_ = 0;
 };
 
 /// One simulated SMTP-style relay transfer.

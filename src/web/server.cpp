@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -17,9 +18,33 @@ namespace {
   throw HttpError(what + ": " + std::strerror(errno));
 }
 
+/// Block until `fd` is ready for `events` or the deadline expires.
+/// Works for both blocking and non-blocking sockets: after a positive
+/// poll() the following recv/send cannot block indefinitely.
+void wait_io(int fd, short events, const Deadline& deadline,
+             const char* what) {
+  for (;;) {
+    if (deadline.expired()) {
+      throw HttpTimeout(std::string(what) + ": deadline exceeded");
+    }
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int rc = ::poll(&p, 1, deadline.poll_timeout_ms());
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("poll");
+    }
+    // rc == 0 is a timeout slice; loop so an unbounded deadline with
+    // the 60 s poll clamp just waits again.  Readiness (including
+    // POLLERR/POLLHUP) returns: the recv/send surfaces the error.
+    if (rc > 0) return;
+  }
+}
+
 }  // namespace
 
-std::string read_http_message(int fd) {
+std::string read_http_message(int fd, const Deadline& deadline) {
   std::string buffer;
   char chunk[4096];
   for (;;) {
@@ -30,34 +55,39 @@ std::string read_http_message(int fd) {
       // Malformed headers; let the caller's parse produce the error.
       return buffer;
     }
+    wait_io(fd, POLLIN, deadline, "recv");
     const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       fail_errno("recv");
     }
     if (n == 0) return buffer;  // peer closed
     buffer.append(chunk, static_cast<std::size_t>(n));
-    if (buffer.size() > (16u << 20)) {
+    if (buffer.size() > kMaxMessageBytes) {
       throw HttpError("message exceeds 16 MiB limit");
     }
   }
 }
 
-void write_all(int fd, const std::string& data) {
+void write_all(int fd, const std::string& data, const Deadline& deadline) {
   std::size_t sent = 0;
   while (sent < data.size()) {
+    wait_io(fd, POLLOUT, deadline, "send");
     const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
                              MSG_NOSIGNAL);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       fail_errno("send");
     }
     sent += static_cast<std::size_t>(n);
   }
 }
 
-HttpServer::HttpServer(std::uint16_t port, Handler handler)
-    : handler_(std::move(handler)) {
+HttpServer::HttpServer(std::uint16_t port, Handler handler,
+                       ServerOptions options)
+    : handler_(std::move(handler)), options_(options) {
+  if (options_.worker_count == 0) options_.worker_count = 1;
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) fail_errno("socket");
   const int one = 1;
@@ -96,11 +126,16 @@ void HttpServer::start() {
   bool expected = false;
   if (!running_.compare_exchange_strong(expected, true)) return;
   accept_thread_ = std::thread([this] { accept_loop(); });
+  workers_.reserve(options_.worker_count);
+  for (std::size_t i = 0; i < options_.worker_count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
 }
 
 void HttpServer::stop() {
   if (running_.exchange(false)) {
-    // Closing the listener unblocks accept().
+    // Closing the listener unblocks accept(); join the acceptor first
+    // so no new connections can be queued after this point.
     ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
     if (accept_thread_.joinable()) accept_thread_.join();
@@ -109,14 +144,21 @@ void HttpServer::stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  std::vector<std::thread> workers;
-  {
-    std::lock_guard lock(workers_mutex_);
-    workers.swap(workers_);
-  }
-  for (std::thread& t : workers) {
+  // Workers drain whatever is already queued, then exit.
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
+  workers_.clear();
+  // Belt and braces: nothing should remain, but never leak an fd.
+  std::lock_guard lock(queue_mutex_);
+  for (int fd : queue_) ::close(fd);
+  queue_.clear();
+}
+
+std::size_t HttpServer::queue_depth() const {
+  std::lock_guard lock(queue_mutex_);
+  return queue_.size();
 }
 
 void HttpServer::accept_loop() {
@@ -129,27 +171,80 @@ void HttpServer::accept_loop() {
       if (errno == EINTR) continue;
       break;  // listener closed by stop()
     }
-    std::lock_guard lock(workers_mutex_);
-    workers_.emplace_back([this, fd] { handle_connection(fd); });
+    bool accepted = false;
+    {
+      std::lock_guard lock(queue_mutex_);
+      if (queue_.size() < options_.queue_capacity) {
+        queue_.push_back(fd);
+        accepted = true;
+      }
+    }
+    if (accepted) {
+      queue_cv_.notify_one();
+    } else {
+      shed_connection(fd);
+    }
+  }
+}
+
+void HttpServer::shed_connection(int fd) {
+  requests_shed_.fetch_add(1);
+  Response r;
+  r.status = 503;
+  r.content_type = "text/plain";
+  r.headers["retry-after"] = std::to_string(options_.retry_after_seconds);
+  r.body = "server overloaded; retry later\n";
+  try {
+    // Short, independent deadline: shedding must never stall the
+    // accept loop behind a slow client.
+    write_all(fd, to_wire(r), Deadline::after(std::chrono::seconds(1)));
+  } catch (const std::exception&) {
+    // Best effort; the close below is the real load shed.
+  }
+  ::close(fd);
+}
+
+void HttpServer::worker_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return !queue_.empty() || !running_.load(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      fd = queue_.front();
+      queue_.pop_front();
+    }
+    handle_connection(fd);
   }
 }
 
 void HttpServer::handle_connection(int fd) {
+  // One deadline for the whole exchange: read + handle + write.
+  const Deadline deadline = Deadline::after(options_.io_timeout);
   try {
-    const std::string wire = read_http_message(fd);
+    const std::string wire = read_http_message(fd, deadline);
     if (!wire.empty()) {
       Response response;
       try {
         const Request request = parse_request(wire);
-        response = handler_(request);
-      } catch (const std::exception& e) {
-        response = Response::server_error(e.what());
+        try {
+          response = handler_(request);
+        } catch (const std::exception& e) {
+          response = Response::server_error(e.what());
+        }
+      } catch (const HttpError& e) {
+        // The bytes never formed a valid request: client error, not
+        // server fault (oversized Content-Length lands here too).
+        response = Response::bad_request(e.what());
       }
       // Count before writing: a client that has the full response in hand
       // must observe the counter already bumped.
       requests_served_.fetch_add(1);
-      write_all(fd, to_wire(response));
+      write_all(fd, to_wire(response), deadline);
     }
+  } catch (const HttpTimeout&) {
+    timeouts_.fetch_add(1);
   } catch (const std::exception&) {
     // Connection-level failure: drop the connection.
   }

@@ -2,12 +2,19 @@
 //
 // "since PowerPlay is local to one server, it can be accessed by any
 // machine on the web.  There is no need to port, recompile and install
-// the tool."  This is a small threaded HTTP/1.0 server over POSIX
-// sockets: one listener thread accepts connections and handles each on a
-// worker thread (one request per connection, as HTTP/1.0 browsers did).
+// the tool."  This is a small HTTP/1.0 server over POSIX sockets: one
+// listener thread accepts connections into a bounded queue, a fixed
+// pool of worker threads drains it (one request per connection, as
+// HTTP/1.0 browsers did).  When the queue is full the listener sheds
+// load immediately with 503 + Retry-After instead of letting backlog
+// grow without bound, and every socket read/write runs under a
+// Deadline so a hung peer can never wedge a worker.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <string>
@@ -20,46 +27,83 @@ namespace powerplay::web {
 
 using Handler = std::function<Response(const Request&)>;
 
+/// Capacity and patience knobs.  Defaults suit tests and small sites;
+/// a production deployment raises worker_count/queue_capacity.
+struct ServerOptions {
+  std::size_t worker_count = 4;     ///< fixed worker pool size
+  std::size_t queue_capacity = 64;  ///< accepted-but-unserved connections
+  std::chrono::milliseconds io_timeout{15000};  ///< per-connection exchange
+  int retry_after_seconds = 1;      ///< advertised in shed responses
+};
+
+/// Counters a health endpoint or operator can poll.
+struct ServerStats {
+  std::uint64_t requests_served = 0;
+  std::uint64_t requests_shed = 0;  ///< 503s sent because the queue was full
+  std::uint64_t timeouts = 0;       ///< connections dropped by the Deadline
+};
+
 class HttpServer {
  public:
   /// Bind and listen on 127.0.0.1:`port`; port 0 picks a free port
   /// (query with port()).  Throws HttpError on bind failure.
-  HttpServer(std::uint16_t port, Handler handler);
+  HttpServer(std::uint16_t port, Handler handler, ServerOptions options = {});
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Start the accept loop (idempotent).
+  /// Start the accept loop and worker pool (idempotent).
   void start();
 
-  /// Stop accepting, close the listener, join all threads.
+  /// Stop accepting, drain queued connections, join all threads.
   void stop();
 
   [[nodiscard]] std::uint16_t port() const { return port_; }
   [[nodiscard]] std::uint64_t requests_served() const {
     return requests_served_.load();
   }
+  [[nodiscard]] std::uint64_t requests_shed() const {
+    return requests_shed_.load();
+  }
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_.load(); }
+  [[nodiscard]] ServerStats stats() const {
+    return {requests_served_.load(), requests_shed_.load(), timeouts_.load()};
+  }
+  /// Accepted connections waiting for a worker (tests, health checks).
+  [[nodiscard]] std::size_t queue_depth() const;
 
  private:
   void accept_loop();
+  void worker_loop();
   void handle_connection(int fd);
+  void shed_connection(int fd);
 
   Handler handler_;
+  ServerOptions options_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> requests_shed_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
-  std::mutex workers_mutex_;
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> queue_;  ///< accepted fds awaiting a worker
 };
 
 /// Read one complete HTTP message from a connected socket (uses
-/// message_size() framing).  Returns empty string on EOF before any data.
-std::string read_http_message(int fd);
+/// message_size() framing).  Returns empty string on EOF before any
+/// data.  Throws HttpTimeout once `deadline` expires; the default
+/// deadline never does.
+std::string read_http_message(int fd,
+                              const Deadline& deadline = Deadline::never());
 
-/// Write all bytes; throws HttpError on failure.
-void write_all(int fd, const std::string& data);
+/// Write all bytes; throws HttpError on failure, HttpTimeout on
+/// deadline expiry.
+void write_all(int fd, const std::string& data,
+               const Deadline& deadline = Deadline::never());
 
 }  // namespace powerplay::web

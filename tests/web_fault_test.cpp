@@ -1,0 +1,324 @@
+// Deterministic chaos tests: the fault-injection transport, the retry
+// policy with backoff and Retry-After, and the circuit breaker — all
+// hermetic (seeded PRNG, virtual clocks, recorded sleeps; no wall-clock
+// dependence beyond the loopback sockets themselves).
+#include "web/fault.hpp"
+
+#include <filesystem>
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "models/berkeley_library.hpp"
+#include "web/app.hpp"
+#include "web/remote.hpp"
+#include "web/server.hpp"
+
+namespace powerplay::web {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+std::shared_ptr<Transport> always_ok(const std::string& body = "ok") {
+  return std::make_shared<FunctionTransport>(
+      [body](const Request&) { return Response::ok_text(body); });
+}
+
+TEST(Fault, SameSeedReplaysSameSchedule) {
+  FaultSpec spec;
+  spec.drop_rate = 0.4;
+  spec.error_rate = 0.2;
+  spec.truncate_rate = 0.1;
+  spec.seed = 42;
+  FaultTransport a(always_ok(), spec);
+  FaultTransport b(always_ok(), spec);
+  Request req;
+  for (int i = 0; i < 200; ++i) {
+    std::optional<int> status_a, status_b;
+    try {
+      status_a = a.roundtrip(req).status;
+    } catch (const HttpError&) {}
+    try {
+      status_b = b.roundtrip(req).status;
+    } catch (const HttpError&) {}
+    EXPECT_EQ(status_a, status_b) << "diverged at call " << i;
+  }
+  EXPECT_EQ(a.counters().drops, b.counters().drops);
+  EXPECT_EQ(a.counters().errors, b.counters().errors);
+  EXPECT_EQ(a.counters().truncations, b.counters().truncations);
+  EXPECT_GT(a.counters().drops, 0);      // rates actually bite
+  EXPECT_GT(a.counters().passthrough, 0);
+}
+
+TEST(Fault, DropAlwaysThrowsTransportError) {
+  FaultSpec spec;
+  spec.drop_rate = 1.0;
+  FaultTransport chaos(always_ok(), spec);
+  Request req;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_THROW(chaos.roundtrip(req), HttpError);
+  }
+  EXPECT_EQ(chaos.counters().drops, 5);
+  EXPECT_EQ(chaos.counters().passthrough, 0);
+}
+
+TEST(Fault, DelayPastDeadlineIsVirtualTimeout) {
+  FaultSpec spec;
+  spec.delay_rate = 1.0;
+  spec.delay = 5000ms;     // would be 5 real seconds if it slept
+  spec.deadline = 200ms;   // simulated client patience
+  FaultTransport chaos(always_ok(), spec);
+  std::chrono::milliseconds observed{0};
+  chaos.set_delay_hook([&](std::chrono::milliseconds d) { observed += d; });
+
+  Request req;
+  const auto begin = std::chrono::steady_clock::now();
+  EXPECT_THROW(chaos.roundtrip(req), HttpTimeout);
+  EXPECT_THROW(chaos.roundtrip(req), HttpTimeout);
+  const auto wall = std::chrono::steady_clock::now() - begin;
+
+  EXPECT_LT(wall, 1s) << "injected delays must not sleep";
+  EXPECT_EQ(chaos.virtual_delay(), 10000ms);
+  EXPECT_EQ(observed, 10000ms);
+  EXPECT_EQ(chaos.counters().timeouts, 2);
+}
+
+TEST(Fault, ShortDelayBelowDeadlinePassesThrough) {
+  FaultSpec spec;
+  spec.delay_rate = 1.0;
+  spec.delay = 50ms;
+  spec.deadline = 200ms;
+  FaultTransport chaos(always_ok("body"), spec);
+  Request req;
+  EXPECT_EQ(chaos.roundtrip(req).body, "body");
+  EXPECT_EQ(chaos.counters().delays, 1);
+  EXPECT_EQ(chaos.counters().timeouts, 0);
+}
+
+TEST(Fault, InjectedErrorsCarryProperStatusLines) {
+  FaultSpec spec;
+  spec.unavailable_rate = 1.0;
+  FaultTransport chaos(always_ok(), spec);
+  Request req;
+  const Response r = chaos.roundtrip(req);
+  EXPECT_EQ(r.status, 503);
+  EXPECT_EQ(r.headers.at("retry-after"), "0");
+  // 503 renders with its proper reason phrase on the wire now.
+  EXPECT_NE(to_wire(r).find("503 Service Unavailable"), std::string::npos);
+}
+
+TEST(Retry, BackoffIsDeterministicBoundedAndGrowing) {
+  RetryPolicy policy;
+  policy.base_backoff = 10ms;
+  policy.max_backoff = 500ms;
+  policy.jitter_seed = 7;
+  RetryPolicy same = policy;
+  for (int retry = 0; retry < 12; ++retry) {
+    EXPECT_EQ(policy.backoff(retry), same.backoff(retry));
+    EXPECT_GE(policy.backoff(retry), 10ms);
+    EXPECT_LE(policy.backoff(retry), 500ms);
+  }
+  // The exponential part dominates eventually.
+  EXPECT_GT(policy.backoff(6), policy.backoff(0));
+}
+
+TEST(Retry, RetryAfterHintOverridesBackoff) {
+  int calls = 0;
+  auto flaky = std::make_shared<FunctionTransport>([&](const Request&) {
+    if (++calls == 1) {
+      Response r;
+      r.status = 503;
+      r.headers["retry-after"] = "2";
+      return r;
+    }
+    return Response::ok_text("m1\n");
+  });
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff = 10ms;
+  RemoteLibrary remote(flaky, policy);
+  std::vector<std::chrono::milliseconds> slept;
+  remote.set_sleeper([&](std::chrono::milliseconds d) { slept.push_back(d); });
+
+  EXPECT_EQ(remote.list_models(), (std::vector<std::string>{"m1"}));
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(remote.retries(), 1);
+  ASSERT_EQ(slept.size(), 1u);
+  EXPECT_EQ(slept[0], 2000ms) << "server's Retry-After should win";
+}
+
+TEST(Retry, FourZeroFourIsFinalNoRetries) {
+  int calls = 0;
+  auto missing = std::make_shared<FunctionTransport>([&](const Request&) {
+    ++calls;
+    return Response::not_found("nope");
+  });
+  RemoteLibrary remote(missing, RetryPolicy{});
+  remote.set_sleeper([](std::chrono::milliseconds) {});
+  EXPECT_THROW(remote.fetch_model("nope"), HttpError);
+  EXPECT_EQ(calls, 1) << "4xx must not be retried";
+}
+
+TEST(Breaker, OpensFailsFastAndHalfOpensOnVirtualClock) {
+  // Virtual clock shared by the test and the breaker.
+  auto now = std::make_shared<std::chrono::steady_clock::time_point>(
+      std::chrono::steady_clock::time_point{});
+  std::atomic<bool> failing{true};
+  int calls = 0;
+  auto transport = std::make_shared<FunctionTransport>([&](const Request&) {
+    ++calls;
+    if (failing) throw HttpError("remote down");
+    return Response::ok_text("m\n");
+  });
+  BreakerOptions breaker;
+  breaker.failure_threshold = 3;
+  breaker.cooldown = 1000ms;
+  RemoteLibrary remote(transport, RetryPolicy::none(), breaker,
+                       [now] { return *now; });
+  remote.set_sleeper([](std::chrono::milliseconds) {});
+
+  // Three failures trip the breaker.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW(remote.list_models(), HttpError);
+  }
+  EXPECT_EQ(remote.breaker().state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(calls, 3);
+
+  // While open: fail fast, no round trip spent.
+  EXPECT_THROW(remote.list_models(), CircuitOpenError);
+  EXPECT_EQ(calls, 3);
+
+  // After the cooldown (virtually) elapses, one probe goes through;
+  // the remote has recovered, so the circuit closes again.
+  *now += 1500ms;
+  failing = false;
+  EXPECT_EQ(remote.list_models(), (std::vector<std::string>{"m"}));
+  EXPECT_EQ(remote.breaker().state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(remote.list_models(), (std::vector<std::string>{"m"}));
+}
+
+TEST(Breaker, FailedProbeReopensImmediately) {
+  auto now = std::make_shared<std::chrono::steady_clock::time_point>(
+      std::chrono::steady_clock::time_point{});
+  int calls = 0;
+  auto transport = std::make_shared<FunctionTransport>(
+      [&](const Request&) -> Response {
+        ++calls;
+        throw HttpError("still down");
+      });
+  BreakerOptions breaker;
+  breaker.failure_threshold = 2;
+  breaker.cooldown = 1000ms;
+  RemoteLibrary remote(transport, RetryPolicy::none(), breaker,
+                       [now] { return *now; });
+  remote.set_sleeper([](std::chrono::milliseconds) {});
+
+  EXPECT_THROW(remote.list_models(), HttpError);
+  EXPECT_THROW(remote.list_models(), HttpError);
+  EXPECT_EQ(remote.breaker().state(), CircuitBreaker::State::kOpen);
+
+  *now += 1500ms;
+  EXPECT_THROW(remote.list_models(), HttpError);  // the probe itself fails
+  EXPECT_EQ(remote.breaker().state(), CircuitBreaker::State::kOpen);
+  const int after_probe = calls;
+  EXPECT_THROW(remote.list_models(), CircuitOpenError);  // fast again
+  EXPECT_EQ(calls, after_probe);
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance scenario: import a full model library through chaos.
+// ---------------------------------------------------------------------------
+
+/// One PowerPlay site on loopback (same shape as web_remote_test).
+struct Site {
+  fs::path dir;
+  std::unique_ptr<PowerPlayApp> app;
+  std::unique_ptr<HttpServer> server;
+
+  Site() {
+    static int counter = 0;
+    dir = fs::temp_directory_path() /
+          ("pp_chaos_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter++));
+    fs::create_directories(dir);
+    app = std::make_unique<PowerPlayApp>(library::LibraryStore(dir));
+    server = std::make_unique<HttpServer>(
+        0, [this](const Request& r) { return app->handle(r); });
+    server->start();
+  }
+  ~Site() {
+    server->stop();
+    fs::remove_all(dir);
+  }
+  [[nodiscard]] std::uint16_t port() const { return server->port(); }
+
+  void publish_model(const std::string& name, const std::string& equation) {
+    model::UserModelDefinition def;
+    def.name = name;
+    def.category = model::Category::kComputation;
+    def.params = {{"k", "scale", 1.0, "", 0, 1e6, false}};
+    def.c_fullswing = equation;
+    app->store().save_model(def, /*proprietary=*/false);
+  }
+};
+
+TEST(Chaos, RetriesImportLibraryWhereSingleShotFails) {
+  Site site;
+  site.publish_model("chaos_dct", "k * 120e-15");
+  site.publish_model("chaos_fir", "k * 80e-15");
+  site.publish_model("chaos_mac", "k * 300e-15");
+
+  // >=30% connection drops plus injected 5xx, per the acceptance bar.
+  auto make_remote = [&](std::uint64_t seed, const RetryPolicy& policy) {
+    FaultSpec spec;
+    spec.drop_rate = 0.30;
+    spec.error_rate = 0.10;
+    spec.truncate_rate = 0.05;
+    spec.seed = seed;
+    auto chaos = std::make_shared<FaultTransport>(
+        std::make_shared<TcpTransport>(site.port()), spec);
+    BreakerOptions breaker;
+    breaker.failure_threshold = 1000;  // breaker studied separately above
+    RemoteLibrary remote(chaos, policy, breaker);
+    remote.set_sleeper([](std::chrono::milliseconds) {});  // virtual time
+    return remote;
+  };
+
+  // Find a seed whose very first fault schedule sinks the zero-retry
+  // client.  Deterministic: the same seed fails every run, and with a
+  // ~41% per-fetch fault rate the chance that 64 seeds all survive
+  // four fetches is (1 - 0.41)^... ~ 0, so the ASSERT is stable.
+  std::optional<std::uint64_t> failing_seed;
+  for (std::uint64_t seed = 1; seed <= 64 && !failing_seed; ++seed) {
+    model::ModelRegistry registry;
+    RemoteLibrary single = make_remote(seed, RetryPolicy::none());
+    try {
+      single.import_all(registry);
+    } catch (const HttpError&) {
+      failing_seed = seed;
+    }
+  }
+  ASSERT_TRUE(failing_seed.has_value())
+      << "no seed produced a first-shot failure; fault injection inert?";
+
+  // Same seed, same chaos schedule — but with retries the whole
+  // library lands.
+  RetryPolicy patient;
+  patient.max_attempts = 12;
+  patient.base_backoff = 1ms;
+  model::ModelRegistry registry;
+  RemoteLibrary remote = make_remote(*failing_seed, patient);
+  const std::vector<std::string> imported = remote.import_all(registry);
+
+  EXPECT_EQ(imported.size(), 3u);
+  EXPECT_TRUE(registry.contains("chaos_dct"));
+  EXPECT_TRUE(registry.contains("chaos_fir"));
+  EXPECT_TRUE(registry.contains("chaos_mac"));
+  EXPECT_GT(remote.retries(), 0) << "success must have come via retries";
+  EXPECT_GT(remote.round_trips(), 4) << "4 fetches cannot have been enough";
+}
+
+}  // namespace
+}  // namespace powerplay::web

@@ -1,0 +1,257 @@
+// Resilience tests for the web stack: malformed-HTTP fuzz tables, hung
+// peers vs deadlines, bounded-pool load shedding, and the /healthz
+// endpoint.  Every scenario here used to be able to wedge a worker
+// thread or crash the server outright.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <future>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "library/store.hpp"
+#include "web/app.hpp"
+#include "web/client.hpp"
+#include "web/server.hpp"
+
+namespace powerplay::web {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+/// Blocking loopback connect for raw-bytes tests (no HTTP client).
+int raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  return fd;
+}
+
+/// Send raw bytes, half-close, read whatever comes back until EOF.
+std::string raw_exchange(std::uint16_t port, const std::string& bytes) {
+  const int fd = raw_connect(port);
+  if (!bytes.empty()) {
+    EXPECT_EQ(::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string reply;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    reply.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return reply;
+}
+
+TEST(Resilience, MalformedRequestsAnswer400AndServerSurvives) {
+  HttpServer server(0, [](const Request&) { return Response::ok_text("ok"); },
+                    ServerOptions{.io_timeout = 2000ms});
+  server.start();
+
+  // Each entry holds a framing-complete but malformed message; the
+  // server must answer 400 (never 500, never crash).
+  const std::string cases[] = {
+      "GET\r\n\r\n",                                // truncated request line
+      "\r\n\r\n",                                   // no method at all
+      "GET / HTTP/1.0\r\nno colon here\r\n\r\n",    // header without colon
+      "GET / HTTP/1.0\r\ncontent-length: zebra\r\n\r\n",
+      "GET / HTTP/1.0\r\ncontent-length: 999999999999\r\n\r\n",  // > cap
+      "GET / HTTP/1.0\r\ncontent-length: -1\r\n\r\n",            // wraps huge
+      "GET / HTTP/1.0\r\ncontent-length: "
+      "99999999999999999999999999\r\n\r\n",         // stoull overflow
+      // Body shorter than promised, then EOF: truncated request.
+      "POST / HTTP/1.0\r\ncontent-length: 10\r\n\r\nabc",
+  };
+  for (const std::string& wire : cases) {
+    const std::string reply = raw_exchange(server.port(), wire);
+    EXPECT_NE(reply.find("400 Bad Request"), std::string::npos)
+        << "input: " << wire << "\nreply: " << reply;
+  }
+
+  // Empty reads (connect then immediately close) must be shrugged off.
+  EXPECT_EQ(raw_exchange(server.port(), ""), "");
+
+  // After all that abuse, a normal request still succeeds.
+  EXPECT_EQ(http_get(server.port(), "/").body, "ok");
+  server.stop();
+}
+
+TEST(Resilience, OversizedContentLengthRejectedAtParseTime) {
+  // Parse-level checks: no 16 MiB allocation is ever attempted.
+  EXPECT_THROW(
+      parse_request("GET / HTTP/1.0\r\ncontent-length: 999999999999\r\n\r\n"),
+      HttpError);
+  EXPECT_THROW(
+      message_size("GET / HTTP/1.0\r\ncontent-length: 999999999999\r\n\r\n"),
+      HttpError);
+  EXPECT_THROW(parse_request("GET / HTTP/1.0\r\ncontent-length: -1\r\n\r\n"),
+               HttpError);
+  EXPECT_THROW(
+      parse_request("GET / HTTP/1.0\r\ncontent-length: 12abc\r\n\r\n"),
+      HttpError);
+  // At the cap is still fine (framing-wise): 16 MiB exactly is allowed.
+  const auto size = message_size("GET / HTTP/1.0\r\ncontent-length: 0\r\n\r\n");
+  ASSERT_TRUE(size.has_value());
+}
+
+TEST(Resilience, SheddingStatusCodesRenderProperly) {
+  EXPECT_EQ(status_text(503), "Service Unavailable");
+  EXPECT_EQ(status_text(429), "Too Many Requests");
+  EXPECT_EQ(status_text(408), "Request Timeout");
+}
+
+TEST(Resilience, DeadlineBasics) {
+  EXPECT_FALSE(Deadline::never().bounded());
+  EXPECT_FALSE(Deadline::never().expired());
+  EXPECT_EQ(Deadline::never().poll_timeout_ms(), -1);
+  const Deadline expired = Deadline::after(0ms);
+  EXPECT_TRUE(expired.expired());
+  EXPECT_EQ(expired.poll_timeout_ms(), 0);
+  EXPECT_FALSE(Deadline::after(10s).expired());
+}
+
+TEST(Resilience, ClientDeadlineFiresOnHungPeer) {
+  // A listener whose backlog accepts the TCP handshake but never reads
+  // or answers: the pre-deadline client would block indefinitely.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  ASSERT_EQ(::listen(listener, 4), 0);
+  socklen_t len = sizeof addr;
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+
+  SocketOptions options;
+  options.connect_timeout = 500ms;
+  options.io_timeout = 150ms;
+  const auto begin = std::chrono::steady_clock::now();
+  EXPECT_THROW(http_get(port, "/", options), HttpTimeout);
+  const auto elapsed = std::chrono::steady_clock::now() - begin;
+  EXPECT_LT(elapsed, 2s) << "deadline did not bound the hang";
+  ::close(listener);
+}
+
+TEST(Resilience, ServerDeadlineReapsHungPeer) {
+  HttpServer server(0, [](const Request&) { return Response::ok_text("ok"); },
+                    ServerOptions{.io_timeout = 100ms});
+  server.start();
+
+  // Connect and send nothing: the worker's read deadline must fire.
+  const int fd = raw_connect(server.port());
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (server.timeouts() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(server.timeouts(), 1u);
+  ::close(fd);
+
+  // The worker that reaped the hung peer is back in rotation.
+  EXPECT_EQ(http_get(server.port(), "/").body, "ok");
+  server.stop();
+}
+
+TEST(Resilience, LoadSheddingBeyondPoolAndQueue) {
+  // One worker, queue of one: request A occupies the worker, request B
+  // the queue, request C must be shed with 503 + Retry-After while A
+  // and B still complete.
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::atomic<int> entered{0};
+  ServerOptions options;
+  options.worker_count = 1;
+  options.queue_capacity = 1;
+  options.io_timeout = 10000ms;
+  options.retry_after_seconds = 7;
+  HttpServer server(
+      0,
+      [&](const Request& req) {
+        ++entered;
+        opened.wait();
+        return Response::ok_text("done:" + req.target);
+      },
+      options);
+  server.start();
+
+  auto get_async = [&](const std::string& target) {
+    return std::async(std::launch::async, [&server, target] {
+      return http_get(server.port(), target);
+    });
+  };
+
+  auto a = get_async("/a");
+  // Wait until A is inside the handler (worker busy, queue empty).
+  while (entered.load() == 0) std::this_thread::sleep_for(1ms);
+  auto b = get_async("/b");
+  // Wait until B is parked in the accept queue.
+  const auto park = std::chrono::steady_clock::now() + 5s;
+  while (server.queue_depth() < 1 && std::chrono::steady_clock::now() < park) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_EQ(server.queue_depth(), 1u);
+
+  // Pool and queue are full: C is shed immediately.
+  const Response shed = http_get(server.port(), "/c");
+  EXPECT_EQ(shed.status, 503);
+  ASSERT_TRUE(shed.headers.contains("retry-after"));
+  EXPECT_EQ(shed.headers.at("retry-after"), "7");
+  EXPECT_EQ(server.requests_shed(), 1u);
+
+  // In-flight work is unaffected: A and B finish normally.
+  gate.set_value();
+  EXPECT_EQ(a.get().body, "done:/a");
+  EXPECT_EQ(b.get().body, "done:/b");
+  EXPECT_EQ(server.requests_served(), 2u);
+  server.stop();
+}
+
+TEST(Resilience, HealthzReportsCountersWhenWired) {
+  static int counter = 0;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("pp_healthz_" + std::to_string(::getpid()) + "_" +
+       std::to_string(counter++));
+  fs::create_directories(dir);
+  {
+    PowerPlayApp app{library::LibraryStore(dir)};
+    HttpServer server(0, [&](const Request& r) { return app.handle(r); });
+    app.set_stats_source([&server] { return server.stats(); });
+    server.start();
+
+    const Response first = http_get(server.port(), "/healthz");
+    EXPECT_EQ(first.status, 200);
+    EXPECT_EQ(first.body.rfind("ok\n", 0), 0u);
+    EXPECT_NE(first.body.find("models: "), std::string::npos);
+    EXPECT_NE(first.body.find("requests_served: 0"), std::string::npos);
+
+    const Response second = http_get(server.port(), "/healthz");
+    EXPECT_NE(second.body.find("requests_served: 1"), std::string::npos);
+    EXPECT_NE(second.body.find("requests_shed: 0"), std::string::npos);
+    EXPECT_NE(second.body.find("timeouts: 0"), std::string::npos);
+    server.stop();
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace powerplay::web
