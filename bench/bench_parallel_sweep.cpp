@@ -1,0 +1,141 @@
+// bench_parallel_sweep — serial vs. engine-backed sweep on the 8x8
+// vdd x pixel_rate grid of the VQ luminance chip (impl 2), plus the
+// memoized-Play warm path.  Emits BENCH_engine.json (argv[1] overrides
+// the output path) with the timings, speedups and cache hit-rate, and
+// asserts the engine results are bit-identical to the serial loop.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "engine/engine.hpp"
+#include "models/berkeley_library.hpp"
+#include "sheet/sweep.hpp"
+#include "studies/vq.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Best-of-N wall time of `fn`, in seconds.
+template <typename Fn>
+double best_of(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = Clock::now();
+    fn();
+    const std::chrono::duration<double> dt = Clock::now() - t0;
+    if (dt.count() < best) best = dt.count();
+  }
+  return best;
+}
+
+bool bit_identical(const powerplay::sheet::GridSweep& a,
+                   const powerplay::sheet::GridSweep& b) {
+  if (a.results.size() != b.results.size()) return false;
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    if (a.results[i].size() != b.results[i].size()) return false;
+    for (std::size_t j = 0; j < a.results[i].size(); ++j) {
+      if (a.results[i][j].total.total_power().si() !=
+              b.results[i][j].total.total_power().si() ||
+          a.results[i][j].total.energy_per_op.si() !=
+              b.results[i][j].total.energy_per_op.si()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace powerplay;
+  constexpr int kGrid = 8;
+  constexpr int kReps = 5;
+  constexpr std::size_t kThreads = 4;
+
+  const auto lib = models::berkeley_library();
+  const sheet::Design design = studies::make_luminance_impl2(lib);
+  const std::vector<double> vdds = sheet::linspace(1.0, 3.0, kGrid);
+  const std::vector<double> rates = sheet::linspace(1e6, 4e6, kGrid);
+
+  std::printf("bench_parallel_sweep: %dx%d grid (vdd x pixel_rate), "
+              "%zu engine threads, best of %d\n\n",
+              kGrid, kGrid, kThreads, kReps);
+
+  // Serial baseline.
+  sheet::GridSweep serial_grid;
+  const double t_serial = best_of(kReps, [&] {
+    serial_grid = sheet::sweep_grid(design, "vdd", vdds, "pixel_rate", rates);
+  });
+
+  // Engine, cold cache: a fresh engine every rep, so every point is a
+  // real Play fanned out over the executor.
+  sheet::GridSweep cold_grid;
+  const double t_cold = best_of(kReps, [&] {
+    engine::EvalEngine fresh({{kThreads, 256}, 4096});
+    cold_grid =
+        fresh.sweep_grid(design, "vdd", vdds, "pixel_rate", rates);
+  });
+
+  // Engine, warm cache: one engine, repeated sweep of the unchanged
+  // design — every point is a fingerprint + cache hit.
+  engine::EvalEngine engine({{kThreads, 256}, 4096});
+  sheet::GridSweep warm_grid =
+      engine.sweep_grid(design, "vdd", vdds, "pixel_rate", rates);
+  const double t_warm = best_of(kReps, [&] {
+    warm_grid = engine.sweep_grid(design, "vdd", vdds, "pixel_rate", rates);
+  });
+  const engine::CacheStats cache = engine.cache().stats();
+  const double hit_rate =
+      cache.hits + cache.misses == 0
+          ? 0.0
+          : static_cast<double>(cache.hits) /
+                static_cast<double>(cache.hits + cache.misses);
+
+  const bool identical = bit_identical(serial_grid, cold_grid) &&
+                         bit_identical(serial_grid, warm_grid);
+
+  const double speedup_cold = t_serial / t_cold;
+  const double speedup_warm = t_serial / t_warm;
+
+  std::printf("serial            : %9.3f ms\n", t_serial * 1e3);
+  std::printf("engine (cold)     : %9.3f ms   speedup %.2fx\n",
+              t_cold * 1e3, speedup_cold);
+  std::printf("engine (warm)     : %9.3f ms   speedup %.2fx\n",
+              t_warm * 1e3, speedup_warm);
+  std::printf("cache             : %zu hits / %zu misses "
+              "(hit rate %.1f%%), %zu/%zu entries\n",
+              cache.hits, cache.misses, 100.0 * hit_rate, cache.size,
+              cache.capacity);
+  std::printf("bit-identical     : %s\n", identical ? "yes" : "NO");
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"benchmark\": \"parallel_sweep\",\n"
+       << "  \"design\": \"" << design.name() << "\",\n"
+       << "  \"grid\": [" << kGrid << ", " << kGrid << "],\n"
+       << "  \"axes\": [\"vdd\", \"pixel_rate\"],\n"
+       << "  \"engine_threads\": " << kThreads << ",\n"
+       << "  \"repetitions\": " << kReps << ",\n"
+       << "  \"serial_ms\": " << t_serial * 1e3 << ",\n"
+       << "  \"engine_cold_ms\": " << t_cold * 1e3 << ",\n"
+       << "  \"engine_warm_ms\": " << t_warm * 1e3 << ",\n"
+       << "  \"speedup_cold\": " << speedup_cold << ",\n"
+       << "  \"speedup_warm\": " << speedup_warm << ",\n"
+       << "  \"cache_hits\": " << cache.hits << ",\n"
+       << "  \"cache_misses\": " << cache.misses << ",\n"
+       << "  \"cache_hit_rate\": " << hit_rate << ",\n"
+       << "  \"bit_identical\": " << (identical ? "true" : "false") << "\n"
+       << "}\n";
+
+  const std::string out_path =
+      argc > 1 ? argv[1] : std::string("BENCH_engine.json");
+  std::ofstream out(out_path);
+  out << json.str();
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+#include "engine/cache.hpp"
+
+#include <utility>
+
+namespace powerplay::engine {
+
+PlayCache::PlayCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) capacity_ = 1;
+}
+
+std::shared_ptr<const sheet::PlayResult> PlayCache::find(std::uint64_t key) {
+  std::lock_guard lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+  return it->second->second;
+}
+
+void PlayCache::insert(std::uint64_t key,
+                       std::shared_ptr<const sheet::PlayResult> value) {
+  std::lock_guard lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(value));
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void PlayCache::clear() {
+  std::lock_guard lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+CacheStats PlayCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return CacheStats{hits_, misses_, evictions_, lru_.size(), capacity_};
+}
+
+}  // namespace powerplay::engine

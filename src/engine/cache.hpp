@@ -1,0 +1,62 @@
+// cache.hpp — memoized Play results, keyed by design fingerprint.
+//
+// Re-Playing an unchanged design — a page reload, a revisited sweep
+// point, two users opening the same shared design — is the hottest
+// redundant work in the web loop.  This is a thread-safe LRU map from
+// content fingerprint (engine/fingerprint.hpp) to an immutable
+// PlayResult.  Invalidation is free: any edit changes the fingerprint,
+// so stale entries are simply never looked up again and age out of the
+// LRU tail (docs/engine.md spells out the rules).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "sheet/design.hpp"
+
+namespace powerplay::engine {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t size = 0;
+  std::size_t capacity = 0;
+};
+
+class PlayCache {
+ public:
+  explicit PlayCache(std::size_t capacity = 4096);
+
+  /// Lookup; promotes the entry to most-recently-used.  Counts a hit or
+  /// a miss.  Returns nullptr on miss.
+  [[nodiscard]] std::shared_ptr<const sheet::PlayResult> find(
+      std::uint64_t key);
+
+  /// Insert (or refresh) an entry, evicting the least-recently-used one
+  /// when over capacity.
+  void insert(std::uint64_t key,
+              std::shared_ptr<const sheet::PlayResult> value);
+
+  void clear();
+
+  [[nodiscard]] CacheStats stats() const;
+
+ private:
+  using Entry = std::pair<std::uint64_t,
+                          std::shared_ptr<const sheet::PlayResult>>;
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace powerplay::engine

@@ -1,0 +1,46 @@
+#include "engine/engine.hpp"
+
+namespace powerplay::engine {
+
+EvalEngine::EvalEngine(EngineOptions options)
+    : executor_(options.executor), cache_(options.cache_capacity) {}
+
+std::shared_ptr<const sheet::PlayResult> EvalEngine::play(
+    const sheet::Design& design) {
+  const std::uint64_t key = fingerprint(design);
+  if (auto cached = cache_.find(key)) return cached;
+  auto fresh = std::make_shared<const sheet::PlayResult>(design.play());
+  cache_.insert(key, fresh);
+  return fresh;
+}
+
+sheet::PlayFn EvalEngine::memoized_play() {
+  return [this](const sheet::Design& d) { return *play(d); };
+}
+
+std::vector<sheet::SweepPoint> EvalEngine::sweep_global(
+    const sheet::Design& design, const std::string& param,
+    const std::vector<double>& values, const sheet::SweepProgress& progress) {
+  return sheet::sweep_global(executor_, design, param, values,
+                             memoized_play(), progress);
+}
+
+std::vector<sheet::SweepPoint> EvalEngine::sweep_row_param(
+    const sheet::Design& design, const std::string& row,
+    const std::string& param, const std::vector<double>& values,
+    const sheet::SweepProgress& progress) {
+  return sheet::sweep_row_param(executor_, design, row, param, values,
+                                memoized_play(), progress);
+}
+
+sheet::GridSweep EvalEngine::sweep_grid(const sheet::Design& design,
+                                        const std::string& x_param,
+                                        const std::vector<double>& xs,
+                                        const std::string& y_param,
+                                        const std::vector<double>& ys,
+                                        const sheet::SweepProgress& progress) {
+  return sheet::sweep_grid(executor_, design, x_param, xs, y_param, ys,
+                           memoized_play(), progress);
+}
+
+}  // namespace powerplay::engine

@@ -1,0 +1,65 @@
+// engine.hpp — the parallel evaluation engine.
+//
+// One EvalEngine per process (the web app owns one): a thread-pool
+// executor for Playing independent sweep points concurrently, plus a
+// memoized Play cache so an unchanged design — a reloaded page, a
+// revisited sweep point, a second user opening a shared design — costs
+// a hash instead of a fixed-point evaluation.  Engine-backed sweeps
+// are bit-identical to the serial loops in sheet/sweep.hpp: each point
+// clones the design, so there is no shared mutable state to order.
+#pragma once
+
+#include <memory>
+
+#include "engine/cache.hpp"
+#include "engine/executor.hpp"
+#include "engine/fingerprint.hpp"
+#include "sheet/sweep.hpp"
+
+namespace powerplay::engine {
+
+struct EngineOptions {
+  ExecutorOptions executor;
+  std::size_t cache_capacity = 4096;
+};
+
+class EvalEngine {
+ public:
+  explicit EvalEngine(EngineOptions options = {});
+
+  [[nodiscard]] Executor& executor() { return executor_; }
+  [[nodiscard]] PlayCache& cache() { return cache_; }
+
+  /// Memoized Play: fingerprint, probe the cache, Play on miss.  The
+  /// returned result is shared and immutable.
+  [[nodiscard]] std::shared_ptr<const sheet::PlayResult> play(
+      const sheet::Design& design);
+
+  /// Engine-backed sweeps: parallel over the executor, memoized per
+  /// point.  Same signatures, validation and results as the serial
+  /// entry points in sheet/sweep.hpp.
+  [[nodiscard]] std::vector<sheet::SweepPoint> sweep_global(
+      const sheet::Design& design, const std::string& param,
+      const std::vector<double>& values,
+      const sheet::SweepProgress& progress = {});
+
+  [[nodiscard]] std::vector<sheet::SweepPoint> sweep_row_param(
+      const sheet::Design& design, const std::string& row,
+      const std::string& param, const std::vector<double>& values,
+      const sheet::SweepProgress& progress = {});
+
+  [[nodiscard]] sheet::GridSweep sweep_grid(
+      const sheet::Design& design, const std::string& x_param,
+      const std::vector<double>& xs, const std::string& y_param,
+      const std::vector<double>& ys,
+      const sheet::SweepProgress& progress = {});
+
+ private:
+  /// The memoizing PlayFn handed to the sheet sweep overloads.
+  [[nodiscard]] sheet::PlayFn memoized_play();
+
+  Executor executor_;
+  PlayCache cache_;
+};
+
+}  // namespace powerplay::engine

@@ -1,0 +1,98 @@
+// executor.hpp — fixed-size thread pool with a bounded task queue.
+//
+// The evaluation engine behind the web front end: sweep points, cache
+// refills and background jobs all run here.  The pool is deliberately
+// small and bounded — like the HTTP server's worker pool, it sheds
+// pressure by blocking the producer instead of queueing without limit,
+// so a burst of sweep requests cannot exhaust memory.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace powerplay::engine {
+
+/// Sizing knobs.  Defaults suit tests and a small site; production
+/// raises thread_count toward the core count.
+struct ExecutorOptions {
+  std::size_t thread_count = 4;     ///< fixed pool size (clamped to >= 1)
+  std::size_t queue_capacity = 256; ///< submit() blocks when this many wait
+};
+
+/// Counters a health endpoint can poll.
+struct ExecutorStats {
+  std::uint64_t submitted = 0;  ///< tasks accepted by submit()
+  std::uint64_t executed = 0;   ///< tasks run to completion (or thrown)
+  std::size_t queue_depth = 0;  ///< tasks waiting for a worker right now
+  std::size_t thread_count = 0;
+};
+
+class Executor {
+ public:
+  explicit Executor(ExecutorOptions options = {});
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Enqueue one task.  Blocks while the queue is at capacity (back
+  /// pressure); throws HttpError-free std::runtime_error after shutdown.
+  /// A task's exceptions are the submitter's problem — wrap with
+  /// TaskGroup (below) to collect them; a bare task that throws
+  /// terminates, as with std::thread.
+  void submit(std::function<void()> task);
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+  [[nodiscard]] ExecutorStats stats() const;
+
+ private:
+  void worker_loop();
+
+  ExecutorOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable task_ready_;   ///< workers wait here
+  std::condition_variable space_free_;   ///< blocked submitters wait here
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t executed_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+/// Fork-join helper: submit a batch of tasks, then wait() for all of
+/// them.  The first exception any task throws is captured and rethrown
+/// from wait(); later ones are dropped (the sweep is already poisoned).
+class TaskGroup {
+ public:
+  explicit TaskGroup(Executor& executor) : executor_(&executor) {}
+  ~TaskGroup();  ///< waits for completion; never throws
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void run(std::function<void()> task);
+
+  /// Block until every run() task finished; rethrow the first failure.
+  void wait();
+
+ private:
+  Executor* executor_;
+  std::mutex mutex_;
+  std::condition_variable done_;
+  std::size_t pending_ = 0;
+  std::exception_ptr error_;
+};
+
+/// Run body(0..n-1) across the pool and wait.  The n == 0 and n == 1
+/// cases never touch the pool (no task overhead for trivial sweeps).
+void parallel_for(Executor& executor, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace powerplay::engine

@@ -1,0 +1,187 @@
+#include "engine/job.hpp"
+
+#include <utility>
+
+namespace powerplay::engine {
+
+std::string to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::kQueued:
+      return "queued";
+    case JobStatus::kRunning:
+      return "running";
+    case JobStatus::kDone:
+      return "done";
+    case JobStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+JobManager::JobManager(std::size_t runner_count, std::size_t retained_jobs)
+    : retained_jobs_(retained_jobs == 0 ? 1 : retained_jobs) {
+  if (runner_count == 0) runner_count = 1;
+  runners_.reserve(runner_count);
+  for (std::size_t i = 0; i < runner_count; ++i) {
+    runners_.emplace_back([this] { runner_loop(); });
+  }
+}
+
+JobManager::~JobManager() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+    pending_.clear();  // queued-but-unstarted jobs die with the process
+  }
+  job_ready_.notify_all();
+  for (std::thread& t : runners_) t.join();
+}
+
+std::uint64_t JobManager::submit(std::string user, std::string description,
+                                 Work work) {
+  std::uint64_t id = 0;
+  {
+    std::lock_guard lock(mutex_);
+    id = next_id_++;
+    Record record;
+    record.snapshot.id = id;
+    record.snapshot.user = std::move(user);
+    record.snapshot.description = std::move(description);
+    record.snapshot.status = JobStatus::kQueued;
+    record.work = std::move(work);
+    jobs_.emplace(id, std::move(record));
+    pending_.push_back(id);
+    trim_finished_locked();
+  }
+  job_ready_.notify_one();
+  return id;
+}
+
+std::optional<JobSnapshot> JobManager::get(std::uint64_t id) const {
+  std::lock_guard lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second.snapshot;
+}
+
+std::vector<JobSnapshot> JobManager::list(const std::string& user) const {
+  std::lock_guard lock(mutex_);
+  std::vector<JobSnapshot> out;
+  for (auto it = jobs_.rbegin(); it != jobs_.rend(); ++it) {
+    if (it->second.snapshot.user == user) out.push_back(it->second.snapshot);
+  }
+  return out;
+}
+
+JobStats JobManager::stats() const {
+  std::lock_guard lock(mutex_);
+  JobStats s;
+  for (const auto& [id, record] : jobs_) {
+    switch (record.snapshot.status) {
+      case JobStatus::kQueued:
+        ++s.queued;
+        break;
+      case JobStatus::kRunning:
+        ++s.running;
+        break;
+      case JobStatus::kDone:
+        ++s.done;
+        break;
+      case JobStatus::kFailed:
+        ++s.failed;
+        break;
+    }
+  }
+  return s;
+}
+
+void JobManager::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return pending_.empty() && active_ == 0; });
+}
+
+void JobManager::runner_loop() {
+  for (;;) {
+    std::uint64_t id = 0;
+    Work work;
+    {
+      std::unique_lock lock(mutex_);
+      job_ready_.wait(lock,
+                      [this] { return stopping_ || !pending_.empty(); });
+      if (stopping_) return;
+      id = pending_.front();
+      pending_.pop_front();
+      auto it = jobs_.find(id);
+      if (it == jobs_.end()) continue;  // trimmed while queued
+      it->second.snapshot.status = JobStatus::kRunning;
+      work = std::move(it->second.work);
+      ++active_;
+    }
+
+    const Progress progress = [this, id](std::size_t done,
+                                         std::size_t total) {
+      std::lock_guard lock(mutex_);
+      auto it = jobs_.find(id);
+      if (it == jobs_.end()) return;
+      it->second.snapshot.done = done;
+      it->second.snapshot.total = total;
+    };
+
+    JobResult result;
+    std::string error;
+    bool failed = false;
+    try {
+      result = work(progress);
+    } catch (const std::exception& e) {
+      failed = true;
+      error = e.what();
+    } catch (...) {
+      failed = true;
+      error = "unknown error";
+    }
+
+    {
+      std::lock_guard lock(mutex_);
+      auto it = jobs_.find(id);
+      if (it != jobs_.end()) {
+        JobSnapshot& snap = it->second.snapshot;
+        if (failed) {
+          snap.status = JobStatus::kFailed;
+          snap.error = std::move(error);
+        } else {
+          snap.status = JobStatus::kDone;
+          snap.result = std::move(result);
+          if (snap.total == 0) snap.total = snap.done;
+        }
+      }
+      --active_;
+      trim_finished_locked();
+      if (pending_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void JobManager::trim_finished_locked() {
+  // The bound applies to finished records only: queued/running jobs are
+  // never evicted, and a deep backlog must not push out fresh results
+  // before their poller has fetched them.
+  std::size_t finished = 0;
+  for (const auto& [id, record] : jobs_) {
+    if (record.snapshot.status == JobStatus::kDone ||
+        record.snapshot.status == JobStatus::kFailed) {
+      ++finished;
+    }
+  }
+  for (auto it = jobs_.begin();
+       finished > retained_jobs_ && it != jobs_.end();) {
+    if (it->second.snapshot.status == JobStatus::kDone ||
+        it->second.snapshot.status == JobStatus::kFailed) {
+      it = jobs_.erase(it);  // std::map is id-ordered: oldest first
+      --finished;
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace powerplay::engine

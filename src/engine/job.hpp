@@ -1,0 +1,112 @@
+// job.hpp — asynchronous job manager for long-running evaluations.
+//
+// A sweep over a big grid is too slow to answer inline on a mid-90s
+// modem — and too useful to serialize behind one request.  The web app
+// enqueues the work here and answers immediately with a job id; the
+// client polls /job?id= for progress and fetches the grid (table or
+// CSV) when done.
+//
+// Jobs are drained by their own small runner-thread pool, deliberately
+// separate from the point Executor: a job *waits* on the points it fans
+// out, so running jobs on the same pool that executes their points
+// could deadlock once every thread held a waiting job.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace powerplay::engine {
+
+enum class JobStatus { kQueued, kRunning, kDone, kFailed };
+
+std::string to_string(JobStatus status);
+
+/// What a finished job hands back: a human-readable table and a
+/// machine-readable CSV of the same data.
+struct JobResult {
+  std::string table;
+  std::string csv;
+};
+
+/// Immutable copy of a job's state at one poll.
+struct JobSnapshot {
+  std::uint64_t id = 0;
+  std::string user;
+  std::string description;
+  JobStatus status = JobStatus::kQueued;
+  std::size_t done = 0;   ///< points completed so far
+  std::size_t total = 0;  ///< points overall (0 until the job starts)
+  std::string error;      ///< set when status == kFailed
+  JobResult result;       ///< set when status == kDone
+};
+
+struct JobStats {
+  std::size_t queued = 0;
+  std::size_t running = 0;
+  std::size_t done = 0;
+  std::size_t failed = 0;
+};
+
+class JobManager {
+ public:
+  /// Progress callback a job's work function calls as points finish.
+  using Progress = std::function<void(std::size_t done, std::size_t total)>;
+  /// The work itself; runs on a runner thread.  Throwing marks the job
+  /// failed with the exception message.
+  using Work = std::function<JobResult(const Progress& progress)>;
+
+  /// `retained_jobs` bounds the finished-job history: the oldest done/
+  /// failed records are dropped once the table exceeds it, so a polling
+  /// client should fetch results promptly (they get 404-equivalent
+  /// nullopt afterwards).
+  explicit JobManager(std::size_t runner_count = 1,
+                      std::size_t retained_jobs = 256);
+  ~JobManager();
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  /// Enqueue; returns the job id immediately.
+  std::uint64_t submit(std::string user, std::string description, Work work);
+
+  [[nodiscard]] std::optional<JobSnapshot> get(std::uint64_t id) const;
+
+  /// All of one user's jobs, newest first.
+  [[nodiscard]] std::vector<JobSnapshot> list(const std::string& user) const;
+
+  [[nodiscard]] JobStats stats() const;
+
+  /// Block until no job is queued or running (tests, shutdown).
+  void wait_idle();
+
+ private:
+  struct Record {
+    JobSnapshot snapshot;
+    Work work;
+  };
+
+  void runner_loop();
+  void trim_finished_locked();
+
+  std::size_t retained_jobs_;
+  mutable std::mutex mutex_;
+  std::condition_variable job_ready_;  ///< runners wait here
+  std::condition_variable idle_;       ///< wait_idle() waits here
+  bool stopping_ = false;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, Record> jobs_;  ///< keyed by id (insertion order)
+  std::deque<std::uint64_t> pending_;     ///< ids awaiting a runner
+  std::size_t active_ = 0;                ///< jobs currently running
+  std::vector<std::thread> runners_;
+};
+
+}  // namespace powerplay::engine

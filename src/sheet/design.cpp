@@ -110,6 +110,13 @@ void Design::add_function(const std::string& name, expr::Function fn) {
   functions_[name] = std::move(fn);
 }
 
+std::vector<std::string> Design::function_names() const {
+  std::vector<std::string> names;
+  names.reserve(functions_.size());
+  for (const auto& [nm, fn] : functions_) names.push_back(nm);
+  return names;  // std::map iteration order is already sorted
+}
+
 PlayResult Design::play(const expr::Scope* env) const {
   // Working copy of the globals.  Names the instantiation environment
   // binds locally are erased from the copy so explicit overrides beat the

@@ -103,6 +103,12 @@ class Design {
   /// that collides with a builtin or intermodel function throws.
   void add_function(const std::string& name, expr::Function fn);
 
+  /// Names of the custom functions registered above (sorted).  The
+  /// evaluation engine folds these into its cache fingerprint: a
+  /// std::function has no hashable content, so custom functions are
+  /// identified by name and assumed pure.
+  [[nodiscard]] std::vector<std::string> function_names() const;
+
   /// The Play button.  `env` is the enclosing scope when this design is
   /// evaluated as a macro; top-level designs pass nullptr.
   [[nodiscard]] PlayResult play(const expr::Scope* env = nullptr) const;

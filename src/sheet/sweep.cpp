@@ -1,15 +1,55 @@
 #include "sheet/sweep.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <iomanip>
 #include <sstream>
 
 #include "units/units.hpp"
 
 namespace powerplay::sheet {
 
+namespace {
+
+/// A sweep over a name Scope::set would silently *create* returns N
+/// identical points — the classic typo trap.  Require an existing
+/// global binding up front.
+void require_global(const Design& design, const std::string& param,
+                    const char* caller) {
+  if (!design.globals().lookup(param).has_value()) {
+    throw expr::ExprError(std::string(caller) + ": design '" + design.name() +
+                          "' has no global parameter named '" + param +
+                          "' — sweeping it would create a binding no row "
+                          "reads");
+  }
+}
+
+/// A row parameter is sweepable when the row already binds it, when the
+/// row's model declares it, or (macro rows) when the sub-design has it
+/// as a global.
+void require_row_param(const Design& design, const Row& row,
+                       const std::string& param) {
+  if (row.params.has_local(param)) return;
+  if (row.is_macro()) {
+    if (row.macro->globals().lookup(param).has_value()) return;
+  } else if (row.model->find_param(param) != nullptr) {
+    return;
+  }
+  throw expr::ExprError("sweep_row_param: row '" + row.name + "' (" +
+                        row.model_name() + ") in design '" + design.name() +
+                        "' has no parameter named '" + param + "'");
+}
+
+PlayResult play_point(const Design& work, const PlayFn& play) {
+  return play ? play(work) : work.play();
+}
+
+}  // namespace
+
 std::vector<SweepPoint> sweep_global(const Design& design,
                                      const std::string& param,
                                      const std::vector<double>& values) {
+  require_global(design, param, "sweep_global");
   Design work = design;
   std::vector<SweepPoint> out;
   out.reserve(values.size());
@@ -17,6 +57,25 @@ std::vector<SweepPoint> sweep_global(const Design& design,
     work.globals().set(param, v);
     out.push_back(SweepPoint{v, work.play()});
   }
+  return out;
+}
+
+std::vector<SweepPoint> sweep_global(engine::Executor& executor,
+                                     const Design& design,
+                                     const std::string& param,
+                                     const std::vector<double>& values,
+                                     const PlayFn& play,
+                                     const SweepProgress& progress) {
+  require_global(design, param, "sweep_global");
+  std::vector<SweepPoint> out(values.size());
+  std::atomic<std::size_t> done{0};
+  engine::parallel_for(executor, values.size(), [&](std::size_t i) {
+    Design work = design;
+    work.globals().set(param, values[i]);
+    out[i] = SweepPoint{values[i], play_point(work, play)};
+    const std::size_t finished = done.fetch_add(1) + 1;
+    if (progress) progress(finished, values.size());
+  });
   return out;
 }
 
@@ -30,12 +89,38 @@ std::vector<SweepPoint> sweep_row_param(const Design& design,
     throw expr::ExprError("sweep_row_param: no row named '" + row +
                           "' in design '" + design.name() + "'");
   }
+  require_row_param(design, *r, param);
   std::vector<SweepPoint> out;
   out.reserve(values.size());
   for (double v : values) {
     r->params.set(param, v);
     out.push_back(SweepPoint{v, work.play()});
   }
+  return out;
+}
+
+std::vector<SweepPoint> sweep_row_param(engine::Executor& executor,
+                                        const Design& design,
+                                        const std::string& row,
+                                        const std::string& param,
+                                        const std::vector<double>& values,
+                                        const PlayFn& play,
+                                        const SweepProgress& progress) {
+  const Row* r = design.find_row(row);
+  if (r == nullptr) {
+    throw expr::ExprError("sweep_row_param: no row named '" + row +
+                          "' in design '" + design.name() + "'");
+  }
+  require_row_param(design, *r, param);
+  std::vector<SweepPoint> out(values.size());
+  std::atomic<std::size_t> done{0};
+  engine::parallel_for(executor, values.size(), [&](std::size_t i) {
+    Design work = design;
+    work.find_row(row)->params.set(param, values[i]);
+    out[i] = SweepPoint{values[i], play_point(work, play)};
+    const std::size_t finished = done.fetch_add(1) + 1;
+    if (progress) progress(finished, values.size());
+  });
   return out;
 }
 
@@ -46,6 +131,8 @@ GridSweep sweep_grid(const Design& design, const std::string& x_param,
   if (x_param == y_param) {
     throw expr::ExprError("sweep_grid: the two parameters must differ");
   }
+  require_global(design, x_param, "sweep_grid");
+  require_global(design, y_param, "sweep_grid");
   GridSweep out;
   out.x_param = x_param;
   out.y_param = y_param;
@@ -66,6 +153,39 @@ GridSweep sweep_grid(const Design& design, const std::string& x_param,
   return out;
 }
 
+GridSweep sweep_grid(engine::Executor& executor, const Design& design,
+                     const std::string& x_param,
+                     const std::vector<double>& xs,
+                     const std::string& y_param,
+                     const std::vector<double>& ys,
+                     const PlayFn& play,
+                     const SweepProgress& progress) {
+  if (x_param == y_param) {
+    throw expr::ExprError("sweep_grid: the two parameters must differ");
+  }
+  require_global(design, x_param, "sweep_grid");
+  require_global(design, y_param, "sweep_grid");
+  GridSweep out;
+  out.x_param = x_param;
+  out.y_param = y_param;
+  out.xs = xs;
+  out.ys = ys;
+  out.results.assign(xs.size(), std::vector<PlayResult>(ys.size()));
+  const std::size_t total = xs.size() * ys.size();
+  std::atomic<std::size_t> done{0};
+  engine::parallel_for(executor, total, [&](std::size_t k) {
+    const std::size_t i = k / ys.size();
+    const std::size_t j = k % ys.size();
+    Design work = design;
+    work.globals().set(x_param, xs[i]);
+    work.globals().set(y_param, ys[j]);
+    out.results[i][j] = play_point(work, play);
+    const std::size_t finished = done.fetch_add(1) + 1;
+    if (progress) progress(finished, total);
+  });
+  return out;
+}
+
 std::string grid_table(const GridSweep& grid) {
   std::ostringstream os;
   os << grid.x_param << " \\ " << grid.y_param;
@@ -79,6 +199,34 @@ std::string grid_table(const GridSweep& grid) {
                 grid.results[i][j].total.total_power().si(), "W");
     }
     os << '\n';
+  }
+  return os.str();
+}
+
+std::string grid_csv(const GridSweep& grid) {
+  std::ostringstream os;
+  os << std::setprecision(9);
+  os << grid.x_param << ',' << grid.y_param
+     << ",total_power_w,energy_per_op_j\n";
+  for (std::size_t i = 0; i < grid.xs.size(); ++i) {
+    for (std::size_t j = 0; j < grid.ys.size(); ++j) {
+      const PlayResult& r = grid.results[i][j];
+      os << grid.xs[i] << ',' << grid.ys[j] << ','
+         << r.total.total_power().si() << ','
+         << r.total.energy_per_op.si() << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string sweep_csv(const std::string& param,
+                      const std::vector<SweepPoint>& points) {
+  std::ostringstream os;
+  os << std::setprecision(9);
+  os << param << ",total_power_w,energy_per_op_j\n";
+  for (const SweepPoint& p : points) {
+    os << p.value << ',' << p.result.total.total_power().si() << ','
+       << p.result.total.energy_per_op.si() << '\n';
   }
   return os.str();
 }

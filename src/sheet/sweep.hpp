@@ -5,11 +5,18 @@
 // design across a set of values for one global parameter and collects the
 // results — the engine behind voltage/frequency trade-off curves and the
 // instant what-if loop of the Figure 4 form.
+//
+// Every entry point has two forms: the original serial loop, and an
+// engine-backed overload taking an engine::Executor that Plays the
+// points concurrently.  Each point clones the design, so points are
+// embarrassingly parallel and the two forms are bit-identical.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "engine/executor.hpp"
 #include "sheet/design.hpp"
 
 namespace powerplay::sheet {
@@ -19,17 +26,48 @@ struct SweepPoint {
   PlayResult result;
 };
 
+/// Optional per-point completion callback for the parallel overloads
+/// (drives the async job API's progress counter).  Called as
+/// progress(done_so_far, total); may run on any executor thread.
+using SweepProgress = std::function<void(std::size_t, std::size_t)>;
+
+/// Pluggable evaluation hook: maps a configured design clone to its
+/// PlayResult.  Default ({}) plays directly; the evaluation engine
+/// substitutes a memoizing version (engine::EvalEngine).
+using PlayFn = std::function<PlayResult(const Design&)>;
+
 /// Re-Play `design` once per value of global parameter `param`.
-/// The design itself is not modified.
+/// The design itself is not modified.  Throws ExprError when `param`
+/// is not an existing global (a silent Scope::set would otherwise
+/// *create* the parameter and return N identical points for a typo).
 std::vector<SweepPoint> sweep_global(const Design& design,
                                      const std::string& param,
                                      const std::vector<double>& values);
 
-/// Same, over a row-local parameter (rows addressed by name).
+/// Parallel variant: points Play concurrently on `executor`.
+std::vector<SweepPoint> sweep_global(engine::Executor& executor,
+                                     const Design& design,
+                                     const std::string& param,
+                                     const std::vector<double>& values,
+                                     const PlayFn& play = {},
+                                     const SweepProgress& progress = {});
+
+/// Same, over a row-local parameter (rows addressed by name).  The
+/// parameter must already be bound on the row, be one of the row
+/// model's declared parameters, or (for macro rows) a global of the
+/// sub-design; otherwise ExprError.
 std::vector<SweepPoint> sweep_row_param(const Design& design,
                                         const std::string& row,
                                         const std::string& param,
                                         const std::vector<double>& values);
+
+std::vector<SweepPoint> sweep_row_param(engine::Executor& executor,
+                                        const Design& design,
+                                        const std::string& row,
+                                        const std::string& param,
+                                        const std::vector<double>& values,
+                                        const PlayFn& play = {},
+                                        const SweepProgress& progress = {});
 
 /// Two-parameter grid sweep (e.g. the classic voltage x frequency
 /// exploration plane).  result[i][j] is the Play at xs[i], ys[j].
@@ -45,8 +83,25 @@ GridSweep sweep_grid(const Design& design, const std::string& x_param,
                      const std::string& y_param,
                      const std::vector<double>& ys);
 
+GridSweep sweep_grid(engine::Executor& executor, const Design& design,
+                     const std::string& x_param,
+                     const std::vector<double>& xs,
+                     const std::string& y_param,
+                     const std::vector<double>& ys,
+                     const PlayFn& play = {},
+                     const SweepProgress& progress = {});
+
 /// Render a grid as a total-power matrix table.
 std::string grid_table(const GridSweep& grid);
+
+/// Machine-readable long-form CSV: one line per grid point,
+/// `<x_param>,<y_param>,total_power_w,energy_per_op_j` (the /job result
+/// endpoint serves this form).
+std::string grid_csv(const GridSweep& grid);
+
+/// CSV for a one-parameter sweep: `<param>,total_power_w,energy_per_op_j`.
+std::string sweep_csv(const std::string& param,
+                      const std::vector<SweepPoint>& points);
 
 /// Inclusive linear range helper: {from, from+step, ..., to}.
 std::vector<double> linspace(double from, double to, int points);

@@ -7,6 +7,7 @@
 #include "library/textio.hpp"
 #include "models/berkeley_library.hpp"
 #include "sheet/report.hpp"
+#include "sheet/sweep.hpp"
 #include "web/html.hpp"
 
 namespace powerplay::web {
@@ -90,8 +91,9 @@ library::UserProfile PowerPlayApp::authorized_user(const Params& q) {
   return profile;
 }
 
-PowerPlayApp::PowerPlayApp(library::LibraryStore store)
-    : store_(std::move(store)) {
+PowerPlayApp::PowerPlayApp(library::LibraryStore store,
+                           engine::EngineOptions engine_options)
+    : store_(std::move(store)), engine_(engine_options) {
   models::add_berkeley_models(registry_);
   store_.load_all_models(registry_);
   // The Design Agent and its tool-backed library entry.  agent_ lives in
@@ -101,33 +103,41 @@ PowerPlayApp::PowerPlayApp(library::LibraryStore store)
   registry_.add_or_replace(flow::make_sram_toolflow_model(agent_));
 }
 
+std::shared_ptr<std::mutex> PowerPlayApp::session_lock(
+    const std::string& user) {
+  std::lock_guard lock(sessions_mutex_);
+  auto& slot = session_locks_[user];
+  if (slot == nullptr) slot = std::make_shared<std::mutex>();
+  return slot;
+}
+
 Response PowerPlayApp::handle(const Request& request) {
-  std::lock_guard lock(mutex_);
   const Target target = request.parsed_target();
   const Params q = request.all_params();
   try {
-    if (target.path == "/healthz") return page_healthz();
-    if (target.path == "/") return page_root();
-    if (target.path == "/menu") return page_menu(q);
-    if (target.path == "/library") return page_library(q);
-    if (target.path == "/model") return page_model(q);
-    if (target.path == "/design/add") return do_design_add(q);
-    if (target.path == "/design") return page_design(q);
-    if (target.path == "/design/play") return do_design_play(q);
-    if (target.path == "/design/setrow") return do_design_setrow(q);
-    if (target.path == "/design/csv") return design_csv(q);
-    if (target.path == "/newmodel") {
-      return request.method == "POST" ? do_new_model(q) : page_new_model(q);
+    // Shard 1: each user's own requests are serialized (profile and
+    // design edits are read-modify-write over their files), but two
+    // users never wait on each other here.
+    std::shared_ptr<std::mutex> session;
+    std::unique_lock<std::mutex> session_guard;
+    const std::string user = get_or(q, "user");
+    if (!user.empty()) {
+      session = session_lock(user);
+      session_guard = std::unique_lock(*session);
     }
-    if (target.path == "/doc") return page_doc(q);
-    if (target.path == "/agent") return page_agent(q);
-    if (target.path == "/setpw") return do_set_password(q);
-    if (target.path == "/help") return page_help(q);
-    if (target.path == "/api/models") return api_models();
-    if (target.path == "/api/model") return api_model(q);
-    if (target.path == "/api/designs") return api_designs();
-    if (target.path == "/api/design") return api_design(q);
-    return Response::not_found(target.path);
+
+    // Shard 2: the shared library.  Only the handful of mutating routes
+    // take it exclusively; everything else reads concurrently.
+    const bool mutates =
+        target.path == "/design/add" || target.path == "/design/play" ||
+        target.path == "/design/setrow" ||
+        (target.path == "/newmodel" && request.method == "POST");
+    if (mutates) {
+      std::unique_lock lib(library_mutex_);
+      return dispatch(target.path, request.method, q);
+    }
+    std::shared_lock lib(library_mutex_);
+    return dispatch(target.path, request.method, q);
   } catch (const AccessDenied& e) {
     Response r;
     r.status = 403;
@@ -145,6 +155,35 @@ Response PowerPlayApp::handle(const Request& request) {
   }
 }
 
+Response PowerPlayApp::dispatch(const std::string& path,
+                                const std::string& method, const Params& q) {
+  if (path == "/healthz") return page_healthz();
+  if (path == "/") return page_root();
+  if (path == "/menu") return page_menu(q);
+  if (path == "/library") return page_library(q);
+  if (path == "/model") return page_model(q);
+  if (path == "/design/add") return do_design_add(q);
+  if (path == "/design") return page_design(q);
+  if (path == "/design/play") return do_design_play(q);
+  if (path == "/design/setrow") return do_design_setrow(q);
+  if (path == "/design/sweep") return do_design_sweep(q);
+  if (path == "/design/csv") return design_csv(q);
+  if (path == "/job") return page_job(q);
+  if (path == "/jobs") return page_jobs(q);
+  if (path == "/newmodel") {
+    return method == "POST" ? do_new_model(q) : page_new_model(q);
+  }
+  if (path == "/doc") return page_doc(q);
+  if (path == "/agent") return page_agent(q);
+  if (path == "/setpw") return do_set_password(q);
+  if (path == "/help") return page_help(q);
+  if (path == "/api/models") return api_models();
+  if (path == "/api/model") return api_model(q);
+  if (path == "/api/designs") return api_designs();
+  if (path == "/api/design") return api_design(q);
+  return Response::not_found(path);
+}
+
 // ---------------------------------------------------------------------------
 // Pages
 // ---------------------------------------------------------------------------
@@ -152,17 +191,36 @@ Response PowerPlayApp::handle(const Request& request) {
 // Liveness/ops endpoint: plain text so load balancers and shell one-
 // liners can read it; includes the server's resilience counters when a
 // stats source has been wired.
-Response PowerPlayApp::page_healthz() const {
+Response PowerPlayApp::page_healthz() {
   std::ostringstream os;
   os << "ok\n";
   os << "models: " << registry_.size() << "\n";
   os << "designs: " << store_.list_designs().size() << "\n";
-  if (stats_source_) {
-    const ServerStats s = stats_source_();
+  StatsSource source;
+  {
+    std::lock_guard lock(stats_mutex_);
+    source = stats_source_;
+  }
+  if (source) {
+    const ServerStats s = source();
     os << "requests_served: " << s.requests_served << "\n";
     os << "requests_shed: " << s.requests_shed << "\n";
     os << "timeouts: " << s.timeouts << "\n";
   }
+  const engine::CacheStats cache = engine_.cache().stats();
+  os << "cache_hits: " << cache.hits << "\n";
+  os << "cache_misses: " << cache.misses << "\n";
+  os << "cache_evictions: " << cache.evictions << "\n";
+  os << "cache_size: " << cache.size << "/" << cache.capacity << "\n";
+  const engine::ExecutorStats exec = engine_.executor().stats();
+  os << "engine_threads: " << exec.thread_count << "\n";
+  os << "engine_tasks_executed: " << exec.executed << "\n";
+  os << "engine_queue_depth: " << exec.queue_depth << "\n";
+  const engine::JobStats jobs = jobs_.stats();
+  os << "jobs_queued: " << jobs.queued << "\n";
+  os << "jobs_running: " << jobs.running << "\n";
+  os << "jobs_done: " << jobs.done << "\n";
+  os << "jobs_failed: " << jobs.failed << "\n";
   return Response::ok_text(os.str());
 }
 
@@ -438,6 +496,169 @@ Response PowerPlayApp::do_design_setrow(const Params& q) {
   store_.save_design(design);
   return render_design(user, name,
                        "set " + row_name + "." + param + " = " + value);
+}
+
+// ---------------------------------------------------------------------------
+// Async sweep jobs (the parallel evaluation engine's web face)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One sweep axis from the form: param + linspace(from, to, points).
+struct SweepAxis {
+  std::string param;
+  std::vector<double> values;
+};
+
+SweepAxis parse_axis(const Params& q, const std::string& prefix) {
+  SweepAxis axis;
+  axis.param = need(q, prefix + "_param");
+  const double from =
+      parse_double(need(q, prefix + "_from"), prefix + "_from");
+  const double to = parse_double(need(q, prefix + "_to"), prefix + "_to");
+  const double points_value =
+      parse_double(get_or(q, prefix + "_points", "8"), prefix + "_points");
+  const int points = static_cast<int>(points_value);
+  if (points < 1 || points > 256 || points != points_value) {
+    throw HttpError(prefix + "_points must be an integer in [1, 256]");
+  }
+  axis.values = sheet::linspace(from, to, points);
+  return axis;
+}
+
+void require_sweepable_global(const sheet::Design& design,
+                              const std::string& param) {
+  if (!design.globals().lookup(param).has_value()) {
+    throw HttpError("design '" + design.name() +
+                    "' has no global parameter named '" + param + "'");
+  }
+}
+
+}  // namespace
+
+Response PowerPlayApp::do_design_sweep(const Params& q) {
+  const std::string user = authorized_user(q).username;
+  const std::string name = need(q, "name");
+  library::validate_store_name(name);
+  if (!store_.has_design(name)) {
+    return Response::not_found("design '" + name + "'");
+  }
+  const SweepAxis x = parse_axis(q, "x");
+  const std::string row = get_or(q, "row");
+  const bool grid = !get_or(q, "y_param").empty();
+  if (grid && !row.empty()) {
+    throw HttpError("grid sweeps take global parameters only; drop 'row' "
+                    "or 'y_param'");
+  }
+
+  // Snapshot the design now, under the app's locks; the job then runs
+  // entirely on this private clone with no store or registry access.
+  sheet::Design snapshot(*store_.load_design(name, registry_));
+
+  // Validate the sweep spec up front so a typo answers 400 here rather
+  // than a failed job later.
+  std::ostringstream describe;
+  engine::JobManager::Work work;
+  if (grid) {
+    const SweepAxis y = parse_axis(q, "y");
+    if (x.param == y.param) {
+      throw HttpError("sweep axes must name two different parameters");
+    }
+    require_sweepable_global(snapshot, x.param);
+    require_sweepable_global(snapshot, y.param);
+    describe << "sweep " << name << ": " << x.param << " x " << y.param
+             << " (" << x.values.size() << "x" << y.values.size()
+             << " grid)";
+    work = [this, snapshot = std::move(snapshot), x,
+            y](const engine::JobManager::Progress& progress) {
+      const sheet::GridSweep g = engine_.sweep_grid(
+          snapshot, x.param, x.values, y.param, y.values, progress);
+      return engine::JobResult{sheet::grid_table(g), sheet::grid_csv(g)};
+    };
+  } else if (!row.empty()) {
+    const sheet::Row* r = snapshot.find_row(row);
+    if (r == nullptr) return Response::not_found("row '" + row + "'");
+    describe << "sweep " << name << ": " << row << "." << x.param << " ("
+             << x.values.size() << " points)";
+    work = [this, snapshot = std::move(snapshot), row,
+            x](const engine::JobManager::Progress& progress) {
+      const auto points = engine_.sweep_row_param(snapshot, row, x.param,
+                                                  x.values, progress);
+      return engine::JobResult{sheet::sweep_table(x.param, points),
+                               sheet::sweep_csv(x.param, points)};
+    };
+  } else {
+    require_sweepable_global(snapshot, x.param);
+    describe << "sweep " << name << ": " << x.param << " ("
+             << x.values.size() << " points)";
+    work = [this, snapshot = std::move(snapshot),
+            x](const engine::JobManager::Progress& progress) {
+      const auto points =
+          engine_.sweep_global(snapshot, x.param, x.values, progress);
+      return engine::JobResult{sheet::sweep_table(x.param, points),
+                               sheet::sweep_csv(x.param, points)};
+    };
+  }
+
+  const std::uint64_t id = jobs_.submit(user, describe.str(),
+                                        std::move(work));
+  std::ostringstream os;
+  os << "id: " << id << "\n";
+  os << "status: queued\n";
+  os << "poll: /job?id=" << id << "\n";
+  os << "csv: /job?id=" << id << "&format=csv\n";
+  return Response::ok_text(os.str());
+}
+
+Response PowerPlayApp::page_job(const Params& q) const {
+  const std::string id_text = need(q, "id");
+  std::uint64_t id = 0;
+  try {
+    std::size_t pos = 0;
+    id = std::stoull(id_text, &pos);
+    if (pos != id_text.size()) throw std::invalid_argument(id_text);
+  } catch (const std::exception&) {
+    throw HttpError("bad job id '" + id_text + "'");
+  }
+  const auto snap = jobs_.get(id);
+  if (!snap.has_value()) {
+    return Response::not_found("job " + id_text);
+  }
+  if (get_or(q, "format") == "csv") {
+    if (snap->status != engine::JobStatus::kDone) {
+      return Response::bad_request("job " + id_text + " is " +
+                                   engine::to_string(snap->status) +
+                                   "; CSV is available once done");
+    }
+    Response r;
+    r.content_type = "text/csv";
+    r.body = snap->result.csv;
+    return r;
+  }
+  std::ostringstream os;
+  os << "id: " << snap->id << "\n";
+  os << "user: " << snap->user << "\n";
+  os << "description: " << snap->description << "\n";
+  os << "status: " << engine::to_string(snap->status) << "\n";
+  os << "progress: " << snap->done << "/" << snap->total << "\n";
+  if (snap->status == engine::JobStatus::kFailed) {
+    os << "error: " << snap->error << "\n";
+  }
+  if (snap->status == engine::JobStatus::kDone) {
+    os << "\n" << snap->result.table;
+  }
+  return Response::ok_text(os.str());
+}
+
+Response PowerPlayApp::page_jobs(const Params& q) const {
+  const std::string user = need(q, "user");
+  std::ostringstream os;
+  for (const engine::JobSnapshot& snap : jobs_.list(user)) {
+    os << snap.id << " " << engine::to_string(snap.status) << " "
+       << snap.done << "/" << snap.total << " " << snap.description
+       << "\n";
+  }
+  return Response::ok_text(os.str());
 }
 
 Response PowerPlayApp::page_new_model(const Params& q) const {

@@ -20,6 +20,12 @@
 //   POST /newmodel            — validate + save the new model
 //   GET  /doc                 — a model's documentation page
 //
+// Async evaluation (the parallel engine behind the what-if loop):
+//
+//   POST /design/sweep        — enqueue a sweep job, answer with its id
+//   GET  /job?id=N            — poll status/progress; result when done
+//   GET  /jobs?user=U         — a user's jobs, newest first
+//
 // Remote model-access protocol (Figures 6/7), plain-text bodies in the
 // library serialization format:
 //
@@ -34,11 +40,22 @@
 // tool invocations in each design context:
 //
 //   GET /agent?user=U&request=power
+//
+// Concurrency: there is no global app mutex.  Each user's requests are
+// serialized by a per-user session lock; the shared library (store +
+// registry) sits behind a read/write lock taken shared by read-only
+// routes and exclusive by the few mutating ones, so concurrent users
+// no longer serialize behind each other (docs/engine.md).
 #pragma once
 
 #include <functional>
+#include <map>
+#include <memory>
 #include <mutex>
+#include <shared_mutex>
 
+#include "engine/engine.hpp"
+#include "engine/job.hpp"
 #include "flow/design_agent.hpp"
 #include "library/store.hpp"
 #include "model/registry.hpp"
@@ -51,24 +68,29 @@ class PowerPlayApp {
  public:
   /// `store` is this site's library; the registry starts from the
   /// built-in characterized library plus every stored user model.
-  explicit PowerPlayApp(library::LibraryStore store);
+  /// `engine_options` sizes the evaluation thread pool and Play cache.
+  explicit PowerPlayApp(library::LibraryStore store,
+                        engine::EngineOptions engine_options = {});
 
-  /// Dispatch one request (thread-safe; the app serializes handlers).
+  /// Dispatch one request.  Thread-safe: requests for distinct users
+  /// run concurrently; only library mutations take the exclusive lock.
   Response handle(const Request& request);
 
   [[nodiscard]] model::ModelRegistry& registry() { return registry_; }
   [[nodiscard]] library::LibraryStore& store() { return store_; }
+  [[nodiscard]] engine::EvalEngine& engine() { return engine_; }
+  [[nodiscard]] engine::JobManager& jobs() { return jobs_; }
 
   /// Let /healthz report the serving HttpServer's counters (wired by
   /// whoever owns both the app and the server; optional).
   using StatsSource = std::function<ServerStats()>;
   void set_stats_source(StatsSource source) {
-    std::lock_guard lock(mutex_);
+    std::lock_guard lock(stats_mutex_);
     stats_source_ = std::move(source);
   }
 
  private:
-  Response page_healthz() const;
+  Response page_healthz();
   Response page_root() const;
   Response page_menu(const Params& q);
   Response page_library(const Params& q) const;
@@ -77,6 +99,9 @@ class PowerPlayApp {
   Response page_design(const Params& q) const;
   Response do_design_play(const Params& q);
   Response do_design_setrow(const Params& q);
+  Response do_design_sweep(const Params& q);
+  Response page_job(const Params& q) const;
+  Response page_jobs(const Params& q) const;
   Response page_new_model(const Params& q) const;
   Response do_new_model(const Params& q);
   Response page_doc(const Params& q) const;
@@ -104,11 +129,26 @@ class PowerPlayApp {
                          const std::string& design_name,
                          const std::string& message = {}) const;
 
-  mutable std::mutex mutex_;
+  Response dispatch(const std::string& path, const std::string& method,
+                    const Params& q);
+
+  /// The named user's session mutex (created on first sight).
+  std::shared_ptr<std::mutex> session_lock(const std::string& user);
+
+  /// Store + registry lock: shared for reads, exclusive for the few
+  /// mutating routes (/design/add, /design/play, /design/setrow,
+  /// POST /newmodel).
+  mutable std::shared_mutex library_mutex_;
+  std::mutex sessions_mutex_;
+  std::map<std::string, std::shared_ptr<std::mutex>> session_locks_;
+  mutable std::mutex stats_mutex_;
   StatsSource stats_source_;
+
   library::LibraryStore store_;
   model::ModelRegistry registry_;
   flow::DesignAgent agent_;
+  engine::EvalEngine engine_;
+  engine::JobManager jobs_;
 };
 
 }  // namespace powerplay::web

@@ -1,0 +1,306 @@
+// Concurrency tests of the web application: many client threads
+// hammering a live HttpServer with a mix of per-user mutations and
+// shared-library reads, plus the async sweep-job flow end to end.
+// These are the tests the `web_tsan` target runs under ThreadSanitizer
+// (POWERPLAY_SANITIZE=thread) to prove the session/library locking and
+// the engine's executor, cache and job manager are race-free.
+#include "web/app.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "web/client.hpp"
+#include "web/server.hpp"
+
+namespace powerplay::web {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct ConcurrencyFixture : ::testing::Test {
+  fs::path dir;
+  std::unique_ptr<PowerPlayApp> app;
+  std::unique_ptr<HttpServer> server;
+
+  void SetUp() override {
+    static int counter = 0;
+    dir = fs::temp_directory_path() /
+          ("pp_conc_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter++));
+    fs::create_directories(dir);
+    app = std::make_unique<PowerPlayApp>(library::LibraryStore(dir));
+    ServerOptions options;
+    options.worker_count = 8;  // real request concurrency
+    server = std::make_unique<HttpServer>(
+        0, [this](const Request& r) { return app->handle(r); }, options);
+    server->start();
+  }
+
+  void TearDown() override {
+    server->stop();
+    fs::remove_all(dir);
+  }
+
+  [[nodiscard]] Response get(const std::string& target) const {
+    return http_get(server->port(), target);
+  }
+  [[nodiscard]] Response post(const std::string& path,
+                              const Params& form) const {
+    return http_post_form(server->port(), path, form);
+  }
+};
+
+// N client threads, each its own user, interleaving per-user mutations
+// (design add/play) with shared reads (library, export API).  Every
+// response must be well-formed and belong to the requesting user — a
+// cross-user bleed or a torn spreadsheet fails the integrity asserts.
+TEST_F(ConcurrencyFixture, ParallelUsersKeepResponseIntegrity) {
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([this, t, &failures] {
+      const std::string user = "user" + std::to_string(t);
+      const std::string design = "chip" + std::to_string(t);
+      for (int round = 0; round < kRounds; ++round) {
+        // Per-user mutation: grow this user's private design.
+        const Response add =
+            post("/design/add", {{"user", user},
+                                 {"model", "register"},
+                                 {"design", design},
+                                 {"row", "R" + std::to_string(round)},
+                                 {"p_bits", "8"},
+                                 {"p_f", "1000000"}});
+        if (add.status != 200 ||
+            add.body.find(design) == std::string::npos ||
+            add.body.find("R" + std::to_string(round)) ==
+                std::string::npos) {
+          ++failures;
+        }
+        // Per-user recompute with a user-specific voltage.
+        const Response play = post(
+            "/design/play",
+            {{"user", user}, {"name", design}, {"g_vdd", "2.0"}});
+        if (play.status != 200 ||
+            play.body.find("TOTAL") == std::string::npos) {
+          ++failures;
+        }
+        // Shared reads, concurrent with everyone's mutations.
+        const Response menu = get("/menu?user=" + user);
+        if (menu.status != 200 ||
+            menu.body.find(user) == std::string::npos) {
+          ++failures;
+        }
+        const Response lib = get("/library?user=" + user);
+        if (lib.status != 200 ||
+            lib.body.find("register") == std::string::npos) {
+          ++failures;
+        }
+        // The export API lists every stored design, this user's included.
+        const Response api = get("/api/designs");
+        if (api.status != 200 ||
+            api.body.find(design) == std::string::npos) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Every user's design survived with all of its rows.
+  for (int t = 0; t < kThreads; ++t) {
+    const std::string design = "chip" + std::to_string(t);
+    ASSERT_TRUE(app->store().has_design(design)) << design;
+    const auto d = app->store().load_design(design, app->registry());
+    EXPECT_EQ(d->rows().size(), static_cast<std::size_t>(kRounds));
+  }
+}
+
+// The async job flow over live HTTP: submit a grid sweep, poll until
+// done, fetch the CSV, and see it listed for the user.
+TEST_F(ConcurrencyFixture, SweepJobRunsToCompletion) {
+  ASSERT_EQ(post("/design/add", {{"user", "dl"},
+                                 {"model", "register"},
+                                 {"design", "Grid"},
+                                 {"row", "Reg"},
+                                 {"p_bits", "8"},
+                                 {"p_f", "1000000"}})
+                .status,
+            200);
+
+  const Response submit = post("/design/sweep", {{"user", "dl"},
+                                                 {"name", "Grid"},
+                                                 {"x_param", "vdd"},
+                                                 {"x_from", "1.0"},
+                                                 {"x_to", "3.0"},
+                                                 {"x_points", "4"},
+                                                 {"y_param", "f"},
+                                                 {"y_from", "1e6"},
+                                                 {"y_to", "4e6"},
+                                                 {"y_points", "4"}});
+  ASSERT_EQ(submit.status, 200) << submit.body;
+  ASSERT_EQ(submit.body.rfind("id: ", 0), 0u) << submit.body;
+  const std::string id =
+      submit.body.substr(4, submit.body.find('\n') - 4);
+
+  // Poll until done (the grid is tiny; generous timeout for slow CI).
+  std::string status;
+  for (int i = 0; i < 500; ++i) {
+    const Response poll = get("/job?id=" + id);
+    ASSERT_EQ(poll.status, 200) << poll.body;
+    const auto line = poll.body.find("status: ");
+    ASSERT_NE(line, std::string::npos);
+    status = poll.body.substr(line + 8,
+                              poll.body.find('\n', line) - line - 8);
+    if (status == "done" || status == "failed") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(status, "done");
+
+  const Response done = get("/job?id=" + id);
+  EXPECT_NE(done.body.find("progress: 16/16"), std::string::npos)
+      << done.body;
+  // The result table is the grid matrix headed "x \ y".
+  EXPECT_NE(done.body.find("vdd \\ f"), std::string::npos) << done.body;
+
+  const Response csv = get("/job?id=" + id + "&format=csv");
+  EXPECT_EQ(csv.status, 200);
+  EXPECT_EQ(csv.content_type, "text/csv");
+  EXPECT_EQ(csv.body.rfind("vdd,f,total_power_w,energy_per_op_j\n", 0),
+            0u)
+      << csv.body;
+  // Header + 4x4 data lines.
+  EXPECT_EQ(std::count(csv.body.begin(), csv.body.end(), '\n'), 17);
+
+  const Response jobs = get("/jobs?user=dl");
+  EXPECT_EQ(jobs.status, 200);
+  EXPECT_NE(jobs.body.find("sweep Grid: vdd x f"), std::string::npos)
+      << jobs.body;
+  EXPECT_TRUE(get("/jobs?user=nobody").body.empty());
+}
+
+TEST_F(ConcurrencyFixture, SweepJobValidation) {
+  post("/design/add", {{"user", "dl"},
+                       {"model", "register"},
+                       {"design", "V"},
+                       {"row", "R"},
+                       {"p_bits", "4"},
+                       {"p_f", "1000000"}});
+  // Typo'd global rejected at submit time, not as a failed job.
+  EXPECT_EQ(post("/design/sweep", {{"user", "dl"},
+                                   {"name", "V"},
+                                   {"x_param", "vdd_typo"},
+                                   {"x_from", "1"},
+                                   {"x_to", "2"},
+                                   {"x_points", "3"}})
+                .status,
+            400);
+  // Unknown design.
+  EXPECT_EQ(post("/design/sweep", {{"user", "dl"},
+                                   {"name", "NoSuch"},
+                                   {"x_param", "vdd"},
+                                   {"x_from", "1"},
+                                   {"x_to", "2"},
+                                   {"x_points", "3"}})
+                .status,
+            404);
+  // Grid + row is a contradiction.
+  EXPECT_EQ(post("/design/sweep", {{"user", "dl"},
+                                   {"name", "V"},
+                                   {"x_param", "vdd"},
+                                   {"x_from", "1"},
+                                   {"x_to", "2"},
+                                   {"x_points", "2"},
+                                   {"y_param", "f"},
+                                   {"y_from", "1e6"},
+                                   {"y_to", "2e6"},
+                                   {"y_points", "2"},
+                                   {"row", "R"}})
+                .status,
+            400);
+  // Bad and missing job ids.
+  EXPECT_EQ(get("/job?id=notanumber").status, 400);
+  EXPECT_EQ(get("/job?id=999999").status, 404);
+}
+
+// Several users submit sweep jobs at once while others keep reading;
+// all jobs finish, none bleed across user listings.
+TEST_F(ConcurrencyFixture, ParallelSweepJobs) {
+  constexpr int kUsers = 4;
+  for (int t = 0; t < kUsers; ++t) {
+    const std::string user = "swp" + std::to_string(t);
+    ASSERT_EQ(post("/design/add", {{"user", user},
+                                   {"model", "register"},
+                                   {"design", "D" + std::to_string(t)},
+                                   {"row", "R"},
+                                   {"p_bits", "8"},
+                                   {"p_f", "1000000"}})
+                  .status,
+              200);
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kUsers; ++t) {
+    clients.emplace_back([this, t, &failures] {
+      const std::string user = "swp" + std::to_string(t);
+      const Response submit =
+          post("/design/sweep", {{"user", user},
+                                 {"name", "D" + std::to_string(t)},
+                                 {"x_param", "vdd"},
+                                 {"x_from", "1.0"},
+                                 {"x_to", "3.0"},
+                                 {"x_points", "5"}});
+      if (submit.status != 200) {
+        ++failures;
+        return;
+      }
+      const std::string id =
+          submit.body.substr(4, submit.body.find('\n') - 4);
+      for (int i = 0; i < 500; ++i) {
+        const Response poll = get("/job?id=" + id);
+        if (poll.body.find("status: done") != std::string::npos) {
+          const Response jobs = get("/jobs?user=" + user);
+          // Exactly this user's one job appears in their listing.
+          if (jobs.body.find("sweep D" + std::to_string(t)) ==
+                  std::string::npos ||
+              jobs.body.find("sweep D" +
+                             std::to_string((t + 1) % kUsers)) !=
+                  std::string::npos) {
+            ++failures;
+          }
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      ++failures;  // timed out
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+  app->jobs().wait_idle();
+}
+
+// /healthz reports the engine, cache and job counters.
+TEST_F(ConcurrencyFixture, HealthzReportsEngineStats) {
+  const Response r = get("/healthz");
+  EXPECT_EQ(r.status, 200);
+  for (const char* key :
+       {"cache_hits", "cache_misses", "cache_evictions", "cache_size",
+        "engine_threads", "engine_tasks_executed", "engine_queue_depth",
+        "jobs_queued", "jobs_running", "jobs_done", "jobs_failed"}) {
+    EXPECT_NE(r.body.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace powerplay::web
