@@ -1,0 +1,140 @@
+// bench_expr_eval — tree-walk interpreter vs. compiled bytecode on the
+// kind of formulas PowerPlay sheets actually hold: capacitance-scaling
+// arithmetic, conditional supply selection, and formula-on-formula
+// parameter chains.  Reports evaluations/second for both paths and the
+// resulting speedup, emits BENCH_expr.json (argv[1] overrides the
+// output path), and exits non-zero if the two paths ever disagree
+// bit-for-bit.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "expr/compile.hpp"
+#include "expr/eval.hpp"
+#include "expr/parser.hpp"
+
+namespace {
+
+using namespace powerplay;
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t bit_pattern(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+struct Case {
+  const char* name;
+  const char* source;
+};
+
+// Formula shapes lifted from the study sheets (EQ 4 switched
+// capacitance, converter efficiency selection, LUT sizing chains).
+constexpr Case kCases[] = {
+    {"switched_cap", "0.5 * c_unit * bits * vdd * vdd * f * alpha"},
+    {"supply_select",
+     "if(vdd > 2.5, p_high * vdd / 3.3, p_low * pow(vdd / 1.5, 2))"},
+    {"lut_sizing",
+     "words * bits * (c_cell + c_wire * sqrt(words)) + decode * log2(words)"},
+    {"formula_chain", "alpha * beta + gamma"},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr int kWarmup = 1000;
+  constexpr int kIters = 200000;
+
+  expr::Scope scope;
+  scope.set("c_unit", 1.2e-12);
+  scope.set("bits", 24.0);
+  scope.set("vdd", 1.5);
+  scope.set("f", 2.0e6);
+  scope.set("alpha", 0.35);
+  scope.set("p_high", 0.9);
+  scope.set("p_low", 0.15);
+  scope.set("words", 1024.0);
+  scope.set("c_cell", 5.0e-15);
+  scope.set("c_wire", 2.0e-16);
+  scope.set("decode", 1.1e-13);
+  // A three-deep formula chain: every evaluate() re-resolves the chain.
+  scope.set_formula("beta", "bits / 8 * alpha");
+  scope.set_formula("gamma", "beta * c_unit * 1e12");
+  const expr::FunctionTable& fns = expr::FunctionTable::builtins();
+
+  std::printf("bench_expr_eval: %d evaluations per case\n\n", kIters);
+
+  std::ostringstream cases_json;
+  bool identical = true;
+  double speedup_sum = 0.0;
+  int case_count = 0;
+
+  for (const Case& c : kCases) {
+    const expr::ExprPtr ast = expr::parse(c.source);
+
+    double interp_value = 0.0;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < kWarmup + kIters; ++i) {
+      interp_value = expr::evaluate(*ast, scope, fns);
+    }
+    const std::chrono::duration<double> dt_interp = Clock::now() - t0;
+
+    expr::CompiledExpr compiled(*ast, scope, fns);
+    double compiled_value = 0.0;
+    const auto t1 = Clock::now();
+    for (int i = 0; i < kWarmup + kIters; ++i) {
+      compiled_value = compiled.evaluate();
+    }
+    const std::chrono::duration<double> dt_compiled = Clock::now() - t1;
+
+    const bool same = bit_pattern(interp_value) == bit_pattern(compiled_value);
+    identical = identical && same;
+
+    const double interp_rate = (kWarmup + kIters) / dt_interp.count();
+    const double compiled_rate = (kWarmup + kIters) / dt_compiled.count();
+    const double speedup = compiled_rate / interp_rate;
+    speedup_sum += speedup;
+    ++case_count;
+
+    std::printf("%-14s interp %10.0f eval/s   compiled %10.0f eval/s   "
+                "%5.2fx   %s\n",
+                c.name, interp_rate, compiled_rate, speedup,
+                same ? "bit-identical" : "MISMATCH");
+
+    if (case_count > 1) cases_json << ",\n";
+    cases_json << "    {\"name\": \"" << c.name << "\", "
+               << "\"interp_evals_per_s\": " << interp_rate << ", "
+               << "\"compiled_evals_per_s\": " << compiled_rate << ", "
+               << "\"speedup\": " << speedup << ", "
+               << "\"bit_identical\": " << (same ? "true" : "false") << "}";
+  }
+
+  const double mean_speedup = speedup_sum / case_count;
+  std::printf("\nmean speedup      : %.2fx\n", mean_speedup);
+  std::printf("bit-identical     : %s\n", identical ? "yes" : "NO");
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"benchmark\": \"expr_eval\",\n"
+       << "  \"iterations\": " << kIters << ",\n"
+       << "  \"cases\": [\n"
+       << cases_json.str() << "\n"
+       << "  ],\n"
+       << "  \"mean_speedup\": " << mean_speedup << ",\n"
+       << "  \"bit_identical\": " << (identical ? "true" : "false") << "\n"
+       << "}\n";
+
+  const std::string out_path =
+      argc > 1 ? argv[1] : std::string("BENCH_expr.json");
+  std::ofstream out(out_path);
+  out << json.str();
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  return identical ? 0 : 1;
+}

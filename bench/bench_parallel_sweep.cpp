@@ -1,16 +1,20 @@
-// bench_parallel_sweep — serial vs. engine-backed sweep on the 8x8
-// vdd x pixel_rate grid of the VQ luminance chip (impl 2), plus the
-// memoized-Play warm path.  Emits BENCH_engine.json (argv[1] overrides
-// the output path) with the timings, speedups and cache hit-rate, and
-// asserts the engine results are bit-identical to the serial loop.
+// bench_parallel_sweep — serial interpreter vs. compiled-plan vs.
+// engine-backed sweep on the 8x8 vdd x pixel_rate grid of the VQ
+// luminance chip (impl 2), plus the memoized-Play warm path.  Emits
+// BENCH_engine.json (argv[1] overrides the output path) with the
+// timings, speedups and cache hit-rate, and asserts every path is
+// bit-identical to the serial interpreter loop.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "engine/engine.hpp"
 #include "models/berkeley_library.hpp"
+#include "sheet/plan.hpp"
 #include "sheet/sweep.hpp"
 #include "studies/vq.hpp"
 
@@ -18,17 +22,13 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// Best-of-N wall time of `fn`, in seconds.
+/// Time one invocation of `fn`, folding it into the best-of accumulator.
 template <typename Fn>
-double best_of(int reps, Fn&& fn) {
-  double best = 1e300;
-  for (int i = 0; i < reps; ++i) {
-    const auto t0 = Clock::now();
-    fn();
-    const std::chrono::duration<double> dt = Clock::now() - t0;
-    if (dt.count() < best) best = dt.count();
-  }
-  return best;
+void timed_min(double& best, Fn&& fn) {
+  const auto t0 = Clock::now();
+  fn();
+  const std::chrono::duration<double> dt = Clock::now() - t0;
+  if (dt.count() < best) best = dt.count();
 }
 
 bool bit_identical(const powerplay::sheet::GridSweep& a,
@@ -54,7 +54,10 @@ int main(int argc, char** argv) {
   using namespace powerplay;
   constexpr int kGrid = 8;
   constexpr int kReps = 5;
-  constexpr std::size_t kThreads = 4;
+  // Size the pool to the machine: oversubscribing a small host charges
+  // context switches to the engine rows that no deployment would pay.
+  const std::size_t kThreads =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
 
   const auto lib = models::berkeley_library();
   const sheet::Design design = studies::make_luminance_impl2(lib);
@@ -65,29 +68,68 @@ int main(int argc, char** argv) {
               "%zu engine threads, best of %d\n\n",
               kGrid, kGrid, kThreads, kReps);
 
-  // Serial baseline.
-  sheet::GridSweep serial_grid;
-  const double t_serial = best_of(kReps, [&] {
-    serial_grid = sheet::sweep_grid(design, "vdd", vdds, "pixel_rate", rates);
-  });
-
-  // Engine, cold cache: a fresh engine every rep, so every point is a
-  // real Play fanned out over the executor.
-  sheet::GridSweep cold_grid;
-  const double t_cold = best_of(kReps, [&] {
-    engine::EvalEngine fresh({{kThreads, 256}, 4096});
-    cold_grid =
-        fresh.sweep_grid(design, "vdd", vdds, "pixel_rate", rates);
-  });
-
-  // Engine, warm cache: one engine, repeated sweep of the unchanged
-  // design — every point is a fingerprint + cache hit.
+  // The four paths are measured round-robin inside each repetition, not
+  // as four back-to-back phases: on a shared host the clock drifts over
+  // the run, and a phase measured a second later than the baseline
+  // would absorb (or dodge) that drift.  Interleaving lands any slow
+  // spell on every row equally, and best-of-reps then discards it.
   engine::EvalEngine engine({{kThreads, 256}, 4096});
-  sheet::GridSweep warm_grid =
-      engine.sweep_grid(design, "vdd", vdds, "pixel_rate", rates);
-  const double t_warm = best_of(kReps, [&] {
-    warm_grid = engine.sweep_grid(design, "vdd", vdds, "pixel_rate", rates);
-  });
+  sheet::GridSweep serial_grid;
+  sheet::GridSweep compiled_grid;
+  compiled_grid.x_param = "vdd";
+  compiled_grid.y_param = "pixel_rate";
+  compiled_grid.xs = vdds;
+  compiled_grid.ys = rates;
+  sheet::GridSweep cold_grid;
+  sheet::GridSweep warm_grid;
+  double t_serial = 1e300;
+  double t_compiled = 1e300;
+  double t_cold = 1e300;
+  double t_warm = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    // Serial baseline: the reference interpreter, clone per point.
+    timed_min(t_serial, [&] {
+      serial_grid =
+          sheet::sweep_grid(design, "vdd", vdds, "pixel_rate", rates);
+    });
+
+    // Compiled plan, serial: one PlanInstance, the swept slots re-bound
+    // per point — the interpreter-vs-bytecode comparison with no
+    // threading or memoization in the way.
+    timed_min(t_compiled, [&] {
+      const auto plan = sheet::EvalPlan::compile(design);
+      const auto vdd_slot = *plan->global_slot("vdd");
+      const auto rate_slot = *plan->global_slot("pixel_rate");
+      sheet::PlanInstance inst(plan);
+      inst.bind_from(design);
+      compiled_grid.results.assign(
+          vdds.size(), std::vector<sheet::PlayResult>(rates.size()));
+      for (std::size_t i = 0; i < vdds.size(); ++i) {
+        inst.bind(vdd_slot, vdds[i]);
+        for (std::size_t j = 0; j < rates.size(); ++j) {
+          inst.bind(rate_slot, rates[j]);
+          compiled_grid.results[i][j] = inst.play();
+        }
+      }
+    });
+
+    // Engine, cold cache: a standing engine (the web app keeps one for
+    // the process lifetime) with Play and plan caches cleared before
+    // the rep, so every point is a real compiled Play fanned out over
+    // the executor and the plan is recompiled — the first-request
+    // cost, without charging thread spawn to each sweep.
+    engine.cache().clear();
+    engine.plans().clear();
+    timed_min(t_cold, [&] {
+      cold_grid = engine.sweep_grid(design, "vdd", vdds, "pixel_rate", rates);
+    });
+
+    // Engine, warm cache: the same sweep again — the cold rep above
+    // filled the cache, so every point is a derived key + cache hit.
+    timed_min(t_warm, [&] {
+      warm_grid = engine.sweep_grid(design, "vdd", vdds, "pixel_rate", rates);
+    });
+  }
   const engine::CacheStats cache = engine.cache().stats();
   const double hit_rate =
       cache.hits + cache.misses == 0
@@ -95,13 +137,17 @@ int main(int argc, char** argv) {
           : static_cast<double>(cache.hits) /
                 static_cast<double>(cache.hits + cache.misses);
 
-  const bool identical = bit_identical(serial_grid, cold_grid) &&
+  const bool identical = bit_identical(serial_grid, compiled_grid) &&
+                         bit_identical(serial_grid, cold_grid) &&
                          bit_identical(serial_grid, warm_grid);
 
+  const double speedup_compiled = t_serial / t_compiled;
   const double speedup_cold = t_serial / t_cold;
   const double speedup_warm = t_serial / t_warm;
 
-  std::printf("serial            : %9.3f ms\n", t_serial * 1e3);
+  std::printf("serial interpreter: %9.3f ms\n", t_serial * 1e3);
+  std::printf("compiled (serial) : %9.3f ms   speedup %.2fx\n",
+              t_compiled * 1e3, speedup_compiled);
   std::printf("engine (cold)     : %9.3f ms   speedup %.2fx\n",
               t_cold * 1e3, speedup_cold);
   std::printf("engine (warm)     : %9.3f ms   speedup %.2fx\n",
@@ -121,8 +167,10 @@ int main(int argc, char** argv) {
        << "  \"engine_threads\": " << kThreads << ",\n"
        << "  \"repetitions\": " << kReps << ",\n"
        << "  \"serial_ms\": " << t_serial * 1e3 << ",\n"
+       << "  \"compiled_serial_ms\": " << t_compiled * 1e3 << ",\n"
        << "  \"engine_cold_ms\": " << t_cold * 1e3 << ",\n"
        << "  \"engine_warm_ms\": " << t_warm * 1e3 << ",\n"
+       << "  \"speedup_compiled\": " << speedup_compiled << ",\n"
        << "  \"speedup_cold\": " << speedup_cold << ",\n"
        << "  \"speedup_warm\": " << speedup_warm << ",\n"
        << "  \"cache_hits\": " << cache.hits << ",\n"

@@ -1,20 +1,25 @@
-// cache.hpp — memoized Play results, keyed by design fingerprint.
+// cache.hpp — thread-safe LRU maps keyed by design fingerprint.
 //
 // Re-Playing an unchanged design — a page reload, a revisited sweep
 // point, two users opening the same shared design — is the hottest
-// redundant work in the web loop.  This is a thread-safe LRU map from
-// content fingerprint (engine/fingerprint.hpp) to an immutable
-// PlayResult.  Invalidation is free: any edit changes the fingerprint,
-// so stale entries are simply never looked up again and age out of the
-// LRU tail (docs/engine.md spells out the rules).
+// redundant work in the web loop.  LruCache is a thread-safe LRU map
+// from content fingerprint (engine/fingerprint.hpp) to an immutable,
+// shared value; the engine keeps two instances: PlayCache (fingerprint
+// → PlayResult) and a plan cache (structural fingerprint → EvalPlan,
+// aliased in engine/engine.hpp).  Invalidation is free: any edit
+// changes the fingerprint, so stale entries are simply never looked up
+// again and age out of the LRU tail (docs/engine.md spells out the
+// rules).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 
 #include "sheet/design.hpp"
 
@@ -28,35 +33,74 @@ struct CacheStats {
   std::size_t capacity = 0;
 };
 
-class PlayCache {
+template <typename V>
+class LruCache {
  public:
-  explicit PlayCache(std::size_t capacity = 4096);
+  explicit LruCache(std::size_t capacity = 4096)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    // Pre-size the index so a burst of inserts (a cold sweep filling the
+    // cache) never pays an incremental rehash; clear() keeps the buckets.
+    index_.reserve(std::min<std::size_t>(capacity_, 1024));
+  }
 
   /// Lookup; promotes the entry to most-recently-used.  Counts a hit or
   /// a miss.  Returns nullptr on miss.
-  [[nodiscard]] std::shared_ptr<const sheet::PlayResult> find(
-      std::uint64_t key);
+  [[nodiscard]] std::shared_ptr<const V> find(std::uint64_t key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
 
   /// Insert (or refresh) an entry, evicting the least-recently-used one
   /// when over capacity.
-  void insert(std::uint64_t key,
-              std::shared_ptr<const sheet::PlayResult> value);
+  void insert(std::uint64_t key, std::shared_ptr<const V> value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.emplace_front(key, std::move(value));
+    index_[key] = lru_.begin();
+    if (lru_.size() > capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++evictions_;
+    }
+  }
 
-  void clear();
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    lru_.clear();
+    index_.clear();
+  }
 
-  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] CacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return CacheStats{hits_, misses_, evictions_, lru_.size(), capacity_};
+  }
 
  private:
-  using Entry = std::pair<std::uint64_t,
-                          std::shared_ptr<const sheet::PlayResult>>;
+  using Entry = std::pair<std::uint64_t, std::shared_ptr<const V>>;
 
   mutable std::mutex mutex_;
   std::size_t capacity_;
   std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::unordered_map<std::uint64_t, typename std::list<Entry>::iterator>
+      index_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
 };
+
+/// Memoized Play results, keyed by content fingerprint.
+using PlayCache = LruCache<sheet::PlayResult>;
 
 }  // namespace powerplay::engine

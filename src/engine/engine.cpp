@@ -1,36 +1,166 @@
 #include "engine/engine.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
 namespace powerplay::engine {
 
+namespace {
+
+// Derived per-point Play-cache keys for the clone-free sweeps.  Hashing
+// the whole design per point (fingerprint(design, overrides)) costs
+// more than the compiled Play itself on small sheets, so sweeps fold
+// the swept parameter's identity and value into the design fingerprint
+// computed once per sweep.  Identical sweeps of content-equal designs
+// produce identical keys, which is what memoizes repeated jobs; the
+// keys are NOT the digests of equivalently edited clones, so sweep
+// entries are not shared with play() of a hand-edited design (a miss
+// there is a correctness no-op).
+std::uint64_t fold(std::uint64_t h, std::uint64_t block) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (block >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;  // FNV-1a prime
+  }
+  return h;
+}
+
+std::uint64_t fold(std::uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t fold(std::uint64_t h, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  return fold(h, bits);
+}
+
+}  // namespace
+
 EvalEngine::EvalEngine(EngineOptions options)
-    : executor_(options.executor), cache_(options.cache_capacity) {}
+    : executor_(options.executor),
+      cache_(options.cache_capacity),
+      plans_(options.plan_cache_capacity) {}
+
+std::shared_ptr<const sheet::EvalPlan> EvalEngine::plan_for(
+    const sheet::Design& design) {
+  const std::uint64_t key = structure_fingerprint(design);
+  if (auto cached = plans_.find(key)) return cached;
+  auto fresh = sheet::EvalPlan::compile(design);
+  plans_.insert(key, fresh);
+  return fresh;
+}
 
 std::shared_ptr<const sheet::PlayResult> EvalEngine::play(
     const sheet::Design& design) {
   const std::uint64_t key = fingerprint(design);
   if (auto cached = cache_.find(key)) return cached;
-  auto fresh = std::make_shared<const sheet::PlayResult>(design.play());
+  sheet::PlanInstance inst(plan_for(design));
+  inst.bind_from(design);
+  auto fresh = std::make_shared<const sheet::PlayResult>(inst.play());
   cache_.insert(key, fresh);
   return fresh;
 }
 
-sheet::PlayFn EvalEngine::memoized_play() {
-  return [this](const sheet::Design& d) { return *play(d); };
+std::shared_ptr<const sheet::PlayResult> EvalEngine::play_bound(
+    sheet::PlanInstance& inst, std::uint64_t key) {
+  if (auto cached = cache_.find(key)) return cached;
+  auto fresh = std::make_shared<const sheet::PlayResult>(inst.play());
+  cache_.insert(key, fresh);
+  return fresh;
+}
+
+std::size_t EvalEngine::chunk_count(std::size_t points) const {
+  // Enough chunks to keep every worker busy with some slack for uneven
+  // point costs, few enough that one PlanInstance amortizes over many
+  // points.  One worker gets one chunk: no load to balance, and a single
+  // PlanInstance serves the whole sweep.
+  if (executor_.thread_count() <= 1) return 1;
+  const std::size_t target = executor_.thread_count() * 2;
+  return std::max<std::size_t>(1, std::min(points, target));
 }
 
 std::vector<sheet::SweepPoint> EvalEngine::sweep_global(
     const sheet::Design& design, const std::string& param,
     const std::vector<double>& values, const sheet::SweepProgress& progress) {
-  return sheet::sweep_global(executor_, design, param, values,
-                             memoized_play(), progress);
+  sheet::require_global(design, param, "sweep_global");
+  auto plan = plan_for(design);
+  const auto slot = plan->global_slot(param);
+  if (!slot) {
+    // The binding exists but is not slot-addressable (inherited through
+    // a parent scope): fall back to the clone-per-point path.
+    return sheet::sweep_global(
+        executor_, design, param, values,
+        [this](const sheet::Design& d) { return *play(d); }, progress);
+  }
+  const std::size_t n = values.size();
+  std::vector<sheet::SweepPoint> out(n);
+  std::atomic<std::size_t> done{0};
+  const std::size_t chunks = chunk_count(n);
+  const std::uint64_t base = fold(fingerprint(design), "g:" + param);
+  parallel_for(executor_, chunks, [&](std::size_t c) {
+    sheet::PlanInstance inst(plan);
+    inst.bind_from(design);
+    for (std::size_t i = c * n / chunks; i < (c + 1) * n / chunks; ++i) {
+      inst.bind(*slot, values[i]);
+      out[i] = sheet::SweepPoint{values[i],
+                                 *play_bound(inst, fold(base, values[i]))};
+      if (progress) progress(done.fetch_add(1) + 1, n);
+    }
+  });
+  return out;
 }
 
 std::vector<sheet::SweepPoint> EvalEngine::sweep_row_param(
     const sheet::Design& design, const std::string& row,
     const std::string& param, const std::vector<double>& values,
     const sheet::SweepProgress& progress) {
-  return sheet::sweep_row_param(executor_, design, row, param, values,
-                                memoized_play(), progress);
+  const sheet::Row* r = design.find_row(row);
+  if (r == nullptr) {
+    throw expr::ExprError("sweep_row_param: no row named '" + row +
+                          "' in design '" + design.name() + "'");
+  }
+  sheet::require_row_param(design, *r, param);
+  if (values.empty()) return {};
+
+  // When the row does not bind the parameter locally (it rides on a
+  // model default or a macro global), the serial path's Scope::set
+  // *creates* the binding — a structural change.  One clone per sweep
+  // (not per point) materializes that binding so the plan has a slot
+  // for it; per-point digests still match the serial clone-and-set.
+  const bool local = r->params.has_local(param);
+  sheet::Design materialized = design;
+  if (!local) materialized.find_row(row)->params.set(param, values[0]);
+  const sheet::Design& src = local ? design : materialized;
+
+  auto plan = plan_for(src);
+  const auto slot = plan->row_param_slot(row, param);
+  if (!slot) {
+    return sheet::sweep_row_param(
+        executor_, design, row, param, values,
+        [this](const sheet::Design& d) { return *play(d); }, progress);
+  }
+  const std::size_t n = values.size();
+  std::vector<sheet::SweepPoint> out(n);
+  std::atomic<std::size_t> done{0};
+  const std::size_t chunks = chunk_count(n);
+  const std::uint64_t base =
+      fold(fingerprint(src), "r:" + row + ":" + param);
+  parallel_for(executor_, chunks, [&](std::size_t c) {
+    sheet::PlanInstance inst(plan);
+    inst.bind_from(src);
+    for (std::size_t i = c * n / chunks; i < (c + 1) * n / chunks; ++i) {
+      inst.bind(*slot, values[i]);
+      out[i] = sheet::SweepPoint{values[i],
+                                 *play_bound(inst, fold(base, values[i]))};
+      if (progress) progress(done.fetch_add(1) + 1, n);
+    }
+  });
+  return out;
 }
 
 sheet::GridSweep EvalEngine::sweep_grid(const sheet::Design& design,
@@ -39,8 +169,45 @@ sheet::GridSweep EvalEngine::sweep_grid(const sheet::Design& design,
                                         const std::string& y_param,
                                         const std::vector<double>& ys,
                                         const sheet::SweepProgress& progress) {
-  return sheet::sweep_grid(executor_, design, x_param, xs, y_param, ys,
-                           memoized_play(), progress);
+  if (x_param == y_param) {
+    throw expr::ExprError("sweep_grid: the two parameters must differ");
+  }
+  sheet::require_global(design, x_param, "sweep_grid");
+  sheet::require_global(design, y_param, "sweep_grid");
+  auto plan = plan_for(design);
+  const auto x_slot = plan->global_slot(x_param);
+  const auto y_slot = plan->global_slot(y_param);
+  if (!x_slot || !y_slot) {
+    return sheet::sweep_grid(
+        executor_, design, x_param, xs, y_param, ys,
+        [this](const sheet::Design& d) { return *play(d); }, progress);
+  }
+  sheet::GridSweep out;
+  out.x_param = x_param;
+  out.y_param = y_param;
+  out.xs = xs;
+  out.ys = ys;
+  out.results.assign(xs.size(), std::vector<sheet::PlayResult>(ys.size()));
+  const std::size_t total = xs.size() * ys.size();
+  std::atomic<std::size_t> done{0};
+  const std::size_t chunks = chunk_count(total);
+  const std::uint64_t base =
+      fold(fingerprint(design), "g2:" + x_param + ":" + y_param);
+  parallel_for(executor_, chunks, [&](std::size_t c) {
+    sheet::PlanInstance inst(plan);
+    inst.bind_from(design);
+    for (std::size_t k = c * total / chunks; k < (c + 1) * total / chunks;
+         ++k) {
+      const std::size_t i = k / ys.size();
+      const std::size_t j = k % ys.size();
+      inst.bind(*x_slot, xs[i]);
+      inst.bind(*y_slot, ys[j]);
+      out.results[i][j] =
+          *play_bound(inst, fold(fold(base, xs[i]), ys[j]));
+      if (progress) progress(done.fetch_add(1) + 1, total);
+    }
+  });
+  return out;
 }
 
 }  // namespace powerplay::engine

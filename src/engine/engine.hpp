@@ -1,12 +1,21 @@
 // engine.hpp — the parallel evaluation engine.
 //
 // One EvalEngine per process (the web app owns one): a thread-pool
-// executor for Playing independent sweep points concurrently, plus a
+// executor for Playing independent sweep points concurrently, a
 // memoized Play cache so an unchanged design — a reloaded page, a
 // revisited sweep point, a second user opening a shared design — costs
-// a hash instead of a fixed-point evaluation.  Engine-backed sweeps
-// are bit-identical to the serial loops in sheet/sweep.hpp: each point
-// clones the design, so there is no shared mutable state to order.
+// a hash instead of a fixed-point evaluation, and a plan cache of
+// compiled EvalPlans (sheet/plan.hpp) keyed by structural fingerprint
+// so the compile cost is paid once per design *shape*, not per edit.
+//
+// Sweeps are clone-free: instead of copying the whole design per point
+// (the serial paths in sheet/sweep.hpp), each worker holds one
+// PlanInstance over the shared plan and re-binds the swept parameter's
+// slot per point.  Results are bit-identical to the serial loops.
+// Per-point Play-cache keys are derived — the design fingerprint
+// computed once per sweep, folded with the swept parameter's identity
+// and value — so keying costs nanoseconds per point and repeated
+// sweeps (re-submitted jobs, multiple users) hit the cache.
 #pragma once
 
 #include <memory>
@@ -14,6 +23,7 @@
 #include "engine/cache.hpp"
 #include "engine/executor.hpp"
 #include "engine/fingerprint.hpp"
+#include "sheet/plan.hpp"
 #include "sheet/sweep.hpp"
 
 namespace powerplay::engine {
@@ -21,7 +31,13 @@ namespace powerplay::engine {
 struct EngineOptions {
   ExecutorOptions executor;
   std::size_t cache_capacity = 4096;
+  /// Compiled plans are small but designs have few shapes; a modest
+  /// LRU keeps every actively edited design's plan resident.
+  std::size_t plan_cache_capacity = 256;
 };
+
+/// Compiled evaluation plans, keyed by structure_fingerprint().
+using PlanCache = LruCache<sheet::EvalPlan>;
 
 class EvalEngine {
  public:
@@ -29,14 +45,21 @@ class EvalEngine {
 
   [[nodiscard]] Executor& executor() { return executor_; }
   [[nodiscard]] PlayCache& cache() { return cache_; }
+  [[nodiscard]] PlanCache& plans() { return plans_; }
 
-  /// Memoized Play: fingerprint, probe the cache, Play on miss.  The
-  /// returned result is shared and immutable.
+  /// Compiled plan for `design`, from the plan cache when a
+  /// structurally identical design was compiled before.
+  [[nodiscard]] std::shared_ptr<const sheet::EvalPlan> plan_for(
+      const sheet::Design& design);
+
+  /// Memoized Play: fingerprint, probe the cache, run the compiled
+  /// plan on miss.  The returned result is shared and immutable.
   [[nodiscard]] std::shared_ptr<const sheet::PlayResult> play(
       const sheet::Design& design);
 
   /// Engine-backed sweeps: parallel over the executor, memoized per
-  /// point.  Same signatures, validation and results as the serial
+  /// point, one PlanInstance per worker chunk (no design clones).
+  /// Same signatures, validation, errors and results as the serial
   /// entry points in sheet/sweep.hpp.
   [[nodiscard]] std::vector<sheet::SweepPoint> sweep_global(
       const sheet::Design& design, const std::string& param,
@@ -55,11 +78,18 @@ class EvalEngine {
       const sheet::SweepProgress& progress = {});
 
  private:
-  /// The memoizing PlayFn handed to the sheet sweep overloads.
-  [[nodiscard]] sheet::PlayFn memoized_play();
+  /// Play `inst` (slots already bound for the point) under Play-cache
+  /// key `key`: probe first, insert on miss.
+  [[nodiscard]] std::shared_ptr<const sheet::PlayResult> play_bound(
+      sheet::PlanInstance& inst, std::uint64_t key);
+
+  /// Point-index ranges sized so each worker chunk amortizes one
+  /// PlanInstance over many points.
+  [[nodiscard]] std::size_t chunk_count(std::size_t points) const;
 
   Executor executor_;
   PlayCache cache_;
+  PlanCache plans_;
 };
 
 }  // namespace powerplay::engine

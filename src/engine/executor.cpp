@@ -56,11 +56,14 @@ void Executor::worker_loop() {
       queue_.pop_front();
     }
     space_free_.notify_one();
-    task();
     {
+      // Count before running: the task body is what signals completion
+      // to waiters (TaskGroup), so incrementing afterwards would let a
+      // wait() observe all tasks done but the counter still short.
       std::lock_guard lock(mutex_);
       ++executed_;
     }
+    task();
   }
 }
 
@@ -102,8 +105,10 @@ void TaskGroup::wait() {
 void parallel_for(Executor& executor, std::size_t n,
                   const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
-  if (n == 1) {
-    body(0);
+  if (n == 1 || executor.thread_count() <= 1) {
+    // A single-worker pool serializes everything anyway; running on the
+    // caller skips the queue handoff and wakeup entirely.
+    for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
   // Chunk the range so per-task overhead (queue handoff, wakeup) is

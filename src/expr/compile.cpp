@@ -1,0 +1,589 @@
+#include "expr/compile.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+namespace powerplay::expr {
+
+// ---------------------------------------------------------------------------
+// ExecState
+// ---------------------------------------------------------------------------
+
+ExecState::ExecState(const Module& module)
+    : module_(&module),
+      values_(module.slots.size(), 0.0),
+      stamp_(module.slots.size(), 0),
+      overridden_(module.slots.size(), 0),
+      in_flight_(module.slots.size(), 0),
+      domain_epoch_(module.domain_count, 1) {
+  for (std::size_t i = 0; i < module.slots.size(); ++i) {
+    if (module.slots[i].kind == SlotKind::kValue) {
+      values_[i] = module.slots[i].initial;
+    }
+  }
+  stack_.reserve(32);
+  flight_order_.reserve(8);
+}
+
+void ExecState::bind(SlotId slot, double value) {
+  values_[slot] = value;
+  overridden_[slot] = 1;
+}
+
+void ExecState::rebind_value(SlotId slot, double value) {
+  values_[slot] = value;
+  overridden_[slot] = 0;
+}
+
+double ExecState::slot_value(SlotId slot) {
+  if (overridden_[slot]) return values_[slot];
+  const SlotInfo& info = module_->slots[slot];
+  switch (info.kind) {
+    case SlotKind::kValue:
+      return values_[slot];
+    case SlotKind::kFormula:
+      return formula_value(slot);
+    case SlotKind::kUnbound:
+      break;
+  }
+  throw ExprError("unbound parameter '" + info.name + "'");
+}
+
+double ExecState::formula_value(SlotId slot) {
+  const SlotInfo& info = module_->slots[slot];
+  const std::uint32_t epoch = domain_epoch_[info.domain];
+  if (stamp_[slot] == epoch) return values_[slot];
+  if (in_flight_[slot]) {
+    // Same chain format as Evaluator::resolve: every in-flight name in
+    // resolution order, then the repeated name.
+    std::string cycle;
+    for (const SlotId s : flight_order_) {
+      cycle += module_->slots[s].name;
+      cycle += " -> ";
+    }
+    cycle += info.name;
+    throw ExprError("circular parameter definition: " + cycle);
+  }
+  in_flight_[slot] = 1;
+  flight_order_.push_back(slot);
+  double result;
+  try {
+    result = run(module_->programs[info.program]);
+  } catch (...) {
+    // The tree walk leaves its in-flight list dirty on throw, but its
+    // Evaluator dies with the exception; this state is reused across
+    // evaluations, so unwind cleanly.
+    in_flight_[slot] = 0;
+    flight_order_.pop_back();
+    throw;
+  }
+  in_flight_[slot] = 0;
+  flight_order_.pop_back();
+  values_[slot] = result;
+  stamp_[slot] = epoch;
+  return result;
+}
+
+double ExecState::run(const Program& p) {
+  const std::size_t base = stack_.size();
+  try {
+    const Instr* code = p.code.data();
+    const auto n = static_cast<std::uint32_t>(p.code.size());
+    for (std::uint32_t pc = 0; pc < n;) {
+      const Instr ins = code[pc];
+      switch (ins.op) {
+        case Op::kConst:
+          stack_.push_back(module_->constants[ins.a]);
+          ++pc;
+          break;
+        case Op::kSlot:
+          stack_.push_back(slot_value(ins.a));
+          ++pc;
+          break;
+        case Op::kThrow:
+          throw ExprError(module_->messages[ins.a]);
+        case Op::kNeg:
+          stack_.back() = -stack_.back();
+          ++pc;
+          break;
+        case Op::kNot:
+          stack_.back() = stack_.back() == 0.0 ? 1.0 : 0.0;
+          ++pc;
+          break;
+        case Op::kAdd: {
+          const double r = stack_.back();
+          stack_.pop_back();
+          stack_.back() += r;
+          ++pc;
+          break;
+        }
+        case Op::kSub: {
+          const double r = stack_.back();
+          stack_.pop_back();
+          stack_.back() -= r;
+          ++pc;
+          break;
+        }
+        case Op::kMul: {
+          const double r = stack_.back();
+          stack_.pop_back();
+          stack_.back() *= r;
+          ++pc;
+          break;
+        }
+        case Op::kDiv: {
+          const double r = stack_.back();
+          stack_.pop_back();
+          if (r == 0.0) throw ExprError("division by zero");
+          stack_.back() /= r;
+          ++pc;
+          break;
+        }
+        case Op::kMod: {
+          const double r = stack_.back();
+          stack_.pop_back();
+          if (r == 0.0) throw ExprError("modulo by zero");
+          stack_.back() = std::fmod(stack_.back(), r);
+          ++pc;
+          break;
+        }
+        case Op::kPow: {
+          const double r = stack_.back();
+          stack_.pop_back();
+          stack_.back() = std::pow(stack_.back(), r);
+          ++pc;
+          break;
+        }
+        case Op::kLess: {
+          const double r = stack_.back();
+          stack_.pop_back();
+          stack_.back() = stack_.back() < r ? 1.0 : 0.0;
+          ++pc;
+          break;
+        }
+        case Op::kLessEq: {
+          const double r = stack_.back();
+          stack_.pop_back();
+          stack_.back() = stack_.back() <= r ? 1.0 : 0.0;
+          ++pc;
+          break;
+        }
+        case Op::kGreater: {
+          const double r = stack_.back();
+          stack_.pop_back();
+          stack_.back() = stack_.back() > r ? 1.0 : 0.0;
+          ++pc;
+          break;
+        }
+        case Op::kGreaterEq: {
+          const double r = stack_.back();
+          stack_.pop_back();
+          stack_.back() = stack_.back() >= r ? 1.0 : 0.0;
+          ++pc;
+          break;
+        }
+        case Op::kEqual: {
+          const double r = stack_.back();
+          stack_.pop_back();
+          stack_.back() = stack_.back() == r ? 1.0 : 0.0;
+          ++pc;
+          break;
+        }
+        case Op::kNotEqual: {
+          const double r = stack_.back();
+          stack_.pop_back();
+          stack_.back() = stack_.back() != r ? 1.0 : 0.0;
+          ++pc;
+          break;
+        }
+        case Op::kJump:
+          pc = ins.a;
+          break;
+        case Op::kJumpIfZero: {
+          const double v = stack_.back();
+          stack_.pop_back();
+          pc = v == 0.0 ? ins.a : pc + 1;
+          break;
+        }
+        case Op::kCall: {
+          const CallSite& site = module_->call_sites[ins.a];
+          std::vector<Value> args;
+          args.reserve(site.args.size());
+          const std::size_t argbase = stack_.size() - site.numeric_argc;
+          std::size_t next = argbase;
+          for (const CallArg& a : site.args) {
+            if (a.is_string) {
+              args.emplace_back(module_->strings[a.string_index]);
+            } else {
+              args.emplace_back(stack_[next++]);
+            }
+          }
+          stack_.resize(argbase);
+          stack_.push_back(module_->functions[site.function](args));
+          ++pc;
+          break;
+        }
+        case Op::kExt:
+          stack_.push_back(ext_(ext_ctx_, ins.a, ins.b));
+          ++pc;
+          break;
+      }
+    }
+    const double result = stack_.back();
+    stack_.resize(base);
+    return result;
+  } catch (...) {
+    stack_.resize(base);
+    throw;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Compiler
+// ---------------------------------------------------------------------------
+
+std::uint32_t Compiler::add_program(const Expr& e) {
+  // Build before taking the index: compiling may reserve program slots
+  // for referenced formulas (the variable hook grows the pool).
+  Program p = build(e);
+  const auto index = static_cast<std::uint32_t>(module_->programs.size());
+  module_->programs.push_back(std::move(p));
+  return index;
+}
+
+Program Compiler::build(const Expr& e) {
+  code_.clear();
+  compile(e);
+  Program p{std::move(code_)};
+  code_.clear();
+  return p;
+}
+
+void Compiler::emit(Op op, std::uint32_t a, std::uint32_t b) {
+  code_.push_back(Instr{op, a, b});
+}
+
+void Compiler::emit_const(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  auto [it, inserted] = const_pool_.try_emplace(
+      bits, static_cast<std::uint32_t>(module_->constants.size()));
+  if (inserted) module_->constants.push_back(v);
+  emit(Op::kConst, it->second);
+}
+
+void Compiler::emit_throw(const std::string& message) {
+  const auto index = static_cast<std::uint32_t>(module_->messages.size());
+  module_->messages.push_back(message);
+  emit(Op::kThrow, index);
+}
+
+std::uint32_t Compiler::intern_string(const std::string& s) {
+  for (std::size_t i = 0; i < module_->strings.size(); ++i) {
+    if (module_->strings[i] == s) return static_cast<std::uint32_t>(i);
+  }
+  module_->strings.push_back(s);
+  return static_cast<std::uint32_t>(module_->strings.size() - 1);
+}
+
+std::uint32_t Compiler::here() const {
+  return static_cast<std::uint32_t>(code_.size());
+}
+
+void Compiler::patch(std::uint32_t jump_instr) { code_[jump_instr].a = here(); }
+
+std::optional<double> Compiler::fold(const Expr& e) {
+  return std::visit(
+      [this](const auto& node) -> std::optional<double> {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, NumberNode>) {
+          return node.value;
+        } else if constexpr (std::is_same_v<T, UnaryNode>) {
+          const auto x = fold(*node.operand);
+          if (!x) return std::nullopt;
+          switch (node.op) {
+            case UnOp::kNeg: return -*x;
+            case UnOp::kNot: return *x == 0.0 ? 1.0 : 0.0;
+          }
+          return std::nullopt;
+        } else if constexpr (std::is_same_v<T, BinaryNode>) {
+          const auto l = fold(*node.lhs);
+          // Short-circuit folding mirrors the evaluator's laziness: a
+          // statically-false && (or statically-true ||) never observes
+          // the rhs, so rhs errors must stay silent.
+          if (node.op == BinOp::kAnd) {
+            if (!l) return std::nullopt;
+            if (*l == 0.0) return 0.0;
+            const auto r = fold(*node.rhs);
+            if (!r) return std::nullopt;
+            return *r != 0.0 ? 1.0 : 0.0;
+          }
+          if (node.op == BinOp::kOr) {
+            if (!l) return std::nullopt;
+            if (*l != 0.0) return 1.0;
+            const auto r = fold(*node.rhs);
+            if (!r) return std::nullopt;
+            return *r != 0.0 ? 1.0 : 0.0;
+          }
+          const auto r = fold(*node.rhs);
+          if (!l || !r) return std::nullopt;
+          switch (node.op) {
+            case BinOp::kAdd: return *l + *r;
+            case BinOp::kSub: return *l - *r;
+            case BinOp::kMul: return *l * *r;
+            case BinOp::kDiv:
+              // Folding 1/0 would turn a lazy runtime error into
+              // something else; leave it to the emitted kDiv.
+              if (*r == 0.0) return std::nullopt;
+              return *l / *r;
+            case BinOp::kMod:
+              if (*r == 0.0) return std::nullopt;
+              return std::fmod(*l, *r);
+            case BinOp::kPow: return std::pow(*l, *r);
+            case BinOp::kLess: return *l < *r ? 1.0 : 0.0;
+            case BinOp::kLessEq: return *l <= *r ? 1.0 : 0.0;
+            case BinOp::kGreater: return *l > *r ? 1.0 : 0.0;
+            case BinOp::kGreaterEq: return *l >= *r ? 1.0 : 0.0;
+            case BinOp::kEqual: return *l == *r ? 1.0 : 0.0;
+            case BinOp::kNotEqual: return *l != *r ? 1.0 : 0.0;
+            case BinOp::kAnd:
+            case BinOp::kOr: break;  // handled above
+          }
+          return std::nullopt;
+        } else if constexpr (std::is_same_v<T, ConditionalNode>) {
+          const auto c = fold(*node.condition);
+          if (!c) return std::nullopt;
+          return fold(*c != 0.0 ? *node.then_branch : *node.else_branch);
+        } else {
+          // Variables, calls and strings never fold: their value (or
+          // error) depends on run-time state.
+          return std::nullopt;
+        }
+      },
+      e.node);
+}
+
+void Compiler::compile(const Expr& e) {
+  if (const auto folded = fold(e)) {
+    emit_const(*folded);
+    return;
+  }
+  std::visit(
+      [this](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, NumberNode>) {
+          emit_const(node.value);  // unreachable: fold() handles it
+        } else if constexpr (std::is_same_v<T, VariableNode>) {
+          emit(Op::kSlot, hooks_.variable(node.name));
+        } else if constexpr (std::is_same_v<T, StringNode>) {
+          emit_throw(
+              "string literal used as a number (strings are only valid as "
+              "function arguments)");
+        } else if constexpr (std::is_same_v<T, UnaryNode>) {
+          compile(*node.operand);
+          emit(node.op == UnOp::kNeg ? Op::kNeg : Op::kNot);
+        } else if constexpr (std::is_same_v<T, BinaryNode>) {
+          compile_binary(node);
+        } else if constexpr (std::is_same_v<T, ConditionalNode>) {
+          if (const auto c = fold(*node.condition)) {
+            // Constant condition: only the taken branch exists at run
+            // time, exactly the branch the tree walk would enter.
+            compile(*c != 0.0 ? *node.then_branch : *node.else_branch);
+            return;
+          }
+          compile(*node.condition);
+          const std::uint32_t to_else = here();
+          emit(Op::kJumpIfZero);
+          compile(*node.then_branch);
+          const std::uint32_t to_end = here();
+          emit(Op::kJump);
+          patch(to_else);
+          compile(*node.else_branch);
+          patch(to_end);
+        } else if constexpr (std::is_same_v<T, CallNode>) {
+          compile_call(node);
+        }
+      },
+      e.node);
+}
+
+void Compiler::compile_binary(const BinaryNode& b) {
+  if (b.op == BinOp::kAnd || b.op == BinOp::kOr) {
+    // Lower to jumps that reproduce the evaluator's short-circuit:
+    // the rhs only runs (and only raises errors) when the lhs demands.
+    std::vector<std::uint32_t> to_false;
+    std::uint32_t to_end_true = 0;
+    bool have_true_exit = false;
+    if (const auto l = fold(*b.lhs)) {
+      // fold(whole) failed, so the lhs constant selects the rhs path:
+      // And with non-zero lhs / Or with zero lhs reduce to rhs != 0.
+      (void)l;
+    } else {
+      compile(*b.lhs);
+      if (b.op == BinOp::kAnd) {
+        to_false.push_back(here());
+        emit(Op::kJumpIfZero);
+      } else {
+        const std::uint32_t to_rhs = here();
+        emit(Op::kJumpIfZero);
+        emit_const(1.0);
+        to_end_true = here();
+        have_true_exit = true;
+        emit(Op::kJump);
+        patch(to_rhs);
+      }
+    }
+    compile(*b.rhs);
+    to_false.push_back(here());
+    emit(Op::kJumpIfZero);
+    emit_const(1.0);
+    const std::uint32_t to_end = here();
+    emit(Op::kJump);
+    for (const std::uint32_t j : to_false) patch(j);
+    emit_const(0.0);
+    patch(to_end);
+    if (have_true_exit) {
+      // The early-true exit of || jumps past the 0.0 tail to the same
+      // join point; patch() above already aimed to_end there.
+      code_[to_end_true].a = code_[to_end].a;
+    }
+    return;
+  }
+  compile(*b.lhs);
+  compile(*b.rhs);
+  switch (b.op) {
+    case BinOp::kAdd: emit(Op::kAdd); break;
+    case BinOp::kSub: emit(Op::kSub); break;
+    case BinOp::kMul: emit(Op::kMul); break;
+    case BinOp::kDiv: emit(Op::kDiv); break;
+    case BinOp::kMod: emit(Op::kMod); break;
+    case BinOp::kPow: emit(Op::kPow); break;
+    case BinOp::kLess: emit(Op::kLess); break;
+    case BinOp::kLessEq: emit(Op::kLessEq); break;
+    case BinOp::kGreater: emit(Op::kGreater); break;
+    case BinOp::kGreaterEq: emit(Op::kGreaterEq); break;
+    case BinOp::kEqual: emit(Op::kEqual); break;
+    case BinOp::kNotEqual: emit(Op::kNotEqual); break;
+    case BinOp::kAnd:
+    case BinOp::kOr: break;  // handled above
+  }
+}
+
+void Compiler::compile_call(const CallNode& c) {
+  if (hooks_.special_call && hooks_.special_call(c)) return;
+  const auto function = hooks_.function ? hooks_.function(c.name)
+                                        : std::optional<std::uint32_t>{};
+  if (!function) {
+    // The tree walk throws before evaluating any argument; so do we.
+    emit_throw("unknown function '" + c.name + "'");
+    return;
+  }
+  CallSite site;
+  site.function = *function;
+  site.args.reserve(c.args.size());
+  for (const ExprPtr& arg : c.args) {
+    if (const auto* s = std::get_if<StringNode>(&arg->node)) {
+      // Only a *direct* string literal is a string argument, exactly
+      // like Evaluator::eval_value.
+      site.args.push_back(CallArg{true, intern_string(s->value)});
+    } else {
+      compile(*arg);
+      site.args.push_back(CallArg{false, 0});
+      ++site.numeric_argc;
+    }
+  }
+  const auto index = static_cast<std::uint32_t>(module_->call_sites.size());
+  module_->call_sites.push_back(std::move(site));
+  emit(Op::kCall, index);
+}
+
+// ---------------------------------------------------------------------------
+// CompiledExpr
+// ---------------------------------------------------------------------------
+
+CompiledExpr::CompiledExpr(const Expr& e, const Scope& scope,
+                           const FunctionTable& functions) {
+  struct Pending {
+    std::uint32_t program;
+    ExprPtr formula;
+    const Scope* owner;
+  };
+  // Slot identity is (owning scope, name) — the evaluator's cycle key —
+  // so two contexts that resolve a name to the same binding share a
+  // slot; unbound names key on the lookup context instead.
+  std::map<std::pair<const void*, std::string>, SlotId> interned;
+  std::map<std::string, std::uint32_t> fn_index;
+  std::vector<Pending> pending;
+
+  const auto make_hooks = [&](const Scope* context) {
+    Compiler::Hooks hooks;
+    hooks.variable = [this, &interned, &pending,
+                      context](const std::string& name) -> SlotId {
+      const auto found = context->lookup(name);
+      const void* key_scope =
+          found ? static_cast<const void*>(found->owner)
+                : static_cast<const void*>(context);
+      const auto key = std::make_pair(key_scope, name);
+      if (const auto it = interned.find(key); it != interned.end()) {
+        return it->second;
+      }
+      const auto id = static_cast<SlotId>(module_.slots.size());
+      SlotInfo info;
+      info.name = name;
+      if (!found) {
+        info.kind = SlotKind::kUnbound;
+      } else if (const double* literal = std::get_if<double>(found->binding)) {
+        info.kind = SlotKind::kValue;
+        info.initial = *literal;
+      } else {
+        info.kind = SlotKind::kFormula;
+        info.program = static_cast<std::uint32_t>(module_.programs.size());
+        module_.programs.emplace_back();  // reserved, filled from `pending`
+        pending.push_back(Pending{info.program,
+                                  std::get<ExprPtr>(*found->binding),
+                                  found->owner});
+      }
+      module_.slots.push_back(std::move(info));
+      interned.emplace(key, id);
+      return id;
+    };
+    hooks.function = [this, &fn_index, &functions](const std::string& name)
+        -> std::optional<std::uint32_t> {
+      if (const auto it = fn_index.find(name); it != fn_index.end()) {
+        return it->second;
+      }
+      const Function* fn = functions.find(name);
+      if (fn == nullptr) return std::nullopt;
+      const auto index = static_cast<std::uint32_t>(module_.functions.size());
+      module_.functions.push_back(*fn);
+      fn_index.emplace(name, index);
+      return index;
+    };
+    return hooks;
+  };
+
+  {
+    Compiler compiler(module_, make_hooks(&scope));
+    entry_ = compiler.add_program(e);
+  }
+  while (!pending.empty()) {
+    const Pending p = std::move(pending.back());
+    pending.pop_back();
+    // Formulas compile (and at run time evaluate) in their owning
+    // scope, so a parent-scope formula does not see leaf overrides —
+    // same resolution rule as Evaluator::resolve.
+    Compiler compiler(module_, make_hooks(p.owner));
+    module_.programs[p.program] = compiler.build(*p.formula);
+  }
+  state_.emplace(module_);
+}
+
+double CompiledExpr::evaluate() {
+  for (std::uint32_t d = 0; d < module_.domain_count; ++d) {
+    state_->begin_epoch(d);
+  }
+  return state_->run_program(entry_);
+}
+
+}  // namespace powerplay::expr

@@ -1,0 +1,252 @@
+// compile.hpp — slot-indexed bytecode for spreadsheet expressions.
+//
+// The tree-walk Evaluator (eval.hpp) resolves every variable through a
+// string-keyed scope chain and every function through a string-keyed
+// table, on every evaluation.  That is the right reference semantics,
+// but the interactive loop evaluates the same formulas thousands of
+// times per sweep, so this module compiles an AST once into a flat
+// stack program over an interned symbol table: variable names become
+// integer slots, constants are folded, and function calls are resolved
+// to table indices at compile time.  Execution must be bit-identical
+// to the Evaluator — same operation order, same doubles, and the same
+// ExprError classes raised at the same points (errors compile to
+// throwing instructions so an error inside a never-taken conditional
+// branch stays silent, exactly as the lazy tree walk behaves).
+//
+// The sheet-level plan compiler (sheet/plan.hpp) builds on the same
+// Module/Program machinery, adding extension opcodes for the
+// intermodel functions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/ast.hpp"
+#include "expr/eval.hpp"
+
+namespace powerplay::expr {
+
+using SlotId = std::uint32_t;
+
+/// What a slot stands for at run time.
+enum class SlotKind : std::uint8_t {
+  kValue,    ///< a literal; the instance holds its current double
+  kFormula,  ///< a bound expression, compiled to a program of its own
+  kUnbound,  ///< name not bound anywhere: reading it throws, lazily
+};
+
+struct SlotInfo {
+  std::string name;       ///< source name, for error messages
+  SlotKind kind = SlotKind::kUnbound;
+  double initial = 0.0;         ///< kValue: value at compile time
+  std::uint32_t program = 0;    ///< kFormula: index into Module::programs
+  std::uint32_t domain = 0;     ///< kFormula: memo epoch domain (see ExecState)
+};
+
+enum class Op : std::uint8_t {
+  kConst,        ///< push constants[a]
+  kSlot,         ///< push the value of slot a (memoized / cycle-checked)
+  kThrow,        ///< throw ExprError(messages[a])
+  kNeg,          ///< unary minus
+  kNot,          ///< x == 0 ? 1 : 0
+  kAdd, kSub, kMul,
+  kDiv,          ///< throws "division by zero" when rhs == 0
+  kMod,          ///< std::fmod, throws "modulo by zero" when rhs == 0
+  kPow,          ///< std::pow
+  kLess, kLessEq, kGreater, kGreaterEq, kEqual, kNotEqual,
+  kJump,         ///< pc := a
+  kJumpIfZero,   ///< pop; if zero pc := a (short-circuit and ?: lowering)
+  kCall,         ///< invoke call_sites[a] (function index resolved at compile)
+  kExt,          ///< extension hook: push ext(a, b) — sheet intermodel ops
+};
+
+struct Instr {
+  Op op;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+/// One argument of a compiled call: either an interned string literal
+/// (sheet extension functions take row-name strings) or the next
+/// numeric value computed on the stack.  Which one each argument is
+/// gets decided at compile time, exactly as Evaluator::eval_value only
+/// treats direct StringNode arguments as strings.
+struct CallArg {
+  bool is_string = false;
+  std::uint32_t string_index = 0;  ///< into Module::strings when is_string
+};
+
+struct CallSite {
+  std::uint32_t function = 0;  ///< into Module::functions
+  std::vector<CallArg> args;   ///< in source order
+  std::uint32_t numeric_argc = 0;
+};
+
+struct Program {
+  std::vector<Instr> code;
+};
+
+/// A compilation unit: programs plus the pools they index into.  One
+/// module may hold many programs (a design plan compiles every formula
+/// of every row into one module so slots are shared).
+struct Module {
+  std::vector<Program> programs;
+  std::vector<SlotInfo> slots;
+  std::vector<double> constants;
+  std::vector<std::string> strings;   ///< call string arguments
+  std::vector<std::string> messages;  ///< kThrow texts
+  std::vector<Function> functions;    ///< resolved at compile time
+  std::vector<CallSite> call_sites;
+  std::uint32_t domain_count = 1;     ///< memo epoch domains in use
+};
+
+/// Mutable per-evaluation state over an immutable Module: slot values,
+/// formula memo stamps, the value stack, and in-flight cycle tracking.
+/// One ExecState per thread; the Module is shared and read-only.
+///
+/// Formula slots are memoized per *epoch domain*: the caller groups
+/// slots into domains (e.g. "design globals" vs "row locals") and bumps
+/// a domain's epoch when the values that feed it may have changed; a
+/// slot evaluated in the current epoch returns its cached double.  The
+/// reference Evaluator re-evaluates formulas on every read; memoization
+/// is observationally identical because formulas are pure within an
+/// epoch — same doubles, and a formula that threw is never cached.
+class ExecState {
+ public:
+  explicit ExecState(const Module& module);
+
+  /// Invalidate the formula memos of one domain.
+  void begin_epoch(std::uint32_t domain) { ++domain_epoch_[domain]; }
+
+  /// Override a slot with a literal value (sweep re-binding).  Works on
+  /// kValue and kFormula slots; kUnbound stays an error.
+  void bind(SlotId slot, double value);
+
+  /// Reset a kValue slot to `value` and drop any bind() override.
+  void rebind_value(SlotId slot, double value);
+
+  /// Current value of a slot: literal / override directly, formulas
+  /// through the memo with cycle detection, kUnbound throws.
+  double slot_value(SlotId slot);
+
+  /// Execute one program and return its result.  Re-entrant: formula
+  /// slots and extension ops may run nested programs.
+  double run(const Program& p);
+  double run_program(std::uint32_t index) {
+    return run(module_->programs[index]);
+  }
+
+  /// Extension hook for Op::kExt (the sheet plan's intermodel ops).
+  using ExtFn = double (*)(void* ctx, std::uint32_t a, std::uint32_t b);
+  void set_ext(ExtFn fn, void* ctx) {
+    ext_ = fn;
+    ext_ctx_ = ctx;
+  }
+  [[nodiscard]] void* ext_ctx() const { return ext_ctx_; }
+
+  [[nodiscard]] const Module& module() const { return *module_; }
+
+ private:
+  [[nodiscard]] double formula_value(SlotId slot);
+
+  const Module* module_;
+  ExtFn ext_ = nullptr;
+  void* ext_ctx_ = nullptr;
+  std::vector<double> values_;
+  std::vector<std::uint32_t> stamp_;        ///< formula memo stamps
+  std::vector<std::uint8_t> overridden_;
+  std::vector<std::uint8_t> in_flight_;
+  std::vector<SlotId> flight_order_;        ///< for the cycle message
+  std::vector<std::uint32_t> domain_epoch_;
+  std::vector<double> stack_;
+};
+
+/// AST-to-bytecode compiler.  Name and function resolution are
+/// delegated to hooks so the same lowering serves both the standalone
+/// CompiledExpr below (resolution against a Scope chain) and the sheet
+/// plan compiler (resolution against a design's static scope layout,
+/// plus intermodel extension ops).
+class Compiler {
+ public:
+  struct Hooks {
+    /// Map a variable name to a slot, creating it on first sight.
+    std::function<SlotId(const std::string&)> variable;
+    /// Resolve a function name to an index into Module::functions;
+    /// nullopt compiles to a throwing instruction (lazy, like the
+    /// tree walk's unknown-function error).
+    std::function<std::optional<std::uint32_t>(const std::string&)> function;
+    /// Optional: lower a call specially (intermodel ops).  Return true
+    /// when handled; the hook may use the emit API below.
+    std::function<bool(const CallNode&)> special_call;
+  };
+
+  Compiler(Module& module, Hooks hooks)
+      : module_(&module), hooks_(std::move(hooks)) {}
+
+  /// Compile `e` into a fresh program appended to the module; returns
+  /// its index.
+  std::uint32_t add_program(const Expr& e);
+
+  /// Compile `e` and return the program without appending it — for
+  /// filling a program index reserved earlier (formula slots must get
+  /// their index before their body compiles, or a cyclic binding like
+  /// a = "b", b = "a" would recurse forever at compile time; the cycle
+  /// is detected at run time instead, like the tree walk does).
+  Program build(const Expr& e);
+
+  // ---- emit API (used internally and by special_call hooks) ----
+  void compile(const Expr& e);  ///< append code computing e
+  void emit(Op op, std::uint32_t a = 0, std::uint32_t b = 0);
+  void emit_const(double v);
+  void emit_throw(const std::string& message);
+  std::uint32_t intern_string(const std::string& s);
+
+  [[nodiscard]] Module& module() { return *module_; }
+
+ private:
+  /// Compile-time constant value of `e`, when folding it cannot change
+  /// observable behavior (no calls, no variables, no foldable error).
+  std::optional<double> fold(const Expr& e);
+
+  void compile_binary(const BinaryNode& b);
+  void compile_call(const CallNode& c);
+
+  std::uint32_t here() const;
+  void patch(std::uint32_t jump_instr);  ///< point a jump at `here`
+
+  Module* module_;
+  Hooks hooks_;
+  std::vector<Instr> code_;  ///< program under construction
+  std::map<std::uint64_t, std::uint32_t> const_pool_;  ///< value bits → index
+};
+
+/// A single expression compiled against a scope chain and function
+/// table — the drop-in compiled counterpart of expr::evaluate().
+/// Referenced names are interned from the chain at compile time:
+/// literal bindings become value slots, formula bindings compile to
+/// programs evaluated in their owning scope, missing names become
+/// lazily-throwing slots.  evaluate() is bit-identical to
+/// expr::evaluate(e, scope, functions) — same doubles, same ExprError
+/// classes — which tests/expr_fuzz_test.cpp verifies differentially.
+class CompiledExpr {
+ public:
+  CompiledExpr(const Expr& e, const Scope& scope,
+               const FunctionTable& functions);
+
+  /// Evaluate with the bindings captured at compile time.  Each call is
+  /// a fresh epoch (formula slots re-evaluate once per call).
+  double evaluate();
+
+  [[nodiscard]] const Module& module() const { return module_; }
+
+ private:
+  Module module_;
+  std::uint32_t entry_ = 0;
+  std::optional<ExecState> state_;  ///< built after module_ is final
+};
+
+}  // namespace powerplay::expr

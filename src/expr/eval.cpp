@@ -66,7 +66,16 @@ void need_arity(const std::vector<Value>& args, std::size_t n,
 
 }  // namespace
 
+const FunctionTable& FunctionTable::builtins() {
+  static const FunctionTable table = make_builtins();
+  return table;
+}
+
 FunctionTable FunctionTable::with_builtins() {
+  return FunctionTable(&builtins());
+}
+
+FunctionTable FunctionTable::make_builtins() {
   FunctionTable t;
   t.register_function("abs", [](const std::vector<Value>& a) {
     need_arity(a, 1, "abs");
@@ -143,18 +152,22 @@ void FunctionTable::register_function(const std::string& name, Function fn) {
 }
 
 bool FunctionTable::contains(const std::string& name) const {
-  return functions_.contains(name);
+  return functions_.contains(name) ||
+         (base_ != nullptr && base_->contains(name));
 }
 
 const Function* FunctionTable::find(const std::string& name) const {
   auto it = functions_.find(name);
-  return it == functions_.end() ? nullptr : &it->second;
+  if (it != functions_.end()) return &it->second;
+  return base_ != nullptr ? base_->find(name) : nullptr;
 }
 
 std::vector<std::string> FunctionTable::names() const {
   std::vector<std::string> names;
-  names.reserve(functions_.size());
+  if (base_ != nullptr) names = base_->names();
   for (const auto& [name, fn] : functions_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
   return names;
 }
 

@@ -75,7 +75,19 @@ class Scope {
 /// (rowpower, rowarea, totalpower, totalarea) on top.
 class FunctionTable {
  public:
-  /// Table preloaded with the math builtins.
+  FunctionTable() = default;
+
+  /// Layered table: lookups check local registrations first, then fall
+  /// through to `base`, which must outlive this table.
+  explicit FunctionTable(const FunctionTable* base) : base_(base) {}
+
+  /// The immutable math-builtin table, built once per process and
+  /// shared.  Layer per-design functions over it (the constructor
+  /// above) instead of re-creating a dozen std::functions per Play.
+  static const FunctionTable& builtins();
+
+  /// Table preloaded with the math builtins — a cheap layer over
+  /// builtins(), not a fresh copy.
   static FunctionTable with_builtins();
 
   void register_function(const std::string& name, Function fn);
@@ -84,6 +96,9 @@ class FunctionTable {
   [[nodiscard]] std::vector<std::string> names() const;
 
  private:
+  static FunctionTable make_builtins();
+
+  const FunctionTable* base_ = nullptr;
   std::map<std::string, Function> functions_;
 };
 

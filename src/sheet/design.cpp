@@ -100,9 +100,7 @@ const Row* Design::find_row(const std::string& row_name) const {
 }
 
 void Design::add_function(const std::string& name, expr::Function fn) {
-  static const expr::FunctionTable kBuiltins =
-      expr::FunctionTable::with_builtins();
-  if (kBuiltins.contains(name) || is_intermodel(name)) {
+  if (expr::FunctionTable::builtins().contains(name) || is_intermodel(name)) {
     throw expr::ExprError("add_function('" + name +
                           "'): name collides with a builtin or intermodel "
                           "function");
@@ -204,21 +202,31 @@ PlayResult Design::play(const expr::Scope* env) const {
   PlayResult out;
   out.design_name = name_;
 
+  // The per-row evaluation scope (row locals over the design globals) is
+  // invariant across fixed-point sweeps — copy the params maps once per
+  // Play, not once per iteration.
+  std::vector<expr::Scope> sources;
+  sources.reserve(rows_.size());
+  for (const Row& row : rows_) {
+    expr::Scope source = row.params;
+    source.set_parent(&globals);
+    sources.push_back(std::move(source));
+  }
+
   double last_total = std::numeric_limits<double>::quiet_NaN();
   for (int iter = 1; iter <= kMaxIterations; ++iter) {
     out.rows.clear();
     std::vector<Estimate> estimates;
     estimates.reserve(rows_.size());
 
-    for (const Row& row : rows_) {
+    for (std::size_t ri = 0; ri < rows_.size(); ++ri) {
+      const Row& row = rows_[ri];
       if (!row.enabled) continue;
       // Evaluate the row's local parameters eagerly (they may call the
       // intermodel functions); the flattened literal scope is what the
       // model — or the macro's nested Play — sees.
-      expr::Scope source = row.params;
-      source.set_parent(&globals);
       expr::Scope locals(&globals);
-      expr::Evaluator ev(source, fns);
+      expr::Evaluator ev(sources[ri], fns);
 
       RowResult rr;
       rr.name = row.name;

@@ -103,6 +103,15 @@ class Design {
   /// that collides with a builtin or intermodel function throws.
   void add_function(const std::string& name, expr::Function fn);
 
+  /// Look up a custom function registered above; nullptr when absent.
+  /// The plan compiler (plan.hpp) resolves design-local calls through
+  /// this at compile time.
+  [[nodiscard]] const expr::Function* find_function(
+      const std::string& name) const {
+    const auto it = functions_.find(name);
+    return it == functions_.end() ? nullptr : &it->second;
+  }
+
   /// Names of the custom functions registered above (sorted).  The
   /// evaluation engine folds these into its cache fingerprint: a
   /// std::function has no hashable content, so custom functions are

@@ -9,11 +9,6 @@
 
 namespace powerplay::sheet {
 
-namespace {
-
-/// A sweep over a name Scope::set would silently *create* returns N
-/// identical points — the classic typo trap.  Require an existing
-/// global binding up front.
 void require_global(const Design& design, const std::string& param,
                     const char* caller) {
   if (!design.globals().lookup(param).has_value()) {
@@ -24,9 +19,6 @@ void require_global(const Design& design, const std::string& param,
   }
 }
 
-/// A row parameter is sweepable when the row already binds it, when the
-/// row's model declares it, or (macro rows) when the sub-design has it
-/// as a global.
 void require_row_param(const Design& design, const Row& row,
                        const std::string& param) {
   if (row.params.has_local(param)) return;
@@ -39,6 +31,8 @@ void require_row_param(const Design& design, const Row& row,
                         row.model_name() + ") in design '" + design.name() +
                         "' has no parameter named '" + param + "'");
 }
+
+namespace {
 
 PlayResult play_point(const Design& work, const PlayFn& play) {
   return play ? play(work) : work.play();

@@ -36,6 +36,19 @@ using SweepProgress = std::function<void(std::size_t, std::size_t)>;
 /// substitutes a memoizing version (engine::EvalEngine).
 using PlayFn = std::function<PlayResult(const Design&)>;
 
+/// Validation shared with the plan-backed engine sweeps: a sweep over a
+/// name Scope::set would silently *create* returns N identical points
+/// (the classic typo trap), so require an existing global binding up
+/// front.  `caller` prefixes the error message ("sweep_global", ...).
+void require_global(const Design& design, const std::string& param,
+                    const char* caller);
+
+/// A row parameter is sweepable when the row already binds it, when the
+/// row's model declares it, or (macro rows) when the sub-design has it
+/// as a global; throws ExprError otherwise.
+void require_row_param(const Design& design, const Row& row,
+                       const std::string& param);
+
 /// Re-Play `design` once per value of global parameter `param`.
 /// The design itself is not modified.  Throws ExprError when `param`
 /// is not an existing global (a silent Scope::set would otherwise

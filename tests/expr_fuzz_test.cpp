@@ -2,13 +2,18 @@
 // ASTs from a deterministic PRNG, render them to source, re-parse, and
 // check that evaluation agrees exactly — plus robustness sweeps feeding
 // mutated source strings to the parser (must throw ExprError, never
-// crash or accept-and-misparse).
+// crash or accept-and-misparse) — plus differential fuzzing of the
+// bytecode compiler (expr/compile.hpp) against the tree-walk reference:
+// every random expression must produce the exact same double bits, or
+// throw an ExprError with the exact same message.
 #include <cstdint>
 #include <cmath>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
 #include "expr/ast.hpp"
+#include "expr/compile.hpp"
 #include "expr/eval.hpp"
 #include "expr/parser.hpp"
 
@@ -166,6 +171,175 @@ TEST_P(MutationSeeds, MutatedSourceNeverCrashes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MutationSeeds,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// --- differential: bytecode vs tree walk -----------------------------------
+
+std::uint64_t bit_pattern(double v) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+/// Full-surface generator: unlike gen() above it includes division,
+/// modulo, pow, equality and unknown functions — error outcomes are
+/// part of what the differential suite compares.
+ExprPtr gen_full(Rng& rng, int depth) {
+  auto make = [](Expr e) { return std::make_shared<const Expr>(std::move(e)); };
+  if (depth <= 0 || rng.below(4) == 0) {
+    if (rng.below(3) == 0) {
+      return make(Expr{VariableNode{kVariables[rng.below(5)]}});
+    }
+    return make(Expr{NumberNode{rng.number()}});
+  }
+  switch (rng.below(10)) {
+    case 0:
+      return make(Expr{UnaryNode{UnOp::kNeg, gen_full(rng, depth - 1)}});
+    case 1:
+      return make(Expr{UnaryNode{UnOp::kNot, gen_full(rng, depth - 1)}});
+    case 2:
+      return make(Expr{ConditionalNode{gen_full(rng, depth - 1),
+                                       gen_full(rng, depth - 1),
+                                       gen_full(rng, depth - 1)}});
+    case 3:
+      return make(Expr{CallNode{kUnaryFns[rng.below(6)],
+                                {gen_full(rng, depth - 1)}}});
+    case 4:
+      return make(Expr{CallNode{rng.below(2) ? "max" : "min",
+                                {gen_full(rng, depth - 1),
+                                 gen_full(rng, depth - 1)}}});
+    case 5:
+      // Unknown and wrong-arity calls: both paths must raise the same
+      // ExprError lazily (only when the call is actually reached).
+      return make(Expr{CallNode{rng.below(2) ? "no_such_fn" : "sqrt",
+                                {gen_full(rng, depth - 1),
+                                 gen_full(rng, depth - 1),
+                                 gen_full(rng, depth - 1)}}});
+    default: {
+      static const BinOp ops[] = {
+          BinOp::kAdd,     BinOp::kSub,       BinOp::kMul,   BinOp::kDiv,
+          BinOp::kMod,     BinOp::kPow,       BinOp::kLess,  BinOp::kLessEq,
+          BinOp::kGreater, BinOp::kGreaterEq, BinOp::kEqual, BinOp::kNotEqual,
+          BinOp::kAnd,     BinOp::kOr};
+      return make(Expr{BinaryNode{ops[rng.below(14)], gen_full(rng, depth - 1),
+                                  gen_full(rng, depth - 1)}});
+    }
+  }
+}
+
+/// Evaluate both ways and require identical outcomes: same double bits,
+/// or ExprError with the same message.
+void expect_bit_identical(const Expr& e, const Scope& scope,
+                          const FunctionTable& fns) {
+  double expect = 0;
+  std::string expect_error;
+  bool expect_threw = false;
+  try {
+    expect = evaluate(e, scope, fns);
+  } catch (const ExprError& err) {
+    expect_threw = true;
+    expect_error = err.what();
+  }
+
+  double got = 0;
+  std::string got_error;
+  bool got_threw = false;
+  try {
+    CompiledExpr compiled(e, scope, fns);
+    got = compiled.evaluate();
+  } catch (const ExprError& err) {
+    got_threw = true;
+    got_error = err.what();
+  }
+
+  const std::string source = to_source(e);
+  ASSERT_EQ(expect_threw, got_threw)
+      << source << (expect_threw ? " interpreter: " + expect_error
+                                 : " bytecode: " + got_error);
+  if (expect_threw) {
+    EXPECT_EQ(expect_error, got_error) << source;
+  } else {
+    EXPECT_EQ(bit_pattern(expect), bit_pattern(got)) << source;
+  }
+}
+
+class CompiledSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CompiledSeeds, BytecodeMatchesTreeWalkBitForBit) {
+  Rng rng(GetParam() * 0x9e3779b97f4a7c15ULL + 1);
+  // Mixed scope: literals plus formulas (with a formula-to-formula
+  // chain), so slot kinds kValue, kFormula and kUnbound all occur —
+  // "bits" is deliberately left unbound.
+  Scope scope;
+  scope.set("vdd", 1.5);
+  scope.set("f", 2e6);
+  scope.set_formula("alpha", "vdd * 0.25");
+  scope.set_formula("words", "alpha * 4096 + f / 1e6");
+  const FunctionTable fns = FunctionTable::with_builtins();
+
+  for (int i = 0; i < 700; ++i) {
+    const ExprPtr e = gen_full(rng, 5);
+    expect_bit_identical(*e, scope, fns);
+    if (HasFatalFailure()) return;
+  }
+}
+
+// 15 seeds x 700 expressions = 10500 differential cases.
+INSTANTIATE_TEST_SUITE_P(Seeds, CompiledSeeds,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u,
+                                           10u, 11u, 12u, 13u, 14u, 15u));
+
+TEST(CompiledExprDifferential, CyclicFormulasRaiseTheSameMessage) {
+  Scope scope;
+  scope.set_formula("a", "b + 1");
+  scope.set_formula("b", "a * 2");
+  const FunctionTable fns = FunctionTable::with_builtins();
+  const ExprPtr e = parse("a");
+
+  std::string expect_error;
+  try {
+    (void)evaluate(*e, scope, fns);
+    FAIL() << "interpreter accepted a cyclic definition";
+  } catch (const ExprError& err) {
+    expect_error = err.what();
+  }
+  EXPECT_EQ(expect_error, "circular parameter definition: a -> b -> a");
+
+  CompiledExpr compiled(*e, scope, fns);
+  try {
+    (void)compiled.evaluate();
+    FAIL() << "bytecode accepted a cyclic definition";
+  } catch (const ExprError& err) {
+    EXPECT_EQ(expect_error, err.what());
+  }
+}
+
+TEST(CompiledExprDifferential, ErrorsInUntakenBranchesStaySilent) {
+  Scope scope;
+  scope.set("vdd", 1.5);
+  const FunctionTable fns = FunctionTable::with_builtins();
+  // The interpreter never evaluates the divide-by-zero / unknown
+  // function; folding or eager resolution in the compiler must not
+  // surface them either.
+  for (const char* source :
+       {"vdd > 0 ? 7 : 1 / 0", "0 && boom(1)", "1 || no_such(2)",
+        "0 ? sqrt(-1) : 3", "vdd >= 0 ? 2 : missing_var"}) {
+    const ExprPtr e = parse(source);
+    expect_bit_identical(*e, scope, fns);
+  }
+}
+
+TEST(CompiledExprDifferential, RepeatedEvaluationIsStable) {
+  Scope scope;
+  scope.set("vdd", 1.8);
+  scope.set_formula("alpha", "vdd / 4");
+  const FunctionTable fns = FunctionTable::with_builtins();
+  const ExprPtr e = parse("alpha * vdd + sqrt(alpha)");
+  const double expect = evaluate(*e, scope, fns);
+  CompiledExpr compiled(*e, scope, fns);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(bit_pattern(expect), bit_pattern(compiled.evaluate()));
+  }
+}
 
 }  // namespace
 }  // namespace powerplay::expr

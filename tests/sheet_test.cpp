@@ -2,6 +2,7 @@
 // interaction, macros, reports and sweeps.
 #include "sheet/budget.hpp"
 #include "sheet/design.hpp"
+#include "sheet/plan.hpp"
 #include "sheet/report.hpp"
 #include "sheet/sweep.hpp"
 
@@ -540,6 +541,203 @@ TEST(Sweep, TableRendering) {
   const std::string t = sweep_table("vdd", points);
   EXPECT_NE(t.find("vdd"), std::string::npos);
   EXPECT_NE(t.find("1.5"), std::string::npos);
+}
+
+// --- Compiled evaluation plans ----------------------------------------------
+
+void expect_same_estimate(const model::Estimate& a, const model::Estimate& b) {
+  EXPECT_EQ(a.switched_capacitance.si(), b.switched_capacitance.si());
+  EXPECT_EQ(a.energy_per_op.si(), b.energy_per_op.si());
+  EXPECT_EQ(a.dynamic_power.si(), b.dynamic_power.si());
+  EXPECT_EQ(a.static_power.si(), b.static_power.si());
+  EXPECT_EQ(a.area.si(), b.area.si());
+  EXPECT_EQ(a.delay.si(), b.delay.si());
+}
+
+void expect_same_result(const PlayResult& a, const PlayResult& b) {
+  EXPECT_EQ(a.design_name, b.design_name);
+  EXPECT_EQ(a.iterations, b.iterations);
+  expect_same_estimate(a.total, b.total);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i].name, b.rows[i].name);
+    EXPECT_EQ(a.rows[i].model_name, b.rows[i].model_name);
+    expect_same_estimate(a.rows[i].estimate, b.rows[i].estimate);
+    ASSERT_EQ(a.rows[i].shown_params, b.rows[i].shown_params);
+    ASSERT_EQ(a.rows[i].sub_result != nullptr,
+              b.rows[i].sub_result != nullptr);
+    if (a.rows[i].sub_result != nullptr) {
+      expect_same_result(*a.rows[i].sub_result, *b.rows[i].sub_result);
+    }
+  }
+}
+
+/// Compile, bind, play, and require bit-identity with the interpreter.
+PlanStats expect_plan_matches_interpreter(const Design& d) {
+  const PlayResult reference = d.play();
+  PlanInstance inst(EvalPlan::compile(d));
+  inst.bind_from(d);
+  const PlayResult compiled = inst.play();
+  expect_same_result(reference, compiled);
+  return inst.stats();
+}
+
+TEST(Plan, NoIntermodelDesignEvaluatesEveryRowExactlyOnce) {
+  const PlanStats s = expect_plan_matches_interpreter(adder_design());
+  EXPECT_EQ(s.iterations, 1);
+  EXPECT_EQ(s.row_evaluations, 2u);
+}
+
+TEST(Plan, BackwardReferenceSettlesWithoutReevaluation) {
+  // Conv reads Load, which sits *earlier* in sheet order: by the time
+  // Conv evaluates in sweep 1 the value it reads is already final, so
+  // neither row re-evaluates in the confirmation sweep.
+  Design d("conv");
+  d.globals().set("vdd", 6.0);
+  auto& load = d.add_row("Load", lib().find_shared("datasheet_component"));
+  load.params.set("p_typical", 1.0);
+  auto& conv = d.add_row("Conv", lib().find_shared("dcdc_converter"));
+  conv.params.set("efficiency", 0.8);
+  conv.params.set_formula("p_load", "rowpower(\"Load\")");
+  const PlanStats s = expect_plan_matches_interpreter(d);
+  EXPECT_EQ(s.iterations, 2);
+  EXPECT_EQ(s.row_evaluations, 2u);
+
+  const auto plan = EvalPlan::compile(d);
+  EXPECT_EQ(plan->row_rank("Load"), 1u);
+  EXPECT_EQ(plan->row_rank("Conv"), 1u);
+}
+
+TEST(Plan, ForwardReferenceNeedsOneExtraEvaluation) {
+  // Conv reads a row *later* in sheet order, so its first sweep sees a
+  // stale zero and only the second sweep is final: 2 iterations, and
+  // only Conv re-evaluates in the second one (2 + 1 = 3 evaluations).
+  Design d("fwd");
+  d.globals().set("vdd", 6.0);
+  auto& conv = d.add_row("Conv", lib().find_shared("dcdc_converter"));
+  conv.params.set("efficiency", 0.8);
+  conv.params.set_formula("p_load", "rowpower(\"Load\")");
+  auto& load = d.add_row("Load", lib().find_shared("datasheet_component"));
+  load.params.set("p_typical", 1.0);
+  const PlanStats s = expect_plan_matches_interpreter(d);
+  // Sweep 1 reads a stale zero, sweep 2 changes the total, sweep 3
+  // confirms convergence — but only sweep 2 re-evaluates Conv (rank 2);
+  // the confirmation sweep reuses everything: 2 + 1 + 0 = 3.
+  EXPECT_EQ(s.iterations, 3);
+  EXPECT_EQ(s.row_evaluations, 3u);
+
+  const auto plan = EvalPlan::compile(d);
+  EXPECT_EQ(plan->row_rank("Load"), 1u);
+  EXPECT_EQ(plan->row_rank("Conv"), 2u);
+}
+
+TEST(Plan, IntermodelCycleConfinesIterationToTheScc) {
+  // Self-feeding converter: Conv is its own SCC and re-evaluates every
+  // sweep; Load is outside the cycle and evaluates exactly once.
+  Design d("self");
+  d.globals().set("vdd", 6.0);
+  auto& load = d.add_row("Load", lib().find_shared("datasheet_component"));
+  load.params.set("p_typical", 3.0);
+  auto& conv = d.add_row("Conv", lib().find_shared("dcdc_converter"));
+  conv.params.set("efficiency", 0.8);
+  conv.params.set_formula("p_load", "totalpower() - rowpower(\"Conv\")");
+  const PlanStats s = expect_plan_matches_interpreter(d);
+  // The fixed point lands in sweep 1 here (totalpower() already sees
+  // Load's fresh value, and Conv's self-term cancels), sweep 2 confirms.
+  EXPECT_EQ(s.iterations, 2);
+  // Load once, Conv once per iteration.
+  EXPECT_EQ(s.row_evaluations, 1u + static_cast<std::size_t>(s.iterations));
+
+  const auto plan = EvalPlan::compile(d);
+  EXPECT_EQ(plan->row_rank("Load"), 1u);
+  EXPECT_EQ(plan->row_rank("Conv"), EvalPlan::kIterativeRank);
+}
+
+TEST(Plan, DivergenceReportsTheInterpreterMessage) {
+  Design d("diverge");
+  d.globals().set("vdd", 6.0);
+  auto& load = d.add_row("Load", lib().find_shared("datasheet_component"));
+  load.params.set("p_typical", 1.0);
+  auto& conv = d.add_row("Conv", lib().find_shared("dcdc_converter"));
+  conv.params.set("efficiency", 0.3);
+  conv.params.set_formula("p_load", "totalpower()");
+
+  std::string expect_error;
+  try {
+    (void)d.play();
+    FAIL() << "interpreter accepted a diverging loop";
+  } catch (const expr::ExprError& e) {
+    expect_error = e.what();
+  }
+  PlanInstance inst(EvalPlan::compile(d));
+  inst.bind_from(d);
+  try {
+    (void)inst.play();
+    FAIL() << "plan accepted a diverging loop";
+  } catch (const expr::ExprError& e) {
+    EXPECT_EQ(expect_error, e.what());
+  }
+}
+
+TEST(Plan, DisabledRowsAreSkippedAndInvisible) {
+  Design d = adder_design();
+  d.find_row("B")->enabled = false;
+  const PlanStats s = expect_plan_matches_interpreter(d);
+  EXPECT_EQ(s.row_evaluations, 1u);
+
+  // rowpower() of a disabled row reads zero, exactly as the interpreter.
+  Design e("disabled-ref");
+  e.globals().set("vdd", 6.0);
+  auto& off = e.add_row("Off", lib().find_shared("datasheet_component"));
+  off.params.set("p_typical", 9.0);
+  off.enabled = false;
+  auto& conv = e.add_row("Conv", lib().find_shared("dcdc_converter"));
+  conv.params.set("efficiency", 0.8);
+  conv.params.set_formula("p_load", "rowpower(\"Off\") + 1");
+  expect_plan_matches_interpreter(e);
+}
+
+TEST(Plan, MacroRowsRunTheSubDesignPlan) {
+  auto sub = std::make_shared<Design>("sub");
+  sub->globals().set("vdd", 1.2);
+  sub->globals().set("f", 1e6);
+  sub->add_row("reg", lib().find_shared("register")).params.set("bits", 8.0);
+  Design d("top");
+  d.globals().set("vdd", 2.0);
+  d.globals().set("f", 1e6);
+  auto& m = d.add_macro("core", sub);
+  m.params.set("vdd", 1.0);  // instantiation override beats sub default
+  d.add_row("io", lib().find_shared("register")).params.set("bits", 16.0);
+  const PlanStats s = expect_plan_matches_interpreter(d);
+  EXPECT_EQ(s.iterations, 1);
+  // core (which plays sub's one row) + io: 1 + 1 + 1.
+  EXPECT_EQ(s.row_evaluations, 3u);
+}
+
+TEST(Plan, SweepSlotRebindMatchesCloneAndSet) {
+  const Design d = adder_design();
+  const auto plan = EvalPlan::compile(d);
+  const auto slot = plan->global_slot("vdd");
+  ASSERT_TRUE(slot.has_value());
+  PlanInstance inst(plan);
+  inst.bind_from(d);
+  for (double v : {1.0, 2.0, 3.0}) {
+    Design clone = d;
+    clone.globals().set("vdd", v);
+    inst.bind(*slot, v);
+    expect_same_result(clone.play(), inst.play());
+  }
+  // bind_from drops the override.
+  inst.bind_from(d);
+  expect_same_result(d.play(), inst.play());
+}
+
+TEST(Plan, UnboundSlotLookupsReturnNullopt) {
+  const auto plan = EvalPlan::compile(adder_design());
+  EXPECT_FALSE(plan->global_slot("nope").has_value());
+  EXPECT_FALSE(plan->row_param_slot("A", "nope").has_value());
+  EXPECT_FALSE(plan->row_param_slot("missing", "bitwidth").has_value());
+  EXPECT_TRUE(plan->row_param_slot("A", "bitwidth").has_value());
 }
 
 }  // namespace
