@@ -1,0 +1,51 @@
+# fsck_test.cmake — end-to-end exercise of `ppcli fsck`.
+#
+# Builds a store through the ppcli repl, checks that fsck of the clean
+# store exits 0, then plants a snapshot whose checksum footer does not
+# match its contents and checks that fsck exits nonzero and names it.
+#
+# Run via ctest:  cmake -DPPCLI=... -DWORK_DIR=... -DCOMMANDS=... -P fsck_test.cmake
+set(store "${WORK_DIR}/fsck_store")
+file(REMOVE_RECURSE "${store}")
+file(MAKE_DIRECTORY "${store}")
+
+execute_process(
+  COMMAND "${PPCLI}" "${store}"
+  INPUT_FILE "${COMMANDS}"
+  RESULT_VARIABLE repl_rc
+  OUTPUT_VARIABLE repl_out
+  ERROR_VARIABLE repl_err)
+if(NOT repl_rc EQUAL 0)
+  message(FATAL_ERROR "ppcli repl failed (${repl_rc}): ${repl_out}${repl_err}")
+endif()
+
+execute_process(
+  COMMAND "${PPCLI}" fsck "${store}"
+  RESULT_VARIABLE clean_rc
+  OUTPUT_VARIABLE clean_out)
+if(NOT clean_rc EQUAL 0)
+  message(FATAL_ERROR "fsck of a clean store exited ${clean_rc}: ${clean_out}")
+endif()
+if(NOT clean_out MATCHES "clean")
+  message(FATAL_ERROR "fsck of a clean store did not report clean: ${clean_out}")
+endif()
+
+file(GLOB designs "${store}/designs/*.ppdesign")
+list(LENGTH designs n)
+if(n EQUAL 0)
+  message(FATAL_ERROR "the repl session saved no design under ${store}/designs")
+endif()
+list(GET designs 0 victim)
+file(WRITE "${victim}" "design \"x\" {\n}\n#ppck 00000000 3\n")
+
+execute_process(
+  COMMAND "${PPCLI}" fsck "${store}"
+  RESULT_VARIABLE bad_rc
+  OUTPUT_VARIABLE bad_out)
+if(bad_rc EQUAL 0)
+  message(FATAL_ERROR "fsck missed the corrupted snapshot: ${bad_out}")
+endif()
+if(NOT bad_out MATCHES "checksum mismatch")
+  message(FATAL_ERROR "fsck failed but did not name the problem: ${bad_out}")
+endif()
+message(STATUS "ppcli fsck: clean store passes, corruption exits ${bad_rc}")

@@ -67,6 +67,9 @@ int main(int argc, char** argv) {
     ::pause();
   }
   server.stop();
+  // Graceful shutdown: drain job runners (cancelling what remains) and
+  // compact the store's journal so the next start replays nothing.
+  app.shutdown();
   std::printf("\n%llu requests served, %llu shed, %llu timed out.\n",
               static_cast<unsigned long long>(server.requests_served()),
               static_cast<unsigned long long>(server.requests_shed()),

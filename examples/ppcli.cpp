@@ -11,12 +11,46 @@
 //
 // Uses the same store layout as powerplay_server, so sheets edited here
 // appear in the web UI and vice versa.
+//
+// Offline integrity check (exit 0 clean, 1 corruption found):
+//
+//   $ ./ppcli fsck [data-dir]
 #include <iostream>
 
 #include "cli/repl.hpp"
+#include "library/store.hpp"
+
+namespace {
+
+int run_fsck(const std::string& data_dir) {
+  using namespace powerplay;
+  const library::FsckReport report = library::fsck_store(data_dir);
+  std::cout << "fsck " << data_dir << "\n";
+  std::cout << "files_checked: " << report.files_checked << "\n";
+  std::cout << "corrupt: " << report.corrupt << "\n";
+  std::cout << "journal_present: " << (report.journal_present ? "yes" : "no")
+            << "\n";
+  if (report.journal_present) {
+    std::cout << "journal_header_ok: "
+              << (report.journal_header_ok ? "yes" : "no") << "\n";
+    std::cout << "journal_records: " << report.journal_records << "\n";
+    std::cout << "journal_torn: " << (report.journal_torn ? "yes" : "no")
+              << "\n";
+  }
+  for (const std::string& problem : report.problems) {
+    std::cout << "problem: " << problem << "\n";
+  }
+  std::cout << (report.clean() ? "clean\n" : "CORRUPT\n");
+  return report.clean() ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace powerplay;
+  if (argc > 1 && std::string(argv[1]) == "fsck") {
+    return run_fsck(argc > 2 ? argv[2] : "powerplay_data");
+  }
   const std::string data_dir = argc > 1 ? argv[1] : "powerplay_data";
   return cli::run_repl(std::cin, std::cout,
                        library::LibraryStore(data_dir)) == 0

@@ -1,5 +1,6 @@
 #include "engine/job.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace powerplay::engine {
@@ -14,24 +15,42 @@ std::string to_string(JobStatus status) {
       return "done";
     case JobStatus::kFailed:
       return "failed";
+    case JobStatus::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }
 
-JobManager::JobManager(std::size_t runner_count, std::size_t retained_jobs)
-    : retained_jobs_(retained_jobs == 0 ? 1 : retained_jobs) {
-  if (runner_count == 0) runner_count = 1;
-  runners_.reserve(runner_count);
-  for (std::size_t i = 0; i < runner_count; ++i) {
+namespace {
+
+bool is_finished(JobStatus status) {
+  return status == JobStatus::kDone || status == JobStatus::kFailed ||
+         status == JobStatus::kCancelled;
+}
+
+}  // namespace
+
+JobManager::JobManager(JobOptions options) : options_(options) {
+  if (options_.runner_count == 0) options_.runner_count = 1;
+  if (options_.retained_jobs == 0) options_.retained_jobs = 1;
+  runners_.reserve(options_.runner_count);
+  for (std::size_t i = 0; i < options_.runner_count; ++i) {
     runners_.emplace_back([this] { runner_loop(); });
   }
 }
+
+JobManager::JobManager(std::size_t runner_count, std::size_t retained_jobs)
+    : JobManager(JobOptions{runner_count, retained_jobs,
+                            std::chrono::milliseconds{0}}) {}
 
 JobManager::~JobManager() {
   {
     std::lock_guard lock(mutex_);
     stopping_ = true;
     pending_.clear();  // queued-but-unstarted jobs die with the process
+    for (auto& [id, record] : jobs_) {
+      if (record.cancel) record.cancel->store(true);
+    }
   }
   job_ready_.notify_all();
   for (std::thread& t : runners_) t.join();
@@ -49,8 +68,13 @@ std::uint64_t JobManager::submit(std::string user, std::string description,
     record.snapshot.description = std::move(description);
     record.snapshot.status = JobStatus::kQueued;
     record.work = std::move(work);
-    jobs_.emplace(id, std::move(record));
-    pending_.push_back(id);
+    record.cancel = std::make_shared<std::atomic<bool>>(false);
+    auto [it, inserted] = jobs_.emplace(id, std::move(record));
+    if (draining_) {
+      cancel_queued_locked(it->second, "cancelled: server shutting down");
+    } else {
+      pending_.push_back(id);
+    }
     trim_finished_locked();
   }
   job_ready_.notify_one();
@@ -73,6 +97,38 @@ std::vector<JobSnapshot> JobManager::list(const std::string& user) const {
   return out;
 }
 
+void JobManager::cancel_queued_locked(Record& record, const char* reason) {
+  record.snapshot.status = JobStatus::kCancelled;
+  record.snapshot.error = reason;
+  record.work = nullptr;  // release any captured state now
+  ++cancelled_total_;
+}
+
+CancelOutcome JobManager::cancel(std::uint64_t id) {
+  std::lock_guard lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return CancelOutcome::kNoSuchJob;
+  JobSnapshot& snap = it->second.snapshot;
+  switch (snap.status) {
+    case JobStatus::kQueued: {
+      auto pending = std::find(pending_.begin(), pending_.end(), id);
+      if (pending != pending_.end()) pending_.erase(pending);
+      cancel_queued_locked(it->second, "cancelled before start");
+      trim_finished_locked();
+      if (pending_.empty() && active_ == 0) idle_.notify_all();
+      return CancelOutcome::kCancelled;
+    }
+    case JobStatus::kRunning:
+      it->second.cancel->store(true);
+      return CancelOutcome::kRequested;
+    case JobStatus::kDone:
+    case JobStatus::kFailed:
+    case JobStatus::kCancelled:
+      break;
+  }
+  return CancelOutcome::kAlreadyFinished;
+}
+
 JobStats JobManager::stats() const {
   std::lock_guard lock(mutex_);
   JobStats s;
@@ -90,8 +146,13 @@ JobStats JobManager::stats() const {
       case JobStatus::kFailed:
         ++s.failed;
         break;
+      case JobStatus::kCancelled:
+        ++s.cancelled;
+        break;
     }
   }
+  s.cancelled_total = cancelled_total_;
+  s.deadline_expired_total = deadline_total_;
   return s;
 }
 
@@ -100,10 +161,31 @@ void JobManager::wait_idle() {
   idle_.wait(lock, [this] { return pending_.empty() && active_ == 0; });
 }
 
+void JobManager::drain() {
+  {
+    std::lock_guard lock(mutex_);
+    draining_ = true;
+    for (std::uint64_t id : pending_) {
+      auto it = jobs_.find(id);
+      if (it == jobs_.end()) continue;
+      cancel_queued_locked(it->second, "cancelled: server shutting down");
+    }
+    pending_.clear();
+    for (auto& [id, record] : jobs_) {
+      if (record.snapshot.status == JobStatus::kRunning) {
+        record.cancel->store(true);
+      }
+    }
+    trim_finished_locked();
+  }
+  wait_idle();
+}
+
 void JobManager::runner_loop() {
   for (;;) {
     std::uint64_t id = 0;
     Work work;
+    std::shared_ptr<std::atomic<bool>> cancel;
     {
       std::unique_lock lock(mutex_);
       job_ready_.wait(lock,
@@ -115,28 +197,53 @@ void JobManager::runner_loop() {
       if (it == jobs_.end()) continue;  // trimmed while queued
       it->second.snapshot.status = JobStatus::kRunning;
       work = std::move(it->second.work);
+      cancel = it->second.cancel;
       ++active_;
     }
 
-    const Progress progress = [this, id](std::size_t done,
+    const auto started = std::chrono::steady_clock::now();
+    const auto deadline = options_.deadline;
+    const Progress progress = [this, id, cancel, started,
+                               deadline](std::size_t done,
                                          std::size_t total) {
-      std::lock_guard lock(mutex_);
-      auto it = jobs_.find(id);
-      if (it == jobs_.end()) return;
-      it->second.snapshot.done = done;
-      it->second.snapshot.total = total;
+      {
+        std::lock_guard lock(mutex_);
+        auto it = jobs_.find(id);
+        if (it != jobs_.end()) {
+          it->second.snapshot.done = done;
+          it->second.snapshot.total = total;
+        }
+      }
+      if (cancel->load()) throw JobCancelled();
+      if (deadline.count() > 0 &&
+          std::chrono::steady_clock::now() - started >= deadline) {
+        throw JobDeadlineExceeded();
+      }
     };
 
+    enum class Outcome { kOk, kCancelled, kDeadline, kError };
+    Outcome outcome = Outcome::kOk;
     JobResult result;
     std::string error;
-    bool failed = false;
     try {
       result = work(progress);
+      // A cancel that raced the final point still wins: the client
+      // asked for the job to stop, so don't hand back a result.
+      if (cancel->load()) {
+        outcome = Outcome::kCancelled;
+        error = JobCancelled().what();
+      }
+    } catch (const JobCancelled& e) {
+      outcome = Outcome::kCancelled;
+      error = e.what();
+    } catch (const JobDeadlineExceeded& e) {
+      outcome = Outcome::kDeadline;
+      error = e.what();
     } catch (const std::exception& e) {
-      failed = true;
+      outcome = Outcome::kError;
       error = e.what();
     } catch (...) {
-      failed = true;
+      outcome = Outcome::kError;
       error = "unknown error";
     }
 
@@ -145,15 +252,28 @@ void JobManager::runner_loop() {
       auto it = jobs_.find(id);
       if (it != jobs_.end()) {
         JobSnapshot& snap = it->second.snapshot;
-        if (failed) {
-          snap.status = JobStatus::kFailed;
-          snap.error = std::move(error);
-        } else {
-          snap.status = JobStatus::kDone;
-          snap.result = std::move(result);
-          if (snap.total == 0) snap.total = snap.done;
+        switch (outcome) {
+          case Outcome::kOk:
+            snap.status = JobStatus::kDone;
+            snap.result = std::move(result);
+            if (snap.total == 0) snap.total = snap.done;
+            break;
+          case Outcome::kCancelled:
+            snap.status = JobStatus::kCancelled;
+            snap.error = std::move(error);
+            break;
+          case Outcome::kDeadline:
+            snap.status = JobStatus::kFailed;
+            snap.error = std::move(error);
+            break;
+          case Outcome::kError:
+            snap.status = JobStatus::kFailed;
+            snap.error = std::move(error);
+            break;
         }
       }
+      if (outcome == Outcome::kCancelled) ++cancelled_total_;
+      if (outcome == Outcome::kDeadline) ++deadline_total_;
       --active_;
       trim_finished_locked();
       if (pending_.empty() && active_ == 0) idle_.notify_all();
@@ -167,15 +287,11 @@ void JobManager::trim_finished_locked() {
   // before their poller has fetched them.
   std::size_t finished = 0;
   for (const auto& [id, record] : jobs_) {
-    if (record.snapshot.status == JobStatus::kDone ||
-        record.snapshot.status == JobStatus::kFailed) {
-      ++finished;
-    }
+    if (is_finished(record.snapshot.status)) ++finished;
   }
   for (auto it = jobs_.begin();
-       finished > retained_jobs_ && it != jobs_.end();) {
-    if (it->second.snapshot.status == JobStatus::kDone ||
-        it->second.snapshot.status == JobStatus::kFailed) {
+       finished > options_.retained_jobs && it != jobs_.end();) {
+    if (is_finished(it->second.snapshot.status)) {
       it = jobs_.erase(it);  // std::map is id-ordered: oldest first
       --finished;
     } else {

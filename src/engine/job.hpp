@@ -10,25 +10,58 @@
 // separate from the point Executor: a job *waits* on the points it fans
 // out, so running jobs on the same pool that executes their points
 // could deadlock once every thread held a waiting job.
+//
+// Lifecycle hardening: every job can be cancelled (POST /job/cancel)
+// and is subject to an optional wall-clock deadline.  Both are
+// cooperative — the Progress callback handed to the work function
+// throws JobCancelled / JobDeadlineExceeded, so a sweep stops within
+// one sweep-point granularity and its runner is freed.  drain() is the
+// graceful-shutdown path: stop admitting work, cancel everything, wait.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 namespace powerplay::engine {
 
-enum class JobStatus { kQueued, kRunning, kDone, kFailed };
+enum class JobStatus { kQueued, kRunning, kDone, kFailed, kCancelled };
 
 std::string to_string(JobStatus status);
+
+/// Thrown (out of the Progress callback) inside a job whose cancel flag
+/// was set; the runner marks the job kCancelled.
+class JobCancelled : public std::runtime_error {
+ public:
+  JobCancelled() : std::runtime_error("job cancelled") {}
+};
+
+/// Thrown inside a job that outran its wall-clock deadline; the runner
+/// marks the job kFailed with this message.
+class JobDeadlineExceeded : public std::runtime_error {
+ public:
+  JobDeadlineExceeded() : std::runtime_error("deadline exceeded") {}
+};
+
+/// What cancel() found and did.
+enum class CancelOutcome {
+  kNoSuchJob,
+  kAlreadyFinished,  ///< done/failed/cancelled: nothing to do
+  kCancelled,        ///< was queued; now terminally cancelled
+  kRequested,        ///< running; will stop at its next progress point
+};
 
 /// What a finished job hands back: a human-readable table and a
 /// machine-readable CSV of the same data.
@@ -45,7 +78,7 @@ struct JobSnapshot {
   JobStatus status = JobStatus::kQueued;
   std::size_t done = 0;   ///< points completed so far
   std::size_t total = 0;  ///< points overall (0 until the job starts)
-  std::string error;      ///< set when status == kFailed
+  std::string error;      ///< set when status == kFailed / kCancelled
   JobResult result;       ///< set when status == kDone
 };
 
@@ -54,20 +87,34 @@ struct JobStats {
   std::size_t running = 0;
   std::size_t done = 0;
   std::size_t failed = 0;
+  std::size_t cancelled = 0;  ///< cancelled records still retained
+  /// Cumulative since construction (survive history trimming):
+  std::uint64_t cancelled_total = 0;
+  std::uint64_t deadline_expired_total = 0;
+};
+
+struct JobOptions {
+  std::size_t runner_count = 1;
+  /// Bounds the finished-job history: the oldest done/failed/cancelled
+  /// records are dropped once the table exceeds it, so a polling client
+  /// should fetch results promptly (nullopt afterwards).
+  std::size_t retained_jobs = 256;
+  /// Wall-clock budget per job, measured from the moment a runner picks
+  /// it up.  Zero = unlimited.
+  std::chrono::milliseconds deadline{0};
 };
 
 class JobManager {
  public:
   /// Progress callback a job's work function calls as points finish.
+  /// Throws JobCancelled / JobDeadlineExceeded when the job must stop —
+  /// work functions let those propagate.
   using Progress = std::function<void(std::size_t done, std::size_t total)>;
   /// The work itself; runs on a runner thread.  Throwing marks the job
   /// failed with the exception message.
   using Work = std::function<JobResult(const Progress& progress)>;
 
-  /// `retained_jobs` bounds the finished-job history: the oldest done/
-  /// failed records are dropped once the table exceeds it, so a polling
-  /// client should fetch results promptly (they get 404-equivalent
-  /// nullopt afterwards).
+  explicit JobManager(JobOptions options);
   explicit JobManager(std::size_t runner_count = 1,
                       std::size_t retained_jobs = 256);
   ~JobManager();
@@ -75,7 +122,8 @@ class JobManager {
   JobManager(const JobManager&) = delete;
   JobManager& operator=(const JobManager&) = delete;
 
-  /// Enqueue; returns the job id immediately.
+  /// Enqueue; returns the job id immediately.  After drain() the job is
+  /// admitted but immediately cancelled ("server shutting down").
   std::uint64_t submit(std::string user, std::string description, Work work);
 
   [[nodiscard]] std::optional<JobSnapshot> get(std::uint64_t id) const;
@@ -83,26 +131,42 @@ class JobManager {
   /// All of one user's jobs, newest first.
   [[nodiscard]] std::vector<JobSnapshot> list(const std::string& user) const;
 
+  /// Cooperative cancellation: a queued job is cancelled outright; a
+  /// running one has its flag raised and stops at its next sweep point.
+  CancelOutcome cancel(std::uint64_t id);
+
   [[nodiscard]] JobStats stats() const;
 
   /// Block until no job is queued or running (tests, shutdown).
   void wait_idle();
 
+  /// Graceful shutdown: stop admitting work, cancel every queued job,
+  /// raise every running job's cancel flag, and wait until the runners
+  /// are idle.  Runner threads stay alive (the destructor joins them).
+  void drain();
+
  private:
   struct Record {
     JobSnapshot snapshot;
     Work work;
+    /// Shared with the running job's Progress closure; survives record
+    /// trimming so a late progress call never dangles.
+    std::shared_ptr<std::atomic<bool>> cancel;
   };
 
   void runner_loop();
   void trim_finished_locked();
+  void cancel_queued_locked(Record& record, const char* reason);
 
-  std::size_t retained_jobs_;
+  JobOptions options_;
   mutable std::mutex mutex_;
   std::condition_variable job_ready_;  ///< runners wait here
   std::condition_variable idle_;       ///< wait_idle() waits here
   bool stopping_ = false;
+  bool draining_ = false;
   std::uint64_t next_id_ = 1;
+  std::uint64_t cancelled_total_ = 0;
+  std::uint64_t deadline_total_ = 0;
   std::map<std::uint64_t, Record> jobs_;  ///< keyed by id (insertion order)
   std::deque<std::uint64_t> pending_;     ///< ids awaiting a runner
   std::size_t active_ = 0;                ///< jobs currently running

@@ -1,0 +1,60 @@
+// durable.hpp — crash-safe file I/O primitives for the library store.
+//
+// Every acknowledged store mutation must survive a crash or torn write
+// (the paper's whole pitch is per-user state kept on one server; losing
+// a user's only copy of a design to a mid-write crash is not an
+// option).  This module supplies the two building blocks:
+//
+//   * atomic_write_file — temp file in the same directory, fsync,
+//     rename over the final path, fsync the directory.  A final path
+//     therefore only ever holds a complete file.
+//   * checksum footers — every snapshot ends with a `#ppck <crc> <len>`
+//     trailer line; verify_snapshot() detects truncation and bit rot so
+//     the loader can quarantine and recover instead of serving garbage.
+//
+// The footer rides in a '#' comment line, so the text-format tokenizer
+// would skip it anyway; verify_snapshot() strips it before parsing.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+namespace powerplay::library {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the framing
+/// checksum for journal records and snapshot footers.
+[[nodiscard]] std::uint32_t crc32(const char* data, std::size_t size,
+                                  std::uint32_t seed = 0);
+[[nodiscard]] std::uint32_t crc32(const std::string& data);
+
+/// fsync an open descriptor / a directory (so a rename inside it is
+/// durable).  Throws FormatError on failure; filesystems that do not
+/// support directory fsync (EINVAL/ENOTSUP) are tolerated.
+void fsync_fd(int fd, const std::filesystem::path& what);
+void fsync_dir(const std::filesystem::path& dir);
+
+/// Durably publish `contents` at `path`: write to a unique temp file in
+/// the same directory, fsync it, rename over `path`, fsync the
+/// directory.  Readers see either the old file or the new one, never a
+/// mix.  Throws FormatError on any failure (the temp file is removed).
+void atomic_write_file(const std::filesystem::path& path,
+                       const std::string& contents);
+
+/// Append the integrity footer: `#ppck <8-hex crc32> <byte count>\n`
+/// covering everything before it.  `contents` should end with '\n'
+/// (all library serializers do).
+[[nodiscard]] std::string with_checksum_footer(std::string contents);
+
+enum class SnapshotState {
+  kOk,             ///< footer present and matching
+  kMissingFooter,  ///< no `#ppck` trailer at all (never written by us)
+  kCorrupt,        ///< footer malformed or checksum/length mismatch
+};
+
+/// Classify a raw snapshot file and, when a footer line is found, strip
+/// it: on kOk `*contents` is the payload without the footer; on the
+/// other states `*contents` is `raw` unchanged.
+SnapshotState verify_snapshot(const std::string& raw, std::string* contents);
+
+}  // namespace powerplay::library

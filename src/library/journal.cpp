@@ -1,0 +1,205 @@
+#include "library/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "library/durable.hpp"
+#include "library/textio.hpp"
+
+namespace powerplay::library {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw FormatError(what + ": " + std::strerror(errno));
+}
+
+void put_u32le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+std::uint32_t get_u32le(const std::string& bytes, std::size_t at) {
+  return static_cast<std::uint32_t>(
+             static_cast<unsigned char>(bytes[at])) |
+         static_cast<std::uint32_t>(
+             static_cast<unsigned char>(bytes[at + 1]))
+             << 8 |
+         static_cast<std::uint32_t>(
+             static_cast<unsigned char>(bytes[at + 2]))
+             << 16 |
+         static_cast<std::uint32_t>(
+             static_cast<unsigned char>(bytes[at + 3]))
+             << 24;
+}
+
+std::string read_whole_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Serialize one record's payload (the framed bytes' interior).
+std::string payload_text(const JournalRecord& record) {
+  std::string out =
+      record.op == JournalRecord::Op::kPut ? "put " : "del ";
+  out += record.kind + " " + quoted(record.name) + "\n";
+  if (record.op == JournalRecord::Op::kPut) out += record.contents;
+  return out;
+}
+
+/// Parse one payload back; false on any malformation.
+bool parse_payload(const std::string& payload, JournalRecord* record) {
+  const std::size_t nl = payload.find('\n');
+  if (nl == std::string::npos) return false;
+  try {
+    TokCursor cur(tokenize_document(payload.substr(0, nl)));
+    const std::string op = cur.take_ident();
+    if (op == "put") {
+      record->op = JournalRecord::Op::kPut;
+    } else if (op == "del") {
+      record->op = JournalRecord::Op::kDelete;
+    } else {
+      return false;
+    }
+    record->kind = cur.take_ident();
+    record->name = cur.take_string();
+    if (!cur.at_end()) return false;
+  } catch (const FormatError&) {
+    return false;
+  }
+  record->contents =
+      record->op == JournalRecord::Op::kPut ? payload.substr(nl + 1) : "";
+  return true;
+}
+
+}  // namespace
+
+Journal::Journal(fs::path path) : path_(std::move(path)) {
+  std::lock_guard lock(mutex_);
+  std::error_code ec;
+  if (!fs::exists(path_, ec)) {
+    // Durably create the header-only file before anything can commit.
+    atomic_write_file(path_, kMagic);
+    size_ = kMagicSize;
+  } else {
+    const std::string head = read_whole_file(path_);
+    size_ = head.size();
+    header_valid_ =
+        head.size() >= kMagicSize && head.compare(0, kMagicSize, kMagic) == 0;
+  }
+  if (header_valid_) open_for_append_locked();
+}
+
+Journal::~Journal() {
+  std::lock_guard lock(mutex_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Journal::open_for_append_locked() {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd_ < 0) fail_errno("cannot open journal " + path_.string());
+}
+
+std::uint64_t Journal::tail_bytes() const {
+  std::lock_guard lock(mutex_);
+  return size_ > kMagicSize ? size_ - kMagicSize : 0;
+}
+
+void Journal::append(const JournalRecord& record) {
+  const std::string payload = payload_text(record);
+  if (payload.size() > kMaxPayloadBytes) {
+    throw FormatError("journal record exceeds " +
+                      std::to_string(kMaxPayloadBytes) + " bytes");
+  }
+  std::string frame;
+  frame.reserve(payload.size() + 8);
+  put_u32le(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32le(frame, crc32(payload));
+  frame += payload;
+
+  std::lock_guard lock(mutex_);
+  if (fd_ < 0) {
+    throw FormatError("journal " + path_.string() +
+                      " is not open (invalid header; rotate first)");
+  }
+  std::size_t written = 0;
+  while (written < frame.size()) {
+    const ssize_t n =
+        ::write(fd_, frame.data() + written, frame.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("append to journal " + path_.string());
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  fsync_fd(fd_, path_);  // the ack point: the record is now durable
+  size_ += frame.size();
+}
+
+Journal::ReadResult Journal::read_all() const {
+  std::lock_guard lock(mutex_);
+  return parse(read_whole_file(path_));
+}
+
+void Journal::rotate() {
+  std::lock_guard lock(mutex_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  atomic_write_file(path_, kMagic);
+  size_ = kMagicSize;
+  header_valid_ = true;
+  open_for_append_locked();
+}
+
+Journal::ReadResult Journal::parse(const std::string& bytes) {
+  ReadResult out;
+  if (bytes.size() < kMagicSize ||
+      bytes.compare(0, kMagicSize, kMagic) != 0) {
+    out.header_ok = false;
+    return out;
+  }
+  std::size_t pos = kMagicSize;
+  out.valid_bytes = pos;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < 8) {
+      out.torn = true;  // frame header itself is torn
+      break;
+    }
+    const std::uint32_t length = get_u32le(bytes, pos);
+    const std::uint32_t crc = get_u32le(bytes, pos + 4);
+    if (length > kMaxPayloadBytes || bytes.size() - pos - 8 < length) {
+      out.torn = true;  // length field corrupt or payload truncated
+      break;
+    }
+    const std::string payload = bytes.substr(pos + 8, length);
+    if (crc32(payload) != crc) {
+      out.torn = true;  // payload or frame bits flipped
+      break;
+    }
+    JournalRecord record;
+    if (!parse_payload(payload, &record)) {
+      out.torn = true;  // CRC matched but the grammar did not: corrupt
+      break;
+    }
+    out.records.push_back(std::move(record));
+    pos += 8 + length;
+    out.valid_bytes = pos;
+  }
+  return out;
+}
+
+}  // namespace powerplay::library

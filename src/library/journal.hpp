@@ -1,0 +1,98 @@
+// journal.hpp — the store's append-only write-ahead journal.
+//
+// Every mutation of the library store (save/delete of a model, design
+// or user profile) is appended here and fsync'd *before* it is applied
+// to the materialized per-entry files.  The append is the commit point:
+// once it returns, the mutation survives a crash at any later write
+// boundary, because startup replay re-applies every intact record.
+//
+// On-disk layout (`journal.ppwal` in the store root):
+//
+//   "ppwal v1\n"                              9-byte magic header
+//   repeated records:
+//     u32 LE  payload length
+//     u32 LE  CRC-32 of the payload
+//     payload bytes:
+//       put <kind> "<name>"\n<file contents>   — or —
+//       del <kind> "<name>"\n
+//
+// A crash mid-append leaves a torn tail: a record whose frame runs past
+// end-of-file or whose CRC mismatches.  Replay stops at the first such
+// record (everything before it was acknowledged; nothing after it was),
+// and the next rotation truncates the tail away.  Rotation itself is an
+// atomic rename of a fresh header-only file, so the journal is never in
+// a half-rotated state either.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace powerplay::library {
+
+struct JournalRecord {
+  enum class Op { kPut, kDelete };
+  Op op = Op::kPut;
+  std::string kind;      ///< "model" | "design" | "user"
+  std::string name;      ///< store entry name (validated by the store)
+  std::string contents;  ///< full file body for kPut; empty for kDelete
+};
+
+class Journal {
+ public:
+  static constexpr char kMagic[] = "ppwal v1\n";  // 9 bytes + NUL
+  static constexpr std::size_t kMagicSize = sizeof kMagic - 1;
+  /// Upper bound on one record's payload; anything larger in a frame
+  /// header is treated as corruption, not an allocation request.
+  static constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
+
+  /// Opens (creating, durably, if absent) the journal at `path`.  An
+  /// existing file whose header is not the magic is left untouched and
+  /// reported via header_valid(); the store quarantines it and calls
+  /// rotate() to start fresh.
+  explicit Journal(std::filesystem::path path);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+  [[nodiscard]] bool header_valid() const { return header_valid_; }
+  /// Bytes of record data past the header (0 = nothing to replay).
+  [[nodiscard]] std::uint64_t tail_bytes() const;
+
+  /// Frame, append and fsync one record.  Thread-safe.  Returns only
+  /// once the record is durable — this is the mutation's ack point.
+  void append(const JournalRecord& record);
+
+  struct ReadResult {
+    std::vector<JournalRecord> records;  ///< every intact record, in order
+    bool header_ok = true;  ///< false: not a journal (or torn header)
+    bool torn = false;      ///< trailing bytes did not form a record
+    std::uint64_t valid_bytes = 0;  ///< offset just past the last record
+  };
+
+  /// Parse the current file from disk.  Never throws on corruption —
+  /// that is the condition it exists to report.
+  [[nodiscard]] ReadResult read_all() const;
+
+  /// Atomically replace the file with a fresh, empty (header-only)
+  /// journal.  Thread-safe; durable before return.
+  void rotate();
+
+  /// Parse a journal byte blob (fsck and tests).
+  [[nodiscard]] static ReadResult parse(const std::string& bytes);
+
+ private:
+  void open_for_append_locked();
+
+  std::filesystem::path path_;
+  mutable std::mutex mutex_;
+  int fd_ = -1;
+  bool header_valid_ = true;
+  std::uint64_t size_ = 0;  ///< current file size in bytes
+};
+
+}  // namespace powerplay::library

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "library/durable.hpp"
 #include "library/textio.hpp"
 
 namespace powerplay::library {
@@ -12,6 +13,20 @@ namespace powerplay::library {
 namespace fs = std::filesystem;
 
 namespace {
+
+constexpr char kJournalFile[] = "journal.ppwal";
+
+/// kind -> (directory, extension); the journal speaks these kinds.
+struct KindLayout {
+  const char* kind;
+  const char* dir;
+  const char* extension;
+};
+constexpr KindLayout kKinds[] = {
+    {"model", "models", ".ppmodel"},
+    {"design", "designs", ".ppdesign"},
+    {"user", "users", ".ppuser"},
+};
 
 std::string read_file(const fs::path& path) {
   std::ifstream in(path, std::ios::binary);
@@ -21,17 +36,6 @@ std::string read_file(const fs::path& path) {
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
-}
-
-void write_file(const fs::path& path, const std::string& contents) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw FormatError("cannot write file: " + path.string());
-  }
-  out << contents;
-  if (!out.good()) {
-    throw FormatError("write failed: " + path.string());
-  }
 }
 
 std::vector<std::string> list_stems(const fs::path& dir,
@@ -45,6 +49,12 @@ std::vector<std::string> list_stems(const fs::path& dir,
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+/// In-flight temp files carry ".tmp<pid>.<seq>" after the real name;
+/// they are garbage by construction (a completed write renamed them).
+bool is_temp_file(const fs::path& path) {
+  return path.filename().string().find(".tmp") != std::string::npos;
 }
 
 }  // namespace
@@ -127,10 +137,16 @@ UserProfile parse_user_profile(const std::string& text) {
 // LibraryStore
 // ---------------------------------------------------------------------------
 
-LibraryStore::LibraryStore(fs::path root) : root_(std::move(root)) {
+LibraryStore::LibraryStore(fs::path root, StoreOptions options)
+    : root_(std::move(root)),
+      options_(options),
+      counters_(std::make_unique<Counters>()) {
   fs::create_directories(root_ / "models");
   fs::create_directories(root_ / "designs");
   fs::create_directories(root_ / "users");
+  fs::create_directories(root_ / "quarantine");
+  journal_ = std::make_unique<Journal>(root_ / kJournalFile);
+  recover();
 }
 
 fs::path LibraryStore::model_path(const std::string& n) const {
@@ -143,13 +159,144 @@ fs::path LibraryStore::user_path(const std::string& n) const {
   return root_ / "users" / (n + ".ppuser");
 }
 
+fs::path LibraryStore::path_for(const std::string& kind,
+                                const std::string& name) const {
+  for (const KindLayout& layout : kKinds) {
+    if (kind == layout.kind) {
+      return root_ / layout.dir / (name + layout.extension);
+    }
+  }
+  throw FormatError("unknown journal record kind '" + kind + "'");
+}
+
+// ---------------------------------------------------------------------------
+// Durability: commit path, recovery, quarantine
+// ---------------------------------------------------------------------------
+
+void LibraryStore::commit(const JournalRecord& record) {
+  journal_->append(record);  // fsync'd: the mutation is now acknowledged
+  counters_->journal_appends.fetch_add(1);
+  apply(record);
+  if (journal_->tail_bytes() > options_.journal_rotate_bytes) {
+    // Every record up to here was applied to a fsync'd snapshot the
+    // moment it was appended, so the tail is redundant: compact it.
+    journal_->rotate();
+    counters_->journal_rotations.fetch_add(1);
+  }
+}
+
+void LibraryStore::apply(const JournalRecord& record) {
+  const fs::path path = path_for(record.kind, record.name);
+  if (record.op == JournalRecord::Op::kPut) {
+    atomic_write_file(path, with_checksum_footer(record.contents));
+    counters_->snapshot_writes.fetch_add(1);
+  } else {
+    std::error_code ec;
+    fs::remove(path, ec);  // absent already = idempotent replay
+    fsync_dir(path.parent_path());
+  }
+}
+
+void LibraryStore::quarantine(const fs::path& path, bool copy) const {
+  const fs::path qdir = root_ / "quarantine";
+  std::error_code ec;
+  fs::create_directories(qdir, ec);
+  fs::path dest = qdir / path.filename();
+  for (int i = 1; fs::exists(dest); ++i) {
+    dest = qdir / (path.filename().string() + "." + std::to_string(i));
+  }
+  if (copy) {
+    fs::copy_file(path, dest, ec);
+  } else {
+    fs::rename(path, dest, ec);
+  }
+  if (ec) return;  // never delete: on failure the original stays put
+  fsync_dir(qdir);
+  if (!copy) fsync_dir(path.parent_path());
+  counters_->quarantined_files.fetch_add(1);
+}
+
+std::optional<std::string> LibraryStore::read_verified(
+    const fs::path& path) const {
+  const std::string raw = read_file(path);
+  std::string contents;
+  if (verify_snapshot(raw, &contents) != SnapshotState::kOk) {
+    quarantine(path);
+    return std::nullopt;
+  }
+  return contents;
+}
+
+void LibraryStore::recover() {
+  // 1. Sweep the materialized trees: drop stale temp files, verify
+  //    every snapshot's footer, quarantine what fails.
+  for (const KindLayout& layout : kKinds) {
+    const fs::path dir = root_ / layout.dir;
+    std::vector<fs::path> entries;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.is_regular_file()) entries.push_back(entry.path());
+    }
+    for (const fs::path& path : entries) {
+      if (is_temp_file(path)) {
+        std::error_code ec;
+        fs::remove(path, ec);  // an unrenamed write that never committed
+        continue;
+      }
+      if (path.extension() != layout.extension) continue;
+      if (verify_snapshot(read_file(path), nullptr) != SnapshotState::kOk) {
+        quarantine(path);
+      }
+    }
+  }
+
+  // 2. A journal file that is not a journal (or lost its header) is
+  //    preserved in quarantine and replaced by a fresh one.
+  if (!journal_->header_valid()) {
+    quarantine(journal_->path(), /*copy=*/true);
+    journal_->rotate();
+    counters_->journal_rotations.fetch_add(1);
+  }
+
+  // 3. Replay every intact record: each acknowledged mutation lands in
+  //    its snapshot (idempotent re-apply).  A torn tail is exactly the
+  //    unacknowledged in-flight write of the crash — dropped.
+  const Journal::ReadResult replay = journal_->read_all();
+  for (const JournalRecord& record : replay.records) {
+    apply(record);
+    counters_->journal_replayed.fetch_add(1);
+  }
+
+  // 4. Compact: the replayed (and any torn) bytes are now redundant.
+  if (!replay.records.empty() || replay.torn) {
+    journal_->rotate();
+    counters_->journal_rotations.fetch_add(1);
+  }
+}
+
+DurabilityStats LibraryStore::durability() const {
+  DurabilityStats out;
+  out.journal_appends = counters_->journal_appends.load();
+  out.journal_replayed = counters_->journal_replayed.load();
+  out.journal_rotations = counters_->journal_rotations.load();
+  out.snapshot_writes = counters_->snapshot_writes.load();
+  out.quarantined_files = counters_->quarantined_files.load();
+  return out;
+}
+
+void LibraryStore::flush() {
+  if (journal_->tail_bytes() > 0) {
+    journal_->rotate();
+    counters_->journal_rotations.fetch_add(1);
+  }
+}
+
 void LibraryStore::save_model(const model::UserModelDefinition& def,
                               bool proprietary) {
   validate_store_name(def.name);
   std::string text;
   if (proprietary) text += "# proprietary\n";
   text += to_text(def);
-  write_file(model_path(def.name), text);
+  commit({JournalRecord::Op::kPut, "model", def.name, std::move(text)});
 }
 
 std::optional<model::UserModelDefinition> LibraryStore::load_model(
@@ -157,7 +304,9 @@ std::optional<model::UserModelDefinition> LibraryStore::load_model(
   validate_store_name(name);
   const fs::path path = model_path(name);
   if (!fs::exists(path)) return std::nullopt;
-  return parse_user_model(read_file(path));
+  const auto text = read_verified(path);
+  if (!text) return std::nullopt;  // corrupt: quarantined, reported absent
+  return parse_user_model(*text);
 }
 
 std::vector<std::string> LibraryStore::list_models() const {
@@ -175,8 +324,30 @@ bool LibraryStore::is_proprietary(const std::string& name) const {
 void LibraryStore::load_all_models(model::ModelRegistry& registry) const {
   for (const std::string& name : list_models()) {
     auto def = load_model(name);
+    if (!def) continue;  // quarantined by read_verified
     registry.add_or_replace(std::make_shared<model::UserModel>(*def));
   }
+}
+
+bool LibraryStore::remove_model(const std::string& name) {
+  validate_store_name(name);
+  if (!fs::exists(model_path(name))) return false;
+  commit({JournalRecord::Op::kDelete, "model", name, ""});
+  return true;
+}
+
+bool LibraryStore::remove_design(const std::string& name) {
+  validate_store_name(name);
+  if (!fs::exists(design_path(name))) return false;
+  commit({JournalRecord::Op::kDelete, "design", name, ""});
+  return true;
+}
+
+bool LibraryStore::remove_user(const std::string& username) {
+  validate_store_name(username);
+  if (!fs::exists(user_path(username))) return false;
+  commit({JournalRecord::Op::kDelete, "user", username, ""});
+  return true;
 }
 
 void LibraryStore::save_design(const sheet::Design& design) {
@@ -186,7 +357,7 @@ void LibraryStore::save_design(const sheet::Design& design) {
   for (const sheet::Row& row : design.rows()) {
     if (row.is_macro()) save_design(*row.macro);
   }
-  write_file(design_path(design.name()), to_text(design));
+  commit({JournalRecord::Op::kPut, "design", design.name(), to_text(design)});
 }
 
 bool LibraryStore::has_design(const std::string& name) const {
@@ -214,9 +385,14 @@ std::shared_ptr<const sheet::Design> LibraryStore::load_design_rec(
   if (!fs::exists(path)) {
     throw FormatError("no stored design named '" + name + "'");
   }
+  const auto text = read_verified(path);
+  if (!text) {
+    throw FormatError("stored design '" + name +
+                      "' was corrupt and has been quarantined");
+  }
   in_flight.push_back(name);
   sheet::Design d = parse_design(
-      read_file(path), lib,
+      *text, lib,
       [&](const std::string& ref) {
         return load_design_rec(ref, lib, in_flight);
       });
@@ -230,7 +406,8 @@ std::vector<std::string> LibraryStore::list_designs() const {
 
 void LibraryStore::save_user(const UserProfile& profile) {
   validate_store_name(profile.username);
-  write_file(user_path(profile.username), to_text(profile));
+  commit({JournalRecord::Op::kPut, "user", profile.username,
+          to_text(profile)});
 }
 
 std::optional<UserProfile> LibraryStore::load_user(
@@ -238,7 +415,9 @@ std::optional<UserProfile> LibraryStore::load_user(
   validate_store_name(username);
   const fs::path path = user_path(username);
   if (!fs::exists(path)) return std::nullopt;
-  return parse_user_profile(read_file(path));
+  const auto text = read_verified(path);
+  if (!text) return std::nullopt;
+  return parse_user_profile(*text);
 }
 
 UserProfile LibraryStore::ensure_user(const std::string& username) {
@@ -252,6 +431,78 @@ UserProfile LibraryStore::ensure_user(const std::string& username) {
 
 std::vector<std::string> LibraryStore::list_users() const {
   return list_stems(root_ / "users", ".ppuser");
+}
+
+// ---------------------------------------------------------------------------
+// fsck
+// ---------------------------------------------------------------------------
+
+FsckReport fsck_store(const fs::path& root) {
+  FsckReport report;
+  for (const KindLayout& layout : kKinds) {
+    const fs::path dir = root / layout.dir;
+    if (!fs::exists(dir)) continue;
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.is_regular_file() &&
+          entry.path().extension() == layout.extension &&
+          !is_temp_file(entry.path())) {
+        files.push_back(entry.path());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path& path : files) {
+      ++report.files_checked;
+      std::string raw;
+      try {
+        raw = read_file(path);
+      } catch (const FormatError&) {
+        ++report.corrupt;
+        report.problems.push_back("unreadable: " + path.string());
+        continue;
+      }
+      switch (verify_snapshot(raw, nullptr)) {
+        case SnapshotState::kOk:
+          break;
+        case SnapshotState::kMissingFooter:
+          ++report.corrupt;
+          report.problems.push_back("missing checksum footer: " +
+                                    path.string());
+          break;
+        case SnapshotState::kCorrupt:
+          ++report.corrupt;
+          report.problems.push_back("checksum mismatch: " + path.string());
+          break;
+      }
+    }
+  }
+
+  const fs::path journal_path = root / kJournalFile;
+  if (fs::exists(journal_path)) {
+    report.journal_present = true;
+    std::string bytes;
+    try {
+      bytes = read_file(journal_path);
+    } catch (const FormatError&) {
+      report.journal_header_ok = false;
+      report.problems.push_back("unreadable journal: " +
+                                journal_path.string());
+      return report;
+    }
+    const Journal::ReadResult parsed = Journal::parse(bytes);
+    report.journal_records = parsed.records.size();
+    report.journal_header_ok = parsed.header_ok;
+    report.journal_torn = parsed.torn;
+    if (!parsed.header_ok) {
+      report.problems.push_back("invalid journal header: " +
+                                journal_path.string());
+    } else if (parsed.torn) {
+      report.problems.push_back(
+          "torn journal tail after " + std::to_string(parsed.valid_bytes) +
+          " bytes: " + journal_path.string());
+    }
+  }
+  return report;
 }
 
 }  // namespace powerplay::library

@@ -11,14 +11,29 @@
 //   models/<name>.ppmodel     — serialized UserModelDefinition
 //   designs/<name>.ppdesign   — serialized Design
 //   users/<name>.ppuser       — serialized UserProfile
+//   journal.ppwal             — write-ahead journal (journal.hpp)
+//   quarantine/               — corrupt files moved aside, never deleted
+//
+// Durability (docs/persistence.md): every mutation is appended to the
+// journal and fsync'd *first* (the ack point), then materialized with
+// an atomic temp+fsync+rename+dirsync write carrying a checksum footer.
+// Opening a store runs recovery: corrupt snapshots are quarantined,
+// every intact journal record is replayed, and the journal is
+// compacted.  A crash at any write boundary therefore loses nothing
+// that was acknowledged, and a torn file is never visible at a final
+// path nor silently served.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "library/journal.hpp"
 #include "library/serialize.hpp"
 #include "model/registry.hpp"
 #include "sheet/design.hpp"
@@ -48,10 +63,32 @@ std::string password_digest(const std::string& password);
 std::string to_text(const UserProfile& profile);
 UserProfile parse_user_profile(const std::string& text);
 
+/// Durability knobs.  Defaults suit tests and small sites.
+struct StoreOptions {
+  /// Rotate (compact) the journal once its record tail exceeds this;
+  /// every record is already applied to a fsync'd snapshot by then.
+  std::uint64_t journal_rotate_bytes = 1u << 20;
+};
+
+/// Counters for /healthz and the recovery tests.
+struct DurabilityStats {
+  std::uint64_t journal_appends = 0;   ///< records committed (ack'd)
+  std::uint64_t journal_replayed = 0;  ///< records re-applied at open
+  std::uint64_t journal_rotations = 0;
+  std::uint64_t snapshot_writes = 0;   ///< atomic materialized writes
+  std::uint64_t quarantined_files = 0; ///< corrupt files moved aside
+};
+
 class LibraryStore {
  public:
-  /// Opens (creating directories as needed) the store at `root`.
-  explicit LibraryStore(std::filesystem::path root);
+  /// Opens (creating directories as needed) the store at `root` and
+  /// runs crash recovery: verify snapshot checksums (quarantining
+  /// corrupt files), replay the journal, compact it.
+  explicit LibraryStore(std::filesystem::path root, StoreOptions options = {});
+
+  /// Move-only: the journal holds an open, fsync'd file descriptor.
+  LibraryStore(LibraryStore&&) = default;
+  LibraryStore& operator=(LibraryStore&&) = default;
 
   [[nodiscard]] const std::filesystem::path& root() const { return root_; }
 
@@ -67,6 +104,13 @@ class LibraryStore {
 
   /// Load every stored model into `registry` (on top of the built-ins).
   void load_all_models(model::ModelRegistry& registry) const;
+
+  /// Journaled deletion; false if no such entry existed.  Like saves,
+  /// the removal is acknowledged in the journal before the snapshot
+  /// file goes away, so replay reproduces it after a crash.
+  bool remove_model(const std::string& name);
+  bool remove_design(const std::string& name);
+  bool remove_user(const std::string& username);
 
   // --- designs -----------------------------------------------------------
   void save_design(const sheet::Design& design);
@@ -86,17 +130,73 @@ class LibraryStore {
   UserProfile ensure_user(const std::string& username);
   [[nodiscard]] std::vector<std::string> list_users() const;
 
+  // --- durability ------------------------------------------------------
+  [[nodiscard]] DurabilityStats durability() const;
+  /// Graceful shutdown: compact (rotate) the journal so the next open
+  /// replays nothing.  Safe to call at any quiesced point.
+  void flush();
+
  private:
+  struct Counters {
+    std::atomic<std::uint64_t> journal_appends{0};
+    std::atomic<std::uint64_t> journal_replayed{0};
+    std::atomic<std::uint64_t> journal_rotations{0};
+    std::atomic<std::uint64_t> snapshot_writes{0};
+    std::atomic<std::uint64_t> quarantined_files{0};
+  };
+
   [[nodiscard]] std::filesystem::path model_path(const std::string& n) const;
   [[nodiscard]] std::filesystem::path design_path(const std::string& n) const;
   [[nodiscard]] std::filesystem::path user_path(const std::string& n) const;
+  [[nodiscard]] std::filesystem::path path_for(const std::string& kind,
+                                               const std::string& name) const;
+
+  /// The write path: journal append + fsync (ack), then materialize,
+  /// then rotate the journal if it outgrew the threshold.
+  void commit(const JournalRecord& record);
+  /// Materialize one record: atomic snapshot write (with checksum
+  /// footer) or durable removal.
+  void apply(const JournalRecord& record);
+  /// Startup crash recovery (see class comment).
+  void recover();
+  /// Move a corrupt file into quarantine/ (never delete); with
+  /// `copy` the original stays in place (used for the journal, whose
+  /// descriptor is open).
+  void quarantine(const std::filesystem::path& path, bool copy = false) const;
+  /// Read + checksum-verify a snapshot; corrupt files are quarantined
+  /// and reported as nullopt.
+  [[nodiscard]] std::optional<std::string> read_verified(
+      const std::filesystem::path& path) const;
 
   std::shared_ptr<const sheet::Design> load_design_rec(
       const std::string& name, const model::ModelRegistry& lib,
       std::vector<std::string>& in_flight) const;
 
   std::filesystem::path root_;
+  StoreOptions options_;
+  std::unique_ptr<Journal> journal_;
+  std::unique_ptr<Counters> counters_;
 };
+
+/// Read-only integrity check of a store directory: verify every
+/// snapshot's checksum footer and the journal's framing.  Unlike
+/// opening a LibraryStore, fsck never moves, rewrites or rotates
+/// anything — safe to run against a live or post-crash store.
+struct FsckReport {
+  std::size_t files_checked = 0;
+  std::size_t corrupt = 0;          ///< bad/missing footer or checksum
+  std::uint64_t journal_records = 0;
+  bool journal_present = false;
+  bool journal_header_ok = true;
+  bool journal_torn = false;        ///< trailing bytes form no record
+  std::vector<std::string> problems;  ///< one human-readable line each
+
+  [[nodiscard]] bool clean() const {
+    return corrupt == 0 && journal_header_ok && !journal_torn;
+  }
+};
+
+FsckReport fsck_store(const std::filesystem::path& root);
 
 /// Validate a name destined for a filename: nonempty, no path
 /// separators, no leading dot.  Throws FormatError otherwise.

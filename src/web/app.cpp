@@ -92,8 +92,11 @@ library::UserProfile PowerPlayApp::authorized_user(const Params& q) {
 }
 
 PowerPlayApp::PowerPlayApp(library::LibraryStore store,
-                           engine::EngineOptions engine_options)
-    : store_(std::move(store)), engine_(engine_options) {
+                           engine::EngineOptions engine_options,
+                           engine::JobOptions job_options)
+    : store_(std::move(store)),
+      engine_(engine_options),
+      jobs_(job_options) {
   models::add_berkeley_models(registry_);
   store_.load_all_models(registry_);
   // The Design Agent and its tool-backed library entry.  agent_ lives in
@@ -101,6 +104,15 @@ PowerPlayApp::PowerPlayApp(library::LibraryStore store,
   // app's lifetime.
   agent_ = flow::make_standard_agent(registry_);
   registry_.add_or_replace(flow::make_sram_toolflow_model(agent_));
+}
+
+void PowerPlayApp::shutdown() {
+  // Order matters: a running job never touches the store (it works on a
+  // private design clone), so drain first, then compact the journal
+  // under the exclusive library lock.
+  jobs_.drain();
+  std::unique_lock lib(library_mutex_);
+  store_.flush();
 }
 
 std::shared_ptr<std::mutex> PowerPlayApp::session_lock(
@@ -168,6 +180,7 @@ Response PowerPlayApp::dispatch(const std::string& path,
   if (path == "/design/setrow") return do_design_setrow(q);
   if (path == "/design/sweep") return do_design_sweep(q);
   if (path == "/design/csv") return design_csv(q);
+  if (path == "/job/cancel") return do_job_cancel(q);
   if (path == "/job") return page_job(q);
   if (path == "/jobs") return page_jobs(q);
   if (path == "/newmodel") {
@@ -221,6 +234,16 @@ Response PowerPlayApp::page_healthz() {
   os << "jobs_running: " << jobs.running << "\n";
   os << "jobs_done: " << jobs.done << "\n";
   os << "jobs_failed: " << jobs.failed << "\n";
+  os << "jobs_cancelled: " << jobs.cancelled << "\n";
+  os << "jobs_cancelled_total: " << jobs.cancelled_total << "\n";
+  os << "jobs_deadline_expired_total: " << jobs.deadline_expired_total
+     << "\n";
+  const library::DurabilityStats store = store_.durability();
+  os << "journal_appends: " << store.journal_appends << "\n";
+  os << "journal_replayed: " << store.journal_replayed << "\n";
+  os << "journal_rotations: " << store.journal_rotations << "\n";
+  os << "snapshot_writes: " << store.snapshot_writes << "\n";
+  os << "quarantined_files: " << store.quarantined_files << "\n";
   return Response::ok_text(os.str());
 }
 
@@ -610,16 +633,24 @@ Response PowerPlayApp::do_design_sweep(const Params& q) {
   return Response::ok_text(os.str());
 }
 
-Response PowerPlayApp::page_job(const Params& q) const {
-  const std::string id_text = need(q, "id");
-  std::uint64_t id = 0;
+namespace {
+
+std::uint64_t parse_job_id(const std::string& id_text) {
   try {
     std::size_t pos = 0;
-    id = std::stoull(id_text, &pos);
+    const std::uint64_t id = std::stoull(id_text, &pos);
     if (pos != id_text.size()) throw std::invalid_argument(id_text);
+    return id;
   } catch (const std::exception&) {
     throw HttpError("bad job id '" + id_text + "'");
   }
+}
+
+}  // namespace
+
+Response PowerPlayApp::page_job(const Params& q) const {
+  const std::string id_text = need(q, "id");
+  const std::uint64_t id = parse_job_id(id_text);
   const auto snap = jobs_.get(id);
   if (!snap.has_value()) {
     return Response::not_found("job " + id_text);
@@ -641,11 +672,45 @@ Response PowerPlayApp::page_job(const Params& q) const {
   os << "description: " << snap->description << "\n";
   os << "status: " << engine::to_string(snap->status) << "\n";
   os << "progress: " << snap->done << "/" << snap->total << "\n";
-  if (snap->status == engine::JobStatus::kFailed) {
+  if (snap->status == engine::JobStatus::kFailed ||
+      snap->status == engine::JobStatus::kCancelled) {
     os << "error: " << snap->error << "\n";
   }
   if (snap->status == engine::JobStatus::kDone) {
     os << "\n" << snap->result.table;
+  }
+  return Response::ok_text(os.str());
+}
+
+Response PowerPlayApp::do_job_cancel(const Params& q) {
+  const std::string user = authorized_user(q).username;
+  const std::string id_text = need(q, "id");
+  const std::uint64_t id = parse_job_id(id_text);
+  const auto snap = jobs_.get(id);
+  if (!snap.has_value()) {
+    return Response::not_found("job " + id_text);
+  }
+  if (snap->user != user) {
+    throw AccessDenied("job " + id_text + " belongs to another user");
+  }
+  std::ostringstream os;
+  os << "id: " << id << "\n";
+  switch (jobs_.cancel(id)) {
+    case engine::CancelOutcome::kCancelled:
+      os << "status: cancelled\n";
+      break;
+    case engine::CancelOutcome::kRequested:
+      // The job stops at its next sweep point; poll /job for the
+      // terminal status.
+      os << "status: cancelling\n";
+      os << "poll: /job?id=" << id << "\n";
+      break;
+    case engine::CancelOutcome::kAlreadyFinished:
+      os << "status: " << engine::to_string(snap->status) << "\n";
+      os << "note: job had already finished\n";
+      break;
+    case engine::CancelOutcome::kNoSuchJob:
+      return Response::not_found("job " + id_text);
   }
   return Response::ok_text(os.str());
 }

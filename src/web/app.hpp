@@ -25,6 +25,7 @@
 //   POST /design/sweep        — enqueue a sweep job, answer with its id
 //   GET  /job?id=N            — poll status/progress; result when done
 //   GET  /jobs?user=U         — a user's jobs, newest first
+//   POST /job/cancel?id=N     — cooperative cancel (owner only)
 //
 // Remote model-access protocol (Figures 6/7), plain-text bodies in the
 // library serialization format:
@@ -68,9 +69,17 @@ class PowerPlayApp {
  public:
   /// `store` is this site's library; the registry starts from the
   /// built-in characterized library plus every stored user model.
-  /// `engine_options` sizes the evaluation thread pool and Play cache.
+  /// `engine_options` sizes the evaluation thread pool and Play cache;
+  /// `job_options` sizes the job runner pool and sets the per-job
+  /// wall-clock deadline.
   explicit PowerPlayApp(library::LibraryStore store,
-                        engine::EngineOptions engine_options = {});
+                        engine::EngineOptions engine_options = {},
+                        engine::JobOptions job_options = {});
+
+  /// Graceful shutdown: drain the job runners (cancelling queued and
+  /// running jobs), then flush/compact the store's journal.  Call after
+  /// the HttpServer has stopped accepting requests.
+  void shutdown();
 
   /// Dispatch one request.  Thread-safe: requests for distinct users
   /// run concurrently; only library mutations take the exclusive lock.
@@ -102,6 +111,7 @@ class PowerPlayApp {
   Response do_design_sweep(const Params& q);
   Response page_job(const Params& q) const;
   Response page_jobs(const Params& q) const;
+  Response do_job_cancel(const Params& q);
   Response page_new_model(const Params& q) const;
   Response do_new_model(const Params& q);
   Response page_doc(const Params& q) const;

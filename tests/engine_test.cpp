@@ -310,6 +310,142 @@ TEST(JobManager, FailedJobCarriesError) {
   EXPECT_EQ(jobs.stats().failed, 1u);
 }
 
+TEST(JobManager, CancelQueuedJobNeverRuns) {
+  JobManager jobs(1, 16);
+  std::atomic<bool> release{false};
+  std::atomic<bool> victim_ran{false};
+  jobs.submit("dl", "blocker", [&](const JobManager::Progress&) {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return JobResult{};
+  });
+  const std::uint64_t victim =
+      jobs.submit("dl", "victim", [&](const JobManager::Progress&) {
+        victim_ran = true;
+        return JobResult{};
+      });
+  EXPECT_EQ(jobs.cancel(victim), CancelOutcome::kCancelled);
+  release = true;
+  jobs.wait_idle();
+  const auto snap = jobs.get(victim);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->status, JobStatus::kCancelled);
+  EXPECT_FALSE(victim_ran.load());
+  EXPECT_EQ(jobs.stats().cancelled_total, 1u);
+  // Cancelling a finished job is a no-op.
+  EXPECT_EQ(jobs.cancel(victim), CancelOutcome::kAlreadyFinished);
+  EXPECT_EQ(jobs.cancel(9999), CancelOutcome::kNoSuchJob);
+}
+
+TEST(JobManager, CancelRunningJobStopsAtNextProgressPoint) {
+  JobManager jobs(1, 16);
+  std::atomic<bool> started{false};
+  const std::uint64_t id =
+      jobs.submit("dl", "long", [&](const JobManager::Progress& progress) {
+        for (std::size_t i = 0;; ++i) {
+          started = true;
+          progress(i, 0);  // throws JobCancelled once the flag is up
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        return JobResult{};
+      });
+  while (!started.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(jobs.cancel(id), CancelOutcome::kRequested);
+  jobs.wait_idle();  // returns promptly: the runner was freed
+  const auto snap = jobs.get(id);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->status, JobStatus::kCancelled);
+  EXPECT_EQ(snap->error, "job cancelled");
+  EXPECT_EQ(jobs.stats().cancelled_total, 1u);
+}
+
+TEST(JobManager, DeadlineExpiryFailsTheJob) {
+  JobOptions options;
+  options.runner_count = 1;
+  options.deadline = std::chrono::milliseconds(30);
+  JobManager jobs(options);
+  const std::uint64_t id =
+      jobs.submit("dl", "runaway", [](const JobManager::Progress& progress) {
+        for (std::size_t i = 0;; ++i) {
+          progress(i, 0);  // throws JobDeadlineExceeded past the budget
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        return JobResult{};
+      });
+  jobs.wait_idle();
+  const auto snap = jobs.get(id);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->status, JobStatus::kFailed);
+  EXPECT_EQ(snap->error, "deadline exceeded");
+  EXPECT_EQ(jobs.stats().deadline_expired_total, 1u);
+}
+
+TEST(JobManager, DrainCancelsEverythingAndRejectsNewWork) {
+  JobManager jobs(1, 16);
+  std::atomic<bool> started{false};
+  const std::uint64_t running =
+      jobs.submit("dl", "running", [&](const JobManager::Progress& progress) {
+        for (std::size_t i = 0;; ++i) {
+          started = true;
+          progress(i, 0);
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        return JobResult{};
+      });
+  const std::uint64_t queued = jobs.submit(
+      "dl", "queued", [](const JobManager::Progress&) { return JobResult{}; });
+  while (!started.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  jobs.drain();
+  EXPECT_EQ(jobs.get(running)->status, JobStatus::kCancelled);
+  EXPECT_EQ(jobs.get(queued)->status, JobStatus::kCancelled);
+  // Post-drain submissions are admitted but immediately cancelled.
+  const std::uint64_t late = jobs.submit(
+      "dl", "late", [](const JobManager::Progress&) { return JobResult{}; });
+  const auto snap = jobs.get(late);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->status, JobStatus::kCancelled);
+  EXPECT_EQ(jobs.stats().cancelled_total, 3u);
+}
+
+TEST(JobManager, CancelledSweepFreesItsRunner) {
+  // End-to-end through the engine: the Progress wrapper's exception has
+  // to propagate out of parallel_for / TaskGroup and stop the sweep
+  // within one point's granularity.
+  EvalEngine engine({{2, 64}, 1024});
+  JobManager jobs(1, 16);
+  const sheet::Design d = adder_design();
+  std::atomic<bool> started{false};
+  const std::uint64_t id = jobs.submit(
+      "dl", "sweep", [&](const JobManager::Progress& progress) {
+        const auto points = engine.sweep_global(
+            d, "vdd", sheet::linspace(1.0, 3.0, 400),
+            [&](std::size_t done, std::size_t total) {
+              started = true;
+              progress(done, total);
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            });
+        return JobResult{"done", "done"};
+      });
+  while (!started.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  jobs.cancel(id);
+  jobs.wait_idle();
+  const auto snap = jobs.get(id);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->status, JobStatus::kCancelled);
+  // The freed runner picks up new work.
+  const std::uint64_t next = jobs.submit(
+      "dl", "after", [](const JobManager::Progress&) { return JobResult{}; });
+  jobs.wait_idle();
+  EXPECT_EQ(jobs.get(next)->status, JobStatus::kDone);
+}
+
 TEST(JobManager, RetainedHistoryIsBounded) {
   JobManager jobs(1, 4);
   for (int i = 0; i < 10; ++i) {

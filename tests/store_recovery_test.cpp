@@ -1,0 +1,483 @@
+// Fault-injection tests for the durability layer: checksum footers,
+// journal framing, and crash recovery.  The strategy throughout is to
+// build a store, mutilate its files the way a crash or bit rot would
+// (truncate at every interesting boundary, flip bytes), reopen, and
+// assert the store comes back holding exactly the acknowledged state.
+#include "library/durable.hpp"
+#include "library/journal.hpp"
+#include "library/store.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace powerplay::library {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Unique temp directory per test, removed on destruction.
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("pp_recovery_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter()++));
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  static int& counter() {
+    static int c = 0;
+    return c;
+  }
+};
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void spew(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+model::UserModelDefinition tiny_model(const std::string& name) {
+  model::UserModelDefinition def;
+  def.name = name;
+  def.category = model::Category::kStorage;
+  def.documentation = "recovery test model";
+  def.params = {{"words", "entries", 256, "", 1, 65536, true}};
+  def.c_fullswing = "words * 1e-15";
+  return def;
+}
+
+std::vector<fs::path> files_in(const fs::path& dir) {
+  std::vector<fs::path> out;
+  if (!fs::exists(dir)) return out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) out.push_back(entry.path());
+  }
+  return out;
+}
+
+// --- checksum footer primitives -------------------------------------------
+
+TEST(Durable, Crc32KnownVector) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0u);
+}
+
+TEST(Durable, FooterRoundTrip) {
+  const std::string payload = "model \"m\" {\n}\n";
+  const std::string raw = with_checksum_footer(payload);
+  std::string back;
+  EXPECT_EQ(verify_snapshot(raw, &back), SnapshotState::kOk);
+  EXPECT_EQ(back, payload);
+}
+
+TEST(Durable, FooterDetectsTruncationAtEveryLength) {
+  const std::string raw = with_checksum_footer("model \"m\" {\n  a 1\n}\n");
+  for (std::size_t keep = 0; keep < raw.size(); ++keep) {
+    EXPECT_NE(verify_snapshot(raw.substr(0, keep), nullptr),
+              SnapshotState::kOk)
+        << "truncation to " << keep << " bytes went undetected";
+  }
+}
+
+TEST(Durable, FooterDetectsEveryBitFlip) {
+  const std::string raw = with_checksum_footer("design \"d\" {\n}\n");
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string bad = raw;
+      bad[i] = static_cast<char>(bad[i] ^ (1 << bit));
+      EXPECT_NE(verify_snapshot(bad, nullptr), SnapshotState::kOk)
+          << "flip of bit " << bit << " at byte " << i << " went undetected";
+    }
+  }
+}
+
+TEST(Durable, MissingFooterIsNotOk) {
+  // A file written by older code (or truncated clean at a line break)
+  // has no footer; it must not verify.
+  EXPECT_EQ(verify_snapshot("model \"m\" {\n}\n", nullptr),
+            SnapshotState::kMissingFooter);
+  EXPECT_EQ(verify_snapshot("", nullptr), SnapshotState::kMissingFooter);
+}
+
+TEST(Durable, AtomicWriteLeavesNoTemp) {
+  TempDir tmp;
+  const fs::path target = tmp.path / "out.txt";
+  atomic_write_file(target, "hello\n");
+  EXPECT_EQ(slurp(target), "hello\n");
+  ASSERT_EQ(files_in(tmp.path).size(), 1u);
+}
+
+// --- journal framing -------------------------------------------------------
+
+TEST(Journal, AppendAndReadBack) {
+  TempDir tmp;
+  const fs::path jpath = tmp.path / "journal.ppwal";
+  {
+    Journal j(jpath);
+    EXPECT_TRUE(j.header_valid());
+    EXPECT_EQ(j.tail_bytes(), 0u);
+    j.append({JournalRecord::Op::kPut, "model", "m one", "contents\n"});
+    j.append({JournalRecord::Op::kDelete, "design", "d", ""});
+    EXPECT_GT(j.tail_bytes(), 0u);
+  }
+  Journal j(jpath);
+  const auto r = j.read_all();
+  EXPECT_TRUE(r.header_ok);
+  EXPECT_FALSE(r.torn);
+  ASSERT_EQ(r.records.size(), 2u);
+  EXPECT_EQ(r.records[0].op, JournalRecord::Op::kPut);
+  EXPECT_EQ(r.records[0].kind, "model");
+  EXPECT_EQ(r.records[0].name, "m one");  // quoted names survive spaces
+  EXPECT_EQ(r.records[0].contents, "contents\n");
+  EXPECT_EQ(r.records[1].op, JournalRecord::Op::kDelete);
+  EXPECT_EQ(r.records[1].name, "d");
+}
+
+TEST(Journal, TruncationAtEveryByteYieldsPrefix) {
+  TempDir tmp;
+  const fs::path jpath = tmp.path / "journal.ppwal";
+  std::vector<std::uint64_t> boundaries;  // bytes after header, per record
+  {
+    Journal j(jpath);
+    for (int i = 0; i < 3; ++i) {
+      j.append({JournalRecord::Op::kPut, "model", "m" + std::to_string(i),
+                "body " + std::to_string(i) + "\n"});
+      boundaries.push_back(j.tail_bytes());
+    }
+  }
+  const std::string bytes = slurp(jpath);
+  for (std::size_t keep = 0; keep <= bytes.size(); ++keep) {
+    const auto r = Journal::parse(bytes.substr(0, keep));
+    if (keep < Journal::kMagicSize) {
+      EXPECT_FALSE(r.header_ok) << keep;
+      continue;
+    }
+    // Count how many whole records fit in `keep` bytes.
+    std::size_t expected = 0;
+    for (const std::uint64_t b : boundaries) {
+      if (keep >= Journal::kMagicSize + b) ++expected;
+    }
+    EXPECT_EQ(r.records.size(), expected) << "at " << keep << " bytes";
+    // Torn exactly when some trailing bytes form no complete record.
+    const bool at_boundary =
+        expected == 0
+            ? keep == Journal::kMagicSize
+            : keep == Journal::kMagicSize + boundaries[expected - 1];
+    EXPECT_EQ(r.torn, !at_boundary) << "at " << keep << " bytes";
+  }
+}
+
+TEST(Journal, BitFlipStopsReplayAtFlippedRecord) {
+  TempDir tmp;
+  const fs::path jpath = tmp.path / "journal.ppwal";
+  std::uint64_t first_end = 0;
+  {
+    Journal j(jpath);
+    j.append({JournalRecord::Op::kPut, "model", "a", "aaa\n"});
+    first_end = Journal::kMagicSize + j.tail_bytes();
+    j.append({JournalRecord::Op::kPut, "model", "b", "bbb\n"});
+  }
+  const std::string bytes = slurp(jpath);
+  // Flip one bit in every byte of the second record; the first must
+  // still replay, the second never.
+  for (std::size_t i = first_end; i < bytes.size(); ++i) {
+    std::string bad = bytes;
+    bad[i] = static_cast<char>(bad[i] ^ 0x10);
+    const auto r = Journal::parse(bad);
+    EXPECT_TRUE(r.torn) << "flip at " << i;
+    ASSERT_EQ(r.records.size(), 1u) << "flip at " << i;
+    EXPECT_EQ(r.records[0].name, "a");
+  }
+}
+
+TEST(Journal, RotateEmptiesAndStaysAppendable) {
+  TempDir tmp;
+  Journal j(tmp.path / "journal.ppwal");
+  j.append({JournalRecord::Op::kPut, "model", "x", "x\n"});
+  j.rotate();
+  EXPECT_EQ(j.tail_bytes(), 0u);
+  j.append({JournalRecord::Op::kPut, "model", "y", "y\n"});
+  const auto r = j.read_all();
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0].name, "y");
+}
+
+// --- store crash recovery --------------------------------------------------
+
+TEST(StoreRecovery, CorruptSnapshotRecoveredFromJournal) {
+  TempDir tmp;
+  {
+    LibraryStore store(tmp.path);
+    store.save_model(tiny_model("precious"));
+  }
+  // Bit rot / torn write on the materialized file.
+  const fs::path victim = tmp.path / "models" / "precious.ppmodel";
+  std::string bytes = slurp(victim);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 1);
+  spew(victim, bytes);
+
+  LibraryStore store(tmp.path);
+  const auto loaded = store.load_model("precious");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->c_fullswing, tiny_model("precious").c_fullswing);
+  const DurabilityStats stats = store.durability();
+  EXPECT_GE(stats.journal_replayed, 1u);
+  EXPECT_GE(stats.quarantined_files, 1u);
+  EXPECT_FALSE(files_in(tmp.path / "quarantine").empty());
+}
+
+TEST(StoreRecovery, MissingSnapshotsRebuiltFromJournal) {
+  TempDir tmp;
+  UserProfile profile;
+  profile.username = "alice";
+  profile.defaults = {{"vdd", 3.3}};
+  {
+    LibraryStore store(tmp.path);
+    store.save_model(tiny_model("m1"));
+    store.save_model(tiny_model("m2"));
+    store.save_user(profile);
+  }
+  // Worst case: every materialized file vanished; only the journal is
+  // left.
+  for (const char* dir : {"models", "users"}) {
+    for (const fs::path& f : files_in(tmp.path / dir)) fs::remove(f);
+  }
+
+  LibraryStore store(tmp.path);
+  EXPECT_EQ(store.list_models(), (std::vector<std::string>{"m1", "m2"}));
+  const auto alice = store.load_user("alice");
+  ASSERT_TRUE(alice.has_value());
+  EXPECT_DOUBLE_EQ(alice->defaults.at("vdd"), 3.3);
+  EXPECT_EQ(store.durability().journal_replayed, 3u);
+}
+
+TEST(StoreRecovery, TornJournalTailSweepRecoversAcknowledgedPrefix) {
+  TempDir tmp;
+  const int kModels = 3;
+  {
+    LibraryStore store(tmp.path);
+    for (int i = 0; i < kModels; ++i) {
+      store.save_model(tiny_model("m" + std::to_string(i)));
+    }
+  }
+  const std::string journal_bytes = slurp(tmp.path / "journal.ppwal");
+
+  // Crash-simulate: at every truncation point of the journal (with all
+  // snapshots gone), recovery must yield exactly the models whose
+  // records frame-complete before the cut — the acknowledged prefix.
+  // Every byte of the final 80 (covering the last record's frame and
+  // both of its boundaries), every 7th byte before that.
+  const auto full = Journal::parse(journal_bytes);
+  ASSERT_EQ(full.records.size(), static_cast<std::size_t>(kModels));
+  ASSERT_FALSE(full.torn);
+  std::vector<std::size_t> cuts;
+  const std::size_t tail_start =
+      journal_bytes.size() > 80 ? journal_bytes.size() - 80
+                                : Journal::kMagicSize;
+  for (std::size_t keep = Journal::kMagicSize; keep < tail_start; keep += 7) {
+    cuts.push_back(keep);
+  }
+  for (std::size_t keep = tail_start; keep <= journal_bytes.size(); ++keep) {
+    cuts.push_back(keep);
+  }
+
+  for (const std::size_t keep : cuts) {
+    const std::string cut = journal_bytes.substr(0, keep);
+    const auto expected = Journal::parse(cut);
+    std::set<std::string> expected_names;
+    for (const auto& rec : expected.records) expected_names.insert(rec.name);
+
+    TempDir crash;
+    spew(crash.path / "journal.ppwal", cut);
+    {
+      LibraryStore store(crash.path);
+      const auto names = store.list_models();
+      EXPECT_EQ(std::set<std::string>(names.begin(), names.end()),
+                expected_names)
+          << "journal truncated to " << keep << " bytes";
+      for (const std::string& name : expected_names) {
+        EXPECT_TRUE(store.load_model(name).has_value()) << name;
+      }
+      EXPECT_EQ(store.durability().journal_replayed,
+                expected.records.size());
+    }
+    // Recovery compacted the journal: a second open replays nothing
+    // and still sees every acknowledged model.
+    LibraryStore again(crash.path);
+    EXPECT_EQ(again.durability().journal_replayed, 0u);
+    EXPECT_EQ(again.list_models().size(), expected_names.size());
+  }
+}
+
+TEST(StoreRecovery, DeleteOpsReplayCorrectly) {
+  TempDir tmp;
+  {
+    LibraryStore store(tmp.path);
+    store.save_model(tiny_model("doomed"));
+    store.save_model(tiny_model("kept"));
+    EXPECT_TRUE(store.remove_model("doomed"));
+    EXPECT_FALSE(store.remove_model("doomed"));  // already gone
+  }
+  // Wipe the materialized tree; replay must re-create "kept" and
+  // re-delete "doomed".
+  for (const fs::path& f : files_in(tmp.path / "models")) fs::remove(f);
+  LibraryStore store(tmp.path);
+  EXPECT_EQ(store.list_models(), (std::vector<std::string>{"kept"}));
+}
+
+TEST(StoreRecovery, StaleTempFilesSweptAtOpen) {
+  TempDir tmp;
+  { LibraryStore store(tmp.path); }
+  const fs::path stale = tmp.path / "models" / "half.ppmodel.tmp999.0";
+  spew(stale, "partial write that never committed");
+  LibraryStore store(tmp.path);
+  EXPECT_FALSE(fs::exists(stale));
+  EXPECT_TRUE(store.list_models().empty());
+}
+
+TEST(StoreRecovery, QuarantinePreservesCorruptBytes) {
+  TempDir tmp;
+  {
+    LibraryStore store(tmp.path);
+    store.save_model(tiny_model("m"));
+  }
+  const std::string garbage = "!! not a model at all !!";
+  spew(tmp.path / "models" / "m.ppmodel", garbage);
+  LibraryStore store(tmp.path);
+  // The corrupt bytes live on in quarantine/ — never silently deleted.
+  bool found = false;
+  for (const fs::path& f : files_in(tmp.path / "quarantine")) {
+    if (slurp(f) == garbage) found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(store.durability().quarantined_files, 1u);
+}
+
+TEST(StoreRecovery, ForeignJournalQuarantinedNotDeleted) {
+  TempDir tmp;
+  { LibraryStore store(tmp.path); }
+  spew(tmp.path / "journal.ppwal", "this is no journal");
+  LibraryStore store(tmp.path);
+  EXPECT_GE(store.durability().quarantined_files, 1u);
+  // And the journal works again.
+  store.save_model(tiny_model("after"));
+  EXPECT_TRUE(store.load_model("after").has_value());
+}
+
+TEST(StoreRecovery, RotationBoundsJournalAndSurvivesReopen) {
+  TempDir tmp;
+  StoreOptions tiny;
+  tiny.journal_rotate_bytes = 1;  // rotate after every commit
+  {
+    LibraryStore store(tmp.path, tiny);
+    store.save_model(tiny_model("a"));
+    store.save_model(tiny_model("b"));
+    EXPECT_GE(store.durability().journal_rotations, 2u);
+  }
+  LibraryStore store(tmp.path);
+  // Nothing left to replay — the snapshots carry the state.
+  EXPECT_EQ(store.durability().journal_replayed, 0u);
+  EXPECT_TRUE(store.load_model("a").has_value());
+  EXPECT_TRUE(store.load_model("b").has_value());
+}
+
+TEST(StoreRecovery, FlushCompactsJournal) {
+  TempDir tmp;
+  {
+    LibraryStore store(tmp.path);
+    store.save_model(tiny_model("m"));
+    store.flush();
+  }
+  EXPECT_EQ(slurp(tmp.path / "journal.ppwal"),
+            std::string(Journal::kMagic));
+  LibraryStore store(tmp.path);
+  EXPECT_EQ(store.durability().journal_replayed, 0u);
+  EXPECT_TRUE(store.load_model("m").has_value());
+}
+
+TEST(StoreRecovery, CorruptUserReportedAbsent) {
+  TempDir tmp;
+  {
+    LibraryStore store(tmp.path);
+    UserProfile p;
+    p.username = "bob";
+    store.save_user(p);
+    store.flush();  // discard journal so recovery cannot resurrect bob
+  }
+  spew(tmp.path / "users" / "bob.ppuser", "user \"bob\" {}\n");  // no footer
+  LibraryStore store(tmp.path);
+  EXPECT_FALSE(store.load_user("bob").has_value());
+  EXPECT_GE(store.durability().quarantined_files, 1u);
+}
+
+TEST(StoreRecovery, NoTempFilesVisibleAfterSaves) {
+  TempDir tmp;
+  LibraryStore store(tmp.path);
+  for (int i = 0; i < 8; ++i) {
+    store.save_model(tiny_model("m" + std::to_string(i)));
+  }
+  for (const char* dir : {"models", "designs", "users"}) {
+    for (const fs::path& f : files_in(tmp.path / dir)) {
+      EXPECT_EQ(f.filename().string().find(".tmp"), std::string::npos)
+          << f;
+    }
+  }
+}
+
+// --- fsck -------------------------------------------------------------------
+
+TEST(Fsck, CleanStoreIsClean) {
+  TempDir tmp;
+  {
+    LibraryStore store(tmp.path);
+    store.save_model(tiny_model("m"));
+  }
+  const FsckReport report = fsck_store(tmp.path);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.files_checked, 1u);
+  EXPECT_TRUE(report.journal_present);
+  EXPECT_EQ(report.journal_records, 1u);
+}
+
+TEST(Fsck, DetectsCorruptionWithoutMutating) {
+  TempDir tmp;
+  {
+    LibraryStore store(tmp.path);
+    store.save_model(tiny_model("m"));
+  }
+  const fs::path victim = tmp.path / "models" / "m.ppmodel";
+  std::string bytes = slurp(victim);
+  bytes[0] = static_cast<char>(bytes[0] ^ 1);
+  spew(victim, bytes);
+  // Torn journal tail too.
+  const std::string journal = slurp(tmp.path / "journal.ppwal");
+  spew(tmp.path / "journal.ppwal",
+       journal.substr(0, journal.size() - 3));
+
+  const FsckReport report = fsck_store(tmp.path);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.corrupt, 1u);
+  EXPECT_TRUE(report.journal_torn);
+  EXPECT_FALSE(report.problems.empty());
+  // Read-only: the corrupt file is still at its original path and
+  // nothing was quarantined.
+  EXPECT_TRUE(fs::exists(victim));
+  EXPECT_TRUE(files_in(tmp.path / "quarantine").empty());
+}
+
+}  // namespace
+}  // namespace powerplay::library

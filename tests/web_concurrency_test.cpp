@@ -290,16 +290,93 @@ TEST_F(ConcurrencyFixture, ParallelSweepJobs) {
   app->jobs().wait_idle();
 }
 
-// /healthz reports the engine, cache and job counters.
+// /healthz reports the engine, cache, job-lifecycle and store-
+// durability counters.
 TEST_F(ConcurrencyFixture, HealthzReportsEngineStats) {
   const Response r = get("/healthz");
   EXPECT_EQ(r.status, 200);
   for (const char* key :
        {"cache_hits", "cache_misses", "cache_evictions", "cache_size",
         "engine_threads", "engine_tasks_executed", "engine_queue_depth",
-        "jobs_queued", "jobs_running", "jobs_done", "jobs_failed"}) {
+        "jobs_queued", "jobs_running", "jobs_done", "jobs_failed",
+        "jobs_cancelled", "jobs_cancelled_total",
+        "jobs_deadline_expired_total", "journal_appends",
+        "journal_replayed", "journal_rotations", "snapshot_writes",
+        "quarantined_files"}) {
     EXPECT_NE(r.body.find(key), std::string::npos) << key;
   }
+}
+
+// Cancel over live HTTP: only the owner may cancel, the terminal
+// status is visible via GET /job, and /healthz counts it.
+TEST_F(ConcurrencyFixture, JobCancelOverHttp) {
+  ASSERT_EQ(post("/design/add", {{"user", "dl"},
+                                 {"model", "register"},
+                                 {"design", "C"},
+                                 {"row", "R"},
+                                 {"p_bits", "8"},
+                                 {"p_f", "1000000"}})
+                .status,
+            200);
+  // Two sizable grid jobs on the single runner: the first occupies it,
+  // the second is the cancel target — either still queued behind the
+  // first or (if the first already finished) too big to have completed
+  // inside the cancel round trip.
+  ASSERT_EQ(post("/design/sweep", {{"user", "dl"},    {"name", "C"},
+                                   {"x_param", "vdd"}, {"x_from", "1.0"},
+                                   {"x_to", "3.0"},    {"x_points", "64"},
+                                   {"y_param", "f"},   {"y_from", "1e6"},
+                                   {"y_to", "4e6"},    {"y_points", "64"}})
+                .status,
+            200);
+  // Different axis ranges: no Play-cache hits, so this one cannot race
+  // to completion inside the cancel round trip.
+  const Response submit =
+      post("/design/sweep", {{"user", "dl"},    {"name", "C"},
+                             {"x_param", "vdd"}, {"x_from", "0.7"},
+                             {"x_to", "2.9"},    {"x_points", "64"},
+                             {"y_param", "f"},   {"y_from", "2e6"},
+                             {"y_to", "5e6"},    {"y_points", "64"}});
+  ASSERT_EQ(submit.status, 200) << submit.body;
+  const std::string id = submit.body.substr(4, submit.body.find('\n') - 4);
+
+  // Another user may not cancel it.
+  EXPECT_EQ(post("/job/cancel", {{"user", "mallory"}, {"id", id}}).status,
+            403);
+
+  const Response cancel = post("/job/cancel", {{"user", "dl"}, {"id", id}});
+  ASSERT_EQ(cancel.status, 200) << cancel.body;
+  EXPECT_NE(cancel.body.find("status: cancel"), std::string::npos)
+      << cancel.body;  // "cancelled" (queued) or "cancelling" (running)
+
+  // The job reaches the terminal cancelled state and frees its runner.
+  std::string status;
+  for (int i = 0; i < 500; ++i) {
+    const Response poll = get("/job?id=" + id);
+    const auto line = poll.body.find("status: ");
+    ASSERT_NE(line, std::string::npos);
+    status =
+        poll.body.substr(line + 8, poll.body.find('\n', line) - line - 8);
+    if (status != "queued" && status != "running") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(status, "cancelled");
+  app->jobs().wait_idle();
+
+  // Cancelling again reports the job already finished.
+  const Response again = post("/job/cancel", {{"user", "dl"}, {"id", id}});
+  EXPECT_NE(again.body.find("already finished"), std::string::npos)
+      << again.body;
+  // Unknown and malformed ids.
+  EXPECT_EQ(post("/job/cancel", {{"user", "dl"}, {"id", "424242"}}).status,
+            404);
+  EXPECT_EQ(post("/job/cancel", {{"user", "dl"}, {"id", "nope"}}).status,
+            400);
+
+  const Response health = get("/healthz");
+  EXPECT_NE(health.body.find("jobs_cancelled_total: 1"),
+            std::string::npos)
+      << health.body;
 }
 
 }  // namespace
