@@ -136,16 +136,64 @@ void Journal::append(const JournalRecord& record) {
   }
   std::size_t written = 0;
   while (written < frame.size()) {
-    const ssize_t n =
-        ::write(fd_, frame.data() + written, frame.size() - written);
+    const std::size_t want = frame.size() - written;
+    if (want > write_budget_for_testing_) {
+      // Injected mid-frame failure (as ENOSPC/EIO would strike): leave
+      // the bytes the kernel already took, then report the error.
+      const std::size_t partial = static_cast<std::size_t>(
+          write_budget_for_testing_);
+      write_budget_for_testing_ = kUnlimitedWrites;
+      if (partial > 0) {
+        [[maybe_unused]] const ssize_t torn =
+            ::write(fd_, frame.data() + written, partial);
+      }
+      unwind_failed_append_locked();
+      errno = ENOSPC;
+      fail_errno("append to journal " + path_.string());
+    }
+    const ssize_t n = ::write(fd_, frame.data() + written, want);
     if (n < 0) {
       if (errno == EINTR) continue;
+      const int err = errno;
+      unwind_failed_append_locked();
+      errno = err;
       fail_errno("append to journal " + path_.string());
     }
     written += static_cast<std::size_t>(n);
+    if (write_budget_for_testing_ != kUnlimitedWrites) {
+      write_budget_for_testing_ -= static_cast<std::uint64_t>(n);
+    }
   }
-  fsync_fd(fd_, path_);  // the ack point: the record is now durable
+  if (::fsync(fd_) != 0) {
+    const int err = errno;
+    unwind_failed_append_locked();
+    errno = err;
+    fail_errno("fsync " + path_.string());
+  }
+  // The ack point: the record is now durable.
   size_ += frame.size();
+}
+
+void Journal::unwind_failed_append_locked() {
+  // A failed append may leave torn frame bytes past size_.  If they
+  // stayed, the O_APPEND descriptor would place later (acknowledged)
+  // records after them — and replay, which stops at the first torn
+  // frame, could never reach those records after a crash.  Cut the file
+  // back to the last durable boundary; if even that fails, close the
+  // descriptor so further appends refuse (fail-stop) instead of
+  // silently writing unreachable records.
+  if (fd_ < 0) return;
+  if (::ftruncate(fd_, static_cast<off_t>(size_)) == 0 &&
+      ::fsync(fd_) == 0) {
+    return;
+  }
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void Journal::fail_next_write_for_testing(std::uint64_t after_bytes) {
+  std::lock_guard lock(mutex_);
+  write_budget_for_testing_ = after_bytes;
 }
 
 Journal::ReadResult Journal::read_all() const {

@@ -85,14 +85,25 @@ class Journal {
   /// Parse a journal byte blob (fsck and tests).
   [[nodiscard]] static ReadResult parse(const std::string& bytes);
 
+  /// Fault injection for the recovery tests: the next append fails (as
+  /// ENOSPC would) after writing `after_bytes` bytes of its frame,
+  /// leaving a torn tail for the unwind path to clean up.  One-shot.
+  void fail_next_write_for_testing(std::uint64_t after_bytes);
+
  private:
+  static constexpr std::uint64_t kUnlimitedWrites = ~0ull;
+
   void open_for_append_locked();
+  /// Truncate away the torn bytes of a failed append (or fail-stop by
+  /// closing the descriptor) so later appends stay reachable by replay.
+  void unwind_failed_append_locked();
 
   std::filesystem::path path_;
   mutable std::mutex mutex_;
   int fd_ = -1;
   bool header_valid_ = true;
   std::uint64_t size_ = 0;  ///< current file size in bytes
+  std::uint64_t write_budget_for_testing_ = kUnlimitedWrites;
 };
 
 }  // namespace powerplay::library

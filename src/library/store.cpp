@@ -51,10 +51,39 @@ std::vector<std::string> list_stems(const fs::path& dir,
   return out;
 }
 
-/// In-flight temp files carry ".tmp<pid>.<seq>" after the real name;
-/// they are garbage by construction (a completed write renamed them).
+bool all_digits(const std::string& s, std::size_t begin, std::size_t end) {
+  if (begin >= end) return false;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+  }
+  return true;
+}
+
+/// In-flight temp files from atomic_write_file are named
+/// "<name>.<ext>.tmp<pid>.<seq>"; such a file is garbage by
+/// construction (a completed write renamed it away).  Match that exact
+/// shape — a known store extension, then ".tmp", digits, '.', digits at
+/// end of name — because store names may themselves contain ".tmp"
+/// (e.g. an entry "rev.tmp" materializes as "rev.tmp.ppdesign") and
+/// must never be swept as garbage.
 bool is_temp_file(const fs::path& path) {
-  return path.filename().string().find(".tmp") != std::string::npos;
+  const std::string name = path.filename().string();
+  const std::size_t tmp = name.rfind(".tmp");
+  if (tmp == std::string::npos) return false;
+  const std::size_t dot = name.find('.', tmp + 4);
+  if (dot == std::string::npos) return false;
+  if (!all_digits(name, tmp + 4, dot) ||
+      !all_digits(name, dot + 1, name.size())) {
+    return false;
+  }
+  const auto base_ends_with = [&](const std::string& ext) {
+    return tmp >= ext.size() &&
+           name.compare(tmp - ext.size(), ext.size(), ext) == 0;
+  };
+  for (const KindLayout& layout : kKinds) {
+    if (base_ends_with(layout.extension)) return true;
+  }
+  return base_ends_with(".ppwal");
 }
 
 }  // namespace
@@ -140,7 +169,8 @@ UserProfile parse_user_profile(const std::string& text) {
 LibraryStore::LibraryStore(fs::path root, StoreOptions options)
     : root_(std::move(root)),
       options_(options),
-      counters_(std::make_unique<Counters>()) {
+      counters_(std::make_unique<Counters>()),
+      commit_mutex_(std::make_unique<std::mutex>()) {
   fs::create_directories(root_ / "models");
   fs::create_directories(root_ / "designs");
   fs::create_directories(root_ / "users");
@@ -174,6 +204,11 @@ fs::path LibraryStore::path_for(const std::string& kind,
 // ---------------------------------------------------------------------------
 
 void LibraryStore::commit(const JournalRecord& record) {
+  // Append→apply→rotate must be atomic with respect to other commits:
+  // distinct users' writes reach here concurrently, and a rotate()
+  // issued while another thread's record is appended (fsync'd, ack'd)
+  // but not yet applied would truncate that record's only durable copy.
+  std::lock_guard lock(*commit_mutex_);
   journal_->append(record);  // fsync'd: the mutation is now acknowledged
   counters_->journal_appends.fetch_add(1);
   apply(record);
@@ -284,6 +319,7 @@ DurabilityStats LibraryStore::durability() const {
 }
 
 void LibraryStore::flush() {
+  std::lock_guard lock(*commit_mutex_);
   if (journal_->tail_bytes() > 0) {
     journal_->rotate();
     counters_->journal_rotations.fetch_add(1);

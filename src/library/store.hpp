@@ -29,6 +29,7 @@
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -176,6 +177,11 @@ class LibraryStore {
   StoreOptions options_;
   std::unique_ptr<Journal> journal_;
   std::unique_ptr<Counters> counters_;
+  /// Serializes commit()/flush(): rotation must never run between
+  /// another thread's journal append and its apply() — the tail it
+  /// truncates would hold that record's only durable copy.  Heap-held
+  /// so the store stays movable.
+  std::unique_ptr<std::mutex> commit_mutex_;
 };
 
 /// Read-only integrity check of a store directory: verify every

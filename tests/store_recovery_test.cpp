@@ -6,12 +6,14 @@
 #include "library/durable.hpp"
 #include "library/journal.hpp"
 #include "library/store.hpp"
+#include "library/textio.hpp"
 
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -204,6 +206,35 @@ TEST(Journal, BitFlipStopsReplayAtFlippedRecord) {
   }
 }
 
+TEST(Journal, FailedAppendDoesNotOrphanLaterRecords) {
+  // A write that dies mid-frame (ENOSPC/EIO) must not leave torn bytes
+  // in place: the O_APPEND descriptor would put later acknowledged
+  // records after them, where replay — which stops at the first torn
+  // frame — could never reach them.
+  TempDir tmp;
+  Journal j(tmp.path / "journal.ppwal");
+  std::vector<std::string> expected;
+  int seq = 0;
+  for (const std::uint64_t cut : {0u, 1u, 4u, 8u, 13u}) {
+    j.fail_next_write_for_testing(cut);
+    EXPECT_THROW(
+        j.append({JournalRecord::Op::kPut, "model", "torn", "torn\n"}),
+        FormatError)
+        << "cut at " << cut;
+    // The torn bytes were truncated away; the next append is reachable.
+    const std::string name = "ok" + std::to_string(seq++);
+    j.append({JournalRecord::Op::kPut, "model", name, "body\n"});
+    expected.push_back(name);
+    const auto r = j.read_all();
+    EXPECT_TRUE(r.header_ok) << "cut at " << cut;
+    EXPECT_FALSE(r.torn) << "cut at " << cut;
+    ASSERT_EQ(r.records.size(), expected.size()) << "cut at " << cut;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(r.records[i].name, expected[i]);
+    }
+  }
+}
+
 TEST(Journal, RotateEmptiesAndStaysAppendable) {
   TempDir tmp;
   Journal j(tmp.path / "journal.ppwal");
@@ -347,6 +378,65 @@ TEST(StoreRecovery, StaleTempFilesSweptAtOpen) {
   LibraryStore store(tmp.path);
   EXPECT_FALSE(fs::exists(stale));
   EXPECT_TRUE(store.list_models().empty());
+}
+
+TEST(StoreRecovery, DottedTmpNamesAreNotSweptAsTempFiles) {
+  // Store names may contain ".tmp" (dots are legal); the recovery
+  // sweep must only unlink the exact "<ext>.tmp<pid>.<seq>" temp shape,
+  // never a materialized entry.  flush() first so the journal is empty
+  // and replay could not mask an over-eager sweep.
+  TempDir tmp;
+  {
+    LibraryStore store(tmp.path);
+    store.save_model(tiny_model("rev.tmp"));
+    store.save_model(tiny_model("v2.tmp31.7"));
+    store.flush();
+  }
+  LibraryStore store(tmp.path);
+  EXPECT_TRUE(store.load_model("rev.tmp").has_value());
+  EXPECT_TRUE(store.load_model("v2.tmp31.7").has_value());
+  EXPECT_EQ(store.durability().quarantined_files, 0u);
+  const FsckReport report = fsck_store(tmp.path);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.files_checked, 2u);  // fsck verifies them too
+}
+
+TEST(StoreRecovery, ConcurrentCommitsWithRotationLoseNothing) {
+  // Distinct users' writes hit commit() concurrently; aggressive
+  // rotation must never truncate a record another thread has appended
+  // (acknowledged) but not yet applied.
+  TempDir tmp;
+  StoreOptions aggressive;
+  aggressive.journal_rotate_bytes = 1;  // rotate after every commit
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 8;
+  {
+    LibraryStore store(tmp.path, aggressive);
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&store, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          UserProfile p;
+          p.username =
+              "u" + std::to_string(t) + "_" + std::to_string(i);
+          p.defaults = {{"vdd", 1.0 + t}};
+          store.save_user(p);
+        }
+      });
+    }
+    for (std::thread& w : writers) w.join();
+  }
+  LibraryStore store(tmp.path);
+  EXPECT_EQ(store.list_users().size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      EXPECT_TRUE(
+          store.load_user("u" + std::to_string(t) + "_" +
+                          std::to_string(i))
+              .has_value());
+    }
+  }
 }
 
 TEST(StoreRecovery, QuarantinePreservesCorruptBytes) {
