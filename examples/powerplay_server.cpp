@@ -1,6 +1,17 @@
 // powerplay_server — run the PowerPlay WWW application.
 //
-//   $ ./powerplay_server [port] [data-dir]
+//   $ ./powerplay_server [port] [data-dir] [flags]
+//
+// Flags (positional port/data-dir still work for compatibility):
+//
+//   --port N            listen port (default 8080; 0 = ephemeral)
+//   --data DIR          persistent library directory (default powerplay_data)
+//   --workers N         handler worker threads (default 4)
+//   --queue N           parsed-request queue capacity before shedding (default 64)
+//   --io-timeout-ms N   per-request read/write deadline (default 15000)
+//   --keepalive-max N   requests served per connection before close (default 100)
+//   --idle-timeout-ms N keep-alive idle window before silent close (default 5000)
+//   --no-cache          disable the rendered-response cache
 //
 // Then point any browser (or curl) at it:
 //
@@ -18,6 +29,8 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "library/store.hpp"
 #include "models/berkeley_library.hpp"
@@ -31,15 +44,79 @@ namespace {
 volatile std::sig_atomic_t g_stop = 0;
 void handle_signal(int) { g_stop = 1; }
 
+long flag_value(const char* flag, const char* value) {
+  char* end = nullptr;
+  const long v = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || v < 0) {
+    std::fprintf(stderr, "bad value for %s: '%s'\n", flag, value);
+    std::exit(2);
+  }
+  return v;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace powerplay;
-  const std::uint16_t port =
-      argc > 1 ? static_cast<std::uint16_t>(std::atoi(argv[1])) : 8080;
-  const std::string data_dir = argc > 2 ? argv[2] : "powerplay_data";
 
-  web::PowerPlayApp app{library::LibraryStore(data_dir)};
+  std::uint16_t port = 8080;
+  std::string data_dir = "powerplay_data";
+  web::ServerOptions server_options;
+  web::AppOptions app_options;
+
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      port = static_cast<std::uint16_t>(flag_value("--port", next()));
+    } else if (arg == "--data") {
+      data_dir = next();
+    } else if (arg == "--workers") {
+      server_options.worker_count =
+          static_cast<std::size_t>(flag_value("--workers", next()));
+    } else if (arg == "--queue") {
+      server_options.queue_capacity =
+          static_cast<std::size_t>(flag_value("--queue", next()));
+    } else if (arg == "--io-timeout-ms") {
+      server_options.io_timeout =
+          std::chrono::milliseconds(flag_value("--io-timeout-ms", next()));
+    } else if (arg == "--keepalive-max") {
+      server_options.max_keepalive_requests =
+          static_cast<std::size_t>(flag_value("--keepalive-max", next()));
+    } else if (arg == "--idle-timeout-ms") {
+      server_options.keepalive_idle_timeout =
+          std::chrono::milliseconds(flag_value("--idle-timeout-ms", next()));
+    } else if (arg == "--no-cache") {
+      app_options.response_cache = false;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [port] [data-dir] [--port N] [--data DIR] "
+                  "[--workers N] [--queue N] [--io-timeout-ms N] "
+                  "[--keepalive-max N] [--idle-timeout-ms N] [--no-cache]\n",
+                  argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s' (try --help)\n", arg.c_str());
+      return 2;
+    } else if (positional == 0) {
+      port = static_cast<std::uint16_t>(std::atoi(arg.c_str()));
+      positional += 1;
+    } else if (positional == 1) {
+      data_dir = arg;
+      positional += 1;
+    } else {
+      std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  web::PowerPlayApp app{library::LibraryStore(data_dir), {}, {}, app_options};
 
   // Pre-load the paper's reference designs for browsing.
   const auto& lib = app.registry();
@@ -52,11 +129,15 @@ int main(int argc, char** argv) {
 
   web::HttpServer server(port, [&](const web::Request& r) {
     return app.handle(r);
-  });
+  }, server_options);
   app.set_stats_source([&server] { return server.stats(); });
   server.start();
   std::printf("PowerPlay serving on http://127.0.0.1:%u/ (data in %s)\n",
               server.port(), data_dir.c_str());
+  std::printf("Workers: %zu, queue: %zu, keep-alive: %zu req/conn, cache: %s\n",
+              server_options.worker_count, server_options.queue_capacity,
+              server_options.max_keepalive_requests,
+              app_options.response_cache ? "on" : "off");
   std::printf("Pre-loaded designs: Luminance_1, Luminance_2, "
               "Custom_Chipset, InfoPad_System\n");
   std::printf("Ctrl-C to stop.\n");
@@ -70,9 +151,11 @@ int main(int argc, char** argv) {
   // Graceful shutdown: drain job runners (cancelling what remains) and
   // compact the store's journal so the next start replays nothing.
   app.shutdown();
-  std::printf("\n%llu requests served, %llu shed, %llu timed out.\n",
+  std::printf("\n%llu requests served, %llu shed, %llu timed out, "
+              "%llu connections reused.\n",
               static_cast<unsigned long long>(server.requests_served()),
               static_cast<unsigned long long>(server.requests_shed()),
-              static_cast<unsigned long long>(server.timeouts()));
+              static_cast<unsigned long long>(server.timeouts()),
+              static_cast<unsigned long long>(server.connections_reused()));
   return 0;
 }

@@ -212,6 +212,7 @@ void LibraryStore::commit(const JournalRecord& record) {
   journal_->append(record);  // fsync'd: the mutation is now acknowledged
   counters_->journal_appends.fetch_add(1);
   apply(record);
+  counters_->revision.fetch_add(1);  // invalidates revision-keyed caches
   if (journal_->tail_bytes() > options_.journal_rotate_bytes) {
     // Every record up to here was applied to a fsync'd snapshot the
     // moment it was appended, so the tail is redundant: compact it.

@@ -133,12 +133,22 @@ class LibraryStore {
 
   // --- durability ------------------------------------------------------
   [[nodiscard]] DurabilityStats durability() const;
+  /// Monotonic mutation counter: bumped once per committed mutation
+  /// (model/design/user save or removal).  Response caches key rendered
+  /// pages by this value — any commit observably advances it, so a
+  /// stale page can never be served as current.  Starts at 1 after
+  /// recovery; replayed records do not bump it again (they were counted
+  /// as the original commits).
+  [[nodiscard]] std::uint64_t revision() const {
+    return counters_->revision.load();
+  }
   /// Graceful shutdown: compact (rotate) the journal so the next open
   /// replays nothing.  Safe to call at any quiesced point.
   void flush();
 
  private:
   struct Counters {
+    std::atomic<std::uint64_t> revision{1};
     std::atomic<std::uint64_t> journal_appends{0};
     std::atomic<std::uint64_t> journal_replayed{0};
     std::atomic<std::uint64_t> journal_rotations{0};

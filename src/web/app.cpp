@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "engine/fingerprint.hpp"
 #include "flow/standard_flows.hpp"
 #include "library/textio.hpp"
 #include "models/berkeley_library.hpp"
@@ -75,6 +76,32 @@ void append_spreadsheet(const sheet::PlayResult& result,
   }
 }
 
+/// GETs whose rendered bytes depend only on library state + the query
+/// string — i.e. safe to cache keyed by (path, canonical query,
+/// revision).  Job and health endpoints change without a store commit,
+/// so they stay uncached.
+bool cacheable_route(const std::string& path) {
+  static const char* const kRoutes[] = {
+      "/",           "/menu",        "/library",     "/model",
+      "/design",     "/design/csv",  "/doc",         "/agent",
+      "/help",       "/newmodel",    "/api/models",  "/api/model",
+      "/api/designs", "/api/design"};
+  for (const char* route : kRoutes) {
+    if (path == route) return true;
+  }
+  return false;
+}
+
+/// The single design a cacheable page's bytes depend on, if any — these
+/// entries get the fingerprint-revalidation fast path when an unrelated
+/// commit bumps the library revision.
+std::string design_dependency(const std::string& path, const Params& q) {
+  if (path == "/design" || path == "/design/csv" || path == "/api/design") {
+    return get_or(q, "name");
+  }
+  return {};
+}
+
 }  // namespace
 
 // "User identification is necessary to ensure privacy": load (or
@@ -93,10 +120,14 @@ library::UserProfile PowerPlayApp::authorized_user(const Params& q) {
 
 PowerPlayApp::PowerPlayApp(library::LibraryStore store,
                            engine::EngineOptions engine_options,
-                           engine::JobOptions job_options)
+                           engine::JobOptions job_options,
+                           AppOptions app_options)
     : store_(std::move(store)),
       engine_(engine_options),
       jobs_(job_options) {
+  if (app_options.response_cache) {
+    cache_ = std::make_unique<ResponseCache>(app_options.cache);
+  }
   models::add_berkeley_models(registry_);
   store_.load_all_models(registry_);
   // The Design Agent and its tool-backed library entry.  agent_ lives in
@@ -149,6 +180,10 @@ Response PowerPlayApp::handle(const Request& request) {
       return dispatch(target.path, request.method, q);
     }
     std::shared_lock lib(library_mutex_);
+    if (cache_ != nullptr && request.method == "GET" &&
+        cacheable_route(target.path)) {
+      return serve_cached(request, q);
+    }
     return dispatch(target.path, request.method, q);
   } catch (const AccessDenied& e) {
     Response r;
@@ -197,6 +232,81 @@ Response PowerPlayApp::dispatch(const std::string& path,
   return Response::not_found(path);
 }
 
+// The cached-GET fast path.  Runs under the shared library lock, so no
+// mutating route interleaves; ensure_user() commits from sibling readers
+// can still advance the store revision concurrently, which is why the
+// revision is read *before* rendering — a commit that lands mid-render
+// invalidates the entry instead of being masked by it.
+Response PowerPlayApp::serve_cached(const Request& request, const Params& q) {
+  const Target target = request.parsed_target();
+  const std::string key = target.path + '?' + to_query(q);
+  const std::uint64_t revision = store_.revision();
+  const std::uint64_t model_rev = model_revision_.load();
+
+  if (auto entry = cache_->find(key);
+      entry.has_value() && entry->model_revision == model_rev) {
+    bool current = entry->revision == revision;
+    if (!current && !entry->design.empty()) {
+      // Some commit happened, but perhaps not to this page's design:
+      // compare content fingerprints before paying for a re-render.
+      try {
+        if (store_.has_design(entry->design)) {
+          const auto design = store_.load_design(entry->design, registry_);
+          if (engine::fingerprint(*design) == entry->design_fp) {
+            cache_->refresh(key, revision);
+            cache_->count_revalidation();
+            current = true;
+          }
+        }
+      } catch (const std::exception&) {
+        // Unresolvable design (e.g. broken macro reference): fall
+        // through and let the render path produce the error page.
+      }
+    }
+    if (current) {
+      cache_->count_hit();
+      if (if_none_match(request, entry->etag)) {
+        cache_->count_not_modified();
+        return Response::not_modified(entry->etag);
+      }
+      return entry->response;
+    }
+  }
+
+  cache_->count_miss();
+  Response response = dispatch(target.path, request.method, q);
+  if (response.status != 200) return response;
+
+  const std::string etag = ResponseCache::make_etag(response);
+  response.headers["etag"] = etag;
+
+  ResponseCache::Entry entry;
+  entry.etag = etag;
+  entry.revision = revision;
+  entry.model_revision = model_rev;
+  entry.design = design_dependency(target.path, q);
+  if (!entry.design.empty()) {
+    try {
+      if (store_.has_design(entry.design)) {
+        entry.design_fp = engine::fingerprint(
+            *store_.load_design(entry.design, registry_));
+      } else {
+        entry.design.clear();  // fall back to plain revision keying
+      }
+    } catch (const std::exception&) {
+      entry.design.clear();
+    }
+  }
+  entry.response = response;
+  cache_->insert(key, std::move(entry));
+
+  if (if_none_match(request, etag)) {
+    cache_->count_not_modified();
+    return Response::not_modified(etag);
+  }
+  return response;
+}
+
 // ---------------------------------------------------------------------------
 // Pages
 // ---------------------------------------------------------------------------
@@ -219,6 +329,19 @@ Response PowerPlayApp::page_healthz() {
     os << "requests_served: " << s.requests_served << "\n";
     os << "requests_shed: " << s.requests_shed << "\n";
     os << "timeouts: " << s.timeouts << "\n";
+    os << "connections_reused: " << s.connections_reused << "\n";
+    os << "parser_resumes: " << s.parser_resumes << "\n";
+  }
+  if (cache_ != nullptr) {
+    const ResponseCacheStats rc = cache_->stats();
+    os << "responses_cached: " << rc.insertions << "\n";
+    os << "response_cache_hits: " << rc.hits << "\n";
+    os << "response_cache_misses: " << rc.misses << "\n";
+    os << "response_cache_revalidations: " << rc.revalidations << "\n";
+    os << "etag_304s: " << rc.not_modified << "\n";
+    os << "response_cache_evictions: " << rc.evictions << "\n";
+    os << "response_cache_entries: " << rc.entries << "\n";
+    os << "response_cache_bytes: " << rc.bytes << "\n";
   }
   const engine::CacheStats cache = engine_.cache().stats();
   os << "cache_hits: " << cache.hits << "\n";
@@ -791,6 +914,10 @@ Response PowerPlayApp::do_new_model(const Params& q) {
   const bool proprietary = get_or(q, "proprietary", "0") == "1";
   store_.save_model(def, proprietary);
   registry_.add_or_replace(std::move(user_model));
+  // A redefinition changes Play results without changing any design's
+  // fingerprint; bump the registry generation so cached pages rendered
+  // against the old definition can't revalidate.
+  model_revision_.fetch_add(1);
 
   HtmlPage page("Model created");
   page.paragraph("Model '" + def.name + "' is now in the shared library" +

@@ -49,6 +49,7 @@
 // no longer serialize behind each other (docs/engine.md).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -60,10 +61,19 @@
 #include "flow/design_agent.hpp"
 #include "library/store.hpp"
 #include "model/registry.hpp"
+#include "web/cache.hpp"
 #include "web/http.hpp"
 #include "web/server.hpp"
 
 namespace powerplay::web {
+
+/// App-level serving knobs (separate from the engine/job sizing).
+struct AppOptions {
+  /// Cache rendered GET responses (ETag + 304 handling); disable for
+  /// benchmarking the cold path.
+  bool response_cache = true;
+  ResponseCacheOptions cache;
+};
 
 class PowerPlayApp {
  public:
@@ -71,10 +81,11 @@ class PowerPlayApp {
   /// built-in characterized library plus every stored user model.
   /// `engine_options` sizes the evaluation thread pool and Play cache;
   /// `job_options` sizes the job runner pool and sets the per-job
-  /// wall-clock deadline.
+  /// wall-clock deadline; `app_options` sizes the response cache.
   explicit PowerPlayApp(library::LibraryStore store,
                         engine::EngineOptions engine_options = {},
-                        engine::JobOptions job_options = {});
+                        engine::JobOptions job_options = {},
+                        AppOptions app_options = {});
 
   /// Graceful shutdown: drain the job runners (cancelling queued and
   /// running jobs), then flush/compact the store's journal.  Call after
@@ -142,6 +153,11 @@ class PowerPlayApp {
   Response dispatch(const std::string& path, const std::string& method,
                     const Params& q);
 
+  /// The cached-GET fast path: revision-checked lookup, fingerprint
+  /// revalidation, If-None-Match handling, and fill-on-miss.  Only
+  /// called for cacheable routes (see cacheable_route in app.cpp).
+  Response serve_cached(const Request& request, const Params& q);
+
   /// The named user's session mutex (created on first sight).
   std::shared_ptr<std::mutex> session_lock(const std::string& user);
 
@@ -159,6 +175,13 @@ class PowerPlayApp {
   flow::DesignAgent agent_;
   engine::EvalEngine engine_;
   engine::JobManager jobs_;
+
+  /// Rendered-GET cache (null when AppOptions::response_cache is off).
+  std::unique_ptr<ResponseCache> cache_;
+  /// Registry generation: bumped when a model definition is (re)saved.
+  /// A redefinition changes Play results without changing any design's
+  /// fingerprint, so cached design pages must key on this too.
+  std::atomic<std::uint64_t> model_revision_{1};
 };
 
 }  // namespace powerplay::web

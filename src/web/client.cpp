@@ -76,7 +76,14 @@ Response http_request(std::uint16_t port, const Request& request,
   const Deadline deadline = Deadline::after(options.io_timeout);
   std::string wire;
   try {
-    write_all(fd, to_wire(request), deadline);
+    // One-shot: tell the server not to hold the connection open.
+    if (request.headers.contains("connection")) {
+      write_all(fd, to_wire(request), deadline);
+    } else {
+      Request oneshot = request;
+      oneshot.headers["connection"] = "close";
+      write_all(fd, to_wire(oneshot), deadline);
+    }
     ::shutdown(fd, SHUT_WR);
     wire = read_http_message(fd, deadline);
   } catch (...) {
@@ -86,6 +93,64 @@ Response http_request(std::uint16_t port, const Request& request,
   ::close(fd);
   if (wire.empty()) throw HttpError("empty response");
   return parse_response(wire);
+}
+
+HttpConnection::HttpConnection(std::uint16_t port, SocketOptions options)
+    : port_(port), options_(options) {}
+
+HttpConnection::~HttpConnection() { close(); }
+
+HttpConnection::HttpConnection(HttpConnection&& other) noexcept
+    : port_(other.port_), options_(other.options_), fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+HttpConnection& HttpConnection::operator=(HttpConnection&& other) noexcept {
+  if (this != &other) {
+    close();
+    port_ = other.port_;
+    options_ = other.options_;
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void HttpConnection::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Response HttpConnection::roundtrip(const Request& request) {
+  if (fd_ < 0) fd_ = connect_with_timeout(port_, options_.connect_timeout);
+  const Deadline deadline = Deadline::after(options_.io_timeout);
+  std::string wire;
+  try {
+    write_all(fd_, to_wire(request), deadline);
+    wire = read_http_message(fd_, deadline);
+  } catch (...) {
+    close();
+    throw;
+  }
+  if (wire.empty()) {
+    // The server closed between requests (keep-alive limit or idle
+    // timeout).  Surface it; the caller decides whether to reconnect.
+    close();
+    throw HttpError("connection closed by server");
+  }
+  const Response response = parse_response(wire);
+  auto conn = response.headers.find("connection");
+  if (conn != response.headers.end() && conn->second == "close") close();
+  return response;
+}
+
+Response HttpConnection::get(const std::string& target) {
+  Request req;
+  req.method = "GET";
+  req.target = target;
+  return roundtrip(req);
 }
 
 Response http_get(std::uint16_t port, const std::string& target,

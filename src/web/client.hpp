@@ -17,9 +17,10 @@
 
 namespace powerplay::web {
 
-/// One-shot request to 127.0.0.1:`port` (HTTP/1.0: connection per
-/// request).  Throws HttpError on connect/IO/parse failure and
-/// HttpTimeout when a SocketOptions deadline expires.
+/// One-shot request to 127.0.0.1:`port` (connection per request; the
+/// request advertises `Connection: close`).  Throws HttpError on
+/// connect/IO/parse failure and HttpTimeout when a SocketOptions
+/// deadline expires.
 Response http_request(std::uint16_t port, const Request& request,
                       const SocketOptions& options = {});
 
@@ -31,6 +32,37 @@ Response http_get(std::uint16_t port, const std::string& target,
 Response http_post_form(std::uint16_t port, const std::string& path,
                         const Params& form,
                         const SocketOptions& options = {});
+
+/// A persistent HTTP/1.1 connection to 127.0.0.1:`port`: many
+/// request/response exchanges over one socket (the keep-alive fast
+/// path).  Each roundtrip gets a fresh io_timeout deadline.  After the
+/// server closes the connection (keep-alive limit, idle timeout, or
+/// `Connection: close` in a response) the next roundtrip throws
+/// HttpError; callers that want transparency reconnect and retry.
+class HttpConnection {
+ public:
+  explicit HttpConnection(std::uint16_t port, SocketOptions options = {});
+  ~HttpConnection();
+
+  HttpConnection(const HttpConnection&) = delete;
+  HttpConnection& operator=(const HttpConnection&) = delete;
+  HttpConnection(HttpConnection&& other) noexcept;
+  HttpConnection& operator=(HttpConnection&& other) noexcept;
+
+  /// Send one request (without half-closing) and read its response.
+  /// Lazily connects on first use and after close().
+  Response roundtrip(const Request& request);
+  Response get(const std::string& target);
+
+  /// True while the socket is open (a failed roundtrip closes it).
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  std::uint16_t port_;
+  SocketOptions options_;
+  int fd_ = -1;
+};
 
 /// One request/response exchange with a peer, however realized.
 class Transport {

@@ -1,10 +1,14 @@
-// http.hpp — minimal HTTP/1.0 message types and codecs.
+// http.hpp — HTTP/1.1 message types, codecs, and the incremental
+// request parser.
 //
 // Figure 7 (bottom): "This method is modified for WWW using the HyperText
 // Transfer Protocol ... using secure scripts at Universal Resource
 // Locators to handle information transfer on demand."  The server and
 // client in this directory speak this subset: request line + headers +
-// optional Content-Length body, one request per connection.
+// optional Content-Length body.  Since the keep-alive rework the server
+// speaks HTTP/1.1 with connection reuse: a RequestParser consumes
+// partial reads and yields pipelined requests one at a time, so one
+// connection can carry many exchanges.
 #pragma once
 
 #include <chrono>
@@ -36,6 +40,11 @@ class HttpTimeout : public HttpError {
 /// hostile peer can neither stream unbounded data nor make us reserve
 /// an absurd allocation up front.
 inline constexpr std::size_t kMaxMessageBytes = 16u << 20;  // 16 MiB
+
+/// Cap on the request line + headers alone.  A peer that streams this
+/// much without ever sending the blank-line terminator is aborted long
+/// before the 16 MiB message cap.
+inline constexpr std::size_t kMaxHeaderBytes = 64u << 10;  // 64 KiB
 
 /// Absolute point in time after which socket I/O gives up with
 /// HttpTimeout.  Deadline::never() never expires (the pre-resilience
@@ -83,8 +92,9 @@ struct SocketOptions {
 using Headers = std::map<std::string, std::string>;
 
 struct Request {
-  std::string method = "GET";   ///< GET or POST
-  std::string target = "/";     ///< raw path?query
+  std::string method = "GET";        ///< GET or POST
+  std::string target = "/";          ///< raw path?query
+  std::string version = "HTTP/1.1";  ///< protocol version from the wire
   Headers headers;
   std::string body;
 
@@ -94,6 +104,10 @@ struct Request {
   /// Query parameters plus (for POST with a urlencoded body) form fields;
   /// form fields win on collision.
   [[nodiscard]] Params all_params() const;
+
+  /// HTTP/1.1 defaults to persistent connections; HTTP/1.0 must opt in
+  /// with `Connection: keep-alive`; `Connection: close` always wins.
+  [[nodiscard]] bool keep_alive() const;
 };
 
 struct Response {
@@ -108,11 +122,21 @@ struct Response {
   static Response bad_request(const std::string& why);
   static Response server_error(const std::string& why);
   static Response redirect(const std::string& location);
+  /// 304 with the matching strong ETag and an empty body.
+  static Response not_modified(const std::string& etag);
 };
 
 std::string status_text(int status);
 
-/// Serialize a request/response to wire form.
+/// Current time as an IMF-fixdate ("Sun, 06 Nov 1994 08:49:37 GMT") for
+/// the Date header.  Formatted once per second and cached, so the hot
+/// serving path does not strftime per response.
+std::string http_date_now();
+
+/// Serialize a request/response to wire form.  Responses are emitted in
+/// one contiguous buffer — status line, `Date`, `Content-Type` (with
+/// charset for text/* types), `Content-Length`, custom headers, body —
+/// so a single send() suffices.
 std::string to_wire(const Request& request);
 std::string to_wire(const Response& response);
 
@@ -124,5 +148,61 @@ Response parse_response(const std::string& wire);
 /// How many bytes of `partial` constitute a complete message, or nullopt
 /// if more data is needed.  Used by the socket readers.
 std::optional<std::size_t> message_size(const std::string& partial);
+
+/// Resumable request parser: feed it socket reads as they arrive; it
+/// yields complete requests one at a time and keeps any pipelined
+/// surplus buffered for the next take().  Header fields are parsed once,
+/// at the moment the blank line arrives — the body phase just counts
+/// bytes — so torn reads never re-scan what is already understood.
+///
+///   RequestParser p;
+///   while (p.feed(buf, n) == RequestParser::State::kReady) {
+///     Request r = p.take();   // take() re-frames any buffered surplus
+///     ...
+///   }
+///   if (p.state() == RequestParser::State::kError) ... p.error() ...
+class RequestParser {
+ public:
+  enum class State {
+    kNeedMore,  ///< bytes so far form a prefix of a valid request
+    kReady,     ///< one complete request is available via take()
+    kError,     ///< the stream is unrecoverably malformed (see error())
+  };
+
+  /// Append bytes from the peer.  Cheap when a request is already ready
+  /// (bytes are buffered for later framing).  Once kError, the state is
+  /// terminal: a malformed stream has no trustworthy resync point.
+  State feed(const char* data, std::size_t n);
+
+  [[nodiscard]] State state() const { return state_; }
+  /// Human-readable reason once state() == kError.
+  [[nodiscard]] const std::string& error() const { return error_; }
+  /// True when bytes are buffered but no complete request is ready —
+  /// the "mid-request" signal the server's timeout accounting uses.
+  [[nodiscard]] bool partial() const {
+    return state_ == State::kNeedMore && !buffer_.empty();
+  }
+  /// Bytes currently buffered (ready request + surplus).
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+
+  /// Pop the completed request.  Precondition: state() == kReady.
+  /// Afterwards the parser has re-framed any pipelined surplus, so
+  /// state() may immediately be kReady again.
+  Request take();
+
+ private:
+  enum class Phase { kHead, kBody };
+
+  State advance();  ///< try to make progress on buffer_
+
+  std::string buffer_;
+  std::size_t scan_ = 0;  ///< resume point for the header-terminator scan
+  Phase phase_ = Phase::kHead;
+  std::size_t body_need_ = 0;   ///< bytes of body still missing
+  std::size_t head_bytes_ = 0;  ///< size of the parsed head incl. blank line
+  Request pending_;             ///< request under construction
+  State state_ = State::kNeedMore;
+  std::string error_;
+};
 
 }  // namespace powerplay::web

@@ -1,0 +1,357 @@
+// Tests of the incremental HTTP request parser and the server's
+// keep-alive fast path built on it: pipelined requests, one-byte-at-a-
+// time and torn reads, oversized/malformed input, keep-alive semantics,
+// per-connection request limits and idle timeouts.
+#include "web/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "web/client.hpp"
+#include "web/server.hpp"
+
+namespace powerplay::web {
+namespace {
+
+using State = RequestParser::State;
+
+State feed(RequestParser& p, const std::string& bytes) {
+  return p.feed(bytes.data(), bytes.size());
+}
+
+// ---------------------------------------------------------------------------
+// RequestParser unit tests
+// ---------------------------------------------------------------------------
+
+TEST(RequestParser, SingleRequestAllAtOnce) {
+  RequestParser p;
+  ASSERT_EQ(feed(p, "GET /menu?user=al HTTP/1.1\r\nhost: x\r\n\r\n"),
+            State::kReady);
+  const Request r = p.take();
+  EXPECT_EQ(r.method, "GET");
+  EXPECT_EQ(r.target, "/menu?user=al");
+  EXPECT_EQ(r.version, "HTTP/1.1");
+  EXPECT_EQ(r.headers.at("host"), "x");
+  EXPECT_EQ(p.state(), State::kNeedMore);
+  EXPECT_EQ(p.buffered(), 0u);
+}
+
+TEST(RequestParser, OneByteAtATime) {
+  const std::string wire =
+      "POST /design/play HTTP/1.1\r\n"
+      "content-type: application/x-www-form-urlencoded\r\n"
+      "content-length: 11\r\n\r\n"
+      "user=al&x=1";
+  RequestParser p;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    ASSERT_EQ(p.feed(&wire[i], 1), State::kNeedMore) << "at byte " << i;
+    EXPECT_TRUE(p.partial());
+  }
+  ASSERT_EQ(p.feed(&wire[wire.size() - 1], 1), State::kReady);
+  const Request r = p.take();
+  EXPECT_EQ(r.method, "POST");
+  EXPECT_EQ(r.body, "user=al&x=1");
+  EXPECT_EQ(r.all_params().at("user"), "al");
+}
+
+TEST(RequestParser, TornHeaderTerminator) {
+  // Split right inside the \r\n\r\n — the resumed scan must still see it.
+  RequestParser p;
+  ASSERT_EQ(feed(p, "GET / HTTP/1.1\r\nhost: y\r\n"), State::kNeedMore);
+  ASSERT_EQ(feed(p, "\r"), State::kNeedMore);
+  ASSERT_EQ(feed(p, "\n"), State::kReady);
+  EXPECT_EQ(p.take().headers.at("host"), "y");
+}
+
+TEST(RequestParser, TornBody) {
+  RequestParser p;
+  ASSERT_EQ(feed(p, "POST /x HTTP/1.1\r\ncontent-length: 6\r\n\r\nabc"),
+            State::kNeedMore);
+  EXPECT_TRUE(p.partial());
+  ASSERT_EQ(feed(p, "def"), State::kReady);
+  EXPECT_EQ(p.take().body, "abcdef");
+}
+
+TEST(RequestParser, BodyBytesAreCountedNotScanned) {
+  // A body that contains the header terminator must not confuse framing.
+  RequestParser p;
+  ASSERT_EQ(feed(p, "POST /x HTTP/1.1\r\ncontent-length: 8\r\n\r\n"
+                    "ab\r\n\r\ncd"),
+            State::kReady);
+  EXPECT_EQ(p.take().body, "ab\r\n\r\ncd");
+}
+
+TEST(RequestParser, PipelinedRequestsFrameInOrder) {
+  RequestParser p;
+  ASSERT_EQ(feed(p,
+                 "GET /first HTTP/1.1\r\n\r\n"
+                 "POST /second HTTP/1.1\r\ncontent-length: 2\r\n\r\nhi"
+                 "GET /third HTTP/1.1\r\n\r\n"),
+            State::kReady);
+  EXPECT_EQ(p.take().target, "/first");
+  // take() re-framed the surplus: the next request is ready immediately.
+  ASSERT_EQ(p.state(), State::kReady);
+  const Request second = p.take();
+  EXPECT_EQ(second.target, "/second");
+  EXPECT_EQ(second.body, "hi");
+  ASSERT_EQ(p.state(), State::kReady);
+  EXPECT_EQ(p.take().target, "/third");
+  EXPECT_EQ(p.state(), State::kNeedMore);
+  EXPECT_FALSE(p.partial());
+}
+
+TEST(RequestParser, SurplusPartialPrefixResumesAfterTake) {
+  RequestParser p;
+  ASSERT_EQ(feed(p, "GET /a HTTP/1.1\r\n\r\nGET /b HT"), State::kReady);
+  EXPECT_EQ(p.take().target, "/a");
+  // The trailing prefix of /b is buffered but incomplete.
+  EXPECT_EQ(p.state(), State::kNeedMore);
+  EXPECT_TRUE(p.partial());
+  ASSERT_EQ(feed(p, "TP/1.1\r\n\r\n"), State::kReady);
+  EXPECT_EQ(p.take().target, "/b");
+}
+
+TEST(RequestParser, FeedWhileReadyBuffersWithoutReframing) {
+  RequestParser p;
+  ASSERT_EQ(feed(p, "GET /a HTTP/1.1\r\n\r\n"), State::kReady);
+  // More bytes while a request is ready just accumulate.
+  ASSERT_EQ(feed(p, "GET /b HTTP/1.1\r\n\r\n"), State::kReady);
+  EXPECT_EQ(p.take().target, "/a");
+  ASSERT_EQ(p.state(), State::kReady);
+  EXPECT_EQ(p.take().target, "/b");
+}
+
+TEST(RequestParser, OversizedRequestLineRejected) {
+  // A request line that streams past the header cap without ever
+  // producing a CRLF must be rejected, not buffered forever.
+  RequestParser p;
+  const std::string chunk(1024, 'a');
+  State s = feed(p, "GET /");
+  for (int i = 0; i < 70 && s == State::kNeedMore; ++i) s = feed(p, chunk);
+  ASSERT_EQ(s, State::kError);
+  EXPECT_NE(p.error().find("exceeds"), std::string::npos) << p.error();
+}
+
+TEST(RequestParser, OversizedHeadersRejected) {
+  // Terminated head, but bigger than the cap.
+  std::string wire = "GET / HTTP/1.1\r\n";
+  for (int i = 0; wire.size() <= kMaxHeaderBytes; ++i) {
+    wire += "x-filler-" + std::to_string(i) + ": " + std::string(200, 'v') +
+            "\r\n";
+  }
+  wire += "\r\n";
+  RequestParser p;
+  ASSERT_EQ(feed(p, wire), State::kError);
+  EXPECT_NE(p.error().find("exceeds"), std::string::npos) << p.error();
+}
+
+TEST(RequestParser, BadContentLengthRejected) {
+  {
+    RequestParser p;
+    EXPECT_EQ(feed(p, "POST / HTTP/1.1\r\ncontent-length: abc\r\n\r\n"),
+              State::kError);
+  }
+  {
+    // stoull wraps "-1" to 2^64-1; the message cap must still catch it.
+    RequestParser p;
+    EXPECT_EQ(feed(p, "POST / HTTP/1.1\r\ncontent-length: -1\r\n\r\n"),
+              State::kError);
+  }
+}
+
+TEST(RequestParser, MalformedInputRejectedAndTerminal) {
+  RequestParser p;
+  ASSERT_EQ(feed(p, "\r\n\r\n"), State::kError);
+  // A malformed stream has no resync point: the state is terminal.
+  EXPECT_EQ(feed(p, "GET / HTTP/1.1\r\n\r\n"), State::kError);
+}
+
+TEST(RequestParser, KeepAliveSemantics) {
+  EXPECT_TRUE(parse_request("GET / HTTP/1.1\r\n\r\n").keep_alive());
+  EXPECT_FALSE(parse_request("GET / HTTP/1.0\r\n\r\n").keep_alive());
+  EXPECT_FALSE(
+      parse_request("GET / HTTP/1.1\r\nconnection: close\r\n\r\n")
+          .keep_alive());
+  EXPECT_TRUE(
+      parse_request("GET / HTTP/1.0\r\nconnection: keep-alive\r\n\r\n")
+          .keep_alive());
+}
+
+TEST(RequestParser, ResponseWireCarriesDateCharsetAndLength) {
+  const std::string wire = to_wire(Response::ok_text("hello"));
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("content-type: text/plain; charset=utf-8\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("content-length: 5\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("date: "), std::string::npos);
+  EXPECT_NE(wire.find("GMT\r\n"), std::string::npos);
+  // Round-trip: the client-side parser strips the charset parameter.
+  const Response parsed = parse_response(wire);
+  EXPECT_EQ(parsed.content_type, "text/plain");
+  EXPECT_EQ(parsed.body, "hello");
+  EXPECT_FALSE(parsed.headers.at("date").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Server-level keep-alive behavior
+// ---------------------------------------------------------------------------
+
+struct KeepAliveFixture : ::testing::Test {
+  std::unique_ptr<HttpServer> server;
+
+  void start(ServerOptions options = {}) {
+    server = std::make_unique<HttpServer>(
+        0,
+        [](const Request& r) {
+          Response resp = Response::ok_text("target=" + r.target + "\n");
+          if (!r.body.empty()) resp.body += "body=" + r.body + "\n";
+          return resp;
+        },
+        options);
+    server->start();
+  }
+
+  void TearDown() override {
+    if (server) server->stop();
+  }
+};
+
+int raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  return fd;
+}
+
+void raw_send(int fd, const std::string& bytes) {
+  ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+}
+
+/// Read exactly `n` complete HTTP responses off the socket.
+std::vector<Response> raw_read_responses(int fd, std::size_t n) {
+  std::vector<Response> out;
+  std::string acc;
+  char buf[4096];
+  while (out.size() < n) {
+    const ssize_t got = ::recv(fd, buf, sizeof buf, 0);
+    if (got <= 0) break;
+    acc.append(buf, static_cast<std::size_t>(got));
+    for (auto size = message_size(acc); size.has_value();
+         size = message_size(acc)) {
+      out.push_back(parse_response(acc.substr(0, *size)));
+      acc.erase(0, *size);
+      if (out.size() == n) break;
+    }
+  }
+  return out;
+}
+
+TEST_F(KeepAliveFixture, OneConnectionServesManyRequests) {
+  start();
+  HttpConnection conn(server->port());
+  for (int i = 0; i < 10; ++i) {
+    const Response r = conn.get("/req" + std::to_string(i));
+    ASSERT_EQ(r.status, 200);
+    EXPECT_EQ(r.body, "target=/req" + std::to_string(i) + "\n");
+    EXPECT_EQ(r.headers.at("connection"), "keep-alive");
+  }
+  EXPECT_TRUE(conn.connected());
+  EXPECT_EQ(server->requests_served(), 10u);
+  // One physical connection got reused; counted once.
+  EXPECT_EQ(server->connections_reused(), 1u);
+}
+
+TEST_F(KeepAliveFixture, KeepAliveLimitAnnouncesAndCloses) {
+  ServerOptions options;
+  options.max_keepalive_requests = 2;
+  start(options);
+  HttpConnection conn(server->port());
+  EXPECT_EQ(conn.get("/a").headers.at("connection"), "keep-alive");
+  // The limit-reaching response announces the close...
+  EXPECT_EQ(conn.get("/b").headers.at("connection"), "close");
+  // ...and the client observes the closed socket.
+  EXPECT_FALSE(conn.connected());
+  // A fresh roundtrip transparently reconnects.
+  EXPECT_EQ(conn.get("/c").status, 200);
+}
+
+TEST_F(KeepAliveFixture, PipelinedRequestsAnswerInOrder) {
+  start();
+  const int fd = raw_connect(server->port());
+  raw_send(fd,
+           "GET /one HTTP/1.1\r\n\r\n"
+           "GET /two HTTP/1.1\r\n\r\n"
+           "GET /three HTTP/1.1\r\n\r\n");
+  const auto responses = raw_read_responses(fd, 3);
+  ::close(fd);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(responses[0].body, "target=/one\n");
+  EXPECT_EQ(responses[1].body, "target=/two\n");
+  EXPECT_EQ(responses[2].body, "target=/three\n");
+}
+
+TEST_F(KeepAliveFixture, Http10ConnectionClosesAfterOneResponse) {
+  start();
+  const int fd = raw_connect(server->port());
+  raw_send(fd, "GET /old HTTP/1.0\r\n\r\n");
+  const auto responses = raw_read_responses(fd, 1);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].headers.at("connection"), "close");
+  // The server closes; the next read sees EOF.
+  char byte = 0;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+  ::close(fd);
+}
+
+TEST_F(KeepAliveFixture, TornRequestIsResumedNotRejected) {
+  start();
+  const int fd = raw_connect(server->port());
+  raw_send(fd, "GET /torn HTT");
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  raw_send(fd, "P/1.1\r\n\r\n");
+  const auto responses = raw_read_responses(fd, 1);
+  ::close(fd);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].body, "target=/torn\n");
+  EXPECT_GE(server->parser_resumes(), 1u);
+}
+
+TEST_F(KeepAliveFixture, IdleKeepAliveConnectionClosesSilently) {
+  ServerOptions options;
+  options.keepalive_idle_timeout = std::chrono::milliseconds(60);
+  start(options);
+  HttpConnection conn(server->port());
+  ASSERT_EQ(conn.get("/a").status, 200);
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  // The server reaped the idle connection: the next roundtrip fails...
+  EXPECT_THROW(conn.roundtrip(Request{}), HttpError);
+  // ...but an idle close between requests is not a timeout condition.
+  EXPECT_EQ(server->timeouts(), 0u);
+}
+
+TEST_F(KeepAliveFixture, MalformedPipelineGets400) {
+  start();
+  const int fd = raw_connect(server->port());
+  raw_send(fd, "NOT-HTTP\r\n\r\n");
+  const auto responses = raw_read_responses(fd, 1);
+  ::close(fd);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, 400);
+}
+
+}  // namespace
+}  // namespace powerplay::web

@@ -40,6 +40,7 @@ struct ConcurrencyFixture : ::testing::Test {
     options.worker_count = 8;  // real request concurrency
     server = std::make_unique<HttpServer>(
         0, [this](const Request& r) { return app->handle(r); }, options);
+    app->set_stats_source([this] { return server->stats(); });
     server->start();
   }
 
@@ -288,6 +289,124 @@ TEST_F(ConcurrencyFixture, ParallelSweepJobs) {
   for (auto& c : clients) c.join();
   EXPECT_EQ(failures.load(), 0);
   app->jobs().wait_idle();
+}
+
+// N threads, each hammering a mixed read workload over ONE persistent
+// keep-alive connection.  Every response must be well-formed and match
+// its request; the server must actually have reused connections rather
+// than silently falling back to close-per-request.
+TEST_F(ConcurrencyFixture, KeepAliveHammer) {
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 20;
+  // Seed a design so the read mix has real pages to render.
+  ASSERT_EQ(post("/design/add", {{"user", "ka"},
+                                 {"model", "register"},
+                                 {"design", "KA"},
+                                 {"row", "R0"},
+                                 {"p_bits", "8"},
+                                 {"p_f", "1000000"}})
+                .status,
+            200);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([this, t, &failures] {
+      try {
+        HttpConnection conn(server->port());
+        for (int round = 0; round < kRounds; ++round) {
+          const Response lib = conn.get("/library?user=ka");
+          if (lib.status != 200 ||
+              lib.body.find("register") == std::string::npos) {
+            ++failures;
+          }
+          const Response design = conn.get("/design?user=ka&name=KA");
+          if (design.status != 200 ||
+              design.body.find("TOTAL") == std::string::npos) {
+            ++failures;
+          }
+          const Response api = conn.get("/api/designs");
+          if (api.status != 200 ||
+              api.body.find("KA") == std::string::npos) {
+            ++failures;
+          }
+          (void)t;
+        }
+      } catch (const HttpError&) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(server->connections_reused(), static_cast<std::uint64_t>(kThreads));
+  EXPECT_GE(server->requests_served(),
+            static_cast<std::uint64_t>(kThreads * kRounds * 3));
+}
+
+// The response cache serves byte-identical pages with a stable strong
+// ETag, answers If-None-Match with 304, and a mutation observably
+// invalidates the entry: fresh body, new ETag.
+TEST_F(ConcurrencyFixture, ResponseCacheInvalidationOnMutation) {
+  ASSERT_EQ(post("/design/add", {{"user", "cv"},
+                                 {"model", "register"},
+                                 {"design", "CV"},
+                                 {"row", "R0"},
+                                 {"p_bits", "8"},
+                                 {"p_f", "1000000"}})
+                .status,
+            200);
+
+  const std::string target = "/design/csv?user=cv&name=CV";
+  const Response first = get(target);
+  ASSERT_EQ(first.status, 200);
+  const std::string etag = first.headers.at("etag");
+  ASSERT_FALSE(etag.empty());
+
+  // Warm hit: byte-identical body, same ETag.
+  const Response second = get(target);
+  EXPECT_EQ(second.body, first.body);
+  EXPECT_EQ(second.headers.at("etag"), etag);
+
+  // Conditional GET with the matching tag: 304, empty body.
+  Request conditional;
+  conditional.target = target;
+  conditional.headers["if-none-match"] = etag;
+  const Response not_modified =
+      http_request(server->port(), conditional);
+  EXPECT_EQ(not_modified.status, 304);
+  EXPECT_TRUE(not_modified.body.empty());
+  EXPECT_EQ(not_modified.headers.at("etag"), etag);
+
+  // Mutate the design: the cached entry must not survive.
+  ASSERT_EQ(post("/design/play",
+                 {{"user", "cv"}, {"name", "CV"}, {"g_vdd", "2.5"}})
+                .status,
+            200);
+  const Response after = get(target);
+  ASSERT_EQ(after.status, 200);
+  EXPECT_NE(after.body, first.body);       // fresh render, new voltage
+  EXPECT_NE(after.headers.at("etag"), etag);  // and a new strong ETag
+  // The old tag no longer matches: a conditional GET gets a full 200.
+  const Response revalidate = http_request(server->port(), conditional);
+  EXPECT_EQ(revalidate.status, 200);
+  EXPECT_EQ(revalidate.body, after.body);
+
+  // An unrelated commit (a different user's profile) bumps the store
+  // revision; the fingerprint fast path revalidates this entry without
+  // a re-render, keeping body and ETag stable.
+  ASSERT_EQ(get("/menu?user=bystander").status, 200);
+  const Response still = get(target);
+  EXPECT_EQ(still.body, after.body);
+  EXPECT_EQ(still.headers.at("etag"), after.headers.at("etag"));
+
+  // /healthz reports the new serving counters.
+  const Response health = get("/healthz");
+  for (const char* key :
+       {"connections_reused", "parser_resumes", "responses_cached",
+        "etag_304s", "response_cache_entries", "response_cache_bytes"}) {
+    EXPECT_NE(health.body.find(key), std::string::npos) << key;
+  }
 }
 
 // /healthz reports the engine, cache, job-lifecycle and store-
