@@ -30,6 +30,24 @@ if(NOT clean_out MATCHES "clean")
   message(FATAL_ERROR "fsck of a clean store did not report clean: ${clean_out}")
 endif()
 
+# --json mode: machine-readable, same verdict, framing fields present.
+execute_process(
+  COMMAND "${PPCLI}" fsck "${store}" --json
+  RESULT_VARIABLE json_rc
+  OUTPUT_VARIABLE json_out)
+if(NOT json_rc EQUAL 0)
+  message(FATAL_ERROR "fsck --json of a clean store exited ${json_rc}: ${json_out}")
+endif()
+if(NOT json_out MATCHES "\"clean\": true")
+  message(FATAL_ERROR "fsck --json did not report clean: ${json_out}")
+endif()
+if(NOT json_out MATCHES "\"journal_sequence_ok\": true")
+  message(FATAL_ERROR "fsck --json missing sequence verdict: ${json_out}")
+endif()
+if(NOT json_out MATCHES "\"journal_epoch\": ")
+  message(FATAL_ERROR "fsck --json missing epoch field: ${json_out}")
+endif()
+
 file(GLOB designs "${store}/designs/*.ppdesign")
 list(LENGTH designs n)
 if(n EQUAL 0)

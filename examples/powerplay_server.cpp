@@ -12,6 +12,10 @@
 //   --keepalive-max N   requests served per connection before close (default 100)
 //   --idle-timeout-ms N keep-alive idle window before silent close (default 5000)
 //   --no-cache          disable the rendered-response cache
+//   --follow HOST:PORT  run as a read-only replication follower of the
+//                       primary at HOST:PORT (loopback only).  Reads are
+//                       served locally; writes answer 307 to the primary.
+//                       SIGUSR1 or POST /repl/promote promotes to primary.
 //
 // Then point any browser (or curl) at it:
 //
@@ -30,9 +34,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "library/store.hpp"
+#include "web/client.hpp"
+#include "web/repl.hpp"
 #include "models/berkeley_library.hpp"
 #include "studies/infopad.hpp"
 #include "studies/vq.hpp"
@@ -42,7 +49,9 @@
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_promote = 0;
 void handle_signal(int) { g_stop = 1; }
+void handle_promote(int) { g_promote = 1; }
 
 long flag_value(const char* flag, const char* value) {
   char* end = nullptr;
@@ -54,6 +63,29 @@ long flag_value(const char* flag, const char* value) {
   return v;
 }
 
+/// "HOST:PORT" -> port, insisting on loopback: every socket in this
+/// codebase binds and connects to 127.0.0.1 only.
+std::uint16_t parse_follow_target(const std::string& spec) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "--follow wants HOST:PORT, got '%s'\n", spec.c_str());
+    std::exit(2);
+  }
+  const std::string host = spec.substr(0, colon);
+  if (host != "127.0.0.1" && host != "localhost") {
+    std::fprintf(stderr,
+                 "--follow supports loopback primaries only, got '%s'\n",
+                 host.c_str());
+    std::exit(2);
+  }
+  const long port = flag_value("--follow", spec.substr(colon + 1).c_str());
+  if (port == 0 || port > 65535) {
+    std::fprintf(stderr, "--follow port out of range: %ld\n", port);
+    std::exit(2);
+  }
+  return static_cast<std::uint16_t>(port);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -61,6 +93,7 @@ int main(int argc, char** argv) {
 
   std::uint16_t port = 8080;
   std::string data_dir = "powerplay_data";
+  std::uint16_t follow_port = 0;  // 0 = primary (no one to follow)
   web::ServerOptions server_options;
   web::AppOptions app_options;
 
@@ -95,10 +128,13 @@ int main(int argc, char** argv) {
           std::chrono::milliseconds(flag_value("--idle-timeout-ms", next()));
     } else if (arg == "--no-cache") {
       app_options.response_cache = false;
+    } else if (arg == "--follow") {
+      follow_port = parse_follow_target(next());
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: %s [port] [data-dir] [--port N] [--data DIR] "
                   "[--workers N] [--queue N] [--io-timeout-ms N] "
-                  "[--keepalive-max N] [--idle-timeout-ms N] [--no-cache]\n",
+                  "[--keepalive-max N] [--idle-timeout-ms N] [--no-cache] "
+                  "[--follow HOST:PORT]\n",
                   argv[0]);
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -118,19 +154,41 @@ int main(int argc, char** argv) {
 
   web::PowerPlayApp app{library::LibraryStore(data_dir), {}, {}, app_options};
 
-  // Pre-load the paper's reference designs for browsing.
-  const auto& lib = app.registry();
-  if (!app.store().has_design("Luminance_1")) {
-    app.store().save_design(studies::make_luminance_impl1(lib));
-  }
-  if (!app.store().has_design("InfoPad_System")) {
-    app.store().save_design(studies::make_infopad(lib));
+  // Pre-load the paper's reference designs for browsing.  Not on a
+  // follower: its store mirrors the primary's stream, and a local
+  // commit here would be divergence before the first poll.
+  if (follow_port == 0) {
+    const auto& lib = app.registry();
+    if (!app.store().has_design("Luminance_1")) {
+      app.store().save_design(studies::make_luminance_impl1(lib));
+    }
+    if (!app.store().has_design("InfoPad_System")) {
+      app.store().save_design(studies::make_infopad(lib));
+    }
   }
 
   web::HttpServer server(port, [&](const web::Request& r) {
     return app.handle(r);
   }, server_options);
   app.set_stats_source([&server] { return server.stats(); });
+
+  // Follower wiring: a background thread keeps the local store converged
+  // with the primary; the app redirects writes there and reports lag.
+  std::unique_ptr<web::ReplicationFollower> follower;
+  if (follow_port != 0) {
+    follower = std::make_unique<web::ReplicationFollower>(
+        app.store(), std::make_shared<web::TcpTransport>(follow_port));
+    app.set_role(web::PowerPlayApp::ReplRole::kFollower,
+                 "http://127.0.0.1:" + std::to_string(follow_port));
+    app.set_repl_stats_source([&f = *follower] { return f.stats(); });
+    app.set_promote_hook([&app, &f = *follower] {
+      const std::uint64_t epoch = f.promote();
+      app.set_role(web::PowerPlayApp::ReplRole::kPrimary);
+      return epoch;
+    });
+    follower->start();
+  }
+
   server.start();
   std::printf("PowerPlay serving on http://127.0.0.1:%u/ (data in %s)\n",
               server.port(), data_dir.c_str());
@@ -138,15 +196,37 @@ int main(int argc, char** argv) {
               server_options.worker_count, server_options.queue_capacity,
               server_options.max_keepalive_requests,
               app_options.response_cache ? "on" : "off");
+  if (follower != nullptr) {
+    std::printf("Role: follower of http://127.0.0.1:%u/ "
+                "(writes redirect there; SIGUSR1 promotes)\n",
+                follow_port);
+  } else {
+    std::printf("Role: primary (epoch %llu)\n",
+                static_cast<unsigned long long>(app.store().epoch()));
+  }
   std::printf("Pre-loaded designs: Luminance_1, Luminance_2, "
               "Custom_Chipset, InfoPad_System\n");
   std::printf("Ctrl-C to stop.\n");
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+  std::signal(SIGUSR1, handle_promote);
   while (!g_stop) {
     ::pause();
+    if (g_promote) {
+      g_promote = 0;
+      if (follower != nullptr &&
+          app.role() == web::PowerPlayApp::ReplRole::kFollower) {
+        const std::uint64_t epoch = follower->promote();
+        app.set_role(web::PowerPlayApp::ReplRole::kPrimary);
+        std::printf("promoted to primary (epoch %llu)\n",
+                    static_cast<unsigned long long>(epoch));
+      } else {
+        std::printf("already primary; SIGUSR1 ignored\n");
+      }
+    }
   }
+  if (follower != nullptr) follower->stop();
   server.stop();
   // Graceful shutdown: drain job runners (cancelling what remains) and
   // compact the store's journal so the next start replays nothing.

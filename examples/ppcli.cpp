@@ -14,17 +14,84 @@
 //
 // Offline integrity check (exit 0 clean, 1 corruption found):
 //
-//   $ ./ppcli fsck [data-dir]
+//   $ ./ppcli fsck [data-dir] [--json]
+//
+// Verifies snapshot checksums plus the replication framing invariants:
+// journal epoch/sequence continuity and the follower cursor file.
+// --json emits one machine-readable object for monitoring scrapes.
+#include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "cli/repl.hpp"
 #include "library/store.hpp"
 
 namespace {
 
-int run_fsck(const std::string& data_dir) {
+/// Minimal JSON string escaping for problem lines (paths, quotes).
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void print_fsck_json(std::ostream& os, const std::string& data_dir,
+                     const powerplay::library::FsckReport& report) {
+  const char* const comma = ",\n  ";
+  os << "{\n  ";
+  os << "\"data_dir\": \"" << json_escape(data_dir) << "\"" << comma;
+  os << "\"files_checked\": " << report.files_checked << comma;
+  os << "\"corrupt\": " << report.corrupt << comma;
+  os << "\"journal_present\": " << (report.journal_present ? "true" : "false")
+     << comma;
+  os << "\"journal_header_ok\": "
+     << (report.journal_header_ok ? "true" : "false") << comma;
+  os << "\"journal_torn\": " << (report.journal_torn ? "true" : "false")
+     << comma;
+  os << "\"journal_records\": " << report.journal_records << comma;
+  os << "\"journal_version\": " << report.journal_version << comma;
+  os << "\"journal_epoch\": " << report.journal_epoch << comma;
+  os << "\"journal_base_seq\": " << report.journal_base_seq << comma;
+  os << "\"journal_last_seq\": " << report.journal_last_seq << comma;
+  os << "\"journal_sequence_ok\": "
+     << (report.journal_sequence_ok ? "true" : "false") << comma;
+  os << "\"cursor_present\": " << (report.cursor_present ? "true" : "false")
+     << comma;
+  os << "\"cursor_ok\": " << (report.cursor_ok ? "true" : "false") << comma;
+  os << "\"cursor_epoch\": " << report.cursor_epoch << comma;
+  os << "\"cursor_seq\": " << report.cursor_seq << comma;
+  os << "\"problems\": [";
+  for (std::size_t i = 0; i < report.problems.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "\"" << json_escape(report.problems[i]) << "\"";
+  }
+  os << "]" << comma;
+  os << "\"clean\": " << (report.clean() ? "true" : "false") << "\n}\n";
+}
+
+int run_fsck(const std::string& data_dir, bool json) {
   using namespace powerplay;
   const library::FsckReport report = library::fsck_store(data_dir);
+  if (json) {
+    print_fsck_json(std::cout, data_dir, report);
+    return report.clean() ? 0 : 1;
+  }
   std::cout << "fsck " << data_dir << "\n";
   std::cout << "files_checked: " << report.files_checked << "\n";
   std::cout << "corrupt: " << report.corrupt << "\n";
@@ -33,8 +100,21 @@ int run_fsck(const std::string& data_dir) {
   if (report.journal_present) {
     std::cout << "journal_header_ok: "
               << (report.journal_header_ok ? "yes" : "no") << "\n";
+    std::cout << "journal_version: " << report.journal_version << "\n";
     std::cout << "journal_records: " << report.journal_records << "\n";
     std::cout << "journal_torn: " << (report.journal_torn ? "yes" : "no")
+              << "\n";
+    // The durable replication position this journal attests to: a
+    // follower at (epoch, last_seq) has everything it holds.
+    std::cout << "journal_epoch: " << report.journal_epoch << "\n";
+    std::cout << "journal_base_seq: " << report.journal_base_seq << "\n";
+    std::cout << "journal_last_seq: " << report.journal_last_seq << "\n";
+    std::cout << "journal_sequence_ok: "
+              << (report.journal_sequence_ok ? "yes" : "no") << "\n";
+  }
+  if (report.cursor_present) {
+    std::cout << "cursor_ok: " << (report.cursor_ok ? "yes" : "no") << "\n";
+    std::cout << "cursor: " << report.cursor_epoch << ":" << report.cursor_seq
               << "\n";
   }
   for (const std::string& problem : report.problems) {
@@ -49,7 +129,17 @@ int run_fsck(const std::string& data_dir) {
 int main(int argc, char** argv) {
   using namespace powerplay;
   if (argc > 1 && std::string(argv[1]) == "fsck") {
-    return run_fsck(argc > 2 ? argv[2] : "powerplay_data");
+    std::string data_dir = "powerplay_data";
+    bool json = false;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json") {
+        json = true;
+      } else {
+        data_dir = arg;
+      }
+    }
+    return run_fsck(data_dir, json);
   }
   const std::string data_dir = argc > 1 ? argv[1] : "powerplay_data";
   return cli::run_repl(std::cin, std::cout,

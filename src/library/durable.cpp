@@ -48,6 +48,34 @@ std::uint32_t crc32(const std::string& data) {
   return crc32(data.data(), data.size());
 }
 
+void put_u32le(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+void put_u64le(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+std::uint32_t get_u32le(const std::string& bytes, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = v << 8 | static_cast<unsigned char>(bytes[at + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+std::uint64_t get_u64le(const std::string& bytes, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = v << 8 | static_cast<unsigned char>(bytes[at + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
 void fsync_fd(int fd, const fs::path& what) {
   if (::fsync(fd) != 0) fail_errno("fsync " + what.string());
 }

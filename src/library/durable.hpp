@@ -28,6 +28,15 @@ namespace powerplay::library {
                                   std::uint32_t seed = 0);
 [[nodiscard]] std::uint32_t crc32(const std::string& data);
 
+/// Little-endian integer framing shared by the journal and the
+/// replication codecs (one definition so both sides of the wire agree).
+void put_u32le(std::string& out, std::uint32_t v);
+void put_u64le(std::string& out, std::uint64_t v);
+[[nodiscard]] std::uint32_t get_u32le(const std::string& bytes,
+                                      std::size_t at);
+[[nodiscard]] std::uint64_t get_u64le(const std::string& bytes,
+                                      std::size_t at);
+
 /// fsync an open descriptor / a directory (so a rename inside it is
 /// durable).  Throws FormatError on failure; filesystems that do not
 /// support directory fsync (EINVAL/ENOTSUP) are tolerated.

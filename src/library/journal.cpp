@@ -21,27 +21,6 @@ namespace {
   throw FormatError(what + ": " + std::strerror(errno));
 }
 
-void put_u32le(std::string& out, std::uint32_t v) {
-  out.push_back(static_cast<char>(v & 0xFF));
-  out.push_back(static_cast<char>((v >> 8) & 0xFF));
-  out.push_back(static_cast<char>((v >> 16) & 0xFF));
-  out.push_back(static_cast<char>((v >> 24) & 0xFF));
-}
-
-std::uint32_t get_u32le(const std::string& bytes, std::size_t at) {
-  return static_cast<std::uint32_t>(
-             static_cast<unsigned char>(bytes[at])) |
-         static_cast<std::uint32_t>(
-             static_cast<unsigned char>(bytes[at + 1]))
-             << 8 |
-         static_cast<std::uint32_t>(
-             static_cast<unsigned char>(bytes[at + 2]))
-             << 16 |
-         static_cast<std::uint32_t>(
-             static_cast<unsigned char>(bytes[at + 3]))
-             << 24;
-}
-
 std::string read_whole_file(const fs::path& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return {};
@@ -84,6 +63,35 @@ bool parse_payload(const std::string& payload, JournalRecord* record) {
   return true;
 }
 
+/// The 16 position bytes a frame's CRC covers alongside its payload.
+std::string stamp_bytes(std::uint64_t epoch, std::uint64_t seq) {
+  std::string stamp;
+  stamp.reserve(16);
+  put_u64le(stamp, epoch);
+  put_u64le(stamp, seq);
+  return stamp;
+}
+
+std::string header_bytes(std::uint64_t epoch, std::uint64_t base_seq) {
+  std::string out(Journal::kMagic, Journal::kMagicSize);
+  std::string pos = stamp_bytes(epoch, base_seq);
+  put_u32le(pos, crc32(pos));
+  return out + pos;
+}
+
+std::string frame_bytes_for(std::uint64_t epoch, std::uint64_t seq,
+                            const std::string& payload) {
+  const std::string stamp = stamp_bytes(epoch, seq);
+  std::string frame;
+  frame.reserve(Journal::kFrameOverhead + payload.size());
+  put_u32le(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32le(frame, crc32(payload.data(), payload.size(),
+                         crc32(stamp.data(), stamp.size())));
+  frame += stamp;
+  frame += payload;
+  return frame;
+}
+
 }  // namespace
 
 Journal::Journal(fs::path path) : path_(std::move(path)) {
@@ -91,15 +99,22 @@ Journal::Journal(fs::path path) : path_(std::move(path)) {
   std::error_code ec;
   if (!fs::exists(path_, ec)) {
     // Durably create the header-only file before anything can commit.
-    atomic_write_file(path_, kMagic);
-    size_ = kMagicSize;
+    atomic_write_file(path_, header_bytes(epoch_, base_seq_));
+    size_ = kHeaderSize;
   } else {
-    const std::string head = read_whole_file(path_);
-    size_ = head.size();
-    header_valid_ =
-        head.size() >= kMagicSize && head.compare(0, kMagicSize, kMagic) == 0;
+    const std::string raw = read_whole_file(path_);
+    size_ = raw.size();
+    const ReadResult parsed = parse(raw);
+    header_valid_ = parsed.header_ok;
+    version_ = parsed.version;
+    if (header_valid_) {
+      epoch_ = parsed.epoch;
+      base_seq_ = parsed.base_seq;
+      next_seq_ = parsed.records.empty() ? base_seq_
+                                         : parsed.records.back().seq + 1;
+    }
   }
-  if (header_valid_) open_for_append_locked();
+  if (header_valid_ && version_ == 2) open_for_append_locked();
 }
 
 Journal::~Journal() {
@@ -114,26 +129,40 @@ void Journal::open_for_append_locked() {
 
 std::uint64_t Journal::tail_bytes() const {
   std::lock_guard lock(mutex_);
-  return size_ > kMagicSize ? size_ - kMagicSize : 0;
+  const std::uint64_t header =
+      version_ == 1 ? kMagicSize : kHeaderSize;
+  return size_ > header ? size_ - header : 0;
 }
 
-void Journal::append(const JournalRecord& record) {
+std::uint64_t Journal::epoch() const {
+  std::lock_guard lock(mutex_);
+  return epoch_;
+}
+
+std::uint64_t Journal::last_seq() const {
+  std::lock_guard lock(mutex_);
+  return next_seq_ - 1;
+}
+
+std::uint64_t Journal::base_seq() const {
+  std::lock_guard lock(mutex_);
+  return base_seq_;
+}
+
+std::uint64_t Journal::append(const JournalRecord& record) {
   const std::string payload = payload_text(record);
   if (payload.size() > kMaxPayloadBytes) {
     throw FormatError("journal record exceeds " +
                       std::to_string(kMaxPayloadBytes) + " bytes");
   }
-  std::string frame;
-  frame.reserve(payload.size() + 8);
-  put_u32le(frame, static_cast<std::uint32_t>(payload.size()));
-  put_u32le(frame, crc32(payload));
-  frame += payload;
 
   std::lock_guard lock(mutex_);
-  if (fd_ < 0) {
+  if (fd_ < 0 || version_ != 2) {
     throw FormatError("journal " + path_.string() +
-                      " is not open (invalid header; rotate first)");
+                      " is not open (invalid or legacy header; rotate first)");
   }
+  const std::uint64_t seq = next_seq_;
+  const std::string frame = frame_bytes_for(epoch_, seq, payload);
   std::size_t written = 0;
   while (written < frame.size()) {
     const std::size_t want = frame.size() - written;
@@ -170,8 +199,10 @@ void Journal::append(const JournalRecord& record) {
     errno = err;
     fail_errno("fsync " + path_.string());
   }
-  // The ack point: the record is now durable.
+  // The ack point: the record is now durable at (epoch_, seq).
   size_ += frame.size();
+  next_seq_ = seq + 1;
+  return seq;
 }
 
 void Journal::unwind_failed_append_locked() {
@@ -203,51 +234,127 @@ Journal::ReadResult Journal::read_all() const {
 
 void Journal::rotate() {
   std::lock_guard lock(mutex_);
+  rotate_locked(epoch_ + 1);
+}
+
+void Journal::rotate_to_epoch(std::uint64_t epoch,
+                              std::uint64_t min_next_seq) {
+  std::lock_guard lock(mutex_);
+  if (epoch <= epoch_) {
+    throw FormatError("journal rotation must advance the epoch (" +
+                      std::to_string(epoch) + " <= " +
+                      std::to_string(epoch_) + ")");
+  }
+  if (min_next_seq > next_seq_) next_seq_ = min_next_seq;
+  rotate_locked(epoch);
+}
+
+void Journal::rotate_locked(std::uint64_t new_epoch) {
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
   }
-  atomic_write_file(path_, kMagic);
-  size_ = kMagicSize;
+  epoch_ = new_epoch;
+  base_seq_ = next_seq_;
+  atomic_write_file(path_, header_bytes(epoch_, base_seq_));
+  size_ = kHeaderSize;
   header_valid_ = true;
+  version_ = 2;
   open_for_append_locked();
 }
 
 Journal::ReadResult Journal::parse(const std::string& bytes) {
   ReadResult out;
-  if (bytes.size() < kMagicSize ||
-      bytes.compare(0, kMagicSize, kMagic) != 0) {
+  const bool v2 =
+      bytes.size() >= kMagicSize && bytes.compare(0, kMagicSize, kMagic) == 0;
+  const bool v1 = !v2 && bytes.size() >= kMagicSize &&
+                  bytes.compare(0, kMagicSize, kMagicV1) == 0;
+  if (!v2 && !v1) {
     out.header_ok = false;
     return out;
   }
+  out.version = v2 ? 2 : 1;
+
   std::size_t pos = kMagicSize;
+  if (v2) {
+    if (bytes.size() < kHeaderSize) {
+      out.header_ok = false;  // torn mid-header: no position to trust
+      return out;
+    }
+    const std::string stamped = bytes.substr(kMagicSize, 16);
+    if (crc32(stamped) != get_u32le(bytes, kMagicSize + 16)) {
+      out.header_ok = false;
+      return out;
+    }
+    out.epoch = get_u64le(bytes, kMagicSize);
+    out.base_seq = get_u64le(bytes, kMagicSize + 8);
+    pos = kHeaderSize;
+  } else {
+    // Legacy file: no stamped positions.  Synthesize epoch 0 and seq
+    // numbers 1..n so replay and fsck still have a coherent cursor; the
+    // upgrade rotation assigns real ones.
+    out.epoch = 0;
+    out.base_seq = 1;
+  }
   out.valid_bytes = pos;
+
+  const std::size_t overhead = v2 ? kFrameOverhead : 8;
+  std::uint64_t next_seq = out.base_seq;
   while (pos < bytes.size()) {
-    if (bytes.size() - pos < 8) {
+    if (bytes.size() - pos < overhead) {
       out.torn = true;  // frame header itself is torn
       break;
     }
     const std::uint32_t length = get_u32le(bytes, pos);
     const std::uint32_t crc = get_u32le(bytes, pos + 4);
-    if (length > kMaxPayloadBytes || bytes.size() - pos - 8 < length) {
+    if (length > kMaxPayloadBytes ||
+        bytes.size() - pos - overhead < length) {
       out.torn = true;  // length field corrupt or payload truncated
       break;
     }
-    const std::string payload = bytes.substr(pos + 8, length);
-    if (crc32(payload) != crc) {
-      out.torn = true;  // payload or frame bits flipped
+    std::uint64_t epoch = out.epoch;
+    std::uint64_t seq = next_seq;
+    std::uint32_t expect = 0;
+    if (v2) {
+      epoch = get_u64le(bytes, pos + 8);
+      seq = get_u64le(bytes, pos + 16);
+      expect = crc32(bytes.data() + pos + 8 + 16, length,
+                     crc32(bytes.data() + pos + 8, 16));
+    } else {
+      expect = crc32(bytes.data() + pos + 8, length);
+    }
+    if (expect != crc) {
+      out.torn = true;  // payload, stamp or frame bits flipped
       break;
     }
+    const std::string payload = bytes.substr(pos + overhead, length);
     JournalRecord record;
     if (!parse_payload(payload, &record)) {
       out.torn = true;  // CRC matched but the grammar did not: corrupt
       break;
     }
+    record.epoch = epoch;
+    record.seq = seq;
     out.records.push_back(std::move(record));
-    pos += 8 + length;
+    next_seq = seq + 1;
+    pos += overhead + length;
     out.valid_bytes = pos;
   }
   return out;
+}
+
+std::string Journal::encode_stream(std::uint64_t epoch,
+                                   std::uint64_t base_seq,
+                                   const std::vector<JournalRecord>& records) {
+  std::string out = header_bytes(epoch, base_seq);
+  for (const JournalRecord& record : records) {
+    out += frame_bytes_for(record.epoch, record.seq, payload_text(record));
+  }
+  return out;
+}
+
+std::size_t Journal::frame_bytes(const JournalRecord& record) {
+  return kFrameOverhead + payload_text(record).size();
 }
 
 }  // namespace powerplay::library

@@ -6,15 +6,35 @@
 // once it returns, the mutation survives a crash at any later write
 // boundary, because startup replay re-applies every intact record.
 //
+// Since the replication work every record also carries a durable
+// position: a store **epoch** (bumped whenever the journal restarts —
+// rotation, promotion, quarantine replacement) and a **sequence
+// number** that increases monotonically across the store's whole life,
+// never resetting at rotation.  `(epoch, seq)` is therefore a stable
+// cursor into the commit stream: a follower that has applied everything
+// up to `(e, s)` can ask for "records of epoch e after s", and an epoch
+// change tells it the tail it was reading no longer exists (the primary
+// rotated, recovered, or a different node was promoted) so it must
+// re-bootstrap from a snapshot.
+//
 // On-disk layout (`journal.ppwal` in the store root):
 //
-//   "ppwal v1\n"                              9-byte magic header
+//   "ppwal v2\n"                              9-byte magic
+//   u64 LE  epoch                             ┐ 20-byte header:
+//   u64 LE  base_seq (first seq in this file) │ positions survive
+//   u32 LE  CRC-32 of the 16 bytes above      ┘ rotation
 //   repeated records:
 //     u32 LE  payload length
-//     u32 LE  CRC-32 of the payload
+//     u32 LE  CRC-32 of (epoch ‖ seq ‖ payload)
+//     u64 LE  epoch
+//     u64 LE  seq
 //     payload bytes:
 //       put <kind> "<name>"\n<file contents>   — or —
 //       del <kind> "<name>"\n
+//
+// The v1 format (no positions, magic "ppwal v1\n") is still *parsed* so
+// an upgraded store replays its old journal; recovery then rotates,
+// which rewrites the file as v2.  Appending to a v1 file is refused.
 //
 // A crash mid-append leaves a torn tail: a record whose frame runs past
 // end-of-file or whose CRC mismatches.  Replay stops at the first such
@@ -38,20 +58,30 @@ struct JournalRecord {
   std::string kind;      ///< "model" | "design" | "user"
   std::string name;      ///< store entry name (validated by the store)
   std::string contents;  ///< full file body for kPut; empty for kDelete
+  /// Stream position, stamped by append() and filled in by parse().
+  /// Zero on records that have not been through either.
+  std::uint64_t epoch = 0;
+  std::uint64_t seq = 0;
 };
 
 class Journal {
  public:
-  static constexpr char kMagic[] = "ppwal v1\n";  // 9 bytes + NUL
+  static constexpr char kMagic[] = "ppwal v2\n";  // 9 bytes + NUL
+  static constexpr char kMagicV1[] = "ppwal v1\n";
   static constexpr std::size_t kMagicSize = sizeof kMagic - 1;
+  /// Magic + epoch + base_seq + header CRC.
+  static constexpr std::size_t kHeaderSize = kMagicSize + 8 + 8 + 4;
+  /// Bytes of framing around one record's payload (len+crc+epoch+seq).
+  static constexpr std::size_t kFrameOverhead = 4 + 4 + 8 + 8;
   /// Upper bound on one record's payload; anything larger in a frame
   /// header is treated as corruption, not an allocation request.
   static constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
 
-  /// Opens (creating, durably, if absent) the journal at `path`.  An
-  /// existing file whose header is not the magic is left untouched and
-  /// reported via header_valid(); the store quarantines it and calls
-  /// rotate() to start fresh.
+  /// Opens (creating, durably, if absent) the journal at `path`.  A
+  /// fresh journal starts at epoch 1, seq 1.  An existing file whose
+  /// header is neither v2 nor v1 is left untouched and reported via
+  /// header_valid(); the store quarantines it and calls rotate() to
+  /// start fresh.
   explicit Journal(std::filesystem::path path);
   ~Journal();
 
@@ -60,18 +90,32 @@ class Journal {
 
   [[nodiscard]] const std::filesystem::path& path() const { return path_; }
   [[nodiscard]] bool header_valid() const { return header_valid_; }
+  /// 2 for the current format, 1 for a legacy file awaiting its upgrade
+  /// rotation (appends are refused until then).
+  [[nodiscard]] int version() const { return version_; }
   /// Bytes of record data past the header (0 = nothing to replay).
   [[nodiscard]] std::uint64_t tail_bytes() const;
 
-  /// Frame, append and fsync one record.  Thread-safe.  Returns only
-  /// once the record is durable — this is the mutation's ack point.
-  void append(const JournalRecord& record);
+  /// Current stream position.  last_seq() is the seq of the newest
+  /// durable record ever stamped (base_seq - 1 when this file is empty).
+  [[nodiscard]] std::uint64_t epoch() const;
+  [[nodiscard]] std::uint64_t last_seq() const;
+  [[nodiscard]] std::uint64_t base_seq() const;
+
+  /// Frame, append and fsync one record, stamping it with this
+  /// journal's current epoch and the next sequence number.  Thread-safe.
+  /// Returns the stamped seq only once the record is durable — this is
+  /// the mutation's ack point.
+  std::uint64_t append(const JournalRecord& record);
 
   struct ReadResult {
     std::vector<JournalRecord> records;  ///< every intact record, in order
     bool header_ok = true;  ///< false: not a journal (or torn header)
     bool torn = false;      ///< trailing bytes did not form a record
     std::uint64_t valid_bytes = 0;  ///< offset just past the last record
+    int version = 0;                ///< 2, or 1 for a legacy file
+    std::uint64_t epoch = 0;        ///< header epoch (0 for v1)
+    std::uint64_t base_seq = 1;     ///< header base seq (1 for v1)
   };
 
   /// Parse the current file from disk.  Never throws on corruption —
@@ -79,11 +123,30 @@ class Journal {
   [[nodiscard]] ReadResult read_all() const;
 
   /// Atomically replace the file with a fresh, empty (header-only)
-  /// journal.  Thread-safe; durable before return.
+  /// journal one epoch later; sequence numbering continues where it
+  /// was.  Thread-safe; durable before return.
   void rotate();
+  /// Rotation to an explicit epoch (promotion wants a fresh epoch
+  /// strictly above anything either replica has seen).  `epoch` must
+  /// exceed the current epoch.  `min_next_seq` additionally fast-
+  /// forwards sequence numbering (a promoted follower continues the
+  /// stream past the highest seq it applied, keeping seq monotonic
+  /// across the failover).
+  void rotate_to_epoch(std::uint64_t epoch, std::uint64_t min_next_seq = 0);
 
-  /// Parse a journal byte blob (fsck and tests).
+  /// Parse a journal byte blob (fsck, tests, and the replication feed
+  /// decoder — a feed response body is this exact format).
   [[nodiscard]] static ReadResult parse(const std::string& bytes);
+
+  /// Serialize records (which must carry their stamped epoch/seq) into
+  /// journal file format: magic + header(epoch, base_seq) + frames.
+  /// The replication feed's wire encoding.
+  [[nodiscard]] static std::string encode_stream(
+      std::uint64_t epoch, std::uint64_t base_seq,
+      const std::vector<JournalRecord>& records);
+
+  /// Bytes one record occupies on disk / on the feed wire.
+  [[nodiscard]] static std::size_t frame_bytes(const JournalRecord& record);
 
   /// Fault injection for the recovery tests: the next append fails (as
   /// ENOSPC would) after writing `after_bytes` bytes of its frame,
@@ -94,6 +157,7 @@ class Journal {
   static constexpr std::uint64_t kUnlimitedWrites = ~0ull;
 
   void open_for_append_locked();
+  void rotate_locked(std::uint64_t new_epoch);
   /// Truncate away the torn bytes of a failed append (or fail-stop by
   /// closing the descriptor) so later appends stay reachable by replay.
   void unwind_failed_append_locked();
@@ -102,7 +166,11 @@ class Journal {
   mutable std::mutex mutex_;
   int fd_ = -1;
   bool header_valid_ = true;
-  std::uint64_t size_ = 0;  ///< current file size in bytes
+  int version_ = 2;
+  std::uint64_t size_ = 0;      ///< current file size in bytes
+  std::uint64_t epoch_ = 1;     ///< epoch stamped on new records
+  std::uint64_t next_seq_ = 1;  ///< seq stamped on the next record
+  std::uint64_t base_seq_ = 1;  ///< first seq belonging to this file
   std::uint64_t write_budget_for_testing_ = kUnlimitedWrites;
 };
 

@@ -1,0 +1,145 @@
+#include "library/replica.hpp"
+
+#include <cstdint>
+
+#include "library/durable.hpp"
+#include "library/textio.hpp"
+
+namespace powerplay::library {
+
+namespace {
+
+constexpr char kCursorMagic[] = "pprepl cursor v1";
+constexpr char kSnapshotMagic[] = "pprepl snapshot v1";
+
+/// Strict decimal u64 (no sign, no leading '+', overflow-checked).
+/// Epochs and sequence numbers must round-trip exactly, which rules out
+/// the tokenizer's double-valued numbers for them.
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  if (text.empty() || text.size() > 20) return false;
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (~0ull - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+/// Take the line starting at `pos` (without its '\n'); advances `pos`
+/// past the newline.  False at end of input or on a final unterminated
+/// line (every line of these codecs ends in '\n').
+bool take_line(const std::string& text, std::size_t* pos,
+               std::string* line) {
+  if (*pos >= text.size()) return false;
+  const std::size_t nl = text.find('\n', *pos);
+  if (nl == std::string::npos) return false;
+  *line = text.substr(*pos, nl - *pos);
+  *pos = nl + 1;
+  return true;
+}
+
+/// Parse `"<key> <u64>"`.
+bool parse_kv_u64(const std::string& line, const std::string& key,
+                  std::uint64_t* out) {
+  if (line.size() <= key.size() + 1 ||
+      line.compare(0, key.size(), key) != 0 || line[key.size()] != ' ') {
+    return false;
+  }
+  return parse_u64(line.substr(key.size() + 1), out);
+}
+
+}  // namespace
+
+std::string encode_cursor(const ReplCursor& cursor) {
+  std::string out = kCursorMagic;
+  out += "\nepoch " + std::to_string(cursor.epoch);
+  out += "\nseq " + std::to_string(cursor.seq);
+  out += "\n";
+  return with_checksum_footer(std::move(out));
+}
+
+ReplCursor parse_cursor(const std::string& raw) {
+  ReplCursor cursor;
+  std::string body;
+  if (verify_snapshot(raw, &body) != SnapshotState::kOk) return cursor;
+  std::size_t pos = 0;
+  std::string line;
+  if (!take_line(body, &pos, &line) || line != kCursorMagic) return cursor;
+  if (!take_line(body, &pos, &line) ||
+      !parse_kv_u64(line, "epoch", &cursor.epoch)) {
+    return cursor;
+  }
+  if (!take_line(body, &pos, &line) ||
+      !parse_kv_u64(line, "seq", &cursor.seq)) {
+    return cursor;
+  }
+  cursor.valid = pos == body.size();
+  return cursor;
+}
+
+std::string encode_snapshot(const ReplSnapshot& snapshot) {
+  std::string out = kSnapshotMagic;
+  out += "\nepoch " + std::to_string(snapshot.epoch);
+  out += "\nseq " + std::to_string(snapshot.seq);
+  out += "\n";
+  for (const JournalRecord& entry : snapshot.entries) {
+    out += "entry " + entry.kind + " " + quoted(entry.name) + " " +
+           std::to_string(entry.contents.size()) + "\n";
+    out += entry.contents;
+    out += "\n";
+  }
+  out += "end\n";
+  return with_checksum_footer(std::move(out));
+}
+
+bool parse_snapshot(const std::string& raw, ReplSnapshot* out) {
+  *out = ReplSnapshot{};
+  std::string body;
+  if (verify_snapshot(raw, &body) != SnapshotState::kOk) return false;
+  std::size_t pos = 0;
+  std::string line;
+  if (!take_line(body, &pos, &line) || line != kSnapshotMagic) return false;
+  if (!take_line(body, &pos, &line) ||
+      !parse_kv_u64(line, "epoch", &out->epoch)) {
+    return false;
+  }
+  if (!take_line(body, &pos, &line) ||
+      !parse_kv_u64(line, "seq", &out->seq)) {
+    return false;
+  }
+  for (;;) {
+    if (!take_line(body, &pos, &line)) return false;
+    if (line == "end") return pos == body.size();
+    // `entry <kind> "<name>" <nbytes>` — the name needs the tokenizer's
+    // escape handling; nbytes (≤ 64 MiB) is exact in a double.
+    JournalRecord entry;
+    std::size_t nbytes = 0;
+    try {
+      TokCursor cur(tokenize_document(line));
+      cur.expect_ident("entry");
+      entry.kind = cur.take_ident();
+      entry.name = cur.take_string();
+      const double n = cur.take_number();
+      if (!cur.at_end() || n < 0 || n > Journal::kMaxPayloadBytes ||
+          n != static_cast<double>(static_cast<std::size_t>(n))) {
+        return false;
+      }
+      nbytes = static_cast<std::size_t>(n);
+    } catch (const FormatError&) {
+      return false;
+    }
+    // The body is raw bytes, followed by a '\n' separator of our own.
+    if (body.size() - pos < nbytes + 1) return false;
+    entry.contents = body.substr(pos, nbytes);
+    pos += nbytes;
+    if (body[pos] != '\n') return false;
+    ++pos;
+    entry.op = JournalRecord::Op::kPut;
+    out->entries.push_back(std::move(entry));
+  }
+}
+
+}  // namespace powerplay::library

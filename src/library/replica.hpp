@@ -1,0 +1,76 @@
+// replica.hpp — wire/disk codecs for journal-shipping replication.
+//
+// Replication ships the store's commit stream (see journal.hpp for the
+// `(epoch, seq)` cursor semantics).  Two artifacts need a serialized
+// form beyond the journal itself:
+//
+//   * the **snapshot** a follower bootstraps from — the full store
+//     contents frozen at a cursor, shipped as one body by
+//     `GET /repl/snapshot` and installable in one shot;
+//   * the follower's **durable cursor** (`repl.cursor` in the store
+//     root) — the position up to which every record has been applied
+//     locally.  It is flushed lazily (once per applied batch, not per
+//     record); a crash between apply and flush merely re-fetches
+//     records the idempotent replay then skips.
+//
+// Both are text with the store's `#ppck` checksum footer, so the same
+// verify/quarantine machinery covers them.
+//
+// Snapshot grammar (sizes in bytes; entry bodies are raw, uncounted by
+// the line tokenizer):
+//
+//   pprepl snapshot v1
+//   epoch <e>
+//   seq <s>
+//   entry <kind> "<name>" <nbytes>
+//   <nbytes raw bytes>
+//   ...
+//   end
+//
+// Cursor grammar:
+//
+//   pprepl cursor v1
+//   epoch <e>
+//   seq <s>
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "library/journal.hpp"
+
+namespace powerplay::library {
+
+/// A position in the replicated commit stream.  `valid` is false when
+/// no position is held (fresh follower, cleared cursor, corrupt file) —
+/// the signal to re-bootstrap from a snapshot.
+struct ReplCursor {
+  std::uint64_t epoch = 0;
+  std::uint64_t seq = 0;
+  bool valid = false;
+
+  friend bool operator==(const ReplCursor&, const ReplCursor&) = default;
+};
+
+/// Full store contents frozen at (epoch, seq).  Entries reuse
+/// JournalRecord (op is always kPut) so installation shares the
+/// store's single apply path.
+struct ReplSnapshot {
+  std::uint64_t epoch = 0;
+  std::uint64_t seq = 0;
+  std::vector<JournalRecord> entries;
+};
+
+/// Serialize with the `#ppck` footer already appended — the result is
+/// the exact file/wire body.
+[[nodiscard]] std::string encode_cursor(const ReplCursor& cursor);
+[[nodiscard]] std::string encode_snapshot(const ReplSnapshot& snapshot);
+
+/// Footer-verifying parses.  A failed cursor parse returns
+/// `valid == false` (the caller re-bootstraps); a failed snapshot parse
+/// returns false and leaves `*out` unspecified.
+[[nodiscard]] ReplCursor parse_cursor(const std::string& raw);
+[[nodiscard]] bool parse_snapshot(const std::string& raw, ReplSnapshot* out);
+
+}  // namespace powerplay::library

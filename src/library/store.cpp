@@ -15,6 +15,7 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr char kJournalFile[] = "journal.ppwal";
+constexpr char kCursorFile[] = "repl.cursor";
 
 /// kind -> (directory, extension); the journal speaks these kinds.
 struct KindLayout {
@@ -170,6 +171,7 @@ LibraryStore::LibraryStore(fs::path root, StoreOptions options)
     : root_(std::move(root)),
       options_(options),
       counters_(std::make_unique<Counters>()),
+      signal_(std::make_unique<CommitSignal>()),
       commit_mutex_(std::make_unique<std::mutex>()) {
   fs::create_directories(root_ / "models");
   fs::create_directories(root_ / "designs");
@@ -177,6 +179,8 @@ LibraryStore::LibraryStore(fs::path root, StoreOptions options)
   fs::create_directories(root_ / "quarantine");
   journal_ = std::make_unique<Journal>(root_ / kJournalFile);
   recover();
+  std::lock_guard lock(*commit_mutex_);
+  load_replication_cursor_locked();
 }
 
 fs::path LibraryStore::model_path(const std::string& n) const {
@@ -216,9 +220,12 @@ void LibraryStore::commit(const JournalRecord& record) {
   if (journal_->tail_bytes() > options_.journal_rotate_bytes) {
     // Every record up to here was applied to a fsync'd snapshot the
     // moment it was appended, so the tail is redundant: compact it.
+    // (The rotation bumps the epoch; followers past the tail re-sync
+    // from a snapshot, which is exactly the state they already hold.)
     journal_->rotate();
     counters_->journal_rotations.fetch_add(1);
   }
+  notify_position_moved();
 }
 
 void LibraryStore::apply(const JournalRecord& record) {
@@ -303,7 +310,11 @@ void LibraryStore::recover() {
   }
 
   // 4. Compact: the replayed (and any torn) bytes are now redundant.
-  if (!replay.records.empty() || replay.torn) {
+  //    Also upgrades a legacy (v1, unstamped) journal to the current
+  //    framing — appends refuse v1 files, so the rotation is mandatory.
+  //    Either way the rotation bumps the epoch, which is the correct
+  //    signal to any follower: this store's history just changed shape.
+  if (!replay.records.empty() || replay.torn || journal_->version() == 1) {
     journal_->rotate();
     counters_->journal_rotations.fetch_add(1);
   }
@@ -324,7 +335,192 @@ void LibraryStore::flush() {
   if (journal_->tail_bytes() > 0) {
     journal_->rotate();
     counters_->journal_rotations.fetch_add(1);
+    notify_position_moved();
   }
+  if (repl_cursor_dirty_) {
+    atomic_write_file(cursor_path(), encode_cursor(repl_cursor_));
+    repl_cursor_dirty_ = false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Replication
+// ---------------------------------------------------------------------------
+
+void LibraryStore::notify_position_moved() const {
+  // Lock-then-notify so a waiter cannot check the predicate, miss this
+  // update, and then sleep through the wakeup.
+  { std::lock_guard lock(signal_->mutex); }
+  signal_->cv.notify_all();
+}
+
+fs::path LibraryStore::cursor_path() const { return root_ / kCursorFile; }
+
+void LibraryStore::load_replication_cursor_locked() {
+  const fs::path path = cursor_path();
+  if (!fs::exists(path)) return;
+  const ReplCursor cursor = parse_cursor(read_file(path));
+  if (cursor.valid) {
+    repl_cursor_ = cursor;
+  } else {
+    // Corrupt cursor: preserve the evidence and fall back to a full
+    // re-bootstrap (always safe, never wrong).
+    quarantine(path);
+  }
+}
+
+std::uint64_t LibraryStore::epoch() const { return journal_->epoch(); }
+
+std::uint64_t LibraryStore::last_seq() const { return journal_->last_seq(); }
+
+LibraryStore::ReplFeed LibraryStore::read_replication_feed(
+    std::uint64_t epoch, std::uint64_t after_seq,
+    std::size_t max_bytes) const {
+  // One read_all() gives a consistent (header, records) view even while
+  // commits land concurrently.
+  const Journal::ReadResult tail = journal_->read_all();
+  ReplFeed feed;
+  feed.epoch = tail.epoch;
+  feed.last_seq =
+      tail.records.empty() ? tail.base_seq - 1 : tail.records.back().seq;
+  if (!tail.header_ok || tail.epoch != epoch) return feed;  // re-bootstrap
+  feed.epoch_ok = true;
+  if (after_seq + 1 < tail.base_seq) {
+    feed.gap = true;  // already compacted away (cannot happen with the
+    return feed;      // epoch check, but refuse defensively)
+  }
+  std::size_t batch_bytes = 0;
+  for (const JournalRecord& record : tail.records) {
+    if (record.seq <= after_seq) continue;
+    const std::size_t frame = Journal::frame_bytes(record);
+    if (!feed.records.empty() && batch_bytes + frame > max_bytes) {
+      feed.pending_bytes += frame;  // ships in the next batch
+      continue;
+    }
+    batch_bytes += frame;
+    feed.records.push_back(record);
+  }
+  return feed;
+}
+
+bool LibraryStore::wait_for_commit(std::uint64_t epoch,
+                                   std::uint64_t after_seq,
+                                   std::chrono::milliseconds timeout) const {
+  const auto moved = [&] {
+    return journal_->epoch() != epoch || journal_->last_seq() > after_seq;
+  };
+  std::unique_lock lock(signal_->mutex);
+  return signal_->cv.wait_for(lock, timeout, moved);
+}
+
+ReplSnapshot LibraryStore::export_replication_snapshot() {
+  std::lock_guard lock(*commit_mutex_);  // freeze the position
+  ReplSnapshot snapshot;
+  snapshot.epoch = journal_->epoch();
+  snapshot.seq = journal_->last_seq();
+  for (const KindLayout& layout : kKinds) {
+    for (const std::string& name :
+         list_stems(root_ / layout.dir, layout.extension)) {
+      const auto contents =
+          read_verified(root_ / layout.dir / (name + layout.extension));
+      if (!contents) continue;  // corrupt: quarantined, not shipped
+      JournalRecord entry;
+      entry.op = JournalRecord::Op::kPut;
+      entry.kind = layout.kind;
+      entry.name = name;
+      entry.contents = *contents;
+      snapshot.entries.push_back(std::move(entry));
+    }
+  }
+  return snapshot;
+}
+
+LibraryStore::ReplApply LibraryStore::apply_replicated(
+    const JournalRecord& record) {
+  std::lock_guard lock(*commit_mutex_);
+  if (!repl_cursor_.valid || record.epoch != repl_cursor_.epoch) {
+    return ReplApply::kEpochMismatch;
+  }
+  if (record.seq <= repl_cursor_.seq) return ReplApply::kDuplicate;
+  if (record.seq != repl_cursor_.seq + 1) return ReplApply::kGap;
+  // The shipped record's own durability story: apply() materializes it
+  // with an atomic fsync'd write *before* the cursor moves, and the
+  // cursor file itself is flushed lazily — after a crash the cursor is
+  // merely stale, and the records it re-fetches are skipped or
+  // re-applied idempotently.
+  apply(record);
+  counters_->revision.fetch_add(1);
+  repl_cursor_.seq = record.seq;
+  repl_cursor_dirty_ = true;
+  notify_position_moved();
+  return ReplApply::kApplied;
+}
+
+ReplCursor LibraryStore::replication_cursor() const {
+  std::lock_guard lock(*commit_mutex_);
+  return repl_cursor_;
+}
+
+void LibraryStore::flush_replication_cursor() {
+  std::lock_guard lock(*commit_mutex_);
+  if (!repl_cursor_dirty_) return;
+  atomic_write_file(cursor_path(), encode_cursor(repl_cursor_));
+  repl_cursor_dirty_ = false;
+}
+
+void LibraryStore::invalidate_replication_cursor() {
+  std::lock_guard lock(*commit_mutex_);
+  repl_cursor_ = ReplCursor{};
+  repl_cursor_dirty_ = false;
+  std::error_code ec;
+  if (fs::remove(cursor_path(), ec)) fsync_dir(root_);
+}
+
+void LibraryStore::install_replication_snapshot(const ReplSnapshot& snapshot) {
+  std::lock_guard lock(*commit_mutex_);
+  // Durably forget the old cursor first: a crash anywhere inside the
+  // install then finds no cursor and re-bootstraps from scratch, never
+  // resuming a half-installed state.
+  repl_cursor_ = ReplCursor{};
+  repl_cursor_dirty_ = false;
+  std::error_code ec;
+  if (fs::remove(cursor_path(), ec)) fsync_dir(root_);
+
+  // Replace the materialized trees wholesale (entries absent from the
+  // snapshot must not survive).
+  for (const KindLayout& layout : kKinds) {
+    const fs::path dir = root_ / layout.dir;
+    for (const std::string& name : list_stems(dir, layout.extension)) {
+      fs::remove(dir / (name + layout.extension), ec);
+    }
+    fsync_dir(dir);
+  }
+  for (const JournalRecord& entry : snapshot.entries) {
+    apply(entry);
+  }
+
+  // The local journal described the discarded state; start fresh.
+  journal_->rotate();
+  counters_->journal_rotations.fetch_add(1);
+
+  repl_cursor_ = ReplCursor{snapshot.epoch, snapshot.seq, true};
+  atomic_write_file(cursor_path(), encode_cursor(repl_cursor_));
+  counters_->revision.fetch_add(1);
+  notify_position_moved();
+}
+
+std::uint64_t LibraryStore::promote() {
+  std::lock_guard lock(*commit_mutex_);
+  const std::uint64_t fresh =
+      std::max(journal_->epoch(), repl_cursor_.epoch) + 1;
+  journal_->rotate_to_epoch(fresh, repl_cursor_.seq + 1);
+  counters_->journal_rotations.fetch_add(1);
+  repl_cursor_ = ReplCursor{};
+  repl_cursor_dirty_ = false;
+  std::error_code ec;
+  if (fs::remove(cursor_path(), ec)) fsync_dir(root_);
+  notify_position_moved();
+  return fresh;
 }
 
 void LibraryStore::save_model(const model::UserModelDefinition& def,
@@ -530,6 +726,12 @@ FsckReport fsck_store(const fs::path& root) {
     report.journal_records = parsed.records.size();
     report.journal_header_ok = parsed.header_ok;
     report.journal_torn = parsed.torn;
+    report.journal_version = parsed.version;
+    report.journal_epoch = parsed.epoch;
+    report.journal_base_seq = parsed.base_seq;
+    report.journal_last_seq = parsed.records.empty()
+                                  ? parsed.base_seq - 1
+                                  : parsed.records.back().seq;
     if (!parsed.header_ok) {
       report.problems.push_back("invalid journal header: " +
                                 journal_path.string());
@@ -537,6 +739,42 @@ FsckReport fsck_store(const fs::path& root) {
       report.problems.push_back(
           "torn journal tail after " + std::to_string(parsed.valid_bytes) +
           " bytes: " + journal_path.string());
+    }
+    // Epoch/sequence continuity: every record must be stamped with the
+    // header epoch and consecutive seqs from base_seq (shipped replay
+    // relies on exactly this invariant).
+    for (std::size_t i = 0; i < parsed.records.size(); ++i) {
+      const JournalRecord& record = parsed.records[i];
+      const std::uint64_t want_seq = parsed.base_seq + i;
+      if (record.epoch != parsed.epoch || record.seq != want_seq) {
+        report.journal_sequence_ok = false;
+        report.problems.push_back(
+            "journal continuity broken at record " + std::to_string(i) +
+            ": stamped (" + std::to_string(record.epoch) + ", " +
+            std::to_string(record.seq) + "), expected (" +
+            std::to_string(parsed.epoch) + ", " +
+            std::to_string(want_seq) + ")");
+        break;
+      }
+    }
+  }
+
+  const fs::path cursor_path = root / kCursorFile;
+  if (fs::exists(cursor_path)) {
+    report.cursor_present = true;
+    std::string raw;
+    try {
+      raw = read_file(cursor_path);
+    } catch (const FormatError&) {
+      raw.clear();
+    }
+    const ReplCursor cursor = parse_cursor(raw);
+    report.cursor_ok = cursor.valid;
+    report.cursor_epoch = cursor.epoch;
+    report.cursor_seq = cursor.seq;
+    if (!cursor.valid) {
+      report.problems.push_back("corrupt replication cursor: " +
+                                cursor_path.string());
     }
   }
   return report;

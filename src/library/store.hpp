@@ -25,6 +25,8 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <filesystem>
 #include <map>
@@ -35,6 +37,7 @@
 #include <vector>
 
 #include "library/journal.hpp"
+#include "library/replica.hpp"
 #include "library/serialize.hpp"
 #include "model/registry.hpp"
 #include "sheet/design.hpp"
@@ -146,6 +149,78 @@ class LibraryStore {
   /// replays nothing.  Safe to call at any quiesced point.
   void flush();
 
+  // --- replication -----------------------------------------------------
+  //
+  // The store is the replication engine's ground truth on both sides of
+  // the wire.  A primary serves its commit stream via
+  // read_replication_feed() / export_replication_snapshot(); a follower
+  // applies it via install_replication_snapshot() + apply_replicated(),
+  // tracking progress in a durable cursor (`repl.cursor`, flushed once
+  // per batch — idempotent re-apply covers the crash window between an
+  // apply and its cursor flush).  See journal.hpp for the (epoch, seq)
+  // cursor semantics.
+
+  /// Current journal position: the stream this store would serve.
+  [[nodiscard]] std::uint64_t epoch() const;
+  [[nodiscard]] std::uint64_t last_seq() const;
+
+  /// One batch of the commit stream for a follower at `after_seq` of
+  /// `epoch`.  Strict epoch equality: any mismatch (rotation, recovery,
+  /// promotion — ours or a predecessor's) makes the tail unservable and
+  /// the follower must re-bootstrap.
+  struct ReplFeed {
+    bool epoch_ok = false;  ///< false: follower must re-bootstrap
+    bool gap = false;       ///< requested records already compacted away
+    std::uint64_t epoch = 0;
+    std::uint64_t last_seq = 0;        ///< newest seq this store holds
+    std::uint64_t pending_bytes = 0;   ///< frame bytes beyond this batch
+    std::vector<JournalRecord> records;
+  };
+  [[nodiscard]] ReplFeed read_replication_feed(std::uint64_t epoch,
+                                               std::uint64_t after_seq,
+                                               std::size_t max_bytes) const;
+
+  /// Long-poll support: block until this store's position moves past
+  /// (epoch, after_seq) — a commit, rotation or promotion — or the
+  /// timeout lapses.  Returns true when the position moved.
+  bool wait_for_commit(std::uint64_t epoch, std::uint64_t after_seq,
+                       std::chrono::milliseconds timeout) const;
+
+  /// Full contents frozen at the current cursor (commits are held off
+  /// while the snapshot is assembled).
+  [[nodiscard]] ReplSnapshot export_replication_snapshot();
+
+  enum class ReplApply {
+    kApplied,        ///< materialized; cursor advanced (flush pending)
+    kDuplicate,      ///< seq <= cursor: already applied, skipped
+    kGap,            ///< seq skips ahead: refused, re-sync required
+    kEpochMismatch,  ///< wrong/unknown stream: re-bootstrap required
+  };
+  /// Idempotent, gap-detecting replay of one shipped record.  Only
+  /// kApplied mutates anything.
+  ReplApply apply_replicated(const JournalRecord& record);
+
+  /// The durable follower cursor (invalid when this store is not
+  /// following anything / has never bootstrapped).
+  [[nodiscard]] ReplCursor replication_cursor() const;
+  /// Persist the in-memory cursor (atomic write).  Called once per
+  /// applied batch, not per record.
+  void flush_replication_cursor();
+  /// Durably forget the cursor (before a re-bootstrap, so a crash
+  /// mid-install cannot resume from a half-installed state).
+  void invalidate_replication_cursor();
+
+  /// Replace the entire store contents with `snapshot` and set the
+  /// cursor to its position.  The local journal rotates (its records
+  /// described a state that no longer exists).
+  void install_replication_snapshot(const ReplSnapshot& snapshot);
+
+  /// Failover: start a fresh epoch strictly above both the local journal
+  /// epoch and any followed stream's, continue seq numbering past the
+  /// cursor, and durably drop the cursor (this store no longer follows).
+  /// Returns the new epoch.
+  std::uint64_t promote();
+
  private:
   struct Counters {
     std::atomic<std::uint64_t> revision{1};
@@ -183,15 +258,28 @@ class LibraryStore {
       const std::string& name, const model::ModelRegistry& lib,
       std::vector<std::string>& in_flight) const;
 
+  /// Wakes long-poll waiters whenever the journal position moves.
+  /// Heap-held (like the counters) so the store stays movable.
+  struct CommitSignal {
+    mutable std::mutex mutex;
+    mutable std::condition_variable cv;
+  };
+  void notify_position_moved() const;
+  [[nodiscard]] std::filesystem::path cursor_path() const;
+  void load_replication_cursor_locked();
+
   std::filesystem::path root_;
   StoreOptions options_;
   std::unique_ptr<Journal> journal_;
   std::unique_ptr<Counters> counters_;
+  std::unique_ptr<CommitSignal> signal_;
   /// Serializes commit()/flush(): rotation must never run between
   /// another thread's journal append and its apply() — the tail it
   /// truncates would hold that record's only durable copy.  Heap-held
-  /// so the store stays movable.
+  /// so the store stays movable.  Also guards repl_cursor_.
   std::unique_ptr<std::mutex> commit_mutex_;
+  ReplCursor repl_cursor_;
+  bool repl_cursor_dirty_ = false;
 };
 
 /// Read-only integrity check of a store directory: verify every
@@ -205,10 +293,27 @@ struct FsckReport {
   bool journal_present = false;
   bool journal_header_ok = true;
   bool journal_torn = false;        ///< trailing bytes form no record
+  /// Replication framing: 2 for the current format, 1 for a legacy file
+  /// awaiting its upgrade rotation.
+  int journal_version = 0;
+  std::uint64_t journal_epoch = 0;
+  std::uint64_t journal_base_seq = 0;
+  /// The durable cursor (epoch, last_seq) the journal attests to.
+  std::uint64_t journal_last_seq = 0;
+  /// Every record stamped with the header epoch and contiguous
+  /// sequence numbers from base_seq — the invariant shipped replay
+  /// relies on.
+  bool journal_sequence_ok = true;
+  /// The follower cursor file (`repl.cursor`), when present.
+  bool cursor_present = false;
+  bool cursor_ok = true;            ///< parses and checksum-verifies
+  std::uint64_t cursor_epoch = 0;
+  std::uint64_t cursor_seq = 0;
   std::vector<std::string> problems;  ///< one human-readable line each
 
   [[nodiscard]] bool clean() const {
-    return corrupt == 0 && journal_header_ok && !journal_torn;
+    return corrupt == 0 && journal_header_ok && !journal_torn &&
+           journal_sequence_ok && cursor_ok;
   }
 };
 

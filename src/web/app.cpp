@@ -26,6 +26,19 @@ std::string need(const Params& q, const std::string& key) {
   return v;
 }
 
+std::uint64_t parse_u64_param(const std::string& text,
+                              const std::string& what) {
+  if (text.empty()) throw HttpError("missing numeric value for " + what);
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9' || v > (~0ull - 9) / 10) {
+      throw HttpError("bad numeric value for " + what + ": '" + text + "'");
+    }
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
 double parse_double(const std::string& text, const std::string& what) {
   try {
     std::size_t pos = 0;
@@ -110,7 +123,20 @@ std::string design_dependency(const std::string& path, const Params& q) {
 library::UserProfile PowerPlayApp::authorized_user(const Params& q) {
   const std::string user = need(q, "user");
   library::validate_store_name(user);
-  library::UserProfile profile = store_.ensure_user(user);
+  library::UserProfile profile;
+  if (role_.load() == ReplRole::kFollower) {
+    // A follower never commits: an unknown user gets a transient default
+    // profile (same shape ensure_user would persist) so read-only pages
+    // render; anything that would save it redirects to the primary.
+    if (auto existing = store_.load_user(user)) {
+      profile = *existing;
+    } else {
+      profile.username = user;
+      profile.defaults = {{"vdd", 1.5}, {"f", 1.0e6}};
+    }
+  } else {
+    profile = store_.ensure_user(user);
+  }
   if (profile.has_password() &&
       !profile.check_password(get_or(q, "pw"))) {
     throw AccessDenied("wrong or missing password for user '" + user + "'");
@@ -158,6 +184,38 @@ Response PowerPlayApp::handle(const Request& request) {
   const Target target = request.parsed_target();
   const Params q = request.all_params();
   try {
+    // Replication endpoints bypass both shards: the store has its own
+    // internal synchronization, and the /repl/journal long-poll may
+    // park for seconds — holding the shared library lock (or a session
+    // lock) that long would stall every exclusive writer behind an
+    // idle follower.
+    if (target.path.rfind("/repl/", 0) == 0) {
+      if (target.path == "/repl/snapshot" && request.method == "GET") {
+        return repl_snapshot();
+      }
+      if (target.path == "/repl/journal" && request.method == "GET") {
+        return repl_journal(q);
+      }
+      if (target.path == "/repl/promote" && request.method == "POST") {
+        return do_repl_promote();
+      }
+      return Response::not_found(target.path);
+    }
+
+    const bool mutates =
+        target.path == "/design/add" || target.path == "/design/play" ||
+        target.path == "/design/setrow" ||
+        (target.path == "/newmodel" && request.method == "POST");
+
+    // A follower serves reads (through the response cache, invalidated
+    // by applied records via the store revision) but owns no write
+    // authority: mutations go to the primary, method preserved, via
+    // 307 Temporary Redirect.
+    if (role_.load() == ReplRole::kFollower &&
+        (mutates || target.path == "/setpw")) {
+      return redirect_to_primary(request);
+    }
+
     // Shard 1: each user's own requests are serialized (profile and
     // design edits are read-modify-write over their files), but two
     // users never wait on each other here.
@@ -171,10 +229,6 @@ Response PowerPlayApp::handle(const Request& request) {
 
     // Shard 2: the shared library.  Only the handful of mutating routes
     // take it exclusively; everything else reads concurrently.
-    const bool mutates =
-        target.path == "/design/add" || target.path == "/design/play" ||
-        target.path == "/design/setrow" ||
-        (target.path == "/newmodel" && request.method == "POST");
     if (mutates) {
       std::unique_lock lib(library_mutex_);
       return dispatch(target.path, request.method, q);
@@ -367,7 +421,162 @@ Response PowerPlayApp::page_healthz() {
   os << "journal_rotations: " << store.journal_rotations << "\n";
   os << "snapshot_writes: " << store.snapshot_writes << "\n";
   os << "quarantined_files: " << store.quarantined_files << "\n";
+  // Replication position, on both roles: a primary reports its stream
+  // head (what followers chase), a follower reports how far behind it is.
+  const bool follower = role_.load() == ReplRole::kFollower;
+  os << "repl_role: " << (follower ? "follower" : "primary") << "\n";
+  os << "repl_epoch: " << store_.epoch() << "\n";
+  ReplStatsSource repl_source;
+  {
+    std::lock_guard lock(repl_mutex_);
+    repl_source = repl_stats_source_;
+  }
+  if (repl_source) {
+    const ReplicationStats rs = repl_source();
+    os << "repl_synced: " << (rs.synced ? 1 : 0) << "\n";
+    os << "repl_cursor: " << rs.cursor_epoch << ":" << rs.cursor_seq << "\n";
+    os << "repl_records_applied: " << rs.records_applied << "\n";
+    os << "repl_duplicates_skipped: " << rs.duplicates_skipped << "\n";
+    os << "repl_gaps_detected: " << rs.gaps_detected << "\n";
+    os << "repl_resyncs_total: " << rs.resyncs_total << "\n";
+    os << "repl_transport_errors: " << rs.transport_errors << "\n";
+    os << "repl_polls: " << rs.polls << "\n";
+    os << "repl_lag_records: " << rs.lag_records << "\n";
+    os << "repl_lag_bytes: " << rs.lag_bytes << "\n";
+    os << "repl_lag_ms: " << rs.lag_ms << "\n";
+  } else {
+    os << "repl_last_seq: " << store_.last_seq() << "\n";
+  }
   return Response::ok_text(os.str());
+}
+
+// ---------------------------------------------------------------------------
+// Replication (the primary half; web/repl.cpp is the follower half)
+// ---------------------------------------------------------------------------
+
+void PowerPlayApp::set_role(ReplRole role, std::string primary_url) {
+  {
+    std::lock_guard lock(repl_mutex_);
+    primary_url_ = std::move(primary_url);
+  }
+  role_.store(role);
+}
+
+void PowerPlayApp::set_repl_stats_source(ReplStatsSource source) {
+  std::lock_guard lock(repl_mutex_);
+  repl_stats_source_ = std::move(source);
+}
+
+void PowerPlayApp::set_promote_hook(PromoteHook hook) {
+  std::lock_guard lock(repl_mutex_);
+  promote_hook_ = std::move(hook);
+}
+
+Response PowerPlayApp::redirect_to_primary(const Request& request) {
+  std::string base;
+  {
+    std::lock_guard lock(repl_mutex_);
+    base = primary_url_;
+  }
+  if (base.empty()) {
+    Response r;
+    r.status = 503;
+    r.content_type = "text/plain";
+    r.body = "read-only follower: no primary configured for redirect\n";
+    return r;
+  }
+  // 307 keeps the method (a POSTed form stays a POST at the primary),
+  // unlike the 302 most browsers rewrite to GET.
+  Response r;
+  r.status = 307;
+  r.content_type = "text/plain";
+  r.headers["location"] = base + request.target;
+  r.body = "follower is read-only; retry at the primary\n";
+  return r;
+}
+
+Response PowerPlayApp::repl_snapshot() {
+  const library::ReplSnapshot snapshot = store_.export_replication_snapshot();
+  Response r;
+  r.status = 200;
+  r.content_type = "text/plain";
+  r.headers["x-repl-epoch"] = std::to_string(snapshot.epoch);
+  r.headers["x-repl-last-seq"] = std::to_string(snapshot.seq);
+  r.body = library::encode_snapshot(snapshot);
+  return r;
+}
+
+Response PowerPlayApp::repl_journal(const Params& q) {
+  const std::uint64_t epoch = parse_u64_param(need(q, "epoch"), "epoch");
+  const std::uint64_t after = parse_u64_param(need(q, "after"), "after");
+  // Clamp the park time well below the server's 15s socket io_timeout so
+  // an empty long-poll always answers before the connection reaps.
+  const std::uint64_t wait_ms =
+      std::min<std::uint64_t>(parse_u64_param(get_or(q, "wait_ms", "0"),
+                                              "wait_ms"),
+                              10000);
+  std::uint64_t max_bytes =
+      parse_u64_param(get_or(q, "max_bytes", "1048576"), "max_bytes");
+  max_bytes = std::min<std::uint64_t>(max_bytes, 4u << 20);
+
+  library::LibraryStore::ReplFeed feed =
+      store_.read_replication_feed(epoch, after, max_bytes);
+  if (feed.epoch_ok && !feed.gap && feed.records.empty() && wait_ms > 0) {
+    store_.wait_for_commit(epoch, after, std::chrono::milliseconds(wait_ms));
+    feed = store_.read_replication_feed(epoch, after, max_bytes);
+  }
+
+  if (!feed.epoch_ok) {
+    // The stream the follower was reading no longer exists (rotation,
+    // recovery, or promotion).  Tell it which epoch is live so the
+    // mismatch is diagnosable, and let it re-bootstrap.
+    Response r;
+    r.status = 409;
+    r.content_type = "text/plain";
+    r.headers["x-repl-epoch"] = std::to_string(feed.epoch);
+    r.body = "epoch mismatch: stream is at epoch " +
+             std::to_string(feed.epoch) + "\n";
+    return r;
+  }
+  if (feed.gap) {
+    Response r;
+    r.status = 410;
+    r.content_type = "text/plain";
+    r.headers["x-repl-epoch"] = std::to_string(feed.epoch);
+    r.body = "gone: records after " + std::to_string(after) +
+             " were compacted away\n";
+    return r;
+  }
+
+  Response r;
+  r.status = 200;
+  r.content_type = "application/octet-stream";
+  r.headers["x-repl-epoch"] = std::to_string(feed.epoch);
+  r.headers["x-repl-last-seq"] = std::to_string(feed.last_seq);
+  r.headers["x-repl-pending-bytes"] = std::to_string(feed.pending_bytes);
+  r.body = library::Journal::encode_stream(feed.epoch, after + 1,
+                                           feed.records);
+  return r;
+}
+
+Response PowerPlayApp::do_repl_promote() {
+  PromoteHook hook;
+  {
+    std::lock_guard lock(repl_mutex_);
+    hook = promote_hook_;
+  }
+  std::uint64_t epoch = 0;
+  if (hook) {
+    epoch = hook();
+  } else if (role_.load() == ReplRole::kFollower) {
+    epoch = store_.promote();
+  } else {
+    // Already the primary: promotion is idempotent, report the epoch.
+    epoch = store_.epoch();
+  }
+  set_role(ReplRole::kPrimary);
+  return Response::ok_text("role: primary\nepoch: " + std::to_string(epoch) +
+                           "\n");
 }
 
 Response PowerPlayApp::page_root() const {

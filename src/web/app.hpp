@@ -63,6 +63,7 @@
 #include "model/registry.hpp"
 #include "web/cache.hpp"
 #include "web/http.hpp"
+#include "web/repl.hpp"
 #include "web/server.hpp"
 
 namespace powerplay::web {
@@ -109,8 +110,40 @@ class PowerPlayApp {
     stats_source_ = std::move(source);
   }
 
+  // --- replication -----------------------------------------------------
+  //
+  // Every app serves the primary half of the protocol (/repl/snapshot
+  // and the /repl/journal long-poll feed) — a follower can itself be
+  // followed, and a freshly promoted node is already serving.  The role
+  // only changes what happens to *writes*: a follower answers every
+  // mutating route with 307 to the primary, so browsers and API clients
+  // transparently retarget while reads scale out locally.
+
+  enum class ReplRole { kPrimary, kFollower };
+
+  /// Follower mode needs the primary's base URL (e.g.
+  /// "http://127.0.0.1:8080") for the 307 Location headers.
+  void set_role(ReplRole role, std::string primary_url = {});
+  [[nodiscard]] ReplRole role() const { return role_.load(); }
+
+  /// Follower lag/progress counters for /healthz (wired by whoever owns
+  /// both the app and the ReplicationFollower; optional).
+  using ReplStatsSource = std::function<ReplicationStats()>;
+  void set_repl_stats_source(ReplStatsSource source);
+
+  /// POST /repl/promote delegates here when set; the hook must stop the
+  /// follower, promote the store and flip the role, returning the new
+  /// epoch (examples/powerplay_server.cpp wires exactly that).  Without
+  /// a hook, a follower app promotes its own store directly.
+  using PromoteHook = std::function<std::uint64_t()>;
+  void set_promote_hook(PromoteHook hook);
+
  private:
   Response page_healthz();
+  Response repl_snapshot();
+  Response repl_journal(const Params& q);
+  Response do_repl_promote();
+  Response redirect_to_primary(const Request& request);
   Response page_root() const;
   Response page_menu(const Params& q);
   Response page_library(const Params& q) const;
@@ -169,6 +202,13 @@ class PowerPlayApp {
   std::map<std::string, std::shared_ptr<std::mutex>> session_locks_;
   mutable std::mutex stats_mutex_;
   StatsSource stats_source_;
+  /// Role is read on every request; the strings/hooks behind it are
+  /// cold and sit behind repl_mutex_.
+  std::atomic<ReplRole> role_{ReplRole::kPrimary};
+  mutable std::mutex repl_mutex_;
+  std::string primary_url_;
+  ReplStatsSource repl_stats_source_;
+  PromoteHook promote_hook_;
 
   library::LibraryStore store_;
   model::ModelRegistry registry_;

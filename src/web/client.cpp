@@ -21,6 +21,7 @@ namespace {
 /// server.cpp handle EAGAIN), owned by the caller.
 int connect_with_timeout(std::uint16_t port,
                          std::chrono::milliseconds timeout) {
+  ignore_sigpipe();
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw HttpError(std::string("socket: ") + std::strerror(errno));
   const int flags = ::fcntl(fd, F_GETFL, 0);

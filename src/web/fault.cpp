@@ -16,6 +16,15 @@ double FaultTransport::draw() {
 Response FaultTransport::roundtrip(const Request& request) {
   ++counters_.calls;
 
+  if (replay_) {
+    // The stale delivery: hand back the previous response without
+    // touching the network at all.
+    ++counters_.duplicates;
+    Response stale = std::move(*replay_);
+    replay_.reset();
+    return stale;
+  }
+
   if (draw() < spec_.drop_rate) {
     ++counters_.drops;
     throw HttpError("fault injection: connection dropped");
@@ -55,6 +64,12 @@ Response FaultTransport::roundtrip(const Request& request) {
     // On the wire this is a body shorter than Content-Length promises;
     // parse_response turns that into exactly this transport error.
     throw HttpError("fault injection: truncated response body");
+  }
+
+  // Gated on the rate so a spec without duplicates consumes exactly the
+  // same PRNG draws as before this fault mode existed.
+  if (spec_.duplicate_rate > 0 && draw() < spec_.duplicate_rate) {
+    replay_ = resp;
   }
 
   ++counters_.passthrough;

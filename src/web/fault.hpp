@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <random>
 
 #include "web/client.hpp"
@@ -31,6 +32,10 @@ struct FaultSpec {
   double error_rate = 0.0;        ///< response replaced with a 500
   double unavailable_rate = 0.0;  ///< replaced with 503 + Retry-After: 0
   double truncate_rate = 0.0;     ///< body cut short in flight
+  /// The network delivers this response *again* on the next roundtrip
+  /// (a retried/reordered delivery) instead of performing it.  Replayed
+  /// replication batches are how duplicate frames reach a follower.
+  double duplicate_rate = 0.0;
   std::chrono::milliseconds delay{200};  ///< injected virtual latency
   /// What the simulated client would tolerate; a delay fault of
   /// `delay >= deadline` becomes an HttpTimeout.  The default never
@@ -49,6 +54,7 @@ struct FaultCounters {
   int errors = 0;
   int unavailable = 0;
   int truncations = 0;
+  int duplicates = 0;  ///< stale responses re-delivered
   int passthrough = 0;
 };
 
@@ -76,6 +82,8 @@ class FaultTransport : public Transport {
   FaultSpec spec_;
   std::mt19937_64 rng_;
   FaultCounters counters_;
+  /// A response queued for duplicate re-delivery on the next call.
+  std::optional<Response> replay_;
   std::chrono::milliseconds virtual_delay_{0};
   std::function<void(std::chrono::milliseconds)> delay_hook_;
 };

@@ -1,6 +1,7 @@
 #include "web/server.hpp"
 
 #include <arpa/inet.h>
+#include <csignal>
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
@@ -76,6 +77,13 @@ std::string read_http_message(int fd, const Deadline& deadline) {
   }
 }
 
+void ignore_sigpipe() {
+  // SIG_IGN (not a handler) is inherited across fork/exec and is the
+  // one disposition signal-safe to set from any thread.
+  static std::once_flag once;
+  std::call_once(once, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
+
 void write_all(int fd, const std::string& data, const Deadline& deadline) {
   std::size_t sent = 0;
   while (sent < data.size()) {
@@ -93,6 +101,7 @@ void write_all(int fd, const std::string& data, const Deadline& deadline) {
 HttpServer::HttpServer(std::uint16_t port, Handler handler,
                        ServerOptions options)
     : handler_(std::move(handler)), options_(options) {
+  ignore_sigpipe();
   if (options_.worker_count == 0) options_.worker_count = 1;
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
   if (options_.max_keepalive_requests == 0) options_.max_keepalive_requests = 1;

@@ -169,4 +169,13 @@ std::string read_http_message(int fd,
 void write_all(int fd, const std::string& data,
                const Deadline& deadline = Deadline::never());
 
+/// Ignore SIGPIPE process-wide, once.  write_all already passes
+/// MSG_NOSIGNAL, but a peer that resets between poll() and a write on
+/// any other path (TLS libraries, stdio to a dead pipe) would still
+/// kill the process with the default disposition — and a replication
+/// follower whose primary died mid-response is exactly that peer.
+/// Called from every socket entry point (server construction, client
+/// connect); safe to call from multiple threads.
+void ignore_sigpipe();
+
 }  // namespace powerplay::web
