@@ -1,0 +1,169 @@
+// bench_explore — throughput of the design-space exploration engine on
+// the VQ luminance chip (impl 2): Monte Carlo points/s through the
+// compiled-plan engine, and a fitted poly2 surrogate raced against
+// exact plan evaluation on the same points.  Emits BENCH_explore.json
+// (argv path overrides) and exits non-zero unless the surrogate is
+// both faster than the exact plan (>= 5x) and within its own reported
+// holdout error bound — `--smoke` shrinks the counts for ctest but
+// keeps both gates.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "explore/mc.hpp"
+#include "explore/surrogate.hpp"
+#include "models/berkeley_library.hpp"
+#include "sheet/plan.hpp"
+#include "studies/vq.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+template <typename Fn>
+double timed_best(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const std::chrono::duration<double> dt = Clock::now() - t0;
+    best = std::min(best, dt.count());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace powerplay;
+
+  bool smoke = false;
+  std::string out_path = "BENCH_explore.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+  const std::size_t mc_samples = smoke ? 2000 : 50000;
+  const std::size_t race_points = smoke ? 5000 : 200000;
+  const int reps = smoke ? 2 : 5;
+  const std::size_t threads =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  const auto lib = models::berkeley_library();
+  const sheet::Design design = studies::make_luminance_impl2(lib);
+  engine::EvalEngine engine({{threads, 256}, 4096});
+
+  std::printf("bench_explore: %s, %zu engine threads\n\n",
+              smoke ? "smoke" : "full", threads);
+
+  // --- Monte Carlo throughput ----------------------------------------------
+  explore::McSpec mc;
+  mc.params = explore::parse_dist_params(
+      "vdd=uniform(1.35,1.65);pixel_rate=uniform(1e6,4e6)");
+  mc.samples = mc_samples;
+  mc.seed = 7;
+  explore::McResult mc_result;
+  const double t_mc = timed_best(reps, [&] {
+    // Fresh Play cache per rep: every point is a real compiled Play,
+    // not a memoized hit on the previous repetition's identical run.
+    engine.cache().clear();
+    mc_result = explore::run_monte_carlo(engine, design, mc);
+  });
+  const double mc_points_per_s = static_cast<double>(mc_samples) / t_mc;
+  std::printf("monte carlo       : %zu points in %8.3f ms  (%.0f points/s)\n",
+              mc_samples, t_mc * 1e3, mc_points_per_s);
+
+  // --- surrogate vs exact plan ----------------------------------------------
+  explore::FitSpec fit_spec;
+  fit_spec.model_name = "bench_surrogate";
+  fit_spec.params = mc.params;
+  fit_spec.samples = 256;
+  fit_spec.seed = 11;
+  const explore::FitResult fit =
+      explore::fit_surrogate(engine, design, fit_spec);
+  std::printf("surrogate fit     : basis=%s r2=%.6f max_rel_err=%.3e\n",
+              fit.diagnostics.basis.c_str(), fit.diagnostics.r2,
+              fit.diagnostics.max_rel_err);
+
+  // Race on a fresh deterministic point set, both paths serial — this
+  // compares arithmetic, not thread counts.
+  const auto points =
+      explore::sample_points(fit_spec.params, race_points, 23);
+  std::vector<double> exact(points.size());
+  const double t_exact = timed_best(reps, [&] {
+    const auto plan = sheet::EvalPlan::compile(design);
+    const auto vdd_slot = *plan->global_slot("vdd");
+    const auto rate_slot = *plan->global_slot("pixel_rate");
+    sheet::PlanInstance inst(plan);
+    inst.bind_from(design);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      inst.bind(vdd_slot, points[i][0]);
+      inst.bind(rate_slot, points[i][1]);
+      exact[i] = inst.play().total.total_power().si();
+    }
+  });
+  std::vector<double> predicted(points.size());
+  const double t_surrogate = timed_best(reps, [&] {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      predicted[i] = explore::surrogate_predict(fit, points[i]);
+    }
+  });
+  const double speedup = t_exact / t_surrogate;
+  std::printf("exact plan        : %zu points in %8.3f ms\n", points.size(),
+              t_exact * 1e3);
+  std::printf("surrogate         : %zu points in %8.3f ms  (%.1fx)\n",
+              points.size(), t_surrogate * 1e3, speedup);
+
+  // Accuracy gate: every raced point stays within a small multiple of
+  // the reported holdout bound (the race points are drawn from the
+  // training distribution, not the holdout split, hence the headroom).
+  double worst = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double denom = std::max(std::abs(exact[i]), 1e-30);
+    worst = std::max(worst, std::abs(predicted[i] - exact[i]) / denom);
+  }
+  const double bound = 4 * fit.diagnostics.max_rel_err + 1e-12;
+  const bool accurate = worst <= bound;
+  const bool fast = speedup >= 5.0;
+  std::printf("accuracy          : worst rel err %.3e (bound %.3e) %s\n",
+              worst, bound, accurate ? "ok" : "FAIL");
+  std::printf("speedup gate      : >= 5x %s\n", fast ? "ok" : "FAIL");
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"benchmark\": \"explore\",\n"
+       << "  \"design\": \"" << design.name() << "\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"engine_threads\": " << threads << ",\n"
+       << "  \"mc_samples\": " << mc_samples << ",\n"
+       << "  \"mc_seconds\": " << t_mc << ",\n"
+       << "  \"mc_points_per_s\": " << mc_points_per_s << ",\n"
+       << "  \"mc_mean_w\": " << mc_result.mean_w << ",\n"
+       << "  \"fit_basis\": \"" << fit.diagnostics.basis << "\",\n"
+       << "  \"fit_r2\": " << fit.diagnostics.r2 << ",\n"
+       << "  \"fit_max_rel_err\": " << fit.diagnostics.max_rel_err << ",\n"
+       << "  \"race_points\": " << points.size() << ",\n"
+       << "  \"exact_seconds\": " << t_exact << ",\n"
+       << "  \"surrogate_seconds\": " << t_surrogate << ",\n"
+       << "  \"surrogate_speedup\": " << speedup << ",\n"
+       << "  \"surrogate_worst_rel_err\": " << worst << ",\n"
+       << "  \"gates_passed\": "
+       << ((accurate && fast) ? "true" : "false") << "\n"
+       << "}\n";
+  std::ofstream out(out_path);
+  out << json.str();
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  return (accurate && fast) ? 0 : 1;
+}

@@ -3,6 +3,11 @@
 #include <optional>
 #include <sstream>
 
+#include "engine/engine.hpp"
+#include "explore/inverse.hpp"
+#include "explore/mc.hpp"
+#include "explore/pareto.hpp"
+#include "explore/surrogate.hpp"
 #include "models/berkeley_library.hpp"
 #include "sheet/report.hpp"
 #include "sheet/sweep.hpp"
@@ -25,6 +30,19 @@ constexpr const char* kHelp = R"(commands:
   play                           recompute and print the spreadsheet
   csv                            print the spreadsheet as CSV
   sweep <global> <from> <to> <n> linear what-if sweep
+  explore mc <samples> <seed> <name=dist;...>
+                                 Monte Carlo power distribution
+                                 (dist: uniform(a,b) normal(mu,sigma)
+                                  choice(v1,v2,...))
+  explore pareto <obj1,obj2,...> <samples> <seed> <name=dist;...>
+                                 sampled Pareto frontier (objectives:
+                                 power/area/energy/delay or a param,
+                                 optionally min:/max: prefixed)
+  explore inverse <param> <lo> <hi> <metric> <limit>
+                                 largest param value with metric <= limit
+  explore fit <model> <basis> <samples> <seed> <name=dist;...>
+                                 fit + save a surrogate model
+                                 (basis: poly1 | poly2 | log)
   designs                        list stored designs
   quit                           exit
 )";
@@ -116,6 +134,8 @@ class Session {
         out_ << sheet::sweep_table(
             name, sheet::sweep_global(current(), name,
                                       sheet::linspace(from, to, points)));
+      } else if (cmd == "explore") {
+        cmd_explore(is);
       } else if (cmd == "designs") {
         for (const std::string& d : store_.list_designs()) {
           out_ << d << '\n';
@@ -168,6 +188,63 @@ class Session {
     return out.substr(begin);
   }
 
+  void cmd_explore(std::istringstream& is) {
+    const std::string mode = take(is, "explore mode (mc|pareto|inverse|fit)");
+    if (mode == "mc") {
+      explore::McSpec spec;
+      spec.samples = static_cast<std::size_t>(number(is, "samples"));
+      spec.seed = static_cast<std::uint64_t>(number(is, "seed"));
+      spec.params = explore::parse_dist_params(rest(is, "distributions"));
+      out_ << explore::mc_table(
+          explore::run_monte_carlo(engine_, current(), spec));
+    } else if (mode == "pareto") {
+      explore::ParetoSpec spec;
+      const std::string objectives = take(is, "objectives");
+      spec.samples = static_cast<std::size_t>(number(is, "samples"));
+      spec.seed = static_cast<std::uint64_t>(number(is, "seed"));
+      spec.dists = explore::parse_dist_params(rest(is, "distributions"));
+      std::vector<std::string> names;
+      for (const explore::DistParam& p : spec.dists) {
+        names.push_back(p.name);
+      }
+      std::istringstream objs(objectives);
+      std::string objective;
+      while (std::getline(objs, objective, ',')) {
+        if (objective.empty()) continue;
+        spec.objectives.push_back(
+            explore::parse_objective(objective, names));
+      }
+      out_ << explore::pareto_table(
+          explore::run_pareto(engine_, current(), spec));
+    } else if (mode == "inverse") {
+      explore::InverseSpec spec;
+      spec.param = take(is, "parameter");
+      spec.lo = number(is, "lo");
+      spec.hi = number(is, "hi");
+      spec.metric = take(is, "metric");
+      spec.limit = number(is, "limit");
+      out_ << explore::inverse_table(
+          spec, explore::solve_inverse(engine_, current(), spec));
+    } else if (mode == "fit") {
+      explore::FitSpec spec;
+      spec.model_name = take(is, "model name");
+      spec.basis = take(is, "basis");
+      spec.samples = static_cast<std::size_t>(number(is, "samples"));
+      spec.seed = static_cast<std::uint64_t>(number(is, "seed"));
+      spec.params = explore::parse_dist_params(rest(is, "distributions"));
+      const explore::FitResult fit =
+          explore::fit_surrogate(engine_, current(), spec);
+      store_.save_model(fit.definition);
+      registry_.add_or_replace(
+          std::make_shared<model::UserModel>(fit.definition));
+      out_ << explore::fit_table(fit);
+      out_ << "saved model '" << fit.definition.name << "'\n";
+    } else {
+      throw expr::ExprError("unknown explore mode '" + mode +
+                            "' (mc|pareto|inverse|fit)");
+    }
+  }
+
   void cmd_library(std::istringstream& is) {
     std::string category;
     is >> category;
@@ -196,6 +273,9 @@ class Session {
   std::ostream& out_;
   library::LibraryStore store_;
   model::ModelRegistry registry_;
+  /// Compiled-plan engine backing the explore commands (plan cache +
+  /// Play memoization shared across a session's explorations).
+  engine::EvalEngine engine_;
   std::optional<sheet::Design> design_;
 };
 

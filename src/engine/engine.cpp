@@ -163,6 +163,70 @@ std::vector<sheet::SweepPoint> EvalEngine::sweep_row_param(
   return out;
 }
 
+std::vector<sheet::PlayResult> EvalEngine::play_points(
+    const sheet::Design& design, const std::vector<std::string>& params,
+    const std::vector<std::vector<double>>& points,
+    const sheet::SweepProgress& progress) {
+  sheet::require_globals(design, params, "play_points");
+  for (const std::vector<double>& point : points) {
+    if (point.size() != params.size()) {
+      throw expr::ExprError(
+          "play_points: every point must bind exactly " +
+          std::to_string(params.size()) + " parameter value(s)");
+    }
+  }
+  const std::size_t n = points.size();
+  if (n == 0) return {};
+
+  auto plan = plan_for(design);
+  std::vector<expr::SlotId> slots;
+  slots.reserve(params.size());
+  bool slot_bound = true;
+  for (const std::string& param : params) {
+    const auto slot = plan->global_slot(param);
+    if (!slot) {
+      slot_bound = false;
+      break;
+    }
+    slots.push_back(*slot);
+  }
+
+  std::vector<sheet::PlayResult> out(n);
+  std::atomic<std::size_t> done{0};
+
+  if (!slot_bound) {
+    // Some binding is not slot-addressable (inherited through a parent
+    // scope): clone-per-point fallback, memoized by full fingerprint.
+    parallel_for(executor_, n, [&](std::size_t i) {
+      sheet::Design work = design;
+      for (std::size_t j = 0; j < params.size(); ++j) {
+        work.globals().set(params[j], points[i][j]);
+      }
+      out[i] = *play(work);
+      if (progress) progress(done.fetch_add(1) + 1, n);
+    });
+    return out;
+  }
+
+  std::uint64_t base = fold(fingerprint(design), "pts:");
+  for (const std::string& param : params) base = fold(base, param + ";");
+  const std::size_t chunks = chunk_count(n);
+  parallel_for(executor_, chunks, [&](std::size_t c) {
+    sheet::PlanInstance inst(plan);
+    inst.bind_from(design);
+    for (std::size_t i = c * n / chunks; i < (c + 1) * n / chunks; ++i) {
+      std::uint64_t key = base;
+      for (std::size_t j = 0; j < slots.size(); ++j) {
+        inst.bind(slots[j], points[i][j]);
+        key = fold(key, points[i][j]);
+      }
+      out[i] = *play_bound(inst, key);
+      if (progress) progress(done.fetch_add(1) + 1, n);
+    }
+  });
+  return out;
+}
+
 sheet::GridSweep EvalEngine::sweep_grid(const sheet::Design& design,
                                         const std::string& x_param,
                                         const std::vector<double>& xs,
@@ -172,8 +236,7 @@ sheet::GridSweep EvalEngine::sweep_grid(const sheet::Design& design,
   if (x_param == y_param) {
     throw expr::ExprError("sweep_grid: the two parameters must differ");
   }
-  sheet::require_global(design, x_param, "sweep_grid");
-  sheet::require_global(design, y_param, "sweep_grid");
+  sheet::require_globals(design, {x_param, y_param}, "sweep_grid");
   auto plan = plan_for(design);
   const auto x_slot = plan->global_slot(x_param);
   const auto y_slot = plan->global_slot(y_param);

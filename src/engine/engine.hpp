@@ -77,6 +77,18 @@ class EvalEngine {
       const std::vector<double>& ys,
       const sheet::SweepProgress& progress = {});
 
+  /// Arbitrary-dimension point evaluation — the substrate of the
+  /// exploration workloads (Monte Carlo, Pareto search, surrogate
+  /// training): Play the design once per row of `points`, where row i
+  /// binds params[j] = points[i][j] for every j.  Unknown parameters are
+  /// all reported in one ExprError (sheet::require_globals).  Results
+  /// come back in point order, each computed independently of worker
+  /// count, so output bytes are identical at 1 and N threads.
+  [[nodiscard]] std::vector<sheet::PlayResult> play_points(
+      const sheet::Design& design, const std::vector<std::string>& params,
+      const std::vector<std::vector<double>>& points,
+      const sheet::SweepProgress& progress = {});
+
  private:
   /// Play `inst` (slots already bound for the point) under Play-cache
   /// key `key`: probe first, insert on miss.

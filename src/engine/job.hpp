@@ -68,6 +68,9 @@ enum class CancelOutcome {
 struct JobResult {
   std::string table;
   std::string csv;
+  /// Optional machine-readable payload (e.g. a Pareto frontier); served
+  /// by GET /job?format=json when non-empty.
+  std::string json;
 };
 
 /// Immutable copy of a job's state at one poll.

@@ -1,0 +1,200 @@
+#include "explore/dist.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "expr/ast.hpp"
+#include "expr/eval.hpp"
+#include "expr/parser.hpp"
+
+namespace powerplay::explore {
+
+namespace {
+
+constexpr const char* kSyntaxHelp =
+    " — expected uniform(a,b), normal(mu,sigma) or choice(v1,v2,...)";
+
+/// Evaluate one argument as a constant expression (no free variables).
+double constant_arg(const expr::Expr& e, const std::string& source) {
+  static const expr::Scope kEmpty;
+  try {
+    return expr::evaluate(e, kEmpty, expr::FunctionTable::builtins());
+  } catch (const expr::ExprError& err) {
+    throw expr::ExprError("distribution '" + source +
+                          "': arguments must be constants (" + err.what() +
+                          ")");
+  }
+}
+
+std::string number_text(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+double Distribution::mean() const {
+  switch (kind) {
+    case DistKind::kUniform:
+      return (a + b) / 2;
+    case DistKind::kNormal:
+      return a;
+    case DistKind::kChoice: {
+      double sum = 0;
+      for (const double v : choices) sum += v;
+      return choices.empty() ? 0 : sum / static_cast<double>(choices.size());
+    }
+  }
+  return 0;
+}
+
+Distribution parse_distribution(const std::string& source) {
+  expr::ExprPtr ast;
+  try {
+    ast = expr::parse(source);
+  } catch (const expr::ExprError& err) {
+    throw expr::ExprError("bad distribution '" + source + "': " + err.what() +
+                          kSyntaxHelp);
+  }
+  const auto* call = std::get_if<expr::CallNode>(&ast->node);
+  if (call == nullptr) {
+    throw expr::ExprError("bad distribution '" + source + "'" + kSyntaxHelp);
+  }
+
+  Distribution d;
+  std::vector<double> args;
+  args.reserve(call->args.size());
+  for (const expr::ExprPtr& arg : call->args) {
+    args.push_back(constant_arg(*arg, source));
+  }
+
+  if (call->name == "uniform") {
+    if (args.size() != 2) {
+      throw expr::ExprError("uniform takes exactly two arguments" +
+                            std::string(kSyntaxHelp));
+    }
+    if (!(args[0] <= args[1])) {
+      throw expr::ExprError("uniform(" + number_text(args[0]) + ", " +
+                            number_text(args[1]) +
+                            "): low bound must not exceed high bound");
+    }
+    d.kind = DistKind::kUniform;
+    d.a = args[0];
+    d.b = args[1];
+    d.source = "uniform(" + number_text(d.a) + "," + number_text(d.b) + ")";
+  } else if (call->name == "normal") {
+    if (args.size() != 2) {
+      throw expr::ExprError("normal takes exactly two arguments" +
+                            std::string(kSyntaxHelp));
+    }
+    if (!(args[1] >= 0)) {
+      throw expr::ExprError("normal(" + number_text(args[0]) + ", " +
+                            number_text(args[1]) +
+                            "): sigma must be non-negative");
+    }
+    d.kind = DistKind::kNormal;
+    d.a = args[0];
+    d.b = args[1];
+    d.source = "normal(" + number_text(d.a) + "," + number_text(d.b) + ")";
+  } else if (call->name == "choice") {
+    if (args.empty()) {
+      throw expr::ExprError("choice needs at least one value" +
+                            std::string(kSyntaxHelp));
+    }
+    d.kind = DistKind::kChoice;
+    d.choices = std::move(args);
+    d.source = "choice(";
+    for (std::size_t i = 0; i < d.choices.size(); ++i) {
+      if (i > 0) d.source += ",";
+      d.source += number_text(d.choices[i]);
+    }
+    d.source += ")";
+  } else {
+    throw expr::ExprError("unknown distribution '" + call->name + "'" +
+                          kSyntaxHelp);
+  }
+  return d;
+}
+
+std::vector<DistParam> parse_dist_params(const std::string& text) {
+  std::vector<DistParam> out;
+  std::size_t pos = 0;
+  while (pos <= text.size() && !text.empty()) {
+    std::size_t end = text.find(';', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string item = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw expr::ExprError(
+          "bad distribution entry '" + item +
+          "' — expected name=uniform(a,b), name=normal(mu,sigma) or "
+          "name=choice(v1,v2,...)");
+    }
+    DistParam p;
+    p.name = item.substr(0, eq);
+    p.dist = parse_distribution(item.substr(eq + 1));
+    out.push_back(std::move(p));
+  }
+  if (out.empty()) {
+    throw expr::ExprError("no parameter distributions given" +
+                          std::string(" — expected name=dist[;name=dist...]"));
+  }
+  return out;
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double u01(std::uint64_t seed, std::uint64_t point, std::uint64_t draw) {
+  // Two finalizer rounds decorrelate the three counters; the top 53
+  // bits make an exactly representable double in [0, 1).
+  std::uint64_t h = mix64(seed ^ (0xd1342543de82ef95ull * (point + 1)));
+  h = mix64(h ^ (0xaf251af3b0f025b5ull * (draw + 1)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double sample(const Distribution& d, std::uint64_t seed, std::uint64_t point,
+              std::size_t param_index) {
+  const std::uint64_t draw = static_cast<std::uint64_t>(param_index) * 2;
+  const double u = u01(seed, point, draw);
+  switch (d.kind) {
+    case DistKind::kUniform:
+      return d.a + (d.b - d.a) * u;
+    case DistKind::kNormal: {
+      // Box-Muller; 1-u keeps the log argument in (0, 1].
+      const double v = u01(seed, point, draw + 1);
+      const double r = std::sqrt(-2.0 * std::log(1.0 - u));
+      return d.a + d.b * r * std::cos(2.0 * 3.14159265358979323846 * v);
+    }
+    case DistKind::kChoice: {
+      auto idx = static_cast<std::size_t>(
+          u * static_cast<double>(d.choices.size()));
+      if (idx >= d.choices.size()) idx = d.choices.size() - 1;
+      return d.choices[idx];
+    }
+  }
+  return 0;
+}
+
+std::vector<std::vector<double>> sample_points(
+    const std::vector<DistParam>& params, std::size_t samples,
+    std::uint64_t seed) {
+  std::vector<std::vector<double>> points(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    points[i].reserve(params.size());
+    for (std::size_t j = 0; j < params.size(); ++j) {
+      points[i].push_back(sample(params[j].dist, seed, i, j));
+    }
+  }
+  return points;
+}
+
+}  // namespace powerplay::explore

@@ -1,0 +1,77 @@
+// dist.hpp — parameter distributions and the deterministic counter RNG.
+//
+// Monte Carlo exploration attaches a distribution to any design
+// parameter using the spreadsheet's own expression syntax:
+//
+//   uniform(a, b)      — uniform on [a, b]
+//   normal(mu, sigma)  — Gaussian (Box-Muller over two counter draws)
+//   choice(v1, v2, …)  — uniform pick from an explicit value list
+//
+// Arguments may be constant expressions ("uniform(1.5*0.9, 1.5*1.1)").
+//
+// Sampling is *counter-based*: draw (seed, point, draw_index) is a pure
+// hash, not a stateful generator, so sample i of an N-point study is
+// the same double no matter how points are chunked across worker
+// threads, how many threads run, or in what order chunks finish.  This
+// is the determinism guarantee the bit-identical MC tests pin.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace powerplay::explore {
+
+enum class DistKind { kUniform, kNormal, kChoice };
+
+struct Distribution {
+  DistKind kind = DistKind::kUniform;
+  double a = 0;  ///< uniform low / normal mu
+  double b = 0;  ///< uniform high / normal sigma
+  std::vector<double> choices;
+  std::string source;  ///< canonical text, for tables and descriptions
+
+  /// Expected value (choice: arithmetic mean of the list) — the default
+  /// operating point a fitted surrogate advertises for the parameter.
+  [[nodiscard]] double mean() const;
+};
+
+/// Parse distribution syntax.  Throws expr::ExprError with the accepted
+/// forms spelled out on anything else (wrong call name, non-constant
+/// arguments, uniform(hi, lo), negative sigma, empty choice list).
+Distribution parse_distribution(const std::string& source);
+
+/// SplitMix64 finalizer: the bijective avalanche at the heart of the
+/// counter RNG.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x);
+
+/// Uniform double in [0, 1) for counter (seed, point, draw).
+[[nodiscard]] double u01(std::uint64_t seed, std::uint64_t point,
+                         std::uint64_t draw);
+
+/// One sample of `d` for point index `point`, parameter index
+/// `param_index` (each parameter consumes two draw counters so a normal
+/// has both Box-Muller uniforms to itself).
+[[nodiscard]] double sample(const Distribution& d, std::uint64_t seed,
+                            std::uint64_t point, std::size_t param_index);
+
+/// One named parameter under a distribution — the unit every
+/// exploration spec is built from.
+struct DistParam {
+  std::string name;
+  Distribution dist;
+};
+
+/// Parse a semicolon-separated list of `name=distribution` entries,
+/// e.g. "vdd=uniform(1.35,1.65);f=choice(1e6,2e6)" — the wire/CLI form
+/// shared by POST /design/explore and `ppcli explore`.
+[[nodiscard]] std::vector<DistParam> parse_dist_params(
+    const std::string& text);
+
+/// Deterministic sample matrix: row i is point i, column j is
+/// params[j] sampled at (seed, i, j).
+[[nodiscard]] std::vector<std::vector<double>> sample_points(
+    const std::vector<DistParam>& params, std::size_t samples,
+    std::uint64_t seed);
+
+}  // namespace powerplay::explore

@@ -1,0 +1,74 @@
+// mc.hpp — Monte Carlo analysis over uncertain design parameters.
+//
+// "What is the power at the nominal operating point?" becomes "what is
+// the power *distribution* when vdd varies ±5% and the pixel rate is
+// one of three standards?"  A Monte Carlo run samples every listed
+// parameter from its distribution (dist.hpp's counter RNG — point i is
+// the same point at any thread count), Plays each sample through the
+// compiled-plan engine, and reduces the results to mean/stddev,
+// percentiles and, when a power budget is given, the exceedance
+// fraction P(total power > budget).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "explore/dist.hpp"
+
+namespace powerplay::explore {
+
+struct McSpec {
+  std::vector<DistParam> params;  ///< at least one
+  std::size_t samples = 1000;
+  std::uint64_t seed = 1;
+  /// > 0: also report the fraction of samples whose total power exceeds
+  /// this budget [W].
+  double budget_w = 0;
+};
+
+/// The percentile levels every MC report carries.
+inline constexpr double kPercentiles[] = {0, 1, 5, 10, 25, 50,
+                                          75, 90, 95, 99, 100};
+
+struct McResult {
+  std::vector<std::string> param_names;
+  std::vector<std::vector<double>> points;  ///< [sample][param]
+  std::vector<double> power_w;              ///< per sample, sample order
+  std::vector<double> energy_j;             ///< per sample
+  std::size_t samples = 0;
+  std::uint64_t seed = 0;
+
+  double mean_w = 0;
+  double stddev_w = 0;  ///< population standard deviation
+  std::vector<std::pair<double, double>> percentiles_w;  ///< (level, W)
+
+  double budget_w = 0;
+  double exceed_fraction = 0;  ///< P(power > budget); 0 when no budget
+};
+
+/// Percentile of an ascending-sorted sample by linear interpolation
+/// between closest ranks (p in [0, 100]; p=0 is the minimum, p=100 the
+/// maximum, n=1 returns the single value).  Throws expr::ExprError on
+/// an empty sample or p outside [0, 100].
+[[nodiscard]] double percentile(const std::vector<double>& sorted, double p);
+
+/// Run the study.  Validates every parameter up front (all unknown
+/// names in one error), evaluates through `engine` (parallel, memoized,
+/// bit-identical at any thread count), then reduces in sample order.
+[[nodiscard]] McResult run_monte_carlo(
+    engine::EvalEngine& engine, const sheet::Design& design,
+    const McSpec& spec, const sheet::SweepProgress& progress = {});
+
+/// Human-readable summary (the /job table view).
+[[nodiscard]] std::string mc_table(const McResult& r);
+
+/// Machine form: one line per sample,
+/// `<param>...,total_power_w,energy_per_op_j`.
+[[nodiscard]] std::string mc_csv(const McResult& r);
+
+/// Summary statistics as one JSON object (the /job?format=json payload).
+[[nodiscard]] std::string mc_json(const McResult& r);
+
+}  // namespace powerplay::explore

@@ -1,0 +1,313 @@
+#include "explore/surrogate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace powerplay::explore {
+
+namespace {
+
+constexpr double kRidge = 1e-10;
+constexpr const char* kDocPrefix = "[surrogate]";
+
+std::string num17(double v) {
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
+/// Solve A x = b (A symmetric positive definite up to the ridge) by
+/// Gaussian elimination with partial pivoting.  The systems here are
+/// tiny (a handful of basis terms), so numerics beat cleverness.
+std::vector<double> solve(std::vector<std::vector<double>> a,
+                          std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    if (a[pivot][col] == 0) {
+      throw expr::ExprError(
+          "surrogate: singular normal equations — the training points do "
+          "not span the basis (try more samples or a wider range)");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r][col] / a[col][col];
+      if (factor == 0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0);
+  for (std::size_t row = n; row-- > 0;) {
+    double acc = b[row];
+    for (std::size_t c = row + 1; c < n; ++c) acc -= a[row][c] * x[c];
+    x[row] = acc / a[row][row];
+  }
+  return x;
+}
+
+/// Standardized feature vector for one point.
+std::vector<double> features(const FitResult& fit,
+                             const std::vector<double>& point) {
+  std::vector<double> z(point.size());
+  for (std::size_t j = 0; j < point.size(); ++j) {
+    const double raw = fit.log_basis ? std::log(point[j]) : point[j];
+    z[j] = (raw - fit.mean[j]) / fit.scale[j];
+  }
+  return z;
+}
+
+double term_value(const std::pair<int, int>& ix,
+                  const std::vector<double>& z) {
+  if (ix.first < 0) return 1.0;
+  double v = z[static_cast<std::size_t>(ix.first)];
+  if (ix.second >= 0) v *= z[static_cast<std::size_t>(ix.second)];
+  return v;
+}
+
+}  // namespace
+
+double surrogate_predict(const FitResult& fit,
+                         const std::vector<double>& point) {
+  const std::vector<double> z = features(fit, point);
+  double y = 0;
+  for (std::size_t t = 0; t < fit.term_index.size(); ++t) {
+    y += fit.coefficients[t] * term_value(fit.term_index[t], z);
+  }
+  return y;
+}
+
+bool is_surrogate_doc(const std::string& documentation) {
+  return documentation.rfind(kDocPrefix, 0) == 0;
+}
+
+FitResult fit_surrogate(engine::EvalEngine& engine,
+                        const sheet::Design& design, const FitSpec& spec,
+                        const sheet::SweepProgress& progress) {
+  if (spec.model_name.empty()) {
+    throw expr::ExprError("surrogate: model name required");
+  }
+  if (spec.params.empty()) {
+    throw expr::ExprError("surrogate: no parameters given");
+  }
+  const bool quadratic = spec.basis == "poly2" || spec.basis == "log";
+  if (spec.basis != "poly1" && !quadratic) {
+    throw expr::ExprError("surrogate: unknown basis '" + spec.basis +
+                          "' — use poly1, poly2 or log");
+  }
+  if (!(spec.holdout_fraction > 0 && spec.holdout_fraction <= 0.5)) {
+    throw expr::ExprError(
+        "surrogate: holdout fraction must be in (0, 0.5]");
+  }
+
+  FitResult out;
+  out.log_basis = spec.basis == "log";
+  out.diagnostics.basis = spec.basis;
+  out.diagnostics.seed = spec.seed;
+
+  std::vector<std::string> names;
+  for (const DistParam& p : spec.params) names.push_back(p.name);
+  const std::vector<std::vector<double>> points =
+      sample_points(spec.params, spec.samples, spec.seed);
+  const std::vector<sheet::PlayResult> plays =
+      engine.play_points(design, names, points, progress);
+  std::vector<double> y(plays.size());
+  for (std::size_t i = 0; i < plays.size(); ++i) {
+    y[i] = plays[i].total.total_power().si();
+  }
+
+  // Deterministic holdout split: every stride-th point.  The split must
+  // not depend on thread count or sample order subtleties — index
+  // arithmetic over the counter-RNG matrix is exactly that.
+  const auto stride = static_cast<std::size_t>(
+      std::llround(1.0 / spec.holdout_fraction));
+  std::vector<std::size_t> train_ix;
+  std::vector<std::size_t> hold_ix;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    (i % stride == stride - 1 ? hold_ix : train_ix).push_back(i);
+  }
+
+  // Basis layout: constant, then linear terms, then (quadratic bases)
+  // z_j * z_k for j <= k.
+  const std::size_t p = names.size();
+  out.term_index.emplace_back(-1, -1);
+  out.terms.emplace_back("1");
+  const auto zname = [&](std::size_t j) {
+    return out.log_basis ? "z(ln " + names[j] + ")" : "z(" + names[j] + ")";
+  };
+  for (std::size_t j = 0; j < p; ++j) {
+    out.term_index.emplace_back(static_cast<int>(j), -1);
+    out.terms.push_back(zname(j));
+  }
+  if (quadratic) {
+    for (std::size_t j = 0; j < p; ++j) {
+      for (std::size_t k = j; k < p; ++k) {
+        out.term_index.emplace_back(static_cast<int>(j),
+                                    static_cast<int>(k));
+        out.terms.push_back(zname(j) + "*" + zname(k));
+      }
+    }
+  }
+  const std::size_t terms = out.term_index.size();
+  if (train_ix.size() < terms || hold_ix.empty()) {
+    throw expr::ExprError(
+        "surrogate: " + std::to_string(spec.samples) + " samples is too "
+        "few for a " + spec.basis + " fit over " + std::to_string(p) +
+        " parameters (" + std::to_string(terms) + " terms plus holdout)");
+  }
+
+  // Standardization from the *training* split.  A degenerate feature
+  // (choice of one value, zero-width uniform) keeps scale 1 so the
+  // expression stays finite; the fit simply cannot use that direction.
+  out.mean.assign(p, 0);
+  out.scale.assign(p, 1);
+  for (std::size_t j = 0; j < p; ++j) {
+    double sum = 0;
+    for (const std::size_t i : train_ix) {
+      const double x = points[i][j];
+      if (out.log_basis && !(x > 0)) {
+        throw expr::ExprError(
+            "surrogate: log basis needs strictly positive samples, but '" +
+            names[j] + "' drew " + num17(x) +
+            " — shift the distribution or use poly2");
+      }
+      sum += out.log_basis ? std::log(x) : x;
+    }
+    out.mean[j] = sum / static_cast<double>(train_ix.size());
+    double var = 0;
+    for (const std::size_t i : train_ix) {
+      const double raw =
+          out.log_basis ? std::log(points[i][j]) : points[i][j];
+      var += (raw - out.mean[j]) * (raw - out.mean[j]);
+    }
+    const double sd = std::sqrt(var / static_cast<double>(train_ix.size()));
+    out.scale[j] = sd > 0 ? sd : 1.0;
+  }
+
+  // Normal equations over the training split, tiny ridge for the
+  // near-collinear cases the pivot check alone would let wobble.
+  std::vector<std::vector<double>> ata(terms,
+                                       std::vector<double>(terms, 0));
+  std::vector<double> aty(terms, 0);
+  for (const std::size_t i : train_ix) {
+    const std::vector<double> z = features(out, points[i]);
+    std::vector<double> phi(terms);
+    for (std::size_t t = 0; t < terms; ++t) {
+      phi[t] = term_value(out.term_index[t], z);
+    }
+    for (std::size_t r = 0; r < terms; ++r) {
+      for (std::size_t c = r; c < terms; ++c) ata[r][c] += phi[r] * phi[c];
+      aty[r] += phi[r] * y[i];
+    }
+  }
+  for (std::size_t r = 0; r < terms; ++r) {
+    ata[r][r] += kRidge;
+    for (std::size_t c = 0; c < r; ++c) ata[r][c] = ata[c][r];
+  }
+  out.coefficients = solve(std::move(ata), std::move(aty));
+
+  // Diagnostics: R² on the training split, worst relative error on the
+  // holdout split the fit never saw.
+  double y_mean = 0;
+  for (const std::size_t i : train_ix) y_mean += y[i];
+  y_mean /= static_cast<double>(train_ix.size());
+  double ss_res = 0;
+  double ss_tot = 0;
+  for (const std::size_t i : train_ix) {
+    const double pred = surrogate_predict(out, points[i]);
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - y_mean) * (y[i] - y_mean);
+  }
+  out.diagnostics.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  double worst = 0;
+  for (const std::size_t i : hold_ix) {
+    const double pred = surrogate_predict(out, points[i]);
+    const double denom = std::max(std::abs(y[i]), 1e-30);
+    worst = std::max(worst, std::abs(pred - y[i]) / denom);
+  }
+  out.diagnostics.max_rel_err = worst;
+  out.diagnostics.train_count = train_ix.size();
+  out.diagnostics.holdout_count = hold_ix.size();
+
+  // Materialize as a user model.  The power_direct expression is the
+  // surrogate verbatim — same standardization, same coefficients at
+  // full double precision — so the library model and surrogate_predict
+  // agree to the last bit of expression arithmetic.
+  model::UserModelDefinition def;
+  def.name = spec.model_name;
+  def.category = model::Category::kSystem;
+  std::vector<std::string> feat(p);
+  for (std::size_t j = 0; j < p; ++j) {
+    const std::string raw =
+        out.log_basis ? "ln(" + names[j] + ")" : names[j];
+    feat[j] = "((" + raw + " - " + num17(out.mean[j]) + ") / " +
+              num17(out.scale[j]) + ")";
+  }
+  std::string body;
+  for (std::size_t t = 0; t < terms; ++t) {
+    if (t > 0) body += " + ";
+    body += "(" + num17(out.coefficients[t]) + ")";
+    const auto [j, k] = out.term_index[t];
+    if (j >= 0) body += " * " + feat[static_cast<std::size_t>(j)];
+    if (k >= 0) body += " * " + feat[static_cast<std::size_t>(k)];
+  }
+  def.power_direct = body;
+  for (std::size_t j = 0; j < p; ++j) {
+    model::ParamSpec ps;
+    ps.name = names[j];
+    ps.description = "surrogate input, trained on " +
+                     spec.params[j].dist.source;
+    ps.default_value = spec.params[j].dist.mean();
+    def.params.push_back(std::move(ps));
+  }
+  // Single line on purpose: the store's quoted() escapes only quotes
+  // and backslashes, so documentation must never embed a newline.
+  std::ostringstream doc;
+  doc << kDocPrefix << " power fit over";
+  for (const std::string& name : names) doc << ' ' << name;
+  doc << "; basis=" << spec.basis << " seed=" << spec.seed
+      << " train=" << out.diagnostics.train_count
+      << " holdout=" << out.diagnostics.holdout_count << std::setprecision(6)
+      << " r2=" << out.diagnostics.r2
+      << " max_rel_err=" << out.diagnostics.max_rel_err
+      << " source_design=" << design.name();
+  def.documentation = doc.str();
+  out.definition = std::move(def);
+  return out;
+}
+
+std::string fit_table(const FitResult& r) {
+  std::ostringstream os;
+  os << "surrogate fit: model '" << r.definition.name << "', basis "
+     << r.diagnostics.basis << ", seed " << r.diagnostics.seed << "\n";
+  os << "train/holdout\t" << r.diagnostics.train_count << "/"
+     << r.diagnostics.holdout_count << "\n";
+  os << std::setprecision(6);
+  os << "r2\t" << r.diagnostics.r2 << "\n";
+  os << "max rel err\t" << r.diagnostics.max_rel_err << "\n";
+  os << std::setprecision(9);
+  for (std::size_t t = 0; t < r.terms.size(); ++t) {
+    os << r.terms[t] << "\t" << r.coefficients[t] << "\n";
+  }
+  return os.str();
+}
+
+std::string fit_csv(const FitResult& r) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "term,coefficient\n";
+  for (std::size_t t = 0; t < r.terms.size(); ++t) {
+    os << '"' << r.terms[t] << "\"," << r.coefficients[t] << '\n';
+  }
+  os << "\"r2\"," << r.diagnostics.r2 << '\n';
+  os << "\"max_rel_err\"," << r.diagnostics.max_rel_err << '\n';
+  return os.str();
+}
+
+}  // namespace powerplay::explore

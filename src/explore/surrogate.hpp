@@ -1,0 +1,86 @@
+// surrogate.hpp — fitted surrogate models over compiled-plan sweeps.
+//
+// A compiled plan is already fast; a surrogate is faster still and —
+// more importantly — *portable*: the fit is materialized as an ordinary
+// UserModelDefinition whose power_direct expression is the fitted
+// polynomial, so it rides every existing rail for free (library store,
+// journal replay, follower replication, the /model and /doc pages, use
+// as a sheet row).  The fit is least squares over a standardized
+// polynomial or log basis, trained on deterministic Monte Carlo points
+// (dist.hpp counters), with diagnostics (R² on the training split, max
+// relative error on a deterministic holdout split) computed at fit time
+// and carried in the model's documentation line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "explore/dist.hpp"
+#include "model/user_model.hpp"
+
+namespace powerplay::explore {
+
+struct FitSpec {
+  std::string model_name;         ///< library name for the fitted model
+  std::vector<DistParam> params;  ///< training ranges per input
+  std::size_t samples = 256;      ///< total points (train + holdout)
+  std::uint64_t seed = 1;
+  /// poly1: affine.  poly2: quadratic with cross terms.  log: poly2
+  /// over ln(x) — requires strictly positive samples for every input.
+  std::string basis = "poly2";
+  /// Fraction held out for the max-relative-error check; the split is
+  /// deterministic (every k-th point), not random.
+  double holdout_fraction = 0.25;
+};
+
+struct FitDiagnostics {
+  double r2 = 0;           ///< coefficient of determination, training split
+  double max_rel_err = 0;  ///< worst |pred - exact| / |exact|, holdout split
+  std::size_t train_count = 0;
+  std::size_t holdout_count = 0;
+  std::string basis;
+  std::uint64_t seed = 1;
+};
+
+struct FitResult {
+  model::UserModelDefinition definition;  ///< ready for LibraryStore::save_model
+  FitDiagnostics diagnostics;
+  std::vector<std::string> terms;   ///< human-readable basis terms
+  std::vector<double> coefficients; ///< same order as `terms`
+
+  // Fit structure, recorded so surrogate_predict and the generated
+  // expression share one definition of the model: per-input
+  // standardization plus each term's feature indices ((-1,-1) constant,
+  // (j,-1) linear, (j,k) product).
+  std::vector<double> mean;
+  std::vector<double> scale;
+  bool log_basis = false;
+  std::vector<std::pair<int, int>> term_index;
+};
+
+/// Sample the design, solve the least-squares system (normal equations
+/// with a tiny ridge), and package the fit as a user model whose
+/// power_direct expression reproduces the surrogate exactly.  Throws
+/// expr::ExprError on an unknown basis, too few samples for the basis
+/// size, non-positive samples under the log basis, or unknown
+/// parameters (via the engine's all-names-at-once validation).
+[[nodiscard]] FitResult fit_surrogate(
+    engine::EvalEngine& engine, const sheet::Design& design,
+    const FitSpec& spec, const sheet::SweepProgress& progress = {});
+
+/// Evaluate a fitted surrogate at one point (params in spec order).
+/// This is the same arithmetic the generated expression performs —
+/// exposed so tests and benches can pin the two against each other.
+[[nodiscard]] double surrogate_predict(const FitResult& fit,
+                                       const std::vector<double>& point);
+
+/// True when a model's documentation marks it as a fitted surrogate
+/// (the "[surrogate]" prefix written by fit_surrogate).
+[[nodiscard]] bool is_surrogate_doc(const std::string& documentation);
+
+[[nodiscard]] std::string fit_table(const FitResult& r);
+[[nodiscard]] std::string fit_csv(const FitResult& r);
+
+}  // namespace powerplay::explore

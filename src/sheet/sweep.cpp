@@ -19,6 +19,24 @@ void require_global(const Design& design, const std::string& param,
   }
 }
 
+void require_globals(const Design& design,
+                     const std::vector<std::string>& params,
+                     const char* caller) {
+  std::string unknown;
+  std::size_t missing = 0;
+  for (const std::string& param : params) {
+    if (design.globals().lookup(param).has_value()) continue;
+    if (!unknown.empty()) unknown += ", ";
+    unknown += "'" + param + "'";
+    ++missing;
+  }
+  if (missing == 0) return;
+  throw expr::ExprError(
+      std::string(caller) + ": design '" + design.name() + "' has no global " +
+      (missing == 1 ? "parameter named " : "parameters named ") + unknown +
+      " — sweeping them would create bindings no row reads");
+}
+
 void require_row_param(const Design& design, const Row& row,
                        const std::string& param) {
   if (row.params.has_local(param)) return;
@@ -125,8 +143,7 @@ GridSweep sweep_grid(const Design& design, const std::string& x_param,
   if (x_param == y_param) {
     throw expr::ExprError("sweep_grid: the two parameters must differ");
   }
-  require_global(design, x_param, "sweep_grid");
-  require_global(design, y_param, "sweep_grid");
+  require_globals(design, {x_param, y_param}, "sweep_grid");
   GridSweep out;
   out.x_param = x_param;
   out.y_param = y_param;
@@ -157,8 +174,7 @@ GridSweep sweep_grid(engine::Executor& executor, const Design& design,
   if (x_param == y_param) {
     throw expr::ExprError("sweep_grid: the two parameters must differ");
   }
-  require_global(design, x_param, "sweep_grid");
-  require_global(design, y_param, "sweep_grid");
+  require_globals(design, {x_param, y_param}, "sweep_grid");
   GridSweep out;
   out.x_param = x_param;
   out.y_param = y_param;

@@ -43,6 +43,13 @@ using PlayFn = std::function<PlayResult(const Design&)>;
 void require_global(const Design& design, const std::string& param,
                     const char* caller);
 
+/// Multi-parameter form: checks every name and reports *all* unknown
+/// parameters in one ExprError (a multi-axis explore request with two
+/// typos should fail with a complete message, not one name at a time).
+void require_globals(const Design& design,
+                     const std::vector<std::string>& params,
+                     const char* caller);
+
 /// A row parameter is sweepable when the row already binds it, when the
 /// row's model declares it, or (macro rows) when the sub-design has it
 /// as a global; throws ExprError otherwise.

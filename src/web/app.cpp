@@ -1,9 +1,15 @@
 #include "web/app.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <iomanip>
 #include <sstream>
 
 #include "engine/fingerprint.hpp"
+#include "explore/inverse.hpp"
+#include "explore/mc.hpp"
+#include "explore/pareto.hpp"
+#include "explore/surrogate.hpp"
 #include "flow/standard_flows.hpp"
 #include "library/textio.hpp"
 #include "models/berkeley_library.hpp"
@@ -164,9 +170,10 @@ PowerPlayApp::PowerPlayApp(library::LibraryStore store,
 }
 
 void PowerPlayApp::shutdown() {
-  // Order matters: a running job never touches the store (it works on a
-  // private design clone), so drain first, then compact the journal
-  // under the exclusive library lock.
+  // Order matters: jobs work on private design clones, and the one kind
+  // that writes (a surrogate fit committing its model) takes the library
+  // lock only transiently — so drain first, and no job can hold or wait
+  // on the lock when we compact the journal under it.
   jobs_.drain();
   std::unique_lock lib(library_mutex_);
   store_.flush();
@@ -210,9 +217,13 @@ Response PowerPlayApp::handle(const Request& request) {
     // A follower serves reads (through the response cache, invalidated
     // by applied records via the store revision) but owns no write
     // authority: mutations go to the primary, method preserved, via
-    // 307 Temporary Redirect.
+    // 307 Temporary Redirect.  Explore jobs run anywhere (they only
+    // read a design snapshot) except surrogate fits, which commit the
+    // fitted model to the library.
     if (role_.load() == ReplRole::kFollower &&
-        (mutates || target.path == "/setpw")) {
+        (mutates || target.path == "/setpw" ||
+         (target.path == "/design/explore" &&
+          get_or(q, "mode") == "fit"))) {
       return redirect_to_primary(request);
     }
 
@@ -268,6 +279,7 @@ Response PowerPlayApp::dispatch(const std::string& path,
   if (path == "/design/play") return do_design_play(q);
   if (path == "/design/setrow") return do_design_setrow(q);
   if (path == "/design/sweep") return do_design_sweep(q);
+  if (path == "/design/explore") return do_design_explore(q);
   if (path == "/design/csv") return design_csv(q);
   if (path == "/job/cancel") return do_job_cancel(q);
   if (path == "/job") return page_job(q);
@@ -415,6 +427,10 @@ Response PowerPlayApp::page_healthz() {
   os << "jobs_cancelled_total: " << jobs.cancelled_total << "\n";
   os << "jobs_deadline_expired_total: " << jobs.deadline_expired_total
      << "\n";
+  os << "explore_jobs_total: " << explore_jobs_total_.load() << "\n";
+  os << "mc_points_total: " << mc_points_total_.load() << "\n";
+  os << "surrogate_fits_total: " << surrogate_fits_total_.load() << "\n";
+  os << "surrogate_hits_total: " << surrogate_hits_total_.load() << "\n";
   const library::DurabilityStats store = store_.durability();
   os << "journal_appends: " << store.journal_appends << "\n";
   os << "journal_replayed: " << store.journal_replayed << "\n";
@@ -656,6 +672,9 @@ Response PowerPlayApp::page_model(const Params& q) const {
   const std::string user = need(q, "user");
   const std::string name = need(q, "name");
   const model::Model& m = registry_.at(name);
+  if (explore::is_surrogate_doc(m.documentation())) {
+    surrogate_hits_total_.fetch_add(1);
+  }
 
   HtmlPage page("Model: " + name);
   page.paragraph(m.documentation());
@@ -881,14 +900,6 @@ SweepAxis parse_axis(const Params& q, const std::string& prefix) {
   return axis;
 }
 
-void require_sweepable_global(const sheet::Design& design,
-                              const std::string& param) {
-  if (!design.globals().lookup(param).has_value()) {
-    throw HttpError("design '" + design.name() +
-                    "' has no global parameter named '" + param + "'");
-  }
-}
-
 }  // namespace
 
 Response PowerPlayApp::do_design_sweep(const Params& q) {
@@ -919,8 +930,9 @@ Response PowerPlayApp::do_design_sweep(const Params& q) {
     if (x.param == y.param) {
       throw HttpError("sweep axes must name two different parameters");
     }
-    require_sweepable_global(snapshot, x.param);
-    require_sweepable_global(snapshot, y.param);
+    // All unknown names in one reply: a request with two typos gets
+    // both called out, not one per round trip.
+    sheet::require_globals(snapshot, {x.param, y.param}, "sweep");
     describe << "sweep " << name << ": " << x.param << " x " << y.param
              << " (" << x.values.size() << "x" << y.values.size()
              << " grid)";
@@ -943,7 +955,7 @@ Response PowerPlayApp::do_design_sweep(const Params& q) {
                                sheet::sweep_csv(x.param, points)};
     };
   } else {
-    require_sweepable_global(snapshot, x.param);
+    sheet::require_globals(snapshot, {x.param}, "sweep");
     describe << "sweep " << name << ": " << x.param << " ("
              << x.values.size() << " points)";
     work = [this, snapshot = std::move(snapshot),
@@ -965,6 +977,230 @@ Response PowerPlayApp::do_design_sweep(const Params& q) {
   return Response::ok_text(os.str());
 }
 
+// ---------------------------------------------------------------------------
+// Design-space exploration jobs (src/explore behind POST /design/explore)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// "vdd=1:2:8;f=1e6:4e6:4" — semicolon-separated grid axes, each a
+/// linspace(from, to, points).
+std::vector<explore::ParetoAxis> parse_explore_axes(const std::string& text) {
+  std::vector<explore::ParetoAxis> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t end = text.find(';', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string item = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    const std::size_t c1 = item.find(':', eq + 1);
+    const std::size_t c2 =
+        c1 == std::string::npos ? std::string::npos : item.find(':', c1 + 1);
+    if (eq == std::string::npos || eq == 0 || c2 == std::string::npos) {
+      throw HttpError("bad axis '" + item +
+                      "' — expected name=from:to:points");
+    }
+    explore::ParetoAxis axis;
+    axis.param = item.substr(0, eq);
+    const double from = parse_double(item.substr(eq + 1, c1 - eq - 1),
+                                     axis.param + " from");
+    const double to =
+        parse_double(item.substr(c1 + 1, c2 - c1 - 1), axis.param + " to");
+    const double points_value =
+        parse_double(item.substr(c2 + 1), axis.param + " points");
+    const int points = static_cast<int>(points_value);
+    if (points < 1 || points > 256 || points != points_value) {
+      throw HttpError("axis '" + axis.param +
+                      "' points must be an integer in [1, 256]");
+    }
+    axis.values = sheet::linspace(from, to, points);
+    out.push_back(std::move(axis));
+  }
+  if (out.empty()) throw HttpError("no grid axes given");
+  return out;
+}
+
+std::size_t parse_sample_count(const Params& q, std::size_t fallback) {
+  const std::uint64_t v = parse_u64_param(
+      get_or(q, "samples", std::to_string(fallback)), "samples");
+  if (v < 1 || v > explore::ParetoSpec::kMaxPoints) {
+    throw HttpError("samples must be in [1, " +
+                    std::to_string(explore::ParetoSpec::kMaxPoints) + "]");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+Response PowerPlayApp::do_design_explore(const Params& q) {
+  const std::string user = authorized_user(q).username;
+  const std::string name = need(q, "name");
+  library::validate_store_name(name);
+  if (!store_.has_design(name)) {
+    return Response::not_found("design '" + name + "'");
+  }
+  const std::string mode = need(q, "mode");
+  const std::uint64_t seed =
+      parse_u64_param(get_or(q, "seed", "1"), "seed");
+
+  // Snapshot the design under the app's locks; the job runs on this
+  // private clone.  Every spec is validated *here* (unknown parameters
+  // all named in one reply) so a typo answers 400, not a failed job.
+  sheet::Design snapshot(*store_.load_design(name, registry_));
+
+  std::ostringstream describe;
+  engine::JobManager::Work work;
+  if (mode == "mc") {
+    explore::McSpec spec;
+    spec.params = explore::parse_dist_params(need(q, "params"));
+    spec.samples = parse_sample_count(q, 1000);
+    spec.seed = seed;
+    spec.budget_w = parse_double(get_or(q, "budget", "0"), "budget");
+    std::vector<std::string> names;
+    for (const explore::DistParam& p : spec.params) names.push_back(p.name);
+    sheet::require_globals(snapshot, names, "explore mc");
+    describe << "explore mc " << name << ": " << spec.samples
+             << " samples over";
+    for (const std::string& n : names) describe << ' ' << n;
+    work = [this, snapshot = std::move(snapshot), spec = std::move(spec)](
+               const engine::JobManager::Progress& progress) {
+      const explore::McResult r =
+          explore::run_monte_carlo(engine_, snapshot, spec, progress);
+      mc_points_total_.fetch_add(r.samples);
+      return engine::JobResult{explore::mc_table(r), explore::mc_csv(r),
+                               explore::mc_json(r)};
+    };
+  } else if (mode == "pareto") {
+    explore::ParetoSpec spec;
+    const std::string axes = get_or(q, "axes");
+    if (!axes.empty()) {
+      spec.axes = parse_explore_axes(axes);
+    } else {
+      spec.dists = explore::parse_dist_params(need(q, "params"));
+      spec.samples = parse_sample_count(q, 1024);
+      spec.seed = seed;
+    }
+    std::vector<std::string> names;
+    for (const explore::ParetoAxis& a : spec.axes) names.push_back(a.param);
+    for (const explore::DistParam& p : spec.dists) names.push_back(p.name);
+    sheet::require_globals(snapshot, names, "explore pareto");
+    std::istringstream objs(need(q, "objectives"));
+    std::string objective;
+    while (std::getline(objs, objective, ',')) {
+      if (objective.empty()) continue;
+      spec.objectives.push_back(explore::parse_objective(objective, names));
+    }
+    if (spec.objectives.empty()) {
+      throw HttpError("no objectives given");
+    }
+    describe << "explore pareto " << name << ":";
+    for (const explore::Objective& o : spec.objectives) {
+      describe << ' ' << (o.maximize ? "max:" : "min:") << o.name;
+    }
+    work = [this, snapshot = std::move(snapshot), spec = std::move(spec)](
+               const engine::JobManager::Progress& progress) {
+      const explore::ParetoResult r =
+          explore::run_pareto(engine_, snapshot, spec, progress);
+      return engine::JobResult{explore::pareto_table(r),
+                               explore::pareto_csv(r),
+                               explore::pareto_json(r)};
+    };
+  } else if (mode == "inverse") {
+    explore::InverseSpec spec;
+    spec.param = need(q, "param");
+    spec.lo = parse_double(need(q, "lo"), "lo");
+    spec.hi = parse_double(need(q, "hi"), "hi");
+    spec.metric = get_or(q, "metric", "power");
+    spec.limit = parse_double(need(q, "limit"), "limit");
+    const std::string bound = get_or(q, "bound", "le");
+    if (bound != "le" && bound != "ge") {
+      throw HttpError("bound must be 'le' (metric <= limit) or 'ge'");
+    }
+    spec.upper_bound = bound == "le";
+    const std::string goal = get_or(q, "goal", "max");
+    if (goal != "max" && goal != "min") {
+      throw HttpError("goal must be 'max' or 'min'");
+    }
+    spec.maximize = goal == "max";
+    if (!(spec.lo < spec.hi)) {
+      throw HttpError("inverse bracket requires lo < hi");
+    }
+    if (!explore::is_metric(spec.metric)) {
+      throw HttpError("unknown metric '" + spec.metric +
+                      "' — use power, area, energy or delay");
+    }
+    sheet::require_globals(snapshot, {spec.param}, "explore inverse");
+    describe << "explore inverse " << name << ": "
+             << (spec.maximize ? "largest " : "smallest ") << spec.param
+             << " with " << spec.metric
+             << (spec.upper_bound ? " <= " : " >= ") << spec.limit;
+    work = [this, snapshot = std::move(snapshot), spec = std::move(spec)](
+               const engine::JobManager::Progress& progress) {
+      const explore::InverseResult r =
+          explore::solve_inverse(engine_, snapshot, spec, progress);
+      return engine::JobResult{explore::inverse_table(spec, r),
+                               explore::inverse_csv(spec, r)};
+    };
+  } else if (mode == "fit") {
+    explore::FitSpec spec;
+    spec.model_name = need(q, "model");
+    library::validate_store_name(spec.model_name);
+    spec.params = explore::parse_dist_params(need(q, "params"));
+    spec.samples = parse_sample_count(q, 256);
+    spec.seed = seed;
+    spec.basis = get_or(q, "basis", "poly2");
+    if (spec.basis != "poly1" && spec.basis != "poly2" &&
+        spec.basis != "log") {
+      throw HttpError("basis must be poly1, poly2 or log");
+    }
+    spec.holdout_fraction =
+        parse_double(get_or(q, "holdout", "0.25"), "holdout");
+    if (!(spec.holdout_fraction > 0 && spec.holdout_fraction <= 0.5)) {
+      throw HttpError("holdout must be in (0, 0.5]");
+    }
+    std::vector<std::string> names;
+    for (const explore::DistParam& p : spec.params) names.push_back(p.name);
+    sheet::require_globals(snapshot, names, "explore fit");
+    describe << "explore fit " << name << " -> model " << spec.model_name
+             << " (" << spec.basis << ", " << spec.samples << " samples)";
+    work = [this, snapshot = std::move(snapshot), spec = std::move(spec)](
+               const engine::JobManager::Progress& progress) {
+      explore::FitResult fit =
+          explore::fit_surrogate(engine_, snapshot, spec, progress);
+      // Validate by construction, then commit to the shared library
+      // exactly like POST /newmodel: journaled save (so the model
+      // survives reopen and replicates to followers), registry swap,
+      // revision bump so cached pages re-render.
+      auto surrogate = std::make_shared<model::UserModel>(fit.definition);
+      {
+        std::unique_lock lib(library_mutex_);
+        store_.save_model(fit.definition, false);
+        registry_.add_or_replace(std::move(surrogate));
+        model_revision_.fetch_add(1);
+      }
+      surrogate_fits_total_.fetch_add(1);
+      return engine::JobResult{explore::fit_table(fit),
+                               explore::fit_csv(fit)};
+    };
+  } else {
+    throw HttpError("unknown explore mode '" + mode +
+                    "' — use mc, pareto, inverse or fit");
+  }
+
+  explore_jobs_total_.fetch_add(1);
+  const std::uint64_t id =
+      jobs_.submit(user, describe.str(), std::move(work));
+  std::ostringstream os;
+  os << "id: " << id << "\n";
+  os << "status: queued\n";
+  os << "poll: /job?id=" << id << "\n";
+  os << "csv: /job?id=" << id << "&format=csv\n";
+  os << "json: /job?id=" << id << "&format=json\n";
+  return Response::ok_text(os.str());
+}
+
 namespace {
 
 std::uint64_t parse_job_id(const std::string& id_text) {
@@ -976,6 +1212,62 @@ std::uint64_t parse_job_id(const std::string& id_text) {
   } catch (const std::exception&) {
     throw HttpError("bad job id '" + id_text + "'");
   }
+}
+
+/// points_done / points_total as a decimal fraction; 0 before start.
+double job_fraction(const engine::JobSnapshot& snap) {
+  if (snap.total == 0) return 0.0;
+  return static_cast<double>(snap.done) / static_cast<double>(snap.total);
+}
+
+std::string fraction_text(double fraction) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << fraction;
+  return os.str();
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// One job as a JSON object, `result` included (from JobResult::json)
+/// when the job is done and produced one.
+std::string job_json(const engine::JobSnapshot& snap) {
+  std::ostringstream os;
+  os << "{\"id\":" << snap.id << ",\"user\":\"" << json_escape(snap.user)
+     << "\",\"description\":\"" << json_escape(snap.description)
+     << "\",\"status\":\"" << engine::to_string(snap.status)
+     << "\",\"done\":" << snap.done << ",\"total\":" << snap.total
+     << ",\"progress\":" << fraction_text(job_fraction(snap));
+  if (snap.status == engine::JobStatus::kFailed ||
+      snap.status == engine::JobStatus::kCancelled) {
+    os << ",\"error\":\"" << json_escape(snap.error) << "\"";
+  }
+  if (snap.status == engine::JobStatus::kDone &&
+      !snap.result.json.empty()) {
+    os << ",\"result\":" << snap.result.json;
+  }
+  os << "}";
+  return os.str();
 }
 
 }  // namespace
@@ -998,12 +1290,19 @@ Response PowerPlayApp::page_job(const Params& q) const {
     r.body = snap->result.csv;
     return r;
   }
+  if (get_or(q, "format") == "json") {
+    Response r;
+    r.content_type = "application/json";
+    r.body = job_json(*snap) + "\n";
+    return r;
+  }
   std::ostringstream os;
   os << "id: " << snap->id << "\n";
   os << "user: " << snap->user << "\n";
   os << "description: " << snap->description << "\n";
   os << "status: " << engine::to_string(snap->status) << "\n";
   os << "progress: " << snap->done << "/" << snap->total << "\n";
+  os << "progress_fraction: " << fraction_text(job_fraction(*snap)) << "\n";
   if (snap->status == engine::JobStatus::kFailed ||
       snap->status == engine::JobStatus::kCancelled) {
     os << "error: " << snap->error << "\n";
@@ -1049,10 +1348,25 @@ Response PowerPlayApp::do_job_cancel(const Params& q) {
 
 Response PowerPlayApp::page_jobs(const Params& q) const {
   const std::string user = need(q, "user");
+  if (get_or(q, "format") == "json") {
+    std::string body = "[";
+    bool first = true;
+    for (const engine::JobSnapshot& snap : jobs_.list(user)) {
+      if (!first) body += ",";
+      first = false;
+      body += job_json(snap);
+    }
+    body += "]\n";
+    Response r;
+    r.content_type = "application/json";
+    r.body = std::move(body);
+    return r;
+  }
   std::ostringstream os;
   for (const engine::JobSnapshot& snap : jobs_.list(user)) {
     os << snap.id << " " << engine::to_string(snap.status) << " "
-       << snap.done << "/" << snap.total << " " << snap.description
+       << snap.done << "/" << snap.total << " "
+       << fraction_text(job_fraction(snap)) << " " << snap.description
        << "\n";
   }
   return Response::ok_text(os.str());
@@ -1141,6 +1455,9 @@ Response PowerPlayApp::page_doc(const Params& q) const {
   const std::string user = need(q, "user");
   const std::string name = need(q, "name");
   const model::Model& m = registry_.at(name);
+  if (explore::is_surrogate_doc(m.documentation())) {
+    surrogate_hits_total_.fetch_add(1);
+  }
   HtmlPage page("Documentation: " + name);
   page.paragraph("Category: " + model::to_string(m.category()));
   page.paragraph(m.documentation());

@@ -23,8 +23,11 @@
 // Async evaluation (the parallel engine behind the what-if loop):
 //
 //   POST /design/sweep        — enqueue a sweep job, answer with its id
+//   POST /design/explore      — design-space exploration job: mode=
+//                               mc | pareto | inverse | fit (docs/explore.md)
 //   GET  /job?id=N            — poll status/progress; result when done
-//   GET  /jobs?user=U         — a user's jobs, newest first
+//                               (format=csv | json)
+//   GET  /jobs?user=U         — a user's jobs, newest first (format=json)
 //   POST /job/cancel?id=N     — cooperative cancel (owner only)
 //
 // Remote model-access protocol (Figures 6/7), plain-text bodies in the
@@ -153,6 +156,7 @@ class PowerPlayApp {
   Response do_design_play(const Params& q);
   Response do_design_setrow(const Params& q);
   Response do_design_sweep(const Params& q);
+  Response do_design_explore(const Params& q);
   Response page_job(const Params& q) const;
   Response page_jobs(const Params& q) const;
   Response do_job_cancel(const Params& q);
@@ -222,6 +226,13 @@ class PowerPlayApp {
   /// A redefinition changes Play results without changing any design's
   /// fingerprint, so cached design pages must key on this too.
   std::atomic<std::uint64_t> model_revision_{1};
+
+  // Exploration counters for /healthz.  surrogate_hits_total_ is bumped
+  // from const page handlers, hence mutable.
+  std::atomic<std::uint64_t> explore_jobs_total_{0};
+  std::atomic<std::uint64_t> mc_points_total_{0};
+  std::atomic<std::uint64_t> surrogate_fits_total_{0};
+  mutable std::atomic<std::uint64_t> surrogate_hits_total_{0};
 };
 
 }  // namespace powerplay::web
