@@ -1,0 +1,289 @@
+// bench_federation — what the federated model network costs and buys.
+//
+// Three operational questions:
+//
+//   fan-out cost   — federated search over 3 sites vs 1: the poll-loop
+//                    fan-out should cost roughly the slowest host, not
+//                    the sum of all hosts
+//   hedge win rate — with one deliberately slow site, how often the
+//                    p95-triggered duplicate request beats the primary,
+//                    and what that does to fetch latency
+//   degraded mode  — throughput and correctness with one of three
+//                    sites dead: every result must be marked partial
+//                    and still carry the dead site's models (mirror)
+//
+// Sites are real HttpServer + PowerPlayApp processes-in-miniature on
+// loopback sockets, so the numbers include real connect/write/read
+// scheduling, not just handler time.
+//
+//   ./bench_federation [out.json]   full run (defaults to BENCH_fed.json)
+//   ./bench_federation --smoke      tiny run, correctness gates only
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "library/store.hpp"
+#include "web/app.hpp"
+#include "web/federation.hpp"
+#include "web/server.hpp"
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+using namespace powerplay;
+using namespace std::chrono_literals;
+
+namespace {
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const char* tag) {
+    static int counter = 0;
+    path = fs::temp_directory_path() /
+           ("pp_bench_fed_" + std::string(tag) + "_" +
+            std::to_string(::getpid()) + "_" + std::to_string(counter++));
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+model::UserModelDefinition bench_model(const std::string& name, int i) {
+  model::UserModelDefinition def;
+  def.name = name;
+  def.category = model::Category::kComputation;
+  def.documentation = "federation bench payload";
+  def.params = {{"k", "scale", 1.0 + i, "", 0, 1e9, false}};
+  def.c_fullswing = "k * 42e-15";
+  return def;
+}
+
+/// One model-hosting site.  `slow_ms` > 0 injects a handler-side sleep
+/// on /api/model fetches (the "distant, overloaded site").
+struct Site {
+  TempDir dir;
+  std::unique_ptr<web::PowerPlayApp> app;
+  std::unique_ptr<web::HttpServer> server;
+  std::atomic<int> slow_ms{0};
+
+  explicit Site(const char* tag) : dir(tag) {
+    app = std::make_unique<web::PowerPlayApp>(library::LibraryStore(dir.path));
+    server = std::make_unique<web::HttpServer>(
+        0, [this](const web::Request& r) {
+          const int delay = slow_ms.load();
+          if (delay > 0 && r.target.rfind("/api/model?", 0) == 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+          }
+          return app->handle(r);
+        });
+    server->start();
+  }
+  ~Site() {
+    server->stop();
+    app->shutdown();
+  }
+  [[nodiscard]] std::uint16_t port() const { return server->port(); }
+  [[nodiscard]] std::string key() const {
+    return "127.0.0.1:" + std::to_string(port());
+  }
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted[static_cast<std::size_t>(p * (sorted.size() - 1))];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_fed.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+  const int search_iters = smoke ? 10 : 200;
+  const int hedge_iters = smoke ? 5 : 40;
+  const int degraded_iters = smoke ? 10 : 100;
+  const int models_per_site = smoke ? 3 : 10;
+
+  Site a("a");
+  Site b("b");
+  Site c("c");
+  const std::vector<Site*> sites = {&a, &b, &c};
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    for (int i = 0; i < models_per_site; ++i) {
+      sites[s]->app->store().save_model(bench_model(
+          "fedbench_s" + std::to_string(s) + "_" + std::to_string(i),
+          static_cast<int>(s) * 100 + i));
+    }
+    sites[s]->app->store().save_model(bench_model("fedbench_everywhere", 7));
+  }
+  const std::size_t total_models =
+      static_cast<std::size_t>(models_per_site) * sites.size() + 1;
+
+  const web::Deadline kBudget = web::Deadline::after(5000ms);
+  bool ok = true;
+
+  // --- fan-out cost: 1 host vs 3 hosts ---------------------------------
+  std::vector<double> lat1, lat3;
+  {
+    web::FederatedLibrary fed1;
+    fed1.add_host(a.port());
+    web::FederatedLibrary fed3;
+    for (Site* s : sites) fed3.add_host(s->port());
+    for (int i = 0; i < search_iters; ++i) {
+      const auto t1 = Clock::now();
+      const auto r1 = fed1.search("", web::Deadline::after(5000ms));
+      lat1.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - t1)
+              .count());
+      const auto t3 = Clock::now();
+      const auto r3 = fed3.search("", web::Deadline::after(5000ms));
+      lat3.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - t3)
+              .count());
+      if (i == 0) {
+        ok = ok && !r1.partial && !r3.partial &&
+             r1.models.size() == static_cast<std::size_t>(models_per_site) + 1 &&
+             r3.models.size() == total_models;
+        if (!ok) std::fprintf(stderr, "fan-out merge gate failed\n");
+      }
+    }
+  }
+  const double p50_1 = percentile(lat1, 0.50);
+  const double p95_1 = percentile(lat1, 0.95);
+  const double p50_3 = percentile(lat3, 0.50);
+  const double p95_3 = percentile(lat3, 0.95);
+
+  // --- hedge win rate: one deliberately slow primary --------------------
+  // The primary for a fresh federation is the lexicographically smallest
+  // host key (health ties break by key), so make *that* site the slow
+  // one and every fetch exercises the hedge path.
+  Site* slow_site = sites[0];
+  for (Site* s : sites) {
+    if (s->key() < slow_site->key()) slow_site = s;
+  }
+  slow_site->slow_ms.store(120);
+  int hedges_fired = 0;
+  int hedge_wins = 0;
+  std::vector<double> hedged_lat, unhedged_lat;
+  for (int i = 0; i < hedge_iters; ++i) {
+    // Fresh federation per fetch: health resets, so the slow site is the
+    // primary every time (steady-state routing would demote it — that
+    // demotion is the health scoring doing its job, not what we measure).
+    web::FederationOptions options;
+    options.hedge_min_delay = 20ms;
+    web::FederatedLibrary fed(options);
+    for (Site* s : sites) fed.add_host(s->port());
+    const auto t0 = Clock::now();
+    const auto r = fed.fetch_model("fedbench_everywhere", kBudget);
+    hedged_lat.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+    if (r.hedged) ++hedges_fired;
+    if (r.hedge_won) ++hedge_wins;
+
+    web::FederationOptions no_hedge;
+    no_hedge.hedge_min_delay = 10'000ms;  // never fires
+    web::FederatedLibrary plain(no_hedge);
+    for (Site* s : sites) plain.add_host(s->port());
+    const auto t1 = Clock::now();
+    (void)plain.fetch_model("fedbench_everywhere", kBudget);
+    unhedged_lat.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - t1).count());
+  }
+  slow_site->slow_ms.store(0);
+  const double hedge_win_rate =
+      hedges_fired > 0 ? static_cast<double>(hedge_wins) / hedges_fired : 0;
+  const double hedged_p50 = percentile(hedged_lat, 0.50);
+  const double unhedged_p50 = percentile(unhedged_lat, 0.50);
+  if (hedges_fired < 1 || hedge_wins < 1) {
+    std::fprintf(stderr, "hedge gate failed: fired=%d won=%d\n",
+                 hedges_fired, hedge_wins);
+    ok = false;
+  }
+
+  // --- degraded mode: one of three sites dead ---------------------------
+  web::FederationOptions degraded_options;
+  degraded_options.breaker.failure_threshold = 1000;  // keep attempting
+  web::FederatedLibrary fed(degraded_options);
+  for (Site* s : sites) fed.add_host(s->port());
+  if (fed.sync_now() != 3) {
+    std::fprintf(stderr, "pre-kill sync failed\n");
+    ok = false;
+  }
+  b.server->stop();  // site B goes dark, mirror keeps its models visible
+  int partial_marked = 0;
+  std::size_t merged_with_mirror = 0;
+  const auto degraded_start = Clock::now();
+  for (int i = 0; i < degraded_iters; ++i) {
+    const auto r = fed.search("", web::Deadline::after(5000ms));
+    if (r.partial && r.stale) ++partial_marked;
+    if (i == 0) merged_with_mirror = r.models.size();
+  }
+  const double degraded_s =
+      std::chrono::duration<double>(Clock::now() - degraded_start).count();
+  const double degraded_per_s =
+      degraded_s > 0 ? degraded_iters / degraded_s : 0;
+  if (partial_marked != degraded_iters) {
+    std::fprintf(stderr, "degraded results not all marked partial+stale\n");
+    ok = false;
+  }
+  if (merged_with_mirror != total_models) {
+    std::fprintf(stderr,
+                 "mirror merge lost models: %zu of %zu visible\n",
+                 merged_with_mirror, total_models);
+    ok = false;
+  }
+
+  std::printf("fan-out   : search p50 %.2f ms (1 host)  %.2f ms (3 hosts); "
+              "p95 %.2f / %.2f ms\n",
+              p50_1, p50_3, p95_1, p95_3);
+  std::printf("hedging   : %d fetches vs 120 ms-slow primary: fired %d, "
+              "won %d (rate %.2f); p50 %.2f ms hedged vs %.2f ms unhedged\n",
+              hedge_iters, hedges_fired, hedge_wins, hedge_win_rate,
+              hedged_p50, unhedged_p50);
+  std::printf("degraded  : %d searches with 1/3 sites dead: %.0f/s, "
+              "%d/%d marked partial+stale, %zu/%zu models visible\n",
+              degraded_iters, degraded_per_s, partial_marked,
+              degraded_iters, merged_with_mirror, total_models);
+  std::printf("gates     : %s\n", ok ? "pass" : "FAIL");
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"benchmark\": \"federation\",\n"
+       << "  \"search_iters\": " << search_iters << ",\n"
+       << "  \"search_1host_p50_ms\": " << p50_1 << ",\n"
+       << "  \"search_1host_p95_ms\": " << p95_1 << ",\n"
+       << "  \"search_3host_p50_ms\": " << p50_3 << ",\n"
+       << "  \"search_3host_p95_ms\": " << p95_3 << ",\n"
+       << "  \"hedge_fetches\": " << hedge_iters << ",\n"
+       << "  \"hedges_fired\": " << hedges_fired << ",\n"
+       << "  \"hedge_wins\": " << hedge_wins << ",\n"
+       << "  \"hedge_win_rate\": " << hedge_win_rate << ",\n"
+       << "  \"hedged_fetch_p50_ms\": " << hedged_p50 << ",\n"
+       << "  \"unhedged_fetch_p50_ms\": " << unhedged_p50 << ",\n"
+       << "  \"degraded_searches\": " << degraded_iters << ",\n"
+       << "  \"degraded_searches_per_s\": " << degraded_per_s << ",\n"
+       << "  \"degraded_partial_marked\": " << partial_marked << ",\n"
+       << "  \"degraded_models_visible\": " << merged_with_mirror << ",\n"
+       << "  \"total_models\": " << total_models << ",\n"
+       << "  \"ok\": " << (ok ? "true" : "false") << "\n"
+       << "}\n";
+  std::ofstream out(out_path);
+  out << json.str();
+  std::printf("wrote %s\n", out_path.c_str());
+  return ok ? 0 : 1;
+}

@@ -16,6 +16,10 @@
 //                       primary at HOST:PORT (loopback only).  Reads are
 //                       served locally; writes answer 307 to the primary.
 //                       SIGUSR1 or POST /repl/promote promotes to primary.
+//   --peer HOST:PORT    join the federated model network with the peer
+//                       site at HOST:PORT (loopback only; repeatable).
+//                       Enables /fed/* routes and the background mirror
+//                       sync (docs/federation.md).
 //
 // Then point any browser (or curl) at it:
 //
@@ -36,6 +40,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "library/store.hpp"
 #include "web/client.hpp"
@@ -94,6 +99,7 @@ int main(int argc, char** argv) {
   std::uint16_t port = 8080;
   std::string data_dir = "powerplay_data";
   std::uint16_t follow_port = 0;  // 0 = primary (no one to follow)
+  std::vector<std::uint16_t> peer_ports;
   web::ServerOptions server_options;
   web::AppOptions app_options;
 
@@ -130,11 +136,18 @@ int main(int argc, char** argv) {
       app_options.response_cache = false;
     } else if (arg == "--follow") {
       follow_port = parse_follow_target(next());
+    } else if (arg == "--peer") {
+      try {
+        peer_ports.push_back(web::parse_peer_spec(next()));
+      } catch (const web::HttpError& e) {
+        std::fprintf(stderr, "--peer: %s\n", e.what());
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: %s [port] [data-dir] [--port N] [--data DIR] "
                   "[--workers N] [--queue N] [--io-timeout-ms N] "
                   "[--keepalive-max N] [--idle-timeout-ms N] [--no-cache] "
-                  "[--follow HOST:PORT]\n",
+                  "[--follow HOST:PORT] [--peer HOST:PORT ...]\n",
                   argv[0]);
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -189,6 +202,16 @@ int main(int argc, char** argv) {
     follower->start();
   }
 
+  // Federation wiring: peers fan out from /fed/* under the same I/O
+  // budget the server grants each inbound request, and the background
+  // sync mirrors their shareable models into this site's store.
+  if (!peer_ports.empty()) {
+    web::FederatedLibrary& fed = app.enable_federation();
+    for (const std::uint16_t peer : peer_ports) fed.add_host(peer);
+    app.set_request_budget(server_options.io_timeout);
+    fed.start_sync();
+  }
+
   server.start();
   std::printf("PowerPlay serving on http://127.0.0.1:%u/ (data in %s)\n",
               server.port(), data_dir.c_str());
@@ -203,6 +226,13 @@ int main(int argc, char** argv) {
   } else {
     std::printf("Role: primary (epoch %llu)\n",
                 static_cast<unsigned long long>(app.store().epoch()));
+  }
+  if (!peer_ports.empty()) {
+    std::printf("Federation: %zu peer(s):", peer_ports.size());
+    for (const std::uint16_t peer : peer_ports) {
+      std::printf(" 127.0.0.1:%u", peer);
+    }
+    std::printf("  (/fed/models, /fed/hosts)\n");
   }
   std::printf("Pre-loaded designs: Luminance_1, Luminance_2, "
               "Custom_Chipset, InfoPad_System\n");

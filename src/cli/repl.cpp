@@ -1,5 +1,6 @@
 #include "cli/repl.hpp"
 
+#include <memory>
 #include <optional>
 #include <sstream>
 
@@ -11,6 +12,7 @@
 #include "models/berkeley_library.hpp"
 #include "sheet/report.hpp"
 #include "sheet/sweep.hpp"
+#include "web/federation.hpp"
 
 namespace powerplay::cli {
 
@@ -43,6 +45,12 @@ constexpr const char* kHelp = R"(commands:
   explore fit <model> <basis> <samples> <seed> <name=dist;...>
                                  fit + save a surrogate model
                                  (basis: poly1 | poly2 | log)
+  fed add <host:port>            join a peer to the federated network
+  fed remove <host:port>         forget a peer (mirrored models stay)
+  fed hosts                      per-host health/breaker table
+  fed sync                       mirror every peer's shareable models
+  fed models [query]             federated search (merged + ranked)
+  fed fetch <model>              fetch + import from the healthiest peer
   designs                        list stored designs
   quit                           exit
 )";
@@ -136,6 +144,8 @@ class Session {
                                       sheet::linspace(from, to, points)));
       } else if (cmd == "explore") {
         cmd_explore(is);
+      } else if (cmd == "fed") {
+        cmd_fed(is);
       } else if (cmd == "designs") {
         for (const std::string& d : store_.list_designs()) {
           out_ << d << '\n';
@@ -258,6 +268,77 @@ class Session {
     }
   }
 
+  /// Lazy federation client: peers join on first `fed add`, and every
+  /// synced or fetched definition lands in this session's store and
+  /// registry via the mirror sink.
+  web::FederatedLibrary& fed() {
+    if (fed_ == nullptr) {
+      fed_ = std::make_unique<web::FederatedLibrary>();
+      fed_->set_mirror_sink([this](const model::UserModelDefinition& def) {
+        store_.save_model(def);
+        registry_.add_or_replace(std::make_shared<model::UserModel>(def));
+      });
+    }
+    return *fed_;
+  }
+
+  void cmd_fed(std::istringstream& is) {
+    const std::string sub =
+        take(is, "fed subcommand (add|remove|hosts|sync|models|fetch)");
+    if (sub == "add") {
+      const std::uint16_t port =
+          web::parse_peer_spec(take(is, "peer HOST:PORT"));
+      fed().add_host(port);
+      out_ << "added 127.0.0.1:" << port << '\n';
+    } else if (sub == "remove") {
+      const std::uint16_t port =
+          web::parse_peer_spec(take(is, "peer HOST:PORT"));
+      const std::string key = "127.0.0.1:" + std::to_string(port);
+      out_ << (fed().remove_host(key) ? "removed " : "unknown host ") << key
+           << '\n';
+    } else if (sub == "hosts") {
+      for (const web::FedHostStats& h : fed().hosts()) {
+        const char* breaker =
+            h.breaker == web::CircuitBreaker::State::kOpen ? "open"
+            : h.breaker == web::CircuitBreaker::State::kHalfOpen
+                ? "half-open"
+                : "closed";
+        out_ << h.key << "  breaker=" << breaker << " health=" << h.health
+             << " requests=" << h.requests << " failures=" << h.failures
+             << " mirrored=" << h.mirrored_models << '\n';
+      }
+    } else if (sub == "sync") {
+      out_ << fed().sync_now() << " host(s) synced\n";
+    } else if (sub == "models") {
+      std::string query;
+      is >> query;
+      const web::FedSearchResult r =
+          fed().search(query, web::Deadline::never());
+      for (const web::FedModelEntry& m : r.models) {
+        out_ << m.name << "  replicas=" << m.replicas
+             << (m.stale ? " (stale)" : "") << '\n';
+      }
+      for (const web::FedHostOutcome& h : r.hosts) {
+        if (h.status == web::HostStatus::kServed) continue;
+        out_ << "# " << h.host << ": " << web::to_string(h.status)
+             << (h.error.empty() ? "" : " (" + h.error + ")") << '\n';
+      }
+      if (r.partial) out_ << "# partial result\n";
+    } else if (sub == "fetch") {
+      const web::FedFetchResult r =
+          fed().fetch_model(take(is, "model name"), web::Deadline::never());
+      out_ << "imported '" << r.def.name << "' from " << r.origin;
+      if (r.hedged) out_ << (r.hedge_won ? " (hedge won)" : " (hedged)");
+      if (r.from_mirror) {
+        out_ << " (stale mirror, " << r.staleness_ms << " ms old)";
+      }
+      out_ << '\n';
+    } else {
+      throw expr::ExprError("unknown fed subcommand '" + sub +
+                            "' (try 'help')");
+    }
+  }
+
   void cmd_doc(std::istringstream& is) {
     const model::Model& m = registry_.at(take(is, "model name"));
     out_ << m.name() << " [" << model::to_string(m.category()) << "]\n"
@@ -277,6 +358,7 @@ class Session {
   /// Play memoization shared across a session's explorations).
   engine::EvalEngine engine_;
   std::optional<sheet::Design> design_;
+  std::unique_ptr<web::FederatedLibrary> fed_;
 };
 
 }  // namespace

@@ -170,6 +170,9 @@ PowerPlayApp::PowerPlayApp(library::LibraryStore store,
 }
 
 void PowerPlayApp::shutdown() {
+  // Stop the federation sync thread first: its mirror sink takes the
+  // exclusive library lock, and nothing may race the compaction below.
+  if (federation_ != nullptr) federation_->stop_sync();
   // Order matters: jobs work on private design clones, and the one kind
   // that writes (a surrogate fit committing its model) takes the library
   // lock only transiently — so drain first, and no job can hold or wait
@@ -205,6 +208,29 @@ Response PowerPlayApp::handle(const Request& request) {
       }
       if (target.path == "/repl/promote" && request.method == "POST") {
         return do_repl_promote();
+      }
+      return Response::not_found(target.path);
+    }
+
+    // Federation endpoints bypass the shards for the same reason: a
+    // fan-out parks on network I/O up to the caller's deadline, and the
+    // FederatedLibrary has its own lock.  (The mirror sink takes the
+    // exclusive library lock — never while a /fed/ handler holds it.)
+    if (target.path.rfind("/fed/", 0) == 0) {
+      if (federation_ == nullptr) {
+        return Response::bad_request("federation not enabled on this site");
+      }
+      if (target.path == "/fed/models" && request.method == "GET") {
+        return fed_models(q);
+      }
+      if (target.path == "/fed/model" && request.method == "GET") {
+        return fed_model(q);
+      }
+      if (target.path == "/fed/hosts" && request.method == "GET") {
+        return fed_hosts_page();
+      }
+      if (target.path == "/fed/hosts" && request.method == "POST") {
+        return do_fed_hosts(q);
       }
       return Response::not_found(target.path);
     }
@@ -463,7 +489,154 @@ Response PowerPlayApp::page_healthz() {
   } else {
     os << "repl_last_seq: " << store_.last_seq() << "\n";
   }
+  if (federation_ != nullptr) {
+    // Lock order: library shared (held here) -> federation mutex.  The
+    // inverse never happens: the sink runs outside the federation lock.
+    const FederationStats fed = federation_->stats();
+    os << "fed_hosts: " << fed.hosts << "\n";
+    os << "fed_hosts_available: " << fed.hosts_available << "\n";
+    os << "fed_searches: " << fed.searches << "\n";
+    os << "fed_fetches: " << fed.fetches << "\n";
+    os << "fed_hedges: " << fed.hedges << "\n";
+    os << "fed_hedge_wins: " << fed.hedge_wins << "\n";
+    os << "fed_partial_results: " << fed.partial_results << "\n";
+    os << "fed_degraded_seen: " << fed.degraded_seen << "\n";
+    os << "fed_skipped_open: " << fed.skipped_open << "\n";
+    os << "fed_sync_runs: " << fed.sync_runs << "\n";
+    os << "fed_sync_models: " << fed.sync_models << "\n";
+    os << "fed_sync_failures: " << fed.sync_failures << "\n";
+    os << "fed_mirror_serves: " << fed.mirror_serves << "\n";
+  }
   return Response::ok_text(os.str());
+}
+
+// ---------------------------------------------------------------------------
+// Federation routes (docs/federation.md)
+// ---------------------------------------------------------------------------
+
+FederatedLibrary& PowerPlayApp::enable_federation(FederationOptions options) {
+  if (federation_ != nullptr) return *federation_;
+  federation_ = std::make_unique<FederatedLibrary>(std::move(options));
+  // The mirror sink: journal every new/changed remote definition into
+  // this site's store (so synced models survive crashes and partitions)
+  // and register it for local evaluation.  A follower's store belongs to
+  // its replication stream, so only the registry is updated there — the
+  // primary's own sync journals the model and replication delivers it.
+  federation_->set_mirror_sink([this](const model::UserModelDefinition& def) {
+    std::unique_lock lib(library_mutex_);
+    if (role_.load() == ReplRole::kPrimary) {
+      store_.save_model(def);
+    }
+    registry_.add_or_replace(std::make_shared<model::UserModel>(def));
+    model_revision_.fetch_add(1);
+  });
+  return *federation_;
+}
+
+Deadline PowerPlayApp::request_deadline() const {
+  const auto budget = request_budget_ms_.load();
+  return budget > 0 ? Deadline::after(std::chrono::milliseconds(budget))
+                    : Deadline::never();
+}
+
+// GET /fed/models[?q=substr] — fan-out search, merged and ranked, with
+// the per-host verdict lines that make partial results explicit.
+Response PowerPlayApp::fed_models(const Params& q) {
+  const FedSearchResult result =
+      federation_->search(get_or(q, "q"), request_deadline());
+  std::ostringstream os;
+  os << "# federated models: " << result.models.size()
+     << (result.partial ? " (partial)" : "")
+     << (result.stale ? " (stale)" : "") << "\n";
+  for (const FedModelEntry& m : result.models) {
+    os << m.name << " replicas=" << m.replicas
+       << (m.stale ? " stale" : "") << "\n";
+  }
+  os << "# hosts\n";
+  for (const FedHostOutcome& h : result.hosts) {
+    os << h.host << " " << to_string(h.status) << " items=" << h.items;
+    if (h.stale) os << " stale-mirror";
+    if (!h.error.empty()) os << " error=\"" << h.error << "\"";
+    os << "\n";
+  }
+  Response r = Response::ok_text(os.str());
+  r.headers["x-fed-partial"] = result.partial ? "1" : "0";
+  r.headers["x-fed-stale"] = result.stale ? "1" : "0";
+  return r;
+}
+
+// GET /fed/model?name=N — hedged, health-routed fetch; the body is the
+// definition in library serialization format, provenance in headers.
+Response PowerPlayApp::fed_model(const Params& q) {
+  const std::string name = get_or(q, "name");
+  if (name.empty()) return Response::bad_request("missing name");
+  FedFetchResult result;
+  try {
+    result = federation_->fetch_model(name, request_deadline());
+  } catch (const HttpError& e) {
+    Response r;
+    r.status = 502;
+    r.content_type = "text/plain";
+    r.body = std::string(e.what()) + "\n";
+    return r;
+  }
+  Response r = Response::ok_text(library::to_text(result.def));
+  r.headers["x-fed-origin"] = result.origin;
+  r.headers["x-fed-hedged"] = result.hedged ? "1" : "0";
+  r.headers["x-fed-hedge-won"] = result.hedge_won ? "1" : "0";
+  r.headers["x-fed-from-mirror"] = result.from_mirror ? "1" : "0";
+  r.headers["x-fed-staleness-ms"] = std::to_string(result.staleness_ms);
+  return r;
+}
+
+// GET /fed/hosts — health table for ops.
+Response PowerPlayApp::fed_hosts_page() const {
+  std::ostringstream os;
+  os << "# federated hosts\n";
+  for (const FedHostStats& h : federation_->hosts()) {
+    os << h.key << " breaker=";
+    switch (h.breaker) {
+      case CircuitBreaker::State::kClosed:
+        os << "closed";
+        break;
+      case CircuitBreaker::State::kOpen:
+        os << "open";
+        break;
+      case CircuitBreaker::State::kHalfOpen:
+        os << "half-open";
+        break;
+    }
+    os << " health=" << h.health << " ewma_ms=" << h.ewma_latency_ms
+       << " p95_ms=" << h.p95_latency_ms << " err=" << h.error_rate
+       << " inflight=" << h.in_flight << " requests=" << h.requests
+       << " failures=" << h.failures << " hedges=" << h.hedges
+       << " hedge_wins=" << h.hedge_wins << " skipped=" << h.skipped_open
+       << " mirrored=" << h.mirrored_models
+       << " synced=" << (h.synced ? 1 : 0)
+       << " staleness_ms=" << h.staleness_ms << "\n";
+  }
+  return Response::ok_text(os.str());
+}
+
+// POST /fed/hosts?add=host:port | remove=host:port — admin membership.
+Response PowerPlayApp::do_fed_hosts(const Params& q) {
+  const std::string add = get_or(q, "add");
+  const std::string remove = get_or(q, "remove");
+  if (!add.empty()) {
+    const std::uint16_t port = parse_peer_spec(add);
+    federation_->add_host(port);
+    return Response::ok_text("added 127.0.0.1:" + std::to_string(port) +
+                             "\n");
+  }
+  if (!remove.empty()) {
+    const std::uint16_t port = parse_peer_spec(remove);
+    const std::string key = "127.0.0.1:" + std::to_string(port);
+    if (!federation_->remove_host(key)) {
+      return Response::not_found(key);
+    }
+    return Response::ok_text("removed " + key + "\n");
+  }
+  return Response::bad_request("need add= or remove=");
 }
 
 // ---------------------------------------------------------------------------

@@ -65,6 +65,7 @@
 #include "library/store.hpp"
 #include "model/registry.hpp"
 #include "web/cache.hpp"
+#include "web/federation.hpp"
 #include "web/http.hpp"
 #include "web/repl.hpp"
 #include "web/server.hpp"
@@ -141,6 +142,26 @@ class PowerPlayApp {
   using PromoteHook = std::function<std::uint64_t()>;
   void set_promote_hook(PromoteHook hook);
 
+  // --- federation ------------------------------------------------------
+  //
+  // The federated model network (docs/federation.md): /fed/* routes fan
+  // out to peer sites with health scoring, hedging, and partial-failure
+  // degradation.  The mirror sink journals synced remote definitions
+  // into this site's store, so they survive crashes and partitions.
+
+  /// Turn federation on (idempotent; returns the existing instance on
+  /// repeat calls).  Wires the mirror sink into the library.
+  FederatedLibrary& enable_federation(FederationOptions options = {});
+  /// Null until enable_federation() has been called.
+  [[nodiscard]] FederatedLibrary* federation() { return federation_.get(); }
+
+  /// Per-request wall-clock budget propagated as the Deadline of every
+  /// outbound federated call (typically the server's io_timeout, wired
+  /// by whoever owns both).  Zero = use the federation default.
+  void set_request_budget(std::chrono::milliseconds budget) {
+    request_budget_ms_.store(budget.count());
+  }
+
  private:
   Response page_healthz();
   Response repl_snapshot();
@@ -172,6 +193,12 @@ class PowerPlayApp {
   Response api_model(const Params& q) const;
   Response api_designs() const;
   Response api_design(const Params& q) const;
+
+  [[nodiscard]] Deadline request_deadline() const;
+  Response fed_models(const Params& q);
+  Response fed_model(const Params& q);
+  Response fed_hosts_page() const;
+  Response do_fed_hosts(const Params& q);
 
   /// Authentication failure (403, vs HttpError's 400).
   class AccessDenied : public std::runtime_error {
@@ -213,6 +240,11 @@ class PowerPlayApp {
   std::string primary_url_;
   ReplStatsSource repl_stats_source_;
   PromoteHook promote_hook_;
+
+  /// Created by enable_federation(); its sync thread is stopped first
+  /// thing in shutdown() so no mirror sink fires during compaction.
+  std::unique_ptr<FederatedLibrary> federation_;
+  std::atomic<std::int64_t> request_budget_ms_{0};
 
   library::LibraryStore store_;
   model::ModelRegistry registry_;

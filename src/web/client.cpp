@@ -16,11 +16,10 @@ namespace powerplay::web {
 
 namespace {
 
-/// Non-blocking connect with a poll-based timeout.  Returns a socket
+/// Non-blocking connect with a poll-based deadline.  Returns a socket
 /// left in non-blocking mode (the poll-guarded read/write helpers in
 /// server.cpp handle EAGAIN), owned by the caller.
-int connect_with_timeout(std::uint16_t port,
-                         std::chrono::milliseconds timeout) {
+int connect_with_deadline(std::uint16_t port, const Deadline& deadline) {
   ignore_sigpipe();
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw HttpError(std::string("socket: ") + std::strerror(errno));
@@ -40,7 +39,6 @@ int connect_with_timeout(std::uint16_t port,
     throw HttpError(std::string("connect: ") + std::strerror(err));
   }
 
-  const Deadline deadline = Deadline::after(timeout);
   for (;;) {
     pollfd p{};
     p.fd = fd;
@@ -69,12 +67,30 @@ int connect_with_timeout(std::uint16_t port,
   return fd;
 }
 
+int connect_with_timeout(std::uint16_t port,
+                         std::chrono::milliseconds timeout) {
+  return connect_with_deadline(port, Deadline::after(timeout));
+}
+
 }  // namespace
 
 Response http_request(std::uint16_t port, const Request& request,
                       const SocketOptions& options) {
-  const int fd = connect_with_timeout(port, options.connect_timeout);
-  const Deadline deadline = Deadline::after(options.io_timeout);
+  return http_request(port, request, options, Deadline::never());
+}
+
+Response http_request(std::uint16_t port, const Request& request,
+                      const SocketOptions& options, const Deadline& caller) {
+  if (caller.expired()) {
+    throw HttpTimeout("caller deadline already expired before connect");
+  }
+  // Every budget is the earlier of our own knob and the caller's
+  // remaining time: the caller's I/O timeout is a hard ceiling.
+  const Deadline connect_deadline =
+      Deadline::earlier(caller, Deadline::after(options.connect_timeout));
+  const int fd = connect_with_deadline(port, connect_deadline);
+  const Deadline deadline =
+      Deadline::earlier(caller, Deadline::after(options.io_timeout));
   std::string wire;
   try {
     // One-shot: tell the server not to hold the connection open.

@@ -24,6 +24,14 @@ namespace powerplay::web {
 Response http_request(std::uint16_t port, const Request& request,
                       const SocketOptions& options = {});
 
+/// Deadline-propagating variant: the exchange runs under the *earlier*
+/// of `caller` and the SocketOptions budgets, so an outbound call made
+/// while serving an inbound request can never outlive that request's
+/// own I/O timeout.  An already-expired caller deadline throws
+/// HttpTimeout before any socket is opened.
+Response http_request(std::uint16_t port, const Request& request,
+                      const SocketOptions& options, const Deadline& caller);
+
 /// GET convenience.
 Response http_get(std::uint16_t port, const std::string& target,
                   const SocketOptions& options = {});
@@ -70,6 +78,15 @@ class Transport {
   virtual ~Transport() = default;
   /// Throws HttpError (HttpTimeout for deadlines) on transport failure.
   virtual Response roundtrip(const Request& request) = 0;
+  /// Deadline-propagating variant.  The default ignores the deadline
+  /// (correct for in-process transports, which cannot block on a
+  /// socket); TcpTransport clamps its I/O budgets to it and
+  /// FaultTransport forwards it to the wrapped transport.
+  virtual Response roundtrip(const Request& request,
+                             const Deadline& deadline) {
+    (void)deadline;
+    return roundtrip(request);
+  }
 };
 
 /// The real thing: TCP to a loopback port.
@@ -80,6 +97,12 @@ class TcpTransport : public Transport {
   Response roundtrip(const Request& request) override {
     return http_request(port_, request, options_);
   }
+  Response roundtrip(const Request& request,
+                     const Deadline& deadline) override {
+    return http_request(port_, request, options_, deadline);
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
 
  private:
   std::uint16_t port_;
@@ -92,6 +115,7 @@ class FunctionTransport : public Transport {
  public:
   explicit FunctionTransport(std::function<Response(const Request&)> fn)
       : fn_(std::move(fn)) {}
+  using Transport::roundtrip;
   Response roundtrip(const Request& request) override {
     return fn_(request);
   }

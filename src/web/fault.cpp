@@ -14,6 +14,16 @@ double FaultTransport::draw() {
 }
 
 Response FaultTransport::roundtrip(const Request& request) {
+  return roundtrip_impl(request, nullptr);
+}
+
+Response FaultTransport::roundtrip(const Request& request,
+                                   const Deadline& deadline) {
+  return roundtrip_impl(request, &deadline);
+}
+
+Response FaultTransport::roundtrip_impl(const Request& request,
+                                        const Deadline* deadline) {
   ++counters_.calls;
 
   if (replay_) {
@@ -40,7 +50,8 @@ Response FaultTransport::roundtrip(const Request& request) {
     }
   }
 
-  Response resp = inner_->roundtrip(request);
+  Response resp = deadline != nullptr ? inner_->roundtrip(request, *deadline)
+                                      : inner_->roundtrip(request);
 
   if (draw() < spec_.error_rate) {
     ++counters_.errors;

@@ -63,6 +63,11 @@ class FaultTransport : public Transport {
   FaultTransport(std::shared_ptr<Transport> inner, FaultSpec spec);
 
   Response roundtrip(const Request& request) override;
+  /// Deadline-propagating form: the same fault schedule (the PRNG draws
+  /// do not depend on which overload ran), with the deadline forwarded
+  /// to the wrapped transport's real I/O.
+  Response roundtrip(const Request& request,
+                     const Deadline& deadline) override;
 
   [[nodiscard]] const FaultCounters& counters() const { return counters_; }
   /// Virtual time spent in injected delays (never real wall clock).
@@ -77,6 +82,7 @@ class FaultTransport : public Transport {
 
  private:
   [[nodiscard]] double draw();
+  Response roundtrip_impl(const Request& request, const Deadline* deadline);
 
   std::shared_ptr<Transport> inner_;
   FaultSpec spec_;

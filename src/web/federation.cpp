@@ -1,0 +1,1093 @@
+#include "web/federation.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "library/serialize.hpp"
+#include "web/server.hpp"
+#include "web/url.hpp"
+
+namespace powerplay::web {
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) out.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+/// Case-sensitive substring filter ("" matches everything).
+bool matches(const std::string& name, const std::string& query) {
+  return query.empty() || name.find(query) != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// The poll-driven connection state machine (one per socket-backed host
+// in a fan-out).  Same shape as the server reactor's connections, but
+// client-side: connect -> write request -> read one framed response.
+// ---------------------------------------------------------------------------
+
+struct SockConn {
+  int fd = -1;
+  enum class Phase { kConnect, kWrite, kRead } phase = Phase::kConnect;
+  std::string out;
+  std::size_t off = 0;
+  std::string in;
+  std::chrono::steady_clock::time_point start;
+
+  ~SockConn() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  [[nodiscard]] short events() const {
+    return phase == Phase::kRead ? POLLIN : POLLOUT;
+  }
+};
+
+/// Begin a non-blocking connect to 127.0.0.1:`port`.  Returns nullptr
+/// (with `error` set) when even the socket call fails.
+std::unique_ptr<SockConn> start_attempt(std::uint16_t port, std::string wire,
+                                        std::string* error) {
+  ignore_sigpipe();
+  auto conn = std::make_unique<SockConn>();
+  conn->out = std::move(wire);
+  conn->start = std::chrono::steady_clock::now();
+  conn->fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (conn->fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return nullptr;
+  }
+  const int flags = ::fcntl(conn->fd, F_GETFL, 0);
+  ::fcntl(conn->fd, F_SETFL, flags | O_NONBLOCK);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(conn->fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
+      0) {
+    conn->phase = SockConn::Phase::kWrite;  // loopback: often immediate
+  } else if (errno != EINPROGRESS) {
+    *error = std::string("connect: ") + std::strerror(errno);
+    return nullptr;
+  }
+  return conn;
+}
+
+/// Result of advancing one connection after poll() readiness: done
+/// (with ok + response or error) or still in flight.
+struct DriveOutcome {
+  bool done = false;
+  bool ok = false;
+  Response response;
+  std::string error;
+};
+
+DriveOutcome drive_conn(SockConn& conn) {
+  DriveOutcome out;
+  if (conn.phase == SockConn::Phase::kConnect) {
+    int soerr = 0;
+    socklen_t len = sizeof soerr;
+    if (::getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &soerr, &len) < 0 ||
+        soerr != 0) {
+      out.done = true;
+      out.error = std::string("connect: ") +
+                  std::strerror(soerr != 0 ? soerr : errno);
+      return out;
+    }
+    conn.phase = SockConn::Phase::kWrite;
+  }
+  if (conn.phase == SockConn::Phase::kWrite) {
+    while (conn.off < conn.out.size()) {
+      const ssize_t n =
+          ::send(conn.fd, conn.out.data() + conn.off,
+                 conn.out.size() - conn.off, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return out;
+      out.done = true;
+      out.error = std::string("send: ") + std::strerror(errno);
+      return out;
+    }
+    ::shutdown(conn.fd, SHUT_WR);  // one-shot exchange, like http_request
+    conn.phase = SockConn::Phase::kRead;
+  }
+  if (conn.phase == SockConn::Phase::kRead) {
+    char buf[16384];
+    for (;;) {
+      const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+      if (n > 0) {
+        conn.in.append(buf, static_cast<std::size_t>(n));
+        if (conn.in.size() > kMaxMessageBytes) {
+          out.done = true;
+          out.error = "response exceeds message cap";
+          return out;
+        }
+        if (message_size(conn.in).has_value()) break;  // framed: complete
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return out;
+      if (n == 0) {
+        // EOF.  A complete frame is fine (Connection: close servers);
+        // anything shorter is the mid-body disconnect failure mode.
+        if (message_size(conn.in).has_value()) break;
+        out.done = true;
+        out.error = conn.in.empty() ? "connection closed before response"
+                                    : "connection closed mid-body";
+        return out;
+      }
+      out.done = true;
+      out.error = std::string("recv: ") + std::strerror(errno);
+      return out;
+    }
+    out.done = true;
+    try {
+      out.response = parse_response(conn.in);
+      out.ok = true;
+    } catch (const HttpError& e) {
+      out.error = e.what();
+    }
+  }
+  return out;
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Host state
+// ---------------------------------------------------------------------------
+
+struct FederatedLibrary::Host {
+  std::string key;
+  std::uint16_t port = 0;                ///< 0: transport-backed (tests)
+  std::shared_ptr<Transport> transport;  ///< null: socket-backed
+  CircuitBreaker breaker;
+
+  bool have_latency = false;
+  double ewma_latency_ms = 0;
+  double ewma_error = 0;
+  std::vector<double> window;  ///< recent latencies (ring, for p95)
+  std::size_t window_next = 0;
+  std::size_t in_flight = 0;
+
+  std::uint64_t requests = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t hedges = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t skipped_open = 0;
+
+  /// name -> serialized definition text, as of the last sync (change
+  /// detection + the stale-while-revalidate serving copy).
+  std::map<std::string, std::string> mirrored;
+  std::chrono::steady_clock::time_point last_sync{};
+  bool synced = false;
+
+  Host(std::string k, const BreakerOptions& breaker_options,
+       CircuitBreaker::Clock clock)
+      : key(std::move(k)), breaker(breaker_options, std::move(clock)) {}
+};
+
+std::string to_string(HostStatus status) {
+  switch (status) {
+    case HostStatus::kServed:
+      return "served";
+    case HostStatus::kDegraded:
+      return "degraded";
+    case HostStatus::kSkippedOpen:
+      return "skipped-open-breaker";
+  }
+  return "unknown";
+}
+
+std::uint16_t parse_peer_spec(const std::string& spec) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    throw HttpError("peer spec wants HOST:PORT, got '" + spec + "'");
+  }
+  const std::string host = spec.substr(0, colon);
+  if (host != "127.0.0.1" && host != "localhost") {
+    throw HttpError("federation supports loopback peers only, got '" + host +
+                    "'");
+  }
+  const std::string digits = spec.substr(colon + 1);
+  if (digits.empty()) throw HttpError("peer spec missing port: '" + spec + "'");
+  unsigned long port = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') {
+      throw HttpError("bad peer port in '" + spec + "'");
+    }
+    port = port * 10 + static_cast<unsigned long>(c - '0');
+    if (port > 65535) throw HttpError("peer port out of range in '" + spec + "'");
+  }
+  if (port == 0) throw HttpError("peer port must be nonzero in '" + spec + "'");
+  return static_cast<std::uint16_t>(port);
+}
+
+// ---------------------------------------------------------------------------
+// FederatedLibrary
+// ---------------------------------------------------------------------------
+
+FederatedLibrary::FederatedLibrary(FederationOptions options)
+    : options_(std::move(options)) {}
+
+FederatedLibrary::~FederatedLibrary() { stop_sync(); }
+
+void FederatedLibrary::set_mirror_sink(MirrorSink sink) {
+  std::lock_guard lock(mutex_);
+  sink_ = std::move(sink);
+}
+
+std::chrono::steady_clock::time_point FederatedLibrary::now() const {
+  return options_.clock ? options_.clock() : std::chrono::steady_clock::now();
+}
+
+Deadline FederatedLibrary::effective(const Deadline& deadline) const {
+  return deadline.bounded() ? deadline
+                            : Deadline::after(options_.default_deadline);
+}
+
+void FederatedLibrary::add_host(std::uint16_t port) {
+  auto host = std::make_shared<Host>("127.0.0.1:" + std::to_string(port),
+                                     options_.breaker, options_.clock);
+  host->port = port;
+  std::lock_guard lock(mutex_);
+  for (const auto& existing : hosts_) {
+    if (existing->key == host->key) return;  // idempotent add
+  }
+  hosts_.push_back(std::move(host));
+}
+
+void FederatedLibrary::add_host(const std::string& key,
+                                std::shared_ptr<Transport> transport) {
+  auto host = std::make_shared<Host>(key, options_.breaker, options_.clock);
+  host->transport = std::move(transport);
+  std::lock_guard lock(mutex_);
+  for (const auto& existing : hosts_) {
+    if (existing->key == host->key) return;
+  }
+  hosts_.push_back(std::move(host));
+}
+
+bool FederatedLibrary::remove_host(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  const auto it = std::find_if(
+      hosts_.begin(), hosts_.end(),
+      [&](const std::shared_ptr<Host>& h) { return h->key == key; });
+  if (it == hosts_.end()) return false;
+  hosts_.erase(it);
+  return true;
+}
+
+std::size_t FederatedLibrary::host_count() const {
+  std::lock_guard lock(mutex_);
+  return hosts_.size();
+}
+
+double FederatedLibrary::p95_latency(const Host& host) {
+  if (host.window.empty()) return 50.0;  // optimistic prior
+  std::vector<double> sorted = host.window;
+  std::sort(sorted.begin(), sorted.end());
+  const auto idx =
+      static_cast<std::size_t>(0.95 * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+double FederatedLibrary::health_score(const Host& host) {
+  const double err = std::min(std::max(host.ewma_error, 0.0), 1.0);
+  const double lat = host.have_latency ? host.ewma_latency_ms : 0.0;
+  return (1.0 - err) / (1.0 + lat / 100.0);
+}
+
+std::vector<FedHostStats> FederatedLibrary::hosts() const {
+  std::lock_guard lock(mutex_);
+  std::vector<FedHostStats> out;
+  out.reserve(hosts_.size());
+  const auto at = now();
+  for (const auto& host : hosts_) {
+    FedHostStats s;
+    s.key = host->key;
+    s.breaker = host->breaker.state();
+    s.ewma_latency_ms = host->ewma_latency_ms;
+    s.p95_latency_ms = p95_latency(*host);
+    s.error_rate = host->ewma_error;
+    s.health = health_score(*host);
+    s.in_flight = host->in_flight;
+    s.requests = host->requests;
+    s.failures = host->failures;
+    s.hedges = host->hedges;
+    s.hedge_wins = host->hedge_wins;
+    s.skipped_open = host->skipped_open;
+    s.mirrored_models = host->mirrored.size();
+    s.synced = host->synced;
+    if (host->synced) {
+      s.staleness_ms = static_cast<std::uint64_t>(std::max<std::int64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              at - host->last_sync)
+              .count(),
+          0));
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<std::shared_ptr<FederatedLibrary::Host>>
+FederatedLibrary::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::shared_ptr<Host>> out = hosts_;
+  // Health-ordered, ties broken by key so routing is deterministic.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const std::shared_ptr<Host>& a,
+                      const std::shared_ptr<Host>& b) {
+                     const double ha = health_score(*a);
+                     const double hb = health_score(*b);
+                     if (ha != hb) return ha > hb;
+                     return a->key < b->key;
+                   });
+  return out;
+}
+
+bool FederatedLibrary::reserve(const std::shared_ptr<Host>& host) {
+  std::lock_guard lock(mutex_);
+  if (host->in_flight >= options_.max_in_flight) return false;
+  ++host->in_flight;
+  return true;
+}
+
+void FederatedLibrary::release(const std::shared_ptr<Host>& host) {
+  std::lock_guard lock(mutex_);
+  if (host->in_flight > 0) --host->in_flight;
+}
+
+void FederatedLibrary::record(const std::shared_ptr<Host>& host,
+                              const TaskResult& result) {
+  // A transport-level success carrying a 5xx is still a host failure for
+  // health purposes; 2xx-4xx are answers.
+  const bool ok = result.ok && result.response.status < 500;
+  std::lock_guard lock(mutex_);
+  ++host->requests;
+  const double a = options_.ewma_alpha;
+  host->ewma_error = (1 - a) * host->ewma_error + a * (ok ? 0.0 : 1.0);
+  host->ewma_latency_ms = host->have_latency
+                              ? (1 - a) * host->ewma_latency_ms +
+                                    a * result.latency_ms
+                              : result.latency_ms;
+  host->have_latency = true;
+  constexpr std::size_t kWindow = 64;
+  if (host->window.size() < kWindow) {
+    host->window.push_back(result.latency_ms);
+  } else {
+    host->window[host->window_next] = result.latency_ms;
+    host->window_next = (host->window_next + 1) % kWindow;
+  }
+  if (ok) {
+    host->breaker.record_success();
+  } else {
+    ++host->failures;
+    host->breaker.record_failure();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Roundtrips: synchronous single, concurrent fan-out, hedged fetch
+// ---------------------------------------------------------------------------
+
+FederatedLibrary::TaskResult FederatedLibrary::single_roundtrip(
+    const std::shared_ptr<Host>& host, const Request& request,
+    const Deadline& deadline) {
+  TaskResult result;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    if (host->transport != nullptr) {
+      result.response = host->transport->roundtrip(request, deadline);
+    } else {
+      result.response = http_request(host->port, request, {}, deadline);
+    }
+    result.ok = true;
+  } catch (const HttpTimeout& e) {
+    result.error = e.what();
+    result.timed_out = true;
+  } catch (const HttpError& e) {
+    result.error = e.what();
+  }
+  result.latency_ms = elapsed_ms(start);
+  return result;
+}
+
+std::vector<FederatedLibrary::TaskResult> FederatedLibrary::fanout(
+    const std::vector<std::shared_ptr<Host>>& targets, const Request& request,
+    const Deadline& deadline) {
+  std::vector<TaskResult> results(targets.size());
+  std::vector<std::unique_ptr<SockConn>> conns(targets.size());
+  std::vector<bool> pending(targets.size(), false);
+
+  Request oneshot = request;
+  oneshot.headers["connection"] = "close";
+  const std::string wire = to_wire(oneshot);
+
+  // Launch.  Socket hosts enter the shared poll loop; injected
+  // transports run inline, in order — deterministic for chaos replay.
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (targets[i]->transport != nullptr) {
+      results[i] = single_roundtrip(targets[i], request, deadline);
+      continue;
+    }
+    std::string error;
+    conns[i] = start_attempt(targets[i]->port, wire, &error);
+    if (conns[i] == nullptr) {
+      results[i].error = error;
+    } else {
+      pending[i] = true;
+    }
+  }
+
+  // The fan-out poll loop: every in-flight connection is one pollfd;
+  // the inbound deadline bounds every iteration.
+  std::vector<pollfd> fds;
+  std::vector<std::size_t> fd_index;
+  for (;;) {
+    fds.clear();
+    fd_index.clear();
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      if (!pending[i]) continue;
+      pollfd p{};
+      p.fd = conns[i]->fd;
+      p.events = conns[i]->events();
+      fds.push_back(p);
+      fd_index.push_back(i);
+    }
+    if (fds.empty()) break;
+    if (deadline.expired()) break;
+    const int rc = ::poll(fds.data(), fds.size(), deadline.poll_timeout_ms());
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) continue;  // deadline check at loop top decides
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+      if (fds[k].revents == 0) continue;
+      const std::size_t i = fd_index[k];
+      const DriveOutcome out = drive_conn(*conns[i]);
+      if (!out.done) continue;
+      pending[i] = false;
+      results[i].ok = out.ok;
+      results[i].response = out.response;
+      results[i].error = out.error;
+      results[i].latency_ms = elapsed_ms(conns[i]->start);
+      conns[i].reset();
+    }
+  }
+  // Whatever is still pending missed the caller's deadline.
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (!pending[i]) continue;
+    results[i].timed_out = true;
+    results[i].error = "deadline exceeded";
+    results[i].latency_ms = elapsed_ms(conns[i]->start);
+    conns[i].reset();  // closes the socket: the hedge loser is cancelled
+  }
+  return results;
+}
+
+FederatedLibrary::TaskResult FederatedLibrary::hedged_fetch(
+    const std::vector<std::shared_ptr<Host>>& order, const Request& request,
+    const Deadline& deadline, std::size_t& winner, bool& fired_hedge,
+    bool& hedge_won) {
+  winner = 0;
+  fired_hedge = false;
+  hedge_won = false;
+
+  const auto hedge_delay = [&](const std::shared_ptr<Host>& host) {
+    double p95;
+    {
+      std::lock_guard lock(mutex_);
+      p95 = p95_latency(*host);
+    }
+    const auto by_p95 = std::chrono::milliseconds(static_cast<std::int64_t>(
+        p95 * options_.hedge_p95_factor));
+    return std::max(options_.hedge_min_delay, by_p95);
+  };
+
+  // Transport-backed primary: synchronous, so hedging is sequential
+  // failover — the primary's failure (including a virtual-time timeout)
+  // triggers the duplicate to the next-healthiest host.
+  if (order[0]->transport != nullptr) {
+    TaskResult primary = single_roundtrip(order[0], request, deadline);
+    record(order[0], primary);
+    if (primary.ok && primary.response.status < 500) return primary;
+    if (order.size() < 2 || deadline.expired()) return primary;
+    if (!reserve(order[1])) return primary;
+    fired_hedge = true;
+    {
+      std::lock_guard lock(mutex_);
+      ++order[1]->hedges;
+    }
+    TaskResult hedge = single_roundtrip(order[1], request, deadline);
+    record(order[1], hedge);
+    release(order[1]);
+    if (hedge.ok && hedge.response.status < 500) {
+      hedge_won = true;
+      {
+        std::lock_guard lock(mutex_);
+        ++order[1]->hedge_wins;
+      }
+      winner = 1;
+      return hedge;
+    }
+    return primary;
+  }
+
+  // Socket-backed primary: temporal hedging in one poll loop.  The
+  // hedge fires while the primary is still in flight; first complete
+  // response wins and the loser's socket is closed.
+  Request oneshot = request;
+  oneshot.headers["connection"] = "close";
+  const std::string wire = to_wire(oneshot);
+
+  struct Lane {
+    std::size_t index;  ///< into `order`
+    std::unique_ptr<SockConn> conn;
+    TaskResult result;
+    bool pending = false;
+  };
+  std::vector<Lane> lanes;
+  {
+    Lane lane;
+    lane.index = 0;
+    std::string error;
+    lane.conn = start_attempt(order[0]->port, wire, &error);
+    if (lane.conn == nullptr) {
+      lane.result.error = error;
+    } else {
+      lane.pending = true;
+    }
+    lanes.push_back(std::move(lane));
+  }
+  const auto hedge_at =
+      std::chrono::steady_clock::now() + hedge_delay(order[0]);
+
+  const auto finish_lane = [&](Lane& lane) {
+    record(order[lane.index], lane.result);
+    if (lane.index != 0) release(order[lane.index]);
+  };
+
+  for (;;) {
+    const bool any_pending =
+        std::any_of(lanes.begin(), lanes.end(),
+                    [](const Lane& l) { return l.pending; });
+    if (!any_pending || deadline.expired()) break;
+
+    // Wake at the earlier of the deadline and the hedge trigger.
+    int timeout = deadline.poll_timeout_ms();
+    const bool may_hedge = !fired_hedge && order.size() > 1 &&
+                           order[1]->transport == nullptr;
+    if (may_hedge) {
+      const auto until_hedge =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              hedge_at - std::chrono::steady_clock::now())
+              .count();
+      const int hedge_ms = static_cast<int>(
+          std::max<std::int64_t>(until_hedge, 0));
+      timeout = timeout < 0 ? hedge_ms : std::min(timeout, hedge_ms);
+    }
+
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> lane_of;
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      if (!lanes[i].pending) continue;
+      pollfd p{};
+      p.fd = lanes[i].conn->fd;
+      p.events = lanes[i].conn->events();
+      fds.push_back(p);
+      lane_of.push_back(i);
+    }
+    const int rc = ::poll(fds.data(), fds.size(), timeout);
+    if (rc < 0 && errno != EINTR) break;
+
+    for (std::size_t k = 0; rc > 0 && k < fds.size(); ++k) {
+      if (fds[k].revents == 0) continue;
+      Lane& lane = lanes[lane_of[k]];
+      const DriveOutcome out = drive_conn(*lane.conn);
+      if (!out.done) continue;
+      lane.pending = false;
+      lane.result.ok = out.ok;
+      lane.result.response = out.response;
+      lane.result.error = out.error;
+      lane.result.latency_ms = elapsed_ms(lane.conn->start);
+      lane.conn.reset();
+      if (lane.result.ok && lane.result.response.status < 500) {
+        // First good response wins; cancel the other lane.
+        finish_lane(lane);
+        for (Lane& other : lanes) {
+          if (&other == &lane || !other.pending) continue;
+          other.pending = false;
+          other.result.error = "cancelled: hedge race lost";
+          other.conn.reset();
+          if (other.index != 0) release(order[other.index]);
+          // The loser is not recorded as a failure: it was cancelled.
+        }
+        winner = lane.index;
+        hedge_won = lane.index != 0;
+        if (hedge_won) {
+          std::lock_guard lock(mutex_);
+          ++order[lane.index]->hedge_wins;
+        }
+        return lane.result;
+      }
+      finish_lane(lane);  // a failed lane: the race continues
+    }
+
+    if (may_hedge && std::chrono::steady_clock::now() >= hedge_at &&
+        lanes.size() == 1 && lanes[0].pending) {
+      if (reserve(order[1])) {
+        fired_hedge = true;
+        {
+          std::lock_guard lock(mutex_);
+          ++order[1]->hedges;
+        }
+        Lane lane;
+        lane.index = 1;
+        std::string error;
+        lane.conn = start_attempt(order[1]->port, wire, &error);
+        if (lane.conn == nullptr) {
+          lane.result.error = error;
+          record(order[1], lane.result);
+          release(order[1]);
+        } else {
+          lane.pending = true;
+          lanes.push_back(std::move(lane));
+        }
+      }
+    }
+  }
+
+  // Nobody won: time out whatever is still pending, return the
+  // primary's result (or the hedge's, if the primary failed earlier).
+  TaskResult final_result;
+  bool have = false;
+  for (Lane& lane : lanes) {
+    if (lane.pending) {
+      lane.pending = false;
+      lane.result.timed_out = true;
+      lane.result.error = "deadline exceeded";
+      lane.result.latency_ms = elapsed_ms(lane.conn->start);
+      lane.conn.reset();
+      finish_lane(lane);
+    }
+    if (!have || lane.index == 0) {
+      final_result = lane.result;
+      winner = lane.index;
+      have = true;
+    }
+  }
+  return final_result;
+}
+
+// ---------------------------------------------------------------------------
+// search
+// ---------------------------------------------------------------------------
+
+FedSearchResult FederatedLibrary::search(const std::string& query,
+                                         const Deadline& caller_deadline) {
+  const Deadline deadline = effective(caller_deadline);
+  Request req;
+  req.method = "GET";
+  req.target = "/api/models";
+
+  // Admission, under the lock: breaker verdicts and in-flight bounds.
+  std::vector<std::shared_ptr<Host>> all;
+  std::vector<FedHostOutcome> outcomes;
+  std::vector<std::shared_ptr<Host>> attempt;
+  std::vector<std::size_t> attempt_outcome;  // outcome index per attempt
+  {
+    std::lock_guard lock(mutex_);
+    all = hosts_;
+    for (const auto& host : all) {
+      FedHostOutcome o;
+      o.host = host->key;
+      if (!host->breaker.allow()) {
+        o.status = HostStatus::kSkippedOpen;
+        o.error = "circuit open";
+        ++host->skipped_open;
+      } else if (host->in_flight >= options_.max_in_flight) {
+        o.status = HostStatus::kDegraded;
+        o.error = "in-flight bound reached";
+      } else {
+        ++host->in_flight;
+        attempt.push_back(host);
+        attempt_outcome.push_back(outcomes.size());
+        o.status = HostStatus::kServed;  // provisional
+      }
+      outcomes.push_back(std::move(o));
+    }
+  }
+
+  const std::vector<TaskResult> results = fanout(attempt, req, deadline);
+
+  // Merge: name -> (replica count, fresh?).  Fresh listings win; the
+  // mirror only fills in for hosts that could not answer.
+  std::map<std::string, std::pair<int, bool>> merged;
+  for (std::size_t i = 0; i < attempt.size(); ++i) {
+    release(attempt[i]);
+    record(attempt[i], results[i]);
+    FedHostOutcome& o = outcomes[attempt_outcome[i]];
+    o.latency_ms = results[i].latency_ms;
+    if (results[i].ok && results[i].response.status == 200) {
+      o.status = HostStatus::kServed;
+      for (const std::string& name : split_lines(results[i].response.body)) {
+        if (!matches(name, query)) continue;
+        auto& slot = merged[name];
+        ++slot.first;
+        slot.second = true;
+        ++o.items;
+      }
+    } else {
+      o.status = HostStatus::kDegraded;
+      o.error = results[i].ok
+                    ? "status " + std::to_string(results[i].response.status)
+                    : results[i].error;
+    }
+  }
+
+  // Stale-while-revalidate: unreachable hosts still contribute their
+  // mirrored names, marked stale, so a partition degrades rather than
+  // empties the federation.
+  bool any_stale = false;
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      FedHostOutcome& o = outcomes[i];
+      if (o.status == HostStatus::kServed) continue;
+      const auto& host = all[i];
+      if (!host->synced) continue;
+      for (const auto& [name, text] : host->mirrored) {
+        if (!matches(name, query)) continue;
+        ++merged[name].first;
+        ++o.items;
+        o.stale = true;
+        any_stale = true;
+      }
+    }
+  }
+
+  FedSearchResult result;
+  for (const auto& [name, slot] : merged) {
+    FedModelEntry entry;
+    entry.name = name;
+    entry.replicas = slot.first;
+    entry.stale = !slot.second;
+    result.models.push_back(std::move(entry));
+  }
+  // Rank: most replicated first, then name — deterministic regardless
+  // of which host answered first (byte-stable across fault schedules).
+  std::sort(result.models.begin(), result.models.end(),
+            [](const FedModelEntry& a, const FedModelEntry& b) {
+              if (a.replicas != b.replicas) return a.replicas > b.replicas;
+              return a.name < b.name;
+            });
+  std::sort(outcomes.begin(), outcomes.end(),
+            [](const FedHostOutcome& a, const FedHostOutcome& b) {
+              return a.host < b.host;
+            });
+  result.hosts = std::move(outcomes);
+  result.partial = std::any_of(
+      result.hosts.begin(), result.hosts.end(), [](const FedHostOutcome& o) {
+        return o.status != HostStatus::kServed;
+      });
+  result.stale = any_stale;
+
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.searches;
+    if (result.partial) ++stats_.partial_results;
+    for (const FedHostOutcome& o : result.hosts) {
+      if (o.status == HostStatus::kDegraded) ++stats_.degraded_seen;
+      if (o.status == HostStatus::kSkippedOpen) ++stats_.skipped_open;
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// fetch
+// ---------------------------------------------------------------------------
+
+FedFetchResult FederatedLibrary::fetch_model(const std::string& name,
+                                             const Deadline& caller_deadline) {
+  const Deadline deadline = effective(caller_deadline);
+  Request req;
+  req.method = "GET";
+  req.target = "/api/model?name=" + url_encode(name);
+
+  const std::vector<std::shared_ptr<Host>> ordered = snapshot();
+
+  // Admit candidates lazily down the health ranking: the breaker verdict
+  // and the in-flight reservation happen only when a host is actually
+  // about to be used.
+  std::vector<std::shared_ptr<Host>> candidates;
+  std::uint64_t skipped = 0;
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& host : ordered) {
+      if (!host->breaker.allow()) {
+        ++host->skipped_open;
+        ++skipped;
+        continue;
+      }
+      candidates.push_back(host);
+    }
+  }
+
+  std::string last_error = "no federated hosts";
+  bool fired_hedge = false;
+  bool hedge_won = false;
+  TaskResult won;
+  std::shared_ptr<Host> origin;
+
+  if (!candidates.empty() && reserve(candidates[0])) {
+    std::size_t winner = 0;
+    won = hedged_fetch(candidates, req, deadline, winner, fired_hedge,
+                       hedge_won);
+    release(candidates[0]);
+    if (won.ok && won.response.status == 200) {
+      origin = candidates[winner];
+    } else {
+      last_error = won.ok
+                       ? "status " + std::to_string(won.response.status)
+                       : won.error;
+      // Fail over past the hedged pair, health order, until the
+      // caller's deadline runs out.
+      for (std::size_t i = fired_hedge ? 2 : 1;
+           i < candidates.size() && !deadline.expired(); ++i) {
+        if (!reserve(candidates[i])) continue;
+        TaskResult attempt = single_roundtrip(candidates[i], req, deadline);
+        record(candidates[i], attempt);
+        release(candidates[i]);
+        if (attempt.ok && attempt.response.status == 200) {
+          won = attempt;
+          origin = candidates[i];
+          break;
+        }
+        last_error = attempt.ok
+                         ? "status " +
+                               std::to_string(attempt.response.status)
+                         : attempt.error;
+      }
+    }
+  }
+
+  FedFetchResult out;
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.fetches;
+    if (fired_hedge) ++stats_.hedges;
+    if (hedge_won) ++stats_.hedge_wins;
+    stats_.skipped_open += skipped;
+  }
+
+  if (origin != nullptr) {
+    out.def = library::parse_user_model(won.response.body);
+    out.origin = origin->key;
+    out.hedged = fired_hedge;
+    out.hedge_won = hedge_won;
+    // A successful fetch doubles as a single-model revalidation.
+    bool changed = false;
+    {
+      std::lock_guard lock(mutex_);
+      auto& slot = origin->mirrored[name];
+      changed = slot != won.response.body;
+      slot = won.response.body;
+    }
+    MirrorSink sink;
+    {
+      std::lock_guard lock(mutex_);
+      sink = sink_;
+    }
+    if (changed && sink) sink(out.def);
+    return out;
+  }
+
+  // Every live host failed: stale-while-revalidate from the freshest
+  // mirror copy, staleness stamped for the caller.
+  {
+    std::lock_guard lock(mutex_);
+    std::shared_ptr<Host> best;
+    for (const auto& host : hosts_) {
+      if (!host->synced) continue;
+      if (host->mirrored.find(name) == host->mirrored.end()) continue;
+      if (best == nullptr || host->last_sync > best->last_sync) best = host;
+    }
+    if (best != nullptr) {
+      out.def = library::parse_user_model(best->mirrored.at(name));
+      out.origin = best->key;
+      out.from_mirror = true;
+      out.hedged = fired_hedge;
+      out.staleness_ms = static_cast<std::uint64_t>(std::max<std::int64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              now() - best->last_sync)
+              .count(),
+          0));
+      ++stats_.mirror_serves;
+      return out;
+    }
+  }
+  throw HttpError("federated fetch of '" + name + "' failed: " + last_error);
+}
+
+// ---------------------------------------------------------------------------
+// background sync (stale-while-revalidate's revalidate half)
+// ---------------------------------------------------------------------------
+
+std::vector<model::UserModelDefinition> FederatedLibrary::sync_host(
+    const std::shared_ptr<Host>& host) {
+  const Deadline deadline = Deadline::after(options_.default_deadline);
+  if (!reserve(host)) throw HttpError("in-flight bound reached");
+
+  Request list_req;
+  list_req.method = "GET";
+  list_req.target = "/api/models";
+  TaskResult listed = single_roundtrip(host, list_req, deadline);
+  record(host, listed);
+  if (!listed.ok || listed.response.status != 200) {
+    release(host);
+    throw HttpError(listed.ok ? "list: status " +
+                                    std::to_string(listed.response.status)
+                              : listed.error);
+  }
+
+  std::map<std::string, std::string> fresh;
+  std::vector<model::UserModelDefinition> changed;
+  try {
+    for (const std::string& name : split_lines(listed.response.body)) {
+      Request get;
+      get.method = "GET";
+      get.target = "/api/model?name=" + url_encode(name);
+      TaskResult fetched = single_roundtrip(host, get, deadline);
+      record(host, fetched);
+      if (!fetched.ok) throw HttpError(fetched.error);
+      if (fetched.response.status != 200) continue;  // e.g. proprietary
+      fresh[name] = fetched.response.body;
+    }
+  } catch (...) {
+    release(host);
+    throw;
+  }
+  release(host);
+
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& [name, text] : fresh) {
+      const auto it = host->mirrored.find(name);
+      if (it == host->mirrored.end() || it->second != text) {
+        changed.push_back(library::parse_user_model(text));
+      }
+    }
+    host->mirrored = std::move(fresh);
+    host->last_sync = now();
+    host->synced = true;
+    stats_.sync_models += changed.size();
+  }
+  cv_.notify_all();
+  return changed;
+}
+
+int FederatedLibrary::sync_now() {
+  std::vector<std::shared_ptr<Host>> all;
+  MirrorSink sink;
+  {
+    std::lock_guard lock(mutex_);
+    all = hosts_;
+    sink = sink_;
+    ++stats_.sync_runs;
+  }
+  int synced = 0;
+  for (const auto& host : all) {
+    {
+      // An open breaker in cooldown skips the host (the next allow()
+      // after cooldown makes this sync pass the half-open probe).
+      std::lock_guard lock(mutex_);
+      if (!host->breaker.allow()) continue;
+    }
+    try {
+      const std::vector<model::UserModelDefinition> changed = sync_host(host);
+      ++synced;
+      if (sink) {
+        for (const model::UserModelDefinition& def : changed) sink(def);
+      }
+    } catch (const std::exception&) {
+      std::lock_guard lock(mutex_);
+      ++stats_.sync_failures;
+    }
+  }
+  return synced;
+}
+
+void FederatedLibrary::sync_loop() {
+  while (sync_running_.load()) {
+    sync_now();
+    std::unique_lock lock(mutex_);
+    cv_.wait_for(lock, options_.sync_interval,
+                 [this] { return !sync_running_.load(); });
+  }
+}
+
+void FederatedLibrary::start_sync() {
+  if (sync_running_.exchange(true)) return;
+  sync_thread_ = std::thread([this] { sync_loop(); });
+}
+
+void FederatedLibrary::stop_sync() {
+  sync_running_.store(false);
+  {
+    std::lock_guard lock(mutex_);
+  }
+  cv_.notify_all();
+  if (sync_thread_.joinable()) sync_thread_.join();
+}
+
+bool FederatedLibrary::wait_synced(const std::string& key,
+                                   std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mutex_);
+  return cv_.wait_for(lock, timeout, [&] {
+    for (const auto& host : hosts_) {
+      if (host->key == key) return host->synced;
+    }
+    return false;
+  });
+}
+
+FederationStats FederatedLibrary::stats() const {
+  std::lock_guard lock(mutex_);
+  FederationStats out = stats_;
+  out.hosts = hosts_.size();
+  out.hosts_available = 0;
+  for (const auto& host : hosts_) {
+    if (host->breaker.state() != CircuitBreaker::State::kOpen) {
+      ++out.hosts_available;
+    }
+  }
+  return out;
+}
+
+}  // namespace powerplay::web

@@ -1,0 +1,280 @@
+// federation.hpp — the federated model network (Figures 6 and 7 at
+// scale).
+//
+// The paper's networking claim is that models characterized at sites B
+// and C are transparently usable from site A.  RemoteLibrary realizes
+// that for exactly one peer; FederatedLibrary generalizes it to N model
+// hosts queried *concurrently* from one poll-based fan-out loop (the
+// pazpar2 metasearch shape: one event loop, one connection state
+// machine per host, merged and ranked results), and — the hard part —
+// stays correct and responsive when part of the federation is down:
+//
+//   health scoring     per-host EWMA latency and error rate plus a
+//                      recent-latency p95 window; scores rank hosts for
+//                      fetch routing and feed the per-host
+//                      CircuitBreaker (skip-with-status, never
+//                      fail-closed)
+//   deadline           the inbound request's Deadline propagates into
+//   propagation        every outbound connect/read, so a federated
+//                      call can never outlive its caller's I/O budget
+//   hedged requests    a fetch that exceeds the chosen host's p95-based
+//                      hedge delay fires a duplicate to the
+//                      next-healthiest host; first response wins
+//   bounded in-flight  each host carries at most max_in_flight
+//                      concurrent requests; excess attempts degrade
+//                      instead of queueing without bound
+//   partial results    fan-out search returns the survivors' merged
+//                      results with per-host status (served / degraded
+//                      / skipped-open-breaker) instead of failing
+//                      closed
+//   stale-while-       a background sync job mirrors remote model
+//   revalidate         definitions locally (via the mirror sink, which
+//                      the app wires into its journaled LibraryStore),
+//                      stamped with sync time; through a partition the
+//                      mirror keeps search and sweeps working, with the
+//                      staleness surfaced in every response
+//
+// Hosts added by port use real sockets driven by the shared poll loop;
+// hosts added with an injected Transport (FaultTransport chaos rigs,
+// FunctionTransport benches) run deterministically in registration
+// order with the same deadline, breaker, and status accounting, so the
+// chaos suite replays bit-identical schedules.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "model/user_model.hpp"
+#include "web/client.hpp"
+#include "web/remote.hpp"
+
+namespace powerplay::web {
+
+/// How one host fared in one federated operation.
+enum class HostStatus {
+  kServed,       ///< answered within the deadline
+  kDegraded,     ///< failed, timed out, or over its in-flight bound
+  kSkippedOpen,  ///< circuit breaker open: not even attempted
+};
+std::string to_string(HostStatus status);
+
+/// Federation tuning.  Defaults suit tests and small sites.
+struct FederationOptions {
+  BreakerOptions breaker{};     ///< per-host breaker thresholds
+  double ewma_alpha = 0.2;      ///< latency/error EWMA smoothing
+  std::size_t max_in_flight = 4;  ///< concurrent requests per host
+  /// Hedge a fetch when the primary host has been silent longer than
+  /// max(hedge_min_delay, hedge_p95_factor * its p95 latency).
+  double hedge_p95_factor = 1.5;
+  std::chrono::milliseconds hedge_min_delay{20};
+  /// Outbound budget when the caller's deadline is unbounded.
+  std::chrono::milliseconds default_deadline{2000};
+  /// Background mirror-sync cadence.
+  std::chrono::milliseconds sync_interval{5000};
+  /// Virtual clock for breaker state + staleness stamps (tests).
+  CircuitBreaker::Clock clock;
+};
+
+/// Health + traffic counters for one host (the /fed/hosts page).
+struct FedHostStats {
+  std::string key;              ///< "127.0.0.1:port" or the injected name
+  CircuitBreaker::State breaker = CircuitBreaker::State::kClosed;
+  double ewma_latency_ms = 0;
+  double p95_latency_ms = 0;
+  double error_rate = 0;        ///< EWMA of failure indicator, in [0,1]
+  double health = 0;            ///< ranking score, higher is better
+  std::size_t in_flight = 0;
+  std::uint64_t requests = 0;   ///< attempts actually sent
+  std::uint64_t failures = 0;
+  std::uint64_t hedges = 0;     ///< hedge attempts aimed at this host
+  std::uint64_t hedge_wins = 0; ///< hedges whose response won
+  std::uint64_t skipped_open = 0;
+  std::size_t mirrored_models = 0;
+  bool synced = false;          ///< at least one successful mirror sync
+  std::uint64_t staleness_ms = 0;  ///< time since the last good sync
+};
+
+/// Per-host verdict attached to every federated result.
+struct FedHostOutcome {
+  std::string host;
+  HostStatus status = HostStatus::kServed;
+  std::string error;        ///< why, when degraded
+  double latency_ms = 0;
+  bool hedged = false;      ///< a hedge was fired while waiting on it
+  std::size_t items = 0;    ///< names this host contributed to the merge
+  bool stale = false;       ///< contribution served from the local mirror
+};
+
+/// One merged search hit.
+struct FedModelEntry {
+  std::string name;
+  int replicas = 0;   ///< hosts believed to hold it (fresh + mirrored)
+  bool stale = false; ///< only known via the mirror of unreachable hosts
+};
+
+/// Fan-out search result: always a result, never fail-closed.  `hosts`
+/// is sorted by host key so rendered bytes are independent of network
+/// completion order.
+struct FedSearchResult {
+  std::vector<FedModelEntry> models;
+  std::vector<FedHostOutcome> hosts;
+  bool partial = false;  ///< at least one host degraded or skipped
+  bool stale = false;    ///< at least one entry served from the mirror
+};
+
+/// Federated fetch result.
+struct FedFetchResult {
+  model::UserModelDefinition def;
+  std::string origin;        ///< host that answered (or mirror source)
+  bool hedged = false;       ///< a hedge request was fired
+  bool hedge_won = false;    ///< ...and its response is the one returned
+  bool from_mirror = false;  ///< every live host failed; stale local copy
+  std::uint64_t staleness_ms = 0;  ///< mirror age when from_mirror
+};
+
+/// Aggregate counters for /healthz.
+struct FederationStats {
+  std::size_t hosts = 0;
+  std::size_t hosts_available = 0;  ///< breaker not open
+  std::uint64_t searches = 0;
+  std::uint64_t fetches = 0;
+  std::uint64_t hedges = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t partial_results = 0;
+  std::uint64_t degraded_seen = 0;   ///< host-outcomes marked degraded
+  std::uint64_t skipped_open = 0;    ///< host-outcomes skipped on breaker
+  std::uint64_t sync_runs = 0;
+  std::uint64_t sync_models = 0;     ///< new/changed defs mirrored
+  std::uint64_t sync_failures = 0;
+  std::uint64_t mirror_serves = 0;   ///< fetches answered from the mirror
+};
+
+/// "host:port" (loopback only, like every socket in this codebase) ->
+/// port.  Throws HttpError with a usable message otherwise.
+std::uint16_t parse_peer_spec(const std::string& spec);
+
+class FederatedLibrary {
+ public:
+  explicit FederatedLibrary(FederationOptions options = {});
+  ~FederatedLibrary();
+
+  FederatedLibrary(const FederatedLibrary&) = delete;
+  FederatedLibrary& operator=(const FederatedLibrary&) = delete;
+
+  /// Where mirrored model definitions go (the app wires a sink that
+  /// journals them into its LibraryStore and registers them, so synced
+  /// models survive crashes and partitions).  Called once per new or
+  /// changed definition, never under internal locks.
+  using MirrorSink = std::function<void(const model::UserModelDefinition&)>;
+  void set_mirror_sink(MirrorSink sink);
+
+  // --- membership ------------------------------------------------------
+  /// Socket-backed peer at 127.0.0.1:`port`, driven by the poll loop.
+  void add_host(std::uint16_t port);
+  /// Transport-backed peer (chaos tests, in-process benches), driven
+  /// synchronously in registration order.
+  void add_host(const std::string& key, std::shared_ptr<Transport> transport);
+  /// Forget a host.  Its mirrored definitions stay wherever the sink
+  /// put them (removal never destroys local data); its mirror entries
+  /// stop contributing to searches.  False if unknown.
+  bool remove_host(const std::string& key);
+  [[nodiscard]] std::vector<FedHostStats> hosts() const;
+  [[nodiscard]] std::size_t host_count() const;
+
+  // --- federated operations -------------------------------------------
+  /// Fan out to every breaker-permitted host, merge and rank the union
+  /// of their model lists (dedup by name; ranked by replica count, then
+  /// name).  `query` filters by substring ("" = everything).  Degraded
+  /// and skipped hosts contribute their mirrored names, marked stale.
+  FedSearchResult search(const std::string& query, const Deadline& deadline);
+
+  /// Fetch one model from the healthiest host holding it, hedging to
+  /// the next-healthiest when the primary exceeds its hedge delay, then
+  /// failing over down the health ranking, and finally serving the
+  /// local mirror (stale-while-revalidate) when every live host fails.
+  /// Throws HttpError only when no host answers AND no mirror copy
+  /// exists.  A fresh fetch also refreshes the mirror for that model.
+  FedFetchResult fetch_model(const std::string& name,
+                             const Deadline& deadline);
+
+  // --- background sync -------------------------------------------------
+  void start_sync();
+  void stop_sync();
+  /// One synchronous pass over all hosts; returns how many synced
+  /// cleanly.  The background thread calls exactly this.
+  int sync_now();
+  /// Test/ops helper: wait until `key` has completed a successful sync.
+  bool wait_synced(const std::string& key, std::chrono::milliseconds timeout);
+
+  [[nodiscard]] FederationStats stats() const;
+
+ private:
+  struct Host;
+  struct TaskResult {
+    bool ok = false;
+    Response response;
+    std::string error;
+    bool timed_out = false;
+    double latency_ms = 0;
+  };
+
+  [[nodiscard]] Deadline effective(const Deadline& deadline) const;
+  [[nodiscard]] std::chrono::steady_clock::time_point now() const;
+  /// Health-ordered snapshot of hosts (breaker-open hosts last).
+  [[nodiscard]] std::vector<std::shared_ptr<Host>> snapshot() const;
+  static double health_score(const Host& host);
+  static double p95_latency(const Host& host);
+
+  /// One request to one host under `deadline`, synchronous (transport
+  /// seam or blocking socket path) — used by sync and as the hedged
+  /// fetch's building block for injected transports.
+  TaskResult single_roundtrip(const std::shared_ptr<Host>& host,
+                              const Request& request,
+                              const Deadline& deadline);
+  /// Concurrent fan-out of `request` to `targets` under one poll loop.
+  /// Socket-backed hosts multiplex; injected transports run inline in
+  /// order.  Results index-match `targets`.
+  std::vector<TaskResult> fanout(
+      const std::vector<std::shared_ptr<Host>>& targets,
+      const Request& request, const Deadline& deadline);
+  /// Hedged fetch against an ordered candidate list.  Returns the
+  /// winning (index, result); fired_hedge/hedge_won report hedging.
+  TaskResult hedged_fetch(const std::vector<std::shared_ptr<Host>>& order,
+                          const Request& request, const Deadline& deadline,
+                          std::size_t& winner, bool& fired_hedge,
+                          bool& hedge_won);
+
+  /// Reserve an in-flight slot; false when the host is at its bound.
+  bool reserve(const std::shared_ptr<Host>& host);
+  void release(const std::shared_ptr<Host>& host);
+  /// Fold one outcome into the host's health state + counters.
+  void record(const std::shared_ptr<Host>& host, const TaskResult& result);
+
+  void sync_loop();
+  /// Sync one host; returns new/changed defs (sunk by the caller after
+  /// the lock is dropped).  Throws on failure.
+  std::vector<model::UserModelDefinition> sync_host(
+      const std::shared_ptr<Host>& host);
+
+  FederationOptions options_;
+  MirrorSink sink_;
+
+  mutable std::mutex mutex_;  ///< hosts_, per-host state, stats_, cv
+  std::condition_variable cv_;
+  std::vector<std::shared_ptr<Host>> hosts_;
+  FederationStats stats_;
+
+  std::thread sync_thread_;
+  std::atomic<bool> sync_running_{false};
+};
+
+}  // namespace powerplay::web

@@ -61,9 +61,28 @@ class Deadline {
     return d;
   }
 
+  /// The earlier of two deadlines — how a caller's budget propagates
+  /// into nested I/O: an outbound connect/read under an inbound request
+  /// runs under earlier(caller, own_timeout), so a federated call can
+  /// never outlive the request that triggered it.
+  static Deadline earlier(const Deadline& a, const Deadline& b) {
+    if (!a.bounded_) return b;
+    if (!b.bounded_) return a;
+    return a.at_ <= b.at_ ? a : b;
+  }
+
   [[nodiscard]] bool bounded() const { return bounded_; }
   [[nodiscard]] bool expired() const {
     return bounded_ && std::chrono::steady_clock::now() >= at_;
+  }
+  /// Milliseconds left before expiry; max() when unbounded, never
+  /// negative.  For budgeting decisions, not for poll() (use
+  /// poll_timeout_ms, which clamps to poll's int range).
+  [[nodiscard]] std::chrono::milliseconds remaining() const {
+    if (!bounded_) return std::chrono::milliseconds::max();
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        at_ - std::chrono::steady_clock::now());
+    return left.count() > 0 ? left : std::chrono::milliseconds{0};
   }
   /// Timeout argument for poll(): -1 when unbounded, else remaining
   /// milliseconds clamped to >= 0.

@@ -126,9 +126,16 @@ Response RemoteLibrary::fetch_with_retry(const std::string& target) const {
   Request req;
   req.method = "GET";
   req.target = target;
+  return perform(req);
+}
 
+Response RemoteLibrary::perform(const Request& req) const {
   std::string last_error = "no attempt made";
-  const int attempts = std::max(policy_.max_attempts, 1);
+  // Retry safety: only idempotent requests may be replayed.  A lost
+  // response to a non-GET leaves the remote's state unknown — one
+  // attempt, and the failure surfaces.
+  const bool idempotent = req.method == "GET";
+  const int attempts = idempotent ? std::max(policy_.max_attempts, 1) : 1;
   std::optional<std::chrono::milliseconds> server_hint;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
@@ -158,8 +165,9 @@ Response RemoteLibrary::fetch_with_retry(const std::string& target) const {
       last_error = e.what();
     }
   }
-  throw HttpError("remote fetch of '" + target + "' failed after " +
-                  std::to_string(attempts) + " attempt(s): " + last_error);
+  throw HttpError("remote " + req.method + " '" + req.target +
+                  "' failed after " + std::to_string(attempts) +
+                  " attempt(s): " + last_error);
 }
 
 std::string RemoteLibrary::fetch_text(const std::string& target) const {

@@ -131,6 +131,14 @@ class RemoteLibrary {
   /// mirror operation — each model gets the full retry budget.
   std::vector<std::string> import_all(model::ModelRegistry& into) const;
 
+  /// One arbitrary exchange under the breaker and retry policy — with a
+  /// crucial asymmetry: only idempotent (GET) requests are auto-retried.
+  /// A POST whose response was lost may still have been applied at the
+  /// remote, so retrying it risks duplicate side effects; non-GET
+  /// requests get exactly one attempt and any failure surfaces to the
+  /// caller, who knows whether the operation is safe to repeat.
+  Response perform(const Request& request) const;
+
   /// HTTP round trips performed so far by this client (retries count).
   [[nodiscard]] int round_trips() const { return round_trips_; }
   /// Retries performed beyond first attempts.

@@ -1,0 +1,562 @@
+// Federated model network: seeded chaos suite.  Dead hosts, virtually
+// slow hosts, flapping breakers, mid-body disconnects, and a full
+// partition-then-heal resync — all asserting the federation degrades
+// into *marked partial results* instead of failing closed, and that
+// merged results are byte-stable across fault schedules.
+#include "web/federation.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "library/serialize.hpp"
+#include "web/app.hpp"
+#include "web/fault.hpp"
+#include "web/server.hpp"
+
+namespace powerplay::web {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+model::UserModelDefinition make_def(const std::string& name, double femto) {
+  model::UserModelDefinition def;
+  def.name = name;
+  def.category = model::Category::kComputation;
+  def.params = {{"k", "scale", 1.0, "", 0, 1e6, false}};
+  def.c_fullswing = "k * " + std::to_string(femto) + "e-15";
+  return def;
+}
+
+/// In-process model host: answers the remote-access protocol for a
+/// fixed set of definitions (the shape the federation syncs against).
+std::shared_ptr<Transport> model_host(
+    const std::vector<model::UserModelDefinition>& defs) {
+  auto texts = std::make_shared<std::map<std::string, std::string>>();
+  for (const auto& def : defs) (*texts)[def.name] = library::to_text(def);
+  return std::make_shared<FunctionTransport>([texts](const Request& req) {
+    const Target t = req.parsed_target();
+    if (t.path == "/api/models") {
+      std::string body;
+      for (const auto& [name, text] : *texts) body += name + "\n";
+      return Response::ok_text(body);
+    }
+    if (t.path == "/api/model") {
+      const auto it = texts->find(get_or(req.all_params(), "name"));
+      if (it == texts->end()) return Response::not_found("model");
+      return Response::ok_text(it->second);
+    }
+    return Response::not_found(t.path);
+  });
+}
+
+/// Transport whose liveness a test can flip (partition switch).
+std::shared_ptr<Transport> gated(std::shared_ptr<Transport> inner,
+                                 std::shared_ptr<bool> dead) {
+  return std::make_shared<FunctionTransport>(
+      [inner, dead](const Request& req) -> Response {
+        if (*dead) throw HttpError("partitioned");
+        return inner->roundtrip(req);
+      });
+}
+
+const FedHostOutcome& outcome_of(const FedSearchResult& result,
+                                 const std::string& host) {
+  for (const FedHostOutcome& o : result.hosts) {
+    if (o.host == host) return o;
+  }
+  throw std::runtime_error("no outcome for host " + host);
+}
+
+bool has_model(const FedSearchResult& result, const std::string& name) {
+  for (const FedModelEntry& m : result.models) {
+    if (m.name == name) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Deadline propagation (satellite: inbound budget bounds outbound I/O)
+// ---------------------------------------------------------------------------
+
+TEST(DeadlineProp, EarlierPicksTheSoonerBound) {
+  const Deadline never = Deadline::never();
+  const Deadline soon = Deadline::after(10ms);
+  const Deadline late = Deadline::after(10'000ms);
+  EXPECT_FALSE(Deadline::earlier(never, never).bounded());
+  EXPECT_TRUE(Deadline::earlier(never, soon).bounded());
+  EXPECT_LE(Deadline::earlier(soon, late).remaining(), 10ms);
+  EXPECT_LE(Deadline::earlier(late, soon).remaining(), 10ms);
+  EXPECT_GT(Deadline::earlier(late, never).remaining(), 1000ms);
+}
+
+TEST(DeadlineProp, ExpiredCallerFailsBeforeConnect) {
+  const Deadline spent = Deadline::after(-1ms);
+  ASSERT_TRUE(spent.expired());
+  Request req;
+  // Port 1 is almost certainly closed, but the point is stronger: the
+  // client must raise HttpTimeout before even attempting the connect.
+  EXPECT_THROW(http_request(1, req, {}, spent), HttpTimeout);
+}
+
+// ---------------------------------------------------------------------------
+// RemoteLibrary retry safety (satellite: idempotent-only auto-retry)
+// ---------------------------------------------------------------------------
+
+TEST(RemoteRetry, NonIdempotentRequestsGetOneAttempt) {
+  auto calls = std::make_shared<int>(0);
+  auto flaky = std::make_shared<FunctionTransport>(
+      [calls](const Request&) -> Response {
+        ++*calls;
+        throw HttpError("connection dropped");
+      });
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  RemoteLibrary remote(flaky, policy);
+  remote.set_sleeper([](std::chrono::milliseconds) {});
+
+  Request post;
+  post.method = "POST";
+  post.target = "/design/add";
+  EXPECT_THROW(remote.perform(post), HttpError);
+  EXPECT_EQ(*calls, 1) << "a lost POST must not be replayed blindly";
+
+  Request get;
+  get.method = "GET";
+  get.target = "/api/models";
+  EXPECT_THROW(remote.perform(get), HttpError);
+  EXPECT_EQ(*calls, 1 + 4) << "GETs keep the full retry budget";
+}
+
+// ---------------------------------------------------------------------------
+// Federation core
+// ---------------------------------------------------------------------------
+
+TEST(Federation, ParsePeerSpec) {
+  EXPECT_EQ(parse_peer_spec("127.0.0.1:8080"), 8080);
+  EXPECT_EQ(parse_peer_spec("localhost:9"), 9);
+  EXPECT_THROW(parse_peer_spec("8080"), HttpError);
+  EXPECT_THROW(parse_peer_spec("example.com:80"), HttpError);
+  EXPECT_THROW(parse_peer_spec("127.0.0.1:"), HttpError);
+  EXPECT_THROW(parse_peer_spec("127.0.0.1:0"), HttpError);
+  EXPECT_THROW(parse_peer_spec("127.0.0.1:65536"), HttpError);
+  EXPECT_THROW(parse_peer_spec("127.0.0.1:80x"), HttpError);
+}
+
+TEST(Federation, MergeRanksByReplicaCountThenName) {
+  FederatedLibrary fed;
+  fed.add_host("siteA", model_host({make_def("fed_common", 10),
+                                    make_def("fed_alpha", 1)}));
+  fed.add_host("siteB", model_host({make_def("fed_common", 10),
+                                    make_def("fed_beta", 2)}));
+  fed.add_host("siteC", model_host({make_def("fed_common", 10)}));
+
+  const FedSearchResult all = fed.search("", Deadline::after(500ms));
+  EXPECT_FALSE(all.partial);
+  ASSERT_EQ(all.models.size(), 3u);
+  EXPECT_EQ(all.models[0].name, "fed_common");
+  EXPECT_EQ(all.models[0].replicas, 3);
+  EXPECT_EQ(all.models[1].name, "fed_alpha");  // ties ranked by name
+  EXPECT_EQ(all.models[2].name, "fed_beta");
+  for (const FedHostOutcome& o : all.hosts) {
+    EXPECT_EQ(o.status, HostStatus::kServed);
+  }
+
+  const FedSearchResult filtered = fed.search("alpha", Deadline::after(500ms));
+  ASSERT_EQ(filtered.models.size(), 1u);
+  EXPECT_EQ(filtered.models[0].name, "fed_alpha");
+}
+
+TEST(FederationChaos, DeadHostYieldsMarkedPartialResults) {
+  FederatedLibrary fed;
+  fed.add_host("siteA", model_host({make_def("fed_alive", 5)}));
+  fed.add_host("siteDead", std::make_shared<FunctionTransport>(
+                               [](const Request&) -> Response {
+                                 throw HttpError("connection refused");
+                               }));
+
+  const FedSearchResult result = fed.search("", Deadline::after(500ms));
+  EXPECT_TRUE(result.partial);
+  EXPECT_TRUE(has_model(result, "fed_alive"));
+  EXPECT_EQ(outcome_of(result, "siteA").status, HostStatus::kServed);
+  const FedHostOutcome& dead = outcome_of(result, "siteDead");
+  EXPECT_EQ(dead.status, HostStatus::kDegraded);
+  EXPECT_FALSE(dead.error.empty());
+  EXPECT_EQ(fed.stats().partial_results, 1u);
+  EXPECT_EQ(fed.stats().degraded_seen, 1u);
+}
+
+TEST(FederationChaos, SlowHostTimesOutVirtuallyWithinDeadline) {
+  FaultSpec spec;
+  spec.delay_rate = 1.0;
+  spec.delay = 5000ms;    // five real seconds if it actually slept
+  spec.deadline = 200ms;  // the simulated client patience
+  spec.seed = 7;
+  FederatedLibrary fed;
+  fed.add_host("siteFast", model_host({make_def("fed_fast", 1)}));
+  fed.add_host("siteSlow", std::make_shared<FaultTransport>(
+                               model_host({make_def("fed_slow", 2)}), spec));
+
+  const auto begin = std::chrono::steady_clock::now();
+  const FedSearchResult result = fed.search("", Deadline::after(10'000ms));
+  const auto wall = std::chrono::steady_clock::now() - begin;
+
+  EXPECT_LT(wall, 1s) << "injected delays must never sleep";
+  EXPECT_TRUE(result.partial);
+  EXPECT_TRUE(has_model(result, "fed_fast"));
+  EXPECT_EQ(outcome_of(result, "siteSlow").status, HostStatus::kDegraded);
+}
+
+TEST(FederationChaos, MidBodyDisconnectDegradesThatHostOnly) {
+  FaultSpec spec;
+  spec.truncate_rate = 1.0;
+  spec.seed = 3;
+  FederatedLibrary fed;
+  fed.add_host("siteOk", model_host({make_def("fed_whole", 4)}));
+  fed.add_host("siteCut", std::make_shared<FaultTransport>(
+                              model_host({make_def("fed_cut", 9)}), spec));
+
+  const FedSearchResult result = fed.search("", Deadline::after(500ms));
+  EXPECT_TRUE(result.partial);
+  EXPECT_TRUE(has_model(result, "fed_whole"));
+  EXPECT_FALSE(has_model(result, "fed_cut"));  // never synced, no mirror
+  const FedHostOutcome& cut = outcome_of(result, "siteCut");
+  EXPECT_EQ(cut.status, HostStatus::kDegraded);
+  EXPECT_NE(cut.error.find("truncated"), std::string::npos) << cut.error;
+}
+
+TEST(FederationChaos, FlappingBreakerSkipsThenProbesOnVirtualClock) {
+  auto vnow = std::make_shared<std::chrono::steady_clock::time_point>(
+      std::chrono::steady_clock::now());
+  FederationOptions options;
+  options.breaker.failure_threshold = 2;
+  options.breaker.cooldown = 1000ms;
+  options.clock = [vnow] { return *vnow; };
+  auto dead = std::make_shared<bool>(true);
+  FederatedLibrary fed(options);
+  fed.add_host("flappy", gated(model_host({make_def("fed_flap", 6)}), dead));
+
+  // Two failures trip the breaker...
+  EXPECT_EQ(outcome_of(fed.search("", Deadline::after(200ms)), "flappy")
+                .status,
+            HostStatus::kDegraded);
+  EXPECT_EQ(outcome_of(fed.search("", Deadline::after(200ms)), "flappy")
+                .status,
+            HostStatus::kDegraded);
+  // ...so the next search does not even attempt the host.
+  EXPECT_EQ(outcome_of(fed.search("", Deadline::after(200ms)), "flappy")
+                .status,
+            HostStatus::kSkippedOpen);
+  EXPECT_GE(fed.stats().skipped_open, 1u);
+
+  // Cooldown passes (virtually) and the host heals: the half-open probe
+  // succeeds and the breaker closes again.
+  *vnow += 1500ms;
+  *dead = false;
+  EXPECT_EQ(outcome_of(fed.search("", Deadline::after(200ms)), "flappy")
+                .status,
+            HostStatus::kServed);
+  EXPECT_EQ(fed.hosts()[0].breaker, CircuitBreaker::State::kClosed);
+}
+
+TEST(Federation, HedgeFailsOverToNextHealthiestHost) {
+  FederatedLibrary fed;
+  fed.add_host("alpha", std::make_shared<FunctionTransport>(
+                            [](const Request&) -> Response {
+                              throw HttpError("primary down");
+                            }));
+  fed.add_host("beta", model_host({make_def("fed_hedge", 8)}));
+
+  // Equal health, ties by key: "alpha" is the primary and fails, so the
+  // hedge to "beta" carries the fetch.
+  const FedFetchResult result =
+      fed.fetch_model("fed_hedge", Deadline::after(500ms));
+  EXPECT_EQ(result.def.name, "fed_hedge");
+  EXPECT_EQ(result.origin, "beta");
+  EXPECT_TRUE(result.hedged);
+  EXPECT_TRUE(result.hedge_won);
+  EXPECT_FALSE(result.from_mirror);
+  EXPECT_EQ(fed.stats().hedges, 1u);
+  EXPECT_EQ(fed.stats().hedge_wins, 1u);
+}
+
+TEST(FederationChaos, MirrorServesStaleThroughPartitionThenResyncs) {
+  auto dead = std::make_shared<bool>(false);
+  FederatedLibrary fed;
+  int sunk = 0;
+  fed.set_mirror_sink([&](const model::UserModelDefinition&) { ++sunk; });
+  fed.add_host("solo", gated(model_host({make_def("fed_mirror", 7)}), dead));
+
+  ASSERT_EQ(fed.sync_now(), 1);
+  EXPECT_EQ(sunk, 1);
+  EXPECT_TRUE(fed.wait_synced("solo", 100ms));
+
+  *dead = true;  // partition
+  const FedSearchResult stale = fed.search("", Deadline::after(200ms));
+  EXPECT_TRUE(stale.partial);
+  EXPECT_TRUE(stale.stale);
+  ASSERT_TRUE(has_model(stale, "fed_mirror"));
+  EXPECT_TRUE(stale.models[0].stale);
+  EXPECT_TRUE(outcome_of(stale, "solo").stale);
+
+  const FedFetchResult fetched =
+      fed.fetch_model("fed_mirror", Deadline::after(200ms));
+  EXPECT_TRUE(fetched.from_mirror);
+  EXPECT_EQ(fetched.def.name, "fed_mirror");
+  EXPECT_EQ(fed.stats().mirror_serves, 1u);
+
+  *dead = false;  // heal: resync completes, results go fresh again
+  EXPECT_EQ(fed.sync_now(), 1);
+  const FedSearchResult fresh = fed.search("", Deadline::after(200ms));
+  EXPECT_FALSE(fresh.partial);
+  EXPECT_FALSE(fresh.stale);
+  EXPECT_EQ(sunk, 1) << "unchanged definitions are not re-sunk";
+}
+
+TEST(FederationChaos, MergedResultsAreByteStableAcrossSeeds) {
+  const std::vector<model::UserModelDefinition> site_a = {
+      make_def("fed_stable_common", 10), make_def("fed_stable_a", 1)};
+  const std::vector<model::UserModelDefinition> site_b = {
+      make_def("fed_stable_common", 10), make_def("fed_stable_b", 2)};
+  const std::vector<model::UserModelDefinition> site_c = {
+      make_def("fed_stable_common", 10), make_def("fed_stable_c", 3)};
+
+  std::string reference;
+  bool any_partial = false;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    FederatedLibrary fed;
+    std::vector<std::shared_ptr<bool>> chaos_on;
+    for (const auto* defs : {&site_a, &site_b, &site_c}) {
+      FaultSpec spec;
+      spec.drop_rate = 0.3;
+      spec.error_rate = 0.3;
+      spec.delay_rate = 0.3;
+      spec.delay = 5000ms;
+      spec.deadline = 100ms;  // every injected delay is a timeout
+      spec.seed = seed + 100 * chaos_on.size();
+      auto clean = model_host(*defs);
+      auto chaotic = std::make_shared<FaultTransport>(clean, spec);
+      auto on = std::make_shared<bool>(false);
+      chaos_on.push_back(on);
+      fed.add_host("site" + std::to_string(chaos_on.size()),
+                   std::make_shared<FunctionTransport>(
+                       [clean, chaotic, on](const Request& req) {
+                         return *on ? chaotic->roundtrip(req)
+                                    : clean->roundtrip(req);
+                       }));
+    }
+    // Clean sync first (the steady state), then chaos for the search.
+    ASSERT_EQ(fed.sync_now(), 3);
+    for (const auto& on : chaos_on) *on = true;
+
+    const FedSearchResult result = fed.search("", Deadline::after(2000ms));
+    any_partial = any_partial || result.partial;
+    std::string rendered;
+    for (const FedModelEntry& m : result.models) {
+      rendered += m.name + ":" + std::to_string(m.replicas) + "\n";
+    }
+    if (reference.empty()) {
+      reference = rendered;
+    } else {
+      EXPECT_EQ(rendered, reference)
+          << "merge diverged under fault seed " << seed;
+    }
+  }
+  EXPECT_FALSE(reference.empty());
+  EXPECT_TRUE(any_partial) << "chaos rates never bit; test is vacuous";
+}
+
+// ---------------------------------------------------------------------------
+// App integration: /fed/* routes, healthz counters, mirror journaling
+// ---------------------------------------------------------------------------
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    static int counter = 0;
+    path = fs::temp_directory_path() /
+           ("pp_fed_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter++));
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+TEST(FederationApp, RoutesHealthzAndMirrorJournaling) {
+  TempDir dir;
+  PowerPlayApp app{library::LibraryStore(dir.path)};
+  FederatedLibrary& fed = app.enable_federation();
+  fed.add_host("siteX", model_host({make_def("fed_routed", 5)}));
+
+  Request search;
+  search.target = "/fed/models";
+  const Response listed = app.handle(search);
+  EXPECT_EQ(listed.status, 200);
+  EXPECT_NE(listed.body.find("fed_routed replicas=1"), std::string::npos)
+      << listed.body;
+  EXPECT_EQ(listed.headers.at("x-fed-partial"), "0");
+
+  Request fetch;
+  fetch.target = "/fed/model?name=fed_routed";
+  const Response got = app.handle(fetch);
+  EXPECT_EQ(got.status, 200);
+  EXPECT_EQ(got.headers.at("x-fed-origin"), "siteX");
+  EXPECT_EQ(library::parse_user_model(got.body).name, "fed_routed");
+  // The mirror sink journaled the fetched definition into the store and
+  // registered it for local evaluation.
+  EXPECT_TRUE(app.store().load_model("fed_routed").has_value());
+  EXPECT_NE(app.registry().find_shared("fed_routed"), nullptr);
+
+  Request missing;
+  missing.target = "/fed/model?name=no_such_model";
+  EXPECT_EQ(app.handle(missing).status, 502);
+
+  Request admin;
+  admin.method = "POST";
+  admin.target = "/fed/hosts?add=127.0.0.1:9";
+  EXPECT_EQ(app.handle(admin).status, 200);
+  EXPECT_EQ(fed.host_count(), 2u);
+  admin.target = "/fed/hosts?remove=127.0.0.1:9";
+  EXPECT_EQ(app.handle(admin).status, 200);
+  EXPECT_EQ(fed.host_count(), 1u);
+
+  Request hosts;
+  hosts.target = "/fed/hosts";
+  EXPECT_NE(app.handle(hosts).body.find("siteX"), std::string::npos);
+
+  Request healthz;
+  healthz.target = "/healthz";
+  const Response health = app.handle(healthz);
+  EXPECT_NE(health.body.find("fed_hosts: 1"), std::string::npos);
+  // Two fetch attempts so far: the served one and the 502.
+  EXPECT_NE(health.body.find("fed_fetches: 2"), std::string::npos)
+      << health.body;
+  app.shutdown();
+}
+
+TEST(FederationApp, FedRoutesReport400WhenDisabled) {
+  TempDir dir;
+  PowerPlayApp app{library::LibraryStore(dir.path)};
+  Request search;
+  search.target = "/fed/models";
+  EXPECT_EQ(app.handle(search).status, 400);
+  app.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: three real sites, one killed mid-query, then healed
+// ---------------------------------------------------------------------------
+
+struct Site {
+  fs::path dir;
+  std::unique_ptr<PowerPlayApp> app;
+  std::unique_ptr<HttpServer> server;
+
+  Site() {
+    static int counter = 0;
+    dir = fs::temp_directory_path() /
+          ("pp_fedsite_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter++));
+    fs::create_directories(dir);
+    app = std::make_unique<PowerPlayApp>(library::LibraryStore(dir));
+    server = std::make_unique<HttpServer>(
+        0, [this](const Request& r) { return app->handle(r); });
+    server->start();
+  }
+  ~Site() {
+    server->stop();
+    app->shutdown();
+    fs::remove_all(dir);
+  }
+  [[nodiscard]] std::uint16_t port() const { return server->port(); }
+
+  void publish_model(const std::string& name, double femto) {
+    app->store().save_model(make_def(name, femto), /*proprietary=*/false);
+  }
+};
+
+TEST(FederationChaos, AcceptanceDeadSitePartialThenBreakerHealsAndResyncs) {
+  Site a;
+  Site b;
+  Site c;
+  a.publish_model("fed_site_a", 100);
+  b.publish_model("fed_site_b", 200);
+  c.publish_model("fed_site_c", 300);
+  for (Site* s : {&a, &b, &c}) s->publish_model("fed_everywhere", 10);
+
+  FederationOptions options;
+  options.breaker.failure_threshold = 1;  // flap fast for the test
+  options.breaker.cooldown = 50ms;
+  FederatedLibrary fed(options);
+  std::mutex sink_mutex;
+  std::vector<std::string> sunk;
+  fed.set_mirror_sink([&](const model::UserModelDefinition& def) {
+    std::lock_guard lock(sink_mutex);
+    sunk.push_back(def.name);
+  });
+  fed.add_host(a.port());
+  fed.add_host(b.port());
+  fed.add_host(c.port());
+  ASSERT_EQ(fed.sync_now(), 3);
+  std::size_t mirrored_before;
+  {
+    std::lock_guard lock(sink_mutex);
+    mirrored_before = sunk.size();
+  }
+  EXPECT_GE(mirrored_before, 4u);  // 3 singles + fed_everywhere
+
+  // Kill site B; its port stays closed until the restart below.
+  const std::uint16_t b_port = b.port();
+  const std::string b_key = "127.0.0.1:" + std::to_string(b_port);
+  b.server->stop();
+
+  const auto begin = std::chrono::steady_clock::now();
+  const FedSearchResult partial = fed.search("", Deadline::after(2000ms));
+  EXPECT_LT(std::chrono::steady_clock::now() - begin, 2500ms)
+      << "the caller's deadline bounds the fan-out";
+
+  // Survivors' results merged; the dead site is *marked* degraded and
+  // its models still appear via the mirror, stamped stale.
+  EXPECT_TRUE(partial.partial);
+  EXPECT_EQ(outcome_of(partial, b_key).status, HostStatus::kDegraded);
+  EXPECT_TRUE(outcome_of(partial, b_key).stale);
+  EXPECT_TRUE(has_model(partial, "fed_site_a"));
+  EXPECT_TRUE(has_model(partial, "fed_site_b"));  // from the mirror
+  EXPECT_TRUE(has_model(partial, "fed_site_c"));
+  for (const FedModelEntry& m : partial.models) {
+    if (m.name == "fed_everywhere") EXPECT_EQ(m.replicas, 3);
+  }
+  // Zero locally-synced models lost.
+  {
+    std::lock_guard lock(sink_mutex);
+    EXPECT_EQ(sunk.size(), mirrored_before);
+  }
+
+  // The breaker opened on the failure; the next search skips the host.
+  const FedSearchResult skipped = fed.search("", Deadline::after(2000ms));
+  EXPECT_EQ(outcome_of(skipped, b_key).status, HostStatus::kSkippedOpen);
+
+  // Site B returns on the same port (SO_REUSEADDR makes this immediate);
+  // after the cooldown the half-open probe lets the resync through.
+  b.server = std::make_unique<HttpServer>(
+      b_port, [&b](const Request& r) { return b.app->handle(r); });
+  b.server->start();
+  std::this_thread::sleep_for(80ms);  // past the 50ms breaker cooldown
+  EXPECT_EQ(fed.sync_now(), 3);
+
+  const FedSearchResult healed = fed.search("", Deadline::after(2000ms));
+  EXPECT_FALSE(healed.partial);
+  EXPECT_EQ(outcome_of(healed, b_key).status, HostStatus::kServed);
+  {
+    std::lock_guard lock(sink_mutex);
+    EXPECT_EQ(sunk.size(), mirrored_before) << "resync must not re-sink";
+  }
+}
+
+}  // namespace
+}  // namespace powerplay::web
