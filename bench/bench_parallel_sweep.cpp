@@ -1,9 +1,15 @@
 // bench_parallel_sweep — serial interpreter vs. compiled-plan vs.
 // engine-backed sweep on the 8x8 vdd x pixel_rate grid of the VQ
-// luminance chip (impl 2), plus the memoized-Play warm path.  Emits
-// BENCH_engine.json (argv[1] overrides the output path) with the
-// timings, speedups and cache hit-rate, and asserts every path is
-// bit-identical to the serial interpreter loop.
+// luminance chip (impl 2), plus the memoized-Play warm path, plus the
+// lane-batched columnar path against the warm scalar engine on a dense
+// 64x64 grid.  Emits BENCH_engine.json (argv[1] overrides the output
+// path) with the timings, speedups and cache hit-rate, and asserts
+// every path is bit-identical to the serial interpreter loop (and the
+// columnar path bit-identical to the scalar engine).
+//
+// `--smoke [path]` runs only the dense section with small rep counts
+// for ctest: gated on columnar-vs-scalar bit-identity and a >= 3x
+// batch-vs-warm-scalar speedup, not wall clock.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -14,6 +20,7 @@
 
 #include "engine/engine.hpp"
 #include "models/berkeley_library.hpp"
+#include "sheet/batch.hpp"
 #include "sheet/plan.hpp"
 #include "sheet/sweep.hpp"
 #include "studies/vq.hpp"
@@ -48,12 +55,37 @@ bool bit_identical(const powerplay::sheet::GridSweep& a,
   return true;
 }
 
+/// Columnar-vs-scalar differential: every power/energy double of the
+/// batched grid must equal the scalar engine's bit for bit.
+bool columns_identical(const powerplay::sheet::ColumnarGrid& cols,
+                       const powerplay::sheet::GridSweep& grid) {
+  if (cols.cols.size() != grid.xs.size() * grid.ys.size()) return false;
+  for (std::size_t i = 0; i < grid.xs.size(); ++i) {
+    for (std::size_t j = 0; j < grid.ys.size(); ++j) {
+      const std::size_t k = i * grid.ys.size() + j;
+      if (cols.cols.power_w[k] !=
+              grid.results[i][j].total.total_power().si() ||
+          cols.cols.energy_j[k] !=
+              grid.results[i][j].total.energy_per_op.si()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace powerplay;
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  const std::string out_path =
+      smoke ? (argc > 2 ? argv[2] : std::string("BENCH_engine_smoke.json"))
+            : (argc > 1 ? argv[1] : std::string("BENCH_engine.json"));
+
   constexpr int kGrid = 8;
-  constexpr int kReps = 5;
+  constexpr int kDense = 64;
+  const int kReps = smoke ? 2 : 5;
   // Size the pool to the machine: oversubscribing a small host charges
   // context switches to the engine rows that no deployment would pay.
   const std::size_t kThreads =
@@ -65,8 +97,8 @@ int main(int argc, char** argv) {
   const std::vector<double> rates = sheet::linspace(1e6, 4e6, kGrid);
 
   std::printf("bench_parallel_sweep: %dx%d grid (vdd x pixel_rate), "
-              "%zu engine threads, best of %d\n\n",
-              kGrid, kGrid, kThreads, kReps);
+              "%zu engine threads, best of %d%s\n\n",
+              kGrid, kGrid, kThreads, kReps, smoke ? " [smoke]" : "");
 
   // The four paths are measured round-robin inside each repetition, not
   // as four back-to-back phases: on a shared host the clock drifts over
@@ -86,50 +118,103 @@ int main(int argc, char** argv) {
   double t_compiled = 1e300;
   double t_cold = 1e300;
   double t_warm = 1e300;
-  for (int rep = 0; rep < kReps; ++rep) {
-    // Serial baseline: the reference interpreter, clone per point.
-    timed_min(t_serial, [&] {
-      serial_grid =
-          sheet::sweep_grid(design, "vdd", vdds, "pixel_rate", rates);
-    });
+  bool identical = true;
+  if (!smoke) {
+    for (int rep = 0; rep < kReps; ++rep) {
+      // Serial baseline: the reference interpreter, clone per point.
+      timed_min(t_serial, [&] {
+        serial_grid =
+            sheet::sweep_grid(design, "vdd", vdds, "pixel_rate", rates);
+      });
 
-    // Compiled plan, serial: one PlanInstance, the swept slots re-bound
-    // per point — the interpreter-vs-bytecode comparison with no
-    // threading or memoization in the way.
-    timed_min(t_compiled, [&] {
-      const auto plan = sheet::EvalPlan::compile(design);
-      const auto vdd_slot = *plan->global_slot("vdd");
-      const auto rate_slot = *plan->global_slot("pixel_rate");
-      sheet::PlanInstance inst(plan);
-      inst.bind_from(design);
-      compiled_grid.results.assign(
-          vdds.size(), std::vector<sheet::PlayResult>(rates.size()));
-      for (std::size_t i = 0; i < vdds.size(); ++i) {
-        inst.bind(vdd_slot, vdds[i]);
-        for (std::size_t j = 0; j < rates.size(); ++j) {
-          inst.bind(rate_slot, rates[j]);
-          compiled_grid.results[i][j] = inst.play();
+      // Compiled plan, serial: one PlanInstance, the swept slots re-bound
+      // per point — the interpreter-vs-bytecode comparison with no
+      // threading or memoization in the way.
+      timed_min(t_compiled, [&] {
+        const auto plan = sheet::EvalPlan::compile(design);
+        const auto vdd_slot = *plan->global_slot("vdd");
+        const auto rate_slot = *plan->global_slot("pixel_rate");
+        sheet::PlanInstance inst(plan);
+        inst.bind_from(design);
+        compiled_grid.results.assign(
+            vdds.size(), std::vector<sheet::PlayResult>(rates.size()));
+        for (std::size_t i = 0; i < vdds.size(); ++i) {
+          inst.bind(vdd_slot, vdds[i]);
+          for (std::size_t j = 0; j < rates.size(); ++j) {
+            inst.bind(rate_slot, rates[j]);
+            compiled_grid.results[i][j] = inst.play();
+          }
         }
-      }
+      });
+
+      // Engine, cold cache: a standing engine (the web app keeps one for
+      // the process lifetime) with Play and plan caches cleared before
+      // the rep, so every point is a real compiled Play fanned out over
+      // the executor and the plan is recompiled — the first-request
+      // cost, without charging thread spawn to each sweep.
+      engine.cache().clear();
+      engine.plans().clear();
+      timed_min(t_cold, [&] {
+        cold_grid =
+            engine.sweep_grid(design, "vdd", vdds, "pixel_rate", rates);
+      });
+
+      // Engine, warm cache: the same sweep again — the cold rep above
+      // filled the cache, so every point is a derived key + cache hit.
+      timed_min(t_warm, [&] {
+        warm_grid =
+            engine.sweep_grid(design, "vdd", vdds, "pixel_rate", rates);
+      });
+    }
+    identical = bit_identical(serial_grid, compiled_grid) &&
+                bit_identical(serial_grid, cold_grid) &&
+                bit_identical(serial_grid, warm_grid);
+  }
+
+  // Dense 64x64 section: the lane-batched columnar path against the
+  // warm scalar engine.  A separate engine whose Play cache holds the
+  // whole dense grid (8192 > 64*64) so "warm" really is all hits, and
+  // the comparison isolates what the batch path removes: per-point
+  // cache probes under the global cache mutex and PlayResult deep
+  // copies.  Interleaved per rep like the 8x8 section.
+  const std::vector<double> dvdds = sheet::linspace(1.0, 3.0, kDense);
+  const std::vector<double> drates = sheet::linspace(1e6, 4e6, kDense);
+  engine::EvalEngine dense_engine({{kThreads, 256}, 8192});
+  sheet::GridSweep dense_grid;
+  sheet::ColumnarGrid batch_cold_grid;
+  sheet::ColumnarGrid batch_warm_grid;
+  double t_dense_warm = 1e300;
+  double t_batch_cold = 1e300;
+  double t_batch_warm = 1e300;
+  const int kDenseReps = smoke ? 2 : kReps;
+  // Fill the Play cache (and compile the plan) before timing.
+  dense_grid =
+      dense_engine.sweep_grid(design, "vdd", dvdds, "pixel_rate", drates);
+  for (int rep = 0; rep < kDenseReps; ++rep) {
+    timed_min(t_dense_warm, [&] {
+      dense_grid =
+          dense_engine.sweep_grid(design, "vdd", dvdds, "pixel_rate", drates);
     });
 
-    // Engine, cold cache: a standing engine (the web app keeps one for
-    // the process lifetime) with Play and plan caches cleared before
-    // the rep, so every point is a real compiled Play fanned out over
-    // the executor and the plan is recompiled — the first-request
-    // cost, without charging thread spawn to each sweep.
-    engine.cache().clear();
-    engine.plans().clear();
-    timed_min(t_cold, [&] {
-      cold_grid = engine.sweep_grid(design, "vdd", vdds, "pixel_rate", rates);
+    // Batch, cold plan: the plan cache is cleared so the rep pays one
+    // plan compile before its lane blocks — the first-request cost of
+    // the columnar path (it never touches the Play cache at all).
+    dense_engine.plans().clear();
+    timed_min(t_batch_cold, [&] {
+      batch_cold_grid = dense_engine.sweep_grid_columnar(
+          design, "vdd", dvdds, "pixel_rate", drates);
     });
 
-    // Engine, warm cache: the same sweep again — the cold rep above
-    // filled the cache, so every point is a derived key + cache hit.
-    timed_min(t_warm, [&] {
-      warm_grid = engine.sweep_grid(design, "vdd", vdds, "pixel_rate", rates);
+    // Batch, warm plan: the steady-state columnar sweep.
+    timed_min(t_batch_warm, [&] {
+      batch_warm_grid = dense_engine.sweep_grid_columnar(
+          design, "vdd", dvdds, "pixel_rate", drates);
     });
   }
+  const bool batch_identical = columns_identical(batch_cold_grid, dense_grid) &&
+                               columns_identical(batch_warm_grid, dense_grid);
+  const double speedup_batch_vs_warm = t_dense_warm / t_batch_warm;
+
   const engine::CacheStats cache = engine.cache().stats();
   const double hit_rate =
       cache.hits + cache.misses == 0
@@ -137,53 +222,75 @@ int main(int argc, char** argv) {
           : static_cast<double>(cache.hits) /
                 static_cast<double>(cache.hits + cache.misses);
 
-  const bool identical = bit_identical(serial_grid, compiled_grid) &&
-                         bit_identical(serial_grid, cold_grid) &&
-                         bit_identical(serial_grid, warm_grid);
-
   const double speedup_compiled = t_serial / t_compiled;
   const double speedup_cold = t_serial / t_cold;
   const double speedup_warm = t_serial / t_warm;
 
-  std::printf("serial interpreter: %9.3f ms\n", t_serial * 1e3);
-  std::printf("compiled (serial) : %9.3f ms   speedup %.2fx\n",
-              t_compiled * 1e3, speedup_compiled);
-  std::printf("engine (cold)     : %9.3f ms   speedup %.2fx\n",
-              t_cold * 1e3, speedup_cold);
-  std::printf("engine (warm)     : %9.3f ms   speedup %.2fx\n",
-              t_warm * 1e3, speedup_warm);
-  std::printf("cache             : %zu hits / %zu misses "
-              "(hit rate %.1f%%), %zu/%zu entries\n",
-              cache.hits, cache.misses, 100.0 * hit_rate, cache.size,
-              cache.capacity);
-  std::printf("bit-identical     : %s\n", identical ? "yes" : "NO");
+  if (!smoke) {
+    std::printf("serial interpreter: %9.3f ms\n", t_serial * 1e3);
+    std::printf("compiled (serial) : %9.3f ms   speedup %.2fx\n",
+                t_compiled * 1e3, speedup_compiled);
+    std::printf("engine (cold)     : %9.3f ms   speedup %.2fx\n",
+                t_cold * 1e3, speedup_cold);
+    std::printf("engine (warm)     : %9.3f ms   speedup %.2fx\n",
+                t_warm * 1e3, speedup_warm);
+    std::printf("cache             : %zu hits / %zu misses "
+                "(hit rate %.1f%%), %zu/%zu entries\n",
+                cache.hits, cache.misses, 100.0 * hit_rate, cache.size,
+                cache.capacity);
+    std::printf("bit-identical     : %s\n\n", identical ? "yes" : "NO");
+  }
+  std::printf("dense %dx%d grid:\n", kDense, kDense);
+  std::printf("engine (warm)     : %9.3f ms\n", t_dense_warm * 1e3);
+  std::printf("batch (cold plan) : %9.3f ms   vs warm %.2fx\n",
+              t_batch_cold * 1e3, t_dense_warm / t_batch_cold);
+  std::printf("batch (warm plan) : %9.3f ms   vs warm %.2fx\n",
+              t_batch_warm * 1e3, speedup_batch_vs_warm);
+  std::printf("batch identical   : %s\n", batch_identical ? "yes" : "NO");
 
   std::ostringstream json;
   json << "{\n"
        << "  \"benchmark\": \"parallel_sweep\",\n"
        << "  \"design\": \"" << design.name() << "\",\n"
-       << "  \"grid\": [" << kGrid << ", " << kGrid << "],\n"
-       << "  \"axes\": [\"vdd\", \"pixel_rate\"],\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
        << "  \"engine_threads\": " << kThreads << ",\n"
-       << "  \"repetitions\": " << kReps << ",\n"
-       << "  \"serial_ms\": " << t_serial * 1e3 << ",\n"
-       << "  \"compiled_serial_ms\": " << t_compiled * 1e3 << ",\n"
-       << "  \"engine_cold_ms\": " << t_cold * 1e3 << ",\n"
-       << "  \"engine_warm_ms\": " << t_warm * 1e3 << ",\n"
-       << "  \"speedup_compiled\": " << speedup_compiled << ",\n"
-       << "  \"speedup_cold\": " << speedup_cold << ",\n"
-       << "  \"speedup_warm\": " << speedup_warm << ",\n"
-       << "  \"cache_hits\": " << cache.hits << ",\n"
-       << "  \"cache_misses\": " << cache.misses << ",\n"
-       << "  \"cache_hit_rate\": " << hit_rate << ",\n"
-       << "  \"bit_identical\": " << (identical ? "true" : "false") << "\n"
+       << "  \"repetitions\": " << kReps << ",\n";
+  if (!smoke) {
+    json << "  \"grid\": [" << kGrid << ", " << kGrid << "],\n"
+         << "  \"axes\": [\"vdd\", \"pixel_rate\"],\n"
+         << "  \"serial_ms\": " << t_serial * 1e3 << ",\n"
+         << "  \"compiled_serial_ms\": " << t_compiled * 1e3 << ",\n"
+         << "  \"engine_cold_ms\": " << t_cold * 1e3 << ",\n"
+         << "  \"engine_warm_ms\": " << t_warm * 1e3 << ",\n"
+         << "  \"speedup_compiled\": " << speedup_compiled << ",\n"
+         << "  \"speedup_cold\": " << speedup_cold << ",\n"
+         << "  \"speedup_warm\": " << speedup_warm << ",\n"
+         << "  \"cache_hits\": " << cache.hits << ",\n"
+         << "  \"cache_misses\": " << cache.misses << ",\n"
+         << "  \"cache_hit_rate\": " << hit_rate << ",\n"
+         << "  \"bit_identical\": " << (identical ? "true" : "false")
+         << ",\n";
+  }
+  json << "  \"dense_grid\": [" << kDense << ", " << kDense << "],\n"
+       << "  \"dense_warm_ms\": " << t_dense_warm * 1e3 << ",\n"
+       << "  \"batch_cold_ms\": " << t_batch_cold * 1e3 << ",\n"
+       << "  \"batch_warm_ms\": " << t_batch_warm * 1e3 << ",\n"
+       << "  \"batch_lane_width\": "
+       << sheet::BatchPlanInstance::kLaneWidth << ",\n"
+       << "  \"speedup_batch_vs_warm\": " << speedup_batch_vs_warm << ",\n"
+       << "  \"batch_bit_identical\": "
+       << (batch_identical ? "true" : "false") << "\n"
        << "}\n";
 
-  const std::string out_path =
-      argc > 1 ? argv[1] : std::string("BENCH_engine.json");
   std::ofstream out(out_path);
   out << json.str();
   std::printf("\nwrote %s\n", out_path.c_str());
 
-  return identical ? 0 : 1;
+  bool ok = identical && batch_identical;
+  if (smoke && speedup_batch_vs_warm < 3.0) {
+    std::printf("SMOKE FAIL: batch %.2fx vs warm scalar (< 3x)\n",
+                speedup_batch_vs_warm);
+    ok = false;
+  }
+  return ok ? 0 : 1;
 }

@@ -227,6 +227,166 @@ std::vector<sheet::PlayResult> EvalEngine::play_points(
   return out;
 }
 
+template <typename FillLanes>
+void EvalEngine::run_columnar(const sheet::Design& design,
+                              const std::vector<expr::SlotId>& slots,
+                              std::size_t total, sheet::PointColumns& out,
+                              const sheet::SweepProgress& progress,
+                              FillLanes&& fill_lanes) {
+  constexpr std::size_t kW = sheet::BatchPlanInstance::kLaneWidth;
+  auto plan = plan_for(design);
+  out.resize(total);
+  const std::size_t blocks = (total + kW - 1) / kW;
+  std::atomic<std::size_t> done{0};
+  const std::size_t chunks = chunk_count(blocks);
+  parallel_for(executor_, chunks, [&](std::size_t c) {
+    sheet::BatchPlanInstance inst(plan);
+    inst.bind_from(design);
+    std::vector<std::vector<double>> lanes(slots.size(),
+                                           std::vector<double>(kW, 0.0));
+    for (std::size_t b = c * blocks / chunks; b < (c + 1) * blocks / chunks;
+         ++b) {
+      const std::size_t base = b * kW;
+      const std::size_t width = std::min(kW, total - base);
+      fill_lanes(base, width, lanes);
+      inst.play_block(slots, lanes, width, out, base);
+      // One progress call (and so one cancellation / deadline check in
+      // job-driven sweeps) per lane block, not per point.
+      if (progress) progress(done.fetch_add(width) + width, total);
+    }
+    const sheet::BatchStats s = inst.stats();
+    batch_points_.fetch_add(s.points, std::memory_order_relaxed);
+    batch_blocks_.fetch_add(s.blocks, std::memory_order_relaxed);
+    batch_fallback_points_.fetch_add(s.scalar_fallback_points,
+                                     std::memory_order_relaxed);
+    batch_lane_replays_.fetch_add(s.lane_replays, std::memory_order_relaxed);
+    batch_term_capture_rows_.fetch_add(s.term_capture_rows,
+                                       std::memory_order_relaxed);
+  });
+}
+
+sheet::ColumnarGrid EvalEngine::sweep_grid_columnar(
+    const sheet::Design& design, const std::string& x_param,
+    const std::vector<double>& xs, const std::string& y_param,
+    const std::vector<double>& ys, const sheet::SweepProgress& progress) {
+  if (x_param == y_param) {
+    throw expr::ExprError("sweep_grid: the two parameters must differ");
+  }
+  sheet::require_globals(design, {x_param, y_param}, "sweep_grid");
+  sheet::ColumnarGrid out;
+  out.x_param = x_param;
+  out.y_param = y_param;
+  out.xs = xs;
+  out.ys = ys;
+  const std::size_t total = xs.size() * ys.size();
+  auto plan = plan_for(design);
+  const auto x_slot = plan->global_slot(x_param);
+  const auto y_slot = plan->global_slot(y_param);
+  if (!x_slot || !y_slot || total <= 1) {
+    // Non-slot-addressable bindings or a degenerate (empty /
+    // single-point) grid: run the scalar grid sweep and read its
+    // columns out — no lane arrays are ever allocated.
+    const sheet::GridSweep g =
+        sweep_grid(design, x_param, xs, y_param, ys, progress);
+    out.cols.resize(total);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      for (std::size_t j = 0; j < ys.size(); ++j) {
+        const std::size_t k = i * ys.size() + j;
+        const sheet::PlayResult& r = g.results[i][j];
+        out.cols.power_w[k] = r.total.total_power().si();
+        out.cols.energy_j[k] = r.total.energy_per_op.si();
+        out.cols.area_m2[k] = r.total.area.si();
+        out.cols.delay_s[k] = r.total.delay.si();
+      }
+    }
+    batch_points_.fetch_add(total, std::memory_order_relaxed);
+    batch_fallback_points_.fetch_add(total, std::memory_order_relaxed);
+    return out;
+  }
+  const std::vector<expr::SlotId> slots{*x_slot, *y_slot};
+  run_columnar(design, slots, total, out.cols, progress,
+               [&](std::size_t base, std::size_t width,
+                   std::vector<std::vector<double>>& lanes) {
+                 for (std::size_t l = 0; l < width; ++l) {
+                   const std::size_t k = base + l;
+                   lanes[0][l] = xs[k / ys.size()];
+                   lanes[1][l] = ys[k % ys.size()];
+                 }
+               });
+  return out;
+}
+
+sheet::PointColumns EvalEngine::play_points_columnar(
+    const sheet::Design& design, const std::vector<std::string>& params,
+    const std::vector<std::vector<double>>& points,
+    const sheet::SweepProgress& progress) {
+  sheet::require_globals(design, params, "play_points");
+  for (const std::vector<double>& point : points) {
+    if (point.size() != params.size()) {
+      throw expr::ExprError(
+          "play_points: every point must bind exactly " +
+          std::to_string(params.size()) + " parameter value(s)");
+    }
+  }
+  const std::size_t n = points.size();
+  sheet::PointColumns out;
+  if (n == 0) return out;
+
+  auto plan = plan_for(design);
+  std::vector<expr::SlotId> slots;
+  slots.reserve(params.size());
+  bool slot_bound = true;
+  for (const std::string& param : params) {
+    const auto slot = plan->global_slot(param);
+    if (!slot) {
+      slot_bound = false;
+      break;
+    }
+    slots.push_back(*slot);
+  }
+
+  if (!slot_bound || n <= 1) {
+    // Scalar path for non-slot-addressable bindings and degenerate
+    // batches (no lane arrays, no lane partitioning).
+    const std::vector<sheet::PlayResult> rs =
+        play_points(design, params, points, progress);
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.power_w[i] = rs[i].total.total_power().si();
+      out.energy_j[i] = rs[i].total.energy_per_op.si();
+      out.area_m2[i] = rs[i].total.area.si();
+      out.delay_s[i] = rs[i].total.delay.si();
+    }
+    batch_points_.fetch_add(n, std::memory_order_relaxed);
+    batch_fallback_points_.fetch_add(n, std::memory_order_relaxed);
+    return out;
+  }
+
+  run_columnar(design, slots, n, out, progress,
+               [&](std::size_t base, std::size_t width,
+                   std::vector<std::vector<double>>& lanes) {
+                 for (std::size_t l = 0; l < width; ++l) {
+                   const std::vector<double>& point = points[base + l];
+                   for (std::size_t j = 0; j < slots.size(); ++j) {
+                     lanes[j][l] = point[j];
+                   }
+                 }
+               });
+  return out;
+}
+
+BatchCounters EvalEngine::batch_counters() const {
+  BatchCounters c;
+  c.points = batch_points_.load(std::memory_order_relaxed);
+  c.blocks = batch_blocks_.load(std::memory_order_relaxed);
+  c.scalar_fallback_points =
+      batch_fallback_points_.load(std::memory_order_relaxed);
+  c.lane_replays = batch_lane_replays_.load(std::memory_order_relaxed);
+  c.term_capture_rows =
+      batch_term_capture_rows_.load(std::memory_order_relaxed);
+  return c;
+}
+
 sheet::GridSweep EvalEngine::sweep_grid(const sheet::Design& design,
                                         const std::string& x_param,
                                         const std::vector<double>& xs,

@@ -18,11 +18,14 @@
 // sweeps (re-submitted jobs, multiple users) hit the cache.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 
 #include "engine/cache.hpp"
 #include "engine/executor.hpp"
 #include "engine/fingerprint.hpp"
+#include "sheet/batch.hpp"
 #include "sheet/plan.hpp"
 #include "sheet/sweep.hpp"
 
@@ -38,6 +41,23 @@ struct EngineOptions {
 
 /// Compiled evaluation plans, keyed by structure_fingerprint().
 using PlanCache = LruCache<sheet::EvalPlan>;
+
+/// Process-lifetime counters for the lane-batched columnar paths
+/// (served on /healthz).  `scalar_fallback_points` counts points a
+/// columnar call evaluated through the whole-point scalar path
+/// (intermodel plans, non-slot-addressable bindings, degenerate
+/// batches); `lane_replays` counts programs the batch interpreter had
+/// to replay lane-by-lane (divergent conditionals, would-throw
+/// conditions).
+struct BatchCounters {
+  std::uint64_t points = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t scalar_fallback_points = 0;
+  std::uint64_t lane_replays = 0;
+  /// Row-blocks served by the captured-terms fast path (one model
+  /// evaluate per block, per-lane operating-point arithmetic only).
+  std::uint64_t term_capture_rows = 0;
+};
 
 class EvalEngine {
  public:
@@ -89,6 +109,32 @@ class EvalEngine {
       const std::vector<std::vector<double>>& points,
       const sheet::SweepProgress& progress = {});
 
+  /// Columnar grid sweep on the lane-batched substrate
+  /// (sheet/batch.hpp): points partition into kLaneWidth lane blocks
+  /// by point index — a thread-count-independent split — and each
+  /// worker streams its blocks' metrics straight into the shared
+  /// column arrays.  No per-point PlayResult is materialized and the
+  /// Play cache is bypassed entirely; values are bit-identical to
+  /// sweep_grid (tests/batch_test.cpp asserts this differentially).
+  /// Same validation and errors as sweep_grid.
+  [[nodiscard]] sheet::ColumnarGrid sweep_grid_columnar(
+      const sheet::Design& design, const std::string& x_param,
+      const std::vector<double>& xs, const std::string& y_param,
+      const std::vector<double>& ys,
+      const sheet::SweepProgress& progress = {});
+
+  /// Columnar counterpart of play_points: same validation, errors and
+  /// point order, four metric columns instead of PlayResults.  The
+  /// batched explore workloads (Monte Carlo, Pareto, surrogate
+  /// training) run on this.  Deterministic at any thread count.
+  [[nodiscard]] sheet::PointColumns play_points_columnar(
+      const sheet::Design& design, const std::vector<std::string>& params,
+      const std::vector<std::vector<double>>& points,
+      const sheet::SweepProgress& progress = {});
+
+  /// Snapshot of the process-lifetime batch counters.
+  [[nodiscard]] BatchCounters batch_counters() const;
+
  private:
   /// Play `inst` (slots already bound for the point) under Play-cache
   /// key `key`: probe first, insert on miss.
@@ -99,9 +145,26 @@ class EvalEngine {
   /// PlanInstance over many points.
   [[nodiscard]] std::size_t chunk_count(std::size_t points) const;
 
+  /// Shared columnar-path driver: partition `total` points into lane
+  /// blocks, run them over the executor, accumulate batch counters.
+  /// `fill_lanes(block, base, width, lanes)` loads the slot lane
+  /// values for one block.
+  template <typename FillLanes>
+  void run_columnar(const sheet::Design& design,
+                    const std::vector<expr::SlotId>& slots,
+                    std::size_t total, sheet::PointColumns& out,
+                    const sheet::SweepProgress& progress,
+                    FillLanes&& fill_lanes);
+
   Executor executor_;
   PlayCache cache_;
   PlanCache plans_;
+
+  std::atomic<std::uint64_t> batch_points_{0};
+  std::atomic<std::uint64_t> batch_blocks_{0};
+  std::atomic<std::uint64_t> batch_fallback_points_{0};
+  std::atomic<std::uint64_t> batch_lane_replays_{0};
+  std::atomic<std::uint64_t> batch_term_capture_rows_{0};
 };
 
 }  // namespace powerplay::engine

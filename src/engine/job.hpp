@@ -111,7 +111,9 @@ class JobManager {
  public:
   /// Progress callback a job's work function calls as points finish.
   /// Throws JobCancelled / JobDeadlineExceeded when the job must stop —
-  /// work functions let those propagate.
+  /// work functions let those propagate.  Batched sweeps call this once
+  /// per lane block (with the block's point count), not once per point,
+  /// so cancellation and deadlines take effect at batch granularity.
   using Progress = std::function<void(std::size_t done, std::size_t total)>;
   /// The work itself; runs on a runner thread.  Throwing marks the job
   /// failed with the exception message.

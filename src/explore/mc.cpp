@@ -40,15 +40,13 @@ McResult run_monte_carlo(engine::EvalEngine& engine,
   for (const DistParam& p : spec.params) out.param_names.push_back(p.name);
 
   out.points = sample_points(spec.params, spec.samples, spec.seed);
-  const std::vector<sheet::PlayResult> plays =
-      engine.play_points(design, out.param_names, out.points, progress);
-
-  out.power_w.reserve(plays.size());
-  out.energy_j.reserve(plays.size());
-  for (const sheet::PlayResult& play : plays) {
-    out.power_w.push_back(play.total.total_power().si());
-    out.energy_j.push_back(play.total.energy_per_op.si());
-  }
+  // Columnar batch evaluation: points partition into lane blocks by
+  // index, so the metric columns — like the counter-based sample
+  // matrix feeding them — are bit-identical at any thread count.
+  sheet::PointColumns cols = engine.play_points_columnar(
+      design, out.param_names, out.points, progress);
+  out.power_w = std::move(cols.power_w);
+  out.energy_j = std::move(cols.energy_j);
 
   // Reductions run over the sample-ordered vector (and a sorted copy),
   // never in completion order, so the summary is as thread-count-proof

@@ -18,6 +18,14 @@ double metric_value(const sheet::PlayResult& play, const std::string& name) {
   return play.total.delay.si();
 }
 
+double metric_column(const sheet::PointColumns& cols, std::size_t i,
+                     const std::string& name) {
+  if (name == "power") return cols.power_w[i];
+  if (name == "area") return cols.area_m2[i];
+  if (name == "energy") return cols.energy_j[i];
+  return cols.delay_s[i];
+}
+
 Objective parse_objective(const std::string& text,
                           const std::vector<std::string>& param_names) {
   Objective o;
@@ -131,17 +139,17 @@ ParetoResult run_pareto(engine::EvalEngine& engine,
     out.points = sample_points(spec.dists, spec.samples, spec.seed);
   }
 
-  const std::vector<sheet::PlayResult> plays =
-      engine.play_points(design, out.param_names, out.points, progress);
+  // Columnar batch evaluation: everything downstream (objective rows,
+  // frontier filter, renderers) reads four metric columns, so the
+  // per-point PlayResult trees never materialize.
+  sheet::PointColumns cols = engine.play_points_columnar(
+      design, out.param_names, out.points, progress);
 
-  out.power_w.reserve(plays.size());
-  out.area_m2.reserve(plays.size());
-  out.objective_values.reserve(plays.size());
+  const std::size_t count = cols.size();
+  out.objective_values.reserve(count);
   std::vector<bool> maximize;
   for (const Objective& o : out.objectives) maximize.push_back(o.maximize);
-  for (std::size_t i = 0; i < plays.size(); ++i) {
-    out.power_w.push_back(plays[i].total.total_power().si());
-    out.area_m2.push_back(plays[i].total.area.si());
+  for (std::size_t i = 0; i < count; ++i) {
     std::vector<double> row;
     row.reserve(out.objectives.size());
     for (const Objective& o : out.objectives) {
@@ -150,10 +158,12 @@ ParetoResult run_pareto(engine::EvalEngine& engine,
       row.push_back(it != out.param_names.end()
                         ? out.points[i][static_cast<std::size_t>(
                               it - out.param_names.begin())]
-                        : metric_value(plays[i], o.name));
+                        : metric_column(cols, i, o.name));
     }
     out.objective_values.push_back(std::move(row));
   }
+  out.power_w = std::move(cols.power_w);
+  out.area_m2 = std::move(cols.area_m2);
   out.frontier = pareto_frontier(out.objective_values, maximize);
   return out;
 }

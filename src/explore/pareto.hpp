@@ -32,6 +32,11 @@ struct Objective {
 [[nodiscard]] double metric_value(const sheet::PlayResult& play,
                                   const std::string& name);
 
+/// Columnar counterpart: read metric `name` of point `i` from batch
+/// result columns (sheet/batch.hpp).  `name` must satisfy is_metric().
+[[nodiscard]] double metric_column(const sheet::PointColumns& cols,
+                                   std::size_t i, const std::string& name);
+
 /// Parse "power", "min:area", "max:pixel_rate".  `param_names` decides
 /// the default direction (parameters maximize, metrics minimize) and
 /// validates parameter objectives; unknown names throw.

@@ -115,12 +115,9 @@ FitResult fit_surrogate(engine::EvalEngine& engine,
   for (const DistParam& p : spec.params) names.push_back(p.name);
   const std::vector<std::vector<double>> points =
       sample_points(spec.params, spec.samples, spec.seed);
-  const std::vector<sheet::PlayResult> plays =
-      engine.play_points(design, names, points, progress);
-  std::vector<double> y(plays.size());
-  for (std::size_t i = 0; i < plays.size(); ++i) {
-    y[i] = plays[i].total.total_power().si();
-  }
+  sheet::PointColumns cols =
+      engine.play_points_columnar(design, names, points, progress);
+  std::vector<double> y = std::move(cols.power_w);
 
   // Deterministic holdout split: every stride-th point.  The split must
   // not depend on thread count or sample order subtleties — index

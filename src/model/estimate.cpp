@@ -8,9 +8,9 @@ namespace powerplay::model {
 
 using namespace units;
 
-Estimate make_estimate(std::vector<CapTerm> cap_terms,
-                       std::vector<StaticTerm> static_terms,
-                       const OperatingPoint& op, Area area, Time delay) {
+EstimateCore evaluate_terms(const std::vector<CapTerm>& cap_terms,
+                            const std::vector<StaticTerm>& static_terms,
+                            const OperatingPoint& op) {
   if (op.vdd.si() < 0) {
     throw expr::ExprError("operating point: negative supply voltage");
   }
@@ -18,7 +18,6 @@ Estimate make_estimate(std::vector<CapTerm> cap_terms,
     throw expr::ExprError("operating point: negative frequency");
   }
 
-  Estimate e;
   Energy energy{0};
   Capacitance ceff{0};
   for (const CapTerm& t : cap_terms) {
@@ -33,10 +32,24 @@ Estimate make_estimate(std::vector<CapTerm> cap_terms,
   Current istatic{0};
   for (const StaticTerm& t : static_terms) istatic += t.current;
 
-  e.switched_capacitance = ceff;
-  e.energy_per_op = energy;
-  e.dynamic_power = energy * op.f;
-  e.static_power = istatic * op.vdd;
+  EstimateCore core;
+  core.switched_capacitance = ceff;
+  core.energy_per_op = energy;
+  core.dynamic_power = energy * op.f;
+  core.static_power = istatic * op.vdd;
+  return core;
+}
+
+Estimate make_estimate(std::vector<CapTerm> cap_terms,
+                       std::vector<StaticTerm> static_terms,
+                       const OperatingPoint& op, Area area, Time delay) {
+  const EstimateCore core = evaluate_terms(cap_terms, static_terms, op);
+
+  Estimate e;
+  e.switched_capacitance = core.switched_capacitance;
+  e.energy_per_op = core.energy_per_op;
+  e.dynamic_power = core.dynamic_power;
+  e.static_power = core.static_power;
   e.area = area;
   e.delay = delay;
   e.cap_terms = std::move(cap_terms);

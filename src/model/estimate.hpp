@@ -69,6 +69,25 @@ struct Estimate {
   }
 };
 
+/// The derived EQ 1 quantities at one operating point, without the term
+/// breakdown vectors or the area/delay metadata: what the lane-batched
+/// fast path (sheet/batch.cpp) recomputes per lane from captured terms.
+struct EstimateCore {
+  units::Capacitance switched_capacitance;
+  units::Energy energy_per_op;
+  units::Power dynamic_power;
+  units::Power static_power;
+};
+
+/// The EQ 1 operating-point arithmetic shared by make_estimate and the
+/// batch fast path: identical operations in identical order, so
+/// re-evaluating a captured term list at a new operating point is
+/// bit-identical to a fresh make_estimate there.  Throws on a negative
+/// supply or frequency, like make_estimate.
+EstimateCore evaluate_terms(const std::vector<CapTerm>& cap_terms,
+                            const std::vector<StaticTerm>& static_terms,
+                            const OperatingPoint& op);
+
 /// Assemble an Estimate from EQ 1 terms at an operating point.
 /// Full-swing terms contribute C*VDD*VDD per op; partial-swing terms
 /// C*Vswing*VDD (EQ 8); static terms I*VDD.

@@ -68,6 +68,18 @@ class Model {
   /// every tunable through `p` so sheet expressions can override it.
   [[nodiscard]] virtual Estimate evaluate(const ParamReader& p) const = 0;
 
+  /// True when the EQ 1 breakdown evaluate() returns (cap_terms,
+  /// static_terms, area, delay) does not depend on vdd or f: the
+  /// operating point enters exclusively through operating_point(p) ->
+  /// make_estimate, and every other read is a declared parameter.
+  /// Lane-batched execution (sheet/batch.cpp) uses this to capture the
+  /// terms once per lane block and replay only the operating-point
+  /// arithmetic (evaluate_terms) per lane.  Models whose terms read
+  /// vdd or f directly — converters deriving loss from the input rail,
+  /// processors folding vdd into scaling laws, data-sheet components —
+  /// must leave this false.
+  [[nodiscard]] virtual bool operating_point_only() const { return false; }
+
   /// Read one declared parameter: the reader's binding if present, else
   /// the spec default; validated against the spec either way.  This is
   /// the single read path every built-in model uses, so defaults and

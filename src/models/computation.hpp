@@ -27,6 +27,7 @@ class RippleAdderModel final : public Model {
  public:
   explicit RippleAdderModel(units::Capacitance c_per_bit);
   [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+  [[nodiscard]] bool operating_point_only() const override { return true; }
 
  private:
   units::Capacitance c_per_bit_;
@@ -40,6 +41,7 @@ class ArrayMultiplierModel final : public Model {
   ArrayMultiplierModel(units::Capacitance uncorrelated_coeff,
                        units::Capacitance correlated_coeff);
   [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+  [[nodiscard]] bool operating_point_only() const override { return true; }
 
  private:
   units::Capacitance uncorrelated_coeff_;
@@ -54,6 +56,7 @@ class LogShifterModel final : public Model {
   LogShifterModel(units::Capacitance c_stage_per_bit,
                   units::Capacitance c_fixed_per_bit);
   [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+  [[nodiscard]] bool operating_point_only() const override { return true; }
 
  private:
   units::Capacitance c_stage_per_bit_;
@@ -66,6 +69,7 @@ class MultiplexerModel final : public Model {
  public:
   explicit MultiplexerModel(units::Capacitance c_per_leg);
   [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+  [[nodiscard]] bool operating_point_only() const override { return true; }
 
  private:
   units::Capacitance c_per_leg_;
@@ -76,6 +80,7 @@ class ComparatorModel final : public Model {
  public:
   explicit ComparatorModel(units::Capacitance c_per_bit);
   [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+  [[nodiscard]] bool operating_point_only() const override { return true; }
 
  private:
   units::Capacitance c_per_bit_;
@@ -101,6 +106,7 @@ class SvenssonBlockModel final : public Model {
   SvenssonBlockModel(std::string name, std::string documentation,
                      std::vector<SvenssonStage> stages);
   [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+  [[nodiscard]] bool operating_point_only() const override { return true; }
 
   [[nodiscard]] const std::vector<SvenssonStage>& stages() const {
     return stages_;

@@ -32,6 +32,7 @@ class RandomLogicControllerModel final : public Model {
   };
   explicit RandomLogicControllerModel(Coefficients k);
   [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+  [[nodiscard]] bool operating_point_only() const override { return true; }
 
  private:
   Coefficients k_;
@@ -49,6 +50,7 @@ class RomControllerModel final : public Model {
   };
   explicit RomControllerModel(Coefficients k);
   [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+  [[nodiscard]] bool operating_point_only() const override { return true; }
 
  private:
   Coefficients k_;
@@ -65,6 +67,7 @@ class PlaControllerModel final : public Model {
   };
   explicit PlaControllerModel(Coefficients k);
   [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+  [[nodiscard]] bool operating_point_only() const override { return true; }
 
  private:
   Coefficients k_;

@@ -46,6 +46,7 @@ class InterconnectModel final : public Model {
  public:
   explicit InterconnectModel(units::Capacitance default_c_per_m);
   [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+  [[nodiscard]] bool operating_point_only() const override { return true; }
 
  private:
   units::Capacitance default_c_per_m_;
@@ -58,6 +59,7 @@ class ClockTreeModel final : public Model {
  public:
   explicit ClockTreeModel(units::Capacitance default_c_per_m);
   [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+  [[nodiscard]] bool operating_point_only() const override { return true; }
 
  private:
   units::Capacitance default_c_per_m_;
@@ -70,6 +72,7 @@ class BusModel final : public Model {
  public:
   BusModel(units::Capacitance default_c_per_m, units::Capacitance c_per_tap);
   [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+  [[nodiscard]] bool operating_point_only() const override { return true; }
 
  private:
   units::Capacitance default_c_per_m_;
@@ -81,6 +84,7 @@ class IoPadModel final : public Model {
  public:
   IoPadModel(units::Capacitance c_pad, units::Capacitance c_external);
   [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+  [[nodiscard]] bool operating_point_only() const override { return true; }
 
  private:
   units::Capacitance c_pad_;

@@ -28,6 +28,7 @@ class RegisterModel final : public Model {
  public:
   explicit RegisterModel(units::Capacitance c_per_bit);
   [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+  [[nodiscard]] bool operating_point_only() const override { return true; }
 
  private:
   units::Capacitance c_per_bit_;
@@ -45,6 +46,7 @@ class RegisterFileModel final : public Model {
   };
   explicit RegisterFileModel(Coefficients k);
   [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+  [[nodiscard]] bool operating_point_only() const override { return true; }
 
  private:
   Coefficients k_;
@@ -69,6 +71,7 @@ class SramModel final : public Model {
   };
   SramModel(std::string name, std::string documentation, Coefficients k);
   [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+  [[nodiscard]] bool operating_point_only() const override { return true; }
 
   /// EQ 7 organization capacitance (rail-to-rail equivalent, before the
   /// swing split).  Exposed for tests and the memory-model bench.
@@ -85,6 +88,7 @@ class DramModel final : public Model {
  public:
   DramModel(SramModel::Coefficients k, units::Current refresh_current);
   [[nodiscard]] Estimate evaluate(const ParamReader& p) const override;
+  [[nodiscard]] bool operating_point_only() const override { return true; }
 
  private:
   SramModel::Coefficients k_;

@@ -1,0 +1,174 @@
+// batch.hpp — lane-block (point-per-lane) plan evaluation with
+// columnar results.
+//
+// PlanInstance plays one sweep point at a time and materializes a full
+// PlayResult per point: per-row RowResults, shown-parameter vectors,
+// cap-term lists — deep copies the grid/Monte-Carlo workloads throw
+// away after reading four doubles.  BatchPlanInstance evaluates a
+// whole *lane block* of points through one pass over the plan's rows:
+// slot storage is structure-of-arrays (expr::BatchExec), each row's
+// formulas evaluate across the block at once, and per-row estimates
+// accumulate into per-lane metric columns — no per-point result
+// objects, no Play-cache probe, no locked shared state on the hot
+// path.
+//
+// The batch path only runs plans with no intermodel extension sites:
+// those designs settle in exactly one row pass (every settle rank is
+// finite and the fixed-point loop exits after iteration 1), so one
+// sheet-ordered sweep over the rows per block reproduces the scalar
+// evaluation lane for lane.  Plans with intermodel terms — and blocks
+// of width <= 1 — take the scalar PlanInstance per point instead
+// (`BatchStats::scalar_fallback_points`), keeping the fixed-point
+// convergence trajectory per-point exact.  Any error raised during a
+// batch pass also degrades the whole block to the scalar path, so the
+// error that surfaces (and its message) is exactly the one the scalar
+// sweep would raise for the lowest failing point index.
+//
+// Tolerance contract: within a lane every operation runs in the same
+// order on the same doubles as the scalar path, with no cross-lane
+// reassociation and no fused multiply-adds introduced (each opcode and
+// each accumulator update is a separate load/compute/store), so batch
+// results are expected bit-identical to PlanInstance::play — which
+// tests/batch_test.cpp asserts differentially.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/batch.hpp"
+#include "sheet/plan.hpp"
+
+namespace powerplay::sheet {
+
+/// Columnar point results: column i holds the four result metrics of
+/// point i.  This is everything the sweep/explore consumers read off a
+/// PlayResult, at 32 bytes per point instead of a full result tree.
+struct PointColumns {
+  std::vector<double> power_w;   ///< total power (dynamic + static), W
+  std::vector<double> energy_j;  ///< energy per operation, J
+  std::vector<double> area_m2;   ///< total area, m^2
+  std::vector<double> delay_s;   ///< critical-path delay, s
+
+  void resize(std::size_t n) {
+    power_w.assign(n, 0.0);
+    energy_j.assign(n, 0.0);
+    area_m2.assign(n, 0.0);
+    delay_s.assign(n, 0.0);
+  }
+  [[nodiscard]] std::size_t size() const { return power_w.size(); }
+};
+
+/// A grid sweep in columnar form: point (i, j) of the xs x ys grid is
+/// column i * ys.size() + j (row-major, y fastest — the same point
+/// order as GridSweep and the engine's chunked loops).
+struct ColumnarGrid {
+  std::string x_param;
+  std::string y_param;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  PointColumns cols;
+};
+
+/// Batch evaluation counters, cumulative per instance.
+struct BatchStats {
+  std::uint64_t points = 0;  ///< points evaluated (batch + fallback)
+  std::uint64_t blocks = 0;  ///< lane blocks executed on the batch path
+  /// Points that took the whole-point scalar PlanInstance path
+  /// (intermodel plans, width <= 1, or a block degraded by an error).
+  std::uint64_t scalar_fallback_points = 0;
+  /// Programs replayed lane-by-lane inside the batch interpreter
+  /// (divergent conditionals, would-throw conditions).
+  std::uint64_t lane_replays = 0;
+  /// Row-blocks served by the captured-terms fast path: one full model
+  /// evaluate per block, per-lane replay of the EQ 1 operating-point
+  /// arithmetic only (operating-point-only models with lane-invariant
+  /// structural parameters).
+  std::uint64_t term_capture_rows = 0;
+};
+
+/// Per-thread batch evaluation scratch over a shared EvalPlan: the SoA
+/// slot lanes, per-node accumulator arrays (arena-allocated once and
+/// reused across blocks), and a scalar PlanInstance for the fallback
+/// paths.  Not copyable, like PlanInstance.
+class BatchPlanInstance {
+ public:
+  /// Lane-block width: points per batch.  64 lanes keep the whole SoA
+  /// working set of a typical design in L1/L2 while giving the lane
+  /// loops enough trip count to vectorize.
+  static constexpr std::size_t kLaneWidth = 64;
+
+  explicit BatchPlanInstance(std::shared_ptr<const EvalPlan> plan);
+
+  BatchPlanInstance(const BatchPlanInstance&) = delete;
+  BatchPlanInstance& operator=(const BatchPlanInstance&) = delete;
+
+  /// Refresh every value slot from a structurally identical design
+  /// (both the batch base values and the scalar fallback instance).
+  void bind_from(const Design& design);
+
+  /// True when the plan can run on the batch path at all (no
+  /// intermodel extension sites).  Intermodel plans still evaluate
+  /// correctly through play_block — every point falls back to the
+  /// scalar fixed-point path.
+  [[nodiscard]] bool batchable() const;
+
+  /// Evaluate `width` points (width <= kLaneWidth): point l binds
+  /// slots[s] = lane_values[s][l] for every s.  Results land in
+  /// columns [base, base + width) of `out`, which must be resized by
+  /// the caller.  Throws exactly what a scalar sweep over the same
+  /// points would throw (lowest failing point first).
+  void play_block(const std::vector<expr::SlotId>& slots,
+                  const std::vector<std::vector<double>>& lane_values,
+                  std::size_t width, PointColumns& out, std::size_t base);
+
+  /// Cumulative counters (lane_replays read live off the interpreter).
+  [[nodiscard]] BatchStats stats() const {
+    BatchStats s = stats_;
+    s.lane_replays = exec_.lane_replays();
+    return s;
+  }
+  [[nodiscard]] const EvalPlan& plan() const { return *plan_; }
+
+ private:
+  /// Per-node, per-lane metric accumulators — the batched counterpart
+  /// of model::combine over the node's enabled rows in sheet order
+  /// (field-wise sums, delay max).
+  struct NodeAcc {
+    std::vector<double> dynamic_w;
+    std::vector<double> static_w;
+    std::vector<double> energy_j;
+    std::vector<double> area_m2;
+    std::vector<double> delay_s;
+  };
+
+  void run_node_batch(std::uint32_t node_id, std::size_t width);
+  /// Captured-terms fast path for one primitive row (see batch.cpp).
+  /// Returns false when the row must run the general per-lane evaluate.
+  bool run_row_fast(const EvalPlan::PlanRow& row, const EvalPlan::Node& node,
+                    std::size_t width, NodeAcc& acc);
+  void play_block_scalar(const std::vector<expr::SlotId>& slots,
+                         const std::vector<std::vector<double>>& lane_values,
+                         std::size_t width, PointColumns& out,
+                         std::size_t base);
+
+  std::shared_ptr<const EvalPlan> plan_;
+  expr::BatchExec exec_;
+  std::vector<NodeAcc> accs_;  ///< parallel to plan nodes
+  PlanInstance scalar_;        ///< whole-point fallback path
+  BatchStats stats_;
+};
+
+/// Render a columnar grid exactly like the PlayResult-based
+/// grid_table/grid_csv in sweep.hpp: given bit-identical point values
+/// the emitted bytes are identical.
+std::string grid_table(const ColumnarGrid& grid);
+std::string grid_csv(const ColumnarGrid& grid);
+
+/// Machine-readable columnar payload for the job API: axes plus the
+/// power/energy columns as JSON arrays, streamed straight from the
+/// column storage.
+std::string grid_json(const ColumnarGrid& grid);
+
+}  // namespace powerplay::sheet

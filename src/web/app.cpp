@@ -453,6 +453,16 @@ Response PowerPlayApp::page_healthz() {
   os << "jobs_cancelled_total: " << jobs.cancelled_total << "\n";
   os << "jobs_deadline_expired_total: " << jobs.deadline_expired_total
      << "\n";
+  // Lane-batched columnar evaluation (engine::BatchCounters): points
+  // through the batch substrate, the fixed lane width, and how much of
+  // the flow fell back to scalar (fallback points + lane replays).
+  const engine::BatchCounters batch = engine_.batch_counters();
+  os << "batch_points_total: " << batch.points << "\n";
+  os << "batch_lane_width: " << sheet::BatchPlanInstance::kLaneWidth << "\n";
+  os << "batch_scalar_fallbacks_total: "
+     << batch.scalar_fallback_points + batch.lane_replays << "\n";
+  os << "columnar_bytes_streamed_total: "
+     << columnar_bytes_streamed_total_.load() << "\n";
   os << "explore_jobs_total: " << explore_jobs_total_.load() << "\n";
   os << "mc_points_total: " << mc_points_total_.load() << "\n";
   os << "surrogate_fits_total: " << surrogate_fits_total_.load() << "\n";
@@ -1111,9 +1121,17 @@ Response PowerPlayApp::do_design_sweep(const Params& q) {
              << " grid)";
     work = [this, snapshot = std::move(snapshot), x,
             y](const engine::JobManager::Progress& progress) {
-      const sheet::GridSweep g = engine_.sweep_grid(
+      // Lane-batched columnar sweep: workers stream block metrics into
+      // shared column arrays (no per-point PlayResults), progress and
+      // cancellation/deadline checks fire once per lane block, and the
+      // renderers serialize straight off the columns.
+      const sheet::ColumnarGrid g = engine_.sweep_grid_columnar(
           snapshot, x.param, x.values, y.param, y.values, progress);
-      return engine::JobResult{sheet::grid_table(g), sheet::grid_csv(g)};
+      engine::JobResult result{sheet::grid_table(g), sheet::grid_csv(g),
+                               sheet::grid_json(g)};
+      columnar_bytes_streamed_total_.fetch_add(
+          result.csv.size() + result.json.size());
+      return result;
     };
   } else if (!row.empty()) {
     const sheet::Row* r = snapshot.find_row(row);

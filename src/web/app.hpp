@@ -265,6 +265,9 @@ class PowerPlayApp {
   std::atomic<std::uint64_t> mc_points_total_{0};
   std::atomic<std::uint64_t> surrogate_fits_total_{0};
   mutable std::atomic<std::uint64_t> surrogate_hits_total_{0};
+  /// Bytes of columnar sweep payload (csv + json) rendered by batched
+  /// grid jobs, for /healthz.
+  std::atomic<std::uint64_t> columnar_bytes_streamed_total_{0};
 };
 
 }  // namespace powerplay::web

@@ -1,0 +1,318 @@
+// Differential tests of the lane-batched columnar evaluation paths
+// (sheet/batch.hpp, the engine's sweep_grid_columnar and
+// play_points_columnar) against the scalar compiled-plan paths: grids
+// and point sets must come back bit-identical, lane-divergent
+// conditionals must replay without changing a bit, intermodel plans
+// must fall back to the per-point scalar fixed point, degenerate
+// batches must skip the lane machinery, and the batched substrate must
+// stay byte-deterministic across thread counts (the web_tsan target
+// runs this file under ThreadSanitizer).
+#include "sheet/batch.hpp"
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.hpp"
+#include "explore/dist.hpp"
+#include "models/berkeley_library.hpp"
+#include "sheet/sweep.hpp"
+#include "studies/vq.hpp"
+
+namespace powerplay::engine {
+namespace {
+
+const model::ModelRegistry& lib() {
+  static const model::ModelRegistry registry = models::berkeley_library();
+  return registry;
+}
+
+// Conditional + custom-function formulas over two swept globals: the
+// ternaries lower to kJumpIfZero, so blocks whose lanes straddle the
+// thresholds exercise the lane-replay path.
+sheet::Design branchy_design() {
+  sheet::Design d("branchy");
+  d.globals().set("vdd", 1.5);
+  d.globals().set("f", 1e6);
+  d.add_function("boost",
+                 [](const std::vector<expr::Value>& args) {
+                   return std::get<double>(args.at(0)) * 1.25;
+                 });
+  auto& reg = d.add_row("reg", lib().find_shared("register"));
+  reg.params.set_formula("bits", "vdd < 1.5 ? 8 : 16");
+  auto& add = d.add_row("add", lib().find_shared("ripple_adder"));
+  add.params.set_formula("bitwidth", "f > 2e6 ? boost(16) : 16");
+  return d;
+}
+
+// Intermodel fixed point (converter fed by rowpower) with the load
+// riding on a swept global, so every columnar point must take the
+// scalar fallback.
+sheet::Design converter_design() {
+  sheet::Design d("conv");
+  d.globals().set("vdd", 6.0);
+  d.globals().set("p_base", 1.0);
+  auto& load = d.add_row("Load", lib().find_shared("datasheet_component"));
+  load.params.set_formula("p_typical", "p_base");
+  auto& conv = d.add_row("Conv", lib().find_shared("dcdc_converter"));
+  conv.params.set("efficiency", 0.8);
+  conv.params.set_formula("p_load", "rowpower(\"Load\")");
+  return d;
+}
+
+void expect_columns_match_plays(const sheet::PointColumns& cols,
+                                const std::vector<sheet::PlayResult>& plays) {
+  ASSERT_EQ(cols.size(), plays.size());
+  for (std::size_t i = 0; i < plays.size(); ++i) {
+    EXPECT_EQ(cols.power_w[i], plays[i].total.total_power().si()) << i;
+    EXPECT_EQ(cols.energy_j[i], plays[i].total.energy_per_op.si()) << i;
+    EXPECT_EQ(cols.area_m2[i], plays[i].total.area.si()) << i;
+    EXPECT_EQ(cols.delay_s[i], plays[i].total.delay.si()) << i;
+  }
+}
+
+// --- grids -------------------------------------------------------------------
+
+TEST(BatchGrid, ColumnarGridBitIdenticalToScalarSweep) {
+  EvalEngine engine;
+  const sheet::Design d = studies::make_luminance_impl2(lib());
+  const auto vdds = sheet::linspace(1.0, 3.0, 16);
+  const auto rates = sheet::linspace(1e6, 4e6, 16);
+
+  const sheet::GridSweep scalar =
+      engine.sweep_grid(d, "vdd", vdds, "pixel_rate", rates);
+  const sheet::ColumnarGrid batched =
+      engine.sweep_grid_columnar(d, "vdd", vdds, "pixel_rate", rates);
+
+  ASSERT_EQ(batched.cols.size(), vdds.size() * rates.size());
+  for (std::size_t i = 0; i < vdds.size(); ++i) {
+    for (std::size_t j = 0; j < rates.size(); ++j) {
+      const std::size_t k = i * rates.size() + j;
+      const sheet::PlayResult& r = scalar.results[i][j];
+      EXPECT_EQ(batched.cols.power_w[k], r.total.total_power().si());
+      EXPECT_EQ(batched.cols.energy_j[k], r.total.energy_per_op.si());
+      EXPECT_EQ(batched.cols.area_m2[k], r.total.area.si());
+      EXPECT_EQ(batched.cols.delay_s[k], r.total.delay.si());
+    }
+  }
+
+  // Given bit-identical values the columnar renderers emit the same
+  // bytes as the PlayResult-based ones.
+  EXPECT_EQ(sheet::grid_table(batched), sheet::grid_table(scalar));
+  EXPECT_EQ(sheet::grid_csv(batched), sheet::grid_csv(scalar));
+  EXPECT_FALSE(sheet::grid_json(batched).empty());
+
+  const BatchCounters c = engine.batch_counters();
+  EXPECT_EQ(c.points, vdds.size() * rates.size());
+  EXPECT_GT(c.blocks, 0u);
+  EXPECT_EQ(c.scalar_fallback_points, 0u);
+  // The luminance rows are all operating-point-only models with
+  // lane-invariant structural parameters, so the dense sweep must run
+  // on the captured-terms fast path (the bench's >= 5x depends on it).
+  EXPECT_GT(c.term_capture_rows, 0u);
+}
+
+TEST(BatchGrid, ValidationMatchesScalarSweep) {
+  EvalEngine engine;
+  const sheet::Design d = studies::make_luminance_impl2(lib());
+  const auto values = sheet::linspace(1.0, 2.0, 4);
+  EXPECT_THROW(
+      (void)engine.sweep_grid_columnar(d, "vdd", values, "vdd", values),
+      expr::ExprError);
+  EXPECT_THROW(
+      (void)engine.sweep_grid_columnar(d, "vdd", values, "nope", values),
+      expr::ExprError);
+}
+
+// --- point batches -----------------------------------------------------------
+
+TEST(BatchPoints, ColumnarMatchesPlayPointsOnBranchyFormulas) {
+  EvalEngine engine;
+  const sheet::Design d = branchy_design();
+  std::vector<std::vector<double>> points;
+  for (double vdd = 1.0; vdd <= 2.0; vdd += 0.04) {
+    for (double f = 5e5; f <= 4e6; f += 2.5e5) {
+      points.push_back({vdd, f});
+    }
+  }
+  const auto plays = engine.play_points(d, {"vdd", "f"}, points);
+  const auto cols = engine.play_points_columnar(d, {"vdd", "f"}, points);
+  expect_columns_match_plays(cols, plays);
+}
+
+TEST(BatchPoints, DifferentialFuzzTenThousandRandomPoints) {
+  // >= 10k counter-RNG points across both branch thresholds; every
+  // point must come back bit-equal to the scalar compiled plan.
+  EvalEngine engine;
+  const sheet::Design d = branchy_design();
+  const auto dists =
+      explore::parse_dist_params("vdd=uniform(1.0,2.0);f=uniform(5e5,4e6)");
+  const auto points = explore::sample_points(dists, 10240, 99);
+  const auto plays = engine.play_points(d, {"vdd", "f"}, points);
+  const auto cols = engine.play_points_columnar(d, {"vdd", "f"}, points);
+  expect_columns_match_plays(cols, plays);
+}
+
+TEST(BatchPoints, LaneDivergentConditionalReplaysWithoutDrift) {
+  // One 64-lane block whose lanes straddle the `vdd < 1.5` threshold:
+  // the batch interpreter must detect the divergent branch, replay
+  // lane-by-lane, and still reproduce the scalar doubles.
+  EvalEngine engine;
+  const sheet::Design d = branchy_design();
+  std::vector<std::vector<double>> points;
+  for (std::size_t i = 0; i < 64; ++i) {
+    points.push_back({i % 2 == 0 ? 1.2 : 1.8, 1e6});
+  }
+  const auto plays = engine.play_points(d, {"vdd", "f"}, points);
+  const auto cols = engine.play_points_columnar(d, {"vdd", "f"}, points);
+  expect_columns_match_plays(cols, plays);
+  const BatchCounters c = engine.batch_counters();
+  EXPECT_GT(c.lane_replays, 0u);
+  EXPECT_EQ(c.scalar_fallback_points, 0u);
+}
+
+TEST(BatchPoints, IntermodelPlansFallBackToScalarFixedPoint) {
+  // The converter design needs the per-point fixed point (rowpower):
+  // the columnar call must answer bit-identically via the scalar
+  // fallback and count every point as a fallback.
+  EvalEngine engine;
+  const sheet::Design d = converter_design();
+  std::vector<std::vector<double>> points;
+  for (std::size_t i = 0; i < 100; ++i) {
+    points.push_back({5.0 + 0.02 * static_cast<double>(i),
+                      0.5 + 0.01 * static_cast<double>(i)});
+  }
+  const auto plays = engine.play_points(d, {"vdd", "p_base"}, points);
+  const auto cols = engine.play_points_columnar(d, {"vdd", "p_base"}, points);
+  expect_columns_match_plays(cols, plays);
+  const BatchCounters c = engine.batch_counters();
+  EXPECT_EQ(c.scalar_fallback_points, points.size());
+  EXPECT_EQ(c.blocks, 0u);
+}
+
+TEST(BatchPoints, ErrorsMatchTheScalarPath) {
+  // A block where some lanes divide by zero: the batch path degrades
+  // the block to the scalar loop, so the error that escapes is exactly
+  // the scalar sweep's (message included).
+  EvalEngine engine;
+  sheet::Design d("divzero");
+  d.globals().set("vdd", 1.5);
+  d.globals().set("f", 1e6);
+  d.globals().set("denom", 1.0);
+  d.add_row("reg", lib().find_shared("register"))
+      .params.set_formula("bits", "16 / denom");
+  std::vector<std::vector<double>> points;
+  for (std::size_t i = 0; i < 64; ++i) {
+    points.push_back({static_cast<double>(i % 4)});
+  }
+  std::string scalar_error;
+  try {
+    (void)engine.play_points(d, {"denom"}, points);
+  } catch (const expr::ExprError& e) {
+    scalar_error = e.what();
+  }
+  ASSERT_FALSE(scalar_error.empty());
+  std::string batch_error;
+  try {
+    (void)engine.play_points_columnar(d, {"denom"}, points);
+  } catch (const expr::ExprError& e) {
+    batch_error = e.what();
+  }
+  EXPECT_EQ(batch_error, scalar_error);
+}
+
+// --- degenerate batches ------------------------------------------------------
+
+TEST(BatchPoints, EmptyAndSinglePointBatchesTakeTheScalarPath) {
+  EvalEngine engine;
+  const sheet::Design d = branchy_design();
+
+  const auto empty = engine.play_points_columnar(d, {"vdd", "f"}, {});
+  EXPECT_EQ(empty.size(), 0u);
+
+  const std::vector<std::vector<double>> one{{1.4, 2e6}};
+  const auto plays = engine.play_points(d, {"vdd", "f"}, one);
+  const auto cols = engine.play_points_columnar(d, {"vdd", "f"}, one);
+  expect_columns_match_plays(cols, plays);
+
+  // A 1x1 grid is a single point too.
+  const sheet::ColumnarGrid grid =
+      engine.sweep_grid_columnar(d, "vdd", {1.5}, "f", {1e6});
+  ASSERT_EQ(grid.cols.size(), 1u);
+  const sheet::GridSweep scalar =
+      engine.sweep_grid(d, "vdd", {1.5}, "f", {1e6});
+  EXPECT_EQ(grid.cols.power_w[0],
+            scalar.results[0][0].total.total_power().si());
+
+  // Degenerate batches never ran a lane block; they are all fallbacks.
+  const BatchCounters c = engine.batch_counters();
+  EXPECT_EQ(c.blocks, 0u);
+  EXPECT_EQ(c.points, 2u);
+  EXPECT_EQ(c.scalar_fallback_points, 2u);
+}
+
+TEST(BatchGrid, EmptyAxesProduceEmptyColumns) {
+  EvalEngine engine;
+  const sheet::Design d = branchy_design();
+  const sheet::ColumnarGrid grid =
+      engine.sweep_grid_columnar(d, "vdd", {}, "f", {1e6, 2e6});
+  EXPECT_EQ(grid.cols.size(), 0u);
+  EXPECT_EQ(sheet::grid_csv(grid), "vdd,f,total_power_w,energy_per_op_j\n");
+}
+
+// --- progress at batch granularity ------------------------------------------
+
+TEST(BatchGrid, ProgressReportsOncePerLaneBlock) {
+  EvalEngine engine;
+  const sheet::Design d = studies::make_luminance_impl2(lib());
+  const auto vdds = sheet::linspace(1.0, 3.0, 16);
+  const auto rates = sheet::linspace(1e6, 4e6, 16);
+  std::atomic<std::size_t> calls{0};
+  std::atomic<std::size_t> reported{0};
+  (void)engine.sweep_grid_columnar(
+      d, "vdd", vdds, "pixel_rate", rates,
+      [&](std::size_t done, std::size_t total) {
+        calls.fetch_add(1);
+        EXPECT_EQ(total, vdds.size() * rates.size());
+        if (done == total) reported.fetch_add(1);
+      });
+  const std::size_t total = vdds.size() * rates.size();
+  const std::size_t blocks =
+      (total + sheet::BatchPlanInstance::kLaneWidth - 1) /
+      sheet::BatchPlanInstance::kLaneWidth;
+  EXPECT_EQ(calls.load(), blocks);
+  EXPECT_EQ(reported.load(), 1u);
+}
+
+// --- thread-count determinism ------------------------------------------------
+
+TEST(BatchPoints, BatchedPointsBitIdenticalAcrossThreadCounts) {
+  // Lane blocks partition by point index, never by worker, so the
+  // batched Monte Carlo substrate returns the same bytes at 1 and 8
+  // threads.
+  EngineOptions one;
+  one.executor.thread_count = 1;
+  EngineOptions eight;
+  eight.executor.thread_count = 8;
+  EvalEngine e1(one);
+  EvalEngine e8(eight);
+  const sheet::Design d = branchy_design();
+  const auto dists =
+      explore::parse_dist_params("vdd=uniform(1.0,2.0);f=choice(1e6,2e6,4e6)");
+  const auto points = explore::sample_points(dists, 1000, 11);
+  const auto a = e1.play_points_columnar(d, {"vdd", "f"}, points);
+  const auto b = e8.play_points_columnar(d, {"vdd", "f"}, points);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.power_w[i], b.power_w[i]) << i;
+    EXPECT_EQ(a.energy_j[i], b.energy_j[i]) << i;
+    EXPECT_EQ(a.area_m2[i], b.area_m2[i]) << i;
+    EXPECT_EQ(a.delay_s[i], b.delay_s[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace powerplay::engine

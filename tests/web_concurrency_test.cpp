@@ -291,6 +291,90 @@ TEST_F(ConcurrencyFixture, ParallelSweepJobs) {
   app->jobs().wait_idle();
 }
 
+// Hammer over the lane-batched columnar grid path: several users each
+// submit a multi-block grid sweep (crossing the 64-lane block width)
+// and poll to completion while workers stream column blocks
+// concurrently.  Every table, CSV and JSON payload must come back
+// well-formed, and /healthz must account for the batched points.
+TEST_F(ConcurrencyFixture, BatchedSweepJobHammer) {
+  constexpr int kUsers = 4;
+  for (int t = 0; t < kUsers; ++t) {
+    const std::string user = "bat" + std::to_string(t);
+    ASSERT_EQ(post("/design/add", {{"user", user},
+                                   {"model", "register"},
+                                   {"design", "B" + std::to_string(t)},
+                                   {"row", "R"},
+                                   {"p_bits", "8"},
+                                   {"p_f", "1000000"}})
+                  .status,
+              200);
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kUsers; ++t) {
+    clients.emplace_back([this, t, &failures] {
+      const std::string user = "bat" + std::to_string(t);
+      // 12x12 = 144 points: several lane blocks per job, user-specific
+      // axis ranges so no two jobs share cached state.
+      const double lo = 1.0 + 0.1 * t;
+      const Response submit = post(
+          "/design/sweep",
+          {{"user", user},
+           {"name", "B" + std::to_string(t)},
+           {"x_param", "vdd"},
+           {"x_from", std::to_string(lo)},
+           {"x_to", std::to_string(lo + 2.0)},
+           {"x_points", "12"},
+           {"y_param", "f"},
+           {"y_from", "1e6"},
+           {"y_to", "4e6"},
+           {"y_points", "12"}});
+      if (submit.status != 200) {
+        ++failures;
+        return;
+      }
+      const std::string id =
+          submit.body.substr(4, submit.body.find('\n') - 4);
+      for (int i = 0; i < 500; ++i) {
+        const Response poll = get("/job?id=" + id);
+        if (poll.body.find("status: done") != std::string::npos) {
+          if (poll.body.find("progress: 144/144") == std::string::npos) {
+            ++failures;
+          }
+          const Response csv = get("/job?id=" + id + "&format=csv");
+          // Header + 144 data lines off the column arrays.
+          if (csv.status != 200 ||
+              std::count(csv.body.begin(), csv.body.end(), '\n') != 145) {
+            ++failures;
+          }
+          const Response json = get("/job?id=" + id + "&format=json");
+          if (json.status != 200 ||
+              json.body.find("\"power_w\":[") == std::string::npos) {
+            ++failures;
+          }
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      ++failures;  // timed out
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+  app->jobs().wait_idle();
+
+  // The batch substrate served all four grids and /healthz says so.
+  const Response health = get("/healthz");
+  for (const char* key :
+       {"batch_points_total", "batch_lane_width: 64",
+        "batch_scalar_fallbacks_total", "columnar_bytes_streamed_total"}) {
+    EXPECT_NE(health.body.find(key), std::string::npos) << key;
+  }
+  const auto counters = app->engine().batch_counters();
+  EXPECT_GE(counters.points, static_cast<std::uint64_t>(kUsers) * 144u);
+  EXPECT_GT(counters.blocks, 0u);
+}
+
 // N threads, each hammering a mixed read workload over ONE persistent
 // keep-alive connection.  Every response must be well-formed and match
 // its request; the server must actually have reused connections rather
